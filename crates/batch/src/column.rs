@@ -1,0 +1,361 @@
+//! A single column of values.
+
+use crate::datatype::{DataType, ScalarValue};
+use quokka_common::rng::{fnv1a, mix64};
+use quokka_common::{QuokkaError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A contiguous, homogeneously-typed column of values.
+///
+/// Columns are plain `Vec`s rather than Arrow buffers; the engine cares
+/// about the relational semantics and the byte volume of data movement, not
+/// about SIMD-level layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    Int64(Vec<i64>),
+    Float64(Vec<f64>),
+    Utf8(Vec<String>),
+    Bool(Vec<bool>),
+    Date(Vec<i32>),
+}
+
+impl Column {
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int64(_) => DataType::Int64,
+            Column::Float64(_) => DataType::Float64,
+            Column::Utf8(_) => DataType::Utf8,
+            Column::Bool(_) => DataType::Bool,
+            Column::Date(_) => DataType::Date,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64(v) => v.len(),
+            Column::Float64(v) => v.len(),
+            Column::Utf8(v) => v.len(),
+            Column::Bool(v) => v.len(),
+            Column::Date(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// An empty column of the given type.
+    pub fn empty(data_type: DataType) -> Column {
+        match data_type {
+            DataType::Int64 => Column::Int64(Vec::new()),
+            DataType::Float64 => Column::Float64(Vec::new()),
+            DataType::Utf8 => Column::Utf8(Vec::new()),
+            DataType::Bool => Column::Bool(Vec::new()),
+            DataType::Date => Column::Date(Vec::new()),
+        }
+    }
+
+    /// The value at row `i`.
+    pub fn get(&self, i: usize) -> ScalarValue {
+        match self {
+            Column::Int64(v) => ScalarValue::Int64(v[i]),
+            Column::Float64(v) => ScalarValue::Float64(v[i]),
+            Column::Utf8(v) => ScalarValue::Utf8(v[i].clone()),
+            Column::Bool(v) => ScalarValue::Bool(v[i]),
+            Column::Date(v) => ScalarValue::Date(v[i]),
+        }
+    }
+
+    /// Build a column of `data_type` from scalar values, coercing compatible
+    /// numeric scalars (Int64 <-> Float64) where needed.
+    pub fn from_scalars(data_type: DataType, values: &[ScalarValue]) -> Result<Column> {
+        let mut col = Column::empty(data_type);
+        for v in values {
+            col.push(v)?;
+        }
+        Ok(col)
+    }
+
+    /// Append one scalar, coercing Int64 <-> Float64.
+    pub fn push(&mut self, value: &ScalarValue) -> Result<()> {
+        match (self, value) {
+            (Column::Int64(v), ScalarValue::Int64(x)) => v.push(*x),
+            (Column::Int64(v), ScalarValue::Float64(x)) => v.push(*x as i64),
+            (Column::Float64(v), ScalarValue::Float64(x)) => v.push(*x),
+            (Column::Float64(v), ScalarValue::Int64(x)) => v.push(*x as f64),
+            (Column::Utf8(v), ScalarValue::Utf8(x)) => v.push(x.clone()),
+            (Column::Bool(v), ScalarValue::Bool(x)) => v.push(*x),
+            (Column::Date(v), ScalarValue::Date(x)) => v.push(*x),
+            (Column::Date(v), ScalarValue::Int64(x)) => v.push(*x as i32),
+            (col, val) => {
+                return Err(QuokkaError::TypeError(format!(
+                    "cannot push {:?} into {} column",
+                    val,
+                    col.data_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Keep the rows where `mask` is true. `mask.len()` must equal `self.len()`.
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        debug_assert_eq!(mask.len(), self.len());
+        fn keep<T: Clone>(values: &[T], mask: &[bool]) -> Vec<T> {
+            values
+                .iter()
+                .zip(mask.iter())
+                .filter_map(|(v, &m)| if m { Some(v.clone()) } else { None })
+                .collect()
+        }
+        match self {
+            Column::Int64(v) => Column::Int64(keep(v, mask)),
+            Column::Float64(v) => Column::Float64(keep(v, mask)),
+            Column::Utf8(v) => Column::Utf8(keep(v, mask)),
+            Column::Bool(v) => Column::Bool(keep(v, mask)),
+            Column::Date(v) => Column::Date(keep(v, mask)),
+        }
+    }
+
+    /// Gather the rows at `indices` (indices may repeat or be out of order).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        fn gather<T: Clone>(values: &[T], indices: &[usize]) -> Vec<T> {
+            indices.iter().map(|&i| values[i].clone()).collect()
+        }
+        match self {
+            Column::Int64(v) => Column::Int64(gather(v, indices)),
+            Column::Float64(v) => Column::Float64(gather(v, indices)),
+            Column::Utf8(v) => Column::Utf8(gather(v, indices)),
+            Column::Bool(v) => Column::Bool(gather(v, indices)),
+            Column::Date(v) => Column::Date(gather(v, indices)),
+        }
+    }
+
+    /// Rows `range.start .. range.end`.
+    pub fn slice(&self, start: usize, len: usize) -> Column {
+        fn cut<T: Clone>(values: &[T], start: usize, len: usize) -> Vec<T> {
+            values[start..start + len].to_vec()
+        }
+        match self {
+            Column::Int64(v) => Column::Int64(cut(v, start, len)),
+            Column::Float64(v) => Column::Float64(cut(v, start, len)),
+            Column::Utf8(v) => Column::Utf8(cut(v, start, len)),
+            Column::Bool(v) => Column::Bool(cut(v, start, len)),
+            Column::Date(v) => Column::Date(cut(v, start, len)),
+        }
+    }
+
+    /// Concatenate columns of the same type. Panics if `columns` is empty.
+    pub fn concat(columns: &[&Column]) -> Result<Column> {
+        let first = columns.first().ok_or_else(|| QuokkaError::internal("concat of 0 columns"))?;
+        let mut out = Column::empty(first.data_type());
+        for col in columns {
+            if col.data_type() != out.data_type() {
+                return Err(QuokkaError::TypeError(format!(
+                    "concat type mismatch: {} vs {}",
+                    out.data_type(),
+                    col.data_type()
+                )));
+            }
+            match (&mut out, col) {
+                (Column::Int64(o), Column::Int64(v)) => o.extend_from_slice(v),
+                (Column::Float64(o), Column::Float64(v)) => o.extend_from_slice(v),
+                (Column::Utf8(o), Column::Utf8(v)) => o.extend(v.iter().cloned()),
+                (Column::Bool(o), Column::Bool(v)) => o.extend_from_slice(v),
+                (Column::Date(o), Column::Date(v)) => o.extend_from_slice(v),
+                _ => unreachable!("type checked above"),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Mix this column's row-wise hash into `hashes` (one u64 per row),
+    /// used for hash partitioning and hash joins. Int64/Date/Float64 values
+    /// that compare equal hash identically so cross-type joins on numeric
+    /// keys behave.
+    pub fn hash_into(&self, hashes: &mut [u64]) {
+        debug_assert_eq!(hashes.len(), self.len());
+        match self {
+            Column::Int64(v) => {
+                for (h, x) in hashes.iter_mut().zip(v) {
+                    *h = mix64(*h ^ mix64(*x as u64));
+                }
+            }
+            Column::Date(v) => {
+                for (h, x) in hashes.iter_mut().zip(v) {
+                    *h = mix64(*h ^ mix64(*x as i64 as u64));
+                }
+            }
+            Column::Float64(v) => {
+                for (h, x) in hashes.iter_mut().zip(v) {
+                    // Hash the value as i64 when it is integral so that a
+                    // Float64 join key equal to an Int64 key hashes the same.
+                    let bits =
+                        if x.fract() == 0.0 { *x as i64 as u64 } else { x.to_bits() };
+                    *h = mix64(*h ^ mix64(bits));
+                }
+            }
+            Column::Utf8(v) => {
+                for (h, x) in hashes.iter_mut().zip(v) {
+                    *h = mix64(*h ^ fnv1a(x.as_bytes()));
+                }
+            }
+            Column::Bool(v) => {
+                for (h, x) in hashes.iter_mut().zip(v) {
+                    *h = mix64(*h ^ (*x as u64 + 1));
+                }
+            }
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes, used by the cost model when
+    /// charging for shuffles, backups, spools and checkpoints.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Column::Int64(v) => v.len() * 8,
+            Column::Float64(v) => v.len() * 8,
+            Column::Date(v) => v.len() * 4,
+            Column::Bool(v) => v.len(),
+            Column::Utf8(v) => v.iter().map(|s| s.len() + 4).sum(),
+        }
+    }
+
+    /// Borrow as `&[i64]`, failing for other types.
+    pub fn as_i64(&self) -> Result<&[i64]> {
+        match self {
+            Column::Int64(v) => Ok(v),
+            other => Err(QuokkaError::TypeError(format!("expected Int64, got {}", other.data_type()))),
+        }
+    }
+
+    /// Borrow as `&[f64]`, failing for other types.
+    pub fn as_f64(&self) -> Result<&[f64]> {
+        match self {
+            Column::Float64(v) => Ok(v),
+            other => {
+                Err(QuokkaError::TypeError(format!("expected Float64, got {}", other.data_type())))
+            }
+        }
+    }
+
+    /// Borrow as `&[bool]`, failing for other types.
+    pub fn as_bool(&self) -> Result<&[bool]> {
+        match self {
+            Column::Bool(v) => Ok(v),
+            other => Err(QuokkaError::TypeError(format!("expected Bool, got {}", other.data_type()))),
+        }
+    }
+
+    /// Borrow as `&[String]`, failing for other types.
+    pub fn as_utf8(&self) -> Result<&[String]> {
+        match self {
+            Column::Utf8(v) => Ok(v),
+            other => Err(QuokkaError::TypeError(format!("expected Utf8, got {}", other.data_type()))),
+        }
+    }
+
+    /// Borrow as `&[i32]` (dates), failing for other types.
+    pub fn as_date(&self) -> Result<&[i32]> {
+        match self {
+            Column::Date(v) => Ok(v),
+            other => Err(QuokkaError::TypeError(format!("expected Date, got {}", other.data_type()))),
+        }
+    }
+
+    /// The column's values as f64, coercing Int64/Date (used by aggregates
+    /// and arithmetic).
+    pub fn to_f64_vec(&self) -> Result<Vec<f64>> {
+        match self {
+            Column::Float64(v) => Ok(v.clone()),
+            Column::Int64(v) => Ok(v.iter().map(|&x| x as f64).collect()),
+            Column::Date(v) => Ok(v.iter().map(|&x| x as f64).collect()),
+            other => {
+                Err(QuokkaError::TypeError(format!("cannot coerce {} to f64", other.data_type())))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let c = Column::Int64(vec![1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.data_type(), DataType::Int64);
+        assert_eq!(c.get(1), ScalarValue::Int64(2));
+        assert!(!c.is_empty());
+        assert!(Column::empty(DataType::Utf8).is_empty());
+    }
+
+    #[test]
+    fn filter_take_slice() {
+        let c = Column::Utf8(vec!["a".into(), "b".into(), "c".into(), "d".into()]);
+        assert_eq!(
+            c.filter(&[true, false, true, false]),
+            Column::Utf8(vec!["a".into(), "c".into()])
+        );
+        assert_eq!(c.take(&[3, 3, 0]), Column::Utf8(vec!["d".into(), "d".into(), "a".into()]));
+        assert_eq!(c.slice(1, 2), Column::Utf8(vec!["b".into(), "c".into()]));
+    }
+
+    #[test]
+    fn concat_and_type_mismatch() {
+        let a = Column::Int64(vec![1, 2]);
+        let b = Column::Int64(vec![3]);
+        assert_eq!(Column::concat(&[&a, &b]).unwrap(), Column::Int64(vec![1, 2, 3]));
+        let c = Column::Float64(vec![1.0]);
+        assert!(Column::concat(&[&a, &c]).is_err());
+        assert!(Column::concat(&[]).is_err());
+    }
+
+    #[test]
+    fn push_coerces_numeric() {
+        let mut c = Column::Float64(vec![]);
+        c.push(&ScalarValue::Int64(2)).unwrap();
+        c.push(&ScalarValue::Float64(1.5)).unwrap();
+        assert_eq!(c, Column::Float64(vec![2.0, 1.5]));
+        assert!(c.push(&ScalarValue::Utf8("x".into())).is_err());
+    }
+
+    #[test]
+    fn from_scalars_roundtrip() {
+        let vals = vec![ScalarValue::Date(5), ScalarValue::Date(9)];
+        let c = Column::from_scalars(DataType::Date, &vals).unwrap();
+        assert_eq!(c, Column::Date(vec![5, 9]));
+    }
+
+    #[test]
+    fn hashing_is_consistent_for_equal_numeric_values() {
+        let ints = Column::Int64(vec![42, 7]);
+        let floats = Column::Float64(vec![42.0, 7.0]);
+        let mut h1 = vec![0u64; 2];
+        let mut h2 = vec![0u64; 2];
+        ints.hash_into(&mut h1);
+        floats.hash_into(&mut h2);
+        assert_eq!(h1, h2);
+        // and different values produce different hashes
+        assert_ne!(h1[0], h1[1]);
+    }
+
+    #[test]
+    fn byte_size_estimates() {
+        assert_eq!(Column::Int64(vec![1, 2]).byte_size(), 16);
+        assert_eq!(Column::Date(vec![1, 2, 3]).byte_size(), 12);
+        assert_eq!(Column::Bool(vec![true]).byte_size(), 1);
+        assert_eq!(Column::Utf8(vec!["ab".into()]).byte_size(), 6);
+    }
+
+    #[test]
+    fn typed_accessors() {
+        assert!(Column::Int64(vec![1]).as_i64().is_ok());
+        assert!(Column::Int64(vec![1]).as_f64().is_err());
+        assert_eq!(Column::Int64(vec![1, 2]).to_f64_vec().unwrap(), vec![1.0, 2.0]);
+        assert!(Column::Utf8(vec![]).to_f64_vec().is_err());
+        assert!(Column::Bool(vec![true]).as_bool().is_ok());
+        assert!(Column::Date(vec![1]).as_date().is_ok());
+        assert!(Column::Utf8(vec!["a".into()]).as_utf8().is_ok());
+    }
+}

@@ -1,0 +1,415 @@
+//! Compute kernels over [`Column`]s and [`Batch`]es.
+//!
+//! These are the "single-node kernels" the paper's implementation borrows
+//! from DuckDB/Polars: element-wise arithmetic and comparisons, boolean
+//! logic, LIKE matching, row hashing, hash partitioning (the basis of every
+//! shuffle) and multi-key sorting.
+
+use crate::batch::Batch;
+use crate::column::Column;
+use crate::datatype::{DataType, ScalarValue};
+use quokka_common::{QuokkaError, Result};
+use std::cmp::Ordering;
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Binary comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+/// Element-wise arithmetic between two columns of equal length.
+///
+/// Integer inputs stay integer for `+ - *`; division and any float input
+/// produce `Float64`.
+pub fn arith(op: ArithOp, left: &Column, right: &Column) -> Result<Column> {
+    if left.len() != right.len() {
+        return Err(QuokkaError::internal(format!(
+            "arith length mismatch: {} vs {}",
+            left.len(),
+            right.len()
+        )));
+    }
+    match (left, right, op) {
+        (Column::Int64(a), Column::Int64(b), ArithOp::Add) => {
+            Ok(Column::Int64(a.iter().zip(b).map(|(x, y)| x + y).collect()))
+        }
+        (Column::Int64(a), Column::Int64(b), ArithOp::Sub) => {
+            Ok(Column::Int64(a.iter().zip(b).map(|(x, y)| x - y).collect()))
+        }
+        (Column::Int64(a), Column::Int64(b), ArithOp::Mul) => {
+            Ok(Column::Int64(a.iter().zip(b).map(|(x, y)| x * y).collect()))
+        }
+        _ => {
+            let a = left.to_f64_vec()?;
+            let b = right.to_f64_vec()?;
+            let out: Vec<f64> = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| match op {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                    ArithOp::Div => x / y,
+                })
+                .collect();
+            Ok(Column::Float64(out))
+        }
+    }
+}
+
+/// Element-wise comparison between two columns of equal length, producing a
+/// boolean mask. Numeric types (Int64/Float64/Date) are coerced to f64;
+/// strings and booleans compare directly.
+pub fn compare(op: CmpOp, left: &Column, right: &Column) -> Result<Column> {
+    if left.len() != right.len() {
+        return Err(QuokkaError::internal(format!(
+            "compare length mismatch: {} vs {}",
+            left.len(),
+            right.len()
+        )));
+    }
+    let mask: Vec<bool> = match (left, right) {
+        (Column::Utf8(a), Column::Utf8(b)) => {
+            a.iter().zip(b).map(|(x, y)| apply_ord(op, x.cmp(y))).collect()
+        }
+        (Column::Bool(a), Column::Bool(b)) => {
+            a.iter().zip(b).map(|(x, y)| apply_ord(op, x.cmp(y))).collect()
+        }
+        _ => {
+            let a = left.to_f64_vec()?;
+            let b = right.to_f64_vec()?;
+            a.iter().zip(&b).map(|(x, y)| apply_ord(op, x.total_cmp(y))).collect()
+        }
+    };
+    Ok(Column::Bool(mask))
+}
+
+fn apply_ord(op: CmpOp, ord: Ordering) -> bool {
+    match op {
+        CmpOp::Eq => ord == Ordering::Equal,
+        CmpOp::NotEq => ord != Ordering::Equal,
+        CmpOp::Lt => ord == Ordering::Less,
+        CmpOp::LtEq => ord != Ordering::Greater,
+        CmpOp::Gt => ord == Ordering::Greater,
+        CmpOp::GtEq => ord != Ordering::Less,
+    }
+}
+
+/// Broadcast a scalar to a column of length `len`.
+pub fn broadcast(value: &ScalarValue, len: usize) -> Column {
+    match value {
+        ScalarValue::Int64(v) => Column::Int64(vec![*v; len]),
+        ScalarValue::Float64(v) => Column::Float64(vec![*v; len]),
+        ScalarValue::Utf8(v) => Column::Utf8(vec![v.clone(); len]),
+        ScalarValue::Bool(v) => Column::Bool(vec![*v; len]),
+        ScalarValue::Date(v) => Column::Date(vec![*v; len]),
+    }
+}
+
+/// Element-wise logical AND.
+pub fn and(left: &Column, right: &Column) -> Result<Column> {
+    let a = left.as_bool()?;
+    let b = right.as_bool()?;
+    Ok(Column::Bool(a.iter().zip(b).map(|(x, y)| *x && *y).collect()))
+}
+
+/// Element-wise logical OR.
+pub fn or(left: &Column, right: &Column) -> Result<Column> {
+    let a = left.as_bool()?;
+    let b = right.as_bool()?;
+    Ok(Column::Bool(a.iter().zip(b).map(|(x, y)| *x || *y).collect()))
+}
+
+/// Element-wise logical NOT.
+pub fn not(col: &Column) -> Result<Column> {
+    Ok(Column::Bool(col.as_bool()?.iter().map(|x| !x).collect()))
+}
+
+/// SQL `LIKE` with `%` (any substring) and `_` (any single char) wildcards.
+pub fn like(col: &Column, pattern: &str) -> Result<Column> {
+    let values = col.as_utf8()?;
+    Ok(Column::Bool(values.iter().map(|v| like_match(v, pattern)).collect()))
+}
+
+/// Whether `value` matches the SQL LIKE `pattern`.
+pub fn like_match(value: &str, pattern: &str) -> bool {
+    fn rec(v: &[u8], p: &[u8]) -> bool {
+        if p.is_empty() {
+            return v.is_empty();
+        }
+        match p[0] {
+            b'%' => {
+                // Match zero or more characters.
+                (0..=v.len()).any(|skip| rec(&v[skip..], &p[1..]))
+            }
+            b'_' => !v.is_empty() && rec(&v[1..], &p[1..]),
+            c => !v.is_empty() && v[0] == c && rec(&v[1..], &p[1..]),
+        }
+    }
+    rec(value.as_bytes(), pattern.as_bytes())
+}
+
+/// `value IN (list)` membership test.
+pub fn in_list(col: &Column, list: &[ScalarValue]) -> Result<Column> {
+    let n = col.len();
+    let mut mask = vec![false; n];
+    for (i, m) in mask.iter_mut().enumerate() {
+        let v = col.get(i);
+        *m = list.iter().any(|item| v.total_cmp(item) == Ordering::Equal);
+    }
+    Ok(Column::Bool(mask))
+}
+
+/// Row-wise hash of the key columns at `key_indices`.
+pub fn hash_rows(batch: &Batch, key_indices: &[usize]) -> Vec<u64> {
+    let mut hashes = vec![0xA5A5_5A5A_DEAD_BEEFu64; batch.num_rows()];
+    for &k in key_indices {
+        batch.column(k).hash_into(&mut hashes);
+    }
+    hashes
+}
+
+/// Partition a batch into `partitions` output batches by hashing the key
+/// columns. Every input row lands in exactly one output batch; rows keep
+/// their relative order within a partition (important for determinism of
+/// lineage replay).
+pub fn hash_partition(batch: &Batch, key_indices: &[usize], partitions: usize) -> Result<Vec<Batch>> {
+    assert!(partitions > 0);
+    if partitions == 1 {
+        return Ok(vec![batch.clone()]);
+    }
+    let hashes = hash_rows(batch, key_indices);
+    let mut indices: Vec<Vec<usize>> = vec![Vec::new(); partitions];
+    for (row, h) in hashes.iter().enumerate() {
+        indices[(h % partitions as u64) as usize].push(row);
+    }
+    indices.into_iter().map(|idx| batch.take(&idx)).collect()
+}
+
+/// A sort key: column index plus direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    pub column: usize,
+    pub ascending: bool,
+}
+
+impl SortKey {
+    pub fn asc(column: usize) -> Self {
+        SortKey { column, ascending: true }
+    }
+    pub fn desc(column: usize) -> Self {
+        SortKey { column, ascending: false }
+    }
+}
+
+/// Stable argsort of a batch by the given sort keys.
+pub fn sort_indices(batch: &Batch, keys: &[SortKey]) -> Vec<usize> {
+    let mut indices: Vec<usize> = (0..batch.num_rows()).collect();
+    indices.sort_by(|&a, &b| compare_rows(batch, a, batch, b, keys));
+    indices
+}
+
+/// Compare row `a` of `left` with row `b` of `right` under `keys` (the
+/// column indices refer to both batches, which must share a schema).
+pub fn compare_rows(left: &Batch, a: usize, right: &Batch, b: usize, keys: &[SortKey]) -> Ordering {
+    for key in keys {
+        let va = left.column(key.column).get(a);
+        let vb = right.column(key.column).get(b);
+        let ord = va.total_cmp(&vb);
+        let ord = if key.ascending { ord } else { ord.reverse() };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Sort a batch by the given keys.
+pub fn sort_batch(batch: &Batch, keys: &[SortKey]) -> Result<Batch> {
+    let idx = sort_indices(batch, keys);
+    batch.take(&idx)
+}
+
+/// Cast a column to another data type. Supports the numeric/date coercions
+/// the TPC-H plans need.
+pub fn cast(col: &Column, to: DataType) -> Result<Column> {
+    if col.data_type() == to {
+        return Ok(col.clone());
+    }
+    match (col, to) {
+        (Column::Int64(v), DataType::Float64) => {
+            Ok(Column::Float64(v.iter().map(|&x| x as f64).collect()))
+        }
+        (Column::Float64(v), DataType::Int64) => {
+            Ok(Column::Int64(v.iter().map(|&x| x as i64).collect()))
+        }
+        (Column::Date(v), DataType::Int64) => {
+            Ok(Column::Int64(v.iter().map(|&x| x as i64).collect()))
+        }
+        (Column::Int64(v), DataType::Date) => {
+            Ok(Column::Date(v.iter().map(|&x| x as i32).collect()))
+        }
+        (from, to) => Err(QuokkaError::TypeError(format!(
+            "unsupported cast {} -> {}",
+            from.data_type(),
+            to
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+
+    fn batch() -> Batch {
+        let schema = Schema::from_pairs(&[
+            ("k", DataType::Int64),
+            ("v", DataType::Float64),
+            ("s", DataType::Utf8),
+        ]);
+        Batch::try_new(
+            schema,
+            vec![
+                Column::Int64(vec![3, 1, 2, 1]),
+                Column::Float64(vec![1.0, 4.0, 2.0, 3.0]),
+                Column::Utf8(vec!["c".into(), "a".into(), "b".into(), "a".into()]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn arithmetic_integer_and_float() {
+        let a = Column::Int64(vec![4, 9]);
+        let b = Column::Int64(vec![2, 3]);
+        assert_eq!(arith(ArithOp::Add, &a, &b).unwrap(), Column::Int64(vec![6, 12]));
+        assert_eq!(arith(ArithOp::Mul, &a, &b).unwrap(), Column::Int64(vec![8, 27]));
+        assert_eq!(arith(ArithOp::Div, &a, &b).unwrap(), Column::Float64(vec![2.0, 3.0]));
+        let f = Column::Float64(vec![0.5, 0.5]);
+        assert_eq!(arith(ArithOp::Sub, &a, &f).unwrap(), Column::Float64(vec![3.5, 8.5]));
+        assert!(arith(ArithOp::Add, &a, &Column::Int64(vec![1])).is_err());
+    }
+
+    #[test]
+    fn comparisons_and_boolean_logic() {
+        let a = Column::Int64(vec![1, 2, 3]);
+        let b = Column::Float64(vec![2.0, 2.0, 2.0]);
+        assert_eq!(
+            compare(CmpOp::Lt, &a, &b).unwrap(),
+            Column::Bool(vec![true, false, false])
+        );
+        assert_eq!(
+            compare(CmpOp::GtEq, &a, &b).unwrap(),
+            Column::Bool(vec![false, true, true])
+        );
+        let s1 = Column::Utf8(vec!["x".into(), "y".into()]);
+        let s2 = Column::Utf8(vec!["x".into(), "z".into()]);
+        assert_eq!(compare(CmpOp::Eq, &s1, &s2).unwrap(), Column::Bool(vec![true, false]));
+
+        let t = Column::Bool(vec![true, false]);
+        let f = Column::Bool(vec![true, true]);
+        assert_eq!(and(&t, &f).unwrap(), Column::Bool(vec![true, false]));
+        assert_eq!(or(&t, &f).unwrap(), Column::Bool(vec![true, true]));
+        assert_eq!(not(&t).unwrap(), Column::Bool(vec![false, true]));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(like_match("PROMO BRUSHED STEEL", "PROMO%"));
+        assert!(like_match("small shiny gold", "%shiny%"));
+        assert!(!like_match("ECONOMY ANODIZED", "PROMO%"));
+        assert!(like_match("abc", "a_c"));
+        assert!(!like_match("abc", "a_d"));
+        assert!(like_match("", "%"));
+        assert!(like_match("anything at all", "%"));
+        let col = Column::Utf8(vec!["MEDIUM POLISHED".into(), "SMALL PLATED".into()]);
+        assert_eq!(like(&col, "MEDIUM%").unwrap(), Column::Bool(vec![true, false]));
+    }
+
+    #[test]
+    fn in_list_membership() {
+        let col = Column::Utf8(vec!["MAIL".into(), "SHIP".into(), "AIR".into()]);
+        let list = vec![ScalarValue::from("MAIL"), ScalarValue::from("SHIP")];
+        assert_eq!(in_list(&col, &list).unwrap(), Column::Bool(vec![true, true, false]));
+        let nums = Column::Int64(vec![1, 5, 9]);
+        let list = vec![ScalarValue::Int64(5)];
+        assert_eq!(in_list(&nums, &list).unwrap(), Column::Bool(vec![false, true, false]));
+    }
+
+    #[test]
+    fn hash_partition_is_complete_and_disjoint() {
+        let b = batch();
+        let parts = hash_partition(&b, &[0], 3).unwrap();
+        assert_eq!(parts.len(), 3);
+        let total: usize = parts.iter().map(Batch::num_rows).sum();
+        assert_eq!(total, b.num_rows());
+        // Equal keys land in the same partition.
+        let key_part: Vec<Option<usize>> = (0..4)
+            .map(|row| {
+                let key = b.value(row, 0);
+                parts.iter().position(|p| {
+                    (0..p.num_rows()).any(|r| p.value(r, 0) == key && p.value(r, 2) == b.value(row, 2))
+                })
+            })
+            .collect();
+        assert_eq!(key_part[1], key_part[3], "rows with key=1 must co-locate");
+    }
+
+    #[test]
+    fn single_partition_shortcut() {
+        let b = batch();
+        let parts = hash_partition(&b, &[0], 1).unwrap();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], b);
+    }
+
+    #[test]
+    fn sorting_multi_key() {
+        let b = batch();
+        let sorted = sort_batch(&b, &[SortKey::asc(0), SortKey::desc(1)]).unwrap();
+        assert_eq!(sorted.column(0), &Column::Int64(vec![1, 1, 2, 3]));
+        assert_eq!(sorted.column(1), &Column::Float64(vec![4.0, 3.0, 2.0, 1.0]));
+        let idx = sort_indices(&b, &[SortKey::desc(2)]);
+        assert_eq!(idx[0], 0); // "c" first
+    }
+
+    #[test]
+    fn cast_kernels() {
+        assert_eq!(
+            cast(&Column::Int64(vec![1, 2]), DataType::Float64).unwrap(),
+            Column::Float64(vec![1.0, 2.0])
+        );
+        assert_eq!(
+            cast(&Column::Float64(vec![1.9]), DataType::Int64).unwrap(),
+            Column::Int64(vec![1])
+        );
+        assert_eq!(
+            cast(&Column::Date(vec![3]), DataType::Int64).unwrap(),
+            Column::Int64(vec![3])
+        );
+        assert!(cast(&Column::Utf8(vec![]), DataType::Int64).is_err());
+        // identity cast
+        assert_eq!(cast(&Column::Bool(vec![true]), DataType::Bool).unwrap(), Column::Bool(vec![true]));
+    }
+
+    #[test]
+    fn broadcast_scalar() {
+        assert_eq!(broadcast(&ScalarValue::Int64(7), 3), Column::Int64(vec![7, 7, 7]));
+        assert_eq!(broadcast(&ScalarValue::from("x"), 2).len(), 2);
+    }
+}

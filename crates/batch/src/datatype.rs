@@ -1,0 +1,342 @@
+//! Value types supported by the engine.
+
+use quokka_common::{QuokkaError, Result};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The physical type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE-754 float (used for TPC-H decimal columns).
+    Float64,
+    /// UTF-8 string.
+    Utf8,
+    /// Boolean.
+    Bool,
+    /// Date stored as days since 1970-01-01.
+    Date,
+}
+
+impl DataType {
+    /// Whether arithmetic (`+ - * /`) is defined for this type.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int64 | DataType::Float64)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int64 => "Int64",
+            DataType::Float64 => "Float64",
+            DataType::Utf8 => "Utf8",
+            DataType::Bool => "Bool",
+            DataType::Date => "Date",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single value of any supported type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ScalarValue {
+    Int64(i64),
+    Float64(f64),
+    Utf8(String),
+    Bool(bool),
+    Date(i32),
+}
+
+impl ScalarValue {
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ScalarValue::Int64(_) => DataType::Int64,
+            ScalarValue::Float64(_) => DataType::Float64,
+            ScalarValue::Utf8(_) => DataType::Utf8,
+            ScalarValue::Bool(_) => DataType::Bool,
+            ScalarValue::Date(_) => DataType::Date,
+        }
+    }
+
+    /// Interpret the value as f64, coercing integers and dates.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            ScalarValue::Int64(v) => Ok(*v as f64),
+            ScalarValue::Float64(v) => Ok(*v),
+            ScalarValue::Date(v) => Ok(*v as f64),
+            other => Err(QuokkaError::TypeError(format!("cannot read {other:?} as f64"))),
+        }
+    }
+
+    /// Interpret the value as i64, coercing dates.
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            ScalarValue::Int64(v) => Ok(*v),
+            ScalarValue::Date(v) => Ok(*v as i64),
+            other => Err(QuokkaError::TypeError(format!("cannot read {other:?} as i64"))),
+        }
+    }
+
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            ScalarValue::Bool(b) => Ok(*b),
+            other => Err(QuokkaError::TypeError(format!("cannot read {other:?} as bool"))),
+        }
+    }
+
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            ScalarValue::Utf8(s) => Ok(s),
+            other => Err(QuokkaError::TypeError(format!("cannot read {other:?} as str"))),
+        }
+    }
+
+    /// A total ordering across values of the *same* data type (floats use
+    /// `total_cmp`). Values of different types order by type tag; this only
+    /// happens in malformed plans and keeps sorting panic-free.
+    pub fn total_cmp(&self, other: &ScalarValue) -> Ordering {
+        use ScalarValue::*;
+        match (self, other) {
+            (Int64(a), Int64(b)) => a.cmp(b),
+            (Float64(a), Float64(b)) => a.total_cmp(b),
+            (Utf8(a), Utf8(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            // Numeric cross-type comparisons coerce to f64.
+            (Int64(a), Float64(b)) => (*a as f64).total_cmp(b),
+            (Float64(a), Int64(b)) => a.total_cmp(&(*b as f64)),
+            (a, b) => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+}
+
+fn type_rank(v: &ScalarValue) -> u8 {
+    match v {
+        ScalarValue::Bool(_) => 0,
+        ScalarValue::Int64(_) => 1,
+        ScalarValue::Float64(_) => 2,
+        ScalarValue::Date(_) => 3,
+        ScalarValue::Utf8(_) => 4,
+    }
+}
+
+impl fmt::Display for ScalarValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarValue::Int64(v) => write!(f, "{v}"),
+            ScalarValue::Float64(v) => write!(f, "{v:.4}"),
+            ScalarValue::Utf8(v) => write!(f, "{v}"),
+            ScalarValue::Bool(v) => write!(f, "{v}"),
+            ScalarValue::Date(v) => write!(f, "{}", format_date(*v)),
+        }
+    }
+}
+
+impl From<i64> for ScalarValue {
+    fn from(v: i64) -> Self {
+        ScalarValue::Int64(v)
+    }
+}
+impl From<f64> for ScalarValue {
+    fn from(v: f64) -> Self {
+        ScalarValue::Float64(v)
+    }
+}
+impl From<&str> for ScalarValue {
+    fn from(v: &str) -> Self {
+        ScalarValue::Utf8(v.to_string())
+    }
+}
+impl From<String> for ScalarValue {
+    fn from(v: String) -> Self {
+        ScalarValue::Utf8(v)
+    }
+}
+impl From<bool> for ScalarValue {
+    fn from(v: bool) -> Self {
+        ScalarValue::Bool(v)
+    }
+}
+
+/// Number of days in each month of a non-leap year.
+const DAYS_IN_MONTH: [i64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(year: i64) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Parse `YYYY-MM-DD` into days since the Unix epoch (1970-01-01).
+///
+/// Panics on malformed input: dates in this codebase are compile-time
+/// constants inside query definitions and the TPC-H generator.
+pub fn parse_date(s: &str) -> i32 {
+    let bytes: Vec<&str> = s.split('-').collect();
+    assert_eq!(bytes.len(), 3, "malformed date literal: {s}");
+    let year: i64 = bytes[0].parse().expect("year");
+    let month: i64 = bytes[1].parse().expect("month");
+    let day: i64 = bytes[2].parse().expect("day");
+    date_to_days(year, month, day)
+}
+
+/// Convert a (year, month, day) triple to days since the Unix epoch.
+pub fn date_to_days(year: i64, month: i64, day: i64) -> i32 {
+    assert!((1..=12).contains(&month), "month out of range: {month}");
+    let mut days: i64 = 0;
+    if year >= 1970 {
+        for y in 1970..year {
+            days += if is_leap(y) { 366 } else { 365 };
+        }
+    } else {
+        for y in year..1970 {
+            days -= if is_leap(y) { 366 } else { 365 };
+        }
+    }
+    for m in 0..(month - 1) as usize {
+        days += DAYS_IN_MONTH[m];
+        if m == 1 && is_leap(year) {
+            days += 1;
+        }
+    }
+    (days + day - 1) as i32
+}
+
+/// Extract the calendar year from a days-since-epoch date.
+pub fn date_year(days: i32) -> i64 {
+    let (year, _, _) = days_to_date(days);
+    year
+}
+
+/// Convert days since the Unix epoch back to (year, month, day).
+pub fn days_to_date(days: i32) -> (i64, i64, i64) {
+    let mut remaining = days as i64;
+    let mut year = 1970i64;
+    loop {
+        let len = if is_leap(year) { 366 } else { 365 };
+        if remaining >= len {
+            remaining -= len;
+            year += 1;
+        } else if remaining < 0 {
+            year -= 1;
+            remaining += if is_leap(year) { 366 } else { 365 };
+        } else {
+            break;
+        }
+    }
+    let mut month = 1i64;
+    for (m, &len) in DAYS_IN_MONTH.iter().enumerate() {
+        let len = if m == 1 && is_leap(year) { len + 1 } else { len };
+        if remaining >= len {
+            remaining -= len;
+            month += 1;
+        } else {
+            break;
+        }
+    }
+    (year, month, remaining + 1)
+}
+
+/// Format a days-since-epoch date as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let (y, m, d) = days_to_date(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Add `months` calendar months to a date (used for `date '...' + interval`
+/// expressions in TPC-H query predicates). Clamps the day-of-month to the
+/// target month's length, matching SQL interval semantics closely enough for
+/// the TPC-H date constants (always day 1).
+pub fn add_months(days: i32, months: i64) -> i32 {
+    let (y, m, d) = days_to_date(days);
+    let total = (y * 12 + (m - 1)) + months;
+    let ny = total.div_euclid(12);
+    let nm = total.rem_euclid(12) + 1;
+    let mut max_day = DAYS_IN_MONTH[(nm - 1) as usize];
+    if nm == 2 && is_leap(ny) {
+        max_day += 1;
+    }
+    date_to_days(ny, nm, d.min(max_day))
+}
+
+/// Add whole years to a date.
+pub fn add_years(days: i32, years: i64) -> i32 {
+    add_months(days, years * 12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn date_roundtrip() {
+        for s in [
+            "1970-01-01",
+            "1992-01-01",
+            "1995-03-15",
+            "1996-12-31",
+            "1998-09-02",
+            "2000-02-29",
+            "1969-12-31",
+            "1960-06-15",
+        ] {
+            let days = parse_date(s);
+            assert_eq!(format_date(days), s, "roundtrip failed for {s}");
+        }
+        assert_eq!(parse_date("1970-01-01"), 0);
+        assert_eq!(parse_date("1970-01-02"), 1);
+        assert_eq!(parse_date("1971-01-01"), 365);
+    }
+
+    #[test]
+    fn date_ordering_matches_string_ordering() {
+        let a = parse_date("1994-01-01");
+        let b = parse_date("1995-01-01");
+        let c = parse_date("1995-01-02");
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn year_extraction() {
+        assert_eq!(date_year(parse_date("1995-06-17")), 1995);
+        assert_eq!(date_year(parse_date("1992-01-01")), 1992);
+        assert_eq!(date_year(parse_date("1969-12-31")), 1969);
+    }
+
+    #[test]
+    fn interval_arithmetic() {
+        assert_eq!(add_months(parse_date("1995-01-01"), 3), parse_date("1995-04-01"));
+        assert_eq!(add_months(parse_date("1995-11-01"), 3), parse_date("1996-02-01"));
+        assert_eq!(add_years(parse_date("1994-01-01"), 1), parse_date("1995-01-01"));
+        assert_eq!(add_months(parse_date("1996-01-31"), 1), parse_date("1996-02-29"));
+    }
+
+    #[test]
+    fn scalar_total_ordering() {
+        use ScalarValue::*;
+        assert_eq!(Int64(1).total_cmp(&Int64(2)), Ordering::Less);
+        assert_eq!(Float64(2.5).total_cmp(&Int64(2)), Ordering::Greater);
+        assert_eq!(Utf8("a".into()).total_cmp(&Utf8("b".into())), Ordering::Less);
+        assert_eq!(Date(10).total_cmp(&Date(10)), Ordering::Equal);
+        assert_eq!(Float64(f64::NAN).total_cmp(&Float64(f64::NAN)), Ordering::Equal);
+    }
+
+    #[test]
+    fn scalar_conversions() {
+        assert_eq!(ScalarValue::Int64(3).as_f64().unwrap(), 3.0);
+        assert_eq!(ScalarValue::Float64(1.5).as_f64().unwrap(), 1.5);
+        assert_eq!(ScalarValue::Date(5).as_i64().unwrap(), 5);
+        assert!(ScalarValue::Utf8("x".into()).as_f64().is_err());
+        assert_eq!(ScalarValue::from("hi").as_str().unwrap(), "hi");
+        assert!(ScalarValue::Bool(true).as_bool().unwrap());
+    }
+
+    #[test]
+    fn data_type_properties() {
+        assert!(DataType::Int64.is_numeric());
+        assert!(DataType::Float64.is_numeric());
+        assert!(!DataType::Utf8.is_numeric());
+        assert_eq!(DataType::Date.to_string(), "Date");
+    }
+}

@@ -1,0 +1,34 @@
+//! Columnar data substrate for the Quokka engine.
+//!
+//! The paper's Quokka implementation delegates single-node kernels to DuckDB
+//! and Polars over Apache Arrow batches. Those dependencies are not
+//! available here, so this crate provides the minimal columnar toolkit the
+//! engine needs, built from scratch:
+//!
+//! * [`DataType`] / [`ScalarValue`] — the supported value types (64-bit
+//!   integers, 64-bit floats, UTF-8 strings, booleans, and dates stored as
+//!   days since the Unix epoch). TPC-H does not require nullable columns, so
+//!   nulls are intentionally not modelled; this is documented in DESIGN.md.
+//! * [`Column`] — a single column of values.
+//! * [`Schema`] / [`Field`] — named, typed column metadata.
+//! * [`Batch`] — an immutable bundle of equal-length columns, the unit of
+//!   data exchanged between tasks (the paper's "data partition" contains one
+//!   or more batches).
+//! * [`compute`] — element-wise and relational kernels (filter, take,
+//!   concat, arithmetic, comparisons, LIKE, hashing, hash partitioning,
+//!   sorting).
+//! * [`codec`] — a compact binary encoding used for upstream backup,
+//!   spooling and checkpoints, so the storage cost model can charge for real
+//!   byte counts.
+
+pub mod batch;
+pub mod codec;
+pub mod column;
+pub mod compute;
+pub mod datatype;
+pub mod schema;
+
+pub use batch::Batch;
+pub use column::Column;
+pub use datatype::{DataType, ScalarValue};
+pub use schema::{Field, Schema};

@@ -1,0 +1,144 @@
+//! Schemas: ordered, named, typed column metadata.
+
+use crate::datatype::DataType;
+use quokka_common::{QuokkaError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// One named, typed column in a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Field {
+    pub name: String,
+    pub data_type: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field { name: name.into(), data_type }
+    }
+}
+
+/// An ordered collection of [`Field`]s.
+///
+/// Schemas are cheap to clone (`Arc`-backed) because every batch carries a
+/// reference to its schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Arc<Vec<Field>>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields: Arc::new(fields) }
+    }
+
+    /// Build a schema from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema::new(pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect())
+    }
+
+    pub fn empty() -> Self {
+        Schema::new(Vec::new())
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, index: usize) -> &Field {
+        &self.fields[index]
+    }
+
+    /// Index of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| QuokkaError::PlanError(format!("unknown column '{name}' in schema {self}")))
+    }
+
+    /// Data type of the column named `name`.
+    pub fn data_type(&self, name: &str) -> Result<DataType> {
+        Ok(self.fields[self.index_of(name)?].data_type)
+    }
+
+    pub fn column_names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// A new schema with the given fields appended (used by joins).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.as_ref().clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema::new(fields)
+    }
+
+    /// A new schema containing only the columns at `indices`, in order.
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema::new(indices.iter().map(|&i| self.fields[i].clone()).collect())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols: Vec<String> =
+            self.fields.iter().map(|fd| format!("{}:{}", fd.name, fd.data_type)).collect();
+        write!(f, "{}", cols.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::from_pairs(&[
+            ("l_orderkey", DataType::Int64),
+            ("l_quantity", DataType::Float64),
+            ("l_shipdate", DataType::Date),
+            ("l_comment", DataType::Utf8),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = sample();
+        assert_eq!(s.index_of("l_quantity").unwrap(), 1);
+        assert_eq!(s.data_type("l_shipdate").unwrap(), DataType::Date);
+        assert!(s.index_of("missing").is_err());
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn join_concatenates_fields() {
+        let a = Schema::from_pairs(&[("a", DataType::Int64)]);
+        let b = Schema::from_pairs(&[("b", DataType::Utf8)]);
+        let j = a.join(&b);
+        assert_eq!(j.column_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn project_selects_and_reorders() {
+        let s = sample();
+        let p = s.project(&[3, 0]);
+        assert_eq!(p.column_names(), vec!["l_comment", "l_orderkey"]);
+        assert_eq!(p.field(1).data_type, DataType::Int64);
+    }
+
+    #[test]
+    fn display_formats_fields() {
+        let s = Schema::from_pairs(&[("x", DataType::Bool)]);
+        assert_eq!(s.to_string(), "x:Bool");
+        assert_eq!(Schema::empty().to_string(), "");
+    }
+}

@@ -1,0 +1,55 @@
+//! §V-C ablation: the overhead of periodic state checkpointing, swept over
+//! the checkpoint interval, compared against spooling and write-ahead
+//! lineage. The paper reports that even incremental checkpointing performs
+//! much worse than spooling for operators whose state grows (join hash
+//! tables); this harness shows the same ordering.
+
+use quokka::FaultStrategy;
+use quokka_bench::{print_header, print_row, queries_from_env, workers_from_env, Harness};
+
+fn main() -> quokka::Result<()> {
+    let harness = Harness::from_env()?;
+    let workers = workers_from_env(&[4])[0];
+    let queries = queries_from_env(&[3, 5, 9]);
+
+    print_header(
+        &format!("Checkpointing ablation on {workers} workers (overhead vs no fault tolerance)"),
+        &["wal", "spool", "ckpt-16", "ckpt-4", "ckpt bytes MB"],
+    );
+    for &q in &queries {
+        let base =
+            harness.run("none", q, &harness.quokka_config(workers).with_fault(FaultStrategy::None))?;
+        let wal = harness.run("wal", q, &harness.quokka_config(workers))?;
+        let spool = harness.run(
+            "spool",
+            q,
+            &harness.quokka_config(workers).with_fault(FaultStrategy::Spooling),
+        )?;
+        let ckpt16 = harness.run(
+            "ckpt16",
+            q,
+            &harness
+                .quokka_config(workers)
+                .with_fault(FaultStrategy::Checkpointing { interval_tasks: 16 }),
+        )?;
+        let ckpt4 = harness.run(
+            "ckpt4",
+            q,
+            &harness
+                .quokka_config(workers)
+                .with_fault(FaultStrategy::Checkpointing { interval_tasks: 4 }),
+        )?;
+        print_row(
+            q,
+            &[
+                wal.seconds / base.seconds.max(1e-9),
+                spool.seconds / base.seconds.max(1e-9),
+                ckpt16.seconds / base.seconds.max(1e-9),
+                ckpt4.seconds / base.seconds.max(1e-9),
+                ckpt4.metrics.checkpoint_bytes as f64 / 1e6,
+            ],
+        );
+    }
+    println!("paper shape: checkpointing > spooling >> write-ahead lineage in overhead");
+    Ok(())
+}

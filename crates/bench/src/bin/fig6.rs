@@ -1,0 +1,39 @@
+//! Fig. 6: Quokka speedup vs SparkSQL-like and Trino-like baselines on the
+//! TPC-H queries, on 4- and 16-worker clusters.
+
+use quokka_bench::{geomean, print_geomean, print_header, print_row, queries_from_env, workers_from_env, Harness};
+
+fn main() -> quokka::Result<()> {
+    let harness = Harness::from_env()?;
+    let queries = queries_from_env(&quokka::tpch::ALL_QUERIES);
+    let workers = workers_from_env(&[4, 16]);
+
+    for &w in &workers {
+        print_header(
+            &format!("Fig. 6 — Quokka speedup on {w} workers"),
+            &["quokka (s)", "spark-like (s)", "trino-like (s)", "vs spark", "vs trino"],
+        );
+        let mut vs_spark = Vec::new();
+        let mut vs_trino = Vec::new();
+        for &q in &queries {
+            let quokka = harness.run("quokka", q, &harness.quokka_config(w))?;
+            let spark = harness.run("spark", q, &harness.spark_config(w))?;
+            let trino = harness.run("trino", q, &harness.trino_config(w))?;
+            let s_spark = spark.seconds / quokka.seconds.max(1e-9);
+            let s_trino = trino.seconds / quokka.seconds.max(1e-9);
+            vs_spark.push(s_spark);
+            vs_trino.push(s_trino);
+            print_row(q, &[quokka.seconds, spark.seconds, trino.seconds, s_spark, s_trino]);
+        }
+        print_geomean(
+            "geomean",
+            &[vec![], vec![], vec![], vs_spark.clone(), vs_trino.clone()],
+        );
+        println!(
+            "paper shape: Quokka ~2x faster than SparkSQL, 1.25-1.7x faster than Trino; measured geomean {:.2}x / {:.2}x",
+            geomean(&vs_spark),
+            geomean(&vs_trino)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! Fig. 7: pipelined vs stagewise (blocking) execution on the eight
+//! representative queries, 4- and 16-worker clusters.
+
+use quokka::ExecutionMode;
+use quokka_bench::{geomean, print_header, print_row, queries_from_env, workers_from_env, Harness};
+
+fn main() -> quokka::Result<()> {
+    let harness = Harness::from_env()?;
+    let queries = queries_from_env(&quokka::tpch::REPRESENTATIVE);
+    let workers = workers_from_env(&[4, 16]);
+
+    for &w in &workers {
+        print_header(
+            &format!("Fig. 7 — pipelined vs stagewise execution on {w} workers"),
+            &["pipelined (s)", "stagewise (s)", "speedup"],
+        );
+        let mut speedups = Vec::new();
+        for &q in &queries {
+            let pipelined = harness.run("pipelined", q, &harness.quokka_config(w))?;
+            let stagewise = harness.run(
+                "stagewise",
+                q,
+                &harness.quokka_config(w).with_mode(ExecutionMode::Stagewise),
+            )?;
+            let speedup = stagewise.seconds / pipelined.seconds.max(1e-9);
+            speedups.push(speedup);
+            print_row(q, &[pipelined.seconds, stagewise.seconds, speedup]);
+        }
+        println!(
+            "paper shape: pipelining wins ~22-26% geomean on join queries; measured geomean speedup {:.2}x",
+            geomean(&speedups)
+        );
+    }
+    Ok(())
+}

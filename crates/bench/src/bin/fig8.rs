@@ -1,0 +1,38 @@
+//! Fig. 8: dynamic task dependencies vs two static-lineage strategies
+//! (batch sizes 8 and 128) on the representative queries.
+
+use quokka::SchedulePolicy;
+use quokka_bench::{print_header, print_row, queries_from_env, workers_from_env, Harness};
+
+fn main() -> quokka::Result<()> {
+    let harness = Harness::from_env()?;
+    let queries = queries_from_env(&quokka::tpch::REPRESENTATIVE);
+    let workers = workers_from_env(&[4, 16]);
+
+    for &w in &workers {
+        print_header(
+            &format!("Fig. 8 — dynamic vs static task dependencies on {w} workers"),
+            &["dynamic (s)", "static-8 (s)", "static-128 (s)"],
+        );
+        for &q in &queries {
+            let dynamic = harness.run("dynamic", q, &harness.quokka_config(w))?;
+            let static8 = harness.run(
+                "static-8",
+                q,
+                &harness.quokka_config(w).with_schedule(SchedulePolicy::StaticBatch { batch: 8 }),
+            )?;
+            let static128 = harness.run(
+                "static-128",
+                q,
+                &harness
+                    .quokka_config(w)
+                    .with_schedule(SchedulePolicy::StaticBatch { batch: 128 }),
+            )?;
+            print_row(q, &[dynamic.seconds, static8.seconds, static128.seconds]);
+        }
+        println!(
+            "paper shape: neither static batch size wins on both cluster sizes; dynamic matches the better one"
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Fig. 9: normal-execution fault-tolerance overhead — Trino-like spooling,
+//! Quokka spooling, and write-ahead lineage — relative to running with no
+//! fault tolerance at all.
+
+use quokka::FaultStrategy;
+use quokka_bench::{geomean, print_header, print_row, queries_from_env, workers_from_env, Harness};
+
+fn main() -> quokka::Result<()> {
+    let harness = Harness::from_env()?;
+    let queries = queries_from_env(&quokka::tpch::REPRESENTATIVE);
+    let workers = workers_from_env(&[4, 16]);
+
+    for &w in &workers {
+        print_header(
+            &format!("Fig. 9 — fault-tolerance overhead on {w} workers (1.0 = no overhead)"),
+            &["trino spool", "quokka spool", "write-ahead lineage", "spool MB", "lineage KB"],
+        );
+        let mut spool_overheads = Vec::new();
+        let mut wal_overheads = Vec::new();
+        for &q in &queries {
+            // Baselines with fault tolerance disabled.
+            let trino_base = harness
+                .run("trino-noft", q, &harness.trino_config(w).with_fault(FaultStrategy::None))?;
+            let quokka_base = harness
+                .run("quokka-noft", q, &harness.quokka_config(w).with_fault(FaultStrategy::None))?;
+            // With their respective fault-tolerance mechanisms on.
+            let trino_ft = harness.run("trino-ft", q, &harness.trino_config(w))?;
+            let quokka_spool = harness.run(
+                "quokka-spool",
+                q,
+                &harness.quokka_config(w).with_fault(FaultStrategy::Spooling),
+            )?;
+            let quokka_wal = harness.run("quokka-wal", q, &harness.quokka_config(w))?;
+
+            let trino_overhead = trino_ft.seconds / trino_base.seconds.max(1e-9);
+            let spool_overhead = quokka_spool.seconds / quokka_base.seconds.max(1e-9);
+            let wal_overhead = quokka_wal.seconds / quokka_base.seconds.max(1e-9);
+            spool_overheads.push(spool_overhead);
+            wal_overheads.push(wal_overhead);
+            print_row(
+                q,
+                &[
+                    trino_overhead,
+                    spool_overhead,
+                    wal_overhead,
+                    quokka_spool.metrics.durable_bytes as f64 / 1e6,
+                    quokka_wal.metrics.lineage_bytes as f64 / 1e3,
+                ],
+            );
+        }
+        println!(
+            "paper shape: spooling costs 1.5-2.7x, write-ahead lineage 1.06-1.15x; measured geomeans {:.2}x vs {:.2}x",
+            geomean(&spool_overheads),
+            geomean(&wal_overheads)
+        );
+    }
+    Ok(())
+}

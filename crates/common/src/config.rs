@@ -1,0 +1,390 @@
+//! Configuration for the cluster simulation, the execution engine and the
+//! fault-tolerance strategies.
+//!
+//! Every experiment in the paper is a point in this configuration space:
+//!
+//! * Fig. 6 / 11a compare `ExecutionMode::Pipelined + FaultStrategy::WriteAheadLineage`
+//!   ("Quokka") against `ExecutionMode::Stagewise` ("SparkSQL-like") and
+//!   `ExecutionMode::Pipelined + FaultStrategy::Spooling` ("Trino-like").
+//! * Fig. 7 toggles [`ExecutionMode`].
+//! * Fig. 8 toggles [`SchedulePolicy`].
+//! * Fig. 9 toggles [`FaultStrategy`].
+//! * Fig. 10 / 11b add a [`FailureSpec`].
+
+use crate::ids::WorkerId;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// How stages are driven relative to one another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutionMode {
+    /// All stages execute concurrently; a task's outputs can be consumed by
+    /// downstream tasks as soon as their lineage is committed. This is the
+    /// execution model the paper targets (§II-A).
+    Pipelined,
+    /// One stage runs to completion before the next starts, mimicking
+    /// SparkSQL's bulk-synchronous model. Used as the "SparkSQL" comparator
+    /// and in the Fig. 7 ablation.
+    Stagewise,
+}
+
+/// How a task decides how many upstream outputs to consume (§II-A, Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulePolicy {
+    /// Dynamic task dependencies: each task greedily consumes every upstream
+    /// output that is currently available (up to `max_inputs_per_task`),
+    /// which is the simple strategy the paper evaluates.
+    Dynamic {
+        /// Upper bound on inputs bundled into a single task. The paper's
+        /// strategy is effectively unbounded; the bound exists so a single
+        /// task cannot starve the pipeline.
+        max_inputs_per_task: u32,
+    },
+    /// Static lineage: every task consumes exactly `batch` upstream outputs
+    /// (the last task of a channel may take fewer). Fig. 8 evaluates batch
+    /// sizes 8 and 128.
+    StaticBatch { batch: u32 },
+}
+
+impl SchedulePolicy {
+    /// The paper's default dynamic strategy.
+    pub const fn dynamic() -> Self {
+        SchedulePolicy::Dynamic { max_inputs_per_task: 64 }
+    }
+}
+
+/// Intra-query fault-tolerance strategy (Table I / §II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultStrategy {
+    /// No intra-query fault tolerance: a worker failure aborts the query and
+    /// it is restarted from scratch on the surviving workers (the paper's
+    /// "restart baseline", ~1.5x overhead for a failure at 50%).
+    None,
+    /// The paper's contribution: lineage is committed to the GCS before an
+    /// output may be consumed; outputs are backed up (unreliably) on the
+    /// producer's local disk; recovery is pipeline-parallel lineage replay.
+    WriteAheadLineage,
+    /// Trino-style spooling: every shuffle partition is durably written to
+    /// the object store before downstream consumption. State variables are
+    /// *not* persisted, so a failed stateful channel restarts from scratch
+    /// (paper Fig. 2).
+    Spooling,
+    /// Periodic durable checkpoints of operator state in addition to
+    /// spooling, as in Flink/Kafka-Streams. Included for the §V-C remarks.
+    Checkpointing {
+        /// Checkpoint every `interval_tasks` tasks per channel.
+        interval_tasks: u32,
+    },
+}
+
+impl FaultStrategy {
+    /// Whether this strategy persists lineage (Table I row "Lineage").
+    pub fn tracks_lineage(&self) -> bool {
+        !matches!(self, FaultStrategy::None)
+    }
+
+    /// Whether shuffle partitions are durably spooled (Table I row "Spooling").
+    pub fn spools(&self) -> bool {
+        matches!(self, FaultStrategy::Spooling | FaultStrategy::Checkpointing { .. })
+    }
+
+    /// Whether operator state is checkpointed (Table I row "State Checkpoint").
+    pub fn checkpoints_state(&self) -> bool {
+        matches!(self, FaultStrategy::Checkpointing { .. })
+    }
+
+    /// Whether task outputs are backed up on the producer's local disk.
+    pub fn upstream_backup(&self) -> bool {
+        matches!(self, FaultStrategy::WriteAheadLineage)
+    }
+
+    /// Whether intra-query recovery is supported at all.
+    pub fn supports_intra_query_recovery(&self) -> bool {
+        !matches!(self, FaultStrategy::None)
+    }
+}
+
+/// Bandwidth/latency model for the simulated data paths.
+///
+/// All costs are charged as real (scaled) sleeps by `quokka-storage` and
+/// `quokka-net`, so differences in *bytes moved* between fault-tolerance
+/// strategies translate into differences in wall-clock runtime with the same
+/// shape the paper observes on a real cluster. Setting `time_scale` to zero
+/// disables all simulated delays (useful in unit tests).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModelConfig {
+    /// Network bandwidth per worker for shuffle pushes, bytes/second.
+    pub network_bandwidth: f64,
+    /// Fixed latency per network push.
+    pub network_latency: Duration,
+    /// Local instance-attached disk bandwidth (upstream backup), bytes/second.
+    pub local_disk_bandwidth: f64,
+    /// Fixed latency per local disk write.
+    pub local_disk_latency: Duration,
+    /// Durable object store (S3/HDFS stand-in) bandwidth, bytes/second.
+    pub durable_bandwidth: f64,
+    /// Fixed latency per durable PUT/GET request.
+    pub durable_latency: Duration,
+    /// Latency of one GCS operation (the head-node Redis round trip).
+    pub gcs_latency: Duration,
+    /// Multiplier applied to every simulated delay. `0.0` disables delays,
+    /// `1.0` charges them at face value.
+    pub time_scale: f64,
+}
+
+impl CostModelConfig {
+    /// Cost model loosely calibrated to the paper's r6id instances:
+    /// ~1.2 GB/s NVMe, ~10 Gb/s network, ~100 MB/s effective per-worker
+    /// durable-store throughput with multi-millisecond request latency, and
+    /// sub-millisecond GCS round trips.
+    pub fn realistic() -> Self {
+        CostModelConfig {
+            network_bandwidth: 1.25e9,
+            network_latency: Duration::from_micros(300),
+            local_disk_bandwidth: 1.2e9,
+            local_disk_latency: Duration::from_micros(80),
+            durable_bandwidth: 100.0e6,
+            durable_latency: Duration::from_millis(4),
+            gcs_latency: Duration::from_micros(150),
+            time_scale: 1.0,
+        }
+    }
+
+    /// No simulated delays at all; used by unit tests and by callers that
+    /// only care about correctness.
+    pub fn zero() -> Self {
+        CostModelConfig { time_scale: 0.0, ..Self::realistic() }
+    }
+
+    /// The realistic model with every delay scaled by `scale`. Benchmarks use
+    /// small scales so a full TPC-H run completes quickly while preserving
+    /// the *relative* cost of each data path.
+    pub fn scaled(scale: f64) -> Self {
+        CostModelConfig { time_scale: scale, ..Self::realistic() }
+    }
+}
+
+impl Default for CostModelConfig {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+/// Shape of the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of worker machines. The paper evaluates 4, 16 and 32.
+    pub workers: u32,
+    /// Number of channels per data-parallel stage. The paper assigns one
+    /// channel of every stage to each TaskManager, so this defaults to the
+    /// worker count.
+    pub channels_per_stage: u32,
+    /// How often a TaskManager polls the GCS for work when idle.
+    pub poll_interval: Duration,
+    /// How often the coordinator checks worker heartbeats.
+    pub heartbeat_interval: Duration,
+}
+
+impl ClusterConfig {
+    /// A cluster with `workers` workers and one channel per worker per stage.
+    pub fn with_workers(workers: u32) -> Self {
+        ClusterConfig {
+            workers,
+            channels_per_stage: workers,
+            poll_interval: Duration::from_micros(200),
+            heartbeat_interval: Duration::from_millis(2),
+        }
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self::with_workers(4)
+    }
+}
+
+/// A failure to inject during a run (paper §V-D: "a worker machine is killed
+/// halfway through the query").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FailureSpec {
+    /// Which worker dies.
+    pub worker: WorkerId,
+    /// Kill the worker once this fraction of the query's source splits have
+    /// been consumed (0.0 .. 1.0). Progress by input consumption is used
+    /// instead of wall-clock time so experiments are reproducible.
+    pub at_progress: f64,
+}
+
+impl FailureSpec {
+    pub fn new(worker: WorkerId, at_progress: f64) -> Self {
+        FailureSpec { worker, at_progress }
+    }
+
+    /// The paper's standard experiment: kill a worker at 50% progress.
+    pub fn halfway(worker: WorkerId) -> Self {
+        Self::new(worker, 0.5)
+    }
+}
+
+/// Top-level engine configuration: one value of this type fully describes a
+/// run of one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    pub cluster: ClusterConfig,
+    pub mode: ExecutionMode,
+    pub schedule: SchedulePolicy,
+    pub fault: FaultStrategy,
+    pub cost: CostModelConfig,
+    /// Failures to inject (empty for normal-execution experiments).
+    pub failures: Vec<FailureSpec>,
+    /// Target number of rows per batch produced by input readers.
+    pub batch_rows: usize,
+    /// Seed for any randomised decision (worker placement during recovery).
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// Quokka's defaults: pipelined execution, dynamic task dependencies,
+    /// write-ahead lineage, no simulated delays, no injected failures.
+    pub fn quokka(workers: u32) -> Self {
+        EngineConfig {
+            cluster: ClusterConfig::with_workers(workers),
+            mode: ExecutionMode::Pipelined,
+            schedule: SchedulePolicy::dynamic(),
+            fault: FaultStrategy::WriteAheadLineage,
+            cost: CostModelConfig::zero(),
+            failures: Vec::new(),
+            batch_rows: 8192,
+            seed: 0x5eed,
+        }
+    }
+
+    /// The SparkSQL-like comparator: stagewise execution with upstream
+    /// backup and data-parallel recovery.
+    pub fn sparklike(workers: u32) -> Self {
+        EngineConfig {
+            mode: ExecutionMode::Stagewise,
+            fault: FaultStrategy::WriteAheadLineage,
+            ..Self::quokka(workers)
+        }
+    }
+
+    /// The Trino-like comparator: pipelined execution with durable spooling
+    /// of shuffle partitions and static task dependencies.
+    pub fn trinolike(workers: u32) -> Self {
+        EngineConfig {
+            mode: ExecutionMode::Pipelined,
+            schedule: SchedulePolicy::StaticBatch { batch: 16 },
+            fault: FaultStrategy::Spooling,
+            ..Self::quokka(workers)
+        }
+    }
+
+    /// Builder-style helpers.
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+    pub fn with_schedule(mut self, schedule: SchedulePolicy) -> Self {
+        self.schedule = schedule;
+        self
+    }
+    pub fn with_fault(mut self, fault: FaultStrategy) -> Self {
+        self.fault = fault;
+        self
+    }
+    pub fn with_cost(mut self, cost: CostModelConfig) -> Self {
+        self.cost = cost;
+        self
+    }
+    pub fn with_failure(mut self, failure: FailureSpec) -> Self {
+        self.failures.push(failure);
+        self
+    }
+    pub fn with_batch_rows(mut self, rows: usize) -> Self {
+        self.batch_rows = rows;
+        self
+    }
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+    pub fn with_channels_per_stage(mut self, channels: u32) -> Self {
+        self.cluster.channels_per_stage = channels;
+        self
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::quokka(4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_strategy_capability_matrix_matches_table1() {
+        // Table I of the paper, restricted to the strategies we implement.
+        let wal = FaultStrategy::WriteAheadLineage;
+        assert!(wal.tracks_lineage());
+        assert!(!wal.spools());
+        assert!(!wal.checkpoints_state());
+        assert!(wal.upstream_backup());
+
+        let spool = FaultStrategy::Spooling;
+        assert!(spool.tracks_lineage());
+        assert!(spool.spools());
+        assert!(!spool.checkpoints_state());
+
+        let ckpt = FaultStrategy::Checkpointing { interval_tasks: 8 };
+        assert!(ckpt.spools());
+        assert!(ckpt.checkpoints_state());
+
+        let none = FaultStrategy::None;
+        assert!(!none.supports_intra_query_recovery());
+    }
+
+    #[test]
+    fn default_configs_are_consistent() {
+        let q = EngineConfig::quokka(16);
+        assert_eq!(q.cluster.workers, 16);
+        assert_eq!(q.cluster.channels_per_stage, 16);
+        assert_eq!(q.mode, ExecutionMode::Pipelined);
+        assert_eq!(q.fault, FaultStrategy::WriteAheadLineage);
+
+        let s = EngineConfig::sparklike(4);
+        assert_eq!(s.mode, ExecutionMode::Stagewise);
+
+        let t = EngineConfig::trinolike(4);
+        assert_eq!(t.fault, FaultStrategy::Spooling);
+    }
+
+    #[test]
+    fn cost_model_zero_disables_delays() {
+        let z = CostModelConfig::zero();
+        assert_eq!(z.time_scale, 0.0);
+        let r = CostModelConfig::realistic();
+        assert!(r.durable_bandwidth < r.local_disk_bandwidth);
+        assert!(r.durable_latency > r.local_disk_latency);
+    }
+
+    #[test]
+    fn builder_helpers_compose() {
+        let cfg = EngineConfig::quokka(4)
+            .with_mode(ExecutionMode::Stagewise)
+            .with_schedule(SchedulePolicy::StaticBatch { batch: 8 })
+            .with_fault(FaultStrategy::None)
+            .with_failure(FailureSpec::halfway(2))
+            .with_batch_rows(1024)
+            .with_seed(7);
+        assert_eq!(cfg.mode, ExecutionMode::Stagewise);
+        assert_eq!(cfg.schedule, SchedulePolicy::StaticBatch { batch: 8 });
+        assert_eq!(cfg.fault, FaultStrategy::None);
+        assert_eq!(cfg.failures.len(), 1);
+        assert_eq!(cfg.batch_rows, 1024);
+        assert_eq!(cfg.seed, 7);
+    }
+}

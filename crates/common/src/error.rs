@@ -1,0 +1,113 @@
+//! The unified error type used across the workspace.
+
+use crate::ids::{ChannelAddr, TaskName, WorkerId};
+use std::fmt;
+
+/// Convenience alias used by every crate in the workspace.
+pub type Result<T, E = QuokkaError> = std::result::Result<T, E>;
+
+/// Errors produced by the engine and its substrates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuokkaError {
+    /// A GCS transaction aborted because a precondition failed
+    /// (e.g. compare-and-swap mismatch on a versioned key).
+    TransactionAborted(String),
+    /// A required object (partition, key, table, ...) was not found.
+    NotFound(String),
+    /// The target of a push or read was a failed worker.
+    WorkerFailed(WorkerId),
+    /// A task attempted to consume an input whose lineage has not been
+    /// committed — this is a bug if it ever surfaces, because Algorithm 1
+    /// must skip such tasks instead.
+    UncommittedInput { task: TaskName, input: TaskName },
+    /// A schema mismatch between an operator and the batch it received.
+    SchemaMismatch { expected: String, actual: String },
+    /// Expression or plan level type error.
+    TypeError(String),
+    /// The plan is malformed (unknown column, invalid join keys, ...).
+    PlanError(String),
+    /// A channel has no live worker to run on after a failure.
+    Unschedulable(ChannelAddr),
+    /// The query was cancelled (e.g. the restart baseline abandoning a run).
+    Cancelled(String),
+    /// Failure of the underlying (simulated) storage service.
+    Storage(String),
+    /// Internal invariant violation.
+    Internal(String),
+}
+
+impl fmt::Display for QuokkaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuokkaError::TransactionAborted(msg) => write!(f, "GCS transaction aborted: {msg}"),
+            QuokkaError::NotFound(what) => write!(f, "not found: {what}"),
+            QuokkaError::WorkerFailed(w) => write!(f, "worker {w} has failed"),
+            QuokkaError::UncommittedInput { task, input } => {
+                write!(f, "task {task} tried to consume input {input} with uncommitted lineage")
+            }
+            QuokkaError::SchemaMismatch { expected, actual } => {
+                write!(f, "schema mismatch: expected [{expected}], got [{actual}]")
+            }
+            QuokkaError::TypeError(msg) => write!(f, "type error: {msg}"),
+            QuokkaError::PlanError(msg) => write!(f, "plan error: {msg}"),
+            QuokkaError::Unschedulable(ch) => {
+                write!(f, "channel {ch} cannot be scheduled on any live worker")
+            }
+            QuokkaError::Cancelled(msg) => write!(f, "cancelled: {msg}"),
+            QuokkaError::Storage(msg) => write!(f, "storage error: {msg}"),
+            QuokkaError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QuokkaError {}
+
+impl QuokkaError {
+    /// Shorthand for an [`QuokkaError::Internal`] with a formatted message.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        QuokkaError::Internal(msg.into())
+    }
+
+    /// Shorthand for a [`QuokkaError::PlanError`] with a formatted message.
+    pub fn plan(msg: impl Into<String>) -> Self {
+        QuokkaError::PlanError(msg.into())
+    }
+
+    /// True if this error is transient from the point of view of a
+    /// TaskManager: the task should simply be retried later rather than the
+    /// query failing (e.g. input lineage not yet visible, downstream worker
+    /// currently failed).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            QuokkaError::TransactionAborted(_)
+                | QuokkaError::WorkerFailed(_)
+                | QuokkaError::NotFound(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TaskName;
+
+    #[test]
+    fn display_is_informative() {
+        let e = QuokkaError::UncommittedInput {
+            task: TaskName::new(1, 0, 2),
+            input: TaskName::new(0, 3, 7),
+        };
+        let s = e.to_string();
+        assert!(s.contains("(1,0,2)"));
+        assert!(s.contains("(0,3,7)"));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(QuokkaError::WorkerFailed(3).is_retryable());
+        assert!(QuokkaError::TransactionAborted("cas".into()).is_retryable());
+        assert!(!QuokkaError::TypeError("x".into()).is_retryable());
+        assert!(!QuokkaError::Internal("x".into()).is_retryable());
+    }
+}

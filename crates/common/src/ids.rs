@@ -1,0 +1,131 @@
+//! Identifiers used throughout the engine.
+//!
+//! The paper's lineage naming scheme (§III-A) names every task — and its
+//! output partition — with the tuple `(stage, channel, sequence number)`.
+//! The sequence number increases monotonically within a channel, and tasks
+//! must consume upstream outputs in sequence order, which is what makes a
+//! task's lineage representable as just "`K` outputs of upstream channel
+//! `i`".
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a stage in the compiled query DAG.
+pub type StageId = u32;
+/// Index of a data-parallel channel within a stage.
+pub type ChannelId = u32;
+/// Monotonically increasing sequence number of a task within a channel.
+pub type SeqNo = u32;
+/// Identifier of a (simulated) worker machine.
+pub type WorkerId = u32;
+
+/// A `(stage, channel)` pair — the unit of state and of scheduling.
+///
+/// A channel owns the state variable of its stage (e.g. one hash partition
+/// of a join hash table) and is pinned to a worker's TaskManager during
+/// normal execution.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChannelAddr {
+    pub stage: StageId,
+    pub channel: ChannelId,
+}
+
+impl ChannelAddr {
+    pub const fn new(stage: StageId, channel: ChannelId) -> Self {
+        Self { stage, channel }
+    }
+
+    /// The task with sequence number `seq` in this channel.
+    pub const fn task(self, seq: SeqNo) -> TaskName {
+        TaskName { stage: self.stage, channel: self.channel, seq }
+    }
+}
+
+impl fmt::Debug for ChannelAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.stage, self.channel)
+    }
+}
+
+impl fmt::Display for ChannelAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.stage, self.channel)
+    }
+}
+
+/// The name of a task, `(stage, channel, sequence number)`.
+///
+/// A task's output partition carries the same name as the task that produced
+/// it, so this type doubles as [`PartitionName`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TaskName {
+    pub stage: StageId,
+    pub channel: ChannelId,
+    pub seq: SeqNo,
+}
+
+/// A task's output partition has the same name as the task (paper §III-A).
+pub type PartitionName = TaskName;
+
+impl TaskName {
+    pub const fn new(stage: StageId, channel: ChannelId, seq: SeqNo) -> Self {
+        Self { stage, channel, seq }
+    }
+
+    /// The `(stage, channel)` this task belongs to.
+    pub const fn channel_addr(self) -> ChannelAddr {
+        ChannelAddr { stage: self.stage, channel: self.channel }
+    }
+
+    /// The next task in the same channel.
+    pub const fn next(self) -> TaskName {
+        TaskName { stage: self.stage, channel: self.channel, seq: self.seq + 1 }
+    }
+
+    /// The first task of the channel this task belongs to (used when a
+    /// failed channel is rewound to its initial state during recovery).
+    pub const fn rewound(self) -> TaskName {
+        TaskName { stage: self.stage, channel: self.channel, seq: 0 }
+    }
+}
+
+impl fmt::Debug for TaskName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.stage, self.channel, self.seq)
+    }
+}
+
+impl fmt::Display for TaskName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{},{})", self.stage, self.channel, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_name_ordering_is_stage_major() {
+        let a = TaskName::new(0, 3, 9);
+        let b = TaskName::new(1, 0, 0);
+        assert!(a < b);
+        let c = TaskName::new(1, 0, 1);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn next_and_rewound() {
+        let t = TaskName::new(2, 1, 5);
+        assert_eq!(t.next(), TaskName::new(2, 1, 6));
+        assert_eq!(t.rewound(), TaskName::new(2, 1, 0));
+        assert_eq!(t.channel_addr(), ChannelAddr::new(2, 1));
+        assert_eq!(t.channel_addr().task(5), t);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(TaskName::new(1, 2, 0).to_string(), "(1,2,0)");
+        assert_eq!(ChannelAddr::new(1, 2).to_string(), "(1,2)");
+    }
+}

@@ -1,0 +1,34 @@
+//! Shared foundations for the Quokka write-ahead-lineage query engine.
+//!
+//! This crate contains the vocabulary types used by every other crate in the
+//! workspace:
+//!
+//! * [`ids`] — the `(stage, channel, sequence-number)` naming scheme the
+//!   paper uses for tasks and their output partitions (§III-A of the paper),
+//!   plus worker identifiers.
+//! * [`error`] — the unified [`QuokkaError`](error::QuokkaError) type and
+//!   `Result` alias.
+//! * [`config`] — cluster, engine, cost-model and failure-injection
+//!   configuration.
+//! * [`metrics`] — counters collected during query execution (bytes spooled,
+//!   bytes backed up, GCS transactions, recovery time, ...).
+//! * [`rng`] — small deterministic pseudo-random-number helpers so every
+//!   experiment and test is reproducible from a seed.
+//!
+//! Nothing in this crate knows about batches, plans or the distributed
+//! runtime; it exists so the substrate crates (`quokka-batch`, `quokka-gcs`,
+//! `quokka-storage`, `quokka-net`) do not depend on each other.
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod metrics;
+pub mod rng;
+
+pub use config::{
+    ClusterConfig, CostModelConfig, EngineConfig, ExecutionMode, FailureSpec, FaultStrategy,
+    SchedulePolicy,
+};
+pub use error::{QuokkaError, Result};
+pub use ids::{ChannelAddr, ChannelId, PartitionName, SeqNo, StageId, TaskName, WorkerId};
+pub use metrics::{MetricsRegistry, QueryMetrics};

@@ -1,0 +1,184 @@
+//! Execution metrics collected during a query run.
+//!
+//! The experiments in the paper report *ratios* of runtimes (overhead,
+//! speedup, recovery overhead). The engine additionally records the raw
+//! quantities that explain those ratios — bytes spooled durably, bytes backed
+//! up locally, lineage bytes logged, GCS transactions, tasks executed,
+//! recovery time — so the benchmark harness can print the "why" next to the
+//! "what".
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A snapshot of the counters for one query run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QueryMetrics {
+    /// Wall-clock runtime of the query.
+    pub runtime: Duration,
+    /// Number of tasks executed (including replays and rewinds).
+    pub tasks_executed: u64,
+    /// Number of tasks executed purely for recovery (replay + rewind).
+    pub recovery_tasks: u64,
+    /// Bytes of shuffle data pushed over the (simulated) network.
+    pub shuffle_bytes: u64,
+    /// Bytes written to the durable object store (spooling / checkpoints).
+    pub durable_bytes: u64,
+    /// Bytes written to workers' local disks (upstream backup).
+    pub backup_bytes: u64,
+    /// Bytes of operator state written as checkpoints (subset of
+    /// `durable_bytes` when checkpointing is enabled).
+    pub checkpoint_bytes: u64,
+    /// Bytes of lineage records committed to the GCS.
+    pub lineage_bytes: u64,
+    /// Number of GCS transactions committed.
+    pub gcs_transactions: u64,
+    /// Number of worker failures injected during the run.
+    pub failures: u64,
+    /// Time spent between failure detection and resumption of normal
+    /// execution (coordinator-side recovery planning + rescheduling).
+    pub recovery_planning: Duration,
+    /// Number of output rows produced by the query.
+    pub output_rows: u64,
+}
+
+impl QueryMetrics {
+    /// Overhead of this run relative to a baseline runtime, as defined in
+    /// the paper (ratio of runtimes); returns `f64::NAN` for a zero baseline.
+    pub fn overhead_vs(&self, baseline: Duration) -> f64 {
+        if baseline.is_zero() {
+            f64::NAN
+        } else {
+            self.runtime.as_secs_f64() / baseline.as_secs_f64()
+        }
+    }
+
+    /// Speedup of a baseline over this run (how much faster this run is).
+    pub fn speedup_over(&self, other: Duration) -> f64 {
+        if self.runtime.is_zero() {
+            f64::NAN
+        } else {
+            other.as_secs_f64() / self.runtime.as_secs_f64()
+        }
+    }
+}
+
+/// Thread-safe counters shared by workers, the coordinator, the data plane
+/// and the storage layer during one query run.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    tasks_executed: AtomicU64,
+    recovery_tasks: AtomicU64,
+    shuffle_bytes: AtomicU64,
+    durable_bytes: AtomicU64,
+    backup_bytes: AtomicU64,
+    checkpoint_bytes: AtomicU64,
+    lineage_bytes: AtomicU64,
+    gcs_transactions: AtomicU64,
+    failures: AtomicU64,
+    recovery_planning_nanos: AtomicU64,
+    output_rows: AtomicU64,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    pub fn add_task(&self, recovery: bool) {
+        self.tasks_executed.fetch_add(1, Ordering::Relaxed);
+        if recovery {
+            self.recovery_tasks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    pub fn add_shuffle_bytes(&self, bytes: u64) {
+        self.shuffle_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+    pub fn add_durable_bytes(&self, bytes: u64) {
+        self.durable_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+    pub fn add_backup_bytes(&self, bytes: u64) {
+        self.backup_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+    pub fn add_checkpoint_bytes(&self, bytes: u64) {
+        self.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+    pub fn add_lineage_bytes(&self, bytes: u64) {
+        self.lineage_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+    pub fn add_gcs_transaction(&self) {
+        self.gcs_transactions.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn add_failure(&self) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn add_recovery_planning(&self, d: Duration) {
+        self.recovery_planning_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+    pub fn add_output_rows(&self, rows: u64) {
+        self.output_rows.fetch_add(rows, Ordering::Relaxed);
+    }
+
+    /// Produce an immutable snapshot, attaching the measured wall-clock
+    /// runtime of the query.
+    pub fn snapshot(&self, runtime: Duration) -> QueryMetrics {
+        QueryMetrics {
+            runtime,
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            recovery_tasks: self.recovery_tasks.load(Ordering::Relaxed),
+            shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
+            durable_bytes: self.durable_bytes.load(Ordering::Relaxed),
+            backup_bytes: self.backup_bytes.load(Ordering::Relaxed),
+            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
+            lineage_bytes: self.lineage_bytes.load(Ordering::Relaxed),
+            gcs_transactions: self.gcs_transactions.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            recovery_planning: Duration::from_nanos(
+                self.recovery_planning_nanos.load(Ordering::Relaxed),
+            ),
+            output_rows: self.output_rows.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_accumulates_and_snapshots() {
+        let reg = MetricsRegistry::new();
+        reg.add_task(false);
+        reg.add_task(true);
+        reg.add_shuffle_bytes(100);
+        reg.add_durable_bytes(50);
+        reg.add_backup_bytes(25);
+        reg.add_lineage_bytes(12);
+        reg.add_gcs_transaction();
+        reg.add_failure();
+        reg.add_output_rows(7);
+        reg.add_recovery_planning(Duration::from_millis(3));
+
+        let snap = reg.snapshot(Duration::from_secs(2));
+        assert_eq!(snap.tasks_executed, 2);
+        assert_eq!(snap.recovery_tasks, 1);
+        assert_eq!(snap.shuffle_bytes, 100);
+        assert_eq!(snap.durable_bytes, 50);
+        assert_eq!(snap.backup_bytes, 25);
+        assert_eq!(snap.lineage_bytes, 12);
+        assert_eq!(snap.gcs_transactions, 1);
+        assert_eq!(snap.failures, 1);
+        assert_eq!(snap.output_rows, 7);
+        assert_eq!(snap.recovery_planning, Duration::from_millis(3));
+        assert_eq!(snap.runtime, Duration::from_secs(2));
+    }
+
+    #[test]
+    fn overhead_and_speedup_ratios() {
+        let m = QueryMetrics { runtime: Duration::from_secs(3), ..Default::default() };
+        assert!((m.overhead_vs(Duration::from_secs(2)) - 1.5).abs() < 1e-9);
+        assert!((m.speedup_over(Duration::from_secs(6)) - 2.0).abs() < 1e-9);
+        assert!(m.overhead_vs(Duration::ZERO).is_nan());
+    }
+}

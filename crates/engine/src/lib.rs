@@ -1,0 +1,34 @@
+//! The Quokka distributed pipelined query engine with write-ahead lineage.
+//!
+//! This crate is the paper's contribution plus its immediate runtime: a
+//! push-based, dynamically scheduled, pipelined query engine executing over
+//! a simulated cluster, with intra-query fault tolerance provided by
+//! **write-ahead lineage** (Algorithm 1) and **pipeline-parallel recovery**
+//! (Algorithm 2), alongside the baseline strategies the paper compares
+//! against (restart, spooling, checkpointing) and the baseline execution
+//! modes (stagewise/blocking execution, static task dependencies).
+//!
+//! Module map:
+//!
+//! * [`layout`] — how a compiled [`StageGraph`](quokka_plan::stage::StageGraph)
+//!   is laid out onto a cluster: channels per stage, initial worker
+//!   placement, input-split assignment and the watermark indexing used by
+//!   the lineage naming scheme.
+//! * [`worker`] — the TaskManager side: each worker runs one thread per
+//!   stage, executing Algorithm 1 for the channels currently assigned to it
+//!   and serving replay requests during recovery.
+//! * [`recovery`] — the coordinator side: failure detection, fault
+//!   injection, and the Algorithm 2 reconciliation that rewinds lost
+//!   channels and schedules replays.
+//! * [`runtime`] — [`QueryRunner`](runtime::QueryRunner): wires the GCS,
+//!   data plane, storage and threads together, runs one query under an
+//!   [`EngineConfig`](quokka_common::EngineConfig), and returns the result
+//!   batch plus [`QueryMetrics`](quokka_common::QueryMetrics).
+
+pub mod layout;
+pub mod recovery;
+pub mod runtime;
+pub mod worker;
+
+pub use layout::QueryLayout;
+pub use runtime::{QueryOutcome, QueryRunner};

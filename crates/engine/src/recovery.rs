@@ -1,0 +1,252 @@
+//! The coordinator: fault injection, failure detection and Algorithm 2.
+//!
+//! The coordinator never talks to TaskManagers directly (§IV-B/C): every
+//! action is an edit of the GCS. On failure it raises the pause barrier,
+//! reconciles the GCS to a consistent state — rewinding the channels that
+//! lived on the failed worker, scheduling replay of the partitions they need
+//! that still exist on live workers' disks (or in the durable store under
+//! the spooling strategy), and rewinding producers whose partitions are
+//! gone — then lowers the barrier and lets the TaskManagers carry on.
+//! Rewound stateful channels of different stages land on different workers:
+//! pipeline-parallel recovery (§III-B).
+
+use crate::worker::Services;
+use quokka_common::config::FailureSpec;
+use quokka_common::ids::{ChannelAddr, WorkerId};
+use quokka_common::{QuokkaError, Result};
+use quokka_gcs::tables::{ChannelState, ReplayRequest, TaskEntry};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the coordinator's supervision of one query ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordinatorOutcome {
+    /// The sink stage finished; results are in the collector.
+    Completed,
+    /// The query failed with an unrecoverable error.
+    Failed(String),
+    /// A worker died and the configured strategy has no intra-query
+    /// recovery; the caller should restart the query on the surviving
+    /// workers (the paper's restart baseline).
+    NeedsRestart { failed: Vec<WorkerId> },
+}
+
+/// The coordinator for one query execution.
+pub struct Coordinator {
+    services: Arc<Services>,
+    /// Abort the query if it makes no progress for this long (defensive
+    /// watchdog so a scheduling bug cannot hang the benchmark harness).
+    pub watchdog: Duration,
+}
+
+impl Coordinator {
+    pub fn new(services: Arc<Services>) -> Self {
+        Coordinator { services, watchdog: Duration::from_secs(120) }
+    }
+
+    /// Fraction of all input splits consumed so far — the progress measure
+    /// used to decide when to inject a failure ("a worker machine is killed
+    /// halfway through the query", §V-D).
+    pub fn progress(&self) -> f64 {
+        let total = self.services.layout.total_splits();
+        if total == 0 {
+            return 1.0;
+        }
+        let mut consumed = 0u64;
+        for stage in &self.services.layout.graph.stages {
+            if !stage.is_scan() {
+                continue;
+            }
+            for channel in self.services.layout.channels_of(stage.id) {
+                if let Some(state) = self.services.gcs.get_channel(channel) {
+                    consumed += state.splits_consumed as u64;
+                }
+            }
+        }
+        consumed as f64 / total as f64
+    }
+
+    fn sink_done(&self) -> bool {
+        self.services
+            .layout
+            .channels_of(self.services.layout.sink())
+            .iter()
+            .all(|&c| self.services.gcs.get_channel(c).map(|s| s.done).unwrap_or(false))
+    }
+
+    /// Supervise the query until completion, failure or restart.
+    pub fn run(&self) -> CoordinatorOutcome {
+        let mut pending: Vec<FailureSpec> = self.services.config.failures.clone();
+        pending.sort_by(|a, b| a.at_progress.total_cmp(&b.at_progress));
+        let mut injected: Vec<WorkerId> = Vec::new();
+        let heartbeat = self.services.config.cluster.heartbeat_interval;
+        let start = Instant::now();
+        let mut last_progress = (0u64, Instant::now());
+
+        loop {
+            if let Some(error) = self.services.gcs.query_error() {
+                return CoordinatorOutcome::Failed(error);
+            }
+            if self.sink_done() {
+                self.services.gcs.set_query_done();
+                return CoordinatorOutcome::Completed;
+            }
+
+            // Inject any failures whose trigger point has been reached.
+            let progress = self.progress();
+            while let Some(spec) = pending.first().copied() {
+                if progress < spec.at_progress {
+                    break;
+                }
+                pending.remove(0);
+                if spec.worker >= self.services.layout.workers()
+                    || self.services.is_killed(spec.worker)
+                {
+                    continue;
+                }
+                self.services.kill_worker(spec.worker);
+                injected.push(spec.worker);
+                if !self.services.config.fault.supports_intra_query_recovery() {
+                    self.services
+                        .gcs
+                        .set_query_error("worker failed and the strategy has no intra-query recovery");
+                    return CoordinatorOutcome::NeedsRestart { failed: injected };
+                }
+                // Failure detection (the heartbeat round trip), then recovery.
+                std::thread::sleep(heartbeat);
+                let planning_start = Instant::now();
+                if let Err(e) = self.recover(spec.worker) {
+                    self.services.gcs.set_query_error(&format!("recovery failed: {e}"));
+                    return CoordinatorOutcome::Failed(format!("recovery failed: {e}"));
+                }
+                self.services.metrics.add_recovery_planning(planning_start.elapsed());
+            }
+
+            // Watchdog: abort if the task counter stops moving for too long.
+            let tasks = self.services.metrics.snapshot(Duration::ZERO).tasks_executed;
+            if tasks != last_progress.0 {
+                last_progress = (tasks, Instant::now());
+            } else if last_progress.1.elapsed() > self.watchdog {
+                let message = format!(
+                    "watchdog: no task progress for {:?} (elapsed {:?})",
+                    self.watchdog,
+                    start.elapsed()
+                );
+                self.services.gcs.set_query_error(&message);
+                return CoordinatorOutcome::Failed(message);
+            }
+            std::thread::sleep(heartbeat);
+        }
+    }
+
+    /// Algorithm 2: reconcile the GCS after `failed` died.
+    pub fn recover(&self, failed: WorkerId) -> Result<()> {
+        let services = &self.services;
+        let layout = &services.layout;
+        let gcs = &services.gcs;
+
+        gcs.set_paused(true);
+        gcs.mark_worker_failed(failed);
+        // Give in-flight commits a moment to abort against the barrier.
+        std::thread::sleep(Duration::from_millis(2));
+
+        let live = services.live_workers();
+        if live.is_empty() {
+            gcs.set_paused(false);
+            return Err(QuokkaError::Unschedulable(ChannelAddr::new(0, 0)));
+        }
+
+        // R: channels that must be rewound. Start with every unfinished
+        // channel hosted by the failed worker.
+        let mut rewind: BTreeSet<ChannelAddr> = gcs
+            .all_channels()
+            .into_iter()
+            .filter(|c| c.worker == failed && !c.done)
+            .map(|c| c.addr)
+            .collect();
+
+        // Walk the stages in reverse topological order, scheduling replays
+        // for the inputs every rewound channel needs, and rewinding the
+        // producers whose partitions no longer exist anywhere.
+        let mut replays: Vec<ReplayRequest> = Vec::new();
+        for stage in layout.graph.reverse_topological() {
+            for channel in layout.channels_of(stage) {
+                if !rewind.contains(&channel) {
+                    continue;
+                }
+                for (_, upstream) in layout.upstream_channels(stage) {
+                    if rewind.contains(upstream) {
+                        // The producer itself is being rewound; it will
+                        // re-push everything.
+                        continue;
+                    }
+                    let Some(upstream_state) = gcs.get_channel(*upstream) else { continue };
+                    let mut lost_producer = false;
+                    for seq in 0..upstream_state.outputs_produced() {
+                        let partition = upstream.task(seq);
+                        let entry = gcs.get_partition(partition);
+                        match entry {
+                            Some(e) if e.spooled => replays.push(ReplayRequest {
+                                owner: live[(seq as usize) % live.len()],
+                                partition,
+                                consumer: channel,
+                            }),
+                            Some(e)
+                                if e.backed_up
+                                    && !services.is_killed(e.owner)
+                                    && e.owner != failed =>
+                            {
+                                replays.push(ReplayRequest {
+                                    owner: e.owner,
+                                    partition,
+                                    consumer: channel,
+                                })
+                            }
+                            _ => {
+                                lost_producer = true;
+                            }
+                        }
+                    }
+                    if lost_producer {
+                        rewind.insert(*upstream);
+                    }
+                }
+            }
+        }
+
+        // Reassign and reset every rewound channel. Stateful channels of
+        // different stages go to different live workers — the degree of
+        // recovery parallelism is therefore bounded by the number of stages
+        // (pipeline-parallel recovery), exactly as §III-B describes.
+        for channel in &rewind {
+            let previous = gcs
+                .get_channel(*channel)
+                .ok_or_else(|| QuokkaError::NotFound(format!("channel {channel}")))?;
+            let new_worker =
+                live[(channel.stage as usize + channel.channel as usize) % live.len()];
+            let mut state = ChannelState::new(
+                *channel,
+                new_worker,
+                layout.upstream_channels(channel.stage).len(),
+            );
+            state.rewind_until = previous.committed_seq;
+            gcs.put_channel(&state);
+            gcs.put_task(&TaskEntry { task: channel.task(0), worker: new_worker });
+        }
+
+        // Replays only matter for partitions feeding rewound channels; they
+        // can be served concurrently by their owner workers ("replay tasks
+        // are pushed to TaskManagers that hold them").
+        for replay in &replays {
+            // Skip replays whose producer ended up rewound after all.
+            if rewind.contains(&replay.partition.channel_addr()) {
+                continue;
+            }
+            gcs.add_replay(replay);
+        }
+
+        gcs.set_paused(false);
+        Ok(())
+    }
+}

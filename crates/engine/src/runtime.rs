@@ -1,0 +1,363 @@
+//! The query runner: wiring, execution and the restart baseline.
+
+use crate::layout::QueryLayout;
+use crate::recovery::{Coordinator, CoordinatorOutcome};
+use crate::worker::{spawn_workers, Services};
+use parking_lot::Mutex;
+use quokka_batch::codec::encode_partition;
+use quokka_batch::Batch;
+use quokka_common::config::{ClusterConfig, EngineConfig};
+use quokka_common::metrics::{MetricsRegistry, QueryMetrics};
+use quokka_common::{QuokkaError, Result};
+use quokka_gcs::tables::{ChannelState, TaskEntry};
+use quokka_gcs::Gcs;
+use quokka_net::DataPlane;
+use quokka_plan::catalog::Catalog;
+use quokka_plan::logical::LogicalPlan;
+use quokka_plan::stage::StageGraph;
+use quokka_storage::{CostModel, DurableObjectStore, LocalBackupStore};
+use std::collections::BTreeMap;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The result of one query execution.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Query result rows (concatenated sink output).
+    pub batch: Batch,
+    /// Execution metrics, including recovery statistics.
+    pub metrics: QueryMetrics,
+}
+
+/// Runs logical plans on a simulated cluster under one [`EngineConfig`].
+#[derive(Debug, Clone)]
+pub struct QueryRunner {
+    config: EngineConfig,
+}
+
+impl QueryRunner {
+    pub fn new(config: EngineConfig) -> Self {
+        QueryRunner { config }
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Execute `plan` against the base tables provided by `catalog`.
+    pub fn run(&self, plan: &LogicalPlan, catalog: &dyn Catalog) -> Result<QueryOutcome> {
+        self.run_with_restart_budget(plan, catalog, 1)
+    }
+
+    fn run_with_restart_budget(
+        &self,
+        plan: &LogicalPlan,
+        catalog: &dyn Catalog,
+        restarts_left: u32,
+    ) -> Result<QueryOutcome> {
+        let output_schema = plan.schema()?;
+        let graph = StageGraph::compile(plan)?;
+        let cost = CostModel::new(self.config.cost);
+        let metrics = MetricsRegistry::new();
+        let durable = Arc::new(DurableObjectStore::new(cost, Arc::clone(&metrics)));
+
+        // Load the referenced base tables into the (durable) object store as
+        // split objects — the data lake the paper's queries read from S3.
+        let mut table_splits = BTreeMap::new();
+        for table in plan.referenced_tables() {
+            let batches = catalog.table_batches(&table)?;
+            for (index, batch) in batches.iter().enumerate() {
+                durable.put_unmetered(
+                    Services::table_split_key(&table, index as u64),
+                    encode_partition(std::slice::from_ref(batch)),
+                );
+            }
+            table_splits.insert(table, batches.len() as u64);
+        }
+
+        let layout =
+            Arc::new(QueryLayout::new(graph, &self.config.cluster, &table_splits)?);
+        let gcs = Arc::new(Gcs::new(cost.gcs_delay()));
+        let plane =
+            Arc::new(DataPlane::new(self.config.cluster.workers, cost, Arc::clone(&metrics)));
+        let backups: Vec<Arc<LocalBackupStore>> = (0..self.config.cluster.workers)
+            .map(|w| Arc::new(LocalBackupStore::new(w, cost, Arc::clone(&metrics))))
+            .collect();
+
+        // Register every channel and its first task in the GCS.
+        for addr in layout.all_channels() {
+            let worker = layout.initial_worker(addr);
+            let state =
+                ChannelState::new(addr, worker, layout.upstream_channels(addr.stage).len());
+            gcs.put_channel(&state);
+            gcs.put_task(&TaskEntry { task: addr.task(0), worker });
+        }
+
+        let services = Arc::new(Services {
+            config: self.config.clone(),
+            layout: Arc::clone(&layout),
+            gcs: Arc::clone(&gcs),
+            plane,
+            backups,
+            durable,
+            collector: Mutex::new(BTreeMap::new()),
+            metrics: Arc::clone(&metrics),
+            killed: (0..self.config.cluster.workers).map(|_| AtomicBool::new(false)).collect(),
+            cost,
+        });
+
+        let start = Instant::now();
+        let handles = spawn_workers(&services);
+        let outcome = Coordinator::new(Arc::clone(&services)).run();
+        // Whatever happened, make every thread exit before we inspect state.
+        if services.gcs.query_error().is_none() && !services.gcs.is_query_done() {
+            services.gcs.set_query_done();
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let elapsed = start.elapsed();
+
+        match outcome {
+            CoordinatorOutcome::Completed => {
+                let mut snapshot = metrics.snapshot(elapsed);
+                snapshot.lineage_bytes = gcs.lineage_bytes();
+                snapshot.gcs_transactions = gcs.transactions();
+                let collected = services.collected_output();
+                let batch = if collected.is_empty() {
+                    Batch::empty(output_schema)
+                } else {
+                    Batch::concat(&collected)?
+                };
+                Ok(QueryOutcome { batch, metrics: snapshot })
+            }
+            CoordinatorOutcome::Failed(error) => Err(QuokkaError::Internal(error)),
+            CoordinatorOutcome::NeedsRestart { failed } => {
+                if restarts_left == 0 {
+                    return Err(QuokkaError::Internal(
+                        "query failed and the restart budget is exhausted".to_string(),
+                    ));
+                }
+                // Restart baseline: rerun the whole query on the surviving
+                // workers and charge the first attempt's elapsed time on top.
+                let survivors =
+                    self.config.cluster.workers.saturating_sub(failed.len() as u32).max(1);
+                let mut restart_config = self.config.clone();
+                restart_config.failures.clear();
+                restart_config.cluster = ClusterConfig {
+                    workers: survivors,
+                    channels_per_stage: self.config.cluster.channels_per_stage,
+                    ..self.config.cluster
+                };
+                let rerun = QueryRunner::new(restart_config)
+                    .run_with_restart_budget(plan, catalog, restarts_left - 1)?;
+                let mut combined = rerun.metrics;
+                combined.runtime += elapsed;
+                combined.failures += failed.len() as u64;
+                Ok(QueryOutcome { batch: rerun.batch, metrics: combined })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quokka_common::config::{ExecutionMode, FailureSpec, FaultStrategy, SchedulePolicy};
+    use quokka_plan::aggregate::{count, sum};
+    use quokka_plan::catalog::MemoryCatalog;
+    use quokka_plan::expr::{col, lit};
+    use quokka_plan::logical::{JoinType, PlanBuilder};
+    use quokka_plan::reference::{same_result, ReferenceExecutor};
+    use quokka_batch::{Column, DataType, Schema};
+
+    /// A small synthetic catalog: a fact table and a dimension table, split
+    /// into several batches so scans produce multiple input partitions.
+    fn catalog(rows: i64) -> MemoryCatalog {
+        let catalog = MemoryCatalog::new();
+        let dim = Schema::from_pairs(&[("d_key", DataType::Int64), ("d_name", DataType::Utf8)]);
+        let dim_batch = Batch::try_new(
+            dim.clone(),
+            vec![
+                Column::Int64((0..10).collect()),
+                Column::Utf8((0..10).map(|i| format!("group-{}", i % 3)).collect()),
+            ],
+        )
+        .unwrap();
+        catalog.register("dim", dim.clone(), dim_batch.chunks(4));
+
+        let fact = Schema::from_pairs(&[
+            ("f_key", DataType::Int64),
+            ("f_value", DataType::Float64),
+        ]);
+        let fact_batch = Batch::try_new(
+            fact.clone(),
+            vec![
+                Column::Int64((0..rows).map(|i| i % 10).collect()),
+                Column::Float64((0..rows).map(|i| i as f64 * 0.5).collect()),
+            ],
+        )
+        .unwrap();
+        catalog.register("fact", fact.clone(), fact_batch.chunks(64));
+        catalog
+    }
+
+    fn join_plan() -> quokka_plan::logical::LogicalPlan {
+        let dim = Schema::from_pairs(&[("d_key", DataType::Int64), ("d_name", DataType::Utf8)]);
+        let fact = Schema::from_pairs(&[
+            ("f_key", DataType::Int64),
+            ("f_value", DataType::Float64),
+        ]);
+        PlanBuilder::scan("dim", dim)
+            .join(
+                PlanBuilder::scan("fact", fact).filter(col("f_value").gt_eq(lit(1.0f64))),
+                vec![("d_key", "f_key")],
+                JoinType::Inner,
+            )
+            .aggregate(
+                vec![(col("d_name"), "d_name")],
+                vec![sum(col("f_value"), "total"), count(col("f_key"), "n")],
+            )
+            .sort(vec![("d_name", true)])
+            .build()
+            .unwrap()
+    }
+
+    fn check_against_reference(config: EngineConfig, rows: i64) {
+        let catalog = catalog(rows);
+        let plan = join_plan();
+        let expected = ReferenceExecutor::new(&catalog).execute(&plan).unwrap();
+        let outcome = QueryRunner::new(config).run(&plan, &catalog).unwrap();
+        assert!(
+            same_result(&expected, &outcome.batch),
+            "distributed result diverged from the reference\nexpected: {expected:?}\nactual: {:?}",
+            outcome.batch
+        );
+        assert!(outcome.metrics.tasks_executed > 0);
+    }
+
+    #[test]
+    fn pipelined_wal_matches_reference() {
+        check_against_reference(EngineConfig::quokka(3), 500);
+    }
+
+    #[test]
+    fn stagewise_execution_matches_reference() {
+        check_against_reference(EngineConfig::sparklike(3), 300);
+    }
+
+    #[test]
+    fn static_batch_scheduling_matches_reference() {
+        check_against_reference(
+            EngineConfig::quokka(2).with_schedule(SchedulePolicy::StaticBatch { batch: 3 }),
+            300,
+        );
+    }
+
+    #[test]
+    fn spooling_strategy_matches_reference_and_spools_bytes() {
+        let catalog = catalog(300);
+        let plan = join_plan();
+        let expected = ReferenceExecutor::new(&catalog).execute(&plan).unwrap();
+        let outcome = QueryRunner::new(EngineConfig::trinolike(3)).run(&plan, &catalog).unwrap();
+        assert!(same_result(&expected, &outcome.batch));
+        assert!(outcome.metrics.durable_bytes > 0, "spooling must write durable bytes");
+        assert_eq!(outcome.metrics.backup_bytes, 0, "spooling does not use local backup");
+    }
+
+    #[test]
+    fn wal_overhead_is_lineage_not_durable_bytes() {
+        let catalog = catalog(300);
+        let plan = join_plan();
+        let outcome = QueryRunner::new(EngineConfig::quokka(3)).run(&plan, &catalog).unwrap();
+        assert_eq!(outcome.metrics.durable_bytes, 0, "WAL never writes shuffle data durably");
+        assert!(outcome.metrics.backup_bytes > 0, "WAL backs partitions up locally");
+        assert!(outcome.metrics.lineage_bytes > 0);
+        assert!(
+            outcome.metrics.lineage_bytes < outcome.metrics.backup_bytes,
+            "lineage must be far smaller than the data it describes"
+        );
+    }
+
+    #[test]
+    fn failure_with_wal_recovers_and_matches_reference() {
+        let catalog = catalog(600);
+        let plan = join_plan();
+        let expected = ReferenceExecutor::new(&catalog).execute(&plan).unwrap();
+        let config = EngineConfig::quokka(3).with_failure(FailureSpec::halfway(1));
+        let outcome = QueryRunner::new(config).run(&plan, &catalog).unwrap();
+        assert!(
+            same_result(&expected, &outcome.batch),
+            "result after fault recovery diverged\nexpected: {expected:?}\nactual: {:?}",
+            outcome.batch
+        );
+        assert_eq!(outcome.metrics.failures, 1);
+        assert!(outcome.metrics.recovery_tasks > 0, "recovery should replay some tasks");
+    }
+
+    #[test]
+    fn failure_with_restart_baseline_recovers_by_rerunning() {
+        let catalog = catalog(400);
+        let plan = join_plan();
+        let expected = ReferenceExecutor::new(&catalog).execute(&plan).unwrap();
+        let config = EngineConfig::quokka(3)
+            .with_fault(FaultStrategy::None)
+            .with_failure(FailureSpec::new(2, 0.3));
+        let outcome = QueryRunner::new(config).run(&plan, &catalog).unwrap();
+        assert!(same_result(&expected, &outcome.batch));
+        assert_eq!(outcome.metrics.failures, 1);
+    }
+
+    #[test]
+    fn stagewise_failure_recovers() {
+        let catalog = catalog(400);
+        let plan = join_plan();
+        let expected = ReferenceExecutor::new(&catalog).execute(&plan).unwrap();
+        let config = EngineConfig::sparklike(3).with_failure(FailureSpec::halfway(0));
+        let outcome = QueryRunner::new(config).run(&plan, &catalog).unwrap();
+        assert!(same_result(&expected, &outcome.batch));
+    }
+
+    #[test]
+    fn single_stage_scan_query_works() {
+        let catalog = catalog(100);
+        let fact = Schema::from_pairs(&[
+            ("f_key", DataType::Int64),
+            ("f_value", DataType::Float64),
+        ]);
+        let plan = PlanBuilder::scan("fact", fact)
+            .filter(col("f_key").eq(lit(3i64)))
+            .project(vec![(col("f_value"), "v")])
+            .build()
+            .unwrap();
+        let expected = ReferenceExecutor::new(&catalog).execute(&plan).unwrap();
+        let outcome = QueryRunner::new(EngineConfig::quokka(2)).run(&plan, &catalog).unwrap();
+        assert!(same_result(&expected, &outcome.batch));
+    }
+
+    #[test]
+    fn checkpointing_strategy_writes_checkpoints() {
+        let catalog = catalog(400);
+        let plan = join_plan();
+        let config = EngineConfig::quokka(2)
+            .with_fault(FaultStrategy::Checkpointing { interval_tasks: 2 });
+        let outcome = QueryRunner::new(config).run(&plan, &catalog).unwrap();
+        assert!(outcome.metrics.checkpoint_bytes > 0);
+        assert!(outcome.metrics.durable_bytes > 0);
+    }
+
+    #[test]
+    fn execution_modes_agree_with_each_other() {
+        let catalog = catalog(500);
+        let plan = join_plan();
+        let pipelined =
+            QueryRunner::new(EngineConfig::quokka(3)).run(&plan, &catalog).unwrap();
+        let stagewise = QueryRunner::new(
+            EngineConfig::quokka(3).with_mode(ExecutionMode::Stagewise),
+        )
+        .run(&plan, &catalog)
+        .unwrap();
+        assert!(same_result(&pipelined.batch, &stagewise.batch));
+    }
+}

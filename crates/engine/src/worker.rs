@@ -1,0 +1,810 @@
+//! The TaskManager side of the engine: Algorithm 1.
+//!
+//! Each worker machine runs one [`StageWorker`] thread per stage. The thread
+//! polls the GCS for the channels of its stage that are currently assigned
+//! to its worker and, for each, tries to execute the channel's outstanding
+//! task:
+//!
+//! 1. pick the task's inputs — dynamically under
+//!    [`SchedulePolicy::Dynamic`], in fixed batches under
+//!    [`SchedulePolicy::StaticBatch`], or by following the previously logged
+//!    lineage when the channel is being rewound during recovery;
+//! 2. only consume upstream outputs whose lineage is already committed in
+//!    the GCS (the core write-ahead-lineage invariant);
+//! 3. run the channel's stateful operator, push the resulting slices to the
+//!    downstream flight servers, back them up to local disk (and/or spool
+//!    them durably, depending on the fault-tolerance strategy);
+//! 4. commit the lineage, the partition-directory entry, the new channel
+//!    watermarks and the next task **in a single GCS transaction**; if the
+//!    push failed or the recovery barrier was raised, nothing is committed
+//!    and the task is retried later.
+
+use crate::layout::QueryLayout;
+use parking_lot::Mutex;
+use quokka_batch::codec::{decode_partition, encode_partition};
+use quokka_batch::compute::hash_partition;
+use quokka_batch::Batch;
+use quokka_common::config::{EngineConfig, ExecutionMode, FaultStrategy, SchedulePolicy};
+use quokka_common::ids::{ChannelAddr, SeqNo, StageId, TaskName, WorkerId};
+use quokka_common::metrics::MetricsRegistry;
+use quokka_common::{QuokkaError, Result};
+use quokka_gcs::tables::{ChannelState, LineageRecord, LineageSource, PartitionEntry, TaskCommit, TaskEntry};
+use quokka_gcs::Gcs;
+use quokka_net::DataPlane;
+use quokka_plan::physical::StageOperator;
+use quokka_storage::{CostModel, DurableObjectStore, LocalBackupStore};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of input splits a scan task reads at a time.
+const SPLITS_PER_TASK: usize = 2;
+
+/// Everything shared between the worker threads, the coordinator and the
+/// runtime for one query execution.
+pub struct Services {
+    pub config: EngineConfig,
+    pub layout: Arc<QueryLayout>,
+    pub gcs: Arc<Gcs>,
+    pub plane: Arc<DataPlane>,
+    pub backups: Vec<Arc<LocalBackupStore>>,
+    pub durable: Arc<DurableObjectStore>,
+    /// Result sink: output partitions of the sink stage, keyed by task name
+    /// so a replayed emission overwrites (rather than duplicates) the
+    /// original.
+    pub collector: Mutex<BTreeMap<TaskName, Vec<Batch>>>,
+    pub metrics: Arc<MetricsRegistry>,
+    pub killed: Vec<AtomicBool>,
+    pub cost: CostModel,
+}
+
+impl Services {
+    /// Whether a worker has been killed by fault injection.
+    pub fn is_killed(&self, worker: WorkerId) -> bool {
+        self.killed[worker as usize].load(Ordering::SeqCst)
+    }
+
+    /// Kill a worker: its threads stop, its flight server and local backups
+    /// are wiped.
+    pub fn kill_worker(&self, worker: WorkerId) {
+        self.killed[worker as usize].store(true, Ordering::SeqCst);
+        let _ = self.plane.fail_worker(worker);
+        self.backups[worker as usize].fail();
+        self.metrics.add_failure();
+    }
+
+    /// Workers that have not been killed.
+    pub fn live_workers(&self) -> Vec<WorkerId> {
+        (0..self.layout.workers()).filter(|&w| !self.is_killed(w)).collect()
+    }
+
+    /// Durable key of one source-table split.
+    pub fn table_split_key(table: &str, split: u64) -> String {
+        format!("tables/{table}/{split:08}")
+    }
+
+    /// Durable key of one spooled slice.
+    pub fn spool_key(partition: TaskName, consumer: ChannelAddr) -> String {
+        format!(
+            "spool/{:04}/{:04}/{:08}/{:04}/{:04}",
+            partition.stage, partition.channel, partition.seq, consumer.stage, consumer.channel
+        )
+    }
+
+    /// Collected sink output (query result) as a list of batches.
+    pub fn collected_output(&self) -> Vec<Batch> {
+        self.collector.lock().values().flatten().cloned().collect()
+    }
+}
+
+/// Per-channel local execution state owned by a [`StageWorker`].
+struct ChannelRuntime {
+    op: Box<dyn StageOperator>,
+    expected_seq: SeqNo,
+    finished_inputs: HashSet<usize>,
+    finalized: bool,
+}
+
+/// What a task is about to consume.
+enum TaskInputs {
+    /// Read these source splits from the durable store.
+    Splits(Vec<u64>),
+    /// Consume `partitions` (already peeked from the flight inbox) produced
+    /// by `upstream`, advancing watermark slot `flat_index`.
+    Upstream {
+        input_index: usize,
+        flat_index: usize,
+        upstream: ChannelAddr,
+        start_seq: SeqNo,
+        partitions: Vec<(TaskName, Vec<Batch>)>,
+    },
+    /// Consume nothing; fire end-of-stream notifications / finalize only.
+    FinalizeOnly,
+    /// Nothing can be done right now; try again later.
+    NotReady,
+}
+
+/// One worker's executor thread for one stage.
+pub struct StageWorker {
+    worker: WorkerId,
+    stage: StageId,
+    services: Arc<Services>,
+    channels: BTreeMap<ChannelAddr, ChannelRuntime>,
+}
+
+impl StageWorker {
+    pub fn new(worker: WorkerId, stage: StageId, services: Arc<Services>) -> Self {
+        StageWorker { worker, stage, services, channels: BTreeMap::new() }
+    }
+
+    /// Main loop: runs until the query finishes, fails, or this worker is
+    /// killed.
+    pub fn run(mut self) {
+        let poll = self.services.config.cluster.poll_interval;
+        loop {
+            if self.services.is_killed(self.worker) {
+                return;
+            }
+            let gcs = &self.services.gcs;
+            if gcs.is_query_done() || gcs.query_error().is_some() {
+                return;
+            }
+            if gcs.is_paused() {
+                std::thread::sleep(Duration::from_micros(100));
+                continue;
+            }
+            let mut progressed = self.handle_replays();
+            for addr in self.services.layout.channels_of(self.stage) {
+                if self.services.is_killed(self.worker) {
+                    return;
+                }
+                if self.services.gcs.is_paused() {
+                    break;
+                }
+                let Some(state) = self.services.gcs.get_channel(addr) else { continue };
+                if state.worker != self.worker || state.done {
+                    continue;
+                }
+                match self.try_task(&state) {
+                    Ok(true) => progressed = true,
+                    Ok(false) => {}
+                    Err(e) if e.is_retryable() => {}
+                    Err(e) => {
+                        self.services
+                            .gcs
+                            .set_query_error(&format!("worker {} stage {}: {e}", self.worker, self.stage));
+                        return;
+                    }
+                }
+            }
+            if !progressed {
+                std::thread::sleep(poll);
+            }
+        }
+    }
+
+    /// Serve replay requests addressed to this worker (recovery): re-push a
+    /// backed-up (or spooled) slice to the consumer's current worker.
+    fn handle_replays(&mut self) -> bool {
+        let services = &self.services;
+        let requests = services.gcs.replays_for_worker(self.worker);
+        let mut progressed = false;
+        for request in requests {
+            // Atomically claim the request so only one of this worker's
+            // stage threads serves it.
+            if !services.gcs.remove_replay(&request) {
+                continue;
+            }
+            let payload = services.backups[self.worker as usize]
+                .get(request.partition, request.consumer)
+                .or_else(|_| {
+                    services.durable.get(&Services::spool_key(request.partition, request.consumer))
+                });
+            let Ok(payload) = payload else {
+                // The slice is genuinely gone; the coordinator will have
+                // scheduled a rewind of the producer in that case.
+                continue;
+            };
+            let Ok(batches) = decode_partition(&payload) else { continue };
+            let Some(consumer_state) = services.gcs.get_channel(request.consumer) else { continue };
+            let pushed = services.plane.push(
+                self.worker,
+                consumer_state.worker,
+                request.consumer,
+                request.partition,
+                batches,
+            );
+            if pushed.is_err() {
+                // Destination failed mid-recovery; put the request back.
+                services.gcs.add_replay(&request);
+            } else {
+                progressed = true;
+            }
+        }
+        progressed
+    }
+
+    /// Try to execute the outstanding task of one channel. Returns whether a
+    /// task was committed.
+    fn try_task(&mut self, state: &ChannelState) -> Result<bool> {
+        let services = Arc::clone(&self.services);
+        let layout = &services.layout;
+        let addr = state.addr;
+
+        // Stagewise (blocking) execution: a non-scan stage may only run once
+        // every upstream channel has finished.
+        if services.config.mode == ExecutionMode::Stagewise && layout.num_inputs(self.stage) > 0 {
+            let all_done = layout
+                .upstream_channels(self.stage)
+                .iter()
+                .all(|(_, up)| services.gcs.get_channel(*up).map(|s| s.done).unwrap_or(false));
+            if !all_done {
+                return Ok(false);
+            }
+        }
+
+        let Some(task) = services.gcs.get_task(addr) else { return Ok(false) };
+        if task.worker != self.worker {
+            return Ok(false);
+        }
+        let seq = task.task.seq;
+
+        // Synchronise the local operator instance with the GCS's view of the
+        // channel (handles first contact, rewinds and reassignment).
+        if !self.channels.contains_key(&addr) || self.channels[&addr].expected_seq != seq {
+            if seq == 0 || !self.channels.contains_key(&addr) {
+                let op = layout.graph.stage(self.stage).op.instantiate()?;
+                self.channels.insert(
+                    addr,
+                    ChannelRuntime {
+                        op,
+                        expected_seq: seq,
+                        finished_inputs: HashSet::new(),
+                        finalized: false,
+                    },
+                );
+            } else {
+                // A stateless channel picked up at a non-zero sequence number
+                // (only stateless channels are ever resumed without rewind).
+                let rt = self.channels.get_mut(&addr).expect("checked above");
+                rt.expected_seq = seq;
+            }
+        }
+
+        let replay_mode = state.rewind_until.map(|until| seq <= until).unwrap_or(false);
+        let (inputs, mut to_finish, mut finalize) = if replay_mode {
+            self.replay_inputs(state, seq)?
+        } else {
+            self.dynamic_inputs(state)?
+        };
+        let inputs = match inputs {
+            TaskInputs::NotReady => return Ok(false),
+            other => other,
+        };
+
+        // ----- execute the operator ---------------------------------------
+        let rt = self.channels.get_mut(&addr).expect("runtime inserted above");
+        let mut outputs: Vec<Batch> = Vec::new();
+        let lineage_source = match &inputs {
+            TaskInputs::Splits(splits) => {
+                let scan = layout.graph.stage(self.stage).scan.clone().ok_or_else(|| {
+                    QuokkaError::internal("split inputs on a non-scan stage")
+                })?;
+                for split in splits {
+                    let payload =
+                        services.durable.get(&Services::table_split_key(&scan.table, *split))?;
+                    for batch in decode_partition(&payload)? {
+                        outputs.extend(rt.op.push(0, &batch)?);
+                    }
+                }
+                LineageSource::InputSplits { splits: splits.clone() }
+            }
+            TaskInputs::Upstream { input_index, upstream, start_seq, partitions, .. } => {
+                for (_, batches) in partitions {
+                    for batch in batches {
+                        outputs.extend(rt.op.push(*input_index, batch)?);
+                    }
+                }
+                LineageSource::Upstream {
+                    upstream: *upstream,
+                    start_seq: *start_seq,
+                    count: partitions.len() as u32,
+                }
+            }
+            TaskInputs::FinalizeOnly => LineageSource::Finalize,
+            TaskInputs::NotReady => unreachable!("handled above"),
+        };
+
+        if !replay_mode {
+            // Which end-of-stream notifications become true after this task?
+            to_finish = self.newly_finished_inputs(state, &inputs)?;
+            // Scan stages finalize based on split exhaustion (decided when
+            // the inputs were chosen), not on upstream end-of-stream.
+            if !layout.graph.stage(self.stage).is_scan() {
+                finalize = self.should_finalize(state, &inputs, &to_finish)?;
+            }
+        }
+        let rt = self.channels.get_mut(&addr).expect("runtime present");
+        for &input_index in &to_finish {
+            if rt.finished_inputs.insert(input_index as usize) {
+                outputs.extend(rt.op.finish_input(input_index as usize)?);
+            }
+        }
+        if finalize && !rt.finalized {
+            outputs.extend(rt.op.finish()?);
+            rt.finalized = true;
+        }
+
+        // ----- slice, back up, publish, commit -------------------------------
+        let out_name = addr.task(seq);
+        let consumer = layout.consumer_of(self.stage);
+        let output_rows: u64 = outputs.iter().map(|b| b.num_rows() as u64).sum();
+        let strategy = services.config.fault;
+
+        // Slice the output for the consuming stage and write the upstream
+        // backup / durable spool copies (both idempotent) before publishing.
+        let slices = match consumer {
+            Some((consumer_stage, _)) => self.slice_outputs(&outputs, consumer_stage)?,
+            None => Vec::new(),
+        };
+        let mut partition_bytes = 0u64;
+        if consumer.is_some() {
+            for (consumer_addr, batches) in &slices {
+                if strategy.upstream_backup() || strategy.spools() {
+                    let payload = encode_partition(batches);
+                    partition_bytes += payload.len() as u64;
+                    if strategy.upstream_backup() {
+                        services.backups[self.worker as usize]
+                            .put(out_name, *consumer_addr, payload.clone())?;
+                    }
+                    if strategy.spools() {
+                        services
+                            .durable
+                            .put(Services::spool_key(out_name, *consumer_addr), payload);
+                    }
+                } else {
+                    partition_bytes += batches.iter().map(|b| b.byte_size() as u64).sum::<u64>();
+                }
+            }
+        } else {
+            // Sink stage: the output is the query result.
+            partition_bytes = outputs.iter().map(|b| b.byte_size() as u64).sum();
+        }
+
+        // Periodic state checkpointing (the expensive strategy of §II-B3,
+        // included for the checkpoint-overhead ablation).
+        if let FaultStrategy::Checkpointing { interval_tasks } = strategy {
+            let rt = self.channels.get_mut(&addr).expect("runtime present");
+            if layout.graph.stage(self.stage).is_stateful()
+                && interval_tasks > 0
+                && seq % interval_tasks == 0
+            {
+                let state_bytes = rt.op.state_bytes();
+                services.metrics.add_checkpoint_bytes(state_bytes as u64);
+                services.durable.put(
+                    format!("ckpt/{:04}/{:04}/{:08}", addr.stage, addr.channel, seq),
+                    bytes::Bytes::from(vec![0u8; state_bytes]),
+                );
+            }
+        }
+
+        // ----- single-transaction commit ------------------------------------
+        let mut new_state = state.clone();
+        new_state.committed_seq = Some(seq);
+        match &inputs {
+            TaskInputs::Splits(splits) => {
+                new_state.splits_consumed += splits.len() as u32;
+            }
+            TaskInputs::Upstream { flat_index, partitions, .. } => {
+                new_state.consumed[*flat_index] += partitions.len() as u32;
+            }
+            TaskInputs::FinalizeOnly | TaskInputs::NotReady => {}
+        }
+        let scan_done = layout.graph.stage(self.stage).is_scan()
+            && new_state.splits_consumed as usize >= layout.splits_for(addr).len();
+        new_state.done = finalize || scan_done;
+        if let Some(until) = new_state.rewind_until {
+            if seq >= until {
+                new_state.rewind_until = None;
+            }
+        }
+        let next_task = if new_state.done {
+            None
+        } else {
+            Some(TaskEntry { task: addr.task(seq + 1), worker: self.worker })
+        };
+        let commit = TaskCommit {
+            worker: self.worker,
+            lineage: LineageRecord {
+                task: out_name,
+                source: lineage_source,
+                finished_inputs: to_finish.clone(),
+                finalize,
+                output_rows,
+                output_bytes: partition_bytes,
+            },
+            partition: PartitionEntry {
+                name: out_name,
+                owner: self.worker,
+                backed_up: strategy.upstream_backup() && consumer.is_some(),
+                spooled: strategy.spools() && consumer.is_some(),
+                bytes: partition_bytes,
+            },
+            channel_state: new_state.clone(),
+            next_task,
+        };
+
+        // The channel's operator has already absorbed this task's inputs, so
+        // the task must eventually commit; silently dropping it and
+        // re-executing later would apply the same inputs to the state
+        // variable twice. The publish loop therefore retries pushing and
+        // committing until it succeeds — giving up only when the recovery
+        // coordinator has rewound or reassigned this channel (at which point
+        // the local operator instance is discarded and rebuilt from the
+        // logged lineage) or this worker itself has been killed.
+        loop {
+            if services.is_killed(self.worker)
+                || services.gcs.is_query_done()
+                || services.gcs.query_error().is_some()
+            {
+                self.channels.remove(&addr);
+                return Ok(false);
+            }
+            let channel_untouched = services
+                .gcs
+                .get_channel(addr)
+                .map(|c| {
+                    c.worker == self.worker
+                        && c.committed_seq == state.committed_seq
+                        && c.rewind_until == state.rewind_until
+                })
+                .unwrap_or(false)
+                && services
+                    .gcs
+                    .get_task(addr)
+                    .map(|t| t.task.seq == seq && t.worker == self.worker)
+                    .unwrap_or(false);
+            if !channel_untouched {
+                self.channels.remove(&addr);
+                return Ok(false);
+            }
+            if services.gcs.is_paused() {
+                std::thread::sleep(Duration::from_micros(200));
+                continue;
+            }
+            // Push every slice (possibly empty) so downstream watermarks can
+            // always advance. Consumers may have been reassigned since the
+            // previous attempt, so the destination worker is re-resolved.
+            let mut push_failed = false;
+            for (consumer_addr, batches) in &slices {
+                let Some(consumer_state) = services.gcs.get_channel(*consumer_addr) else {
+                    push_failed = true;
+                    break;
+                };
+                if services
+                    .plane
+                    .push(
+                        self.worker,
+                        consumer_state.worker,
+                        *consumer_addr,
+                        out_name,
+                        batches.clone(),
+                    )
+                    .is_err()
+                {
+                    push_failed = true;
+                    break;
+                }
+            }
+            if push_failed {
+                // Algorithm 1: "if push results failed ... do not commit".
+                // Wait for the coordinator to repair the destination.
+                std::thread::sleep(Duration::from_micros(500));
+                continue;
+            }
+            if services.gcs.commit_task(&commit).is_ok() {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        if std::env::var_os("QUOKKA_TRACE").is_some() {
+            eprintln!(
+                "[trace] worker={} task={} source={:?} finish={:?} finalize={} rows={} done={}",
+                self.worker, out_name, commit.lineage.source, to_finish, finalize, output_rows, new_state.done
+            );
+        }
+
+        // ----- post-commit bookkeeping --------------------------------------
+        if let TaskInputs::Upstream { partitions, .. } = &inputs {
+            let server = services.plane.server(self.worker)?;
+            for (name, _) in partitions {
+                let _ = server.take(addr, *name);
+            }
+        }
+        if consumer.is_none() {
+            services.metrics.add_output_rows(output_rows);
+            self.services.collector.lock().insert(out_name, outputs);
+        }
+        services.metrics.add_task(replay_mode);
+        let rt = self.channels.get_mut(&addr).expect("runtime present");
+        rt.expected_seq = seq + 1;
+        if new_state.done {
+            self.channels.remove(&addr);
+        }
+        Ok(true)
+    }
+
+    /// Hash-partition output batches into one slice per consumer channel.
+    fn slice_outputs(
+        &self,
+        outputs: &[Batch],
+        consumer_stage: StageId,
+    ) -> Result<Vec<(ChannelAddr, Vec<Batch>)>> {
+        let layout = &self.services.layout;
+        let consumer_channels = layout.channel_count(consumer_stage) as usize;
+        let partition_by = &layout.graph.stage(self.stage).partition_by;
+        let mut slices: Vec<Vec<Batch>> = vec![Vec::new(); consumer_channels];
+        if consumer_channels == 1 || partition_by.is_empty() {
+            slices[0] = outputs.to_vec();
+        } else {
+            for batch in outputs {
+                for (channel, piece) in
+                    hash_partition(batch, partition_by, consumer_channels)?.into_iter().enumerate()
+                {
+                    if piece.num_rows() > 0 {
+                        slices[channel].push(piece);
+                    }
+                }
+            }
+        }
+        Ok(slices
+            .into_iter()
+            .enumerate()
+            .map(|(c, batches)| (ChannelAddr::new(consumer_stage, c as u32), batches))
+            .collect())
+    }
+
+    /// Inputs for a task executed in replay mode: follow the logged lineage
+    /// exactly (§IV-C: a rewound task "is no longer free to dynamically
+    /// choose its input data partitions").
+    fn replay_inputs(
+        &self,
+        state: &ChannelState,
+        seq: SeqNo,
+    ) -> Result<(TaskInputs, Vec<u32>, bool)> {
+        let services = &self.services;
+        let record = services
+            .gcs
+            .get_lineage(state.addr.task(seq))
+            .ok_or_else(|| QuokkaError::internal(format!("missing lineage for rewound task {}", state.addr.task(seq))))?;
+        let inputs = match &record.source {
+            LineageSource::InputSplits { splits } => TaskInputs::Splits(splits.clone()),
+            LineageSource::Finalize => TaskInputs::FinalizeOnly,
+            LineageSource::Upstream { upstream, start_seq, count } => {
+                let server = services.plane.server(self.worker)?;
+                let mut partitions = Vec::with_capacity(*count as usize);
+                for s in *start_seq..(*start_seq + *count) {
+                    let name = upstream.task(s);
+                    match server.peek(state.addr, name) {
+                        Some(batches) => partitions.push((name, batches)),
+                        None => return Ok((TaskInputs::NotReady, vec![], false)),
+                    }
+                }
+                let flat_index = services.layout.watermark_index(self.stage, *upstream)?;
+                let input_index = services
+                    .layout
+                    .upstream_channels(self.stage)
+                    .iter()
+                    .find(|(_, addr)| addr == upstream)
+                    .map(|(idx, _)| *idx)
+                    .unwrap_or(0);
+                TaskInputs::Upstream {
+                    input_index,
+                    flat_index,
+                    upstream: *upstream,
+                    start_seq: *start_seq,
+                    partitions,
+                }
+            }
+        };
+        Ok((inputs, record.finished_inputs.clone(), record.finalize))
+    }
+
+    /// Inputs for a task executed normally, under the configured scheduling
+    /// policy.
+    fn dynamic_inputs(&self, state: &ChannelState) -> Result<(TaskInputs, Vec<u32>, bool)> {
+        let services = &self.services;
+        let layout = &services.layout;
+        let addr = state.addr;
+
+        // Scan stages read splits from the durable store.
+        if layout.graph.stage(self.stage).is_scan() {
+            let assigned = layout.splits_for(addr);
+            let consumed = state.splits_consumed as usize;
+            if consumed < assigned.len() {
+                let take = SPLITS_PER_TASK.min(assigned.len() - consumed);
+                return Ok((
+                    TaskInputs::Splits(assigned[consumed..consumed + take].to_vec()),
+                    vec![],
+                    false,
+                ));
+            }
+            // No splits left (possibly none were assigned at all): emit a
+            // final empty partition so downstream watermarks can complete.
+            let already_finalized = self
+                .channels
+                .get(&addr)
+                .map(|rt| rt.finalized)
+                .unwrap_or(false);
+            if !already_finalized {
+                return Ok((TaskInputs::FinalizeOnly, vec![], true));
+            }
+            return Ok((TaskInputs::NotReady, vec![], false));
+        }
+
+        let max_inputs = match services.config.schedule {
+            SchedulePolicy::Dynamic { max_inputs_per_task } => max_inputs_per_task,
+            SchedulePolicy::StaticBatch { batch } => batch,
+        };
+        let server = services.plane.server(self.worker)?;
+        for (flat_index, (input_index, upstream)) in
+            layout.upstream_channels(self.stage).iter().enumerate()
+        {
+            let consumed = state.consumed[flat_index];
+            // Committed, contiguous, locally available outputs starting at
+            // the watermark (the set I of Algorithm 1).
+            let available = server.available_from(addr, *upstream, consumed);
+            let mut count = 0u32;
+            for expected in 0..max_inputs {
+                let name = upstream.task(consumed + expected);
+                if available.binary_search(&name).is_ok() && services.gcs.lineage_committed(name) {
+                    count += 1;
+                } else {
+                    break;
+                }
+            }
+            if count == 0 {
+                continue;
+            }
+            // Static lineage: always take exactly `batch` inputs, except for
+            // the final partial batch of a finished upstream channel.
+            if let SchedulePolicy::StaticBatch { batch } = services.config.schedule {
+                if count < batch {
+                    let upstream_state = services.gcs.get_channel(*upstream);
+                    let is_final_partial = upstream_state
+                        .map(|s| s.done && consumed + count >= s.outputs_produced())
+                        .unwrap_or(false);
+                    if !is_final_partial {
+                        continue;
+                    }
+                }
+            }
+            let mut partitions = Vec::with_capacity(count as usize);
+            for s in consumed..consumed + count {
+                let name = upstream.task(s);
+                match server.peek(addr, name) {
+                    Some(batches) => partitions.push((name, batches)),
+                    None => return Ok((TaskInputs::NotReady, vec![], false)),
+                }
+            }
+            return Ok((
+                TaskInputs::Upstream {
+                    input_index: *input_index,
+                    flat_index,
+                    upstream: *upstream,
+                    start_seq: consumed,
+                    partitions,
+                },
+                vec![],
+                false,
+            ));
+        }
+
+        // Nothing to consume: maybe every upstream is exhausted and it is
+        // time to finalize the channel.
+        if self.all_inputs_exhausted(state, None)? {
+            let already_finalized =
+                self.channels.get(&addr).map(|rt| rt.finalized).unwrap_or(false);
+            if !already_finalized {
+                return Ok((TaskInputs::FinalizeOnly, vec![], true));
+            }
+        }
+        Ok((TaskInputs::NotReady, vec![], false))
+    }
+
+    /// End-of-stream notifications that become true once `inputs` has been
+    /// consumed: operator input indices whose upstream channels are all done
+    /// and fully consumed.
+    fn newly_finished_inputs(&self, state: &ChannelState, inputs: &TaskInputs) -> Result<Vec<u32>> {
+        let layout = &self.services.layout;
+        let num_inputs = layout.num_inputs(self.stage);
+        let mut fired = Vec::new();
+        let already = self
+            .channels
+            .get(&state.addr)
+            .map(|rt| rt.finished_inputs.clone())
+            .unwrap_or_default();
+        for input_index in 0..num_inputs {
+            if already.contains(&input_index) {
+                continue;
+            }
+            if self.input_exhausted(state, inputs, input_index)? {
+                fired.push(input_index as u32);
+            }
+        }
+        Ok(fired)
+    }
+
+    /// Whether operator input `input_index` is fully consumed after applying
+    /// `inputs` on top of `state`.
+    fn input_exhausted(
+        &self,
+        state: &ChannelState,
+        inputs: &TaskInputs,
+        input_index: usize,
+    ) -> Result<bool> {
+        let layout = &self.services.layout;
+        for (flat, (idx, upstream)) in layout.upstream_channels(self.stage).iter().enumerate() {
+            if *idx != input_index {
+                continue;
+            }
+            let mut consumed = state.consumed[flat];
+            if let TaskInputs::Upstream { flat_index, partitions, .. } = inputs {
+                if *flat_index == flat {
+                    consumed += partitions.len() as u32;
+                }
+            }
+            match self.services.gcs.get_channel(*upstream) {
+                Some(up) if up.done && consumed >= up.outputs_produced() => {}
+                _ => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Whether the channel can finalize after this task (every operator input
+    /// exhausted).
+    fn should_finalize(
+        &self,
+        state: &ChannelState,
+        inputs: &TaskInputs,
+        _newly_finished: &[u32],
+    ) -> Result<bool> {
+        self.all_inputs_exhausted(state, Some(inputs))
+    }
+
+    fn all_inputs_exhausted(&self, state: &ChannelState, inputs: Option<&TaskInputs>) -> Result<bool> {
+        let layout = &self.services.layout;
+        let num_inputs = layout.num_inputs(self.stage);
+        if num_inputs == 0 {
+            // Scan stages finalize when their splits run out (handled by the
+            // caller).
+            return Ok(true);
+        }
+        let default_inputs = TaskInputs::FinalizeOnly;
+        let inputs = inputs.unwrap_or(&default_inputs);
+        for input_index in 0..num_inputs {
+            if !self.input_exhausted(state, inputs, input_index)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Spawn every stage thread for every worker. Returns the join handles.
+pub fn spawn_workers(services: &Arc<Services>) -> Vec<std::thread::JoinHandle<()>> {
+    let mut handles = Vec::new();
+    for worker in 0..services.layout.workers() {
+        for stage in 0..services.layout.graph.stages.len() as StageId {
+            let services = Arc::clone(services);
+            let handle = std::thread::Builder::new()
+                .name(format!("quokka-w{worker}-s{stage}"))
+                .spawn(move || StageWorker::new(worker, stage, services).run())
+                .expect("failed to spawn worker thread");
+            handles.push(handle);
+        }
+    }
+    handles
+}

@@ -1,0 +1,20 @@
+//! The simulated data plane.
+//!
+//! In the paper's implementation every worker machine runs an Apache Arrow
+//! Flight server; producer tasks push their output slices directly to the
+//! flight servers of all downstream consumer channels (§IV-A). This crate
+//! reproduces that push-based shuffle in-process:
+//!
+//! * [`flight::FlightServer`] — one worker's inbox of pushed partition
+//!   slices, keyed by the consuming channel and the producing task. Killing
+//!   a worker drops its inbox (those cached slices are part of what recovery
+//!   must reconstruct — Fig. 5's pink boxes).
+//! * [`plane::DataPlane`] — the cluster-wide registry of flight servers plus
+//!   the network cost model: pushes between different workers are charged to
+//!   the network path and to the `shuffle_bytes` metric.
+
+pub mod flight;
+pub mod plane;
+
+pub use flight::{FlightServer, SliceKey};
+pub use plane::DataPlane;

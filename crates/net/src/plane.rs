@@ -1,0 +1,136 @@
+//! The cluster-wide data plane: routing pushes between workers.
+
+use crate::flight::FlightServer;
+use quokka_batch::Batch;
+use quokka_common::ids::{ChannelAddr, PartitionName, WorkerId};
+use quokka_common::metrics::MetricsRegistry;
+use quokka_common::{QuokkaError, Result};
+use quokka_storage::CostModel;
+use std::sync::Arc;
+
+/// Registry of every worker's flight server plus the network cost model.
+#[derive(Debug)]
+pub struct DataPlane {
+    servers: Vec<Arc<FlightServer>>,
+    cost: CostModel,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl DataPlane {
+    /// Create a data plane for `workers` workers.
+    pub fn new(workers: u32, cost: CostModel, metrics: Arc<MetricsRegistry>) -> Self {
+        DataPlane {
+            servers: (0..workers).map(|w| Arc::new(FlightServer::new(w))).collect(),
+            cost,
+            metrics,
+        }
+    }
+
+    pub fn num_workers(&self) -> u32 {
+        self.servers.len() as u32
+    }
+
+    /// The flight server of one worker.
+    pub fn server(&self, worker: WorkerId) -> Result<&Arc<FlightServer>> {
+        self.servers
+            .get(worker as usize)
+            .ok_or_else(|| QuokkaError::NotFound(format!("worker {worker}")))
+    }
+
+    /// Push a slice from `source` worker to the worker hosting the consumer
+    /// channel. Cross-worker pushes are charged to the network cost model
+    /// and counted as shuffle bytes; local pushes are free, like the paper's
+    /// same-machine flight transfers.
+    pub fn push(
+        &self,
+        source: WorkerId,
+        destination: WorkerId,
+        consumer: ChannelAddr,
+        producer: PartitionName,
+        batches: Vec<Batch>,
+    ) -> Result<()> {
+        let server = self.server(destination)?;
+        if server.is_failed() {
+            return Err(QuokkaError::WorkerFailed(destination));
+        }
+        if source != destination {
+            let bytes: u64 = batches.iter().map(|b| b.byte_size() as u64).sum();
+            self.cost.charge_network(bytes);
+            self.metrics.add_shuffle_bytes(bytes);
+        }
+        server.push(consumer, producer, batches)
+    }
+
+    /// Kill a worker: its flight server rejects all traffic and loses its
+    /// inbox.
+    pub fn fail_worker(&self, worker: WorkerId) -> Result<()> {
+        self.server(worker)?.fail();
+        Ok(())
+    }
+
+    /// Whether a worker's flight server is still alive.
+    pub fn is_worker_alive(&self, worker: WorkerId) -> bool {
+        self.server(worker).map(|s| !s.is_failed()).unwrap_or(false)
+    }
+
+    /// Workers whose flight servers are still alive.
+    pub fn live_workers(&self) -> Vec<WorkerId> {
+        self.servers.iter().filter(|s| !s.is_failed()).map(|s| s.worker()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quokka_batch::{Column, DataType, Schema};
+    use quokka_common::ids::TaskName;
+
+    fn plane() -> DataPlane {
+        DataPlane::new(3, CostModel::free(), MetricsRegistry::new())
+    }
+
+    fn batch() -> Batch {
+        Batch::try_new(
+            Schema::from_pairs(&[("x", DataType::Int64)]),
+            vec![Column::Int64(vec![1, 2, 3])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn push_routes_to_destination_server() {
+        let p = plane();
+        let consumer = ChannelAddr::new(1, 2);
+        let producer = TaskName::new(0, 0, 0);
+        p.push(0, 2, consumer, producer, vec![batch()]).unwrap();
+        assert!(p.server(2).unwrap().has_slice(consumer, producer));
+        assert!(!p.server(0).unwrap().has_slice(consumer, producer));
+        assert!(p.server(9).is_err());
+    }
+
+    #[test]
+    fn cross_worker_pushes_count_as_shuffle_bytes() {
+        let metrics = MetricsRegistry::new();
+        let p = DataPlane::new(2, CostModel::free(), Arc::clone(&metrics));
+        let consumer = ChannelAddr::new(1, 0);
+        p.push(0, 0, consumer, TaskName::new(0, 0, 0), vec![batch()]).unwrap();
+        let local_only = metrics.snapshot(std::time::Duration::ZERO).shuffle_bytes;
+        assert_eq!(local_only, 0, "local pushes are not shuffled over the network");
+        p.push(0, 1, consumer, TaskName::new(0, 0, 1), vec![batch()]).unwrap();
+        let after = metrics.snapshot(std::time::Duration::ZERO).shuffle_bytes;
+        assert_eq!(after, batch().byte_size() as u64);
+    }
+
+    #[test]
+    fn failed_worker_rejects_pushes_and_leaves_cluster() {
+        let p = plane();
+        assert_eq!(p.live_workers(), vec![0, 1, 2]);
+        p.fail_worker(1).unwrap();
+        assert!(!p.is_worker_alive(1));
+        assert!(p.is_worker_alive(0));
+        assert_eq!(p.live_workers(), vec![0, 2]);
+        let err = p.push(0, 1, ChannelAddr::new(1, 0), TaskName::new(0, 0, 0), vec![]);
+        assert!(matches!(err, Err(QuokkaError::WorkerFailed(1))));
+        assert_eq!(p.num_workers(), 3);
+    }
+}

@@ -1,0 +1,322 @@
+//! Aggregate functions and their accumulators.
+
+use crate::expr::Expr;
+use quokka_batch::datatype::{DataType, ScalarValue};
+use quokka_batch::Schema;
+use quokka_common::{QuokkaError, Result};
+use std::collections::BTreeSet;
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Sum,
+    Avg,
+    Min,
+    Max,
+    Count,
+    /// `COUNT(DISTINCT expr)`.
+    CountDistinct,
+}
+
+/// One aggregate in an `Aggregate` plan node: a function applied to an input
+/// expression, with an output column name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    pub func: AggFunc,
+    pub expr: Expr,
+    pub alias: String,
+}
+
+impl AggExpr {
+    pub fn new(func: AggFunc, expr: Expr, alias: impl Into<String>) -> Self {
+        AggExpr { func, expr, alias: alias.into() }
+    }
+
+    /// Output data type of this aggregate given the input schema.
+    pub fn data_type(&self, input: &Schema) -> Result<DataType> {
+        Ok(match self.func {
+            AggFunc::Count | AggFunc::CountDistinct => DataType::Int64,
+            AggFunc::Sum => {
+                let t = self.expr.data_type(input)?;
+                if t == DataType::Int64 {
+                    DataType::Int64
+                } else {
+                    DataType::Float64
+                }
+            }
+            AggFunc::Avg => DataType::Float64,
+            AggFunc::Min | AggFunc::Max => self.expr.data_type(input)?,
+        })
+    }
+}
+
+/// Convenience constructors mirroring SQL.
+pub fn sum(expr: Expr, alias: &str) -> AggExpr {
+    AggExpr::new(AggFunc::Sum, expr, alias)
+}
+pub fn avg(expr: Expr, alias: &str) -> AggExpr {
+    AggExpr::new(AggFunc::Avg, expr, alias)
+}
+pub fn min(expr: Expr, alias: &str) -> AggExpr {
+    AggExpr::new(AggFunc::Min, expr, alias)
+}
+pub fn max(expr: Expr, alias: &str) -> AggExpr {
+    AggExpr::new(AggFunc::Max, expr, alias)
+}
+pub fn count(expr: Expr, alias: &str) -> AggExpr {
+    AggExpr::new(AggFunc::Count, expr, alias)
+}
+pub fn count_distinct(expr: Expr, alias: &str) -> AggExpr {
+    AggExpr::new(AggFunc::CountDistinct, expr, alias)
+}
+
+/// Running state of one aggregate for one group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Accumulator {
+    Sum { total: f64, integer: bool, seen: bool },
+    Avg { total: f64, count: u64 },
+    Min(Option<ScalarValue>),
+    Max(Option<ScalarValue>),
+    Count(u64),
+    CountDistinct(BTreeSet<String>),
+}
+
+impl Accumulator {
+    pub fn new(func: AggFunc, input_type: DataType) -> Self {
+        match func {
+            AggFunc::Sum => {
+                Accumulator::Sum { total: 0.0, integer: input_type == DataType::Int64, seen: false }
+            }
+            AggFunc::Avg => Accumulator::Avg { total: 0.0, count: 0 },
+            AggFunc::Min => Accumulator::Min(None),
+            AggFunc::Max => Accumulator::Max(None),
+            AggFunc::Count => Accumulator::Count(0),
+            AggFunc::CountDistinct => Accumulator::CountDistinct(BTreeSet::new()),
+        }
+    }
+
+    /// Fold one value into the accumulator.
+    pub fn update(&mut self, value: &ScalarValue) -> Result<()> {
+        match self {
+            Accumulator::Sum { total, seen, .. } => {
+                *total += value.as_f64()?;
+                *seen = true;
+            }
+            Accumulator::Avg { total, count } => {
+                *total += value.as_f64()?;
+                *count += 1;
+            }
+            Accumulator::Min(current) => {
+                let replace = match current {
+                    Some(c) => value.total_cmp(c) == std::cmp::Ordering::Less,
+                    None => true,
+                };
+                if replace {
+                    *current = Some(value.clone());
+                }
+            }
+            Accumulator::Max(current) => {
+                let replace = match current {
+                    Some(c) => value.total_cmp(c) == std::cmp::Ordering::Greater,
+                    None => true,
+                };
+                if replace {
+                    *current = Some(value.clone());
+                }
+            }
+            Accumulator::Count(n) => *n += 1,
+            Accumulator::CountDistinct(set) => {
+                set.insert(value.to_string());
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge another accumulator of the same kind (partial aggregation).
+    pub fn merge(&mut self, other: &Accumulator) -> Result<()> {
+        match (self, other) {
+            (Accumulator::Sum { total, seen, .. }, Accumulator::Sum { total: t2, seen: s2, .. }) => {
+                *total += t2;
+                *seen = *seen || *s2;
+            }
+            (Accumulator::Avg { total, count }, Accumulator::Avg { total: t2, count: c2 }) => {
+                *total += t2;
+                *count += c2;
+            }
+            (Accumulator::Min(a), Accumulator::Min(Some(b))) => {
+                let replace = match a {
+                    Some(c) => b.total_cmp(c) == std::cmp::Ordering::Less,
+                    None => true,
+                };
+                if replace {
+                    *a = Some(b.clone());
+                }
+            }
+            (Accumulator::Min(_), Accumulator::Min(None)) => {}
+            (Accumulator::Max(a), Accumulator::Max(Some(b))) => {
+                let replace = match a {
+                    Some(c) => b.total_cmp(c) == std::cmp::Ordering::Greater,
+                    None => true,
+                };
+                if replace {
+                    *a = Some(b.clone());
+                }
+            }
+            (Accumulator::Max(_), Accumulator::Max(None)) => {}
+            (Accumulator::Count(a), Accumulator::Count(b)) => *a += b,
+            (Accumulator::CountDistinct(a), Accumulator::CountDistinct(b)) => {
+                a.extend(b.iter().cloned());
+            }
+            (a, b) => {
+                return Err(QuokkaError::internal(format!(
+                    "cannot merge accumulators {a:?} and {b:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Produce the final value.
+    pub fn finalize(&self) -> ScalarValue {
+        match self {
+            Accumulator::Sum { total, integer, .. } => {
+                if *integer {
+                    ScalarValue::Int64(*total as i64)
+                } else {
+                    ScalarValue::Float64(*total)
+                }
+            }
+            Accumulator::Avg { total, count } => {
+                if *count == 0 {
+                    ScalarValue::Float64(0.0)
+                } else {
+                    ScalarValue::Float64(total / *count as f64)
+                }
+            }
+            Accumulator::Min(v) => v.clone().unwrap_or(ScalarValue::Float64(f64::NAN)),
+            Accumulator::Max(v) => v.clone().unwrap_or(ScalarValue::Float64(f64::NAN)),
+            Accumulator::Count(n) => ScalarValue::Int64(*n as i64),
+            Accumulator::CountDistinct(set) => ScalarValue::Int64(set.len() as i64),
+        }
+    }
+
+    /// Approximate in-memory footprint, used to size state checkpoints.
+    pub fn state_bytes(&self) -> usize {
+        match self {
+            Accumulator::Sum { .. } => 16,
+            Accumulator::Avg { .. } => 16,
+            Accumulator::Min(v) | Accumulator::Max(v) => {
+                16 + v.as_ref().map(|s| s.to_string().len()).unwrap_or(0)
+            }
+            Accumulator::Count(_) => 8,
+            Accumulator::CountDistinct(set) => {
+                16 + set.iter().map(|s| s.len() + 8).sum::<usize>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::col;
+
+    #[test]
+    fn sum_int_and_float() {
+        let mut int_sum = Accumulator::new(AggFunc::Sum, DataType::Int64);
+        int_sum.update(&ScalarValue::Int64(3)).unwrap();
+        int_sum.update(&ScalarValue::Int64(4)).unwrap();
+        assert_eq!(int_sum.finalize(), ScalarValue::Int64(7));
+
+        let mut float_sum = Accumulator::new(AggFunc::Sum, DataType::Float64);
+        float_sum.update(&ScalarValue::Float64(1.5)).unwrap();
+        float_sum.update(&ScalarValue::Float64(2.5)).unwrap();
+        assert_eq!(float_sum.finalize(), ScalarValue::Float64(4.0));
+    }
+
+    #[test]
+    fn avg_min_max_count() {
+        let mut a = Accumulator::new(AggFunc::Avg, DataType::Float64);
+        for v in [2.0, 4.0, 6.0] {
+            a.update(&ScalarValue::Float64(v)).unwrap();
+        }
+        assert_eq!(a.finalize(), ScalarValue::Float64(4.0));
+
+        let mut mn = Accumulator::new(AggFunc::Min, DataType::Utf8);
+        let mut mx = Accumulator::new(AggFunc::Max, DataType::Utf8);
+        for s in ["banana", "apple", "cherry"] {
+            mn.update(&ScalarValue::from(s)).unwrap();
+            mx.update(&ScalarValue::from(s)).unwrap();
+        }
+        assert_eq!(mn.finalize(), ScalarValue::from("apple"));
+        assert_eq!(mx.finalize(), ScalarValue::from("cherry"));
+
+        let mut c = Accumulator::new(AggFunc::Count, DataType::Int64);
+        c.update(&ScalarValue::Int64(9)).unwrap();
+        c.update(&ScalarValue::Int64(9)).unwrap();
+        assert_eq!(c.finalize(), ScalarValue::Int64(2));
+    }
+
+    #[test]
+    fn count_distinct_dedups() {
+        let mut c = Accumulator::new(AggFunc::CountDistinct, DataType::Utf8);
+        for s in ["a", "b", "a", "c", "b"] {
+            c.update(&ScalarValue::from(s)).unwrap();
+        }
+        assert_eq!(c.finalize(), ScalarValue::Int64(3));
+        assert!(c.state_bytes() > 16);
+    }
+
+    #[test]
+    fn merge_partials() {
+        let mut a = Accumulator::new(AggFunc::Avg, DataType::Float64);
+        a.update(&ScalarValue::Float64(1.0)).unwrap();
+        let mut b = Accumulator::new(AggFunc::Avg, DataType::Float64);
+        b.update(&ScalarValue::Float64(3.0)).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.finalize(), ScalarValue::Float64(2.0));
+
+        let mut m = Accumulator::new(AggFunc::Min, DataType::Int64);
+        m.merge(&Accumulator::Min(Some(ScalarValue::Int64(5)))).unwrap();
+        m.merge(&Accumulator::Min(None)).unwrap();
+        assert_eq!(m.finalize(), ScalarValue::Int64(5));
+
+        let mut bad = Accumulator::new(AggFunc::Count, DataType::Int64);
+        assert!(bad.merge(&Accumulator::Min(None)).is_err());
+    }
+
+    #[test]
+    fn agg_expr_output_types() {
+        let schema = Schema::from_pairs(&[
+            ("qty", DataType::Int64),
+            ("price", DataType::Float64),
+            ("name", DataType::Utf8),
+        ]);
+        assert_eq!(sum(col("qty"), "s").data_type(&schema).unwrap(), DataType::Int64);
+        assert_eq!(sum(col("price"), "s").data_type(&schema).unwrap(), DataType::Float64);
+        assert_eq!(avg(col("qty"), "a").data_type(&schema).unwrap(), DataType::Float64);
+        assert_eq!(count(col("name"), "c").data_type(&schema).unwrap(), DataType::Int64);
+        assert_eq!(min(col("name"), "m").data_type(&schema).unwrap(), DataType::Utf8);
+        assert_eq!(max(col("qty"), "m").data_type(&schema).unwrap(), DataType::Int64);
+        assert_eq!(
+            count_distinct(col("name"), "cd").data_type(&schema).unwrap(),
+            DataType::Int64
+        );
+    }
+
+    #[test]
+    fn empty_group_finalizers() {
+        assert_eq!(
+            Accumulator::new(AggFunc::Count, DataType::Int64).finalize(),
+            ScalarValue::Int64(0)
+        );
+        assert_eq!(
+            Accumulator::new(AggFunc::Avg, DataType::Float64).finalize(),
+            ScalarValue::Float64(0.0)
+        );
+        assert_eq!(
+            Accumulator::new(AggFunc::Sum, DataType::Int64).finalize(),
+            ScalarValue::Int64(0)
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Table providers.
+
+use parking_lot::RwLock;
+use quokka_batch::{Batch, Schema};
+use quokka_common::{QuokkaError, Result};
+use std::collections::BTreeMap;
+
+/// A source of base tables.
+///
+/// Both the reference executor and the distributed engine resolve `Scan`
+/// nodes through this trait; the distributed engine additionally splits each
+/// table into input partitions served from the durable object store.
+pub trait Catalog: Send + Sync {
+    /// Schema of the named table.
+    fn table_schema(&self, name: &str) -> Result<Schema>;
+    /// All data of the named table, as batches.
+    fn table_batches(&self, name: &str) -> Result<Vec<Batch>>;
+    /// Names of every registered table.
+    fn table_names(&self) -> Vec<String>;
+    /// Total number of rows in the named table.
+    fn table_rows(&self, name: &str) -> Result<usize> {
+        Ok(self.table_batches(name)?.iter().map(Batch::num_rows).sum())
+    }
+}
+
+/// A simple in-memory catalog.
+#[derive(Debug, Default)]
+pub struct MemoryCatalog {
+    tables: RwLock<BTreeMap<String, (Schema, Vec<Batch>)>>,
+}
+
+impl MemoryCatalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn register(&self, name: impl Into<String>, schema: Schema, batches: Vec<Batch>) {
+        self.tables.write().insert(name.into(), (schema, batches));
+    }
+}
+
+impl Catalog for MemoryCatalog {
+    fn table_schema(&self, name: &str) -> Result<Schema> {
+        self.tables
+            .read()
+            .get(name)
+            .map(|(s, _)| s.clone())
+            .ok_or_else(|| QuokkaError::PlanError(format!("unknown table '{name}'")))
+    }
+
+    fn table_batches(&self, name: &str) -> Result<Vec<Batch>> {
+        self.tables
+            .read()
+            .get(name)
+            .map(|(_, b)| b.clone())
+            .ok_or_else(|| QuokkaError::PlanError(format!("unknown table '{name}'")))
+    }
+
+    fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quokka_batch::{Column, DataType};
+
+    #[test]
+    fn register_and_lookup() {
+        let catalog = MemoryCatalog::new();
+        let schema = Schema::from_pairs(&[("id", DataType::Int64)]);
+        let batch = Batch::try_new(schema.clone(), vec![Column::Int64(vec![1, 2, 3])]).unwrap();
+        catalog.register("t", schema.clone(), vec![batch.clone(), batch]);
+        assert_eq!(catalog.table_schema("t").unwrap(), schema);
+        assert_eq!(catalog.table_batches("t").unwrap().len(), 2);
+        assert_eq!(catalog.table_rows("t").unwrap(), 6);
+        assert_eq!(catalog.table_names(), vec!["t".to_string()]);
+        assert!(catalog.table_schema("missing").is_err());
+        assert!(catalog.table_batches("missing").is_err());
+    }
+}

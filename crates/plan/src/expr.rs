@@ -1,0 +1,498 @@
+//! The expression language and its columnar evaluator.
+
+use quokka_batch::compute::{self, ArithOp, CmpOp};
+use quokka_batch::datatype::{date_year, DataType, ScalarValue};
+use quokka_batch::{Batch, Column, Schema};
+use quokka_common::{QuokkaError, Result};
+
+/// A scalar expression evaluated row-wise over a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a column by name.
+    Column(String),
+    /// A constant.
+    Literal(ScalarValue),
+    /// Arithmetic between two expressions.
+    Arith { op: ArithOpKind, left: Box<Expr>, right: Box<Expr> },
+    /// Comparison between two expressions, producing a boolean.
+    Cmp { op: CmpOpKind, left: Box<Expr>, right: Box<Expr> },
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// SQL LIKE pattern match over a string expression.
+    Like { expr: Box<Expr>, pattern: String, negated: bool },
+    /// SQL `IN (list)` membership test.
+    InList { expr: Box<Expr>, list: Vec<ScalarValue>, negated: bool },
+    /// Inclusive range test `expr BETWEEN low AND high`.
+    Between { expr: Box<Expr>, low: ScalarValue, high: ScalarValue },
+    /// `CASE WHEN cond THEN value ... ELSE otherwise END`.
+    Case { branches: Vec<(Expr, Expr)>, otherwise: Box<Expr> },
+    /// `EXTRACT(YEAR FROM date_expr)` producing an Int64.
+    Year(Box<Expr>),
+    /// `SUBSTRING(expr FROM start FOR len)` with 1-based `start`.
+    Substr { expr: Box<Expr>, start: usize, len: usize },
+    /// Cast to another data type.
+    Cast { expr: Box<Expr>, to: DataType },
+}
+
+/// Arithmetic operators (mirrors [`quokka_batch::compute::ArithOp`], kept
+/// separate so plans serialise/compare independently of the kernel crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOpKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOpKind {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl From<ArithOpKind> for ArithOp {
+    fn from(op: ArithOpKind) -> ArithOp {
+        match op {
+            ArithOpKind::Add => ArithOp::Add,
+            ArithOpKind::Sub => ArithOp::Sub,
+            ArithOpKind::Mul => ArithOp::Mul,
+            ArithOpKind::Div => ArithOp::Div,
+        }
+    }
+}
+
+impl From<CmpOpKind> for CmpOp {
+    fn from(op: CmpOpKind) -> CmpOp {
+        match op {
+            CmpOpKind::Eq => CmpOp::Eq,
+            CmpOpKind::NotEq => CmpOp::NotEq,
+            CmpOpKind::Lt => CmpOp::Lt,
+            CmpOpKind::LtEq => CmpOp::LtEq,
+            CmpOpKind::Gt => CmpOp::Gt,
+            CmpOpKind::GtEq => CmpOp::GtEq,
+        }
+    }
+}
+
+/// Shorthand for a column reference.
+pub fn col(name: impl Into<String>) -> Expr {
+    Expr::Column(name.into())
+}
+
+/// Shorthand for a literal.
+pub fn lit(value: impl Into<ScalarValue>) -> Expr {
+    Expr::Literal(value.into())
+}
+
+/// Shorthand for a date literal given as `YYYY-MM-DD`.
+pub fn date(value: &str) -> Expr {
+    Expr::Literal(ScalarValue::Date(quokka_batch::datatype::parse_date(value)))
+}
+
+impl Expr {
+    fn binary_arith(self, op: ArithOpKind, rhs: Expr) -> Expr {
+        Expr::Arith { op, left: Box::new(self), right: Box::new(rhs) }
+    }
+    fn binary_cmp(self, op: CmpOpKind, rhs: Expr) -> Expr {
+        Expr::Cmp { op, left: Box::new(self), right: Box::new(rhs) }
+    }
+
+    pub fn add(self, rhs: Expr) -> Expr {
+        self.binary_arith(ArithOpKind::Add, rhs)
+    }
+    pub fn sub(self, rhs: Expr) -> Expr {
+        self.binary_arith(ArithOpKind::Sub, rhs)
+    }
+    pub fn mul(self, rhs: Expr) -> Expr {
+        self.binary_arith(ArithOpKind::Mul, rhs)
+    }
+    pub fn div(self, rhs: Expr) -> Expr {
+        self.binary_arith(ArithOpKind::Div, rhs)
+    }
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.binary_cmp(CmpOpKind::Eq, rhs)
+    }
+    pub fn not_eq(self, rhs: Expr) -> Expr {
+        self.binary_cmp(CmpOpKind::NotEq, rhs)
+    }
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.binary_cmp(CmpOpKind::Lt, rhs)
+    }
+    pub fn lt_eq(self, rhs: Expr) -> Expr {
+        self.binary_cmp(CmpOpKind::LtEq, rhs)
+    }
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.binary_cmp(CmpOpKind::Gt, rhs)
+    }
+    pub fn gt_eq(self, rhs: Expr) -> Expr {
+        self.binary_cmp(CmpOpKind::GtEq, rhs)
+    }
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+    pub fn like(self, pattern: impl Into<String>) -> Expr {
+        Expr::Like { expr: Box::new(self), pattern: pattern.into(), negated: false }
+    }
+    pub fn not_like(self, pattern: impl Into<String>) -> Expr {
+        Expr::Like { expr: Box::new(self), pattern: pattern.into(), negated: true }
+    }
+    pub fn in_list(self, list: Vec<ScalarValue>) -> Expr {
+        Expr::InList { expr: Box::new(self), list, negated: false }
+    }
+    pub fn not_in_list(self, list: Vec<ScalarValue>) -> Expr {
+        Expr::InList { expr: Box::new(self), list, negated: true }
+    }
+    pub fn between(self, low: impl Into<ScalarValue>, high: impl Into<ScalarValue>) -> Expr {
+        Expr::Between { expr: Box::new(self), low: low.into(), high: high.into() }
+    }
+    pub fn year(self) -> Expr {
+        Expr::Year(Box::new(self))
+    }
+    pub fn substr(self, start: usize, len: usize) -> Expr {
+        Expr::Substr { expr: Box::new(self), start, len }
+    }
+    pub fn cast(self, to: DataType) -> Expr {
+        Expr::Cast { expr: Box::new(self), to }
+    }
+
+    /// `CASE WHEN cond THEN a ELSE b END` convenience constructor.
+    pub fn case_when(cond: Expr, then: Expr, otherwise: Expr) -> Expr {
+        Expr::Case { branches: vec![(cond, then)], otherwise: Box::new(otherwise) }
+    }
+
+    /// The output data type of this expression against `schema`.
+    pub fn data_type(&self, schema: &Schema) -> Result<DataType> {
+        Ok(match self {
+            Expr::Column(name) => schema.data_type(name)?,
+            Expr::Literal(v) => v.data_type(),
+            Expr::Arith { op, left, right } => {
+                let l = left.data_type(schema)?;
+                let r = right.data_type(schema)?;
+                if !l.is_numeric() && l != DataType::Date {
+                    return Err(QuokkaError::TypeError(format!("arithmetic on {l}")));
+                }
+                if *op != ArithOpKind::Div
+                    && l == DataType::Int64
+                    && r == DataType::Int64
+                {
+                    DataType::Int64
+                } else {
+                    DataType::Float64
+                }
+            }
+            Expr::Cmp { .. }
+            | Expr::And(..)
+            | Expr::Or(..)
+            | Expr::Not(..)
+            | Expr::Like { .. }
+            | Expr::InList { .. }
+            | Expr::Between { .. } => DataType::Bool,
+            Expr::Case { branches, otherwise } => {
+                let t = branches
+                    .first()
+                    .map(|(_, then)| then.data_type(schema))
+                    .unwrap_or_else(|| otherwise.data_type(schema))?;
+                // Mixed Int64/Float64 branches produce Float64.
+                let o = otherwise.data_type(schema)?;
+                if t == o {
+                    t
+                } else if t.is_numeric() && o.is_numeric() {
+                    DataType::Float64
+                } else {
+                    t
+                }
+            }
+            Expr::Year(_) => DataType::Int64,
+            Expr::Substr { .. } => DataType::Utf8,
+            Expr::Cast { to, .. } => *to,
+        })
+    }
+
+    /// Evaluate this expression over every row of `batch`.
+    pub fn evaluate(&self, batch: &Batch) -> Result<Column> {
+        let rows = batch.num_rows();
+        match self {
+            Expr::Column(name) => Ok(batch.column_by_name(name)?.clone()),
+            Expr::Literal(v) => Ok(compute::broadcast(v, rows)),
+            Expr::Arith { op, left, right } => {
+                let l = left.evaluate(batch)?;
+                let r = right.evaluate(batch)?;
+                compute::arith((*op).into(), &l, &r)
+            }
+            Expr::Cmp { op, left, right } => {
+                let l = left.evaluate(batch)?;
+                let r = right.evaluate(batch)?;
+                compute::compare((*op).into(), &l, &r)
+            }
+            Expr::And(l, r) => compute::and(&l.evaluate(batch)?, &r.evaluate(batch)?),
+            Expr::Or(l, r) => compute::or(&l.evaluate(batch)?, &r.evaluate(batch)?),
+            Expr::Not(e) => compute::not(&e.evaluate(batch)?),
+            Expr::Like { expr, pattern, negated } => {
+                let mask = compute::like(&expr.evaluate(batch)?, pattern)?;
+                if *negated {
+                    compute::not(&mask)
+                } else {
+                    Ok(mask)
+                }
+            }
+            Expr::InList { expr, list, negated } => {
+                let mask = compute::in_list(&expr.evaluate(batch)?, list)?;
+                if *negated {
+                    compute::not(&mask)
+                } else {
+                    Ok(mask)
+                }
+            }
+            Expr::Between { expr, low, high } => {
+                let value = expr.evaluate(batch)?;
+                let low_mask =
+                    compute::compare(CmpOp::GtEq, &value, &compute::broadcast(low, rows))?;
+                let high_mask =
+                    compute::compare(CmpOp::LtEq, &value, &compute::broadcast(high, rows))?;
+                compute::and(&low_mask, &high_mask)
+            }
+            Expr::Case { branches, otherwise } => {
+                let mut result = otherwise.evaluate(batch)?;
+                // Apply branches in reverse so the FIRST matching branch wins.
+                for (cond, then) in branches.iter().rev() {
+                    let mask = cond.evaluate(batch)?;
+                    let mask = mask.as_bool()?;
+                    let then_col = then.evaluate(batch)?;
+                    result = select(mask, &then_col, &result)?;
+                }
+                Ok(result)
+            }
+            Expr::Year(e) => {
+                let dates = e.evaluate(batch)?;
+                let days = dates.as_date()?;
+                Ok(Column::Int64(days.iter().map(|&d| date_year(d)).collect()))
+            }
+            Expr::Substr { expr, start, len } => {
+                let values = expr.evaluate(batch)?;
+                let strings = values.as_utf8()?;
+                let start = start.saturating_sub(1);
+                Ok(Column::Utf8(
+                    strings
+                        .iter()
+                        .map(|s| {
+                            s.chars().skip(start).take(*len).collect::<String>()
+                        })
+                        .collect(),
+                ))
+            }
+            Expr::Cast { expr, to } => compute::cast(&expr.evaluate(batch)?, *to),
+        }
+    }
+
+    /// Evaluate this expression as a boolean mask (for predicates).
+    pub fn evaluate_mask(&self, batch: &Batch) -> Result<Vec<bool>> {
+        Ok(self.evaluate(batch)?.as_bool()?.to_vec())
+    }
+
+    /// Column names referenced by this expression, in first-appearance order.
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column(name) => {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            Expr::Literal(_) => {}
+            Expr::Arith { left, right, .. } | Expr::Cmp { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::And(l, r) | Expr::Or(l, r) => {
+                l.collect_columns(out);
+                r.collect_columns(out);
+            }
+            Expr::Not(e)
+            | Expr::Like { expr: e, .. }
+            | Expr::InList { expr: e, .. }
+            | Expr::Between { expr: e, .. }
+            | Expr::Year(e)
+            | Expr::Substr { expr: e, .. }
+            | Expr::Cast { expr: e, .. } => e.collect_columns(out),
+            Expr::Case { branches, otherwise } => {
+                for (c, t) in branches {
+                    c.collect_columns(out);
+                    t.collect_columns(out);
+                }
+                otherwise.collect_columns(out);
+            }
+        }
+    }
+}
+
+/// Element-wise select: `mask[i] ? a[i] : b[i]`.
+fn select(mask: &[bool], a: &Column, b: &Column) -> Result<Column> {
+    if a.data_type() != b.data_type() {
+        // Numeric branches of a CASE may mix Int64 and Float64.
+        let av = a.to_f64_vec()?;
+        let bv = b.to_f64_vec()?;
+        return Ok(Column::Float64(
+            mask.iter().enumerate().map(|(i, &m)| if m { av[i] } else { bv[i] }).collect(),
+        ));
+    }
+    let values: Vec<ScalarValue> = mask
+        .iter()
+        .enumerate()
+        .map(|(i, &m)| if m { a.get(i) } else { b.get(i) })
+        .collect();
+    Column::from_scalars(a.data_type(), &values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quokka_batch::datatype::parse_date;
+
+    fn batch() -> Batch {
+        let schema = Schema::from_pairs(&[
+            ("qty", DataType::Int64),
+            ("price", DataType::Float64),
+            ("ship", DataType::Date),
+            ("mode", DataType::Utf8),
+        ]);
+        Batch::try_new(
+            schema,
+            vec![
+                Column::Int64(vec![10, 20, 30]),
+                Column::Float64(vec![1.5, 2.0, 3.0]),
+                Column::Date(vec![
+                    parse_date("1994-03-01"),
+                    parse_date("1995-06-15"),
+                    parse_date("1996-01-01"),
+                ]),
+                Column::Utf8(vec!["AIR".into(), "MAIL".into(), "SHIP".into()]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let b = batch();
+        let e = col("qty").mul(col("price"));
+        assert_eq!(e.evaluate(&b).unwrap(), Column::Float64(vec![15.0, 40.0, 90.0]));
+        assert_eq!(e.data_type(b.schema()).unwrap(), DataType::Float64);
+
+        let p = col("qty").gt_eq(lit(20i64));
+        assert_eq!(p.evaluate_mask(&b).unwrap(), vec![false, true, true]);
+        assert_eq!(p.data_type(b.schema()).unwrap(), DataType::Bool);
+
+        let int_expr = col("qty").add(lit(1i64));
+        assert_eq!(int_expr.data_type(b.schema()).unwrap(), DataType::Int64);
+        assert_eq!(
+            col("qty").div(lit(2i64)).data_type(b.schema()).unwrap(),
+            DataType::Float64
+        );
+    }
+
+    #[test]
+    fn date_predicates_and_year() {
+        let b = batch();
+        let in_1995 = col("ship")
+            .gt_eq(date("1995-01-01"))
+            .and(col("ship").lt(date("1996-01-01")));
+        assert_eq!(in_1995.evaluate_mask(&b).unwrap(), vec![false, true, false]);
+        assert_eq!(
+            col("ship").year().evaluate(&b).unwrap(),
+            Column::Int64(vec![1994, 1995, 1996])
+        );
+        let between = col("ship").between(
+            ScalarValue::Date(parse_date("1994-01-01")),
+            ScalarValue::Date(parse_date("1995-12-31")),
+        );
+        assert_eq!(between.evaluate_mask(&b).unwrap(), vec![true, true, false]);
+    }
+
+    #[test]
+    fn boolean_like_and_in_list() {
+        let b = batch();
+        let e = col("mode").like("%AI%");
+        assert_eq!(e.evaluate_mask(&b).unwrap(), vec![true, true, false]);
+        let e = col("mode").not_like("%AI%");
+        assert_eq!(e.evaluate_mask(&b).unwrap(), vec![false, false, true]);
+        let e = col("mode").in_list(vec!["MAIL".into(), "SHIP".into()]);
+        assert_eq!(e.evaluate_mask(&b).unwrap(), vec![false, true, true]);
+        let e = col("mode").not_in_list(vec!["MAIL".into()]);
+        assert_eq!(e.evaluate_mask(&b).unwrap(), vec![true, false, true]);
+        let combined = col("qty").eq(lit(10i64)).or(col("mode").eq(lit("SHIP"))).not();
+        assert_eq!(combined.evaluate_mask(&b).unwrap(), vec![false, true, false]);
+    }
+
+    #[test]
+    fn case_and_substr_and_cast() {
+        let b = batch();
+        // CASE WHEN mode = 'AIR' THEN price ELSE 0 END
+        let e = Expr::case_when(col("mode").eq(lit("AIR")), col("price"), lit(0.0f64));
+        assert_eq!(e.evaluate(&b).unwrap(), Column::Float64(vec![1.5, 0.0, 0.0]));
+        assert_eq!(e.data_type(b.schema()).unwrap(), DataType::Float64);
+
+        // Mixed int/float branches coerce to float.
+        let mixed = Expr::case_when(col("qty").gt(lit(15i64)), lit(1i64), lit(0.5f64));
+        assert_eq!(mixed.evaluate(&b).unwrap(), Column::Float64(vec![0.5, 1.0, 1.0]));
+
+        let s = col("mode").substr(1, 2);
+        assert_eq!(
+            s.evaluate(&b).unwrap(),
+            Column::Utf8(vec!["AI".into(), "MA".into(), "SH".into()])
+        );
+
+        let c = col("qty").cast(DataType::Float64);
+        assert_eq!(c.evaluate(&b).unwrap(), Column::Float64(vec![10.0, 20.0, 30.0]));
+        assert_eq!(c.data_type(b.schema()).unwrap(), DataType::Float64);
+    }
+
+    #[test]
+    fn referenced_columns_are_collected_once() {
+        let e = col("a").add(col("b")).mul(col("a")).gt(lit(1i64));
+        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn unknown_column_is_a_plan_error() {
+        let b = batch();
+        assert!(col("nope").evaluate(&b).is_err());
+        assert!(col("nope").data_type(b.schema()).is_err());
+    }
+
+    #[test]
+    fn multi_branch_case_first_match_wins() {
+        let b = batch();
+        let e = Expr::Case {
+            branches: vec![
+                (col("qty").lt(lit(15i64)), lit("small")),
+                (col("qty").lt(lit(25i64)), lit("medium")),
+            ],
+            otherwise: Box::new(lit("large")),
+        };
+        assert_eq!(
+            e.evaluate(&b).unwrap(),
+            Column::Utf8(vec!["small".into(), "medium".into(), "large".into()])
+        );
+    }
+}

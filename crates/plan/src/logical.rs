@@ -1,0 +1,383 @@
+//! The logical plan DSL.
+//!
+//! TPC-H queries are expressed by hand with [`PlanBuilder`] (there is no SQL
+//! parser in this reproduction; the paper's Quokka likewise exposes a
+//! DataFrame-style API rather than SQL). Subqueries are decorrelated by hand
+//! into joins and aggregations when the query plans are written, exactly as
+//! a SQL optimizer would.
+
+use crate::aggregate::AggExpr;
+use crate::expr::Expr;
+use quokka_batch::{Field, Schema};
+use quokka_common::{QuokkaError, Result};
+
+/// Join variants used by the TPC-H plans.
+///
+/// By convention the **first** child of a join is the *build* side and the
+/// **second** is the *probe* side. The probe side is the preserved side for
+/// the outer-ish variants:
+///
+/// * `Inner` — emit build ++ probe columns for every match.
+/// * `Left` — like `Inner`, but probe rows without a match are also emitted
+///   with the build columns filled with type defaults (0 / empty string /
+///   epoch / false). The engine does not model SQL NULLs; the TPC-H plans
+///   that use this (Q13) are written so the default values are
+///   distinguishable from real matches.
+/// * `Semi` — emit probe rows that have at least one build match (used for
+///   decorrelated `EXISTS` / `IN`).
+/// * `Anti` — emit probe rows that have no build match (decorrelated `NOT
+///   EXISTS` / `NOT IN`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    Inner,
+    Left,
+    Semi,
+    Anti,
+}
+
+/// A relational operator tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan a base table.
+    Scan { table: String, schema: Schema },
+    /// Keep rows satisfying `predicate`.
+    Filter { input: Box<LogicalPlan>, predicate: Expr },
+    /// Compute named expressions.
+    Project { input: Box<LogicalPlan>, exprs: Vec<(Expr, String)> },
+    /// Hash join; see [`JoinType`] for the build/probe convention.
+    Join {
+        build: Box<LogicalPlan>,
+        probe: Box<LogicalPlan>,
+        /// Equality keys as `(build column, probe column)` pairs.
+        on: Vec<(String, String)>,
+        join_type: JoinType,
+    },
+    /// Grouped aggregation (an empty `group_by` produces a single row).
+    Aggregate {
+        input: Box<LogicalPlan>,
+        group_by: Vec<(Expr, String)>,
+        aggregates: Vec<AggExpr>,
+    },
+    /// Sort by output columns; `limit` turns it into a top-k.
+    Sort { input: Box<LogicalPlan>, keys: Vec<(String, bool)>, limit: Option<usize> },
+    /// Keep the first `n` rows.
+    Limit { input: Box<LogicalPlan>, n: usize },
+}
+
+impl LogicalPlan {
+    /// The output schema of this plan node.
+    pub fn schema(&self) -> Result<Schema> {
+        match self {
+            LogicalPlan::Scan { schema, .. } => Ok(schema.clone()),
+            LogicalPlan::Filter { input, .. } => input.schema(),
+            LogicalPlan::Project { input, exprs } => {
+                let input_schema = input.schema()?;
+                let fields = exprs
+                    .iter()
+                    .map(|(e, name)| Ok(Field::new(name.clone(), e.data_type(&input_schema)?)))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Schema::new(fields))
+            }
+            LogicalPlan::Join { build, probe, join_type, .. } => {
+                let probe_schema = probe.schema()?;
+                match join_type {
+                    JoinType::Semi | JoinType::Anti => Ok(probe_schema),
+                    JoinType::Inner | JoinType::Left => Ok(build.schema()?.join(&probe_schema)),
+                }
+            }
+            LogicalPlan::Aggregate { input, group_by, aggregates } => {
+                let input_schema = input.schema()?;
+                let mut fields = Vec::with_capacity(group_by.len() + aggregates.len());
+                for (expr, name) in group_by {
+                    fields.push(Field::new(name.clone(), expr.data_type(&input_schema)?));
+                }
+                for agg in aggregates {
+                    fields.push(Field::new(agg.alias.clone(), agg.data_type(&input_schema)?));
+                }
+                Ok(Schema::new(fields))
+            }
+            LogicalPlan::Sort { input, .. } | LogicalPlan::Limit { input, .. } => input.schema(),
+        }
+    }
+
+    /// Immediate children of this node.
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } => vec![],
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => vec![input],
+            LogicalPlan::Join { build, probe, .. } => vec![build, probe],
+        }
+    }
+
+    /// Names of every base table referenced by the plan, in first-use order.
+    pub fn referenced_tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out
+    }
+
+    fn collect_tables(&self, out: &mut Vec<String>) {
+        if let LogicalPlan::Scan { table, .. } = self {
+            if !out.contains(table) {
+                out.push(table.clone());
+            }
+        }
+        for child in self.children() {
+            child.collect_tables(out);
+        }
+    }
+
+    /// Number of nodes in the plan tree.
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// A short human-readable name for the node kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LogicalPlan::Scan { .. } => "Scan",
+            LogicalPlan::Filter { .. } => "Filter",
+            LogicalPlan::Project { .. } => "Project",
+            LogicalPlan::Join { .. } => "Join",
+            LogicalPlan::Aggregate { .. } => "Aggregate",
+            LogicalPlan::Sort { .. } => "Sort",
+            LogicalPlan::Limit { .. } => "Limit",
+        }
+    }
+
+    /// A multi-line indented rendering of the plan (EXPLAIN-style).
+    pub fn display_indent(&self) -> String {
+        fn walk(plan: &LogicalPlan, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            match plan {
+                LogicalPlan::Scan { table, .. } => out.push_str(&format!("Scan: {table}\n")),
+                LogicalPlan::Filter { .. } => out.push_str("Filter\n"),
+                LogicalPlan::Project { exprs, .. } => {
+                    let names: Vec<&str> = exprs.iter().map(|(_, n)| n.as_str()).collect();
+                    out.push_str(&format!("Project: {}\n", names.join(", ")));
+                }
+                LogicalPlan::Join { on, join_type, .. } => {
+                    out.push_str(&format!("Join({join_type:?}): {on:?}\n"))
+                }
+                LogicalPlan::Aggregate { group_by, aggregates, .. } => {
+                    let groups: Vec<&str> = group_by.iter().map(|(_, n)| n.as_str()).collect();
+                    let aggs: Vec<&str> = aggregates.iter().map(|a| a.alias.as_str()).collect();
+                    out.push_str(&format!(
+                        "Aggregate: group=[{}] aggs=[{}]\n",
+                        groups.join(", "),
+                        aggs.join(", ")
+                    ));
+                }
+                LogicalPlan::Sort { keys, limit, .. } => {
+                    out.push_str(&format!("Sort: {keys:?} limit={limit:?}\n"))
+                }
+                LogicalPlan::Limit { n, .. } => out.push_str(&format!("Limit: {n}\n")),
+            }
+            for child in plan.children() {
+                walk(child, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        walk(self, 0, &mut out);
+        out
+    }
+}
+
+/// Fluent builder for [`LogicalPlan`]s.
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    plan: LogicalPlan,
+}
+
+impl PlanBuilder {
+    /// Start from a base-table scan.
+    pub fn scan(table: impl Into<String>, schema: Schema) -> Self {
+        PlanBuilder { plan: LogicalPlan::Scan { table: table.into(), schema } }
+    }
+
+    /// Wrap an existing plan.
+    pub fn from_plan(plan: LogicalPlan) -> Self {
+        PlanBuilder { plan }
+    }
+
+    pub fn filter(self, predicate: Expr) -> Self {
+        PlanBuilder { plan: LogicalPlan::Filter { input: Box::new(self.plan), predicate } }
+    }
+
+    /// Project expressions with output names.
+    pub fn project(self, exprs: Vec<(Expr, &str)>) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Project {
+                input: Box::new(self.plan),
+                exprs: exprs.into_iter().map(|(e, n)| (e, n.to_string())).collect(),
+            },
+        }
+    }
+
+    /// Join with `probe`; `self` is the build side. `on` pairs are
+    /// `(build column, probe column)`.
+    pub fn join(self, probe: PlanBuilder, on: Vec<(&str, &str)>, join_type: JoinType) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Join {
+                build: Box::new(self.plan),
+                probe: Box::new(probe.plan),
+                on: on.into_iter().map(|(a, b)| (a.to_string(), b.to_string())).collect(),
+                join_type,
+            },
+        }
+    }
+
+    pub fn aggregate(self, group_by: Vec<(Expr, &str)>, aggregates: Vec<AggExpr>) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Aggregate {
+                input: Box::new(self.plan),
+                group_by: group_by.into_iter().map(|(e, n)| (e, n.to_string())).collect(),
+                aggregates,
+            },
+        }
+    }
+
+    /// Sort by named output columns (`true` = ascending).
+    pub fn sort(self, keys: Vec<(&str, bool)>) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Sort {
+                input: Box::new(self.plan),
+                keys: keys.into_iter().map(|(k, asc)| (k.to_string(), asc)).collect(),
+                limit: None,
+            },
+        }
+    }
+
+    /// Sort with a top-k limit.
+    pub fn sort_limit(self, keys: Vec<(&str, bool)>, limit: usize) -> Self {
+        PlanBuilder {
+            plan: LogicalPlan::Sort {
+                input: Box::new(self.plan),
+                keys: keys.into_iter().map(|(k, asc)| (k.to_string(), asc)).collect(),
+                limit: Some(limit),
+            },
+        }
+    }
+
+    pub fn limit(self, n: usize) -> Self {
+        PlanBuilder { plan: LogicalPlan::Limit { input: Box::new(self.plan), n } }
+    }
+
+    /// Validate and return the built plan.
+    pub fn build(self) -> Result<LogicalPlan> {
+        // Computing the schema exercises name resolution over the whole tree.
+        self.plan.schema().map_err(|e| {
+            QuokkaError::PlanError(format!("invalid plan: {e}\n{}", self.plan.display_indent()))
+        })?;
+        Ok(self.plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{count, sum};
+    use crate::expr::{col, lit};
+    use quokka_batch::DataType;
+
+    fn orders_schema() -> Schema {
+        Schema::from_pairs(&[
+            ("o_orderkey", DataType::Int64),
+            ("o_custkey", DataType::Int64),
+            ("o_totalprice", DataType::Float64),
+        ])
+    }
+
+    fn customer_schema() -> Schema {
+        Schema::from_pairs(&[("c_custkey", DataType::Int64), ("c_name", DataType::Utf8)])
+    }
+
+    #[test]
+    fn builder_produces_expected_schema() {
+        let plan = PlanBuilder::scan("customer", customer_schema())
+            .join(
+                PlanBuilder::scan("orders", orders_schema()),
+                vec![("c_custkey", "o_custkey")],
+                JoinType::Inner,
+            )
+            .filter(col("o_totalprice").gt(lit(100.0f64)))
+            .aggregate(
+                vec![(col("c_name"), "c_name")],
+                vec![sum(col("o_totalprice"), "revenue"), count(col("o_orderkey"), "n")],
+            )
+            .sort_limit(vec![("revenue", false)], 10)
+            .build()
+            .unwrap();
+
+        let schema = plan.schema().unwrap();
+        assert_eq!(schema.column_names(), vec!["c_name", "revenue", "n"]);
+        assert_eq!(schema.data_type("revenue").unwrap(), DataType::Float64);
+        assert_eq!(schema.data_type("n").unwrap(), DataType::Int64);
+        assert_eq!(plan.referenced_tables(), vec!["customer", "orders"]);
+        assert_eq!(plan.node_count(), 6);
+        let display = plan.display_indent();
+        assert!(display.contains("Scan: orders"));
+        assert!(display.contains("Aggregate"));
+    }
+
+    #[test]
+    fn join_schema_depends_on_join_type() {
+        let inner = PlanBuilder::scan("customer", customer_schema())
+            .join(
+                PlanBuilder::scan("orders", orders_schema()),
+                vec![("c_custkey", "o_custkey")],
+                JoinType::Inner,
+            )
+            .build()
+            .unwrap();
+        assert_eq!(inner.schema().unwrap().len(), 5);
+
+        let semi = PlanBuilder::scan("customer", customer_schema())
+            .join(
+                PlanBuilder::scan("orders", orders_schema()),
+                vec![("c_custkey", "o_custkey")],
+                JoinType::Semi,
+            )
+            .build()
+            .unwrap();
+        assert_eq!(semi.schema().unwrap().column_names(), vec!["o_orderkey", "o_custkey", "o_totalprice"]);
+    }
+
+    #[test]
+    fn invalid_column_reference_fails_at_build_time() {
+        let result = PlanBuilder::scan("orders", orders_schema())
+            .project(vec![(col("missing_column"), "x")])
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn projection_and_filter_preserve_or_rename() {
+        let plan = PlanBuilder::scan("orders", orders_schema())
+            .filter(col("o_orderkey").gt(lit(5i64)))
+            .project(vec![
+                (col("o_totalprice").mul(lit(2.0f64)), "double_price"),
+                (col("o_orderkey"), "key"),
+            ])
+            .build()
+            .unwrap();
+        let schema = plan.schema().unwrap();
+        assert_eq!(schema.column_names(), vec!["double_price", "key"]);
+        assert_eq!(schema.data_type("double_price").unwrap(), DataType::Float64);
+        assert_eq!(plan.name(), "Project");
+        assert_eq!(plan.children().len(), 1);
+    }
+
+    #[test]
+    fn global_aggregate_has_no_group_columns() {
+        let plan = PlanBuilder::scan("orders", orders_schema())
+            .aggregate(vec![], vec![sum(col("o_totalprice"), "total")])
+            .build()
+            .unwrap();
+        assert_eq!(plan.schema().unwrap().column_names(), vec!["total"]);
+    }
+}

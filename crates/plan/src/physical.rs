@@ -1,0 +1,1005 @@
+//! Stateful stage operators.
+//!
+//! In the paper's execution model (Fig. 1) every stage runs an operator with
+//! an optional *state variable* per channel: the hash table of a join, the
+//! group map of an aggregation, the buffer of a sort. Tasks push input
+//! batches through the operator, mutating that state and emitting output
+//! batches.
+//!
+//! The [`StageOperator`] trait is exactly that contract. Operators are
+//! created from a cloneable [`OperatorSpec`] so the engine can re-instantiate
+//! them from scratch when a failed channel is rewound during recovery (the
+//! state variable itself is never persisted — that is the whole point of
+//! write-ahead lineage).
+
+use crate::aggregate::{Accumulator, AggExpr};
+use crate::expr::Expr;
+use crate::logical::JoinType;
+use quokka_batch::compute::{self, SortKey};
+use quokka_batch::datatype::{DataType, ScalarValue};
+use quokka_batch::{Batch, Column, Schema};
+use quokka_common::{QuokkaError, Result};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+/// A stateless row transformation applied inside a stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Transform {
+    /// Keep rows satisfying the predicate.
+    Filter(Expr),
+    /// Compute named expressions.
+    Project(Vec<(Expr, String)>),
+}
+
+impl Transform {
+    /// Output schema after applying this transform to `input`.
+    pub fn output_schema(&self, input: &Schema) -> Result<Schema> {
+        match self {
+            Transform::Filter(_) => Ok(input.clone()),
+            Transform::Project(exprs) => {
+                let fields = exprs
+                    .iter()
+                    .map(|(e, name)| {
+                        Ok(quokka_batch::Field::new(name.clone(), e.data_type(input)?))
+                    })
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Schema::new(fields))
+            }
+        }
+    }
+
+    /// Apply this transform to a batch.
+    pub fn apply(&self, batch: &Batch) -> Result<Batch> {
+        match self {
+            Transform::Filter(predicate) => {
+                let mask = predicate.evaluate_mask(batch)?;
+                batch.filter(&mask)
+            }
+            Transform::Project(exprs) => {
+                let schema = self.output_schema(batch.schema())?;
+                let columns = exprs
+                    .iter()
+                    .map(|(e, _)| e.evaluate(batch))
+                    .collect::<Result<Vec<Column>>>()?;
+                Batch::try_new(schema, columns)
+            }
+        }
+    }
+}
+
+/// Apply a chain of transforms.
+pub fn apply_transforms(batch: &Batch, transforms: &[Transform]) -> Result<Batch> {
+    let mut current = batch.clone();
+    for t in transforms {
+        current = t.apply(&current)?;
+    }
+    Ok(current)
+}
+
+/// Output schema after a chain of transforms.
+pub fn transforms_schema(input: &Schema, transforms: &[Transform]) -> Result<Schema> {
+    let mut current = input.clone();
+    for t in transforms {
+        current = t.output_schema(&current)?;
+    }
+    Ok(current)
+}
+
+/// The stateful core of a stage.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreOp {
+    /// Stateless pass-through (scans and pure filter/project stages).
+    Map { input_schema: Schema },
+    /// Hash join. Input 0 is the build side, input 1 the probe side.
+    HashJoin {
+        build_schema: Schema,
+        probe_schema: Schema,
+        /// Indices of the key columns in the build schema.
+        build_keys: Vec<usize>,
+        /// Indices of the key columns in the probe schema.
+        probe_keys: Vec<usize>,
+        join_type: JoinType,
+    },
+    /// Hash aggregation.
+    HashAggregate {
+        input_schema: Schema,
+        group_by: Vec<(Expr, String)>,
+        aggregates: Vec<AggExpr>,
+    },
+    /// Buffering sort (optionally top-k).
+    Sort { input_schema: Schema, keys: Vec<(String, bool)>, limit: Option<usize> },
+    /// Row-count limit.
+    Limit { input_schema: Schema, n: usize },
+}
+
+impl CoreOp {
+    /// Output schema of the core operator (before post transforms).
+    pub fn output_schema(&self) -> Result<Schema> {
+        match self {
+            CoreOp::Map { input_schema } => Ok(input_schema.clone()),
+            CoreOp::HashJoin { build_schema, probe_schema, join_type, .. } => match join_type {
+                JoinType::Semi | JoinType::Anti => Ok(probe_schema.clone()),
+                JoinType::Inner | JoinType::Left => Ok(build_schema.join(probe_schema)),
+            },
+            CoreOp::HashAggregate { input_schema, group_by, aggregates } => {
+                let mut fields = Vec::new();
+                for (expr, name) in group_by {
+                    fields.push(quokka_batch::Field::new(
+                        name.clone(),
+                        expr.data_type(input_schema)?,
+                    ));
+                }
+                for agg in aggregates {
+                    fields.push(quokka_batch::Field::new(
+                        agg.alias.clone(),
+                        agg.data_type(input_schema)?,
+                    ));
+                }
+                Ok(Schema::new(fields))
+            }
+            CoreOp::Sort { input_schema, .. } | CoreOp::Limit { input_schema, .. } => {
+                Ok(input_schema.clone())
+            }
+        }
+    }
+
+    /// Number of distinct upstream inputs this operator consumes.
+    pub fn num_inputs(&self) -> usize {
+        match self {
+            CoreOp::HashJoin { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether the operator keeps meaningful state between tasks.
+    pub fn is_stateful(&self) -> bool {
+        !matches!(self, CoreOp::Map { .. })
+    }
+}
+
+/// A cloneable description of a stage's operator: the stateful core plus a
+/// chain of stateless transforms applied to its output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorSpec {
+    pub core: CoreOp,
+    pub post: Vec<Transform>,
+}
+
+impl OperatorSpec {
+    pub fn new(core: CoreOp) -> Self {
+        OperatorSpec { core, post: Vec::new() }
+    }
+
+    pub fn with_post(mut self, transform: Transform) -> Self {
+        self.post.push(transform);
+        self
+    }
+
+    /// Final output schema (core output run through the post transforms).
+    pub fn output_schema(&self) -> Result<Schema> {
+        transforms_schema(&self.core.output_schema()?, &self.post)
+    }
+
+    pub fn num_inputs(&self) -> usize {
+        self.core.num_inputs()
+    }
+
+    pub fn is_stateful(&self) -> bool {
+        self.core.is_stateful()
+    }
+
+    /// Build a fresh operator instance with empty state.
+    pub fn instantiate(&self) -> Result<Box<dyn StageOperator>> {
+        let core: Box<dyn StageOperator> = match &self.core {
+            CoreOp::Map { input_schema } => Box::new(MapOperator { schema: input_schema.clone() }),
+            CoreOp::HashJoin { build_schema, probe_schema, build_keys, probe_keys, join_type } => {
+                Box::new(HashJoinOperator::new(
+                    build_schema.clone(),
+                    probe_schema.clone(),
+                    build_keys.clone(),
+                    probe_keys.clone(),
+                    *join_type,
+                ))
+            }
+            CoreOp::HashAggregate { input_schema, group_by, aggregates } => {
+                Box::new(HashAggregateOperator::new(
+                    input_schema.clone(),
+                    group_by.clone(),
+                    aggregates.clone(),
+                )?)
+            }
+            CoreOp::Sort { input_schema, keys, limit } => {
+                Box::new(SortOperator::new(input_schema.clone(), keys.clone(), *limit)?)
+            }
+            CoreOp::Limit { input_schema, n } => {
+                Box::new(LimitOperator { schema: input_schema.clone(), remaining: *n, n: *n })
+            }
+        };
+        if self.post.is_empty() {
+            Ok(core)
+        } else {
+            Ok(Box::new(PostTransformOperator {
+                schema: self.output_schema()?,
+                inner: core,
+                post: self.post.clone(),
+            }))
+        }
+    }
+}
+
+/// A channel's stateful operator (the paper's "state variable" plus the code
+/// that updates it).
+pub trait StageOperator: Send {
+    /// Feed one batch arriving from upstream input `input`; returns any
+    /// output batches that can be emitted immediately.
+    fn push(&mut self, input: usize, batch: &Batch) -> Result<Vec<Batch>>;
+    /// Signal that upstream input `input` is exhausted; returns output that
+    /// becomes available because of it (e.g. probe results buffered while a
+    /// join's build side was still streaming in).
+    fn finish_input(&mut self, input: usize) -> Result<Vec<Batch>>;
+    /// Signal that every input is exhausted; returns the final output (e.g.
+    /// aggregation results).
+    fn finish(&mut self) -> Result<Vec<Batch>>;
+    /// Output schema of emitted batches.
+    fn output_schema(&self) -> Schema;
+    /// Approximate size of the operator state in bytes (checkpoint sizing).
+    fn state_bytes(&self) -> usize;
+    /// Drop all state, returning the operator to its initial configuration
+    /// (used when a channel is rewound during recovery).
+    fn reset(&mut self);
+}
+
+// ---------------------------------------------------------------------------
+// Map
+// ---------------------------------------------------------------------------
+
+/// Stateless pass-through operator.
+#[derive(Debug)]
+struct MapOperator {
+    schema: Schema,
+}
+
+impl StageOperator for MapOperator {
+    fn push(&mut self, _input: usize, batch: &Batch) -> Result<Vec<Batch>> {
+        Ok(vec![batch.clone()])
+    }
+    fn finish_input(&mut self, _input: usize) -> Result<Vec<Batch>> {
+        Ok(vec![])
+    }
+    fn finish(&mut self) -> Result<Vec<Batch>> {
+        Ok(vec![])
+    }
+    fn output_schema(&self) -> Schema {
+        self.schema.clone()
+    }
+    fn state_bytes(&self) -> usize {
+        0
+    }
+    fn reset(&mut self) {}
+}
+
+// ---------------------------------------------------------------------------
+// Post transforms wrapper
+// ---------------------------------------------------------------------------
+
+struct PostTransformOperator {
+    schema: Schema,
+    inner: Box<dyn StageOperator>,
+    post: Vec<Transform>,
+}
+
+impl PostTransformOperator {
+    fn map(&self, batches: Vec<Batch>) -> Result<Vec<Batch>> {
+        batches.iter().map(|b| apply_transforms(b, &self.post)).collect()
+    }
+}
+
+impl StageOperator for PostTransformOperator {
+    fn push(&mut self, input: usize, batch: &Batch) -> Result<Vec<Batch>> {
+        let out = self.inner.push(input, batch)?;
+        self.map(out)
+    }
+    fn finish_input(&mut self, input: usize) -> Result<Vec<Batch>> {
+        let out = self.inner.finish_input(input)?;
+        self.map(out)
+    }
+    fn finish(&mut self) -> Result<Vec<Batch>> {
+        let out = self.inner.finish()?;
+        self.map(out)
+    }
+    fn output_schema(&self) -> Schema {
+        self.schema.clone()
+    }
+    fn state_bytes(&self) -> usize {
+        self.inner.state_bytes()
+    }
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash join
+// ---------------------------------------------------------------------------
+
+/// Build-then-probe hash join.
+///
+/// The build side (input 0) is accumulated into an in-memory hash table (the
+/// channel's state variable — exactly the example used in the paper's
+/// Fig. 1/2). Probe batches arriving before the build side has finished are
+/// buffered so that upstream stages can stay busy; once the build side
+/// finishes they are probed and output flows batch-by-batch, which is what
+/// gives pipelined execution its advantage over stagewise execution.
+struct HashJoinOperator {
+    build_schema: Schema,
+    build_keys: Vec<usize>,
+    probe_keys: Vec<usize>,
+    join_type: JoinType,
+    output: Schema,
+    /// Concatenated build-side rows.
+    build_batches: Vec<Batch>,
+    /// Hash of build key -> row locations as (batch index, row index).
+    table: HashMap<u64, Vec<(usize, usize)>>,
+    /// Probe batches buffered before the build side finished.
+    pending_probe: Vec<Batch>,
+    build_done: bool,
+}
+
+impl HashJoinOperator {
+    fn new(
+        build_schema: Schema,
+        probe_schema: Schema,
+        build_keys: Vec<usize>,
+        probe_keys: Vec<usize>,
+        join_type: JoinType,
+    ) -> Self {
+        let output = match join_type {
+            JoinType::Semi | JoinType::Anti => probe_schema.clone(),
+            JoinType::Inner | JoinType::Left => build_schema.join(&probe_schema),
+        };
+        HashJoinOperator {
+            build_schema,
+            build_keys,
+            probe_keys,
+            join_type,
+            output,
+            build_batches: Vec::new(),
+            table: HashMap::new(),
+            pending_probe: Vec::new(),
+            build_done: false,
+        }
+    }
+
+    fn insert_build(&mut self, batch: &Batch) {
+        let hashes = compute::hash_rows(batch, &self.build_keys);
+        let batch_index = self.build_batches.len();
+        for (row, hash) in hashes.iter().enumerate() {
+            self.table.entry(*hash).or_default().push((batch_index, row));
+        }
+        self.build_batches.push(batch.clone());
+    }
+
+    fn keys_equal(&self, build_loc: (usize, usize), probe: &Batch, probe_row: usize) -> bool {
+        let build_batch = &self.build_batches[build_loc.0];
+        self.build_keys.iter().zip(&self.probe_keys).all(|(&bk, &pk)| {
+            build_batch
+                .column(bk)
+                .get(build_loc.1)
+                .total_cmp(&probe.column(pk).get(probe_row))
+                == std::cmp::Ordering::Equal
+        })
+    }
+
+    fn default_build_row(&self) -> Vec<ScalarValue> {
+        self.build_schema
+            .fields()
+            .iter()
+            .map(|f| match f.data_type {
+                DataType::Int64 => ScalarValue::Int64(0),
+                DataType::Float64 => ScalarValue::Float64(0.0),
+                DataType::Utf8 => ScalarValue::Utf8(String::new()),
+                DataType::Bool => ScalarValue::Bool(false),
+                DataType::Date => ScalarValue::Date(0),
+            })
+            .collect()
+    }
+
+    fn probe(&self, batch: &Batch) -> Result<Vec<Batch>> {
+        if batch.num_rows() == 0 {
+            return Ok(vec![]);
+        }
+        let hashes = compute::hash_rows(batch, &self.probe_keys);
+        match self.join_type {
+            JoinType::Inner | JoinType::Left => {
+                // Gather matching (build location, probe row) pairs.
+                let mut build_rows: Vec<(usize, usize)> = Vec::new();
+                let mut probe_rows: Vec<usize> = Vec::new();
+                let mut unmatched: Vec<usize> = Vec::new();
+                for (row, hash) in hashes.iter().enumerate() {
+                    let mut matched = false;
+                    if let Some(candidates) = self.table.get(hash) {
+                        for &loc in candidates {
+                            if self.keys_equal(loc, batch, row) {
+                                build_rows.push(loc);
+                                probe_rows.push(row);
+                                matched = true;
+                            }
+                        }
+                    }
+                    if !matched {
+                        unmatched.push(row);
+                    }
+                }
+                let mut outputs = Vec::new();
+                if !probe_rows.is_empty() {
+                    outputs.push(self.stitch(&build_rows, &probe_rows, batch)?);
+                }
+                if self.join_type == JoinType::Left && !unmatched.is_empty() {
+                    outputs.push(self.stitch_defaults(&unmatched, batch)?);
+                }
+                Ok(outputs)
+            }
+            JoinType::Semi | JoinType::Anti => {
+                let want_match = self.join_type == JoinType::Semi;
+                let mask: Vec<bool> = hashes
+                    .iter()
+                    .enumerate()
+                    .map(|(row, hash)| {
+                        let matched = self
+                            .table
+                            .get(hash)
+                            .map(|candidates| {
+                                candidates.iter().any(|&loc| self.keys_equal(loc, batch, row))
+                            })
+                            .unwrap_or(false);
+                        matched == want_match
+                    })
+                    .collect();
+                let filtered = batch.filter(&mask)?;
+                if filtered.num_rows() == 0 {
+                    Ok(vec![])
+                } else {
+                    Ok(vec![filtered])
+                }
+            }
+        }
+    }
+
+    /// Combine matched build rows with their probe rows into one output batch.
+    fn stitch(
+        &self,
+        build_rows: &[(usize, usize)],
+        probe_rows: &[usize],
+        probe: &Batch,
+    ) -> Result<Batch> {
+        let mut columns: Vec<Column> = Vec::with_capacity(self.output.len());
+        for col_idx in 0..self.build_schema.len() {
+            let dtype = self.build_schema.field(col_idx).data_type;
+            let values: Vec<ScalarValue> = build_rows
+                .iter()
+                .map(|&(b, r)| self.build_batches[b].column(col_idx).get(r))
+                .collect();
+            columns.push(Column::from_scalars(dtype, &values)?);
+        }
+        let probe_taken = probe.take(probe_rows)?;
+        columns.extend(probe_taken.columns().iter().cloned());
+        Batch::try_new(self.output.clone(), columns)
+    }
+
+    /// Emit unmatched probe rows with default-valued build columns (Left).
+    fn stitch_defaults(&self, probe_rows: &[usize], probe: &Batch) -> Result<Batch> {
+        let defaults = self.default_build_row();
+        let mut columns: Vec<Column> = Vec::with_capacity(self.output.len());
+        for (col_idx, default) in defaults.iter().enumerate() {
+            let dtype = self.build_schema.field(col_idx).data_type;
+            let values: Vec<ScalarValue> = probe_rows.iter().map(|_| default.clone()).collect();
+            columns.push(Column::from_scalars(dtype, &values)?);
+        }
+        let probe_taken = probe.take(probe_rows)?;
+        columns.extend(probe_taken.columns().iter().cloned());
+        Batch::try_new(self.output.clone(), columns)
+    }
+}
+
+impl StageOperator for HashJoinOperator {
+    fn push(&mut self, input: usize, batch: &Batch) -> Result<Vec<Batch>> {
+        match input {
+            0 => {
+                if self.build_done {
+                    return Err(QuokkaError::internal("build input pushed after finish"));
+                }
+                self.insert_build(batch);
+                Ok(vec![])
+            }
+            1 => {
+                if self.build_done {
+                    self.probe(batch)
+                } else {
+                    self.pending_probe.push(batch.clone());
+                    Ok(vec![])
+                }
+            }
+            other => Err(QuokkaError::internal(format!("join has no input {other}"))),
+        }
+    }
+
+    fn finish_input(&mut self, input: usize) -> Result<Vec<Batch>> {
+        if input == 0 && !self.build_done {
+            self.build_done = true;
+            let pending = std::mem::take(&mut self.pending_probe);
+            let mut out = Vec::new();
+            for batch in pending {
+                out.extend(self.probe(&batch)?);
+            }
+            return Ok(out);
+        }
+        Ok(vec![])
+    }
+
+    fn finish(&mut self) -> Result<Vec<Batch>> {
+        // All output is produced while probing; nothing is held back.
+        Ok(vec![])
+    }
+
+    fn output_schema(&self) -> Schema {
+        self.output.clone()
+    }
+
+    fn state_bytes(&self) -> usize {
+        let build: usize = self.build_batches.iter().map(Batch::byte_size).sum();
+        let pending: usize = self.pending_probe.iter().map(Batch::byte_size).sum();
+        build + pending + self.table.len() * 24
+    }
+
+    fn reset(&mut self) {
+        self.build_batches.clear();
+        self.table.clear();
+        self.pending_probe.clear();
+        self.build_done = false;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash aggregate
+// ---------------------------------------------------------------------------
+
+/// Hash aggregation; the group map is the channel's state variable.
+struct HashAggregateOperator {
+    input_schema: Schema,
+    group_by: Vec<(Expr, String)>,
+    aggregates: Vec<AggExpr>,
+    output: Schema,
+    agg_input_types: Vec<DataType>,
+    /// Group key (stable encoding) -> (key values, accumulators).
+    groups: BTreeMap<String, (Vec<ScalarValue>, Vec<Accumulator>)>,
+    /// For a global aggregate (no group columns) we must emit exactly one
+    /// row even if no input arrives.
+    global: bool,
+}
+
+impl HashAggregateOperator {
+    fn new(
+        input_schema: Schema,
+        group_by: Vec<(Expr, String)>,
+        aggregates: Vec<AggExpr>,
+    ) -> Result<Self> {
+        let core = CoreOp::HashAggregate {
+            input_schema: input_schema.clone(),
+            group_by: group_by.clone(),
+            aggregates: aggregates.clone(),
+        };
+        let output = core.output_schema()?;
+        let agg_input_types = aggregates
+            .iter()
+            .map(|a| a.expr.data_type(&input_schema))
+            .collect::<Result<Vec<_>>>()?;
+        let global = group_by.is_empty();
+        Ok(HashAggregateOperator {
+            input_schema,
+            group_by,
+            aggregates,
+            output,
+            agg_input_types,
+            groups: BTreeMap::new(),
+            global,
+        })
+    }
+
+    fn encode_key(values: &[ScalarValue]) -> String {
+        let mut key = String::new();
+        for v in values {
+            key.push_str(&v.to_string());
+            key.push('\u{1}');
+        }
+        key
+    }
+}
+
+impl StageOperator for HashAggregateOperator {
+    fn push(&mut self, _input: usize, batch: &Batch) -> Result<Vec<Batch>> {
+        if batch.num_rows() == 0 {
+            return Ok(vec![]);
+        }
+        if batch.schema() != &self.input_schema {
+            return Err(QuokkaError::SchemaMismatch {
+                expected: self.input_schema.to_string(),
+                actual: batch.schema().to_string(),
+            });
+        }
+        let group_columns = self
+            .group_by
+            .iter()
+            .map(|(e, _)| e.evaluate(batch))
+            .collect::<Result<Vec<Column>>>()?;
+        let agg_columns = self
+            .aggregates
+            .iter()
+            .map(|a| a.expr.evaluate(batch))
+            .collect::<Result<Vec<Column>>>()?;
+        for row in 0..batch.num_rows() {
+            let key_values: Vec<ScalarValue> = group_columns.iter().map(|c| c.get(row)).collect();
+            let key = Self::encode_key(&key_values);
+            let entry = self.groups.entry(key).or_insert_with(|| {
+                let accumulators = self
+                    .aggregates
+                    .iter()
+                    .zip(&self.agg_input_types)
+                    .map(|(a, t)| Accumulator::new(a.func, *t))
+                    .collect();
+                (key_values.clone(), accumulators)
+            });
+            for (acc, col) in entry.1.iter_mut().zip(&agg_columns) {
+                acc.update(&col.get(row))?;
+            }
+        }
+        Ok(vec![])
+    }
+
+    fn finish_input(&mut self, _input: usize) -> Result<Vec<Batch>> {
+        Ok(vec![])
+    }
+
+    fn finish(&mut self) -> Result<Vec<Batch>> {
+        if self.groups.is_empty() && self.global {
+            // SQL semantics: a global aggregate over zero rows still yields
+            // one row of "zero" values.
+            let accumulators: Vec<Accumulator> = self
+                .aggregates
+                .iter()
+                .zip(&self.agg_input_types)
+                .map(|(a, t)| Accumulator::new(a.func, *t))
+                .collect();
+            self.groups.insert(String::new(), (Vec::new(), accumulators));
+        }
+        let group_count = self.groups.len();
+        let mut columns: Vec<Vec<ScalarValue>> =
+            vec![Vec::with_capacity(group_count); self.output.len()];
+        for (_, (key_values, accumulators)) in self.groups.iter() {
+            for (i, v) in key_values.iter().enumerate() {
+                columns[i].push(v.clone());
+            }
+            for (i, acc) in accumulators.iter().enumerate() {
+                columns[self.group_by.len() + i].push(acc.finalize());
+            }
+        }
+        let columns = columns
+            .into_iter()
+            .enumerate()
+            .map(|(i, values)| Column::from_scalars(self.output.field(i).data_type, &values))
+            .collect::<Result<Vec<Column>>>()?;
+        let batch = Batch::try_new(self.output.clone(), columns)?;
+        self.groups.clear();
+        Ok(vec![batch])
+    }
+
+    fn output_schema(&self) -> Schema {
+        self.output.clone()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.groups
+            .iter()
+            .map(|(k, (values, accs))| {
+                k.len()
+                    + values.iter().map(|v| v.to_string().len() + 8).sum::<usize>()
+                    + accs.iter().map(Accumulator::state_bytes).sum::<usize>()
+            })
+            .sum()
+    }
+
+    fn reset(&mut self) {
+        self.groups.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sort / Limit
+// ---------------------------------------------------------------------------
+
+/// Buffering sort, optionally with a top-k limit.
+struct SortOperator {
+    schema: Schema,
+    keys: Vec<SortKey>,
+    limit: Option<usize>,
+    buffered: Vec<Batch>,
+}
+
+impl SortOperator {
+    fn new(schema: Schema, keys: Vec<(String, bool)>, limit: Option<usize>) -> Result<Self> {
+        let keys = keys
+            .iter()
+            .map(|(name, asc)| {
+                Ok(SortKey { column: schema.index_of(name)?, ascending: *asc })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(SortOperator { schema, keys, limit, buffered: Vec::new() })
+    }
+}
+
+impl StageOperator for SortOperator {
+    fn push(&mut self, _input: usize, batch: &Batch) -> Result<Vec<Batch>> {
+        if batch.num_rows() > 0 {
+            self.buffered.push(batch.clone());
+        }
+        Ok(vec![])
+    }
+    fn finish_input(&mut self, _input: usize) -> Result<Vec<Batch>> {
+        Ok(vec![])
+    }
+    fn finish(&mut self) -> Result<Vec<Batch>> {
+        if self.buffered.is_empty() {
+            return Ok(vec![Batch::empty(self.schema.clone())]);
+        }
+        let all = Batch::concat(&self.buffered)?;
+        self.buffered.clear();
+        let sorted = compute::sort_batch(&all, &self.keys)?;
+        let result = match self.limit {
+            Some(n) if n < sorted.num_rows() => sorted.slice(0, n),
+            _ => sorted,
+        };
+        Ok(vec![result])
+    }
+    fn output_schema(&self) -> Schema {
+        self.schema.clone()
+    }
+    fn state_bytes(&self) -> usize {
+        self.buffered.iter().map(Batch::byte_size).sum()
+    }
+    fn reset(&mut self) {
+        self.buffered.clear();
+    }
+}
+
+/// Keeps the first `n` rows seen.
+struct LimitOperator {
+    schema: Schema,
+    remaining: usize,
+    n: usize,
+}
+
+impl StageOperator for LimitOperator {
+    fn push(&mut self, _input: usize, batch: &Batch) -> Result<Vec<Batch>> {
+        if self.remaining == 0 || batch.num_rows() == 0 {
+            return Ok(vec![]);
+        }
+        if batch.num_rows() <= self.remaining {
+            self.remaining -= batch.num_rows();
+            Ok(vec![batch.clone()])
+        } else {
+            let taken = batch.slice(0, self.remaining);
+            self.remaining = 0;
+            Ok(vec![taken])
+        }
+    }
+    fn finish_input(&mut self, _input: usize) -> Result<Vec<Batch>> {
+        Ok(vec![])
+    }
+    fn finish(&mut self) -> Result<Vec<Batch>> {
+        Ok(vec![])
+    }
+    fn output_schema(&self) -> Schema {
+        self.schema.clone()
+    }
+    fn state_bytes(&self) -> usize {
+        8
+    }
+    fn reset(&mut self) {
+        self.remaining = self.n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{avg, count, sum};
+    use crate::expr::{col, lit};
+
+    fn build_batch() -> Batch {
+        Batch::try_new(
+            Schema::from_pairs(&[("b_key", DataType::Int64), ("b_name", DataType::Utf8)]),
+            vec![
+                Column::Int64(vec![1, 2, 3]),
+                Column::Utf8(vec!["one".into(), "two".into(), "three".into()]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn probe_batch(keys: Vec<i64>) -> Batch {
+        let vals: Vec<f64> = keys.iter().map(|&k| k as f64 * 10.0).collect();
+        Batch::try_new(
+            Schema::from_pairs(&[("p_key", DataType::Int64), ("p_val", DataType::Float64)]),
+            vec![Column::Int64(keys), Column::Float64(vals)],
+        )
+        .unwrap()
+    }
+
+    fn join_spec(join_type: JoinType) -> OperatorSpec {
+        OperatorSpec::new(CoreOp::HashJoin {
+            build_schema: build_batch().schema().clone(),
+            probe_schema: probe_batch(vec![]).schema().clone(),
+            build_keys: vec![0],
+            probe_keys: vec![0],
+            join_type,
+        })
+    }
+
+    #[test]
+    fn inner_join_matches_and_pipelines() {
+        let mut op = join_spec(JoinType::Inner).instantiate().unwrap();
+        // Probe arrives before build finishes: buffered, nothing emitted.
+        assert!(op.push(1, &probe_batch(vec![1, 5])).unwrap().is_empty());
+        op.push(0, &build_batch()).unwrap();
+        assert!(op.state_bytes() > 0);
+        // Finishing the build releases the buffered probe rows.
+        let released = op.finish_input(0).unwrap();
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].num_rows(), 1); // key 5 has no match
+        assert_eq!(released[0].value(0, 1), ScalarValue::Utf8("one".into()));
+        // Subsequent probes stream straight through.
+        let streamed = op.push(1, &probe_batch(vec![2, 2])).unwrap();
+        assert_eq!(streamed[0].num_rows(), 2);
+        assert!(op.finish().unwrap().is_empty());
+        op.reset();
+        assert_eq!(op.state_bytes(), 0);
+    }
+
+    #[test]
+    fn left_join_fills_defaults_for_unmatched_probe_rows() {
+        let mut op = join_spec(JoinType::Left).instantiate().unwrap();
+        op.push(0, &build_batch()).unwrap();
+        op.finish_input(0).unwrap();
+        let out = op.push(1, &probe_batch(vec![1, 99])).unwrap();
+        let all = Batch::concat(&out).unwrap();
+        assert_eq!(all.num_rows(), 2);
+        // The unmatched row (p_key=99) has default build values.
+        let unmatched_row = (0..2).find(|&r| all.value(r, 2) == ScalarValue::Int64(99)).unwrap();
+        assert_eq!(all.value(unmatched_row, 0), ScalarValue::Int64(0));
+        assert_eq!(all.value(unmatched_row, 1), ScalarValue::Utf8(String::new()));
+    }
+
+    #[test]
+    fn semi_and_anti_join_preserve_probe_columns_only() {
+        let mut semi = join_spec(JoinType::Semi).instantiate().unwrap();
+        semi.push(0, &build_batch()).unwrap();
+        semi.finish_input(0).unwrap();
+        let out = semi.push(1, &probe_batch(vec![1, 99, 3])).unwrap();
+        assert_eq!(out[0].num_rows(), 2);
+        assert_eq!(out[0].schema().column_names(), vec!["p_key", "p_val"]);
+
+        let mut anti = join_spec(JoinType::Anti).instantiate().unwrap();
+        anti.push(0, &build_batch()).unwrap();
+        anti.finish_input(0).unwrap();
+        let out = anti.push(1, &probe_batch(vec![1, 99, 3])).unwrap();
+        assert_eq!(out[0].num_rows(), 1);
+        assert_eq!(out[0].value(0, 0), ScalarValue::Int64(99));
+    }
+
+    #[test]
+    fn hash_aggregate_groups_and_finalizes() {
+        let schema = Schema::from_pairs(&[("k", DataType::Utf8), ("v", DataType::Int64)]);
+        let spec = OperatorSpec::new(CoreOp::HashAggregate {
+            input_schema: schema.clone(),
+            group_by: vec![(col("k"), "k".to_string())],
+            aggregates: vec![
+                sum(col("v"), "total"),
+                count(col("v"), "n"),
+                avg(col("v"), "mean"),
+            ],
+        });
+        assert_eq!(spec.output_schema().unwrap().column_names(), vec!["k", "total", "n", "mean"]);
+        let mut op = spec.instantiate().unwrap();
+        let batch = Batch::try_new(
+            schema,
+            vec![
+                Column::Utf8(vec!["a".into(), "b".into(), "a".into()]),
+                Column::Int64(vec![1, 10, 3]),
+            ],
+        )
+        .unwrap();
+        assert!(op.push(0, &batch).unwrap().is_empty());
+        assert!(op.state_bytes() > 0);
+        let out = op.finish().unwrap();
+        assert_eq!(out.len(), 1);
+        let result = &out[0];
+        assert_eq!(result.num_rows(), 2);
+        // BTreeMap ordering makes "a" come first.
+        assert_eq!(result.value(0, 0), ScalarValue::Utf8("a".into()));
+        assert_eq!(result.value(0, 1), ScalarValue::Int64(4));
+        assert_eq!(result.value(0, 2), ScalarValue::Int64(2));
+        assert_eq!(result.value(0, 3), ScalarValue::Float64(2.0));
+        assert_eq!(result.value(1, 1), ScalarValue::Int64(10));
+    }
+
+    #[test]
+    fn global_aggregate_emits_one_row_even_for_empty_input() {
+        let schema = Schema::from_pairs(&[("v", DataType::Float64)]);
+        let spec = OperatorSpec::new(CoreOp::HashAggregate {
+            input_schema: schema,
+            group_by: vec![],
+            aggregates: vec![count(col("v"), "n")],
+        });
+        let mut op = spec.instantiate().unwrap();
+        let out = op.finish().unwrap();
+        assert_eq!(out[0].num_rows(), 1);
+        assert_eq!(out[0].value(0, 0), ScalarValue::Int64(0));
+    }
+
+    #[test]
+    fn sort_and_limit_operators() {
+        let schema = Schema::from_pairs(&[("v", DataType::Int64)]);
+        let spec = OperatorSpec::new(CoreOp::Sort {
+            input_schema: schema.clone(),
+            keys: vec![("v".to_string(), false)],
+            limit: Some(2),
+        });
+        let mut op = spec.instantiate().unwrap();
+        let batch =
+            Batch::try_new(schema.clone(), vec![Column::Int64(vec![5, 1, 9, 3])]).unwrap();
+        op.push(0, &batch).unwrap();
+        let out = op.finish().unwrap();
+        assert_eq!(out[0].column(0), &Column::Int64(vec![9, 5]));
+
+        let spec = OperatorSpec::new(CoreOp::Limit { input_schema: schema.clone(), n: 3 });
+        let mut op = spec.instantiate().unwrap();
+        let first = op.push(0, &batch.slice(0, 2)).unwrap();
+        assert_eq!(first[0].num_rows(), 2);
+        let second = op.push(0, &batch).unwrap();
+        assert_eq!(second[0].num_rows(), 1);
+        assert!(op.push(0, &batch).unwrap().is_empty());
+        op.reset();
+        assert_eq!(op.push(0, &batch).unwrap()[0].num_rows(), 3);
+    }
+
+    #[test]
+    fn post_transforms_apply_to_operator_output() {
+        let schema = Schema::from_pairs(&[("k", DataType::Int64), ("v", DataType::Int64)]);
+        let spec = OperatorSpec::new(CoreOp::Map { input_schema: schema.clone() })
+            .with_post(Transform::Filter(col("v").gt(lit(5i64))))
+            .with_post(Transform::Project(vec![(
+                col("v").mul(lit(2i64)),
+                "doubled".to_string(),
+            )]));
+        assert_eq!(spec.output_schema().unwrap().column_names(), vec!["doubled"]);
+        let mut op = spec.instantiate().unwrap();
+        let batch = Batch::try_new(
+            schema,
+            vec![Column::Int64(vec![1, 2, 3]), Column::Int64(vec![3, 7, 9])],
+        )
+        .unwrap();
+        let out = op.push(0, &batch).unwrap();
+        assert_eq!(out[0].column(0), &Column::Int64(vec![14, 18]));
+        assert_eq!(out[0].schema().column_names(), vec!["doubled"]);
+    }
+
+    #[test]
+    fn spec_metadata() {
+        assert_eq!(join_spec(JoinType::Inner).num_inputs(), 2);
+        assert!(join_spec(JoinType::Inner).is_stateful());
+        let map = OperatorSpec::new(CoreOp::Map {
+            input_schema: Schema::from_pairs(&[("x", DataType::Int64)]),
+        });
+        assert_eq!(map.num_inputs(), 1);
+        assert!(!map.is_stateful());
+    }
+}

@@ -1,0 +1,387 @@
+//! Compilation of a logical plan into a DAG of pipeline stages.
+//!
+//! This is the structure the paper's execution model is built around: a
+//! query is a sequence of **stages**, each executed by data-parallel
+//! **channels**, connected by hash-partitioned shuffles. Stateless
+//! filter/project work is fused into the producing stage; every stateful
+//! operator (join, aggregation, sort, limit) becomes its own stage.
+//!
+//! Tasks are later named `(stage, channel, sequence)` by the engine, so the
+//! stage ids assigned here are the first component of every lineage record.
+
+use crate::logical::LogicalPlan;
+use crate::physical::{CoreOp, OperatorSpec, Transform};
+use quokka_batch::Schema;
+use quokka_common::ids::StageId;
+use quokka_common::{QuokkaError, Result};
+
+/// How many channels a stage runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One channel per configured slot (the cluster decides the number).
+    DataParallel,
+    /// Exactly one channel (global aggregates, sorts, limits).
+    Single,
+}
+
+/// A base-table scan feeding a stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanSpec {
+    pub table: String,
+    pub schema: Schema,
+}
+
+/// One stage of the compiled query.
+#[derive(Debug, Clone)]
+pub struct StageSpec {
+    pub id: StageId,
+    /// Upstream stage ids in operator-input order (for a join: `[build,
+    /// probe]`).
+    pub inputs: Vec<StageId>,
+    /// The operator every channel of this stage runs.
+    pub op: OperatorSpec,
+    /// For leaf stages, the table being scanned.
+    pub scan: Option<ScanSpec>,
+    /// Column indices (into this stage's output schema) used to hash-
+    /// partition output for the consuming stage. Empty means "everything to
+    /// the consumer's channel 0" (the consumer is single-channel).
+    pub partition_by: Vec<usize>,
+    pub parallelism: Parallelism,
+}
+
+impl StageSpec {
+    /// Output schema of this stage.
+    pub fn output_schema(&self) -> Result<Schema> {
+        self.op.output_schema()
+    }
+
+    /// Whether this stage reads a base table.
+    pub fn is_scan(&self) -> bool {
+        self.scan.is_some()
+    }
+
+    /// Whether the stage's operator carries state across tasks.
+    pub fn is_stateful(&self) -> bool {
+        self.op.is_stateful()
+    }
+}
+
+/// The compiled stage DAG. Stages are stored in topological order (every
+/// stage appears after all of its inputs); the last stage is the sink whose
+/// output is the query result.
+#[derive(Debug, Clone)]
+pub struct StageGraph {
+    pub stages: Vec<StageSpec>,
+    pub sink: StageId,
+}
+
+impl StageGraph {
+    /// Compile a logical plan.
+    pub fn compile(plan: &LogicalPlan) -> Result<StageGraph> {
+        let mut planner = Planner { stages: Vec::new() };
+        let sink = planner.build(plan)?;
+        Ok(StageGraph { stages: planner.stages, sink })
+    }
+
+    pub fn stage(&self, id: StageId) -> &StageSpec {
+        &self.stages[id as usize]
+    }
+
+    pub fn num_stages(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Stage ids that consume the output of `id` (0 or 1 for tree plans).
+    pub fn consumers(&self, id: StageId) -> Vec<StageId> {
+        self.stages
+            .iter()
+            .filter(|s| s.inputs.contains(&id))
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// The input position (operator input index) at which `producer` feeds
+    /// `consumer`.
+    pub fn input_index(&self, consumer: StageId, producer: StageId) -> Result<usize> {
+        self.stage(consumer)
+            .inputs
+            .iter()
+            .position(|&i| i == producer)
+            .ok_or_else(|| {
+                QuokkaError::internal(format!("stage {producer} does not feed stage {consumer}"))
+            })
+    }
+
+    /// Ids of stages in reverse topological order (sink first) — the order
+    /// the paper's recovery algorithm (Algorithm 2) walks the stages in.
+    pub fn reverse_topological(&self) -> Vec<StageId> {
+        (0..self.stages.len() as StageId).rev().collect()
+    }
+
+    /// Number of stages whose operator is stateful — the paper's bound on
+    /// pipeline-parallel recovery parallelism (§III-B).
+    pub fn stateful_stage_count(&self) -> usize {
+        self.stages.iter().filter(|s| s.is_stateful()).count()
+    }
+
+    /// An EXPLAIN-style rendering of the stage DAG.
+    pub fn display(&self) -> String {
+        let mut out = String::new();
+        for stage in &self.stages {
+            let kind = match &stage.op.core {
+                CoreOp::Map { .. } => "Map",
+                CoreOp::HashJoin { .. } => "HashJoin",
+                CoreOp::HashAggregate { .. } => "HashAggregate",
+                CoreOp::Sort { .. } => "Sort",
+                CoreOp::Limit { .. } => "Limit",
+            };
+            let scan = stage
+                .scan
+                .as_ref()
+                .map(|s| format!(" scan={}", s.table))
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "stage {}: {}{} inputs={:?} partition_by={:?} parallelism={:?} post={}\n",
+                stage.id,
+                kind,
+                scan,
+                stage.inputs,
+                stage.partition_by,
+                stage.parallelism,
+                stage.op.post.len(),
+            ));
+        }
+        out
+    }
+}
+
+struct Planner {
+    stages: Vec<StageSpec>,
+}
+
+impl Planner {
+    fn push_stage(
+        &mut self,
+        inputs: Vec<StageId>,
+        op: OperatorSpec,
+        scan: Option<ScanSpec>,
+        parallelism: Parallelism,
+    ) -> StageId {
+        let id = self.stages.len() as StageId;
+        self.stages.push(StageSpec { id, inputs, op, scan, partition_by: Vec::new(), parallelism });
+        id
+    }
+
+    fn build(&mut self, plan: &LogicalPlan) -> Result<StageId> {
+        match plan {
+            LogicalPlan::Scan { table, schema } => Ok(self.push_stage(
+                vec![],
+                OperatorSpec::new(CoreOp::Map { input_schema: schema.clone() }),
+                Some(ScanSpec { table: table.clone(), schema: schema.clone() }),
+                Parallelism::DataParallel,
+            )),
+            LogicalPlan::Filter { input, predicate } => {
+                let child = self.build(input)?;
+                self.stages[child as usize].op.post.push(Transform::Filter(predicate.clone()));
+                Ok(child)
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let child = self.build(input)?;
+                self.stages[child as usize].op.post.push(Transform::Project(exprs.clone()));
+                Ok(child)
+            }
+            LogicalPlan::Join { build, probe, on, join_type } => {
+                let build_stage = self.build(build)?;
+                let probe_stage = self.build(probe)?;
+                let build_schema = self.stages[build_stage as usize].output_schema()?;
+                let probe_schema = self.stages[probe_stage as usize].output_schema()?;
+                let mut build_keys = Vec::with_capacity(on.len());
+                let mut probe_keys = Vec::with_capacity(on.len());
+                for (b, p) in on {
+                    build_keys.push(build_schema.index_of(b)?);
+                    probe_keys.push(probe_schema.index_of(p)?);
+                }
+                self.stages[build_stage as usize].partition_by = build_keys.clone();
+                self.stages[probe_stage as usize].partition_by = probe_keys.clone();
+                Ok(self.push_stage(
+                    vec![build_stage, probe_stage],
+                    OperatorSpec::new(CoreOp::HashJoin {
+                        build_schema,
+                        probe_schema,
+                        build_keys,
+                        probe_keys,
+                        join_type: *join_type,
+                    }),
+                    None,
+                    Parallelism::DataParallel,
+                ))
+            }
+            LogicalPlan::Aggregate { input, group_by, aggregates } => {
+                let child = self.build(input)?;
+                let input_schema = self.stages[child as usize].output_schema()?;
+                // Data-parallel aggregation is only possible when the group
+                // keys are plain columns the child's output can be hash
+                // partitioned on; otherwise the aggregate runs on a single
+                // channel.
+                let key_indices: Option<Vec<usize>> = group_by
+                    .iter()
+                    .map(|(e, _)| match e {
+                        crate::expr::Expr::Column(name) => input_schema.index_of(name).ok(),
+                        _ => None,
+                    })
+                    .collect();
+                let (parallelism, partition_by) = match key_indices {
+                    Some(keys) if !keys.is_empty() => (Parallelism::DataParallel, keys),
+                    _ => (Parallelism::Single, Vec::new()),
+                };
+                self.stages[child as usize].partition_by = partition_by;
+                Ok(self.push_stage(
+                    vec![child],
+                    OperatorSpec::new(CoreOp::HashAggregate {
+                        input_schema,
+                        group_by: group_by.clone(),
+                        aggregates: aggregates.clone(),
+                    }),
+                    None,
+                    parallelism,
+                ))
+            }
+            LogicalPlan::Sort { input, keys, limit } => {
+                let child = self.build(input)?;
+                let input_schema = self.stages[child as usize].output_schema()?;
+                self.stages[child as usize].partition_by = Vec::new();
+                Ok(self.push_stage(
+                    vec![child],
+                    OperatorSpec::new(CoreOp::Sort {
+                        input_schema,
+                        keys: keys.clone(),
+                        limit: *limit,
+                    }),
+                    None,
+                    Parallelism::Single,
+                ))
+            }
+            LogicalPlan::Limit { input, n } => {
+                let child = self.build(input)?;
+                let input_schema = self.stages[child as usize].output_schema()?;
+                self.stages[child as usize].partition_by = Vec::new();
+                Ok(self.push_stage(
+                    vec![child],
+                    OperatorSpec::new(CoreOp::Limit { input_schema, n: *n }),
+                    None,
+                    Parallelism::Single,
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::sum;
+    use crate::expr::{col, lit};
+    use crate::logical::{JoinType, PlanBuilder};
+    use quokka_batch::DataType;
+
+    fn lineitem() -> Schema {
+        Schema::from_pairs(&[
+            ("l_orderkey", DataType::Int64),
+            ("l_extendedprice", DataType::Float64),
+            ("l_discount", DataType::Float64),
+        ])
+    }
+
+    fn orders() -> Schema {
+        Schema::from_pairs(&[
+            ("o_orderkey", DataType::Int64),
+            ("o_orderdate", DataType::Date),
+        ])
+    }
+
+    #[test]
+    fn scan_filter_project_fuse_into_one_stage() {
+        let plan = PlanBuilder::scan("lineitem", lineitem())
+            .filter(col("l_discount").gt(lit(0.05f64)))
+            .project(vec![(col("l_extendedprice"), "p")])
+            .build()
+            .unwrap();
+        let graph = StageGraph::compile(&plan).unwrap();
+        assert_eq!(graph.num_stages(), 1);
+        let stage = graph.stage(0);
+        assert!(stage.is_scan());
+        assert!(!stage.is_stateful());
+        assert_eq!(stage.op.post.len(), 2);
+        assert_eq!(stage.output_schema().unwrap().column_names(), vec!["p"]);
+    }
+
+    #[test]
+    fn join_creates_three_stages_with_key_partitioning() {
+        let plan = PlanBuilder::scan("orders", orders())
+            .join(
+                PlanBuilder::scan("lineitem", lineitem()),
+                vec![("o_orderkey", "l_orderkey")],
+                JoinType::Inner,
+            )
+            .build()
+            .unwrap();
+        let graph = StageGraph::compile(&plan).unwrap();
+        assert_eq!(graph.num_stages(), 3);
+        assert_eq!(graph.sink, 2);
+        // Build side (orders) partitions on o_orderkey (index 0), probe side
+        // on l_orderkey (index 0).
+        assert_eq!(graph.stage(0).partition_by, vec![0]);
+        assert_eq!(graph.stage(1).partition_by, vec![0]);
+        assert_eq!(graph.stage(2).inputs, vec![0, 1]);
+        assert_eq!(graph.input_index(2, 0).unwrap(), 0);
+        assert_eq!(graph.input_index(2, 1).unwrap(), 1);
+        assert!(graph.input_index(1, 0).is_err());
+        assert_eq!(graph.consumers(0), vec![2]);
+        assert_eq!(graph.consumers(2), Vec::<StageId>::new());
+        assert_eq!(graph.stateful_stage_count(), 1);
+        assert_eq!(graph.reverse_topological(), vec![2, 1, 0]);
+        assert!(graph.display().contains("HashJoin"));
+    }
+
+    #[test]
+    fn aggregate_on_columns_is_data_parallel() {
+        let plan = PlanBuilder::scan("lineitem", lineitem())
+            .aggregate(
+                vec![(col("l_orderkey"), "l_orderkey")],
+                vec![sum(col("l_extendedprice"), "rev")],
+            )
+            .build()
+            .unwrap();
+        let graph = StageGraph::compile(&plan).unwrap();
+        assert_eq!(graph.num_stages(), 2);
+        assert_eq!(graph.stage(1).parallelism, Parallelism::DataParallel);
+        assert_eq!(graph.stage(0).partition_by, vec![0]);
+    }
+
+    #[test]
+    fn global_aggregate_and_sort_are_single_channel() {
+        let plan = PlanBuilder::scan("lineitem", lineitem())
+            .aggregate(vec![], vec![sum(col("l_extendedprice"), "rev")])
+            .sort(vec![("rev", false)])
+            .build()
+            .unwrap();
+        let graph = StageGraph::compile(&plan).unwrap();
+        assert_eq!(graph.num_stages(), 3);
+        assert_eq!(graph.stage(1).parallelism, Parallelism::Single);
+        assert_eq!(graph.stage(2).parallelism, Parallelism::Single);
+        assert!(graph.stage(0).partition_by.is_empty());
+    }
+
+    #[test]
+    fn expression_group_keys_force_single_channel() {
+        let plan = PlanBuilder::scan("orders", orders())
+            .aggregate(
+                vec![(col("o_orderdate").year(), "year")],
+                vec![sum(col("o_orderkey"), "s")],
+            )
+            .build()
+            .unwrap();
+        let graph = StageGraph::compile(&plan).unwrap();
+        assert_eq!(graph.stage(1).parallelism, Parallelism::Single);
+    }
+}

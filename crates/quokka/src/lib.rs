@@ -1,0 +1,135 @@
+//! High-level facade for the Quokka write-ahead-lineage query engine.
+//!
+//! [`QuokkaSession`] bundles a table catalog with an [`EngineConfig`] and
+//! exposes one-call query execution, plus helpers for running the TPC-H
+//! workload the paper evaluates. The lower-level crates are re-exported so
+//! downstream users can reach every component from this single dependency:
+//!
+//! ```
+//! use quokka::{QuokkaSession, EngineConfig};
+//!
+//! // A tiny TPC-H data set on a 4-worker simulated cluster.
+//! let session = QuokkaSession::tpch(0.002, 4).unwrap();
+//! let outcome = session.run_tpch(6).unwrap();
+//! println!("Q6 revenue rows: {}", outcome.batch.num_rows());
+//! assert!(outcome.metrics.tasks_executed > 0);
+//! ```
+
+pub use quokka_batch as batch;
+pub use quokka_common as common;
+pub use quokka_engine as engine;
+pub use quokka_gcs as gcs;
+pub use quokka_net as net;
+pub use quokka_plan as plan;
+pub use quokka_storage as storage;
+pub use quokka_tpch as tpch;
+
+pub use quokka_batch::{Batch, Column, DataType, ScalarValue, Schema};
+pub use quokka_common::{
+    ClusterConfig, CostModelConfig, EngineConfig, ExecutionMode, FailureSpec, FaultStrategy,
+    QueryMetrics, QuokkaError, Result, SchedulePolicy,
+};
+pub use quokka_engine::{QueryOutcome, QueryRunner};
+pub use quokka_plan::logical::{JoinType, LogicalPlan, PlanBuilder};
+pub use quokka_plan::reference::{canonical_rows, same_result, ReferenceExecutor};
+pub use quokka_tpch::TpchGenerator;
+
+use quokka_plan::catalog::{Catalog, MemoryCatalog};
+use std::sync::Arc;
+
+/// A session: a catalog of registered tables plus an engine configuration.
+pub struct QuokkaSession {
+    catalog: Arc<MemoryCatalog>,
+    config: EngineConfig,
+}
+
+impl QuokkaSession {
+    /// An empty session with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        QuokkaSession { catalog: Arc::new(MemoryCatalog::new()), config }
+    }
+
+    /// A session pre-populated with a generated TPC-H data set at scale
+    /// factor `sf` on a `workers`-worker cluster, using Quokka's defaults
+    /// (pipelined execution, dynamic task dependencies, write-ahead lineage).
+    pub fn tpch(sf: f64, workers: u32) -> Result<Self> {
+        let session = QuokkaSession::new(EngineConfig::quokka(workers));
+        TpchGenerator::new(sf, 0xC0FFEE).register_all(&session.catalog)?;
+        Ok(session)
+    }
+
+    /// Replace the engine configuration (builder style).
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The current engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Register a table.
+    pub fn register_table(&self, name: &str, schema: Schema, batches: Vec<Batch>) {
+        self.catalog.register(name, schema, batches);
+    }
+
+    /// The underlying catalog.
+    pub fn catalog(&self) -> &MemoryCatalog {
+        &self.catalog
+    }
+
+    /// Names of the registered tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.catalog.table_names()
+    }
+
+    /// Execute a logical plan on the simulated cluster.
+    pub fn run(&self, plan: &LogicalPlan) -> Result<QueryOutcome> {
+        QueryRunner::new(self.config.clone()).run(plan, self.catalog.as_ref())
+    }
+
+    /// Execute a plan under an explicit configuration (without mutating the
+    /// session's default).
+    pub fn run_with(&self, plan: &LogicalPlan, config: &EngineConfig) -> Result<QueryOutcome> {
+        QueryRunner::new(config.clone()).run(plan, self.catalog.as_ref())
+    }
+
+    /// Execute TPC-H query `number` (1-22).
+    pub fn run_tpch(&self, number: usize) -> Result<QueryOutcome> {
+        self.run(&quokka_tpch::query(number)?)
+    }
+
+    /// Execute a plan on the single-threaded reference executor (the
+    /// correctness oracle / restart baseline).
+    pub fn run_reference(&self, plan: &LogicalPlan) -> Result<Batch> {
+        ReferenceExecutor::new(self.catalog.as_ref()).execute(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_registers_and_lists_tables() {
+        let session = QuokkaSession::new(EngineConfig::quokka(2));
+        assert!(session.table_names().is_empty());
+        let schema = Schema::from_pairs(&[("x", DataType::Int64)]);
+        session.register_table(
+            "t",
+            schema.clone(),
+            vec![Batch::try_new(schema, vec![Column::Int64(vec![1, 2, 3])]).unwrap()],
+        );
+        assert_eq!(session.table_names(), vec!["t".to_string()]);
+        assert_eq!(session.config().cluster.workers, 2);
+    }
+
+    #[test]
+    fn tpch_session_runs_a_simple_query() {
+        let session = QuokkaSession::tpch(0.002, 2).unwrap();
+        let outcome = session.run_tpch(6).unwrap();
+        let expected = session.run_reference(&quokka_tpch::query(6).unwrap()).unwrap();
+        assert!(same_result(&outcome.batch, &expected));
+    }
+}

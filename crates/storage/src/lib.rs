@@ -1,0 +1,30 @@
+//! Storage substrates for the Quokka engine.
+//!
+//! The paper distinguishes three data paths with very different costs
+//! (§II-B2):
+//!
+//! * **Upstream backup** to instance-attached NVMe: cheap, but the contents
+//!   are lost when the worker fails. Spark and Quokka use this.
+//! * **Spooling** to a durable service (HDFS/S3): survives worker failures
+//!   but consumes precious network bandwidth during normal execution. Trino
+//!   uses this; it is the main source of the overhead measured in Fig. 9.
+//! * **Checkpointing** operator state to the durable service: even more
+//!   expensive for query operators whose state grows (hash joins).
+//!
+//! This crate models those paths:
+//!
+//! * [`cost::CostModel`] converts byte counts into (scaled) wall-clock
+//!   delays according to [`CostModelConfig`](quokka_common::CostModelConfig).
+//! * [`backup::LocalBackupStore`] is one worker's local disk. Calling
+//!   [`fail`](backup::LocalBackupStore::fail) drops everything, exactly like
+//!   losing the instance.
+//! * [`durable::DurableObjectStore`] is the S3/HDFS stand-in shared by the
+//!   whole cluster; its contents survive worker failures.
+
+pub mod backup;
+pub mod cost;
+pub mod durable;
+
+pub use backup::LocalBackupStore;
+pub use cost::CostModel;
+pub use durable::DurableObjectStore;

@@ -1,0 +1,28 @@
+//! TPC-H workload for the Quokka reproduction.
+//!
+//! The paper evaluates on the full TPC-H benchmark at scale factor 100,
+//! stored as Parquet on S3. This crate provides the equivalent workload at
+//! laptop scale:
+//!
+//! * [`schema`] — the eight TPC-H table schemas.
+//! * [`generator`] — a deterministic `dbgen`-style data generator. Row
+//!   counts scale with the scale factor; value distributions (dates, key
+//!   relationships, categorical columns, comment text containing the
+//!   keywords the queries grep for) follow the TPC-H specification closely
+//!   enough that every query touches a meaningful amount of data and every
+//!   predicate is selective rather than degenerate.
+//! * [`queries`] — hand-built logical plans for **all 22 TPC-H queries**,
+//!   with subqueries decorrelated into joins/aggregations the same way a SQL
+//!   optimizer would.
+//!
+//! The paper's representative subset (§V) is exposed as
+//! [`queries::REPRESENTATIVE`]: Q1 and Q6 (category I, simple aggregation),
+//! Q3 and Q10 (category II, simple pipelined joins), and Q5, Q7, Q8, Q9
+//! (category III, multi-join pipelines).
+
+pub mod generator;
+pub mod queries;
+pub mod schema;
+
+pub use generator::TpchGenerator;
+pub use queries::{query, QueryCategory, ALL_QUERIES, REPRESENTATIVE};

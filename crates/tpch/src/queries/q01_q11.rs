@@ -1,0 +1,375 @@
+//! TPC-H queries 1 through 11.
+
+use super::{customer, lineitem, nation, orders, part, partsupp, region, supplier};
+use quokka_common::Result;
+use quokka_plan::aggregate::{avg, count, min, sum};
+use quokka_plan::expr::{col, date, lit, Expr};
+use quokka_plan::logical::{JoinType, LogicalPlan, PlanBuilder};
+
+/// `l_extendedprice * (1 - l_discount)` — the revenue expression used by
+/// most queries.
+fn revenue_expr() -> Expr {
+    col("l_extendedprice").mul(lit(1.0f64).sub(col("l_discount")))
+}
+
+/// Q1: pricing summary report.
+pub fn q1() -> Result<LogicalPlan> {
+    lineitem()
+        .filter(col("l_shipdate").lt_eq(date("1998-09-02")))
+        .aggregate(
+            vec![
+                (col("l_returnflag"), "l_returnflag"),
+                (col("l_linestatus"), "l_linestatus"),
+            ],
+            vec![
+                sum(col("l_quantity"), "sum_qty"),
+                sum(col("l_extendedprice"), "sum_base_price"),
+                sum(revenue_expr(), "sum_disc_price"),
+                sum(
+                    revenue_expr().mul(lit(1.0f64).add(col("l_tax"))),
+                    "sum_charge",
+                ),
+                avg(col("l_quantity"), "avg_qty"),
+                avg(col("l_extendedprice"), "avg_price"),
+                avg(col("l_discount"), "avg_disc"),
+                count(col("l_orderkey"), "count_order"),
+            ],
+        )
+        .sort(vec![("l_returnflag", true), ("l_linestatus", true)])
+        .build()
+}
+
+/// The supplier → nation → region chain restricted to one region, keeping
+/// supplier and nation columns.
+fn suppliers_in_region(region_name: &str) -> PlanBuilder {
+    region()
+        .filter(col("r_name").eq(lit(region_name)))
+        .join(nation(), vec![("r_regionkey", "n_regionkey")], JoinType::Inner)
+        .join(supplier(), vec![("n_nationkey", "s_nationkey")], JoinType::Inner)
+}
+
+/// Q2: minimum cost supplier.
+pub fn q2() -> Result<LogicalPlan> {
+    // Cost of every (part, European supplier) pair.
+    let europe_costs = suppliers_in_region("EUROPE")
+        .join(partsupp(), vec![("s_suppkey", "ps_suppkey")], JoinType::Inner);
+    // Decorrelated scalar subquery: the minimum cost per part.
+    let min_costs = europe_costs.clone().aggregate(
+        vec![(col("ps_partkey"), "mc_partkey")],
+        vec![min(col("ps_supplycost"), "min_cost")],
+    );
+    // Candidate parts.
+    let parts = part()
+        .filter(col("p_size").eq(lit(15i64)).and(col("p_type").like("%BRASS")));
+    let candidates =
+        parts.join(europe_costs, vec![("p_partkey", "ps_partkey")], JoinType::Inner);
+    min_costs
+        .join(
+            candidates,
+            vec![("mc_partkey", "p_partkey"), ("min_cost", "ps_supplycost")],
+            JoinType::Inner,
+        )
+        .project(vec![
+            (col("s_acctbal"), "s_acctbal"),
+            (col("s_name"), "s_name"),
+            (col("n_name"), "n_name"),
+            (col("p_partkey"), "p_partkey"),
+            (col("p_mfgr"), "p_mfgr"),
+            (col("s_address"), "s_address"),
+            (col("s_phone"), "s_phone"),
+            (col("s_comment"), "s_comment"),
+        ])
+        .sort_limit(
+            vec![("s_acctbal", false), ("n_name", true), ("s_name", true), ("p_partkey", true)],
+            100,
+        )
+        .build()
+}
+
+/// Q3: shipping priority.
+pub fn q3() -> Result<LogicalPlan> {
+    customer()
+        .filter(col("c_mktsegment").eq(lit("BUILDING")))
+        .join(
+            orders().filter(col("o_orderdate").lt(date("1995-03-15"))),
+            vec![("c_custkey", "o_custkey")],
+            JoinType::Inner,
+        )
+        .join(
+            lineitem().filter(col("l_shipdate").gt(date("1995-03-15"))),
+            vec![("o_orderkey", "l_orderkey")],
+            JoinType::Inner,
+        )
+        .aggregate(
+            vec![
+                (col("l_orderkey"), "l_orderkey"),
+                (col("o_orderdate"), "o_orderdate"),
+                (col("o_shippriority"), "o_shippriority"),
+            ],
+            vec![sum(revenue_expr(), "revenue")],
+        )
+        .sort_limit(vec![("revenue", false), ("o_orderdate", true)], 10)
+        .build()
+}
+
+/// Q4: order priority checking.
+pub fn q4() -> Result<LogicalPlan> {
+    let late_lines = lineitem().filter(col("l_commitdate").lt(col("l_receiptdate")));
+    let dated_orders = orders().filter(
+        col("o_orderdate")
+            .gt_eq(date("1993-07-01"))
+            .and(col("o_orderdate").lt(date("1993-10-01"))),
+    );
+    late_lines
+        .join(dated_orders, vec![("l_orderkey", "o_orderkey")], JoinType::Semi)
+        .aggregate(
+            vec![(col("o_orderpriority"), "o_orderpriority")],
+            vec![count(col("o_orderkey"), "order_count")],
+        )
+        .sort(vec![("o_orderpriority", true)])
+        .build()
+}
+
+/// Q5: local supplier volume.
+pub fn q5() -> Result<LogicalPlan> {
+    let asia_customers = region()
+        .filter(col("r_name").eq(lit("ASIA")))
+        .join(nation(), vec![("r_regionkey", "n_regionkey")], JoinType::Inner)
+        .join(customer(), vec![("n_nationkey", "c_nationkey")], JoinType::Inner);
+    let with_orders = asia_customers.join(
+        orders().filter(
+            col("o_orderdate")
+                .gt_eq(date("1994-01-01"))
+                .and(col("o_orderdate").lt(date("1995-01-01"))),
+        ),
+        vec![("c_custkey", "o_custkey")],
+        JoinType::Inner,
+    );
+    let with_lines =
+        with_orders.join(lineitem(), vec![("o_orderkey", "l_orderkey")], JoinType::Inner);
+    supplier()
+        .join(with_lines, vec![("s_suppkey", "l_suppkey")], JoinType::Inner)
+        // The "local supplier" condition: supplier and customer share a nation.
+        .filter(col("s_nationkey").eq(col("c_nationkey")))
+        .aggregate(vec![(col("n_name"), "n_name")], vec![sum(revenue_expr(), "revenue")])
+        .sort(vec![("revenue", false)])
+        .build()
+}
+
+/// Q6: forecasting revenue change.
+pub fn q6() -> Result<LogicalPlan> {
+    lineitem()
+        .filter(
+            col("l_shipdate")
+                .gt_eq(date("1994-01-01"))
+                .and(col("l_shipdate").lt(date("1995-01-01")))
+                .and(col("l_discount").gt_eq(lit(0.05f64)))
+                .and(col("l_discount").lt_eq(lit(0.07f64)))
+                .and(col("l_quantity").lt(lit(24.0f64))),
+        )
+        .aggregate(
+            vec![],
+            vec![sum(col("l_extendedprice").mul(col("l_discount")), "revenue")],
+        )
+        .build()
+}
+
+/// Q7: volume shipping between two nations.
+pub fn q7() -> Result<LogicalPlan> {
+    let supplier_nations = nation()
+        .project(vec![(col("n_nationkey"), "supp_nationkey"), (col("n_name"), "supp_nation")])
+        .join(supplier(), vec![("supp_nationkey", "s_nationkey")], JoinType::Inner);
+    let customer_nations = nation()
+        .project(vec![(col("n_nationkey"), "cust_nationkey"), (col("n_name"), "cust_nation")])
+        .join(customer(), vec![("cust_nationkey", "c_nationkey")], JoinType::Inner);
+    let customer_orders =
+        customer_nations.join(orders(), vec![("c_custkey", "o_custkey")], JoinType::Inner);
+    let shipped_lines = lineitem().filter(
+        col("l_shipdate")
+            .gt_eq(date("1995-01-01"))
+            .and(col("l_shipdate").lt_eq(date("1996-12-31"))),
+    );
+    let supplier_lines =
+        supplier_nations.join(shipped_lines, vec![("s_suppkey", "l_suppkey")], JoinType::Inner);
+    customer_orders
+        .join(supplier_lines, vec![("o_orderkey", "l_orderkey")], JoinType::Inner)
+        .filter(
+            col("supp_nation")
+                .eq(lit("FRANCE"))
+                .and(col("cust_nation").eq(lit("GERMANY")))
+                .or(col("supp_nation")
+                    .eq(lit("GERMANY"))
+                    .and(col("cust_nation").eq(lit("FRANCE")))),
+        )
+        .project(vec![
+            (col("supp_nation"), "supp_nation"),
+            (col("cust_nation"), "cust_nation"),
+            (col("l_shipdate").year(), "l_year"),
+            (revenue_expr(), "volume"),
+        ])
+        .aggregate(
+            vec![
+                (col("supp_nation"), "supp_nation"),
+                (col("cust_nation"), "cust_nation"),
+                (col("l_year"), "l_year"),
+            ],
+            vec![sum(col("volume"), "revenue")],
+        )
+        .sort(vec![("supp_nation", true), ("cust_nation", true), ("l_year", true)])
+        .build()
+}
+
+/// Q8: national market share.
+pub fn q8() -> Result<LogicalPlan> {
+    // Customers in AMERICA with their orders in 1995-1996.
+    let american_customers = region()
+        .filter(col("r_name").eq(lit("AMERICA")))
+        .join(nation(), vec![("r_regionkey", "n_regionkey")], JoinType::Inner)
+        .project(vec![(col("n_nationkey"), "cust_nationkey")])
+        .join(customer(), vec![("cust_nationkey", "c_nationkey")], JoinType::Inner);
+    let american_orders = american_customers.join(
+        orders().filter(
+            col("o_orderdate")
+                .gt_eq(date("1995-01-01"))
+                .and(col("o_orderdate").lt_eq(date("1996-12-31"))),
+        ),
+        vec![("c_custkey", "o_custkey")],
+        JoinType::Inner,
+    );
+    // Lines for the selected part type, with the supplier's nation attached.
+    let part_lines = part()
+        .filter(col("p_type").eq(lit("ECONOMY ANODIZED STEEL")))
+        .join(lineitem(), vec![("p_partkey", "l_partkey")], JoinType::Inner);
+    let supplier_nation_lines = nation()
+        .project(vec![(col("n_nationkey"), "supp_nationkey"), (col("n_name"), "supp_nation")])
+        .join(supplier(), vec![("supp_nationkey", "s_nationkey")], JoinType::Inner)
+        .join(part_lines, vec![("s_suppkey", "l_suppkey")], JoinType::Inner);
+    american_orders
+        .join(supplier_nation_lines, vec![("o_orderkey", "l_orderkey")], JoinType::Inner)
+        .project(vec![
+            (col("o_orderdate").year(), "o_year"),
+            (revenue_expr(), "volume"),
+            (col("supp_nation"), "supp_nation"),
+        ])
+        .aggregate(
+            vec![(col("o_year"), "o_year")],
+            vec![
+                sum(
+                    Expr::case_when(
+                        col("supp_nation").eq(lit("BRAZIL")),
+                        col("volume"),
+                        lit(0.0f64),
+                    ),
+                    "brazil_volume",
+                ),
+                sum(col("volume"), "total_volume"),
+            ],
+        )
+        .project(vec![
+            (col("o_year"), "o_year"),
+            (col("brazil_volume").div(col("total_volume")), "mkt_share"),
+        ])
+        .sort(vec![("o_year", true)])
+        .build()
+}
+
+/// Q9: product type profit measure.
+pub fn q9() -> Result<LogicalPlan> {
+    let green_part_lines = part()
+        .filter(col("p_name").like("%green%"))
+        .join(lineitem(), vec![("p_partkey", "l_partkey")], JoinType::Inner);
+    let with_partsupp = partsupp().join(
+        green_part_lines,
+        vec![("ps_partkey", "l_partkey"), ("ps_suppkey", "l_suppkey")],
+        JoinType::Inner,
+    );
+    let with_supplier = nation()
+        .join(supplier(), vec![("n_nationkey", "s_nationkey")], JoinType::Inner)
+        .join(with_partsupp, vec![("s_suppkey", "l_suppkey")], JoinType::Inner);
+    with_supplier
+        .join(orders(), vec![("l_orderkey", "o_orderkey")], JoinType::Inner)
+        .project(vec![
+            (col("n_name"), "nation"),
+            (col("o_orderdate").year(), "o_year"),
+            (
+                revenue_expr().sub(col("ps_supplycost").mul(col("l_quantity"))),
+                "amount",
+            ),
+        ])
+        .aggregate(
+            vec![(col("nation"), "nation"), (col("o_year"), "o_year")],
+            vec![sum(col("amount"), "sum_profit")],
+        )
+        .sort(vec![("nation", true), ("o_year", false)])
+        .build()
+}
+
+/// Q10: returned item reporting.
+pub fn q10() -> Result<LogicalPlan> {
+    nation()
+        .join(customer(), vec![("n_nationkey", "c_nationkey")], JoinType::Inner)
+        .join(
+            orders().filter(
+                col("o_orderdate")
+                    .gt_eq(date("1993-10-01"))
+                    .and(col("o_orderdate").lt(date("1994-01-01"))),
+            ),
+            vec![("c_custkey", "o_custkey")],
+            JoinType::Inner,
+        )
+        .join(
+            lineitem().filter(col("l_returnflag").eq(lit("R"))),
+            vec![("o_orderkey", "l_orderkey")],
+            JoinType::Inner,
+        )
+        .aggregate(
+            vec![
+                (col("c_custkey"), "c_custkey"),
+                (col("c_name"), "c_name"),
+                (col("c_acctbal"), "c_acctbal"),
+                (col("c_phone"), "c_phone"),
+                (col("n_name"), "n_name"),
+                (col("c_address"), "c_address"),
+                (col("c_comment"), "c_comment"),
+            ],
+            vec![sum(revenue_expr(), "revenue")],
+        )
+        .sort_limit(vec![("revenue", false)], 20)
+        .build()
+}
+
+/// Q11: important stock identification.
+pub fn q11() -> Result<LogicalPlan> {
+    let german_stock = nation()
+        .filter(col("n_name").eq(lit("GERMANY")))
+        .join(supplier(), vec![("n_nationkey", "s_nationkey")], JoinType::Inner)
+        .join(partsupp(), vec![("s_suppkey", "ps_suppkey")], JoinType::Inner);
+    let per_part = german_stock
+        .clone()
+        .aggregate(
+            vec![(col("ps_partkey"), "ps_partkey")],
+            vec![sum(col("ps_supplycost").mul(col("ps_availqty")), "value")],
+        )
+        .project(vec![
+            (col("ps_partkey"), "ps_partkey"),
+            (col("value"), "value"),
+            (lit(1i64), "jk_probe"),
+        ]);
+    // Decorrelated scalar subquery: the global threshold, attached to every
+    // per-part row through a constant-key join.
+    let threshold = german_stock
+        .aggregate(
+            vec![],
+            vec![sum(col("ps_supplycost").mul(col("ps_availqty")), "total_value")],
+        )
+        .project(vec![
+            (col("total_value").mul(lit(0.0001f64)), "threshold"),
+            (lit(1i64), "jk_build"),
+        ]);
+    threshold
+        .join(per_part, vec![("jk_build", "jk_probe")], JoinType::Inner)
+        .filter(col("value").gt(col("threshold")))
+        .project(vec![(col("ps_partkey"), "ps_partkey"), (col("value"), "value")])
+        .sort(vec![("value", false)])
+        .build()
+}

@@ -1,0 +1,152 @@
+//! TPC-H table schemas.
+//!
+//! Decimal columns are represented as `Float64` and dates as days since the
+//! Unix epoch (the engine's `Date` type); fixed-width `CHAR(n)` columns are
+//! plain UTF-8 strings.
+
+use quokka_batch::{DataType, Schema};
+
+/// Schema of the `region` table (5 rows).
+pub fn region() -> Schema {
+    Schema::from_pairs(&[
+        ("r_regionkey", DataType::Int64),
+        ("r_name", DataType::Utf8),
+        ("r_comment", DataType::Utf8),
+    ])
+}
+
+/// Schema of the `nation` table (25 rows).
+pub fn nation() -> Schema {
+    Schema::from_pairs(&[
+        ("n_nationkey", DataType::Int64),
+        ("n_name", DataType::Utf8),
+        ("n_regionkey", DataType::Int64),
+        ("n_comment", DataType::Utf8),
+    ])
+}
+
+/// Schema of the `supplier` table (SF x 10,000 rows).
+pub fn supplier() -> Schema {
+    Schema::from_pairs(&[
+        ("s_suppkey", DataType::Int64),
+        ("s_name", DataType::Utf8),
+        ("s_address", DataType::Utf8),
+        ("s_nationkey", DataType::Int64),
+        ("s_phone", DataType::Utf8),
+        ("s_acctbal", DataType::Float64),
+        ("s_comment", DataType::Utf8),
+    ])
+}
+
+/// Schema of the `customer` table (SF x 150,000 rows).
+pub fn customer() -> Schema {
+    Schema::from_pairs(&[
+        ("c_custkey", DataType::Int64),
+        ("c_name", DataType::Utf8),
+        ("c_address", DataType::Utf8),
+        ("c_nationkey", DataType::Int64),
+        ("c_phone", DataType::Utf8),
+        ("c_acctbal", DataType::Float64),
+        ("c_mktsegment", DataType::Utf8),
+        ("c_comment", DataType::Utf8),
+    ])
+}
+
+/// Schema of the `part` table (SF x 200,000 rows).
+pub fn part() -> Schema {
+    Schema::from_pairs(&[
+        ("p_partkey", DataType::Int64),
+        ("p_name", DataType::Utf8),
+        ("p_mfgr", DataType::Utf8),
+        ("p_brand", DataType::Utf8),
+        ("p_type", DataType::Utf8),
+        ("p_size", DataType::Int64),
+        ("p_container", DataType::Utf8),
+        ("p_retailprice", DataType::Float64),
+        ("p_comment", DataType::Utf8),
+    ])
+}
+
+/// Schema of the `partsupp` table (SF x 800,000 rows).
+pub fn partsupp() -> Schema {
+    Schema::from_pairs(&[
+        ("ps_partkey", DataType::Int64),
+        ("ps_suppkey", DataType::Int64),
+        ("ps_availqty", DataType::Int64),
+        ("ps_supplycost", DataType::Float64),
+        ("ps_comment", DataType::Utf8),
+    ])
+}
+
+/// Schema of the `orders` table (SF x 1,500,000 rows).
+pub fn orders() -> Schema {
+    Schema::from_pairs(&[
+        ("o_orderkey", DataType::Int64),
+        ("o_custkey", DataType::Int64),
+        ("o_orderstatus", DataType::Utf8),
+        ("o_totalprice", DataType::Float64),
+        ("o_orderdate", DataType::Date),
+        ("o_orderpriority", DataType::Utf8),
+        ("o_clerk", DataType::Utf8),
+        ("o_shippriority", DataType::Int64),
+        ("o_comment", DataType::Utf8),
+    ])
+}
+
+/// Schema of the `lineitem` table (about SF x 6,000,000 rows).
+pub fn lineitem() -> Schema {
+    Schema::from_pairs(&[
+        ("l_orderkey", DataType::Int64),
+        ("l_partkey", DataType::Int64),
+        ("l_suppkey", DataType::Int64),
+        ("l_linenumber", DataType::Int64),
+        ("l_quantity", DataType::Float64),
+        ("l_extendedprice", DataType::Float64),
+        ("l_discount", DataType::Float64),
+        ("l_tax", DataType::Float64),
+        ("l_returnflag", DataType::Utf8),
+        ("l_linestatus", DataType::Utf8),
+        ("l_shipdate", DataType::Date),
+        ("l_commitdate", DataType::Date),
+        ("l_receiptdate", DataType::Date),
+        ("l_shipinstruct", DataType::Utf8),
+        ("l_shipmode", DataType::Utf8),
+        ("l_comment", DataType::Utf8),
+    ])
+}
+
+/// Names of every TPC-H table, in generation order.
+pub const TABLE_NAMES: [&str; 8] =
+    ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"];
+
+/// Look up a table schema by name.
+pub fn table_schema(name: &str) -> Option<Schema> {
+    match name {
+        "region" => Some(region()),
+        "nation" => Some(nation()),
+        "supplier" => Some(supplier()),
+        "customer" => Some(customer()),
+        "part" => Some(part()),
+        "partsupp" => Some(partsupp()),
+        "orders" => Some(orders()),
+        "lineitem" => Some(lineitem()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tables_have_schemas() {
+        for name in TABLE_NAMES {
+            let schema = table_schema(name).unwrap();
+            assert!(!schema.is_empty(), "{name} schema should not be empty");
+        }
+        assert!(table_schema("not_a_table").is_none());
+        assert_eq!(lineitem().len(), 16);
+        assert_eq!(orders().len(), 9);
+        assert_eq!(part().index_of("p_type").unwrap(), 4);
+    }
+}
