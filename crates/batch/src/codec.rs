@@ -260,6 +260,6 @@ mod tests {
     fn encoding_is_deterministic() {
         let b = sample();
         assert_eq!(encode_batch(&b), encode_batch(&b));
-        assert_eq!(encode_partition(&[b.clone()]), encode_partition(&[b]));
+        assert_eq!(encode_partition(std::slice::from_ref(&b)), encode_partition(&[b]));
     }
 }

@@ -98,6 +98,38 @@ impl Column {
         Ok(())
     }
 
+    /// Append row `row` of `src` to this column without materializing a
+    /// `ScalarValue`. Both columns must have the same data type.
+    pub fn push_from(&mut self, src: &Column, row: usize) -> Result<()> {
+        match (self, src) {
+            (Column::Int64(out), Column::Int64(v)) => out.push(v[row]),
+            (Column::Float64(out), Column::Float64(v)) => out.push(v[row]),
+            (Column::Utf8(out), Column::Utf8(v)) => out.push(v[row].clone()),
+            (Column::Bool(out), Column::Bool(v)) => out.push(v[row]),
+            (Column::Date(out), Column::Date(v)) => out.push(v[row]),
+            (out, src) => {
+                return Err(QuokkaError::TypeError(format!(
+                    "cannot append {} row to {} column",
+                    src.data_type(),
+                    out.data_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// A column of `len` default values ("zero" of each type), used to pad
+    /// the build side of unmatched left-join rows.
+    pub fn default_of(data_type: DataType, len: usize) -> Column {
+        match data_type {
+            DataType::Int64 => Column::Int64(vec![0; len]),
+            DataType::Float64 => Column::Float64(vec![0.0; len]),
+            DataType::Utf8 => Column::Utf8(vec![String::new(); len]),
+            DataType::Bool => Column::Bool(vec![false; len]),
+            DataType::Date => Column::Date(vec![0; len]),
+        }
+    }
+
     /// Keep the rows where `mask` is true. `mask.len()` must equal `self.len()`.
     pub fn filter(&self, mask: &[bool]) -> Column {
         debug_assert_eq!(mask.len(), self.len());
@@ -190,8 +222,7 @@ impl Column {
                 for (h, x) in hashes.iter_mut().zip(v) {
                     // Hash the value as i64 when it is integral so that a
                     // Float64 join key equal to an Int64 key hashes the same.
-                    let bits =
-                        if x.fract() == 0.0 { *x as i64 as u64 } else { x.to_bits() };
+                    let bits = if x.fract() == 0.0 { *x as i64 as u64 } else { x.to_bits() };
                     *h = mix64(*h ^ mix64(bits));
                 }
             }
@@ -224,7 +255,9 @@ impl Column {
     pub fn as_i64(&self) -> Result<&[i64]> {
         match self {
             Column::Int64(v) => Ok(v),
-            other => Err(QuokkaError::TypeError(format!("expected Int64, got {}", other.data_type()))),
+            other => {
+                Err(QuokkaError::TypeError(format!("expected Int64, got {}", other.data_type())))
+            }
         }
     }
 
@@ -242,7 +275,9 @@ impl Column {
     pub fn as_bool(&self) -> Result<&[bool]> {
         match self {
             Column::Bool(v) => Ok(v),
-            other => Err(QuokkaError::TypeError(format!("expected Bool, got {}", other.data_type()))),
+            other => {
+                Err(QuokkaError::TypeError(format!("expected Bool, got {}", other.data_type())))
+            }
         }
     }
 
@@ -250,7 +285,9 @@ impl Column {
     pub fn as_utf8(&self) -> Result<&[String]> {
         match self {
             Column::Utf8(v) => Ok(v),
-            other => Err(QuokkaError::TypeError(format!("expected Utf8, got {}", other.data_type()))),
+            other => {
+                Err(QuokkaError::TypeError(format!("expected Utf8, got {}", other.data_type())))
+            }
         }
     }
 
@@ -258,7 +295,9 @@ impl Column {
     pub fn as_date(&self) -> Result<&[i32]> {
         match self {
             Column::Date(v) => Ok(v),
-            other => Err(QuokkaError::TypeError(format!("expected Date, got {}", other.data_type()))),
+            other => {
+                Err(QuokkaError::TypeError(format!("expected Date, got {}", other.data_type())))
+            }
         }
     }
 
@@ -346,6 +385,26 @@ mod tests {
         assert_eq!(Column::Date(vec![1, 2, 3]).byte_size(), 12);
         assert_eq!(Column::Bool(vec![true]).byte_size(), 1);
         assert_eq!(Column::Utf8(vec!["ab".into()]).byte_size(), 6);
+    }
+
+    #[test]
+    fn push_from_appends_typed_rows() {
+        let src = Column::Utf8(vec!["x".into(), "y".into()]);
+        let mut dst = Column::empty(DataType::Utf8);
+        dst.push_from(&src, 1).unwrap();
+        dst.push_from(&src, 0).unwrap();
+        assert_eq!(dst, Column::Utf8(vec!["y".into(), "x".into()]));
+        let mut wrong = Column::empty(DataType::Int64);
+        assert!(wrong.push_from(&src, 0).is_err());
+    }
+
+    #[test]
+    fn default_columns_per_type() {
+        assert_eq!(Column::default_of(DataType::Int64, 2), Column::Int64(vec![0, 0]));
+        assert_eq!(Column::default_of(DataType::Float64, 1), Column::Float64(vec![0.0]));
+        assert_eq!(Column::default_of(DataType::Utf8, 1), Column::Utf8(vec!["".into()]));
+        assert_eq!(Column::default_of(DataType::Bool, 1), Column::Bool(vec![false]));
+        assert_eq!(Column::default_of(DataType::Date, 1), Column::Date(vec![0]));
     }
 
     #[test]

@@ -146,31 +146,120 @@ pub fn like(col: &Column, pattern: &str) -> Result<Column> {
 }
 
 /// Whether `value` matches the SQL LIKE `pattern`.
+///
+/// Iterative two-pointer algorithm: on a mismatch after a `%`, restart the
+/// value one character past the position where the `%` last matched, instead
+/// of recursing over every split point. Linear-ish in practice and immune to
+/// the exponential backtracking the old recursive matcher exhibited on
+/// patterns like `%a%a%a%b` against long non-matching strings.
 pub fn like_match(value: &str, pattern: &str) -> bool {
-    fn rec(v: &[u8], p: &[u8]) -> bool {
-        if p.is_empty() {
-            return v.is_empty();
-        }
-        match p[0] {
-            b'%' => {
-                // Match zero or more characters.
-                (0..=v.len()).any(|skip| rec(&v[skip..], &p[1..]))
-            }
-            b'_' => !v.is_empty() && rec(&v[1..], &p[1..]),
-            c => !v.is_empty() && v[0] == c && rec(&v[1..], &p[1..]),
+    let v = value.as_bytes();
+    let p = pattern.as_bytes();
+    let (mut vi, mut pi) = (0usize, 0usize);
+    // Position of the last `%` seen, and the value index its match resumed at.
+    let mut star: Option<usize> = None;
+    let mut star_vi = 0usize;
+    while vi < v.len() {
+        if pi < p.len() && (p[pi] == b'_' || p[pi] == v[vi]) {
+            vi += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == b'%' {
+            star = Some(pi);
+            star_vi = vi;
+            pi += 1;
+        } else if let Some(star_pi) = star {
+            // Mismatch: let the last `%` swallow one more character.
+            pi = star_pi + 1;
+            star_vi += 1;
+            vi = star_vi;
+        } else {
+            return false;
         }
     }
-    rec(value.as_bytes(), pattern.as_bytes())
+    // Value exhausted: remaining pattern must be all `%`.
+    p[pi..].iter().all(|&c| c == b'%')
 }
 
 /// `value IN (list)` membership test.
+///
+/// The list is folded into a typed `HashSet` once, so the per-row cost is a
+/// single hash probe instead of a `total_cmp` scan of the whole list.
+/// Int64/Float64 list items coerce against numeric columns through the same
+/// [`rowkey::canonical_i64`] rule the hash operators use, and items of a
+/// non-coercible type simply never match. (Like the key encoding, integers
+/// beyond 2^53 compare exactly rather than through `total_cmp`'s lossy
+/// f64 coercion.)
 pub fn in_list(col: &Column, list: &[ScalarValue]) -> Result<Column> {
-    let n = col.len();
-    let mut mask = vec![false; n];
-    for (i, m) in mask.iter_mut().enumerate() {
-        let v = col.get(i);
-        *m = list.iter().any(|item| v.total_cmp(item) == Ordering::Equal);
-    }
+    use std::collections::HashSet;
+
+    // Integral list items (Int64, or Float64 holding an exact integer) as
+    // i64; used by Int64 columns and by integral values of Float64 columns.
+    let int_items = || -> HashSet<i64> {
+        list.iter()
+            .filter_map(|item| match item {
+                ScalarValue::Int64(x) => Some(*x),
+                ScalarValue::Float64(x) => crate::rowkey::canonical_i64(*x),
+                _ => None,
+            })
+            .collect()
+    };
+
+    let mask: Vec<bool> = match col {
+        Column::Utf8(values) => {
+            let set: HashSet<&str> = list
+                .iter()
+                .filter_map(|item| match item {
+                    ScalarValue::Utf8(s) => Some(s.as_str()),
+                    _ => None,
+                })
+                .collect();
+            values.iter().map(|v| set.contains(v.as_str())).collect()
+        }
+        Column::Int64(values) => {
+            let set = int_items();
+            values.iter().map(|v| set.contains(v)).collect()
+        }
+        Column::Date(values) => {
+            let set: HashSet<i32> = list
+                .iter()
+                .filter_map(|item| match item {
+                    ScalarValue::Date(d) => Some(*d),
+                    _ => None,
+                })
+                .collect();
+            values.iter().map(|v| set.contains(v)).collect()
+        }
+        Column::Float64(values) => {
+            // Split the list into exact-integer items (compared after the
+            // same canonicalization) and everything else by bit pattern;
+            // total_cmp equality on floats is bit equality.
+            let ints = int_items();
+            let bits: HashSet<u64> = list
+                .iter()
+                .filter_map(|item| match item {
+                    ScalarValue::Float64(x) => Some(x.to_bits()),
+                    _ => None,
+                })
+                .collect();
+            values
+                .iter()
+                .map(|v| {
+                    let as_int = crate::rowkey::canonical_i64(*v);
+                    as_int.is_some_and(|i| ints.contains(&i)) || bits.contains(&v.to_bits())
+                })
+                .collect()
+        }
+        Column::Bool(values) => {
+            let set: HashSet<bool> = list
+                .iter()
+                .filter_map(|item| match item {
+                    ScalarValue::Bool(b) => Some(*b),
+                    _ => None,
+                })
+                .collect();
+            values.iter().map(|v| set.contains(v)).collect()
+        }
+    };
     Ok(Column::Bool(mask))
 }
 
@@ -187,17 +276,62 @@ pub fn hash_rows(batch: &Batch, key_indices: &[usize]) -> Vec<u64> {
 /// columns. Every input row lands in exactly one output batch; rows keep
 /// their relative order within a partition (important for determinism of
 /// lineage replay).
-pub fn hash_partition(batch: &Batch, key_indices: &[usize], partitions: usize) -> Result<Vec<Batch>> {
+///
+/// Single-pass: each column is scattered directly into per-partition typed
+/// builders sized from a count pass over the hashes, instead of building
+/// per-partition row-index lists and `take`-ing each partition separately.
+pub fn hash_partition(
+    batch: &Batch,
+    key_indices: &[usize],
+    partitions: usize,
+) -> Result<Vec<Batch>> {
     assert!(partitions > 0);
     if partitions == 1 {
         return Ok(vec![batch.clone()]);
     }
     let hashes = hash_rows(batch, key_indices);
-    let mut indices: Vec<Vec<usize>> = vec![Vec::new(); partitions];
-    for (row, h) in hashes.iter().enumerate() {
-        indices[(h % partitions as u64) as usize].push(row);
+    let part_of: Vec<u32> = hashes.iter().map(|h| (h % partitions as u64) as u32).collect();
+    let mut counts = vec![0usize; partitions];
+    for &p in &part_of {
+        counts[p as usize] += 1;
     }
-    indices.into_iter().map(|idx| batch.take(&idx)).collect()
+
+    fn scatter<T: Clone>(values: &[T], part_of: &[u32], counts: &[usize]) -> Vec<Vec<T>> {
+        let mut out: Vec<Vec<T>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+        for (value, &p) in values.iter().zip(part_of) {
+            out[p as usize].push(value.clone());
+        }
+        out
+    }
+
+    let mut columns_per_part: Vec<Vec<Column>> =
+        (0..partitions).map(|_| Vec::with_capacity(batch.num_columns())).collect();
+    for col in batch.columns() {
+        let scattered: Vec<Column> = match col {
+            Column::Int64(v) => {
+                scatter(v, &part_of, &counts).into_iter().map(Column::Int64).collect()
+            }
+            Column::Float64(v) => {
+                scatter(v, &part_of, &counts).into_iter().map(Column::Float64).collect()
+            }
+            Column::Utf8(v) => {
+                scatter(v, &part_of, &counts).into_iter().map(Column::Utf8).collect()
+            }
+            Column::Bool(v) => {
+                scatter(v, &part_of, &counts).into_iter().map(Column::Bool).collect()
+            }
+            Column::Date(v) => {
+                scatter(v, &part_of, &counts).into_iter().map(Column::Date).collect()
+            }
+        };
+        for (part, piece) in columns_per_part.iter_mut().zip(scattered) {
+            part.push(piece);
+        }
+    }
+    columns_per_part
+        .into_iter()
+        .map(|columns| Batch::try_new(batch.schema().clone(), columns))
+        .collect()
 }
 
 /// A sort key: column index plus direction.
@@ -216,10 +350,49 @@ impl SortKey {
     }
 }
 
-/// Stable argsort of a batch by the given sort keys.
+/// Compare `left[a]` with `right[b]` directly on the typed column storage —
+/// no `ScalarValue` is materialized (the old path cloned strings on every
+/// comparison). The ordering mirrors [`ScalarValue::total_cmp`], including
+/// the Int64/Float64 coercion and the type-rank fallback for non-coercible
+/// type pairs.
+pub fn cmp_values(left: &Column, a: usize, right: &Column, b: usize) -> Ordering {
+    fn rank(col: &Column) -> u8 {
+        match col {
+            Column::Bool(_) => 0,
+            Column::Int64(_) => 1,
+            Column::Float64(_) => 2,
+            Column::Date(_) => 3,
+            Column::Utf8(_) => 4,
+        }
+    }
+    match (left, right) {
+        (Column::Int64(x), Column::Int64(y)) => x[a].cmp(&y[b]),
+        (Column::Float64(x), Column::Float64(y)) => x[a].total_cmp(&y[b]),
+        (Column::Utf8(x), Column::Utf8(y)) => x[a].cmp(&y[b]),
+        (Column::Bool(x), Column::Bool(y)) => x[a].cmp(&y[b]),
+        (Column::Date(x), Column::Date(y)) => x[a].cmp(&y[b]),
+        (Column::Int64(x), Column::Float64(y)) => (x[a] as f64).total_cmp(&y[b]),
+        (Column::Float64(x), Column::Int64(y)) => x[a].total_cmp(&(y[b] as f64)),
+        (x, y) => rank(x).cmp(&rank(y)),
+    }
+}
+
+/// Stable argsort of a batch by the given sort keys. Comparisons read the
+/// typed column slices directly; no per-comparison allocation.
 pub fn sort_indices(batch: &Batch, keys: &[SortKey]) -> Vec<usize> {
     let mut indices: Vec<usize> = (0..batch.num_rows()).collect();
-    indices.sort_by(|&a, &b| compare_rows(batch, a, batch, b, keys));
+    let key_columns: Vec<(&Column, bool)> =
+        keys.iter().map(|k| (batch.column(k.column), k.ascending)).collect();
+    indices.sort_by(|&a, &b| {
+        for &(col, ascending) in &key_columns {
+            let ord = cmp_values(col, a, col, b);
+            let ord = if ascending { ord } else { ord.reverse() };
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
     indices
 }
 
@@ -227,9 +400,7 @@ pub fn sort_indices(batch: &Batch, keys: &[SortKey]) -> Vec<usize> {
 /// column indices refer to both batches, which must share a schema).
 pub fn compare_rows(left: &Batch, a: usize, right: &Batch, b: usize, keys: &[SortKey]) -> Ordering {
     for key in keys {
-        let va = left.column(key.column).get(a);
-        let vb = right.column(key.column).get(b);
-        let ord = va.total_cmp(&vb);
+        let ord = cmp_values(left.column(key.column), a, right.column(key.column), b);
         let ord = if key.ascending { ord } else { ord.reverse() };
         if ord != Ordering::Equal {
             return ord;
@@ -263,11 +434,9 @@ pub fn cast(col: &Column, to: DataType) -> Result<Column> {
         (Column::Int64(v), DataType::Date) => {
             Ok(Column::Date(v.iter().map(|&x| x as i32).collect()))
         }
-        (from, to) => Err(QuokkaError::TypeError(format!(
-            "unsupported cast {} -> {}",
-            from.data_type(),
-            to
-        ))),
+        (from, to) => {
+            Err(QuokkaError::TypeError(format!("unsupported cast {} -> {}", from.data_type(), to)))
+        }
     }
 }
 
@@ -309,14 +478,8 @@ mod tests {
     fn comparisons_and_boolean_logic() {
         let a = Column::Int64(vec![1, 2, 3]);
         let b = Column::Float64(vec![2.0, 2.0, 2.0]);
-        assert_eq!(
-            compare(CmpOp::Lt, &a, &b).unwrap(),
-            Column::Bool(vec![true, false, false])
-        );
-        assert_eq!(
-            compare(CmpOp::GtEq, &a, &b).unwrap(),
-            Column::Bool(vec![false, true, true])
-        );
+        assert_eq!(compare(CmpOp::Lt, &a, &b).unwrap(), Column::Bool(vec![true, false, false]));
+        assert_eq!(compare(CmpOp::GtEq, &a, &b).unwrap(), Column::Bool(vec![false, true, true]));
         let s1 = Column::Utf8(vec!["x".into(), "y".into()]);
         let s2 = Column::Utf8(vec!["x".into(), "z".into()]);
         assert_eq!(compare(CmpOp::Eq, &s1, &s2).unwrap(), Column::Bool(vec![true, false]));
@@ -339,6 +502,31 @@ mod tests {
         assert!(like_match("anything at all", "%"));
         let col = Column::Utf8(vec!["MEDIUM POLISHED".into(), "SMALL PLATED".into()]);
         assert_eq!(like(&col, "MEDIUM%").unwrap(), Column::Bool(vec![true, false]));
+        // Multi-wildcard patterns where later literals force re-matching.
+        assert!(like_match("xayazb", "%a%b"));
+        assert!(!like_match("xayaz", "%a%b"));
+        assert!(like_match("aab", "a%b"));
+        assert!(like_match("ab", "a%%b"));
+        assert!(!like_match("a", "a_"));
+        assert!(like_match("abc", "%c"));
+        assert!(!like_match("abc", "%d"));
+    }
+
+    #[test]
+    fn like_pathological_pattern_completes_instantly() {
+        // The old recursive matcher was exponential in the number of `%`s on
+        // non-matching inputs: each `%` tried every split point. The
+        // two-pointer matcher must dispatch this in well under a second.
+        let value = "a".repeat(2000);
+        let pattern = "%a%a%a%a%a%b";
+        let start = std::time::Instant::now();
+        assert!(!like_match(&value, pattern));
+        assert!(like_match(&format!("{value}b"), pattern));
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(1),
+            "pathological LIKE pattern took {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]
@@ -349,6 +537,44 @@ mod tests {
         let nums = Column::Int64(vec![1, 5, 9]);
         let list = vec![ScalarValue::Int64(5)];
         assert_eq!(in_list(&nums, &list).unwrap(), Column::Bool(vec![false, true, false]));
+    }
+
+    #[test]
+    fn in_list_coerces_numerics_like_total_cmp() {
+        // Int64 column against Float64 list items: integral floats match,
+        // fractional ones never do.
+        let ints = Column::Int64(vec![2, 3, 4]);
+        let list = vec![ScalarValue::Float64(2.0), ScalarValue::Float64(3.5)];
+        assert_eq!(in_list(&ints, &list).unwrap(), Column::Bool(vec![true, false, false]));
+
+        // Float64 column against mixed Int64/Float64 items.
+        let floats = Column::Float64(vec![2.0, 2.5, -0.0, 7.25]);
+        let list = vec![ScalarValue::Int64(2), ScalarValue::Int64(0), ScalarValue::Float64(7.25)];
+        // -0.0 != Int64(0) under total_cmp; 2.0 == Int64(2); 7.25 matches by bits.
+        assert_eq!(in_list(&floats, &list).unwrap(), Column::Bool(vec![true, false, false, true]));
+
+        // Dates only match Date items, never numerically-equal Int64s.
+        let dates = Column::Date(vec![10, 20]);
+        let list = vec![ScalarValue::Int64(10), ScalarValue::Date(20)];
+        assert_eq!(in_list(&dates, &list).unwrap(), Column::Bool(vec![false, true]));
+
+        // A string column ignores non-string items entirely.
+        let tags = Column::Utf8(vec!["5".into()]);
+        assert_eq!(in_list(&tags, &[ScalarValue::Int64(5)]).unwrap(), Column::Bool(vec![false]));
+    }
+
+    #[test]
+    fn in_list_scales_past_linear_scans() {
+        // 20k rows against a 1k-item string list; the per-row HashSet probe
+        // keeps this far under a second even in debug builds.
+        let items: Vec<ScalarValue> =
+            (0..1000).map(|i| ScalarValue::from(format!("tag-{i}"))).collect();
+        let col = Column::Utf8((0..20_000).map(|i| format!("tag-{}", i % 2000)).collect());
+        let start = std::time::Instant::now();
+        let mask = in_list(&col, &items).unwrap();
+        assert!(start.elapsed() < std::time::Duration::from_secs(2));
+        let hits = mask.as_bool().unwrap().iter().filter(|&&b| b).count();
+        assert_eq!(hits, 10_000);
     }
 
     #[test]
@@ -363,7 +589,8 @@ mod tests {
             .map(|row| {
                 let key = b.value(row, 0);
                 parts.iter().position(|p| {
-                    (0..p.num_rows()).any(|r| p.value(r, 0) == key && p.value(r, 2) == b.value(row, 2))
+                    (0..p.num_rows())
+                        .any(|r| p.value(r, 0) == key && p.value(r, 2) == b.value(row, 2))
                 })
             })
             .collect();
@@ -398,13 +625,13 @@ mod tests {
             cast(&Column::Float64(vec![1.9]), DataType::Int64).unwrap(),
             Column::Int64(vec![1])
         );
-        assert_eq!(
-            cast(&Column::Date(vec![3]), DataType::Int64).unwrap(),
-            Column::Int64(vec![3])
-        );
+        assert_eq!(cast(&Column::Date(vec![3]), DataType::Int64).unwrap(), Column::Int64(vec![3]));
         assert!(cast(&Column::Utf8(vec![]), DataType::Int64).is_err());
         // identity cast
-        assert_eq!(cast(&Column::Bool(vec![true]), DataType::Bool).unwrap(), Column::Bool(vec![true]));
+        assert_eq!(
+            cast(&Column::Bool(vec![true]), DataType::Bool).unwrap(),
+            Column::Bool(vec![true])
+        );
     }
 
     #[test]

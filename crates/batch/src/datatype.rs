@@ -194,8 +194,8 @@ pub fn date_to_days(year: i64, month: i64, day: i64) -> i32 {
             days -= if is_leap(y) { 366 } else { 365 };
         }
     }
-    for m in 0..(month - 1) as usize {
-        days += DAYS_IN_MONTH[m];
+    for (m, &len) in DAYS_IN_MONTH.iter().enumerate().take((month - 1) as usize) {
+        days += len;
         if m == 1 && is_leap(year) {
             days += 1;
         }

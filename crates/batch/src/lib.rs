@@ -17,6 +17,8 @@
 //! * [`compute`] — element-wise and relational kernels (filter, take,
 //!   concat, arithmetic, comparisons, LIKE, hashing, hash partitioning,
 //!   sorting).
+//! * [`rowkey`] — compact binary row-key encoding (with a `u64` fast path)
+//!   backing the hash-based group-by and join operators.
 //! * [`codec`] — a compact binary encoding used for upstream backup,
 //!   spooling and checkpoints, so the storage cost model can charge for real
 //!   byte counts.
@@ -26,6 +28,7 @@ pub mod codec;
 pub mod column;
 pub mod compute;
 pub mod datatype;
+pub mod rowkey;
 pub mod schema;
 
 pub use batch::Batch;

@@ -1,0 +1,407 @@
+//! Compact binary row-key encoding for hash-based operators.
+//!
+//! Group-by and join keys used to be materialized as per-row `ScalarValue`
+//! vectors and stringified `BTreeMap` keys. This module replaces both with a
+//! typed encoding:
+//!
+//! * **u64 fast path** — a single `Int64`/`Date`/`Bool` key column (the common
+//!   TPC-H case) is used directly as a `u64` hash-map key, with no encoding
+//!   buffer at all.
+//! * **byte path** — multi-column or string/float keys are encoded row-wise
+//!   into one flat `Vec<u8>` with per-row offsets; only *new* keys (one per
+//!   distinct group / build key, never per row) are copied into the map.
+//!
+//! Equality semantics follow `ScalarValue::total_cmp`: an `Int64` key equals
+//! a `Float64` key holding the same integral value (floats that are integral
+//! and exactly representable as `i64` are canonicalized to the integer
+//! encoding, see [`canonical_i64`]), `-0.0` stays distinct from `0.0`, and
+//! `NaN` equals itself bit-for-bit. Values of different non-coercible types
+//! never collide because every encoded value carries a type tag. One known
+//! divergence from the scalar path it replaced: `total_cmp` coerced the
+//! *integer* side to `f64` lossily, so an `Int64` beyond 2^53 could compare
+//! equal to a nearby `Float64`; the encoding compares such pairs exactly and
+//! keeps them distinct.
+
+use crate::column::Column;
+use crate::datatype::DataType;
+use quokka_common::rng::mix64;
+use quokka_common::{QuokkaError, Result};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_BOOL: u8 = 3;
+const TAG_DATE: u8 = 4;
+const TAG_UTF8: u8 = 5;
+
+/// How a set of key columns is encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyLayout {
+    /// Single fixed-width column usable as a `u64` key directly.
+    U64,
+    /// General tagged byte encoding.
+    Bytes,
+}
+
+/// The layout for one side's key column types.
+pub fn key_layout(types: &[DataType]) -> KeyLayout {
+    match types {
+        [DataType::Int64] | [DataType::Date] | [DataType::Bool] => KeyLayout::U64,
+        _ => KeyLayout::Bytes,
+    }
+}
+
+/// The layout shared by the two sides of a join. The u64 fast path requires
+/// identical single-column types on both sides; mixed numeric types fall
+/// back to the byte encoding, whose integral-float canonicalization keeps
+/// `Int64(2)` equal to `Float64(2.0)` the way `ScalarValue::total_cmp` does.
+pub fn joint_key_layout(build: &[DataType], probe: &[DataType]) -> KeyLayout {
+    if build == probe {
+        key_layout(build)
+    } else {
+        KeyLayout::Bytes
+    }
+}
+
+/// Encoded keys for every row of a batch.
+#[derive(Debug)]
+pub enum EncodedKeys {
+    U64(Vec<u64>),
+    Bytes {
+        /// Concatenated row encodings.
+        data: Vec<u8>,
+        /// `offsets[i]..offsets[i+1]` is row `i`'s encoding.
+        offsets: Vec<u32>,
+    },
+}
+
+impl EncodedKeys {
+    pub fn num_rows(&self) -> usize {
+        match self {
+            EncodedKeys::U64(v) => v.len(),
+            EncodedKeys::Bytes { offsets, .. } => offsets.len() - 1,
+        }
+    }
+
+    fn bytes_at<'a>(data: &'a [u8], offsets: &[u32], row: usize) -> &'a [u8] {
+        &data[offsets[row] as usize..offsets[row + 1] as usize]
+    }
+}
+
+/// The exact-integer canonical form of a float, if it has one: integral,
+/// inside the exactly-representable i64 range, and not `-0.0` (which
+/// `total_cmp` keeps distinct from `0.0`). Shared by the key encoding and
+/// `compute::in_list` so their Int64/Float64 coercion can never drift apart.
+pub fn canonical_i64(x: f64) -> Option<i64> {
+    let integral = x.fract() == 0.0
+        && x >= -(2f64.powi(63))
+        && x < 2f64.powi(63)
+        && !(x == 0.0 && x.is_sign_negative());
+    integral.then_some(x as i64)
+}
+
+fn encode_u64_key(column: &Column, row: usize) -> Result<u64> {
+    Ok(match column {
+        Column::Int64(v) => v[row] as u64,
+        Column::Date(v) => v[row] as i64 as u64,
+        Column::Bool(v) => v[row] as u64,
+        other => {
+            return Err(QuokkaError::internal(format!(
+                "u64 key layout applied to {} column",
+                other.data_type()
+            )))
+        }
+    })
+}
+
+/// Append the tagged encoding of `column[row]` to `out`.
+fn encode_value(out: &mut Vec<u8>, column: &Column, row: usize) {
+    match column {
+        Column::Int64(v) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&v[row].to_le_bytes());
+        }
+        Column::Date(v) => {
+            out.push(TAG_DATE);
+            out.extend_from_slice(&v[row].to_le_bytes());
+        }
+        Column::Bool(v) => {
+            out.push(TAG_BOOL);
+            out.push(v[row] as u8);
+        }
+        Column::Float64(v) => {
+            // Canonicalize integral floats to the Int64 encoding so numeric
+            // cross-type keys compare equal; everything else keeps its bits.
+            match canonical_i64(v[row]) {
+                Some(int) => {
+                    out.push(TAG_INT);
+                    out.extend_from_slice(&int.to_le_bytes());
+                }
+                None => {
+                    out.push(TAG_FLOAT);
+                    out.extend_from_slice(&v[row].to_bits().to_le_bytes());
+                }
+            }
+        }
+        Column::Utf8(v) => {
+            let s = v[row].as_bytes();
+            out.push(TAG_UTF8);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s);
+        }
+    }
+}
+
+/// Encode the given key columns (all the same length) under `layout`.
+pub fn encode_keys(columns: &[&Column], layout: KeyLayout) -> Result<EncodedKeys> {
+    let rows = columns.first().map(|c| c.len()).unwrap_or(0);
+    match layout {
+        KeyLayout::U64 => {
+            let [column] = columns else {
+                return Err(QuokkaError::internal("u64 key layout requires one key column"));
+            };
+            let mut keys = Vec::with_capacity(rows);
+            for row in 0..rows {
+                keys.push(encode_u64_key(column, row)?);
+            }
+            Ok(EncodedKeys::U64(keys))
+        }
+        KeyLayout::Bytes => {
+            // ~9 bytes per fixed-width value is the common case.
+            let mut data = Vec::with_capacity(rows * columns.len() * 9);
+            let mut offsets = Vec::with_capacity(rows + 1);
+            offsets.push(0u32);
+            for row in 0..rows {
+                for column in columns {
+                    encode_value(&mut data, column, row);
+                }
+                offsets.push(data.len() as u32);
+            }
+            Ok(EncodedKeys::Bytes { data, offsets })
+        }
+    }
+}
+
+/// A finalizing hasher for integer keys based on `mix64`; much cheaper than
+/// SipHash for the u64 fast path and for the pre-hashed byte keys.
+#[derive(Default)]
+pub struct Mix64Hasher(u64);
+
+impl Hasher for Mix64Hasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Byte keys: FNV-1a style fold, mixed at the end.
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.0 = mix64(self.0);
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.0 = mix64(self.0 ^ mix64(value));
+    }
+
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+}
+
+type BuildMix64 = BuildHasherDefault<Mix64Hasher>;
+
+/// A hash map from encoded row keys to `V`, dispatching on the key layout.
+#[derive(Debug)]
+pub enum KeyMap<V> {
+    U64(HashMap<u64, V, BuildMix64>),
+    Bytes(HashMap<Box<[u8]>, V, BuildMix64>),
+}
+
+impl<V> KeyMap<V> {
+    pub fn new(layout: KeyLayout) -> Self {
+        match layout {
+            KeyLayout::U64 => KeyMap::U64(HashMap::default()),
+            KeyLayout::Bytes => KeyMap::Bytes(HashMap::default()),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            KeyMap::U64(m) => m.len(),
+            KeyMap::Bytes(m) => m.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn clear(&mut self) {
+        match self {
+            KeyMap::U64(m) => m.clear(),
+            KeyMap::Bytes(m) => m.clear(),
+        }
+    }
+
+    /// Pre-size the map for `additional` further keys.
+    pub fn reserve(&mut self, additional: usize) {
+        match self {
+            KeyMap::U64(m) => m.reserve(additional),
+            KeyMap::Bytes(m) => m.reserve(additional),
+        }
+    }
+
+    /// Look up every row of `keys` in order, invoking `visit(row, value)`
+    /// once per row. Hoists the layout dispatch out of the per-row loop —
+    /// this is the bulk probe path of the hash join.
+    pub fn lookup_each<'a>(
+        &'a self,
+        keys: &EncodedKeys,
+        mut visit: impl FnMut(usize, Option<&'a V>),
+    ) -> Result<()> {
+        match (self, keys) {
+            (KeyMap::U64(map), EncodedKeys::U64(k)) => {
+                for (row, key) in k.iter().enumerate() {
+                    visit(row, map.get(key));
+                }
+            }
+            (KeyMap::Bytes(map), EncodedKeys::Bytes { data, offsets }) => {
+                for row in 0..offsets.len() - 1 {
+                    visit(row, map.get(EncodedKeys::bytes_at(data, offsets, row)));
+                }
+            }
+            _ => return Err(QuokkaError::internal("encoded key layout mismatch")),
+        }
+        Ok(())
+    }
+
+    /// The value for row `row` of `keys`, if present.
+    pub fn get(&self, keys: &EncodedKeys, row: usize) -> Option<&V> {
+        match (self, keys) {
+            (KeyMap::U64(map), EncodedKeys::U64(k)) => map.get(&k[row]),
+            (KeyMap::Bytes(map), EncodedKeys::Bytes { data, offsets }) => {
+                map.get(EncodedKeys::bytes_at(data, offsets, row))
+            }
+            _ => None,
+        }
+    }
+
+    /// The value for row `row` of `keys`, inserting `make()` for unseen keys.
+    /// Only a brand-new key copies bytes into the map.
+    pub fn get_mut_or_insert_with(
+        &mut self,
+        keys: &EncodedKeys,
+        row: usize,
+        make: impl FnOnce() -> V,
+    ) -> Result<&mut V> {
+        match (self, keys) {
+            (KeyMap::U64(map), EncodedKeys::U64(k)) => Ok(map.entry(k[row]).or_insert_with(make)),
+            (KeyMap::Bytes(map), EncodedKeys::Bytes { data, offsets }) => {
+                let key = EncodedKeys::bytes_at(data, offsets, row);
+                // Avoid allocating the boxed key for already-seen rows.
+                if !map.contains_key(key) {
+                    map.insert(Box::from(key), make());
+                }
+                Ok(map.get_mut(key).expect("key inserted above"))
+            }
+            _ => Err(QuokkaError::internal("encoded key layout mismatch")),
+        }
+    }
+
+    /// Approximate memory footprint of the keys and map overhead (the values
+    /// are accounted by the caller, who knows their type).
+    pub fn key_bytes(&self) -> usize {
+        match self {
+            KeyMap::U64(m) => m.len() * 16,
+            KeyMap::Bytes(m) => m.keys().map(|k| k.len() + 24).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_selection() {
+        assert_eq!(key_layout(&[DataType::Int64]), KeyLayout::U64);
+        assert_eq!(key_layout(&[DataType::Date]), KeyLayout::U64);
+        assert_eq!(key_layout(&[DataType::Bool]), KeyLayout::U64);
+        assert_eq!(key_layout(&[DataType::Utf8]), KeyLayout::Bytes);
+        assert_eq!(key_layout(&[DataType::Float64]), KeyLayout::Bytes);
+        assert_eq!(key_layout(&[DataType::Int64, DataType::Int64]), KeyLayout::Bytes);
+        assert_eq!(joint_key_layout(&[DataType::Int64], &[DataType::Int64]), KeyLayout::U64);
+        // Mixed numeric sides must go through the coercing byte encoding.
+        assert_eq!(joint_key_layout(&[DataType::Int64], &[DataType::Float64]), KeyLayout::Bytes);
+    }
+
+    #[test]
+    fn u64_fast_path_round_trip() {
+        let col = Column::Int64(vec![5, -1, 5]);
+        let keys = encode_keys(&[&col], KeyLayout::U64).unwrap();
+        let mut map: KeyMap<u32> = KeyMap::new(KeyLayout::U64);
+        for row in 0..3 {
+            let next = map.len() as u32;
+            map.get_mut_or_insert_with(&keys, row, || next).unwrap();
+        }
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.get(&keys, 0), map.get(&keys, 2));
+        assert_ne!(map.get(&keys, 0), map.get(&keys, 1));
+    }
+
+    #[test]
+    fn byte_encoding_distinguishes_types_and_coerces_integral_floats() {
+        let ints = Column::Int64(vec![2, 3]);
+        let floats = Column::Float64(vec![2.0, 2.5]);
+        let int_keys = encode_keys(&[&ints], KeyLayout::Bytes).unwrap();
+        let float_keys = encode_keys(&[&floats], KeyLayout::Bytes).unwrap();
+        let mut map: KeyMap<&str> = KeyMap::new(KeyLayout::Bytes);
+        map.get_mut_or_insert_with(&int_keys, 0, || "two").unwrap();
+        // Float64(2.0) must find Int64(2); Float64(2.5) must not.
+        assert_eq!(map.get(&float_keys, 0), Some(&"two"));
+        assert_eq!(map.get(&float_keys, 1), None);
+
+        // A Date and an Int64 with the same payload must stay distinct.
+        let dates = Column::Date(vec![2]);
+        let date_keys = encode_keys(&[&dates], KeyLayout::Bytes).unwrap();
+        assert_eq!(map.get(&date_keys, 0), None);
+    }
+
+    #[test]
+    fn negative_zero_and_nan_follow_total_cmp() {
+        let floats = Column::Float64(vec![0.0, -0.0, f64::NAN, f64::NAN]);
+        let keys = encode_keys(&[&floats], KeyLayout::Bytes).unwrap();
+        let mut map: KeyMap<u32> = KeyMap::new(KeyLayout::Bytes);
+        for row in 0..4 {
+            let next = map.len() as u32;
+            map.get_mut_or_insert_with(&keys, row, || next).unwrap();
+        }
+        // 0.0 != -0.0, NaN == NaN (same bits): three distinct keys.
+        assert_eq!(map.len(), 3);
+    }
+
+    #[test]
+    fn multi_column_string_keys() {
+        let tags = Column::Utf8(vec!["a".into(), "a".into(), "ab".into()]);
+        let ids = Column::Int64(vec![1, 1, 1]);
+        let keys = encode_keys(&[&tags, &ids], KeyLayout::Bytes).unwrap();
+        assert_eq!(keys.num_rows(), 3);
+        let mut map: KeyMap<u32> = KeyMap::new(KeyLayout::Bytes);
+        for row in 0..3 {
+            let next = map.len() as u32;
+            map.get_mut_or_insert_with(&keys, row, || next).unwrap();
+        }
+        assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn layout_mismatch_is_an_error() {
+        let col = Column::Int64(vec![1]);
+        let keys = encode_keys(&[&col], KeyLayout::U64).unwrap();
+        let mut map: KeyMap<u32> = KeyMap::new(KeyLayout::Bytes);
+        assert!(map.get_mut_or_insert_with(&keys, 0, || 0).is_err());
+        assert_eq!(map.get(&keys, 0), None);
+    }
+}

@@ -60,10 +60,9 @@ impl Schema {
 
     /// Index of the column named `name`.
     pub fn index_of(&self, name: &str) -> Result<usize> {
-        self.fields
-            .iter()
-            .position(|f| f.name == name)
-            .ok_or_else(|| QuokkaError::PlanError(format!("unknown column '{name}' in schema {self}")))
+        self.fields.iter().position(|f| f.name == name).ok_or_else(|| {
+            QuokkaError::PlanError(format!("unknown column '{name}' in schema {self}"))
+        })
     }
 
     /// Data type of the column named `name`.

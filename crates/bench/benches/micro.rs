@@ -10,15 +10,16 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use quokka::batch::codec::encode_partition;
-use quokka::batch::compute::hash_partition;
+use quokka::batch::compute::{hash_partition, in_list, like, sort_batch, SortKey};
+use quokka::common::ids::ChannelAddr;
 use quokka::gcs::tables::{
     ChannelState, Gcs, LineageRecord, LineageSource, PartitionEntry, TaskCommit, TaskEntry,
 };
 use quokka::plan::aggregate::sum;
 use quokka::plan::expr::col;
-use quokka::plan::physical::{CoreOp, OperatorSpec};
 use quokka::plan::logical::JoinType;
-use quokka::common::ids::ChannelAddr;
+use quokka::plan::physical::{CoreOp, OperatorSpec};
+use quokka::ScalarValue;
 use quokka::{Batch, Column, DataType, Schema};
 
 fn sample_batch(rows: usize) -> Batch {
@@ -134,11 +135,23 @@ fn bench_join_and_aggregate(c: &mut Criterion) {
     });
 }
 
+fn bench_scalar_free_kernels(c: &mut Criterion) {
+    let batch = sample_batch(8192);
+    c.bench_function("sort_8k_rows_two_keys", |b| {
+        b.iter(|| sort_batch(&batch, &[SortKey::asc(0), SortKey::desc(2)]).unwrap())
+    });
+    let tags = batch.column_by_name("tag").unwrap();
+    c.bench_function("like_8k_rows", |b| b.iter(|| like(tags, "tag-1%").unwrap()));
+    let list: Vec<ScalarValue> = (0..64).map(|i| ScalarValue::from(format!("tag-{i}"))).collect();
+    c.bench_function("in_list_8k_rows_64_items", |b| b.iter(|| in_list(tags, &list).unwrap()));
+}
+
 criterion_group!(
     benches,
     bench_lineage_commit,
     bench_partition_encode,
     bench_hash_partition,
-    bench_join_and_aggregate
+    bench_join_and_aggregate,
+    bench_scalar_free_kernels
 );
 criterion_main!(benches);

@@ -17,8 +17,11 @@ fn main() -> quokka::Result<()> {
         &["wal", "spool", "ckpt-16", "ckpt-4", "ckpt bytes MB"],
     );
     for &q in &queries {
-        let base =
-            harness.run("none", q, &harness.quokka_config(workers).with_fault(FaultStrategy::None))?;
+        let base = harness.run(
+            "none",
+            q,
+            &harness.quokka_config(workers).with_fault(FaultStrategy::None),
+        )?;
         let wal = harness.run("wal", q, &harness.quokka_config(workers))?;
         let spool = harness.run(
             "spool",

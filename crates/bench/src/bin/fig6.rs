@@ -1,7 +1,9 @@
 //! Fig. 6: Quokka speedup vs SparkSQL-like and Trino-like baselines on the
 //! TPC-H queries, on 4- and 16-worker clusters.
 
-use quokka_bench::{geomean, print_geomean, print_header, print_row, queries_from_env, workers_from_env, Harness};
+use quokka_bench::{
+    geomean, print_geomean, print_header, print_row, queries_from_env, workers_from_env, Harness,
+};
 
 fn main() -> quokka::Result<()> {
     let harness = Harness::from_env()?;
@@ -25,10 +27,7 @@ fn main() -> quokka::Result<()> {
             vs_trino.push(s_trino);
             print_row(q, &[quokka.seconds, spark.seconds, trino.seconds, s_spark, s_trino]);
         }
-        print_geomean(
-            "geomean",
-            &[vec![], vec![], vec![], vs_spark.clone(), vs_trino.clone()],
-        );
+        print_geomean("geomean", &[vec![], vec![], vec![], vs_spark.clone(), vs_trino.clone()]);
         println!(
             "paper shape: Quokka ~2x faster than SparkSQL, 1.25-1.7x faster than Trino; measured geomean {:.2}x / {:.2}x",
             geomean(&vs_spark),

@@ -24,9 +24,7 @@ fn main() -> quokka::Result<()> {
             let static128 = harness.run(
                 "static-128",
                 q,
-                &harness
-                    .quokka_config(w)
-                    .with_schedule(SchedulePolicy::StaticBatch { batch: 128 }),
+                &harness.quokka_config(w).with_schedule(SchedulePolicy::StaticBatch { batch: 128 }),
             )?;
             print_row(q, &[dynamic.seconds, static8.seconds, static128.seconds]);
         }

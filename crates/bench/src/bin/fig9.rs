@@ -19,10 +19,16 @@ fn main() -> quokka::Result<()> {
         let mut wal_overheads = Vec::new();
         for &q in &queries {
             // Baselines with fault tolerance disabled.
-            let trino_base = harness
-                .run("trino-noft", q, &harness.trino_config(w).with_fault(FaultStrategy::None))?;
-            let quokka_base = harness
-                .run("quokka-noft", q, &harness.quokka_config(w).with_fault(FaultStrategy::None))?;
+            let trino_base = harness.run(
+                "trino-noft",
+                q,
+                &harness.trino_config(w).with_fault(FaultStrategy::None),
+            )?;
+            let quokka_base = harness.run(
+                "quokka-noft",
+                q,
+                &harness.quokka_config(w).with_fault(FaultStrategy::None),
+            )?;
             // With their respective fault-tolerance mechanisms on.
             let trino_ft = harness.run("trino-ft", q, &harness.trino_config(w))?;
             let quokka_spool = harness.run(

@@ -80,7 +80,12 @@ impl Harness {
     }
 
     /// Time one query under one configuration.
-    pub fn run(&self, label: &str, query: usize, config: &EngineConfig) -> quokka::Result<Measurement> {
+    pub fn run(
+        &self,
+        label: &str,
+        query: usize,
+        config: &EngineConfig,
+    ) -> quokka::Result<Measurement> {
         let start = Instant::now();
         let outcome = self.session.run_with(self.plan(query), config)?;
         let seconds = start.elapsed().as_secs_f64();

@@ -169,18 +169,16 @@ impl QueryLayout {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use quokka_batch::{DataType, Schema};
     use quokka_plan::aggregate::sum;
     use quokka_plan::expr::col;
     use quokka_plan::logical::{JoinType, PlanBuilder};
     use quokka_plan::stage::StageGraph;
-    use quokka_batch::{DataType, Schema};
 
     fn layout(workers: u32) -> QueryLayout {
         let orders = Schema::from_pairs(&[("o_orderkey", DataType::Int64)]);
-        let lineitem = Schema::from_pairs(&[
-            ("l_orderkey", DataType::Int64),
-            ("l_price", DataType::Float64),
-        ]);
+        let lineitem =
+            Schema::from_pairs(&[("l_orderkey", DataType::Int64), ("l_price", DataType::Float64)]);
         let plan = PlanBuilder::scan("orders", orders)
             .join(
                 PlanBuilder::scan("lineitem", lineitem),

@@ -42,7 +42,14 @@ pub struct Coordinator {
 
 impl Coordinator {
     pub fn new(services: Arc<Services>) -> Self {
-        Coordinator { services, watchdog: Duration::from_secs(120) }
+        // `QUOKKA_WATCHDOG_SECS` shortens the no-progress abort for
+        // stress-testing liveness; production default is 120s.
+        let watchdog = std::env::var("QUOKKA_WATCHDOG_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .map(Duration::from_secs)
+            .unwrap_or(Duration::from_secs(120));
+        Coordinator { services, watchdog }
     }
 
     /// Fraction of all input splits consumed so far — the progress measure
@@ -88,12 +95,13 @@ impl Coordinator {
             if let Some(error) = self.services.gcs.query_error() {
                 return CoordinatorOutcome::Failed(error);
             }
-            if self.sink_done() {
-                self.services.gcs.set_query_done();
-                return CoordinatorOutcome::Completed;
-            }
 
             // Inject any failures whose trigger point has been reached.
+            // This happens *before* the completion check: a fast query can
+            // sprint from the trigger fraction to done within one heartbeat,
+            // and an injection the configuration promised must still land
+            // (killing a worker whose channels all finished is harmless —
+            // recovery finds nothing to rewind).
             let progress = self.progress();
             while let Some(spec) = pending.first().copied() {
                 if progress < spec.at_progress {
@@ -108,9 +116,9 @@ impl Coordinator {
                 self.services.kill_worker(spec.worker);
                 injected.push(spec.worker);
                 if !self.services.config.fault.supports_intra_query_recovery() {
-                    self.services
-                        .gcs
-                        .set_query_error("worker failed and the strategy has no intra-query recovery");
+                    self.services.gcs.set_query_error(
+                        "worker failed and the strategy has no intra-query recovery",
+                    );
                     return CoordinatorOutcome::NeedsRestart { failed: injected };
                 }
                 // Failure detection (the heartbeat round trip), then recovery.
@@ -123,6 +131,11 @@ impl Coordinator {
                 self.services.metrics.add_recovery_planning(planning_start.elapsed());
             }
 
+            if self.sink_done() {
+                self.services.gcs.set_query_done();
+                return CoordinatorOutcome::Completed;
+            }
+
             // Watchdog: abort if the task counter stops moving for too long.
             let tasks = self.services.metrics.snapshot(Duration::ZERO).tasks_executed;
             if tasks != last_progress.0 {
@@ -133,6 +146,82 @@ impl Coordinator {
                     self.watchdog,
                     start.elapsed()
                 );
+                // Dump the stuck state: which channels are unfinished, where
+                // they are assigned, and what their watermarks look like.
+                eprintln!("[watchdog] paused={}", self.services.gcs.is_paused());
+                for state in self.services.gcs.all_channels() {
+                    if !state.done {
+                        eprintln!(
+                            "[watchdog] stuck channel {} worker={} committed={:?} \
+                             consumed={:?} splits={} rewind={:?} killed={}",
+                            state.addr,
+                            state.worker,
+                            state.committed_seq,
+                            state.consumed,
+                            state.splits_consumed,
+                            state.rewind_until,
+                            self.services.is_killed(state.worker),
+                        );
+                        for (flat, (_, upstream)) in self
+                            .services
+                            .layout
+                            .upstream_channels(state.addr.stage)
+                            .iter()
+                            .enumerate()
+                        {
+                            let up = self.services.gcs.get_channel(*upstream);
+                            let produced = up.as_ref().map(|u| u.outputs_produced()).unwrap_or(0);
+                            let consumed = state.consumed.get(flat).copied().unwrap_or(0);
+                            if consumed < produced {
+                                let inbox = self
+                                    .services
+                                    .plane
+                                    .server(state.worker)
+                                    .map(|s| {
+                                        s.available_from(state.addr, *upstream, consumed).len()
+                                    })
+                                    .unwrap_or(0);
+                                eprintln!(
+                                    "[watchdog]   waiting on {} ({}/{} consumed, {} in inbox, \
+                                     up done={:?})",
+                                    upstream,
+                                    consumed,
+                                    produced,
+                                    inbox,
+                                    up.map(|u| u.done),
+                                );
+                                for seq in consumed..produced {
+                                    let name = upstream.task(seq);
+                                    let in_inbox = self
+                                        .services
+                                        .plane
+                                        .server(state.worker)
+                                        .map(|s| s.has_slice(state.addr, name))
+                                        .unwrap_or(false);
+                                    let lineage = self.services.gcs.lineage_committed(name);
+                                    if !in_inbox || !lineage {
+                                        eprintln!(
+                                            "[watchdog]     seq {seq}: in_inbox={in_inbox} \
+                                             lineage_committed={lineage}"
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                for w in 0..self.services.layout.workers() {
+                    for r in self.services.gcs.replays_for_worker(w) {
+                        eprintln!(
+                            "[watchdog] pending replay owner={} partition={} consumer={} \
+                             owner_killed={}",
+                            w,
+                            r.partition,
+                            r.consumer,
+                            self.services.is_killed(w)
+                        );
+                    }
+                }
                 self.services.gcs.set_query_error(&message);
                 return CoordinatorOutcome::Failed(message);
             }
@@ -223,8 +312,7 @@ impl Coordinator {
             let previous = gcs
                 .get_channel(*channel)
                 .ok_or_else(|| QuokkaError::NotFound(format!("channel {channel}")))?;
-            let new_worker =
-                live[(channel.stage as usize + channel.channel as usize) % live.len()];
+            let new_worker = live[(channel.stage as usize + channel.channel as usize) % live.len()];
             let mut state = ChannelState::new(
                 *channel,
                 new_worker,

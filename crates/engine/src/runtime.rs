@@ -76,8 +76,7 @@ impl QueryRunner {
             table_splits.insert(table, batches.len() as u64);
         }
 
-        let layout =
-            Arc::new(QueryLayout::new(graph, &self.config.cluster, &table_splits)?);
+        let layout = Arc::new(QueryLayout::new(graph, &self.config.cluster, &table_splits)?);
         let gcs = Arc::new(Gcs::new(cost.gcs_delay()));
         let plane =
             Arc::new(DataPlane::new(self.config.cluster.workers, cost, Arc::clone(&metrics)));
@@ -88,8 +87,7 @@ impl QueryRunner {
         // Register every channel and its first task in the GCS.
         for addr in layout.all_channels() {
             let worker = layout.initial_worker(addr);
-            let state =
-                ChannelState::new(addr, worker, layout.upstream_channels(addr.stage).len());
+            let state = ChannelState::new(addr, worker, layout.upstream_channels(addr.stage).len());
             gcs.put_channel(&state);
             gcs.put_task(&TaskEntry { task: addr.task(0), worker });
         }
@@ -150,8 +148,11 @@ impl QueryRunner {
                     channels_per_stage: self.config.cluster.channels_per_stage,
                     ..self.config.cluster
                 };
-                let rerun = QueryRunner::new(restart_config)
-                    .run_with_restart_budget(plan, catalog, restarts_left - 1)?;
+                let rerun = QueryRunner::new(restart_config).run_with_restart_budget(
+                    plan,
+                    catalog,
+                    restarts_left - 1,
+                )?;
                 let mut combined = rerun.metrics;
                 combined.runtime += elapsed;
                 combined.failures += failed.len() as u64;
@@ -164,13 +165,13 @@ impl QueryRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use quokka_batch::{Column, DataType, Schema};
     use quokka_common::config::{ExecutionMode, FailureSpec, FaultStrategy, SchedulePolicy};
     use quokka_plan::aggregate::{count, sum};
     use quokka_plan::catalog::MemoryCatalog;
     use quokka_plan::expr::{col, lit};
     use quokka_plan::logical::{JoinType, PlanBuilder};
     use quokka_plan::reference::{same_result, ReferenceExecutor};
-    use quokka_batch::{Column, DataType, Schema};
 
     /// A small synthetic catalog: a fact table and a dimension table, split
     /// into several batches so scans produce multiple input partitions.
@@ -187,10 +188,8 @@ mod tests {
         .unwrap();
         catalog.register("dim", dim.clone(), dim_batch.chunks(4));
 
-        let fact = Schema::from_pairs(&[
-            ("f_key", DataType::Int64),
-            ("f_value", DataType::Float64),
-        ]);
+        let fact =
+            Schema::from_pairs(&[("f_key", DataType::Int64), ("f_value", DataType::Float64)]);
         let fact_batch = Batch::try_new(
             fact.clone(),
             vec![
@@ -205,10 +204,8 @@ mod tests {
 
     fn join_plan() -> quokka_plan::logical::LogicalPlan {
         let dim = Schema::from_pairs(&[("d_key", DataType::Int64), ("d_name", DataType::Utf8)]);
-        let fact = Schema::from_pairs(&[
-            ("f_key", DataType::Int64),
-            ("f_value", DataType::Float64),
-        ]);
+        let fact =
+            Schema::from_pairs(&[("f_key", DataType::Int64), ("f_value", DataType::Float64)]);
         PlanBuilder::scan("dim", dim)
             .join(
                 PlanBuilder::scan("fact", fact).filter(col("f_value").gt_eq(lit(1.0f64))),
@@ -322,10 +319,8 @@ mod tests {
     #[test]
     fn single_stage_scan_query_works() {
         let catalog = catalog(100);
-        let fact = Schema::from_pairs(&[
-            ("f_key", DataType::Int64),
-            ("f_value", DataType::Float64),
-        ]);
+        let fact =
+            Schema::from_pairs(&[("f_key", DataType::Int64), ("f_value", DataType::Float64)]);
         let plan = PlanBuilder::scan("fact", fact)
             .filter(col("f_key").eq(lit(3i64)))
             .project(vec![(col("f_value"), "v")])
@@ -340,8 +335,8 @@ mod tests {
     fn checkpointing_strategy_writes_checkpoints() {
         let catalog = catalog(400);
         let plan = join_plan();
-        let config = EngineConfig::quokka(2)
-            .with_fault(FaultStrategy::Checkpointing { interval_tasks: 2 });
+        let config =
+            EngineConfig::quokka(2).with_fault(FaultStrategy::Checkpointing { interval_tasks: 2 });
         let outcome = QueryRunner::new(config).run(&plan, &catalog).unwrap();
         assert!(outcome.metrics.checkpoint_bytes > 0);
         assert!(outcome.metrics.durable_bytes > 0);
@@ -351,13 +346,11 @@ mod tests {
     fn execution_modes_agree_with_each_other() {
         let catalog = catalog(500);
         let plan = join_plan();
-        let pipelined =
-            QueryRunner::new(EngineConfig::quokka(3)).run(&plan, &catalog).unwrap();
-        let stagewise = QueryRunner::new(
-            EngineConfig::quokka(3).with_mode(ExecutionMode::Stagewise),
-        )
-        .run(&plan, &catalog)
-        .unwrap();
+        let pipelined = QueryRunner::new(EngineConfig::quokka(3)).run(&plan, &catalog).unwrap();
+        let stagewise =
+            QueryRunner::new(EngineConfig::quokka(3).with_mode(ExecutionMode::Stagewise))
+                .run(&plan, &catalog)
+                .unwrap();
         assert!(same_result(&pipelined.batch, &stagewise.batch));
     }
 }

@@ -28,7 +28,10 @@ use quokka_common::config::{EngineConfig, ExecutionMode, FaultStrategy, Schedule
 use quokka_common::ids::{ChannelAddr, SeqNo, StageId, TaskName, WorkerId};
 use quokka_common::metrics::MetricsRegistry;
 use quokka_common::{QuokkaError, Result};
-use quokka_gcs::tables::{ChannelState, LineageRecord, LineageSource, PartitionEntry, TaskCommit, TaskEntry};
+use quokka_gcs::tables::{
+    ChannelState, LineageRecord, LineageSource, PartitionEntry, ReplayRequest, TaskCommit,
+    TaskEntry,
+};
 use quokka_gcs::Gcs;
 use quokka_net::DataPlane;
 use quokka_plan::physical::StageOperator;
@@ -140,8 +143,16 @@ impl StageWorker {
 
     /// Main loop: runs until the query finishes, fails, or this worker is
     /// killed.
+    ///
+    /// Idle polling backs off exponentially (`poll_interval` up to ~5ms):
+    /// a stage whose inputs are not flowing should not spin at kHz rates.
+    /// With one thread per (worker, stage) pair, constant-rate polling
+    /// starves busy threads on small machines — enough to stall a query
+    /// outright when several engines share a core.
     pub fn run(mut self) {
         let poll = self.services.config.cluster.poll_interval;
+        let max_idle_sleep = Duration::from_millis(5).max(poll);
+        let mut idle_sleep = poll;
         loop {
             if self.services.is_killed(self.worker) {
                 return;
@@ -171,15 +182,19 @@ impl StageWorker {
                     Ok(false) => {}
                     Err(e) if e.is_retryable() => {}
                     Err(e) => {
-                        self.services
-                            .gcs
-                            .set_query_error(&format!("worker {} stage {}: {e}", self.worker, self.stage));
+                        self.services.gcs.set_query_error(&format!(
+                            "worker {} stage {}: {e}",
+                            self.worker, self.stage
+                        ));
                         return;
                     }
                 }
             }
             if !progressed {
-                std::thread::sleep(poll);
+                std::thread::sleep(idle_sleep);
+                idle_sleep = (idle_sleep * 2).min(max_idle_sleep);
+            } else {
+                idle_sleep = poll;
             }
         }
     }
@@ -273,13 +288,15 @@ impl StageWorker {
         }
 
         let replay_mode = state.rewind_until.map(|until| seq <= until).unwrap_or(false);
-        let (inputs, mut to_finish, mut finalize) = if replay_mode {
-            self.replay_inputs(state, seq)?
-        } else {
-            self.dynamic_inputs(state)?
-        };
+        let (inputs, mut to_finish, mut finalize) =
+            if replay_mode { self.replay_inputs(state, seq)? } else { self.dynamic_inputs(state)? };
         let inputs = match inputs {
-            TaskInputs::NotReady => return Ok(false),
+            TaskInputs::NotReady => {
+                // If the channel is starved of a partition its upstream has
+                // already committed, pull it back from its backup owner.
+                self.request_missing_inputs(state);
+                return Ok(false);
+            }
             other => other,
         };
 
@@ -288,9 +305,12 @@ impl StageWorker {
         let mut outputs: Vec<Batch> = Vec::new();
         let lineage_source = match &inputs {
             TaskInputs::Splits(splits) => {
-                let scan = layout.graph.stage(self.stage).scan.clone().ok_or_else(|| {
-                    QuokkaError::internal("split inputs on a non-scan stage")
-                })?;
+                let scan = layout
+                    .graph
+                    .stage(self.stage)
+                    .scan
+                    .clone()
+                    .ok_or_else(|| QuokkaError::internal("split inputs on a non-scan stage"))?;
                 for split in splits {
                     let payload =
                         services.durable.get(&Services::table_split_key(&scan.table, *split))?;
@@ -355,8 +375,11 @@ impl StageWorker {
                     let payload = encode_partition(batches);
                     partition_bytes += payload.len() as u64;
                     if strategy.upstream_backup() {
-                        services.backups[self.worker as usize]
-                            .put(out_name, *consumer_addr, payload.clone())?;
+                        services.backups[self.worker as usize].put(
+                            out_name,
+                            *consumer_addr,
+                            payload.clone(),
+                        )?;
                     }
                     if strategy.spools() {
                         services
@@ -511,7 +534,13 @@ impl StageWorker {
         if std::env::var_os("QUOKKA_TRACE").is_some() {
             eprintln!(
                 "[trace] worker={} task={} source={:?} finish={:?} finalize={} rows={} done={}",
-                self.worker, out_name, commit.lineage.source, to_finish, finalize, output_rows, new_state.done
+                self.worker,
+                out_name,
+                commit.lineage.source,
+                to_finish,
+                finalize,
+                output_rows,
+                new_state.done
             );
         }
 
@@ -565,6 +594,56 @@ impl StageWorker {
             .collect())
     }
 
+    /// Re-request replays for committed upstream partitions this channel
+    /// needs but cannot find in its local inbox.
+    ///
+    /// Recovery normally schedules every replay a rewound channel needs, but
+    /// a slice can still be lost to rare races — e.g. a pre-rewind task
+    /// incarnation committing, getting descheduled, and then running its
+    /// post-commit inbox cleanup *after* recovery re-delivered the same
+    /// slice for the rewound incarnation on the same worker. A producer that
+    /// has committed a partition never re-pushes it spontaneously, so
+    /// without this pull path the channel would starve forever (watchdog
+    /// abort). The `has_slice` guard keeps the common case write-free: a
+    /// request is only issued while the slice is genuinely absent, and a
+    /// served replay makes it present again.
+    fn request_missing_inputs(&self, state: &ChannelState) {
+        let services = &self.services;
+        let Ok(server) = services.plane.server(self.worker) else { return };
+        for (flat_index, (_, upstream)) in
+            services.layout.upstream_channels(self.stage).iter().enumerate()
+        {
+            let Some(upstream_state) = services.gcs.get_channel(*upstream) else { continue };
+            if upstream_state.rewind_until.is_some() {
+                // The producer is itself rewinding; it will re-push.
+                continue;
+            }
+            let consumed = state.consumed.get(flat_index).copied().unwrap_or(0);
+            if consumed >= upstream_state.outputs_produced() {
+                continue;
+            }
+            let name = upstream.task(consumed);
+            if server.has_slice(state.addr, name) || !services.gcs.lineage_committed(name) {
+                continue;
+            }
+            let Some(entry) = services.gcs.get_partition(name) else { continue };
+            let owner = if entry.backed_up && !services.is_killed(entry.owner) {
+                Some(entry.owner)
+            } else if entry.spooled {
+                services.live_workers().first().copied()
+            } else {
+                None
+            };
+            if let Some(owner) = owner {
+                services.gcs.add_replay(&ReplayRequest {
+                    owner,
+                    partition: name,
+                    consumer: state.addr,
+                });
+            }
+        }
+    }
+
     /// Inputs for a task executed in replay mode: follow the logged lineage
     /// exactly (§IV-C: a rewound task "is no longer free to dynamically
     /// choose its input data partitions").
@@ -574,10 +653,12 @@ impl StageWorker {
         seq: SeqNo,
     ) -> Result<(TaskInputs, Vec<u32>, bool)> {
         let services = &self.services;
-        let record = services
-            .gcs
-            .get_lineage(state.addr.task(seq))
-            .ok_or_else(|| QuokkaError::internal(format!("missing lineage for rewound task {}", state.addr.task(seq))))?;
+        let record = services.gcs.get_lineage(state.addr.task(seq)).ok_or_else(|| {
+            QuokkaError::internal(format!(
+                "missing lineage for rewound task {}",
+                state.addr.task(seq)
+            ))
+        })?;
         let inputs = match &record.source {
             LineageSource::InputSplits { splits } => TaskInputs::Splits(splits.clone()),
             LineageSource::Finalize => TaskInputs::FinalizeOnly,
@@ -632,11 +713,8 @@ impl StageWorker {
             }
             // No splits left (possibly none were assigned at all): emit a
             // final empty partition so downstream watermarks can complete.
-            let already_finalized = self
-                .channels
-                .get(&addr)
-                .map(|rt| rt.finalized)
-                .unwrap_or(false);
+            let already_finalized =
+                self.channels.get(&addr).map(|rt| rt.finalized).unwrap_or(false);
             if !already_finalized {
                 return Ok((TaskInputs::FinalizeOnly, vec![], true));
             }
@@ -720,11 +798,8 @@ impl StageWorker {
         let layout = &self.services.layout;
         let num_inputs = layout.num_inputs(self.stage);
         let mut fired = Vec::new();
-        let already = self
-            .channels
-            .get(&state.addr)
-            .map(|rt| rt.finished_inputs.clone())
-            .unwrap_or_default();
+        let already =
+            self.channels.get(&state.addr).map(|rt| rt.finished_inputs.clone()).unwrap_or_default();
         for input_index in 0..num_inputs {
             if already.contains(&input_index) {
                 continue;
@@ -774,7 +849,11 @@ impl StageWorker {
         self.all_inputs_exhausted(state, Some(inputs))
     }
 
-    fn all_inputs_exhausted(&self, state: &ChannelState, inputs: Option<&TaskInputs>) -> Result<bool> {
+    fn all_inputs_exhausted(
+        &self,
+        state: &ChannelState,
+        inputs: Option<&TaskInputs>,
+    ) -> Result<bool> {
         let layout = &self.services.layout;
         let num_inputs = layout.num_inputs(self.stage);
         if num_inputs == 0 {

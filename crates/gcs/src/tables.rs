@@ -217,7 +217,9 @@ impl ChannelState {
         let consumed: Vec<u32> = if upstreams == 0 || t[2].is_empty() {
             vec![0; upstreams]
         } else {
-            t[2].split(',').map(|s| s.parse::<u32>().map_err(|_| bad_num(s))).collect::<Result<_>>()?
+            t[2].split(',')
+                .map(|s| s.parse::<u32>().map_err(|_| bad_num(s)))
+                .collect::<Result<_>>()?
         };
         let rewind: i64 = parse(t[5])?;
         Ok(ChannelState {
@@ -335,7 +337,12 @@ fn part_key(t: TaskName) -> String {
 fn replay_key(r: &ReplayRequest) -> String {
     format!(
         "replay/{:08}/{:08}/{:08}/{:08}/{:08}/{:08}",
-        r.owner, r.partition.stage, r.partition.channel, r.partition.seq, r.consumer.stage, r.consumer.channel
+        r.owner,
+        r.partition.stage,
+        r.partition.channel,
+        r.partition.seq,
+        r.consumer.stage,
+        r.consumer.channel
     )
 }
 
@@ -776,11 +783,7 @@ mod tests {
         assert_eq!(gcs.get_partition(p.name).unwrap(), p);
         assert_eq!(gcs.all_partitions().len(), 1);
 
-        let r = ReplayRequest {
-            owner: 1,
-            partition: p.name,
-            consumer: ChannelAddr::new(1, 2),
-        };
+        let r = ReplayRequest { owner: 1, partition: p.name, consumer: ChannelAddr::new(1, 2) };
         gcs.add_replay(&r);
         assert_eq!(gcs.replays_for_worker(1), vec![r.clone()]);
         assert!(gcs.replays_for_worker(2).is_empty());

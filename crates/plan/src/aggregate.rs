@@ -1,8 +1,17 @@
 //! Aggregate functions and their accumulators.
+//!
+//! Two accumulator representations live here:
+//!
+//! * [`Accumulator`] — one value of running state per (group, aggregate),
+//!   updated a `ScalarValue` at a time. Kept as the simple reference
+//!   implementation (and for partial-aggregation merging in tests).
+//! * [`AggState`] — the vectorized representation the hash-aggregate
+//!   operator uses: one typed vector per aggregate, indexed by dense group
+//!   id, updated a batch at a time with no per-row `ScalarValue`.
 
 use crate::expr::Expr;
 use quokka_batch::datatype::{DataType, ScalarValue};
-use quokka_batch::Schema;
+use quokka_batch::{Column, Schema};
 use quokka_common::{QuokkaError, Result};
 use std::collections::BTreeSet;
 
@@ -135,7 +144,10 @@ impl Accumulator {
     /// Merge another accumulator of the same kind (partial aggregation).
     pub fn merge(&mut self, other: &Accumulator) -> Result<()> {
         match (self, other) {
-            (Accumulator::Sum { total, seen, .. }, Accumulator::Sum { total: t2, seen: s2, .. }) => {
+            (
+                Accumulator::Sum { total, seen, .. },
+                Accumulator::Sum { total: t2, seen: s2, .. },
+            ) => {
                 *total += t2;
                 *seen = *seen || *s2;
             }
@@ -209,11 +221,361 @@ impl Accumulator {
                 16 + v.as_ref().map(|s| s.to_string().len()).unwrap_or(0)
             }
             Accumulator::Count(_) => 8,
-            Accumulator::CountDistinct(set) => {
-                16 + set.iter().map(|s| s.len() + 8).sum::<usize>()
+            Accumulator::CountDistinct(set) => 16 + set.iter().map(|s| s.len() + 8).sum::<usize>(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized accumulator state
+// ---------------------------------------------------------------------------
+
+/// Typed per-group minimum/maximum storage, one slot per group id.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MinMaxValues {
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    Str(Vec<String>),
+    Bool(Vec<bool>),
+    Date(Vec<i32>),
+}
+
+impl MinMaxValues {
+    fn new(input_type: DataType) -> Self {
+        match input_type {
+            DataType::Int64 => MinMaxValues::I64(Vec::new()),
+            DataType::Float64 => MinMaxValues::F64(Vec::new()),
+            DataType::Utf8 => MinMaxValues::Str(Vec::new()),
+            DataType::Bool => MinMaxValues::Bool(Vec::new()),
+            DataType::Date => MinMaxValues::Date(Vec::new()),
+        }
+    }
+
+    fn resize(&mut self, len: usize) {
+        match self {
+            MinMaxValues::I64(v) => v.resize(len, 0),
+            MinMaxValues::F64(v) => v.resize(len, f64::NAN),
+            MinMaxValues::Str(v) => v.resize(len, String::new()),
+            MinMaxValues::Bool(v) => v.resize(len, false),
+            MinMaxValues::Date(v) => v.resize(len, 0),
+        }
+    }
+}
+
+/// Typed per-group distinct-value sets for `COUNT(DISTINCT ...)`.
+///
+/// Unlike the scalar [`Accumulator`], values are deduplicated on their typed
+/// representation (floats by bit pattern) instead of their display string,
+/// so no formatting or allocation happens on the update path; only a
+/// first-seen string value is cloned into its set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistinctSets {
+    I64(Vec<BTreeSet<i64>>),
+    Bits(Vec<BTreeSet<u64>>),
+    Str(Vec<BTreeSet<String>>),
+}
+
+/// Vectorized running state of one aggregate across all groups; the group id
+/// (dense, assigned by the operator's key table) indexes every vector.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggState {
+    Sum { totals: Vec<f64>, integer: bool },
+    Avg { totals: Vec<f64>, counts: Vec<u64> },
+    Min { values: MinMaxValues, seen: Vec<bool> },
+    Max { values: MinMaxValues, seen: Vec<bool> },
+    Count { counts: Vec<u64> },
+    CountDistinct { sets: DistinctSets },
+}
+
+impl AggState {
+    pub fn new(func: AggFunc, input_type: DataType) -> Self {
+        match func {
+            AggFunc::Sum => {
+                AggState::Sum { totals: Vec::new(), integer: input_type == DataType::Int64 }
+            }
+            AggFunc::Avg => AggState::Avg { totals: Vec::new(), counts: Vec::new() },
+            AggFunc::Min => {
+                AggState::Min { values: MinMaxValues::new(input_type), seen: Vec::new() }
+            }
+            AggFunc::Max => {
+                AggState::Max { values: MinMaxValues::new(input_type), seen: Vec::new() }
+            }
+            AggFunc::Count => AggState::Count { counts: Vec::new() },
+            AggFunc::CountDistinct => {
+                let sets = match input_type {
+                    DataType::Utf8 => DistinctSets::Str(Vec::new()),
+                    DataType::Float64 => DistinctSets::Bits(Vec::new()),
+                    _ => DistinctSets::I64(Vec::new()),
+                };
+                AggState::CountDistinct { sets }
             }
         }
     }
+
+    /// Number of groups currently tracked.
+    pub fn num_groups(&self) -> usize {
+        match self {
+            AggState::Sum { totals, .. } => totals.len(),
+            AggState::Avg { totals, .. } => totals.len(),
+            AggState::Min { seen, .. } | AggState::Max { seen, .. } => seen.len(),
+            AggState::Count { counts } => counts.len(),
+            AggState::CountDistinct { sets } => match sets {
+                DistinctSets::I64(v) => v.len(),
+                DistinctSets::Bits(v) => v.len(),
+                DistinctSets::Str(v) => v.len(),
+            },
+        }
+    }
+
+    /// Grow to `num_groups` group slots (new groups start empty).
+    pub fn resize(&mut self, num_groups: usize) {
+        match self {
+            AggState::Sum { totals, .. } => totals.resize(num_groups, 0.0),
+            AggState::Avg { totals, counts } => {
+                totals.resize(num_groups, 0.0);
+                counts.resize(num_groups, 0);
+            }
+            AggState::Min { values, seen } | AggState::Max { values, seen } => {
+                values.resize(num_groups);
+                seen.resize(num_groups, false);
+            }
+            AggState::Count { counts } => counts.resize(num_groups, 0),
+            AggState::CountDistinct { sets } => match sets {
+                DistinctSets::I64(v) => v.resize(num_groups, BTreeSet::new()),
+                DistinctSets::Bits(v) => v.resize(num_groups, BTreeSet::new()),
+                DistinctSets::Str(v) => v.resize(num_groups, BTreeSet::new()),
+            },
+        }
+    }
+
+    /// Fold a whole column into the state: row `i` updates group
+    /// `group_ids[i]`. `num_groups` is the group count after key interning
+    /// for this batch (the state grows to it before updating).
+    pub fn update_batch(
+        &mut self,
+        column: &Column,
+        group_ids: &[u32],
+        num_groups: usize,
+    ) -> Result<()> {
+        self.resize(num_groups);
+        let type_err = |what: &str, col: &Column| {
+            Err(QuokkaError::TypeError(format!("{what} aggregate over {} column", col.data_type())))
+        };
+        match self {
+            AggState::Sum { totals, .. } => match column {
+                Column::Int64(v) => {
+                    for (x, &g) in v.iter().zip(group_ids) {
+                        totals[g as usize] += *x as f64;
+                    }
+                }
+                Column::Float64(v) => {
+                    for (x, &g) in v.iter().zip(group_ids) {
+                        totals[g as usize] += *x;
+                    }
+                }
+                Column::Date(v) => {
+                    for (x, &g) in v.iter().zip(group_ids) {
+                        totals[g as usize] += *x as f64;
+                    }
+                }
+                other => return type_err("Sum", other),
+            },
+            AggState::Avg { totals, counts } => match column {
+                Column::Int64(v) => {
+                    for (x, &g) in v.iter().zip(group_ids) {
+                        totals[g as usize] += *x as f64;
+                        counts[g as usize] += 1;
+                    }
+                }
+                Column::Float64(v) => {
+                    for (x, &g) in v.iter().zip(group_ids) {
+                        totals[g as usize] += *x;
+                        counts[g as usize] += 1;
+                    }
+                }
+                Column::Date(v) => {
+                    for (x, &g) in v.iter().zip(group_ids) {
+                        totals[g as usize] += *x as f64;
+                        counts[g as usize] += 1;
+                    }
+                }
+                other => return type_err("Avg", other),
+            },
+            AggState::Min { values, seen } => update_minmax(values, seen, column, group_ids, true)?,
+            AggState::Max { values, seen } => {
+                update_minmax(values, seen, column, group_ids, false)?
+            }
+            AggState::Count { counts } => {
+                for &g in group_ids {
+                    counts[g as usize] += 1;
+                }
+            }
+            AggState::CountDistinct { sets } => match (sets, column) {
+                (DistinctSets::I64(sets), Column::Int64(v)) => {
+                    for (x, &g) in v.iter().zip(group_ids) {
+                        sets[g as usize].insert(*x);
+                    }
+                }
+                (DistinctSets::I64(sets), Column::Date(v)) => {
+                    for (x, &g) in v.iter().zip(group_ids) {
+                        sets[g as usize].insert(*x as i64);
+                    }
+                }
+                (DistinctSets::I64(sets), Column::Bool(v)) => {
+                    for (x, &g) in v.iter().zip(group_ids) {
+                        sets[g as usize].insert(*x as i64);
+                    }
+                }
+                (DistinctSets::Bits(sets), Column::Float64(v)) => {
+                    for (x, &g) in v.iter().zip(group_ids) {
+                        sets[g as usize].insert(x.to_bits());
+                    }
+                }
+                (DistinctSets::Str(sets), Column::Utf8(v)) => {
+                    for (x, &g) in v.iter().zip(group_ids) {
+                        let set = &mut sets[g as usize];
+                        if !set.contains(x.as_str()) {
+                            set.insert(x.clone());
+                        }
+                    }
+                }
+                (_, other) => return type_err("CountDistinct", other),
+            },
+        }
+        Ok(())
+    }
+
+    /// Produce the final values for all groups as one typed column.
+    pub fn finalize_column(&self) -> Column {
+        match self {
+            AggState::Sum { totals, integer } => {
+                if *integer {
+                    Column::Int64(totals.iter().map(|&t| t as i64).collect())
+                } else {
+                    Column::Float64(totals.clone())
+                }
+            }
+            AggState::Avg { totals, counts } => Column::Float64(
+                totals
+                    .iter()
+                    .zip(counts)
+                    .map(|(&t, &c)| if c == 0 { 0.0 } else { t / c as f64 })
+                    .collect(),
+            ),
+            AggState::Min { values, .. } | AggState::Max { values, .. } => match values {
+                MinMaxValues::I64(v) => Column::Int64(v.clone()),
+                MinMaxValues::F64(v) => Column::Float64(v.clone()),
+                MinMaxValues::Str(v) => Column::Utf8(v.clone()),
+                MinMaxValues::Bool(v) => Column::Bool(v.clone()),
+                MinMaxValues::Date(v) => Column::Date(v.clone()),
+            },
+            AggState::Count { counts } => Column::Int64(counts.iter().map(|&c| c as i64).collect()),
+            AggState::CountDistinct { sets } => Column::Int64(match sets {
+                DistinctSets::I64(v) => v.iter().map(|s| s.len() as i64).collect(),
+                DistinctSets::Bits(v) => v.iter().map(|s| s.len() as i64).collect(),
+                DistinctSets::Str(v) => v.iter().map(|s| s.len() as i64).collect(),
+            }),
+        }
+    }
+
+    /// Approximate in-memory footprint, used to size state checkpoints.
+    pub fn state_bytes(&self) -> usize {
+        match self {
+            AggState::Sum { totals, .. } => totals.len() * 16,
+            AggState::Avg { totals, .. } => totals.len() * 16,
+            AggState::Min { values, .. } | AggState::Max { values, .. } => match values {
+                MinMaxValues::Str(v) => v.iter().map(|s| 16 + s.len()).sum(),
+                MinMaxValues::Bool(v) => v.len() * 2,
+                MinMaxValues::Date(v) => v.len() * 5,
+                MinMaxValues::I64(v) => v.len() * 9,
+                MinMaxValues::F64(v) => v.len() * 9,
+            },
+            AggState::Count { counts } => counts.len() * 8,
+            AggState::CountDistinct { sets } => match sets {
+                DistinctSets::I64(v) => v.iter().map(|s| 16 + s.len() * 8).sum(),
+                DistinctSets::Bits(v) => v.iter().map(|s| 16 + s.len() * 8).sum(),
+                DistinctSets::Str(v) => {
+                    v.iter().map(|s| 16 + s.iter().map(|x| x.len() + 8).sum::<usize>()).sum()
+                }
+            },
+        }
+    }
+}
+
+fn update_minmax(
+    values: &mut MinMaxValues,
+    seen: &mut [bool],
+    column: &Column,
+    group_ids: &[u32],
+    is_min: bool,
+) -> Result<()> {
+    // One macro-free typed loop per (storage, column) pairing; `is_min`
+    // selects the comparison direction.
+    match (values, column) {
+        (MinMaxValues::I64(slots), Column::Int64(v)) => {
+            for (x, &g) in v.iter().zip(group_ids) {
+                let g = g as usize;
+                if !seen[g] || (is_min && *x < slots[g]) || (!is_min && *x > slots[g]) {
+                    slots[g] = *x;
+                    seen[g] = true;
+                }
+            }
+        }
+        (MinMaxValues::F64(slots), Column::Float64(v)) => {
+            for (x, &g) in v.iter().zip(group_ids) {
+                let g = g as usize;
+                let better = if is_min {
+                    x.total_cmp(&slots[g]) == std::cmp::Ordering::Less
+                } else {
+                    x.total_cmp(&slots[g]) == std::cmp::Ordering::Greater
+                };
+                if !seen[g] || better {
+                    slots[g] = *x;
+                    seen[g] = true;
+                }
+            }
+        }
+        (MinMaxValues::Str(slots), Column::Utf8(v)) => {
+            for (x, &g) in v.iter().zip(group_ids) {
+                let g = g as usize;
+                let better = if is_min {
+                    x.as_str() < slots[g].as_str()
+                } else {
+                    x.as_str() > slots[g].as_str()
+                };
+                if !seen[g] || better {
+                    slots[g].clear();
+                    slots[g].push_str(x);
+                    seen[g] = true;
+                }
+            }
+        }
+        (MinMaxValues::Bool(slots), Column::Bool(v)) => {
+            for (x, &g) in v.iter().zip(group_ids) {
+                let g = g as usize;
+                if !seen[g] || (is_min && !*x & slots[g]) || (!is_min && *x & !slots[g]) {
+                    slots[g] = *x;
+                    seen[g] = true;
+                }
+            }
+        }
+        (MinMaxValues::Date(slots), Column::Date(v)) => {
+            for (x, &g) in v.iter().zip(group_ids) {
+                let g = g as usize;
+                if !seen[g] || (is_min && *x < slots[g]) || (!is_min && *x > slots[g]) {
+                    slots[g] = *x;
+                    seen[g] = true;
+                }
+            }
+        }
+        (_, other) => {
+            return Err(QuokkaError::TypeError(format!(
+                "Min/Max aggregate input type changed mid-stream to {}",
+                other.data_type()
+            )))
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -298,10 +660,7 @@ mod tests {
         assert_eq!(count(col("name"), "c").data_type(&schema).unwrap(), DataType::Int64);
         assert_eq!(min(col("name"), "m").data_type(&schema).unwrap(), DataType::Utf8);
         assert_eq!(max(col("qty"), "m").data_type(&schema).unwrap(), DataType::Int64);
-        assert_eq!(
-            count_distinct(col("name"), "cd").data_type(&schema).unwrap(),
-            DataType::Int64
-        );
+        assert_eq!(count_distinct(col("name"), "cd").data_type(&schema).unwrap(), DataType::Int64);
     }
 
     #[test]

@@ -106,15 +106,21 @@ impl Expr {
         Expr::Cmp { op, left: Box::new(self), right: Box::new(rhs) }
     }
 
+    // DataFusion-style builder names; `a.add(b)` builds an expression tree
+    // rather than evaluating, so the std::ops traits don't fit.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Expr) -> Expr {
         self.binary_arith(ArithOpKind::Add, rhs)
     }
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Expr) -> Expr {
         self.binary_arith(ArithOpKind::Sub, rhs)
     }
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Expr) -> Expr {
         self.binary_arith(ArithOpKind::Mul, rhs)
     }
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: Expr) -> Expr {
         self.binary_arith(ArithOpKind::Div, rhs)
     }
@@ -187,10 +193,7 @@ impl Expr {
                 if !l.is_numeric() && l != DataType::Date {
                     return Err(QuokkaError::TypeError(format!("arithmetic on {l}")));
                 }
-                if *op != ArithOpKind::Div
-                    && l == DataType::Int64
-                    && r == DataType::Int64
-                {
+                if *op != ArithOpKind::Div && l == DataType::Int64 && r == DataType::Int64 {
                     DataType::Int64
                 } else {
                     DataType::Float64
@@ -290,9 +293,7 @@ impl Expr {
                 Ok(Column::Utf8(
                     strings
                         .iter()
-                        .map(|s| {
-                            s.chars().skip(start).take(*len).collect::<String>()
-                        })
+                        .map(|s| s.chars().skip(start).take(*len).collect::<String>())
                         .collect(),
                 ))
             }
@@ -356,11 +357,8 @@ fn select(mask: &[bool], a: &Column, b: &Column) -> Result<Column> {
             mask.iter().enumerate().map(|(i, &m)| if m { av[i] } else { bv[i] }).collect(),
         ));
     }
-    let values: Vec<ScalarValue> = mask
-        .iter()
-        .enumerate()
-        .map(|(i, &m)| if m { a.get(i) } else { b.get(i) })
-        .collect();
+    let values: Vec<ScalarValue> =
+        mask.iter().enumerate().map(|(i, &m)| if m { a.get(i) } else { b.get(i) }).collect();
     Column::from_scalars(a.data_type(), &values)
 }
 
@@ -405,23 +403,15 @@ mod tests {
 
         let int_expr = col("qty").add(lit(1i64));
         assert_eq!(int_expr.data_type(b.schema()).unwrap(), DataType::Int64);
-        assert_eq!(
-            col("qty").div(lit(2i64)).data_type(b.schema()).unwrap(),
-            DataType::Float64
-        );
+        assert_eq!(col("qty").div(lit(2i64)).data_type(b.schema()).unwrap(), DataType::Float64);
     }
 
     #[test]
     fn date_predicates_and_year() {
         let b = batch();
-        let in_1995 = col("ship")
-            .gt_eq(date("1995-01-01"))
-            .and(col("ship").lt(date("1996-01-01")));
+        let in_1995 = col("ship").gt_eq(date("1995-01-01")).and(col("ship").lt(date("1996-01-01")));
         assert_eq!(in_1995.evaluate_mask(&b).unwrap(), vec![false, true, false]);
-        assert_eq!(
-            col("ship").year().evaluate(&b).unwrap(),
-            Column::Int64(vec![1994, 1995, 1996])
-        );
+        assert_eq!(col("ship").year().evaluate(&b).unwrap(), Column::Int64(vec![1994, 1995, 1996]));
         let between = col("ship").between(
             ScalarValue::Date(parse_date("1994-01-01")),
             ScalarValue::Date(parse_date("1995-12-31")),

@@ -53,11 +53,7 @@ pub enum LogicalPlan {
         join_type: JoinType,
     },
     /// Grouped aggregation (an empty `group_by` produces a single row).
-    Aggregate {
-        input: Box<LogicalPlan>,
-        group_by: Vec<(Expr, String)>,
-        aggregates: Vec<AggExpr>,
-    },
+    Aggregate { input: Box<LogicalPlan>, group_by: Vec<(Expr, String)>, aggregates: Vec<AggExpr> },
     /// Sort by output columns; `limit` turns it into a top-k.
     Sort { input: Box<LogicalPlan>, keys: Vec<(String, bool)>, limit: Option<usize> },
     /// Keep the first `n` rows.
@@ -344,7 +340,10 @@ mod tests {
             )
             .build()
             .unwrap();
-        assert_eq!(semi.schema().unwrap().column_names(), vec!["o_orderkey", "o_custkey", "o_totalprice"]);
+        assert_eq!(
+            semi.schema().unwrap().column_names(),
+            vec!["o_orderkey", "o_custkey", "o_totalprice"]
+        );
     }
 
     #[test]

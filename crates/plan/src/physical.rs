@@ -12,15 +12,15 @@
 //! state variable itself is never persisted — that is the whole point of
 //! write-ahead lineage).
 
-use crate::aggregate::{Accumulator, AggExpr};
+use crate::aggregate::{AggExpr, AggState};
 use crate::expr::Expr;
 use crate::logical::JoinType;
 use quokka_batch::compute::{self, SortKey};
-use quokka_batch::datatype::{DataType, ScalarValue};
+use quokka_batch::datatype::DataType;
+use quokka_batch::rowkey::{self, EncodedKeys, KeyLayout, KeyMap};
 use quokka_batch::{Batch, Column, Schema};
 use quokka_common::{QuokkaError, Result};
-use std::collections::BTreeMap;
-use std::collections::HashMap;
+use std::cmp::Ordering;
 
 /// A stateless row transformation applied inside a stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,11 +101,7 @@ pub enum CoreOp {
         join_type: JoinType,
     },
     /// Hash aggregation.
-    HashAggregate {
-        input_schema: Schema,
-        group_by: Vec<(Expr, String)>,
-        aggregates: Vec<AggExpr>,
-    },
+    HashAggregate { input_schema: Schema, group_by: Vec<(Expr, String)>, aggregates: Vec<AggExpr> },
     /// Buffering sort (optionally top-k).
     Sort { input_schema: Schema, keys: Vec<(String, bool)>, limit: Option<usize> },
     /// Row-count limit.
@@ -330,20 +326,35 @@ impl StageOperator for PostTransformOperator {
 /// buffered so that upstream stages can stay busy; once the build side
 /// finishes they are probed and output flows batch-by-batch, which is what
 /// gives pipelined execution its advantage over stagewise execution.
+///
+/// The hash table maps compact binary key encodings (see
+/// [`quokka_batch::rowkey`]) to build-row indices, and matched rows are
+/// stitched with typed column gathers — the probe path materializes no
+/// per-row `ScalarValue`.
 struct HashJoinOperator {
     build_schema: Schema,
     build_keys: Vec<usize>,
     probe_keys: Vec<usize>,
     join_type: JoinType,
     output: Schema,
-    /// Concatenated build-side rows.
-    build_batches: Vec<Batch>,
-    /// Hash of build key -> row locations as (batch index, row index).
-    table: HashMap<u64, Vec<(usize, usize)>>,
+    /// Key encoding shared by both sides.
+    layout: KeyLayout,
+    /// Build batches staged until the build side finishes streaming in.
+    staged_build: Vec<Batch>,
+    /// All build rows, concatenated once the build side finished.
+    build_side: Option<Batch>,
+    /// Encoded build key -> first build row with that key; further rows with
+    /// the same key are chained through `next` (no per-key allocation).
+    table: KeyMap<u32>,
+    /// `next[row]` = the next build row sharing `row`'s key, or `NO_ROW`.
+    next: Vec<u32>,
     /// Probe batches buffered before the build side finished.
     pending_probe: Vec<Batch>,
     build_done: bool,
 }
+
+/// Chain terminator for the join table's `next` links.
+const NO_ROW: u32 = u32::MAX;
 
 impl HashJoinOperator {
     fn new(
@@ -357,79 +368,79 @@ impl HashJoinOperator {
             JoinType::Semi | JoinType::Anti => probe_schema.clone(),
             JoinType::Inner | JoinType::Left => build_schema.join(&probe_schema),
         };
+        let build_types: Vec<DataType> =
+            build_keys.iter().map(|&k| build_schema.field(k).data_type).collect();
+        let probe_types: Vec<DataType> =
+            probe_keys.iter().map(|&k| probe_schema.field(k).data_type).collect();
+        let layout = rowkey::joint_key_layout(&build_types, &probe_types);
         HashJoinOperator {
             build_schema,
             build_keys,
             probe_keys,
             join_type,
             output,
-            build_batches: Vec::new(),
-            table: HashMap::new(),
+            layout,
+            staged_build: Vec::new(),
+            build_side: None,
+            table: KeyMap::new(layout),
+            next: Vec::new(),
             pending_probe: Vec::new(),
             build_done: false,
         }
     }
 
-    fn insert_build(&mut self, batch: &Batch) {
-        let hashes = compute::hash_rows(batch, &self.build_keys);
-        let batch_index = self.build_batches.len();
-        for (row, hash) in hashes.iter().enumerate() {
-            self.table.entry(*hash).or_default().push((batch_index, row));
+    /// Concatenate the staged build batches and index their keys. Rows are
+    /// inserted in reverse so each chain lists build rows in ascending
+    /// (original insertion) order, matching the row order the scalar
+    /// implementation emitted.
+    fn seal_build(&mut self) -> Result<()> {
+        let staged = std::mem::take(&mut self.staged_build);
+        let build = if staged.is_empty() {
+            Batch::empty(self.build_schema.clone())
+        } else {
+            Batch::concat(&staged)?
+        };
+        let key_columns: Vec<&Column> = self.build_keys.iter().map(|&k| build.column(k)).collect();
+        let keys = rowkey::encode_keys(&key_columns, self.layout)?;
+        self.next = vec![NO_ROW; build.num_rows()];
+        self.table.reserve(build.num_rows());
+        for row in (0..build.num_rows()).rev() {
+            let head = self.table.get_mut_or_insert_with(&keys, row, || NO_ROW)?;
+            self.next[row] = *head;
+            *head = row as u32;
         }
-        self.build_batches.push(batch.clone());
+        self.build_side = Some(build);
+        Ok(())
     }
 
-    fn keys_equal(&self, build_loc: (usize, usize), probe: &Batch, probe_row: usize) -> bool {
-        let build_batch = &self.build_batches[build_loc.0];
-        self.build_keys.iter().zip(&self.probe_keys).all(|(&bk, &pk)| {
-            build_batch
-                .column(bk)
-                .get(build_loc.1)
-                .total_cmp(&probe.column(pk).get(probe_row))
-                == std::cmp::Ordering::Equal
-        })
-    }
-
-    fn default_build_row(&self) -> Vec<ScalarValue> {
-        self.build_schema
-            .fields()
-            .iter()
-            .map(|f| match f.data_type {
-                DataType::Int64 => ScalarValue::Int64(0),
-                DataType::Float64 => ScalarValue::Float64(0.0),
-                DataType::Utf8 => ScalarValue::Utf8(String::new()),
-                DataType::Bool => ScalarValue::Bool(false),
-                DataType::Date => ScalarValue::Date(0),
-            })
-            .collect()
+    fn encode_probe_keys(&self, batch: &Batch) -> Result<EncodedKeys> {
+        let key_columns: Vec<&Column> = self.probe_keys.iter().map(|&k| batch.column(k)).collect();
+        rowkey::encode_keys(&key_columns, self.layout)
     }
 
     fn probe(&self, batch: &Batch) -> Result<Vec<Batch>> {
         if batch.num_rows() == 0 {
             return Ok(vec![]);
         }
-        let hashes = compute::hash_rows(batch, &self.probe_keys);
+        let keys = self.encode_probe_keys(batch)?;
         match self.join_type {
             JoinType::Inner | JoinType::Left => {
-                // Gather matching (build location, probe row) pairs.
-                let mut build_rows: Vec<(usize, usize)> = Vec::new();
-                let mut probe_rows: Vec<usize> = Vec::new();
+                // Gather matching (build row, probe row) index pairs.
+                let mut build_rows: Vec<usize> = Vec::with_capacity(batch.num_rows());
+                let mut probe_rows: Vec<usize> = Vec::with_capacity(batch.num_rows());
                 let mut unmatched: Vec<usize> = Vec::new();
-                for (row, hash) in hashes.iter().enumerate() {
-                    let mut matched = false;
-                    if let Some(candidates) = self.table.get(hash) {
-                        for &loc in candidates {
-                            if self.keys_equal(loc, batch, row) {
-                                build_rows.push(loc);
-                                probe_rows.push(row);
-                                matched = true;
-                            }
+                let next = &self.next;
+                self.table.lookup_each(&keys, |row, head| match head {
+                    Some(&head) => {
+                        let mut b = head;
+                        while b != NO_ROW {
+                            build_rows.push(b as usize);
+                            probe_rows.push(row);
+                            b = next[b as usize];
                         }
                     }
-                    if !matched {
-                        unmatched.push(row);
-                    }
-                }
+                    None => unmatched.push(row),
+                })?;
                 let mut outputs = Vec::new();
                 if !probe_rows.is_empty() {
                     outputs.push(self.stitch(&build_rows, &probe_rows, batch)?);
@@ -441,20 +452,8 @@ impl HashJoinOperator {
             }
             JoinType::Semi | JoinType::Anti => {
                 let want_match = self.join_type == JoinType::Semi;
-                let mask: Vec<bool> = hashes
-                    .iter()
-                    .enumerate()
-                    .map(|(row, hash)| {
-                        let matched = self
-                            .table
-                            .get(hash)
-                            .map(|candidates| {
-                                candidates.iter().any(|&loc| self.keys_equal(loc, batch, row))
-                            })
-                            .unwrap_or(false);
-                        matched == want_match
-                    })
-                    .collect();
+                let mut mask: Vec<bool> = Vec::with_capacity(batch.num_rows());
+                self.table.lookup_each(&keys, |_, head| mask.push(head.is_some() == want_match))?;
                 let filtered = batch.filter(&mask)?;
                 if filtered.num_rows() == 0 {
                     Ok(vec![])
@@ -465,35 +464,26 @@ impl HashJoinOperator {
         }
     }
 
-    /// Combine matched build rows with their probe rows into one output batch.
-    fn stitch(
-        &self,
-        build_rows: &[(usize, usize)],
-        probe_rows: &[usize],
-        probe: &Batch,
-    ) -> Result<Batch> {
-        let mut columns: Vec<Column> = Vec::with_capacity(self.output.len());
-        for col_idx in 0..self.build_schema.len() {
-            let dtype = self.build_schema.field(col_idx).data_type;
-            let values: Vec<ScalarValue> = build_rows
-                .iter()
-                .map(|&(b, r)| self.build_batches[b].column(col_idx).get(r))
-                .collect();
-            columns.push(Column::from_scalars(dtype, &values)?);
-        }
+    /// Combine matched build rows with their probe rows into one output
+    /// batch via typed gathers on both sides.
+    fn stitch(&self, build_rows: &[usize], probe_rows: &[usize], probe: &Batch) -> Result<Batch> {
+        let build = self
+            .build_side
+            .as_ref()
+            .ok_or_else(|| QuokkaError::internal("probe before the build side was sealed"))?;
+        let build_taken = build.take(build_rows)?;
         let probe_taken = probe.take(probe_rows)?;
+        let mut columns: Vec<Column> = Vec::with_capacity(self.output.len());
+        columns.extend(build_taken.columns().iter().cloned());
         columns.extend(probe_taken.columns().iter().cloned());
         Batch::try_new(self.output.clone(), columns)
     }
 
     /// Emit unmatched probe rows with default-valued build columns (Left).
     fn stitch_defaults(&self, probe_rows: &[usize], probe: &Batch) -> Result<Batch> {
-        let defaults = self.default_build_row();
         let mut columns: Vec<Column> = Vec::with_capacity(self.output.len());
-        for (col_idx, default) in defaults.iter().enumerate() {
-            let dtype = self.build_schema.field(col_idx).data_type;
-            let values: Vec<ScalarValue> = probe_rows.iter().map(|_| default.clone()).collect();
-            columns.push(Column::from_scalars(dtype, &values)?);
+        for field in self.build_schema.fields() {
+            columns.push(Column::default_of(field.data_type, probe_rows.len()));
         }
         let probe_taken = probe.take(probe_rows)?;
         columns.extend(probe_taken.columns().iter().cloned());
@@ -508,7 +498,7 @@ impl StageOperator for HashJoinOperator {
                 if self.build_done {
                     return Err(QuokkaError::internal("build input pushed after finish"));
                 }
-                self.insert_build(batch);
+                self.staged_build.push(batch.clone());
                 Ok(vec![])
             }
             1 => {
@@ -526,6 +516,7 @@ impl StageOperator for HashJoinOperator {
     fn finish_input(&mut self, input: usize) -> Result<Vec<Batch>> {
         if input == 0 && !self.build_done {
             self.build_done = true;
+            self.seal_build()?;
             let pending = std::mem::take(&mut self.pending_probe);
             let mut out = Vec::new();
             for batch in pending {
@@ -546,14 +537,17 @@ impl StageOperator for HashJoinOperator {
     }
 
     fn state_bytes(&self) -> usize {
-        let build: usize = self.build_batches.iter().map(Batch::byte_size).sum();
+        let staged: usize = self.staged_build.iter().map(Batch::byte_size).sum();
+        let build: usize = self.build_side.as_ref().map(Batch::byte_size).unwrap_or(0);
         let pending: usize = self.pending_probe.iter().map(Batch::byte_size).sum();
-        build + pending + self.table.len() * 24
+        staged + build + pending + self.table.key_bytes() + self.next.len() * 4
     }
 
     fn reset(&mut self) {
-        self.build_batches.clear();
+        self.staged_build.clear();
+        self.build_side = None;
         self.table.clear();
+        self.next.clear();
         self.pending_probe.clear();
         self.build_done = false;
     }
@@ -563,15 +557,27 @@ impl StageOperator for HashJoinOperator {
 // Hash aggregate
 // ---------------------------------------------------------------------------
 
-/// Hash aggregation; the group map is the channel's state variable.
+/// Hash aggregation; the group state is the channel's state variable.
+///
+/// Group keys are interned through a [`KeyMap`] from their compact binary
+/// encoding (u64 fast path for single int/date keys) to a dense group id,
+/// and every aggregate keeps one typed vector indexed by that id (see
+/// [`AggState`]). The push path touches no `ScalarValue`: key values are
+/// materialized with typed appends only when a group is first seen, and
+/// accumulator updates run as typed column loops.
 struct HashAggregateOperator {
     input_schema: Schema,
     group_by: Vec<(Expr, String)>,
     aggregates: Vec<AggExpr>,
     output: Schema,
     agg_input_types: Vec<DataType>,
-    /// Group key (stable encoding) -> (key values, accumulators).
-    groups: BTreeMap<String, (Vec<ScalarValue>, Vec<Accumulator>)>,
+    layout: KeyLayout,
+    /// Encoded group key -> dense group id.
+    table: KeyMap<u32>,
+    /// Typed key values per group-by expression; row `g` is group `g`'s key.
+    key_values: Vec<Column>,
+    /// Vectorized accumulators, one per aggregate, indexed by group id.
+    states: Vec<AggState>,
     /// For a global aggregate (no group columns) we must emit exactly one
     /// row even if no input arrives.
     global: bool,
@@ -593,6 +599,15 @@ impl HashAggregateOperator {
             .iter()
             .map(|a| a.expr.data_type(&input_schema))
             .collect::<Result<Vec<_>>>()?;
+        let key_types =
+            group_by.iter().map(|(e, _)| e.data_type(&input_schema)).collect::<Result<Vec<_>>>()?;
+        let layout = rowkey::key_layout(&key_types);
+        let key_values = key_types.iter().map(|&t| Column::empty(t)).collect();
+        let states = aggregates
+            .iter()
+            .zip(&agg_input_types)
+            .map(|(a, &t)| AggState::new(a.func, t))
+            .collect();
         let global = group_by.is_empty();
         Ok(HashAggregateOperator {
             input_schema,
@@ -600,18 +615,45 @@ impl HashAggregateOperator {
             aggregates,
             output,
             agg_input_types,
-            groups: BTreeMap::new(),
+            layout,
+            table: KeyMap::new(layout),
+            key_values,
+            states,
             global,
         })
     }
 
-    fn encode_key(values: &[ScalarValue]) -> String {
-        let mut key = String::new();
-        for v in values {
-            key.push_str(&v.to_string());
-            key.push('\u{1}');
+    /// Dense group id for every row, creating groups (and materializing
+    /// their key values) for keys seen for the first time.
+    fn intern_groups(&mut self, group_columns: &[Column], rows: usize) -> Result<Vec<u32>> {
+        if self.global {
+            return Ok(vec![0; rows]);
         }
-        key
+        let column_refs: Vec<&Column> = group_columns.iter().collect();
+        let keys = rowkey::encode_keys(&column_refs, self.layout)?;
+        let mut group_ids = Vec::with_capacity(rows);
+        for row in 0..rows {
+            let next = self.table.len() as u32;
+            let id = *self.table.get_mut_or_insert_with(&keys, row, || next)?;
+            if id == next {
+                for (builder, column) in self.key_values.iter_mut().zip(group_columns) {
+                    builder.push_from(column, row)?;
+                }
+            }
+            group_ids.push(id);
+        }
+        Ok(group_ids)
+    }
+
+    fn num_groups(&self) -> usize {
+        if self.global {
+            // The group (at most one) materializes when the first batch
+            // resizes the accumulator states; finish() adds the empty-input
+            // row separately.
+            self.states.first().map(|s| s.num_groups()).unwrap_or(0)
+        } else {
+            self.table.len()
+        }
     }
 }
 
@@ -636,21 +678,10 @@ impl StageOperator for HashAggregateOperator {
             .iter()
             .map(|a| a.expr.evaluate(batch))
             .collect::<Result<Vec<Column>>>()?;
-        for row in 0..batch.num_rows() {
-            let key_values: Vec<ScalarValue> = group_columns.iter().map(|c| c.get(row)).collect();
-            let key = Self::encode_key(&key_values);
-            let entry = self.groups.entry(key).or_insert_with(|| {
-                let accumulators = self
-                    .aggregates
-                    .iter()
-                    .zip(&self.agg_input_types)
-                    .map(|(a, t)| Accumulator::new(a.func, *t))
-                    .collect();
-                (key_values.clone(), accumulators)
-            });
-            for (acc, col) in entry.1.iter_mut().zip(&agg_columns) {
-                acc.update(&col.get(row))?;
-            }
+        let group_ids = self.intern_groups(&group_columns, batch.num_rows())?;
+        let num_groups = if self.global { 1 } else { self.table.len() };
+        for (state, column) in self.states.iter_mut().zip(&agg_columns) {
+            state.update_batch(column, &group_ids, num_groups)?;
         }
         Ok(vec![])
     }
@@ -660,35 +691,37 @@ impl StageOperator for HashAggregateOperator {
     }
 
     fn finish(&mut self) -> Result<Vec<Batch>> {
-        if self.groups.is_empty() && self.global {
+        let mut group_count = self.num_groups();
+        if group_count == 0 && self.global {
             // SQL semantics: a global aggregate over zero rows still yields
             // one row of "zero" values.
-            let accumulators: Vec<Accumulator> = self
-                .aggregates
-                .iter()
-                .zip(&self.agg_input_types)
-                .map(|(a, t)| Accumulator::new(a.func, *t))
-                .collect();
-            self.groups.insert(String::new(), (Vec::new(), accumulators));
+            group_count = 1;
         }
-        let group_count = self.groups.len();
-        let mut columns: Vec<Vec<ScalarValue>> =
-            vec![Vec::with_capacity(group_count); self.output.len()];
-        for (_, (key_values, accumulators)) in self.groups.iter() {
-            for (i, v) in key_values.iter().enumerate() {
-                columns[i].push(v.clone());
-            }
-            for (i, acc) in accumulators.iter().enumerate() {
-                columns[self.group_by.len() + i].push(acc.finalize());
-            }
+        for state in &mut self.states {
+            state.resize(group_count);
         }
-        let columns = columns
-            .into_iter()
-            .enumerate()
-            .map(|(i, values)| Column::from_scalars(self.output.field(i).data_type, &values))
-            .collect::<Result<Vec<Column>>>()?;
+        // Emit groups in ascending key order: deterministic across runs and
+        // replays regardless of hash-map iteration order (the stringified
+        // BTreeMap this replaces was sorted too).
+        let mut order: Vec<usize> = (0..group_count).collect();
+        order.sort_by(|&a, &b| {
+            for column in &self.key_values {
+                let ord = compute::cmp_values(column, a, column, b);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        let mut columns: Vec<Column> = Vec::with_capacity(self.output.len());
+        for builder in &self.key_values {
+            columns.push(builder.take(&order));
+        }
+        for state in &self.states {
+            columns.push(state.finalize_column().take(&order));
+        }
         let batch = Batch::try_new(self.output.clone(), columns)?;
-        self.groups.clear();
+        self.reset();
         Ok(vec![batch])
     }
 
@@ -697,18 +730,23 @@ impl StageOperator for HashAggregateOperator {
     }
 
     fn state_bytes(&self) -> usize {
-        self.groups
-            .iter()
-            .map(|(k, (values, accs))| {
-                k.len()
-                    + values.iter().map(|v| v.to_string().len() + 8).sum::<usize>()
-                    + accs.iter().map(Accumulator::state_bytes).sum::<usize>()
-            })
-            .sum()
+        self.table.key_bytes()
+            + self.key_values.iter().map(Column::byte_size).sum::<usize>()
+            + self.states.iter().map(AggState::state_bytes).sum::<usize>()
     }
 
     fn reset(&mut self) {
-        self.groups.clear();
+        self.table.clear();
+        for builder in &mut self.key_values {
+            *builder = Column::empty(builder.data_type());
+        }
+        let states = self
+            .aggregates
+            .iter()
+            .zip(&self.agg_input_types)
+            .map(|(a, &t)| AggState::new(a.func, t))
+            .collect();
+        self.states = states;
     }
 }
 
@@ -728,9 +766,7 @@ impl SortOperator {
     fn new(schema: Schema, keys: Vec<(String, bool)>, limit: Option<usize>) -> Result<Self> {
         let keys = keys
             .iter()
-            .map(|(name, asc)| {
-                Ok(SortKey { column: schema.index_of(name)?, ascending: *asc })
-            })
+            .map(|(name, asc)| Ok(SortKey { column: schema.index_of(name)?, ascending: *asc }))
             .collect::<Result<Vec<_>>>()?;
         Ok(SortOperator { schema, keys, limit, buffered: Vec::new() })
     }
@@ -813,6 +849,7 @@ mod tests {
     use super::*;
     use crate::aggregate::{avg, count, sum};
     use crate::expr::{col, lit};
+    use quokka_batch::datatype::ScalarValue;
 
     fn build_batch() -> Batch {
         Batch::try_new(
@@ -901,11 +938,7 @@ mod tests {
         let spec = OperatorSpec::new(CoreOp::HashAggregate {
             input_schema: schema.clone(),
             group_by: vec![(col("k"), "k".to_string())],
-            aggregates: vec![
-                sum(col("v"), "total"),
-                count(col("v"), "n"),
-                avg(col("v"), "mean"),
-            ],
+            aggregates: vec![sum(col("v"), "total"), count(col("v"), "n"), avg(col("v"), "mean")],
         });
         assert_eq!(spec.output_schema().unwrap().column_names(), vec!["k", "total", "n", "mean"]);
         let mut op = spec.instantiate().unwrap();
@@ -932,6 +965,140 @@ mod tests {
     }
 
     #[test]
+    fn grouped_aggregate_with_no_input_emits_no_rows() {
+        let schema = Schema::from_pairs(&[("k", DataType::Utf8), ("v", DataType::Int64)]);
+        let spec = OperatorSpec::new(CoreOp::HashAggregate {
+            input_schema: schema.clone(),
+            group_by: vec![(col("k"), "k".to_string())],
+            aggregates: vec![sum(col("v"), "total")],
+        });
+        let mut op = spec.instantiate().unwrap();
+        // Pushing an empty batch must not create a phantom group either.
+        op.push(0, &Batch::empty(schema)).unwrap();
+        let out = op.finish().unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].num_rows(), 0);
+    }
+
+    #[test]
+    fn sum_type_follows_input_column_type() {
+        let schema = Schema::from_pairs(&[
+            ("k", DataType::Int64),
+            ("ints", DataType::Int64),
+            ("floats", DataType::Float64),
+        ]);
+        let spec = OperatorSpec::new(CoreOp::HashAggregate {
+            input_schema: schema.clone(),
+            group_by: vec![(col("k"), "k".to_string())],
+            aggregates: vec![sum(col("ints"), "int_sum"), sum(col("floats"), "float_sum")],
+        });
+        let mut op = spec.instantiate().unwrap();
+        let batch = Batch::try_new(
+            schema,
+            vec![
+                Column::Int64(vec![1, 1, 2]),
+                Column::Int64(vec![10, 20, 30]),
+                Column::Float64(vec![0.5, 0.25, 1.0]),
+            ],
+        )
+        .unwrap();
+        op.push(0, &batch).unwrap();
+        let out = op.finish().unwrap();
+        let result = &out[0];
+        // An all-integer SUM stays Int64; the float column sums as Float64.
+        assert_eq!(result.column(1), &Column::Int64(vec![30, 30]));
+        assert_eq!(result.column(2), &Column::Float64(vec![0.75, 1.0]));
+    }
+
+    #[test]
+    fn min_max_on_strings() {
+        let schema = Schema::from_pairs(&[("k", DataType::Int64), ("s", DataType::Utf8)]);
+        let spec = OperatorSpec::new(CoreOp::HashAggregate {
+            input_schema: schema.clone(),
+            group_by: vec![(col("k"), "k".to_string())],
+            aggregates: vec![
+                crate::aggregate::min(col("s"), "lo"),
+                crate::aggregate::max(col("s"), "hi"),
+            ],
+        });
+        let mut op = spec.instantiate().unwrap();
+        // Spread the updates across two batches so replacement logic runs on
+        // both fresh and existing groups.
+        let first = Batch::try_new(
+            schema.clone(),
+            vec![Column::Int64(vec![1, 2]), Column::Utf8(vec!["pear".into(), "kiwi".into()])],
+        )
+        .unwrap();
+        let second = Batch::try_new(
+            schema,
+            vec![
+                Column::Int64(vec![1, 1, 2]),
+                Column::Utf8(vec!["apple".into(), "quince".into(), "zucchini".into()]),
+            ],
+        )
+        .unwrap();
+        op.push(0, &first).unwrap();
+        op.push(0, &second).unwrap();
+        let out = op.finish().unwrap();
+        let result = &out[0];
+        assert_eq!(result.value(0, 1), ScalarValue::Utf8("apple".into()));
+        assert_eq!(result.value(0, 2), ScalarValue::Utf8("quince".into()));
+        assert_eq!(result.value(1, 1), ScalarValue::Utf8("kiwi".into()));
+        assert_eq!(result.value(1, 2), ScalarValue::Utf8("zucchini".into()));
+    }
+
+    #[test]
+    fn count_distinct_dedups_across_batches() {
+        let schema = Schema::from_pairs(&[("k", DataType::Utf8), ("v", DataType::Int64)]);
+        let spec = OperatorSpec::new(CoreOp::HashAggregate {
+            input_schema: schema.clone(),
+            group_by: vec![(col("k"), "k".to_string())],
+            aggregates: vec![crate::aggregate::count_distinct(col("v"), "distinct")],
+        });
+        let mut op = spec.instantiate().unwrap();
+        let batch = |keys: Vec<&str>, vals: Vec<i64>| {
+            Batch::try_new(
+                schema.clone(),
+                vec![
+                    Column::Utf8(keys.into_iter().map(String::from).collect()),
+                    Column::Int64(vals),
+                ],
+            )
+            .unwrap()
+        };
+        // Value 7 for group "a" appears in both batches and must count once.
+        op.push(0, &batch(vec!["a", "a", "b"], vec![7, 8, 7])).unwrap();
+        op.push(0, &batch(vec!["a", "b", "b"], vec![7, 9, 9])).unwrap();
+        let out = op.finish().unwrap();
+        let result = &out[0];
+        assert_eq!(result.value(0, 0), ScalarValue::Utf8("a".into()));
+        assert_eq!(result.value(0, 1), ScalarValue::Int64(2)); // {7, 8}
+        assert_eq!(result.value(1, 1), ScalarValue::Int64(2)); // {7, 9}
+    }
+
+    #[test]
+    fn aggregate_on_integer_keys_uses_dense_group_ids() {
+        // Exercises the u64 fast-path key layout end to end, including
+        // emission in ascending (numeric, not stringified) key order.
+        let schema = Schema::from_pairs(&[("k", DataType::Int64), ("v", DataType::Int64)]);
+        let spec = OperatorSpec::new(CoreOp::HashAggregate {
+            input_schema: schema.clone(),
+            group_by: vec![(col("k"), "k".to_string())],
+            aggregates: vec![count(col("v"), "n")],
+        });
+        let mut op = spec.instantiate().unwrap();
+        let batch = Batch::try_new(
+            schema,
+            vec![Column::Int64(vec![10, 9, 10, -3]), Column::Int64(vec![0, 0, 0, 0])],
+        )
+        .unwrap();
+        op.push(0, &batch).unwrap();
+        let out = op.finish().unwrap();
+        assert_eq!(out[0].column(0), &Column::Int64(vec![-3, 9, 10]));
+        assert_eq!(out[0].column(1), &Column::Int64(vec![1, 1, 2]));
+    }
+
+    #[test]
     fn global_aggregate_emits_one_row_even_for_empty_input() {
         let schema = Schema::from_pairs(&[("v", DataType::Float64)]);
         let spec = OperatorSpec::new(CoreOp::HashAggregate {
@@ -954,8 +1121,7 @@ mod tests {
             limit: Some(2),
         });
         let mut op = spec.instantiate().unwrap();
-        let batch =
-            Batch::try_new(schema.clone(), vec![Column::Int64(vec![5, 1, 9, 3])]).unwrap();
+        let batch = Batch::try_new(schema.clone(), vec![Column::Int64(vec![5, 1, 9, 3])]).unwrap();
         op.push(0, &batch).unwrap();
         let out = op.finish().unwrap();
         assert_eq!(out[0].column(0), &Column::Int64(vec![9, 5]));
@@ -976,10 +1142,7 @@ mod tests {
         let schema = Schema::from_pairs(&[("k", DataType::Int64), ("v", DataType::Int64)]);
         let spec = OperatorSpec::new(CoreOp::Map { input_schema: schema.clone() })
             .with_post(Transform::Filter(col("v").gt(lit(5i64))))
-            .with_post(Transform::Project(vec![(
-                col("v").mul(lit(2i64)),
-                "doubled".to_string(),
-            )]));
+            .with_post(Transform::Project(vec![(col("v").mul(lit(2i64)), "doubled".to_string())]));
         assert_eq!(spec.output_schema().unwrap().column_names(), vec!["doubled"]);
         let mut op = spec.instantiate().unwrap();
         let batch = Batch::try_new(

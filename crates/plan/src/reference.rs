@@ -52,10 +52,8 @@ impl<'a> ReferenceExecutor<'a> {
             LogicalPlan::Project { input, exprs } => {
                 let batch = self.execute(input)?;
                 let schema = plan.schema()?;
-                let columns = exprs
-                    .iter()
-                    .map(|(e, _)| e.evaluate(&batch))
-                    .collect::<Result<Vec<_>>>()?;
+                let columns =
+                    exprs.iter().map(|(e, _)| e.evaluate(&batch)).collect::<Result<Vec<_>>>()?;
                 Batch::try_new(schema, columns)
             }
             LogicalPlan::Join { build, probe, on, join_type } => {
@@ -112,14 +110,10 @@ impl<'a> ReferenceExecutor<'a> {
         on: &[(String, String)],
         join_type: JoinType,
     ) -> Result<Batch> {
-        let build_keys: Vec<usize> = on
-            .iter()
-            .map(|(b, _)| build.schema().index_of(b))
-            .collect::<Result<Vec<_>>>()?;
-        let probe_keys: Vec<usize> = on
-            .iter()
-            .map(|(_, p)| probe.schema().index_of(p))
-            .collect::<Result<Vec<_>>>()?;
+        let build_keys: Vec<usize> =
+            on.iter().map(|(b, _)| build.schema().index_of(b)).collect::<Result<Vec<_>>>()?;
+        let probe_keys: Vec<usize> =
+            on.iter().map(|(_, p)| probe.schema().index_of(p)).collect::<Result<Vec<_>>>()?;
 
         let key_of = |batch: &Batch, row: usize, cols: &[usize]| -> String {
             let mut key = String::new();
@@ -256,10 +250,8 @@ mod tests {
 
     fn catalog() -> MemoryCatalog {
         let catalog = MemoryCatalog::new();
-        let customer = Schema::from_pairs(&[
-            ("c_custkey", DataType::Int64),
-            ("c_name", DataType::Utf8),
-        ]);
+        let customer =
+            Schema::from_pairs(&[("c_custkey", DataType::Int64), ("c_name", DataType::Utf8)]);
         catalog.register(
             "customer",
             customer.clone(),

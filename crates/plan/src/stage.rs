@@ -93,23 +93,15 @@ impl StageGraph {
 
     /// Stage ids that consume the output of `id` (0 or 1 for tree plans).
     pub fn consumers(&self, id: StageId) -> Vec<StageId> {
-        self.stages
-            .iter()
-            .filter(|s| s.inputs.contains(&id))
-            .map(|s| s.id)
-            .collect()
+        self.stages.iter().filter(|s| s.inputs.contains(&id)).map(|s| s.id).collect()
     }
 
     /// The input position (operator input index) at which `producer` feeds
     /// `consumer`.
     pub fn input_index(&self, consumer: StageId, producer: StageId) -> Result<usize> {
-        self.stage(consumer)
-            .inputs
-            .iter()
-            .position(|&i| i == producer)
-            .ok_or_else(|| {
-                QuokkaError::internal(format!("stage {producer} does not feed stage {consumer}"))
-            })
+        self.stage(consumer).inputs.iter().position(|&i| i == producer).ok_or_else(|| {
+            QuokkaError::internal(format!("stage {producer} does not feed stage {consumer}"))
+        })
     }
 
     /// Ids of stages in reverse topological order (sink first) — the order
@@ -135,11 +127,8 @@ impl StageGraph {
                 CoreOp::Sort { .. } => "Sort",
                 CoreOp::Limit { .. } => "Limit",
             };
-            let scan = stage
-                .scan
-                .as_ref()
-                .map(|s| format!(" scan={}", s.table))
-                .unwrap_or_default();
+            let scan =
+                stage.scan.as_ref().map(|s| format!(" scan={}", s.table)).unwrap_or_default();
             out.push_str(&format!(
                 "stage {}: {}{} inputs={:?} partition_by={:?} parallelism={:?} post={}\n",
                 stage.id,
@@ -293,10 +282,7 @@ mod tests {
     }
 
     fn orders() -> Schema {
-        Schema::from_pairs(&[
-            ("o_orderkey", DataType::Int64),
-            ("o_orderdate", DataType::Date),
-        ])
+        Schema::from_pairs(&[("o_orderkey", DataType::Int64), ("o_orderdate", DataType::Date)])
     }
 
     #[test]
@@ -375,10 +361,7 @@ mod tests {
     #[test]
     fn expression_group_keys_force_single_channel() {
         let plan = PlanBuilder::scan("orders", orders())
-            .aggregate(
-                vec![(col("o_orderdate").year(), "year")],
-                vec![sum(col("o_orderkey"), "s")],
-            )
+            .aggregate(vec![(col("o_orderdate").year(), "year")], vec![sum(col("o_orderkey"), "s")])
             .build()
             .unwrap();
         let graph = StageGraph::compile(&plan).unwrap();

@@ -1,0 +1,307 @@
+//! Offline stand-in for `proptest`, covering the API subset the integration
+//! tests use: the `proptest!` macro, `Strategy` with `prop_map` /
+//! `prop_flat_map`, `any::<T>()` for primitives, `collection::vec`, integer
+//! ranges, and simple `[a-z]{m,n}`-style string patterns. Generation is
+//! deterministic (seeded per test case) and there is no shrinking — a
+//! failing case panics with the ordinary assertion message.
+
+pub mod test_runner {
+    /// Deterministic splitmix64-based RNG, seeded per test case.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        pub fn for_case(case: u64) -> Self {
+            TestRng(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case.wrapping_add(1)))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// A value generator. Unlike real proptest there is no shrinking tree;
+    /// `generate` produces one value directly.
+    pub trait Strategy: Sized {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F> {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    impl Strategy for std::ops::Range<usize> {
+        type Value = usize;
+        fn generate(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    /// String pattern strategy supporting the `[c1-c2]{m,n}` subset of the
+    /// regex syntax real proptest accepts for `&str` strategies.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (lo, hi, min_len, max_len) = parse_char_class_pattern(self);
+            let len = min_len + rng.below((max_len - min_len + 1) as u64) as usize;
+            (0..len)
+                .map(|_| {
+                    let span = (hi as u32) - (lo as u32) + 1;
+                    char::from_u32(lo as u32 + rng.below(span as u64) as u32).unwrap()
+                })
+                .collect()
+        }
+    }
+
+    fn parse_char_class_pattern(pattern: &str) -> (char, char, usize, usize) {
+        fn bad(pattern: &str) -> ! {
+            panic!("proptest shim only supports '[a-z]{{m,n}}' string patterns, got {pattern:?}")
+        }
+        let Some(rest) = pattern.strip_prefix('[') else { bad(pattern) };
+        let Some((class, rest)) = rest.split_once(']') else { bad(pattern) };
+        let chars: Vec<char> = class.chars().collect();
+        let [lo, '-', hi] = chars[..] else { bad(pattern) };
+        let (min_len, max_len) = if rest.is_empty() {
+            (1, 1)
+        } else {
+            let Some(counts) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) else {
+                bad(pattern)
+            };
+            let Some((m, n)) = counts.split_once(',') else { bad(pattern) };
+            match (m.trim().parse(), n.trim().parse()) {
+                (Ok(m), Ok(n)) => (m, n),
+                _ => bad(pattern),
+            }
+        };
+        (lo, hi, min_len, max_len)
+    }
+
+    /// Strategy for any value of a primitive type.
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl Strategy for Any<i64> {
+        type Value = i64;
+        fn generate(&self, rng: &mut TestRng) -> i64 {
+            rng.next_u64() as i64
+        }
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Strategy for Any<f64> {
+        type Value = f64;
+        // Finite values over a wide range (real proptest's default f64
+        // strategy also excludes NaN and infinities).
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let mantissa = rng.next_u64() as i64 as f64;
+            let exp = rng.below(41) as i32 - 20;
+            mantissa * 2f64.powi(exp)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident : $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A: 0, B: 1);
+    tuple_strategy!(A: 0, B: 1, C: 2);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use std::marker::PhantomData;
+
+    /// `any::<T>()` for the supported primitive types.
+    pub fn any<T>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            (0..self.len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of exactly `len` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: usize) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Run configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(case as u64);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_generation() {
+        let mut rng = crate::test_runner::TestRng::for_case(7);
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[a-z]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn range_and_vec_strategies() {
+        let mut rng = crate::test_runner::TestRng::for_case(3);
+        for _ in 0..100 {
+            let n = Strategy::generate(&(1usize..60), &mut rng);
+            assert!((1..60).contains(&n));
+        }
+        let v = Strategy::generate(&crate::collection::vec(any::<i64>(), 5), &mut rng);
+        assert_eq!(v.len(), 5);
+        let f = Strategy::generate(&any::<f64>(), &mut rng);
+        assert!(f.is_finite());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_round_trip(x in 0usize..10, v in crate::collection::vec(any::<bool>(), 3)) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(v.len(), 3);
+            prop_assert_ne!(v.len(), 4);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline stand-in for `serde` (see `serde_derive` shim for rationale).
+//!
+//! Only the derive macro names are consumed by this codebase; the traits are
+//! provided so `T: Serialize` bounds would still compile if introduced.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name.
+pub trait SerializeTrait {}
+
+/// Marker trait matching `serde::Deserialize`'s name.
+pub trait DeserializeTrait {}

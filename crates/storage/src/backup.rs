@@ -47,7 +47,12 @@ impl LocalBackupStore {
 
     /// Write one slice. Charges the local-disk cost model and fails if the
     /// worker has already been killed.
-    pub fn put(&self, partition: PartitionName, consumer: ChannelAddr, payload: Bytes) -> Result<()> {
+    pub fn put(
+        &self,
+        partition: PartitionName,
+        consumer: ChannelAddr,
+        payload: Bytes,
+    ) -> Result<()> {
         if self.failed.load(Ordering::SeqCst) {
             return Err(QuokkaError::WorkerFailed(self.worker));
         }

@@ -20,8 +20,7 @@ const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIE
 /// Ship modes.
 const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 /// Ship instructions.
-const SHIP_INSTRUCT: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const SHIP_INSTRUCT: [&str; 4] = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
 /// Part type prefixes/middles/suffixes.
 const TYPE_SYLL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_SYLL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
@@ -31,15 +30,53 @@ const CONTAINER_SYLL1: [&str; 5] = ["SM", "LG", "MED", "JUMBO", "WRAP"];
 const CONTAINER_SYLL2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 /// Colours used in part names (Q9 greps for "green", Q20 for "forest").
 const COLORS: [&str; 24] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blue", "blush",
-    "brown", "burlywood", "chartreuse", "chocolate", "coral", "cornflower", "cream", "cyan",
-    "forest", "frosted", "ghost", "goldenrod", "green", "honeydew", "hot",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "chartreuse",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
+    "forest",
+    "frosted",
+    "ghost",
+    "goldenrod",
+    "green",
+    "honeydew",
+    "hot",
 ];
 /// Filler words for comments.
 const WORDS: [&str; 20] = [
-    "carefully", "quickly", "furiously", "deposits", "packages", "accounts", "instructions",
-    "theodolites", "platelets", "pinto", "beans", "foxes", "ideas", "requests", "dependencies",
-    "excuses", "asymptotes", "courts", "dolphins", "waters",
+    "carefully",
+    "quickly",
+    "furiously",
+    "deposits",
+    "packages",
+    "accounts",
+    "instructions",
+    "theodolites",
+    "platelets",
+    "pinto",
+    "beans",
+    "foxes",
+    "ideas",
+    "requests",
+    "dependencies",
+    "excuses",
+    "asymptotes",
+    "courts",
+    "dolphins",
+    "waters",
 ];
 /// The 25 TPC-H nations and their region keys.
 const NATIONS: [(&str, i64); 25] = [
@@ -138,7 +175,7 @@ impl TpchGenerator {
             if i > 0 {
                 out.push(' ');
             }
-            out.push_str(*rng.pick(&WORDS));
+            out.push_str(rng.pick::<&str>(&WORDS));
         }
         out
     }
@@ -241,7 +278,11 @@ impl TpchGenerator {
             // ~3% of suppliers have the "Customer Complaints" comment Q16
             // filters out.
             let comment = if rng.chance(0.03) {
-                format!("{} Customer some Complaints {}", self.comment(&mut rng, 2), self.comment(&mut rng, 2))
+                format!(
+                    "{} Customer some Complaints {}",
+                    self.comment(&mut rng, 2),
+                    self.comment(&mut rng, 2)
+                )
             } else {
                 self.comment(&mut rng, 7)
             };
@@ -434,7 +475,11 @@ impl TpchGenerator {
             // ~2% of orders carry the "special ... requests" comment Q13
             // excludes.
             let comment = if rng.chance(0.02) {
-                format!("{} special handling requests {}", self.comment(&mut rng, 2), self.comment(&mut rng, 2))
+                format!(
+                    "{} special handling requests {}",
+                    self.comment(&mut rng, 2),
+                    self.comment(&mut rng, 2)
+                )
             } else {
                 self.comment(&mut rng, 8)
             };
@@ -569,10 +614,7 @@ mod tests {
         assert!(small.num_rows("orders").unwrap() < large.num_rows("orders").unwrap());
         assert_eq!(small.num_rows("region").unwrap(), 5);
         assert_eq!(small.num_rows("nation").unwrap(), 25);
-        assert_eq!(
-            small.num_rows("partsupp").unwrap(),
-            small.num_rows("part").unwrap() * 4
-        );
+        assert_eq!(small.num_rows("partsupp").unwrap(), small.num_rows("part").unwrap() * 4);
         assert!(small.num_rows("unknown").is_err());
     }
 
@@ -656,8 +698,7 @@ mod tests {
     #[test]
     fn dates_are_consistent() {
         let generator = generator();
-        let lineitem =
-            Batch::concat(&generator.generate("lineitem").unwrap()).unwrap();
+        let lineitem = Batch::concat(&generator.generate("lineitem").unwrap()).unwrap();
         let ship = lineitem.column_by_name("l_shipdate").unwrap().as_date().unwrap();
         let receipt = lineitem.column_by_name("l_receiptdate").unwrap().as_date().unwrap();
         for i in (0..ship.len()).step_by(53) {

@@ -30,9 +30,8 @@ pub enum QueryCategory {
 }
 
 /// All TPC-H query numbers.
-pub const ALL_QUERIES: [usize; 22] = [
-    1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22,
-];
+pub const ALL_QUERIES: [usize; 22] =
+    [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22];
 
 /// The paper's eight representative queries, in the order its figures use:
 /// category I (1, 6), category II (3, 10), category III (5, 7, 8, 9).
@@ -146,7 +145,10 @@ mod tests {
     fn representative_queries_cover_all_three_categories() {
         assert_eq!(REPRESENTATIVE.len(), 8);
         assert_eq!(
-            REPRESENTATIVE.iter().filter(|&&q| category(q) == QueryCategory::SimpleAggregation).count(),
+            REPRESENTATIVE
+                .iter()
+                .filter(|&&q| category(q) == QueryCategory::SimpleAggregation)
+                .count(),
             2
         );
         assert_eq!(

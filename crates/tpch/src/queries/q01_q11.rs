@@ -17,18 +17,12 @@ pub fn q1() -> Result<LogicalPlan> {
     lineitem()
         .filter(col("l_shipdate").lt_eq(date("1998-09-02")))
         .aggregate(
-            vec![
-                (col("l_returnflag"), "l_returnflag"),
-                (col("l_linestatus"), "l_linestatus"),
-            ],
+            vec![(col("l_returnflag"), "l_returnflag"), (col("l_linestatus"), "l_linestatus")],
             vec![
                 sum(col("l_quantity"), "sum_qty"),
                 sum(col("l_extendedprice"), "sum_base_price"),
                 sum(revenue_expr(), "sum_disc_price"),
-                sum(
-                    revenue_expr().mul(lit(1.0f64).add(col("l_tax"))),
-                    "sum_charge",
-                ),
+                sum(revenue_expr().mul(lit(1.0f64).add(col("l_tax"))), "sum_charge"),
                 avg(col("l_quantity"), "avg_qty"),
                 avg(col("l_extendedprice"), "avg_price"),
                 avg(col("l_discount"), "avg_disc"),
@@ -51,18 +45,19 @@ fn suppliers_in_region(region_name: &str) -> PlanBuilder {
 /// Q2: minimum cost supplier.
 pub fn q2() -> Result<LogicalPlan> {
     // Cost of every (part, European supplier) pair.
-    let europe_costs = suppliers_in_region("EUROPE")
-        .join(partsupp(), vec![("s_suppkey", "ps_suppkey")], JoinType::Inner);
+    let europe_costs = suppliers_in_region("EUROPE").join(
+        partsupp(),
+        vec![("s_suppkey", "ps_suppkey")],
+        JoinType::Inner,
+    );
     // Decorrelated scalar subquery: the minimum cost per part.
     let min_costs = europe_costs.clone().aggregate(
         vec![(col("ps_partkey"), "mc_partkey")],
         vec![min(col("ps_supplycost"), "min_cost")],
     );
     // Candidate parts.
-    let parts = part()
-        .filter(col("p_size").eq(lit(15i64)).and(col("p_type").like("%BRASS")));
-    let candidates =
-        parts.join(europe_costs, vec![("p_partkey", "ps_partkey")], JoinType::Inner);
+    let parts = part().filter(col("p_size").eq(lit(15i64)).and(col("p_type").like("%BRASS")));
+    let candidates = parts.join(europe_costs, vec![("p_partkey", "ps_partkey")], JoinType::Inner);
     min_costs
         .join(
             candidates,
@@ -116,9 +111,7 @@ pub fn q3() -> Result<LogicalPlan> {
 pub fn q4() -> Result<LogicalPlan> {
     let late_lines = lineitem().filter(col("l_commitdate").lt(col("l_receiptdate")));
     let dated_orders = orders().filter(
-        col("o_orderdate")
-            .gt_eq(date("1993-07-01"))
-            .and(col("o_orderdate").lt(date("1993-10-01"))),
+        col("o_orderdate").gt_eq(date("1993-07-01")).and(col("o_orderdate").lt(date("1993-10-01"))),
     );
     late_lines
         .join(dated_orders, vec![("l_orderkey", "o_orderkey")], JoinType::Semi)
@@ -167,10 +160,7 @@ pub fn q6() -> Result<LogicalPlan> {
                 .and(col("l_discount").lt_eq(lit(0.07f64)))
                 .and(col("l_quantity").lt(lit(24.0f64))),
         )
-        .aggregate(
-            vec![],
-            vec![sum(col("l_extendedprice").mul(col("l_discount")), "revenue")],
-        )
+        .aggregate(vec![], vec![sum(col("l_extendedprice").mul(col("l_discount")), "revenue")])
         .build()
 }
 
@@ -194,12 +184,9 @@ pub fn q7() -> Result<LogicalPlan> {
     customer_orders
         .join(supplier_lines, vec![("o_orderkey", "l_orderkey")], JoinType::Inner)
         .filter(
-            col("supp_nation")
-                .eq(lit("FRANCE"))
-                .and(col("cust_nation").eq(lit("GERMANY")))
-                .or(col("supp_nation")
-                    .eq(lit("GERMANY"))
-                    .and(col("cust_nation").eq(lit("FRANCE")))),
+            col("supp_nation").eq(lit("FRANCE")).and(col("cust_nation").eq(lit("GERMANY"))).or(
+                col("supp_nation").eq(lit("GERMANY")).and(col("cust_nation").eq(lit("FRANCE"))),
+            ),
         )
         .project(vec![
             (col("supp_nation"), "supp_nation"),
@@ -237,9 +224,11 @@ pub fn q8() -> Result<LogicalPlan> {
         JoinType::Inner,
     );
     // Lines for the selected part type, with the supplier's nation attached.
-    let part_lines = part()
-        .filter(col("p_type").eq(lit("ECONOMY ANODIZED STEEL")))
-        .join(lineitem(), vec![("p_partkey", "l_partkey")], JoinType::Inner);
+    let part_lines = part().filter(col("p_type").eq(lit("ECONOMY ANODIZED STEEL"))).join(
+        lineitem(),
+        vec![("p_partkey", "l_partkey")],
+        JoinType::Inner,
+    );
     let supplier_nation_lines = nation()
         .project(vec![(col("n_nationkey"), "supp_nationkey"), (col("n_name"), "supp_nation")])
         .join(supplier(), vec![("supp_nationkey", "s_nationkey")], JoinType::Inner)
@@ -275,9 +264,11 @@ pub fn q8() -> Result<LogicalPlan> {
 
 /// Q9: product type profit measure.
 pub fn q9() -> Result<LogicalPlan> {
-    let green_part_lines = part()
-        .filter(col("p_name").like("%green%"))
-        .join(lineitem(), vec![("p_partkey", "l_partkey")], JoinType::Inner);
+    let green_part_lines = part().filter(col("p_name").like("%green%")).join(
+        lineitem(),
+        vec![("p_partkey", "l_partkey")],
+        JoinType::Inner,
+    );
     let with_partsupp = partsupp().join(
         green_part_lines,
         vec![("ps_partkey", "l_partkey"), ("ps_suppkey", "l_suppkey")],
@@ -291,10 +282,7 @@ pub fn q9() -> Result<LogicalPlan> {
         .project(vec![
             (col("n_name"), "nation"),
             (col("o_orderdate").year(), "o_year"),
-            (
-                revenue_expr().sub(col("ps_supplycost").mul(col("l_quantity"))),
-                "amount",
-            ),
+            (revenue_expr().sub(col("ps_supplycost").mul(col("l_quantity"))), "amount"),
         ])
         .aggregate(
             vec![(col("nation"), "nation"), (col("o_year"), "o_year")],
@@ -358,10 +346,7 @@ pub fn q11() -> Result<LogicalPlan> {
     // Decorrelated scalar subquery: the global threshold, attached to every
     // per-part row through a constant-key join.
     let threshold = german_stock
-        .aggregate(
-            vec![],
-            vec![sum(col("ps_supplycost").mul(col("ps_availqty")), "total_value")],
-        )
+        .aggregate(vec![], vec![sum(col("ps_supplycost").mul(col("ps_availqty")), "total_value")])
         .project(vec![
             (col("total_value").mul(lit(0.0001f64)), "threshold"),
             (lit(1i64), "jk_build"),

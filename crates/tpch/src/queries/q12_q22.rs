@@ -17,9 +17,8 @@ fn strings(values: &[&str]) -> Vec<ScalarValue> {
 
 /// Q12: shipping modes and order priority.
 pub fn q12() -> Result<LogicalPlan> {
-    let urgent = col("o_orderpriority")
-        .eq(lit("1-URGENT"))
-        .or(col("o_orderpriority").eq(lit("2-HIGH")));
+    let urgent =
+        col("o_orderpriority").eq(lit("1-URGENT")).or(col("o_orderpriority").eq(lit("2-HIGH")));
     orders()
         .join(
             lineitem().filter(
@@ -36,10 +35,7 @@ pub fn q12() -> Result<LogicalPlan> {
         .aggregate(
             vec![(col("l_shipmode"), "l_shipmode")],
             vec![
-                sum(
-                    Expr::case_when(urgent.clone(), lit(1i64), lit(0i64)),
-                    "high_line_count",
-                ),
+                sum(Expr::case_when(urgent.clone(), lit(1i64), lit(0i64)), "high_line_count"),
                 sum(Expr::case_when(urgent, lit(0i64), lit(1i64)), "low_line_count"),
             ],
         )
@@ -58,15 +54,9 @@ pub fn q13() -> Result<LogicalPlan> {
         .join(customer(), vec![("o_custkey", "c_custkey")], JoinType::Left)
         .project(vec![
             (col("c_custkey"), "c_custkey"),
-            (
-                Expr::case_when(col("o_orderkey").gt(lit(0i64)), lit(1i64), lit(0i64)),
-                "has_order",
-            ),
+            (Expr::case_when(col("o_orderkey").gt(lit(0i64)), lit(1i64), lit(0i64)), "has_order"),
         ])
-        .aggregate(
-            vec![(col("c_custkey"), "c_custkey")],
-            vec![sum(col("has_order"), "c_count")],
-        )
+        .aggregate(vec![(col("c_custkey"), "c_custkey")], vec![sum(col("has_order"), "c_count")])
         .aggregate(vec![(col("c_count"), "c_count")], vec![count(col("c_custkey"), "custdist")])
         .sort(vec![("custdist", false), ("c_count", false)])
         .build()
@@ -151,19 +141,10 @@ pub fn q16() -> Result<LogicalPlan> {
         .filter(col("s_comment").like("%Customer%Complaints%"))
         .join(part_suppliers, vec![("s_suppkey", "ps_suppkey")], JoinType::Anti)
         .aggregate(
-            vec![
-                (col("p_brand"), "p_brand"),
-                (col("p_type"), "p_type"),
-                (col("p_size"), "p_size"),
-            ],
+            vec![(col("p_brand"), "p_brand"), (col("p_type"), "p_type"), (col("p_size"), "p_size")],
             vec![count_distinct(col("ps_suppkey"), "supplier_cnt")],
         )
-        .sort(vec![
-            ("supplier_cnt", false),
-            ("p_brand", true),
-            ("p_type", true),
-            ("p_size", true),
-        ])
+        .sort(vec![("supplier_cnt", false), ("p_brand", true), ("p_type", true), ("p_size", true)])
         .build()
 }
 
@@ -189,7 +170,10 @@ pub fn q17() -> Result<LogicalPlan> {
 /// Q18: large volume customer.
 pub fn q18() -> Result<LogicalPlan> {
     let big_orders = lineitem()
-        .aggregate(vec![(col("l_orderkey"), "big_orderkey")], vec![sum(col("l_quantity"), "total_qty")])
+        .aggregate(
+            vec![(col("l_orderkey"), "big_orderkey")],
+            vec![sum(col("l_quantity"), "total_qty")],
+        )
         .filter(col("total_qty").gt(lit(300.0f64)))
         .project(vec![(col("big_orderkey"), "big_orderkey")]);
     let qualifying_orders =
@@ -265,13 +249,19 @@ pub fn q20() -> Result<LogicalPlan> {
             vec![("sl_partkey", "ps_partkey"), ("sl_suppkey", "ps_suppkey")],
             JoinType::Inner,
         )
-        .filter(col("ps_availqty").cast(quokka_batch::DataType::Float64).gt(lit(0.5f64).mul(col("shipped_qty"))))
+        .filter(
+            col("ps_availqty")
+                .cast(quokka_batch::DataType::Float64)
+                .gt(lit(0.5f64).mul(col("shipped_qty"))),
+        )
         .project(vec![(col("ps_suppkey"), "candidate_suppkey")]);
     overstocked
         .join(
-            nation()
-                .filter(col("n_name").eq(lit("CANADA")))
-                .join(supplier(), vec![("n_nationkey", "s_nationkey")], JoinType::Inner),
+            nation().filter(col("n_name").eq(lit("CANADA"))).join(
+                supplier(),
+                vec![("n_nationkey", "s_nationkey")],
+                JoinType::Inner,
+            ),
             vec![("candidate_suppkey", "s_suppkey")],
             JoinType::Semi,
         )
@@ -291,9 +281,8 @@ pub fn q21() -> Result<LogicalPlan> {
         vec![(col("l_orderkey"), "all_orderkey")],
         vec![count_distinct(col("l_suppkey"), "all_supp_cnt")],
     );
-    let late_suppliers_per_order = lineitem()
-        .filter(col("l_receiptdate").gt(col("l_commitdate")))
-        .aggregate(
+    let late_suppliers_per_order =
+        lineitem().filter(col("l_receiptdate").gt(col("l_commitdate"))).aggregate(
             vec![(col("l_orderkey"), "late_orderkey")],
             vec![count_distinct(col("l_suppkey"), "late_supp_cnt")],
         );

@@ -5,9 +5,7 @@
 
 use quokka::plan::aggregate::{count, sum};
 use quokka::plan::expr::{col, lit};
-use quokka::{
-    Batch, Column, DataType, EngineConfig, JoinType, PlanBuilder, QuokkaSession, Schema,
-};
+use quokka::{Batch, Column, DataType, EngineConfig, JoinType, PlanBuilder, QuokkaSession, Schema};
 
 fn main() -> quokka::Result<()> {
     // A session is a catalog plus an engine configuration. Quokka's default
@@ -16,10 +14,7 @@ fn main() -> quokka::Result<()> {
     let session = QuokkaSession::new(EngineConfig::quokka(4));
 
     // Register a dimension table and a fact table.
-    let products = Schema::from_pairs(&[
-        ("p_id", DataType::Int64),
-        ("p_category", DataType::Utf8),
-    ]);
+    let products = Schema::from_pairs(&[("p_id", DataType::Int64), ("p_category", DataType::Utf8)]);
     session.register_table(
         "products",
         products.clone(),
@@ -32,10 +27,8 @@ fn main() -> quokka::Result<()> {
         )?],
     );
 
-    let sales = Schema::from_pairs(&[
-        ("s_product", DataType::Int64),
-        ("s_amount", DataType::Float64),
-    ]);
+    let sales =
+        Schema::from_pairs(&[("s_product", DataType::Int64), ("s_amount", DataType::Float64)]);
     let rows = 20_000i64;
     let sales_batch = Batch::try_new(
         sales.clone(),

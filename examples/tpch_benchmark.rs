@@ -9,8 +9,7 @@ use quokka::{EngineConfig, QuokkaSession};
 use std::time::Instant;
 
 fn main() -> quokka::Result<()> {
-    let scale_factor =
-        std::env::var("QUOKKA_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.01);
+    let scale_factor = std::env::var("QUOKKA_SF").ok().and_then(|v| v.parse().ok()).unwrap_or(0.01);
     let workers = 4;
     println!("generating TPC-H data at scale factor {scale_factor} ...");
     let session = QuokkaSession::tpch(scale_factor, workers)?;

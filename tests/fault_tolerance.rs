@@ -2,9 +2,7 @@
 //! points of the query and the result must still be exactly the reference
 //! result, with the engine's invariants intact.
 
-use quokka::{
-    same_result, EngineConfig, FailureSpec, FaultStrategy, QuokkaSession,
-};
+use quokka::{same_result, EngineConfig, FailureSpec, FaultStrategy, QuokkaSession};
 
 fn session() -> QuokkaSession {
     QuokkaSession::tpch(0.002, 3).expect("generate TPC-H data")
@@ -32,10 +30,7 @@ fn wal_recovers_at_every_failure_point() {
     for fraction in [0.2, 0.5, 0.8] {
         let config = EngineConfig::quokka(3).with_failure(FailureSpec::new(2, fraction));
         let outcome = session.run_with(&plan, &config).unwrap();
-        assert!(
-            same_result(&expected, &outcome.batch),
-            "diverged when failing at {fraction}"
-        );
+        assert!(same_result(&expected, &outcome.batch), "diverged when failing at {fraction}");
         assert_eq!(outcome.metrics.failures, 1);
     }
 }

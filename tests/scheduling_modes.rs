@@ -33,8 +33,7 @@ fn static_batching_still_processes_every_partition() {
     let session = session();
     let plan = quokka::tpch::query(6).unwrap();
     let reference = session.run_reference(&plan).unwrap();
-    let config =
-        EngineConfig::quokka(2).with_schedule(SchedulePolicy::StaticBatch { batch: 128 });
+    let config = EngineConfig::quokka(2).with_schedule(SchedulePolicy::StaticBatch { batch: 128 });
     let outcome = session.run_with(&plan, &config).unwrap();
     assert!(same_result(&reference, &outcome.batch));
 }
@@ -43,12 +42,8 @@ fn static_batching_still_processes_every_partition() {
 fn batch_rows_do_not_change_answers() {
     let session = session();
     let plan = quokka::tpch::query(14).unwrap();
-    let a = session
-        .run_with(&plan, &EngineConfig::quokka(3).with_batch_rows(512))
-        .unwrap();
-    let b = session
-        .run_with(&plan, &EngineConfig::quokka(3).with_batch_rows(8192))
-        .unwrap();
+    let a = session.run_with(&plan, &EngineConfig::quokka(3).with_batch_rows(512)).unwrap();
+    let b = session.run_with(&plan, &EngineConfig::quokka(3).with_batch_rows(8192)).unwrap();
     assert!(same_result(&a.batch, &b.batch));
 }
 

@@ -104,7 +104,7 @@ proptest! {
         prop_assert_eq!(total, batch.num_rows());
         // Multiset of rows is preserved.
         let mut original = canonical_rows(&batch);
-        let mut scattered: Vec<String> = pieces.iter().flat_map(|p| canonical_rows(p)).collect();
+        let mut scattered: Vec<String> = pieces.iter().flat_map(canonical_rows).collect();
         original.sort();
         scattered.sort();
         prop_assert_eq!(original, scattered);
