@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_checkpoint-638aa4176c034c34.d: crates/bench/src/bin/ablation_checkpoint.rs
+
+/root/repo/target/debug/deps/ablation_checkpoint-638aa4176c034c34: crates/bench/src/bin/ablation_checkpoint.rs
+
+crates/bench/src/bin/ablation_checkpoint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_checkpoint-67de7e60f09b80f0.d: crates/bench/src/bin/ablation_checkpoint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_checkpoint-67de7e60f09b80f0.rmeta: crates/bench/src/bin/ablation_checkpoint.rs Cargo.toml
+
+crates/bench/src/bin/ablation_checkpoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_checkpoint-b1f6df424a7b469e.d: crates/bench/src/bin/ablation_checkpoint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_checkpoint-b1f6df424a7b469e.rmeta: crates/bench/src/bin/ablation_checkpoint.rs Cargo.toml
+
+crates/bench/src/bin/ablation_checkpoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

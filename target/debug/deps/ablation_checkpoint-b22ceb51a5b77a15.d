@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_checkpoint-b22ceb51a5b77a15.d: crates/bench/src/bin/ablation_checkpoint.rs
+
+/root/repo/target/debug/deps/libablation_checkpoint-b22ceb51a5b77a15.rmeta: crates/bench/src/bin/ablation_checkpoint.rs
+
+crates/bench/src/bin/ablation_checkpoint.rs:

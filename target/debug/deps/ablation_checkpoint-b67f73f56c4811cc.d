@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_checkpoint-b67f73f56c4811cc.d: crates/bench/src/bin/ablation_checkpoint.rs
+
+/root/repo/target/debug/deps/libablation_checkpoint-b67f73f56c4811cc.rmeta: crates/bench/src/bin/ablation_checkpoint.rs
+
+crates/bench/src/bin/ablation_checkpoint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_checkpoint-fe61fbe0d7a127e4.d: crates/bench/src/bin/ablation_checkpoint.rs
+
+/root/repo/target/debug/deps/ablation_checkpoint-fe61fbe0d7a127e4: crates/bench/src/bin/ablation_checkpoint.rs
+
+crates/bench/src/bin/ablation_checkpoint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed_correctness-874f18d1066bdc52.d: tests/distributed_correctness.rs
+
+/root/repo/target/debug/deps/distributed_correctness-874f18d1066bdc52: tests/distributed_correctness.rs
+
+tests/distributed_correctness.rs:

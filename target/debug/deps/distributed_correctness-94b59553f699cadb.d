@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/distributed_correctness-94b59553f699cadb.d: tests/distributed_correctness.rs
+
+/root/repo/target/debug/deps/libdistributed_correctness-94b59553f699cadb.rmeta: tests/distributed_correctness.rs
+
+tests/distributed_correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/distributed_correctness-b727b7dfa33f0a8e.d: tests/distributed_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdistributed_correctness-b727b7dfa33f0a8e.rmeta: tests/distributed_correctness.rs Cargo.toml
+
+tests/distributed_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-0c70c6499066b244.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-0c70c6499066b244: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

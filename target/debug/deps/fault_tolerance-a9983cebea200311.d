@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-a9983cebea200311.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/libfault_tolerance-a9983cebea200311.rmeta: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-0586d2b24e58175a.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/libfig10-0586d2b24e58175a.rmeta: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-2664896ddc8a240d.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/libfig10-2664896ddc8a240d.rmeta: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

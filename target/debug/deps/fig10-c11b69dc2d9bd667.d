@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-c11b69dc2d9bd667.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-c11b69dc2d9bd667: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

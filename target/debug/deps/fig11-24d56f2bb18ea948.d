@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-24d56f2bb18ea948.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/libfig11-24d56f2bb18ea948.rmeta: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-5dce4c32a17219e0.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-5dce4c32a17219e0: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-98153d30a0ed590a.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/libfig11-98153d30a0ed590a.rmeta: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-da1727cd04a73765.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-da1727cd04a73765: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-0054e289b1589c55.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/libfig6-0054e289b1589c55.rmeta: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-ab61195dbf65c45d.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-ab61195dbf65c45d: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-c142cb58181e3627.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/libfig6-c142cb58181e3627.rmeta: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-33824d26cb549507.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-33824d26cb549507: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-3c779614ed6eb49b.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-3c779614ed6eb49b.rmeta: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-45967f5ad7f5d83d.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-45967f5ad7f5d83d: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

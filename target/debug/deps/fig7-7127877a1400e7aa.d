@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-7127877a1400e7aa.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/libfig7-7127877a1400e7aa.rmeta: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-3ec179d2001125b3.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/libfig8-3ec179d2001125b3.rmeta: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-9792a083dcb7c997.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/libfig8-9792a083dcb7c997.rmeta: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-c3cad5aa32d26dbf.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-c3cad5aa32d26dbf: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-c94fa49f8658657c.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-c94fa49f8658657c: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

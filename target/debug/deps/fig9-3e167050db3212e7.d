@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-3e167050db3212e7.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-3e167050db3212e7: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9-6ceca22a84b8d622.d: crates/bench/src/bin/fig9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9-6ceca22a84b8d622.rmeta: crates/bench/src/bin/fig9.rs Cargo.toml
+
+crates/bench/src/bin/fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-75f2cb426691adbd.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/libfig9-75f2cb426691adbd.rmeta: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-8368cc9860bcf741.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/libfig9-8368cc9860bcf741.rmeta: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

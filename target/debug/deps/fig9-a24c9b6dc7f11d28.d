@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-a24c9b6dc7f11d28.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-a24c9b6dc7f11d28: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

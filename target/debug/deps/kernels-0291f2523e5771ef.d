@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-0291f2523e5771ef.d: crates/bench/src/bin/kernels.rs
+
+/root/repo/target/debug/deps/kernels-0291f2523e5771ef: crates/bench/src/bin/kernels.rs
+
+crates/bench/src/bin/kernels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels-4d40d8085c0e647d.d: crates/bench/src/bin/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels-4d40d8085c0e647d.rmeta: crates/bench/src/bin/kernels.rs Cargo.toml
+
+crates/bench/src/bin/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

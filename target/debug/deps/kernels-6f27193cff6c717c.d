@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels-6f27193cff6c717c.d: crates/bench/src/bin/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels-6f27193cff6c717c.rmeta: crates/bench/src/bin/kernels.rs Cargo.toml
+
+crates/bench/src/bin/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

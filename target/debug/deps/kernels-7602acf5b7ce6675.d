@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-7602acf5b7ce6675.d: crates/bench/src/bin/kernels.rs
+
+/root/repo/target/debug/deps/kernels-7602acf5b7ce6675: crates/bench/src/bin/kernels.rs
+
+crates/bench/src/bin/kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-bcb873ee07256b8d.d: crates/bench/src/bin/kernels.rs
+
+/root/repo/target/debug/deps/libkernels-bcb873ee07256b8d.rmeta: crates/bench/src/bin/kernels.rs
+
+crates/bench/src/bin/kernels.rs:

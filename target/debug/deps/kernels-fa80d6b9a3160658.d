@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-fa80d6b9a3160658.d: crates/bench/src/bin/kernels.rs
+
+/root/repo/target/debug/deps/libkernels-fa80d6b9a3160658.rmeta: crates/bench/src/bin/kernels.rs
+
+crates/bench/src/bin/kernels.rs:

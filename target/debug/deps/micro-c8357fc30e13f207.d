@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro-c8357fc30e13f207.d: crates/bench/benches/micro.rs
+
+/root/repo/target/debug/deps/libmicro-c8357fc30e13f207.rmeta: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

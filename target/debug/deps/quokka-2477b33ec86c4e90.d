@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quokka-2477b33ec86c4e90.d: crates/quokka/src/lib.rs
+
+/root/repo/target/debug/deps/libquokka-2477b33ec86c4e90.rmeta: crates/quokka/src/lib.rs
+
+crates/quokka/src/lib.rs:

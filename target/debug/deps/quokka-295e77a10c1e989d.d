@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quokka-295e77a10c1e989d.d: crates/quokka/src/lib.rs
+
+/root/repo/target/debug/deps/quokka-295e77a10c1e989d: crates/quokka/src/lib.rs
+
+crates/quokka/src/lib.rs:

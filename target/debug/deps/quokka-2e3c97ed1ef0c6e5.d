@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/quokka-2e3c97ed1ef0c6e5.d: crates/quokka/src/lib.rs
+
+/root/repo/target/debug/deps/libquokka-2e3c97ed1ef0c6e5.rlib: crates/quokka/src/lib.rs
+
+/root/repo/target/debug/deps/libquokka-2e3c97ed1ef0c6e5.rmeta: crates/quokka/src/lib.rs
+
+crates/quokka/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/quokka-7fe14945dfc4ff9c.d: crates/quokka/src/lib.rs
+
+/root/repo/target/debug/deps/libquokka-7fe14945dfc4ff9c.rlib: crates/quokka/src/lib.rs
+
+/root/repo/target/debug/deps/libquokka-7fe14945dfc4ff9c.rmeta: crates/quokka/src/lib.rs
+
+crates/quokka/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quokka-bf34a0ad7a233f37.d: crates/quokka/src/lib.rs
+
+/root/repo/target/debug/deps/libquokka-bf34a0ad7a233f37.rmeta: crates/quokka/src/lib.rs
+
+crates/quokka/src/lib.rs:

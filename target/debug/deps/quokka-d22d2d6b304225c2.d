@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quokka-d22d2d6b304225c2.d: crates/quokka/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquokka-d22d2d6b304225c2.rmeta: crates/quokka/src/lib.rs Cargo.toml
+
+crates/quokka/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/quokka_batch-65fe02547fb6c906.d: crates/batch/src/lib.rs crates/batch/src/batch.rs crates/batch/src/codec.rs crates/batch/src/column.rs crates/batch/src/compute.rs crates/batch/src/datatype.rs crates/batch/src/rowkey.rs crates/batch/src/schema.rs
+
+/root/repo/target/debug/deps/libquokka_batch-65fe02547fb6c906.rlib: crates/batch/src/lib.rs crates/batch/src/batch.rs crates/batch/src/codec.rs crates/batch/src/column.rs crates/batch/src/compute.rs crates/batch/src/datatype.rs crates/batch/src/rowkey.rs crates/batch/src/schema.rs
+
+/root/repo/target/debug/deps/libquokka_batch-65fe02547fb6c906.rmeta: crates/batch/src/lib.rs crates/batch/src/batch.rs crates/batch/src/codec.rs crates/batch/src/column.rs crates/batch/src/compute.rs crates/batch/src/datatype.rs crates/batch/src/rowkey.rs crates/batch/src/schema.rs
+
+crates/batch/src/lib.rs:
+crates/batch/src/batch.rs:
+crates/batch/src/codec.rs:
+crates/batch/src/column.rs:
+crates/batch/src/compute.rs:
+crates/batch/src/datatype.rs:
+crates/batch/src/rowkey.rs:
+crates/batch/src/schema.rs:

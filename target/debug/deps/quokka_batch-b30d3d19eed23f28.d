@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/quokka_batch-b30d3d19eed23f28.d: crates/batch/src/lib.rs crates/batch/src/batch.rs crates/batch/src/codec.rs crates/batch/src/column.rs crates/batch/src/compute.rs crates/batch/src/datatype.rs crates/batch/src/rowkey.rs crates/batch/src/schema.rs
+
+/root/repo/target/debug/deps/libquokka_batch-b30d3d19eed23f28.rmeta: crates/batch/src/lib.rs crates/batch/src/batch.rs crates/batch/src/codec.rs crates/batch/src/column.rs crates/batch/src/compute.rs crates/batch/src/datatype.rs crates/batch/src/rowkey.rs crates/batch/src/schema.rs
+
+crates/batch/src/lib.rs:
+crates/batch/src/batch.rs:
+crates/batch/src/codec.rs:
+crates/batch/src/column.rs:
+crates/batch/src/compute.rs:
+crates/batch/src/datatype.rs:
+crates/batch/src/rowkey.rs:
+crates/batch/src/schema.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/quokka_batch-c20e5bf021ce2043.d: crates/batch/src/lib.rs crates/batch/src/batch.rs crates/batch/src/codec.rs crates/batch/src/column.rs crates/batch/src/compute.rs crates/batch/src/datatype.rs crates/batch/src/rowkey.rs crates/batch/src/schema.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquokka_batch-c20e5bf021ce2043.rmeta: crates/batch/src/lib.rs crates/batch/src/batch.rs crates/batch/src/codec.rs crates/batch/src/column.rs crates/batch/src/compute.rs crates/batch/src/datatype.rs crates/batch/src/rowkey.rs crates/batch/src/schema.rs Cargo.toml
+
+crates/batch/src/lib.rs:
+crates/batch/src/batch.rs:
+crates/batch/src/codec.rs:
+crates/batch/src/column.rs:
+crates/batch/src/compute.rs:
+crates/batch/src/datatype.rs:
+crates/batch/src/rowkey.rs:
+crates/batch/src/schema.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

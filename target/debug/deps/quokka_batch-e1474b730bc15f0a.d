@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/quokka_batch-e1474b730bc15f0a.d: crates/batch/src/lib.rs crates/batch/src/batch.rs crates/batch/src/codec.rs crates/batch/src/column.rs crates/batch/src/compute.rs crates/batch/src/datatype.rs crates/batch/src/rowkey.rs crates/batch/src/schema.rs
+
+/root/repo/target/debug/deps/quokka_batch-e1474b730bc15f0a: crates/batch/src/lib.rs crates/batch/src/batch.rs crates/batch/src/codec.rs crates/batch/src/column.rs crates/batch/src/compute.rs crates/batch/src/datatype.rs crates/batch/src/rowkey.rs crates/batch/src/schema.rs
+
+crates/batch/src/lib.rs:
+crates/batch/src/batch.rs:
+crates/batch/src/codec.rs:
+crates/batch/src/column.rs:
+crates/batch/src/compute.rs:
+crates/batch/src/datatype.rs:
+crates/batch/src/rowkey.rs:
+crates/batch/src/schema.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quokka_bench-0b0b0b93a8cb22e9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/quokka_bench-0b0b0b93a8cb22e9: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

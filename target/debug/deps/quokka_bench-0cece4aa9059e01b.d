@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quokka_bench-0cece4aa9059e01b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libquokka_bench-0cece4aa9059e01b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/quokka_bench-44cd8b22d4a55c07.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libquokka_bench-44cd8b22d4a55c07.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libquokka_bench-44cd8b22d4a55c07.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

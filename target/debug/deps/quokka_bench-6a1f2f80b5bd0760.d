@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/quokka_bench-6a1f2f80b5bd0760.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libquokka_bench-6a1f2f80b5bd0760.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libquokka_bench-6a1f2f80b5bd0760.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quokka_bench-d6721b2ffec1f1f9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libquokka_bench-d6721b2ffec1f1f9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

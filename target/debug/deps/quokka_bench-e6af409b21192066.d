@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quokka_bench-e6af409b21192066.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquokka_bench-e6af409b21192066.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quokka_bench-f9b7e426fd4d622f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquokka_bench-f9b7e426fd4d622f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/quokka_common-4efbc563dc849ce4.d: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/metrics.rs crates/common/src/rng.rs
+
+/root/repo/target/debug/deps/libquokka_common-4efbc563dc849ce4.rmeta: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/metrics.rs crates/common/src/rng.rs
+
+crates/common/src/lib.rs:
+crates/common/src/config.rs:
+crates/common/src/error.rs:
+crates/common/src/ids.rs:
+crates/common/src/metrics.rs:
+crates/common/src/rng.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quokka_engine-177ade71bd9e3eb0.d: crates/engine/src/lib.rs crates/engine/src/layout.rs crates/engine/src/recovery.rs crates/engine/src/runtime.rs crates/engine/src/worker.rs
+
+/root/repo/target/debug/deps/libquokka_engine-177ade71bd9e3eb0.rlib: crates/engine/src/lib.rs crates/engine/src/layout.rs crates/engine/src/recovery.rs crates/engine/src/runtime.rs crates/engine/src/worker.rs
+
+/root/repo/target/debug/deps/libquokka_engine-177ade71bd9e3eb0.rmeta: crates/engine/src/lib.rs crates/engine/src/layout.rs crates/engine/src/recovery.rs crates/engine/src/runtime.rs crates/engine/src/worker.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/layout.rs:
+crates/engine/src/recovery.rs:
+crates/engine/src/runtime.rs:
+crates/engine/src/worker.rs:

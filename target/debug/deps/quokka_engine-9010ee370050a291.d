@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/quokka_engine-9010ee370050a291.d: crates/engine/src/lib.rs crates/engine/src/layout.rs crates/engine/src/recovery.rs crates/engine/src/runtime.rs crates/engine/src/worker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquokka_engine-9010ee370050a291.rmeta: crates/engine/src/lib.rs crates/engine/src/layout.rs crates/engine/src/recovery.rs crates/engine/src/runtime.rs crates/engine/src/worker.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/layout.rs:
+crates/engine/src/recovery.rs:
+crates/engine/src/runtime.rs:
+crates/engine/src/worker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quokka_engine-906d2472f6a2d016.d: crates/engine/src/lib.rs crates/engine/src/layout.rs crates/engine/src/recovery.rs crates/engine/src/runtime.rs crates/engine/src/worker.rs
+
+/root/repo/target/debug/deps/quokka_engine-906d2472f6a2d016: crates/engine/src/lib.rs crates/engine/src/layout.rs crates/engine/src/recovery.rs crates/engine/src/runtime.rs crates/engine/src/worker.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/layout.rs:
+crates/engine/src/recovery.rs:
+crates/engine/src/runtime.rs:
+crates/engine/src/worker.rs:

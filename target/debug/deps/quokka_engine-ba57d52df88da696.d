@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quokka_engine-ba57d52df88da696.d: crates/engine/src/lib.rs crates/engine/src/layout.rs crates/engine/src/recovery.rs crates/engine/src/runtime.rs crates/engine/src/worker.rs
+
+/root/repo/target/debug/deps/libquokka_engine-ba57d52df88da696.rlib: crates/engine/src/lib.rs crates/engine/src/layout.rs crates/engine/src/recovery.rs crates/engine/src/runtime.rs crates/engine/src/worker.rs
+
+/root/repo/target/debug/deps/libquokka_engine-ba57d52df88da696.rmeta: crates/engine/src/lib.rs crates/engine/src/layout.rs crates/engine/src/recovery.rs crates/engine/src/runtime.rs crates/engine/src/worker.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/layout.rs:
+crates/engine/src/recovery.rs:
+crates/engine/src/runtime.rs:
+crates/engine/src/worker.rs:

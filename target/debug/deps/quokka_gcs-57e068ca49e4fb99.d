@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quokka_gcs-57e068ca49e4fb99.d: crates/gcs/src/lib.rs crates/gcs/src/kv.rs crates/gcs/src/tables.rs
+
+/root/repo/target/debug/deps/libquokka_gcs-57e068ca49e4fb99.rlib: crates/gcs/src/lib.rs crates/gcs/src/kv.rs crates/gcs/src/tables.rs
+
+/root/repo/target/debug/deps/libquokka_gcs-57e068ca49e4fb99.rmeta: crates/gcs/src/lib.rs crates/gcs/src/kv.rs crates/gcs/src/tables.rs
+
+crates/gcs/src/lib.rs:
+crates/gcs/src/kv.rs:
+crates/gcs/src/tables.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quokka_gcs-6475ec3fd015eab1.d: crates/gcs/src/lib.rs crates/gcs/src/kv.rs crates/gcs/src/tables.rs
+
+/root/repo/target/debug/deps/libquokka_gcs-6475ec3fd015eab1.rlib: crates/gcs/src/lib.rs crates/gcs/src/kv.rs crates/gcs/src/tables.rs
+
+/root/repo/target/debug/deps/libquokka_gcs-6475ec3fd015eab1.rmeta: crates/gcs/src/lib.rs crates/gcs/src/kv.rs crates/gcs/src/tables.rs
+
+crates/gcs/src/lib.rs:
+crates/gcs/src/kv.rs:
+crates/gcs/src/tables.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quokka_gcs-69f2924e0276e542.d: crates/gcs/src/lib.rs crates/gcs/src/kv.rs crates/gcs/src/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquokka_gcs-69f2924e0276e542.rmeta: crates/gcs/src/lib.rs crates/gcs/src/kv.rs crates/gcs/src/tables.rs Cargo.toml
+
+crates/gcs/src/lib.rs:
+crates/gcs/src/kv.rs:
+crates/gcs/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

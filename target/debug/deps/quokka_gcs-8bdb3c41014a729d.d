@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/quokka_gcs-8bdb3c41014a729d.d: crates/gcs/src/lib.rs crates/gcs/src/kv.rs crates/gcs/src/tables.rs
+
+/root/repo/target/debug/deps/quokka_gcs-8bdb3c41014a729d: crates/gcs/src/lib.rs crates/gcs/src/kv.rs crates/gcs/src/tables.rs
+
+crates/gcs/src/lib.rs:
+crates/gcs/src/kv.rs:
+crates/gcs/src/tables.rs:

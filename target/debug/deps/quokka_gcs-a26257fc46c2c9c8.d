@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/quokka_gcs-a26257fc46c2c9c8.d: crates/gcs/src/lib.rs crates/gcs/src/kv.rs crates/gcs/src/tables.rs
+
+/root/repo/target/debug/deps/libquokka_gcs-a26257fc46c2c9c8.rmeta: crates/gcs/src/lib.rs crates/gcs/src/kv.rs crates/gcs/src/tables.rs
+
+crates/gcs/src/lib.rs:
+crates/gcs/src/kv.rs:
+crates/gcs/src/tables.rs:

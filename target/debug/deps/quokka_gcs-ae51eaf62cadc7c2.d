@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/quokka_gcs-ae51eaf62cadc7c2.d: crates/gcs/src/lib.rs crates/gcs/src/kv.rs crates/gcs/src/tables.rs
+
+/root/repo/target/debug/deps/libquokka_gcs-ae51eaf62cadc7c2.rmeta: crates/gcs/src/lib.rs crates/gcs/src/kv.rs crates/gcs/src/tables.rs
+
+crates/gcs/src/lib.rs:
+crates/gcs/src/kv.rs:
+crates/gcs/src/tables.rs:

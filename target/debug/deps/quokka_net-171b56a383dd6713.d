@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/quokka_net-171b56a383dd6713.d: crates/net/src/lib.rs crates/net/src/flight.rs crates/net/src/plane.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquokka_net-171b56a383dd6713.rmeta: crates/net/src/lib.rs crates/net/src/flight.rs crates/net/src/plane.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/flight.rs:
+crates/net/src/plane.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

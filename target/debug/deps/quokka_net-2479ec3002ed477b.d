@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quokka_net-2479ec3002ed477b.d: crates/net/src/lib.rs crates/net/src/flight.rs crates/net/src/plane.rs
+
+/root/repo/target/debug/deps/libquokka_net-2479ec3002ed477b.rlib: crates/net/src/lib.rs crates/net/src/flight.rs crates/net/src/plane.rs
+
+/root/repo/target/debug/deps/libquokka_net-2479ec3002ed477b.rmeta: crates/net/src/lib.rs crates/net/src/flight.rs crates/net/src/plane.rs
+
+crates/net/src/lib.rs:
+crates/net/src/flight.rs:
+crates/net/src/plane.rs:

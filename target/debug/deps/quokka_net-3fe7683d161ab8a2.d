@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quokka_net-3fe7683d161ab8a2.d: crates/net/src/lib.rs crates/net/src/flight.rs crates/net/src/plane.rs
+
+/root/repo/target/debug/deps/libquokka_net-3fe7683d161ab8a2.rlib: crates/net/src/lib.rs crates/net/src/flight.rs crates/net/src/plane.rs
+
+/root/repo/target/debug/deps/libquokka_net-3fe7683d161ab8a2.rmeta: crates/net/src/lib.rs crates/net/src/flight.rs crates/net/src/plane.rs
+
+crates/net/src/lib.rs:
+crates/net/src/flight.rs:
+crates/net/src/plane.rs:

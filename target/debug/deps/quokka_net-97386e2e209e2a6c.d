@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/quokka_net-97386e2e209e2a6c.d: crates/net/src/lib.rs crates/net/src/flight.rs crates/net/src/plane.rs
+
+/root/repo/target/debug/deps/quokka_net-97386e2e209e2a6c: crates/net/src/lib.rs crates/net/src/flight.rs crates/net/src/plane.rs
+
+crates/net/src/lib.rs:
+crates/net/src/flight.rs:
+crates/net/src/plane.rs:

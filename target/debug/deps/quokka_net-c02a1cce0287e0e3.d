@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/quokka_net-c02a1cce0287e0e3.d: crates/net/src/lib.rs crates/net/src/flight.rs crates/net/src/plane.rs
+
+/root/repo/target/debug/deps/libquokka_net-c02a1cce0287e0e3.rmeta: crates/net/src/lib.rs crates/net/src/flight.rs crates/net/src/plane.rs
+
+crates/net/src/lib.rs:
+crates/net/src/flight.rs:
+crates/net/src/plane.rs:

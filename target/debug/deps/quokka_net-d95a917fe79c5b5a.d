@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/quokka_net-d95a917fe79c5b5a.d: crates/net/src/lib.rs crates/net/src/flight.rs crates/net/src/plane.rs
+
+/root/repo/target/debug/deps/libquokka_net-d95a917fe79c5b5a.rmeta: crates/net/src/lib.rs crates/net/src/flight.rs crates/net/src/plane.rs
+
+crates/net/src/lib.rs:
+crates/net/src/flight.rs:
+crates/net/src/plane.rs:

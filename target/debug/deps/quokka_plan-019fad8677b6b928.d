@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/quokka_plan-019fad8677b6b928.d: crates/plan/src/lib.rs crates/plan/src/aggregate.rs crates/plan/src/catalog.rs crates/plan/src/expr.rs crates/plan/src/logical.rs crates/plan/src/physical.rs crates/plan/src/reference.rs crates/plan/src/stage.rs
+
+/root/repo/target/debug/deps/libquokka_plan-019fad8677b6b928.rmeta: crates/plan/src/lib.rs crates/plan/src/aggregate.rs crates/plan/src/catalog.rs crates/plan/src/expr.rs crates/plan/src/logical.rs crates/plan/src/physical.rs crates/plan/src/reference.rs crates/plan/src/stage.rs
+
+crates/plan/src/lib.rs:
+crates/plan/src/aggregate.rs:
+crates/plan/src/catalog.rs:
+crates/plan/src/expr.rs:
+crates/plan/src/logical.rs:
+crates/plan/src/physical.rs:
+crates/plan/src/reference.rs:
+crates/plan/src/stage.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/quokka_plan-c934bbe06f2e927e.d: crates/plan/src/lib.rs crates/plan/src/aggregate.rs crates/plan/src/catalog.rs crates/plan/src/expr.rs crates/plan/src/logical.rs crates/plan/src/physical.rs crates/plan/src/reference.rs crates/plan/src/stage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquokka_plan-c934bbe06f2e927e.rmeta: crates/plan/src/lib.rs crates/plan/src/aggregate.rs crates/plan/src/catalog.rs crates/plan/src/expr.rs crates/plan/src/logical.rs crates/plan/src/physical.rs crates/plan/src/reference.rs crates/plan/src/stage.rs Cargo.toml
+
+crates/plan/src/lib.rs:
+crates/plan/src/aggregate.rs:
+crates/plan/src/catalog.rs:
+crates/plan/src/expr.rs:
+crates/plan/src/logical.rs:
+crates/plan/src/physical.rs:
+crates/plan/src/reference.rs:
+crates/plan/src/stage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/quokka_storage-d7ee3ed555310430.d: crates/storage/src/lib.rs crates/storage/src/backup.rs crates/storage/src/cost.rs crates/storage/src/durable.rs
+
+/root/repo/target/debug/deps/libquokka_storage-d7ee3ed555310430.rlib: crates/storage/src/lib.rs crates/storage/src/backup.rs crates/storage/src/cost.rs crates/storage/src/durable.rs
+
+/root/repo/target/debug/deps/libquokka_storage-d7ee3ed555310430.rmeta: crates/storage/src/lib.rs crates/storage/src/backup.rs crates/storage/src/cost.rs crates/storage/src/durable.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/backup.rs:
+crates/storage/src/cost.rs:
+crates/storage/src/durable.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/quokka_storage-d9c998243b419f84.d: crates/storage/src/lib.rs crates/storage/src/backup.rs crates/storage/src/cost.rs crates/storage/src/durable.rs
+
+/root/repo/target/debug/deps/quokka_storage-d9c998243b419f84: crates/storage/src/lib.rs crates/storage/src/backup.rs crates/storage/src/cost.rs crates/storage/src/durable.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/backup.rs:
+crates/storage/src/cost.rs:
+crates/storage/src/durable.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/quokka_storage-de5f3f947bf59299.d: crates/storage/src/lib.rs crates/storage/src/backup.rs crates/storage/src/cost.rs crates/storage/src/durable.rs
+
+/root/repo/target/debug/deps/libquokka_storage-de5f3f947bf59299.rmeta: crates/storage/src/lib.rs crates/storage/src/backup.rs crates/storage/src/cost.rs crates/storage/src/durable.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/backup.rs:
+crates/storage/src/cost.rs:
+crates/storage/src/durable.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/quokka_storage-eff2d4b06a606ec3.d: crates/storage/src/lib.rs crates/storage/src/backup.rs crates/storage/src/cost.rs crates/storage/src/durable.rs
+
+/root/repo/target/debug/deps/libquokka_storage-eff2d4b06a606ec3.rlib: crates/storage/src/lib.rs crates/storage/src/backup.rs crates/storage/src/cost.rs crates/storage/src/durable.rs
+
+/root/repo/target/debug/deps/libquokka_storage-eff2d4b06a606ec3.rmeta: crates/storage/src/lib.rs crates/storage/src/backup.rs crates/storage/src/cost.rs crates/storage/src/durable.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/backup.rs:
+crates/storage/src/cost.rs:
+crates/storage/src/durable.rs:

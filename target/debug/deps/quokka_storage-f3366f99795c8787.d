@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/quokka_storage-f3366f99795c8787.d: crates/storage/src/lib.rs crates/storage/src/backup.rs crates/storage/src/cost.rs crates/storage/src/durable.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquokka_storage-f3366f99795c8787.rmeta: crates/storage/src/lib.rs crates/storage/src/backup.rs crates/storage/src/cost.rs crates/storage/src/durable.rs Cargo.toml
+
+crates/storage/src/lib.rs:
+crates/storage/src/backup.rs:
+crates/storage/src/cost.rs:
+crates/storage/src/durable.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/quokka_tpch-8bf157472b2eb008.d: crates/tpch/src/lib.rs crates/tpch/src/generator.rs crates/tpch/src/queries/mod.rs crates/tpch/src/queries/q01_q11.rs crates/tpch/src/queries/q12_q22.rs crates/tpch/src/schema.rs
+
+/root/repo/target/debug/deps/quokka_tpch-8bf157472b2eb008: crates/tpch/src/lib.rs crates/tpch/src/generator.rs crates/tpch/src/queries/mod.rs crates/tpch/src/queries/q01_q11.rs crates/tpch/src/queries/q12_q22.rs crates/tpch/src/schema.rs
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/generator.rs:
+crates/tpch/src/queries/mod.rs:
+crates/tpch/src/queries/q01_q11.rs:
+crates/tpch/src/queries/q12_q22.rs:
+crates/tpch/src/schema.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/quokka_tpch-d9f99937396cb3e9.d: crates/tpch/src/lib.rs crates/tpch/src/generator.rs crates/tpch/src/queries/mod.rs crates/tpch/src/queries/q01_q11.rs crates/tpch/src/queries/q12_q22.rs crates/tpch/src/schema.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquokka_tpch-d9f99937396cb3e9.rmeta: crates/tpch/src/lib.rs crates/tpch/src/generator.rs crates/tpch/src/queries/mod.rs crates/tpch/src/queries/q01_q11.rs crates/tpch/src/queries/q12_q22.rs crates/tpch/src/schema.rs Cargo.toml
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/generator.rs:
+crates/tpch/src/queries/mod.rs:
+crates/tpch/src/queries/q01_q11.rs:
+crates/tpch/src/queries/q12_q22.rs:
+crates/tpch/src/schema.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

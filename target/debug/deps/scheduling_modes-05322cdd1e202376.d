@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduling_modes-05322cdd1e202376.d: tests/scheduling_modes.rs
+
+/root/repo/target/debug/deps/scheduling_modes-05322cdd1e202376: tests/scheduling_modes.rs
+
+tests/scheduling_modes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduling_modes-18be74c1bb071781.d: tests/scheduling_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduling_modes-18be74c1bb071781.rmeta: tests/scheduling_modes.rs Cargo.toml
+
+tests/scheduling_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduling_modes-4d64496d4ac2a201.d: tests/scheduling_modes.rs
+
+/root/repo/target/debug/deps/libscheduling_modes-4d64496d4ac2a201.rmeta: tests/scheduling_modes.rs
+
+tests/scheduling_modes.rs:

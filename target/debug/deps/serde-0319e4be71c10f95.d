@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-0319e4be71c10f95.d: crates/shims/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-0319e4be71c10f95.rmeta: crates/shims/serde/src/lib.rs Cargo.toml
+
+crates/shims/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-0cdc8f56223aad79.d: crates/shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-0cdc8f56223aad79: crates/shims/serde/src/lib.rs
+
+crates/shims/serde/src/lib.rs:

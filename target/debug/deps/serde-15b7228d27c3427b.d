@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-15b7228d27c3427b.d: crates/shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-15b7228d27c3427b.rmeta: crates/shims/serde/src/lib.rs
+
+crates/shims/serde/src/lib.rs:

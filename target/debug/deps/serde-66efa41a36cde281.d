@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-66efa41a36cde281.d: crates/shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-66efa41a36cde281.rmeta: crates/shims/serde/src/lib.rs
+
+crates/shims/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-d3426b73c77fbe28.d: crates/shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-d3426b73c77fbe28.rlib: crates/shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-d3426b73c77fbe28.rmeta: crates/shims/serde/src/lib.rs
+
+crates/shims/serde/src/lib.rs:

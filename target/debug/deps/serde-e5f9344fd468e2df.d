@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-e5f9344fd468e2df.d: crates/shims/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-e5f9344fd468e2df.rmeta: crates/shims/serde/src/lib.rs Cargo.toml
+
+crates/shims/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

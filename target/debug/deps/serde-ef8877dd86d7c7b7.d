@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-ef8877dd86d7c7b7.d: crates/shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-ef8877dd86d7c7b7.rlib: crates/shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-ef8877dd86d7c7b7.rmeta: crates/shims/serde/src/lib.rs
+
+crates/shims/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-0011fc274ffe1a2f.d: crates/shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-0011fc274ffe1a2f.so: crates/shims/serde_derive/src/lib.rs
+
+crates/shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-01ddbc5d492f298a.d: crates/shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-01ddbc5d492f298a.rmeta: crates/shims/serde_derive/src/lib.rs
+
+crates/shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-3b4a64a32440c919.d: crates/shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-3b4a64a32440c919: crates/shims/serde_derive/src/lib.rs
+
+crates/shims/serde_derive/src/lib.rs:

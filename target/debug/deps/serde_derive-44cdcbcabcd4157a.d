@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-44cdcbcabcd4157a.d: crates/shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-44cdcbcabcd4157a.rmeta: crates/shims/serde_derive/src/lib.rs
+
+crates/shims/serde_derive/src/lib.rs:

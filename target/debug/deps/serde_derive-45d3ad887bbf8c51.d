@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-45d3ad887bbf8c51.d: crates/shims/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-45d3ad887bbf8c51.so: crates/shims/serde_derive/src/lib.rs Cargo.toml
+
+crates/shims/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

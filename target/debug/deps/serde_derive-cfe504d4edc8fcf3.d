@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-cfe504d4edc8fcf3.d: crates/shims/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-cfe504d4edc8fcf3.rmeta: crates/shims/serde_derive/src/lib.rs Cargo.toml
+
+crates/shims/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

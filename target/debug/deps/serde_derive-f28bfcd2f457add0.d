@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-f28bfcd2f457add0.d: crates/shims/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-f28bfcd2f457add0.so: crates/shims/serde_derive/src/lib.rs
+
+crates/shims/serde_derive/src/lib.rs:

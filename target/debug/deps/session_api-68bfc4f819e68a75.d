@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session_api-68bfc4f819e68a75.d: tests/session_api.rs
+
+/root/repo/target/debug/deps/session_api-68bfc4f819e68a75: tests/session_api.rs
+
+tests/session_api.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/session_api-6a39f10c03a77b16.d: tests/session_api.rs
+
+/root/repo/target/debug/deps/libsession_api-6a39f10c03a77b16.rmeta: tests/session_api.rs
+
+tests/session_api.rs:

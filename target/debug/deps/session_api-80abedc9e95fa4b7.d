@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/session_api-80abedc9e95fa4b7.d: tests/session_api.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsession_api-80abedc9e95fa4b7.rmeta: tests/session_api.rs Cargo.toml
+
+tests/session_api.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

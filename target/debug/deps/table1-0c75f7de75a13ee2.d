@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-0c75f7de75a13ee2.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-0c75f7de75a13ee2: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

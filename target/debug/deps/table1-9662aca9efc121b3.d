@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-9662aca9efc121b3.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-9662aca9efc121b3.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

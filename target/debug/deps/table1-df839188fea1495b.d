@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-df839188fea1495b.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/libtable1-df839188fea1495b.rmeta: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

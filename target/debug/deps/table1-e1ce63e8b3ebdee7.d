@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-e1ce63e8b3ebdee7.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-e1ce63e8b3ebdee7: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

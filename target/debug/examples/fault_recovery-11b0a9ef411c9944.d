@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_recovery-11b0a9ef411c9944.d: examples/fault_recovery.rs
+
+/root/repo/target/debug/examples/fault_recovery-11b0a9ef411c9944: examples/fault_recovery.rs
+
+examples/fault_recovery.rs:

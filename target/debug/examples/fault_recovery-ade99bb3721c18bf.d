@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fault_recovery-ade99bb3721c18bf.d: examples/fault_recovery.rs
+
+/root/repo/target/debug/examples/libfault_recovery-ade99bb3721c18bf.rmeta: examples/fault_recovery.rs
+
+examples/fault_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-caa1ecccee1cdd23.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-caa1ecccee1cdd23.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d214e1ac2c22acd9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d214e1ac2c22acd9: examples/quickstart.rs
+
+examples/quickstart.rs:

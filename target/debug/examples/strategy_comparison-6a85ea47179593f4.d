@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/strategy_comparison-6a85ea47179593f4.d: examples/strategy_comparison.rs
+
+/root/repo/target/debug/examples/strategy_comparison-6a85ea47179593f4: examples/strategy_comparison.rs
+
+examples/strategy_comparison.rs:

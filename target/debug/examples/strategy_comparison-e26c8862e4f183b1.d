@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/strategy_comparison-e26c8862e4f183b1.d: examples/strategy_comparison.rs
+
+/root/repo/target/debug/examples/libstrategy_comparison-e26c8862e4f183b1.rmeta: examples/strategy_comparison.rs
+
+examples/strategy_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/strategy_comparison-f03d673381229c14.d: examples/strategy_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstrategy_comparison-f03d673381229c14.rmeta: examples/strategy_comparison.rs Cargo.toml
+
+examples/strategy_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tpch_benchmark-144eb925abcb7d9f.d: examples/tpch_benchmark.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtpch_benchmark-144eb925abcb7d9f.rmeta: examples/tpch_benchmark.rs Cargo.toml
+
+examples/tpch_benchmark.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tpch_benchmark-a9cbbad5a9e726c5.d: examples/tpch_benchmark.rs
+
+/root/repo/target/debug/examples/libtpch_benchmark-a9cbbad5a9e726c5.rmeta: examples/tpch_benchmark.rs
+
+examples/tpch_benchmark.rs:

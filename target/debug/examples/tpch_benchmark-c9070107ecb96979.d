@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tpch_benchmark-c9070107ecb96979.d: examples/tpch_benchmark.rs
+
+/root/repo/target/debug/examples/tpch_benchmark-c9070107ecb96979: examples/tpch_benchmark.rs
+
+examples/tpch_benchmark.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libserde.rlib: /root/repo/crates/shims/serde/src/lib.rs /root/repo/crates/shims/serde_derive/src/lib.rs

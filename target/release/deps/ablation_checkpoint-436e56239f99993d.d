@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_checkpoint-436e56239f99993d.d: crates/bench/src/bin/ablation_checkpoint.rs
+
+/root/repo/target/release/deps/ablation_checkpoint-436e56239f99993d: crates/bench/src/bin/ablation_checkpoint.rs
+
+crates/bench/src/bin/ablation_checkpoint.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-ea78188a04eb7fd2.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-ea78188a04eb7fd2.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-ea78188a04eb7fd2.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

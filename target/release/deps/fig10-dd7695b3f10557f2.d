@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-dd7695b3f10557f2.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-dd7695b3f10557f2: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

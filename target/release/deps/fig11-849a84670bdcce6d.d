@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-849a84670bdcce6d.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-849a84670bdcce6d: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

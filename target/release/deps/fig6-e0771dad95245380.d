@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-e0771dad95245380.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-e0771dad95245380: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

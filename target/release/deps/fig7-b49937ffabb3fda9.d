@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-b49937ffabb3fda9.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-b49937ffabb3fda9: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-bbf2fdb897a2854d.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-bbf2fdb897a2854d: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-6afe745548f5b69e.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-6afe745548f5b69e: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

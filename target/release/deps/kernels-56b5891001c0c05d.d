@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels-56b5891001c0c05d.d: crates/bench/src/bin/kernels.rs
+
+/root/repo/target/release/deps/kernels-56b5891001c0c05d: crates/bench/src/bin/kernels.rs
+
+crates/bench/src/bin/kernels.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/quokka-50495eb9715bb4d8.d: crates/quokka/src/lib.rs
+
+/root/repo/target/release/deps/libquokka-50495eb9715bb4d8.rlib: crates/quokka/src/lib.rs
+
+/root/repo/target/release/deps/libquokka-50495eb9715bb4d8.rmeta: crates/quokka/src/lib.rs
+
+crates/quokka/src/lib.rs:

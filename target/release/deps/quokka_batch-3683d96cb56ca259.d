@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/quokka_batch-3683d96cb56ca259.d: crates/batch/src/lib.rs crates/batch/src/batch.rs crates/batch/src/codec.rs crates/batch/src/column.rs crates/batch/src/compute.rs crates/batch/src/datatype.rs crates/batch/src/rowkey.rs crates/batch/src/schema.rs
+
+/root/repo/target/release/deps/libquokka_batch-3683d96cb56ca259.rlib: crates/batch/src/lib.rs crates/batch/src/batch.rs crates/batch/src/codec.rs crates/batch/src/column.rs crates/batch/src/compute.rs crates/batch/src/datatype.rs crates/batch/src/rowkey.rs crates/batch/src/schema.rs
+
+/root/repo/target/release/deps/libquokka_batch-3683d96cb56ca259.rmeta: crates/batch/src/lib.rs crates/batch/src/batch.rs crates/batch/src/codec.rs crates/batch/src/column.rs crates/batch/src/compute.rs crates/batch/src/datatype.rs crates/batch/src/rowkey.rs crates/batch/src/schema.rs
+
+crates/batch/src/lib.rs:
+crates/batch/src/batch.rs:
+crates/batch/src/codec.rs:
+crates/batch/src/column.rs:
+crates/batch/src/compute.rs:
+crates/batch/src/datatype.rs:
+crates/batch/src/rowkey.rs:
+crates/batch/src/schema.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/quokka_bench-853bcf86a78dd9e4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libquokka_bench-853bcf86a78dd9e4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libquokka_bench-853bcf86a78dd9e4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/quokka_common-32e8888d958f2e5d.d: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/metrics.rs crates/common/src/rng.rs
+
+/root/repo/target/release/deps/libquokka_common-32e8888d958f2e5d.rlib: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/metrics.rs crates/common/src/rng.rs
+
+/root/repo/target/release/deps/libquokka_common-32e8888d958f2e5d.rmeta: crates/common/src/lib.rs crates/common/src/config.rs crates/common/src/error.rs crates/common/src/ids.rs crates/common/src/metrics.rs crates/common/src/rng.rs
+
+crates/common/src/lib.rs:
+crates/common/src/config.rs:
+crates/common/src/error.rs:
+crates/common/src/ids.rs:
+crates/common/src/metrics.rs:
+crates/common/src/rng.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/quokka_engine-7fffbf0e634f0774.d: crates/engine/src/lib.rs crates/engine/src/layout.rs crates/engine/src/recovery.rs crates/engine/src/runtime.rs crates/engine/src/worker.rs
+
+/root/repo/target/release/deps/libquokka_engine-7fffbf0e634f0774.rlib: crates/engine/src/lib.rs crates/engine/src/layout.rs crates/engine/src/recovery.rs crates/engine/src/runtime.rs crates/engine/src/worker.rs
+
+/root/repo/target/release/deps/libquokka_engine-7fffbf0e634f0774.rmeta: crates/engine/src/lib.rs crates/engine/src/layout.rs crates/engine/src/recovery.rs crates/engine/src/runtime.rs crates/engine/src/worker.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/layout.rs:
+crates/engine/src/recovery.rs:
+crates/engine/src/runtime.rs:
+crates/engine/src/worker.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/quokka_gcs-9ab17a4d4861539a.d: crates/gcs/src/lib.rs crates/gcs/src/kv.rs crates/gcs/src/tables.rs
+
+/root/repo/target/release/deps/libquokka_gcs-9ab17a4d4861539a.rlib: crates/gcs/src/lib.rs crates/gcs/src/kv.rs crates/gcs/src/tables.rs
+
+/root/repo/target/release/deps/libquokka_gcs-9ab17a4d4861539a.rmeta: crates/gcs/src/lib.rs crates/gcs/src/kv.rs crates/gcs/src/tables.rs
+
+crates/gcs/src/lib.rs:
+crates/gcs/src/kv.rs:
+crates/gcs/src/tables.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/quokka_net-e4c1e689752b9fe6.d: crates/net/src/lib.rs crates/net/src/flight.rs crates/net/src/plane.rs
+
+/root/repo/target/release/deps/libquokka_net-e4c1e689752b9fe6.rlib: crates/net/src/lib.rs crates/net/src/flight.rs crates/net/src/plane.rs
+
+/root/repo/target/release/deps/libquokka_net-e4c1e689752b9fe6.rmeta: crates/net/src/lib.rs crates/net/src/flight.rs crates/net/src/plane.rs
+
+crates/net/src/lib.rs:
+crates/net/src/flight.rs:
+crates/net/src/plane.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/quokka_plan-e8756f32d7bd371a.d: crates/plan/src/lib.rs crates/plan/src/aggregate.rs crates/plan/src/catalog.rs crates/plan/src/expr.rs crates/plan/src/logical.rs crates/plan/src/physical.rs crates/plan/src/reference.rs crates/plan/src/stage.rs
+
+/root/repo/target/release/deps/libquokka_plan-e8756f32d7bd371a.rlib: crates/plan/src/lib.rs crates/plan/src/aggregate.rs crates/plan/src/catalog.rs crates/plan/src/expr.rs crates/plan/src/logical.rs crates/plan/src/physical.rs crates/plan/src/reference.rs crates/plan/src/stage.rs
+
+/root/repo/target/release/deps/libquokka_plan-e8756f32d7bd371a.rmeta: crates/plan/src/lib.rs crates/plan/src/aggregate.rs crates/plan/src/catalog.rs crates/plan/src/expr.rs crates/plan/src/logical.rs crates/plan/src/physical.rs crates/plan/src/reference.rs crates/plan/src/stage.rs
+
+crates/plan/src/lib.rs:
+crates/plan/src/aggregate.rs:
+crates/plan/src/catalog.rs:
+crates/plan/src/expr.rs:
+crates/plan/src/logical.rs:
+crates/plan/src/physical.rs:
+crates/plan/src/reference.rs:
+crates/plan/src/stage.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/quokka_storage-50fceb8e7edc6776.d: crates/storage/src/lib.rs crates/storage/src/backup.rs crates/storage/src/cost.rs crates/storage/src/durable.rs
+
+/root/repo/target/release/deps/libquokka_storage-50fceb8e7edc6776.rlib: crates/storage/src/lib.rs crates/storage/src/backup.rs crates/storage/src/cost.rs crates/storage/src/durable.rs
+
+/root/repo/target/release/deps/libquokka_storage-50fceb8e7edc6776.rmeta: crates/storage/src/lib.rs crates/storage/src/backup.rs crates/storage/src/cost.rs crates/storage/src/durable.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/backup.rs:
+crates/storage/src/cost.rs:
+crates/storage/src/durable.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/quokka_tpch-9ebc38fae89a534d.d: crates/tpch/src/lib.rs crates/tpch/src/generator.rs crates/tpch/src/queries/mod.rs crates/tpch/src/queries/q01_q11.rs crates/tpch/src/queries/q12_q22.rs crates/tpch/src/schema.rs
+
+/root/repo/target/release/deps/libquokka_tpch-9ebc38fae89a534d.rlib: crates/tpch/src/lib.rs crates/tpch/src/generator.rs crates/tpch/src/queries/mod.rs crates/tpch/src/queries/q01_q11.rs crates/tpch/src/queries/q12_q22.rs crates/tpch/src/schema.rs
+
+/root/repo/target/release/deps/libquokka_tpch-9ebc38fae89a534d.rmeta: crates/tpch/src/lib.rs crates/tpch/src/generator.rs crates/tpch/src/queries/mod.rs crates/tpch/src/queries/q01_q11.rs crates/tpch/src/queries/q12_q22.rs crates/tpch/src/schema.rs
+
+crates/tpch/src/lib.rs:
+crates/tpch/src/generator.rs:
+crates/tpch/src/queries/mod.rs:
+crates/tpch/src/queries/q01_q11.rs:
+crates/tpch/src/queries/q12_q22.rs:
+crates/tpch/src/schema.rs:

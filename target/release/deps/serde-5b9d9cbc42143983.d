@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-5b9d9cbc42143983.d: crates/shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-5b9d9cbc42143983.rlib: crates/shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-5b9d9cbc42143983.rmeta: crates/shims/serde/src/lib.rs
+
+crates/shims/serde/src/lib.rs:

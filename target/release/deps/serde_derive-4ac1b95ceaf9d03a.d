@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-4ac1b95ceaf9d03a.d: crates/shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-4ac1b95ceaf9d03a.so: crates/shims/serde_derive/src/lib.rs
+
+crates/shims/serde_derive/src/lib.rs:

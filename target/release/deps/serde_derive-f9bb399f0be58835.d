@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-f9bb399f0be58835.d: crates/shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-f9bb399f0be58835.so: crates/shims/serde_derive/src/lib.rs
+
+crates/shims/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-184399eb1fad9847.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-184399eb1fad9847: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/fault_recovery-6e94866f14905705.d: examples/fault_recovery.rs
+
+/root/repo/target/release/examples/fault_recovery-6e94866f14905705: examples/fault_recovery.rs
+
+examples/fault_recovery.rs:

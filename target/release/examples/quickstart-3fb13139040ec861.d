@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-3fb13139040ec861.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-3fb13139040ec861: examples/quickstart.rs
+
+examples/quickstart.rs:
