@@ -185,7 +185,7 @@ pub fn like_match(value: &str, pattern: &str) -> bool {
 /// The list is folded into a typed `HashSet` once, so the per-row cost is a
 /// single hash probe instead of a `total_cmp` scan of the whole list.
 /// Int64/Float64 list items coerce against numeric columns through the same
-/// [`rowkey::canonical_i64`] rule the hash operators use, and items of a
+/// [`crate::rowkey::canonical_i64`] rule the hash operators use, and items of a
 /// non-coercible type simply never match. (Like the key encoding, integers
 /// beyond 2^53 compare exactly rather than through `total_cmp`'s lossy
 /// f64 coercion.)

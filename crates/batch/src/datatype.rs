@@ -168,17 +168,44 @@ fn is_leap(year: i64) -> bool {
     (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
 }
 
+/// Parse `YYYY-MM-DD` into days since the Unix epoch (1970-01-01),
+/// returning `None` on malformed input: wrong structure, a month or day
+/// out of range for the calendar, or a year outside `1..=9999` (the
+/// year-by-year epoch conversion and the `i32` day representation do not
+/// support more).
+pub fn try_parse_date(s: &str) -> Option<i32> {
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 3 {
+        return None;
+    }
+    // Components must be plain digit runs (i64::from_str would accept a
+    // leading '+', silently misreading typos like '1994-+1-01').
+    if parts.iter().any(|p| p.is_empty() || !p.bytes().all(|b| b.is_ascii_digit())) {
+        return None;
+    }
+    let year: i64 = parts[0].parse().ok()?;
+    let month: i64 = parts[1].parse().ok()?;
+    let day: i64 = parts[2].parse().ok()?;
+    if !(1..=9999).contains(&year) || !(1..=12).contains(&month) {
+        return None;
+    }
+    let mut max_day = DAYS_IN_MONTH[(month - 1) as usize];
+    if month == 2 && is_leap(year) {
+        max_day += 1;
+    }
+    if !(1..=max_day).contains(&day) {
+        return None;
+    }
+    Some(date_to_days(year, month, day))
+}
+
 /// Parse `YYYY-MM-DD` into days since the Unix epoch (1970-01-01).
 ///
 /// Panics on malformed input: dates in this codebase are compile-time
-/// constants inside query definitions and the TPC-H generator.
+/// constants inside query definitions and the TPC-H generator. User-facing
+/// input goes through [`try_parse_date`] instead.
 pub fn parse_date(s: &str) -> i32 {
-    let bytes: Vec<&str> = s.split('-').collect();
-    assert_eq!(bytes.len(), 3, "malformed date literal: {s}");
-    let year: i64 = bytes[0].parse().expect("year");
-    let month: i64 = bytes[1].parse().expect("month");
-    let day: i64 = bytes[2].parse().expect("day");
-    date_to_days(year, month, day)
+    try_parse_date(s).unwrap_or_else(|| panic!("malformed date literal: {s}"))
 }
 
 /// Convert a (year, month, day) triple to days since the Unix epoch.

@@ -6,7 +6,7 @@
 //! * [`ids`] — the `(stage, channel, sequence-number)` naming scheme the
 //!   paper uses for tasks and their output partitions (§III-A of the paper),
 //!   plus worker identifiers.
-//! * [`error`] — the unified [`QuokkaError`](error::QuokkaError) type and
+//! * [`error`] — the unified [`QuokkaError`] type and
 //!   `Result` alias.
 //! * [`config`] — cluster, engine, cost-model and failure-injection
 //!   configuration.

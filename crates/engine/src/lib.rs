@@ -20,7 +20,7 @@
 //! * [`recovery`] — the coordinator side: failure detection, fault
 //!   injection, and the Algorithm 2 reconciliation that rewinds lost
 //!   channels and schedules replays.
-//! * [`runtime`] — [`QueryRunner`](runtime::QueryRunner): wires the GCS,
+//! * [`runtime`] — [`QueryRunner`]: wires the GCS,
 //!   data plane, storage and threads together, runs one query under an
 //!   [`EngineConfig`](quokka_common::EngineConfig), and returns the result
 //!   batch plus [`QueryMetrics`](quokka_common::QueryMetrics).

@@ -15,7 +15,7 @@
 //! * [`stage`] — compilation of a logical plan into a DAG of pipeline
 //!   stages with hash-partitioned shuffles between them; this is the "stage
 //!   / channel" structure that tasks are named after.
-//! * [`reference`] — a single-threaded row-oriented executor used as a
+//! * [`mod@reference`] — a single-threaded row-oriented executor used as a
 //!   correctness oracle for the distributed engine and as the
 //!   "restart-from-scratch" baseline runtime.
 //! * [`catalog`] — the table-provider abstraction shared by the reference

@@ -21,6 +21,7 @@ pub use quokka_engine as engine;
 pub use quokka_gcs as gcs;
 pub use quokka_net as net;
 pub use quokka_plan as plan;
+pub use quokka_sql as sql;
 pub use quokka_storage as storage;
 pub use quokka_tpch as tpch;
 
@@ -32,6 +33,7 @@ pub use quokka_common::{
 pub use quokka_engine::{QueryOutcome, QueryRunner};
 pub use quokka_plan::logical::{JoinType, LogicalPlan, PlanBuilder};
 pub use quokka_plan::reference::{canonical_rows, same_result, ReferenceExecutor};
+pub use quokka_sql::SqlError;
 pub use quokka_tpch::TpchGenerator;
 
 use quokka_plan::catalog::{Catalog, MemoryCatalog};
@@ -104,6 +106,74 @@ impl QuokkaSession {
     /// correctness oracle / restart baseline).
     pub fn run_reference(&self, plan: &LogicalPlan) -> Result<Batch> {
         ReferenceExecutor::new(self.catalog.as_ref()).execute(plan)
+    }
+
+    /// Parse and bind a SQL `SELECT` statement against the session's
+    /// catalog, returning a [`QueryHandle`] that can be executed on the
+    /// simulated cluster or the reference executor.
+    ///
+    /// Malformed SQL returns a positioned error (line and column of the
+    /// offending token) rather than panicking:
+    ///
+    /// ```
+    /// use quokka::{EngineConfig, QuokkaSession};
+    ///
+    /// let session = QuokkaSession::tpch(0.002, 2).unwrap();
+    /// let handle = session
+    ///     .sql("SELECT count(*) AS orders FROM orders WHERE o_orderdate >= DATE '1995-01-01'")
+    ///     .unwrap();
+    /// let outcome = handle.collect().unwrap();
+    /// assert_eq!(outcome.batch.schema().column_names(), vec!["orders"]);
+    ///
+    /// let err = session.sql("SELECT o_orderkey FROM oders").unwrap_err();
+    /// assert!(err.to_string().contains("line 1"));
+    /// ```
+    pub fn sql(&self, query: &str) -> Result<QueryHandle<'_>> {
+        let plan = quokka_sql::plan_query(query, self.catalog.as_ref())?;
+        Ok(QueryHandle { session: self, plan })
+    }
+}
+
+/// A bound SQL query attached to its session, ready to execute.
+///
+/// Produced by [`QuokkaSession::sql`]; the plan has already been parsed,
+/// name-resolved, and type-checked, so the remaining failure modes are
+/// runtime ones (fault injection, storage errors).
+pub struct QueryHandle<'a> {
+    session: &'a QuokkaSession,
+    plan: LogicalPlan,
+}
+
+impl std::fmt::Debug for QueryHandle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryHandle").field("plan", &self.plan).finish_non_exhaustive()
+    }
+}
+
+impl QueryHandle<'_> {
+    /// The bound logical plan.
+    pub fn plan(&self) -> &LogicalPlan {
+        &self.plan
+    }
+
+    /// An EXPLAIN-style rendering of the plan.
+    pub fn explain(&self) -> String {
+        self.plan.display_indent()
+    }
+
+    /// Execute on the simulated cluster with the session's configuration.
+    pub fn collect(&self) -> Result<QueryOutcome> {
+        self.session.run(&self.plan)
+    }
+
+    /// Execute under an explicit engine configuration.
+    pub fn collect_with(&self, config: &EngineConfig) -> Result<QueryOutcome> {
+        self.session.run_with(&self.plan, config)
+    }
+
+    /// Execute on the single-threaded reference executor.
+    pub fn collect_reference(&self) -> Result<Batch> {
+        self.session.run_reference(&self.plan)
     }
 }
 

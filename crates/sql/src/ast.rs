@@ -1,0 +1,157 @@
+//! The typed SQL abstract syntax tree produced by the parser.
+//!
+//! Every expression node carries the [`Pos`] of its first token so the
+//! binder can report name-resolution and type errors against the original
+//! SQL text.
+
+use crate::error::Pos;
+use quokka_batch::DataType;
+
+/// Binary operators, covering arithmetic, comparison, and boolean logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    And,
+    Or,
+}
+
+/// A scalar SQL expression with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlExpr {
+    pub kind: ExprKind,
+    pub pos: Pos,
+}
+
+impl SqlExpr {
+    pub fn new(kind: ExprKind, pos: Pos) -> Self {
+        SqlExpr { kind, pos }
+    }
+}
+
+/// The expression node kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// `column` or `table.column`.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    /// `DATE 'YYYY-MM-DD'`, already validated and converted to days since
+    /// the Unix epoch.
+    Date(i32),
+    Binary {
+        op: BinOp,
+        left: Box<SqlExpr>,
+        right: Box<SqlExpr>,
+    },
+    Not(Box<SqlExpr>),
+    /// `expr [NOT] LIKE 'pattern'`.
+    Like {
+        expr: Box<SqlExpr>,
+        pattern: String,
+        negated: bool,
+    },
+    /// `expr [NOT] IN (item, ...)` — items must bind to literals.
+    InList {
+        expr: Box<SqlExpr>,
+        items: Vec<SqlExpr>,
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high` — bounds must bind to literals.
+    Between {
+        expr: Box<SqlExpr>,
+        low: Box<SqlExpr>,
+        high: Box<SqlExpr>,
+        negated: bool,
+    },
+    /// Searched `CASE WHEN cond THEN value ... ELSE otherwise END`.
+    Case {
+        branches: Vec<(SqlExpr, SqlExpr)>,
+        else_expr: Box<SqlExpr>,
+    },
+    /// Function call: aggregates (`sum`, `avg`, `min`, `max`, `count`) and
+    /// scalar functions (`substr`). `star` is set for `COUNT(*)`.
+    Function {
+        name: String,
+        distinct: bool,
+        star: bool,
+        args: Vec<SqlExpr>,
+    },
+    /// `EXTRACT(YEAR FROM expr)`.
+    ExtractYear(Box<SqlExpr>),
+    /// `SUBSTRING(expr FROM start FOR len)` with 1-based start.
+    Substring {
+        expr: Box<SqlExpr>,
+        start: usize,
+        len: usize,
+    },
+    /// `CAST(expr AS type)`.
+    Cast {
+        expr: Box<SqlExpr>,
+        to: DataType,
+    },
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `SELECT *` (only valid as the sole item).
+    Wildcard,
+    /// An expression with an optional `AS alias`.
+    Expr { expr: SqlExpr, alias: Option<String> },
+}
+
+/// A table in the FROM clause: `name [AS alias]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+    pub pos: Pos,
+}
+
+impl TableRef {
+    /// The name the table's columns are qualified by.
+    pub fn binding_name(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// `[INNER] JOIN table ON condition`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub table: TableRef,
+    pub on: SqlExpr,
+}
+
+/// One ORDER BY key: an output column reference plus direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    pub expr: SqlExpr,
+    pub ascending: bool,
+}
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    pub items: Vec<SelectItem>,
+    pub from: TableRef,
+    pub joins: Vec<Join>,
+    pub selection: Option<SqlExpr>,
+    pub group_by: Vec<SqlExpr>,
+    pub having: Option<SqlExpr>,
+    pub order_by: Vec<OrderByItem>,
+    pub limit: Option<usize>,
+}

@@ -1,0 +1,1631 @@
+//! Name resolution, type checking, and lowering to [`LogicalPlan`].
+//!
+//! The binder walks a parsed [`SelectStatement`] and produces the same
+//! `LogicalPlan` shapes the hand-written TPC-H plans use:
+//!
+//! * `FROM a JOIN b ON ...` becomes a left-deep chain of inner hash joins,
+//!   with the accumulated side as the build input (matching the
+//!   `PlanBuilder::join` convention).
+//! * `WHERE` becomes a `Filter` above the join tree.
+//! * Aggregate calls in the SELECT list and `HAVING` are extracted into an
+//!   `Aggregate` node; arithmetic over aggregates (e.g. `sum(a) / sum(b)`)
+//!   is rewritten to a projection over the aggregate's output, and hidden
+//!   aggregate columns (named `__agg_N`) are projected away again.
+//! * `ORDER BY` + `LIMIT` become `Sort { limit }` (top-k); `LIMIT` alone
+//!   becomes `Limit`.
+//!
+//! All errors are positioned [`SqlError`]s; unknown names include a
+//! "did you mean" suggestion when a close match exists.
+
+use crate::ast::*;
+use crate::error::{Pos, SqlError};
+use crate::parser::validate_date;
+use quokka_batch::datatype::{DataType, ScalarValue};
+use quokka_batch::Schema;
+use quokka_plan::aggregate::{AggExpr, AggFunc};
+use quokka_plan::catalog::Catalog;
+use quokka_plan::expr::{ArithOpKind, CmpOpKind, Expr};
+use quokka_plan::logical::{JoinType, LogicalPlan};
+
+/// Bind `stmt` against `catalog` and lower it to a logical plan.
+pub fn bind_statement(
+    stmt: &SelectStatement,
+    catalog: &dyn Catalog,
+) -> Result<LogicalPlan, SqlError> {
+    Binder { catalog }.bind(stmt)
+}
+
+struct Binder<'a> {
+    catalog: &'a dyn Catalog,
+}
+
+/// The tables visible to expression binding, in join order.
+struct Scope {
+    /// `(binding name, table schema)` — the binding name is the alias if one
+    /// was given, else the table name.
+    tables: Vec<(String, Schema)>,
+    /// The flattened row schema (all table schemas concatenated).
+    flat: Schema,
+}
+
+impl Scope {
+    fn new(binding: String, schema: Schema) -> Self {
+        Scope { flat: schema.clone(), tables: vec![(binding, schema)] }
+    }
+
+    /// A scope over an intermediate result (e.g. an aggregate's output),
+    /// where columns have no table qualifier.
+    fn anonymous(schema: Schema) -> Self {
+        Scope { flat: schema.clone(), tables: vec![(String::new(), schema)] }
+    }
+
+    fn push(&mut self, binding: String, schema: Schema) {
+        self.flat = self.flat.join(&schema);
+        self.tables.push((binding, schema));
+    }
+
+    /// All column names in scope (for suggestions).
+    fn all_columns(&self) -> Vec<String> {
+        self.flat.column_names().iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Validate a column reference; on success the flat column name is the
+    /// SQL name itself (the engine's namespace is flat).
+    ///
+    /// The ambiguity branches below are currently unreachable — `bind_from`
+    /// rejects joins that would duplicate a column name — but they are the
+    /// resolution rules self-join/alias support will need when that guard
+    /// is relaxed (see ROADMAP open items), so they stay.
+    fn resolve(&self, qualifier: Option<&str>, name: &str, pos: Pos) -> Result<String, SqlError> {
+        let occurrences =
+            self.tables.iter().filter(|(_, schema)| schema.index_of(name).is_ok()).count();
+        match qualifier {
+            Some(q) => {
+                let (_, schema) = self.tables.iter().find(|(b, _)| b == q).ok_or_else(|| {
+                    let known: Vec<&str> = self.tables.iter().map(|(b, _)| b.as_str()).collect();
+                    SqlError::bind(
+                        pos,
+                        format!("unknown table or alias '{q}' (in scope: {})", known.join(", ")),
+                    )
+                })?;
+                if schema.index_of(name).is_err() {
+                    return Err(SqlError::bind(
+                        pos,
+                        format!(
+                            "table '{q}' has no column '{name}'{}",
+                            suggest(name, schema.column_names())
+                        ),
+                    ));
+                }
+                if occurrences > 1 {
+                    return Err(SqlError::bind(
+                        pos,
+                        format!(
+                            "column '{name}' exists in more than one table; the engine's \
+                             namespace is flat, so duplicated names cannot be disambiguated"
+                        ),
+                    ));
+                }
+                Ok(name.to_string())
+            }
+            None => match occurrences {
+                0 => Err(SqlError::bind(
+                    pos,
+                    format!("unknown column '{name}'{}", suggest(name, self.flat.column_names())),
+                )),
+                1 => Ok(name.to_string()),
+                _ => {
+                    let tables: Vec<&str> = self
+                        .tables
+                        .iter()
+                        .filter(|(_, s)| s.index_of(name).is_ok())
+                        .map(|(b, _)| b.as_str())
+                        .collect();
+                    Err(SqlError::bind(
+                        pos,
+                        format!("column '{name}' is ambiguous (in {})", tables.join(" and ")),
+                    ))
+                }
+            },
+        }
+    }
+}
+
+/// `(did you mean 'x'?)` when a close match exists, else empty.
+fn suggest(name: &str, candidates: Vec<&str>) -> String {
+    let best = candidates
+        .into_iter()
+        .map(|c| (levenshtein(name, c), c))
+        .filter(|(d, _)| *d <= 2)
+        .min_by_key(|(d, _)| *d);
+    match best {
+        Some((_, c)) => format!(" (did you mean '{c}'?)"),
+        None => String::new(),
+    }
+}
+
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+/// The aggregate function named by a call, if it is one.
+fn agg_func_of(name: &str, distinct: bool, pos: Pos) -> Result<Option<AggFunc>, SqlError> {
+    let func = match name {
+        "sum" => AggFunc::Sum,
+        "avg" => AggFunc::Avg,
+        "min" => AggFunc::Min,
+        "max" => AggFunc::Max,
+        "count" => {
+            if distinct {
+                return Ok(Some(AggFunc::CountDistinct));
+            }
+            AggFunc::Count
+        }
+        _ => return Ok(None),
+    };
+    if distinct {
+        return Err(SqlError::bind(pos, "DISTINCT is only supported with COUNT"));
+    }
+    Ok(Some(func))
+}
+
+/// Does this expression contain an aggregate function call?
+fn contains_aggregate(e: &SqlExpr) -> bool {
+    match &e.kind {
+        ExprKind::Function { name, .. } => {
+            matches!(name.as_str(), "sum" | "avg" | "min" | "max" | "count")
+        }
+        ExprKind::Column { .. }
+        | ExprKind::Int(_)
+        | ExprKind::Float(_)
+        | ExprKind::Str(_)
+        | ExprKind::Bool(_)
+        | ExprKind::Date(_) => false,
+        ExprKind::Binary { left, right, .. } => {
+            contains_aggregate(left) || contains_aggregate(right)
+        }
+        ExprKind::Not(inner) => contains_aggregate(inner),
+        ExprKind::Like { expr, .. } => contains_aggregate(expr),
+        ExprKind::InList { expr, items, .. } => {
+            contains_aggregate(expr) || items.iter().any(contains_aggregate)
+        }
+        ExprKind::Between { expr, low, high, .. } => {
+            contains_aggregate(expr) || contains_aggregate(low) || contains_aggregate(high)
+        }
+        ExprKind::Case { branches, else_expr } => {
+            branches.iter().any(|(c, v)| contains_aggregate(c) || contains_aggregate(v))
+                || contains_aggregate(else_expr)
+        }
+        ExprKind::ExtractYear(inner) => contains_aggregate(inner),
+        ExprKind::Substring { expr, .. } => contains_aggregate(expr),
+        ExprKind::Cast { expr, .. } => contains_aggregate(expr),
+    }
+}
+
+/// The scalar value of a literal expression, if it is one.
+fn literal_scalar(e: &SqlExpr) -> Option<ScalarValue> {
+    match &e.kind {
+        ExprKind::Int(v) => Some(ScalarValue::Int64(*v)),
+        ExprKind::Float(v) => Some(ScalarValue::Float64(*v)),
+        ExprKind::Str(s) => Some(ScalarValue::Utf8(s.clone())),
+        ExprKind::Bool(b) => Some(ScalarValue::Bool(*b)),
+        ExprKind::Date(d) => Some(ScalarValue::Date(*d)),
+        _ => None,
+    }
+}
+
+/// Coerce a literal toward the type of the expression it is compared with:
+/// integers widen to floats, and date-formatted strings become dates.
+fn coerce_literal(value: ScalarValue, target: DataType, pos: Pos) -> Result<ScalarValue, SqlError> {
+    let got = value.data_type();
+    if got == target {
+        return Ok(value);
+    }
+    match (&value, target) {
+        (ScalarValue::Int64(v), DataType::Float64) => Ok(ScalarValue::Float64(*v as f64)),
+        (ScalarValue::Float64(_), DataType::Int64) => Ok(value), // kernels compare via f64
+        (ScalarValue::Utf8(s), DataType::Date) => match validate_date(s) {
+            Some(days) => Ok(ScalarValue::Date(days)),
+            None => Err(SqlError::bind(
+                pos,
+                format!("'{s}' is not a valid date literal (expected 'YYYY-MM-DD')"),
+            )),
+        },
+        _ => Err(SqlError::bind(
+            pos,
+            format!("type mismatch: {got} literal used where {target} is expected"),
+        )),
+    }
+}
+
+impl Binder<'_> {
+    fn bind(&self, stmt: &SelectStatement) -> Result<LogicalPlan, SqlError> {
+        let (mut plan, scope) = self.bind_from(stmt)?;
+
+        // WHERE
+        if let Some(selection) = &stmt.selection {
+            if contains_aggregate(selection) {
+                return Err(SqlError::bind(
+                    selection.pos,
+                    "aggregate functions are not allowed in WHERE; use HAVING",
+                ));
+            }
+            let predicate = self.bind_scalar(&scope, selection)?;
+            self.expect_bool(&predicate, &scope, selection.pos, "WHERE predicate")?;
+            plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+        }
+
+        let has_aggregates = !stmt.group_by.is_empty()
+            || stmt.items.iter().any(|item| match item {
+                SelectItem::Expr { expr, .. } => contains_aggregate(expr),
+                SelectItem::Wildcard => false,
+            })
+            || stmt.having.as_ref().is_some_and(contains_aggregate);
+
+        let mut plan = if has_aggregates {
+            self.bind_aggregate_query(stmt, plan, &scope)?
+        } else {
+            if let Some(having) = &stmt.having {
+                return Err(SqlError::bind(
+                    having.pos,
+                    "HAVING requires GROUP BY or an aggregate in the SELECT list",
+                ));
+            }
+            self.bind_plain_select(stmt, plan, &scope)?
+        };
+
+        // ORDER BY / LIMIT
+        let output = self.schema_of(&plan)?;
+        if !stmt.order_by.is_empty() {
+            let mut keys = Vec::new();
+            for item in &stmt.order_by {
+                let name = match &item.expr.kind {
+                    ExprKind::Column { qualifier: None, name } => name.clone(),
+                    ExprKind::Column { qualifier: Some(q), .. } => {
+                        return Err(SqlError::bind(
+                            item.expr.pos,
+                            format!(
+                                "ORDER BY references output columns; drop the '{q}.' qualifier"
+                            ),
+                        ))
+                    }
+                    // `ORDER BY 2` — 1-based position in the output.
+                    ExprKind::Int(n) => {
+                        match usize::try_from(*n).ok().filter(|i| (1..=output.len()).contains(i)) {
+                            Some(i) => output.column_names()[i - 1].to_string(),
+                            None => {
+                                return Err(SqlError::bind(
+                                    item.expr.pos,
+                                    format!(
+                                        "ORDER BY position {n} is not in the select list \
+                                     (it has {} columns)",
+                                        output.len()
+                                    ),
+                                ))
+                            }
+                        }
+                    }
+                    _ => {
+                        return Err(SqlError::bind(
+                            item.expr.pos,
+                            "ORDER BY supports output column names only; \
+                             give the expression an alias in the SELECT list and sort by that",
+                        ))
+                    }
+                };
+                if output.index_of(&name).is_err() {
+                    return Err(SqlError::bind(
+                        item.expr.pos,
+                        format!(
+                            "ORDER BY column '{name}' is not in the output{}",
+                            suggest(&name, output.column_names())
+                        ),
+                    ));
+                }
+                keys.push((name, item.ascending));
+            }
+            plan = LogicalPlan::Sort { input: Box::new(plan), keys, limit: stmt.limit };
+        } else if let Some(n) = stmt.limit {
+            plan = LogicalPlan::Limit { input: Box::new(plan), n };
+        }
+
+        // Belt and braces: the plan must type-check end to end.
+        self.schema_of(&plan)?;
+        Ok(plan)
+    }
+
+    fn schema_of(&self, plan: &LogicalPlan) -> Result<Schema, SqlError> {
+        plan.schema().map_err(|e| SqlError::bind(Pos::new(1, 1), format!("invalid plan: {e}")))
+    }
+
+    /// FROM + JOINs → left-deep inner-join tree and the resulting scope.
+    fn bind_from(&self, stmt: &SelectStatement) -> Result<(LogicalPlan, Scope), SqlError> {
+        let schema = self.table_schema(&stmt.from)?;
+        let mut scope = Scope::new(stmt.from.binding_name().to_string(), schema.clone());
+        let mut plan = LogicalPlan::Scan { table: stmt.from.name.clone(), schema };
+
+        for join in &stmt.joins {
+            let binding = join.table.binding_name().to_string();
+            if scope.tables.iter().any(|(b, _)| *b == binding) {
+                return Err(SqlError::bind(
+                    join.table.pos,
+                    format!(
+                        "duplicate table name or alias '{binding}'; self-joins need distinct \
+                         aliases, which this frontend does not support yet"
+                    ),
+                ));
+            }
+            let schema = self.table_schema(&join.table)?;
+            // The engine's join output namespace is flat; a duplicated
+            // column name would make every later name-based lookup silently
+            // resolve to the first occurrence.
+            if let Some(dup) =
+                schema.column_names().into_iter().find(|n| scope.flat.index_of(n).is_ok())
+            {
+                return Err(SqlError::bind(
+                    join.table.pos,
+                    format!(
+                        "joining '{binding}' would duplicate column '{dup}'; the engine's \
+                         namespace is flat, so joined tables must have distinct column names"
+                    ),
+                ));
+            }
+            let on = self.bind_join_on(&scope, &binding, &schema, &join.on)?;
+            plan = LogicalPlan::Join {
+                build: Box::new(plan),
+                probe: Box::new(LogicalPlan::Scan {
+                    table: join.table.name.clone(),
+                    schema: schema.clone(),
+                }),
+                on,
+                join_type: JoinType::Inner,
+            };
+            scope.push(binding, schema);
+        }
+        Ok((plan, scope))
+    }
+
+    fn table_schema(&self, table: &TableRef) -> Result<Schema, SqlError> {
+        self.catalog.table_schema(&table.name).map_err(|_| {
+            let names = self.catalog.table_names();
+            SqlError::bind(
+                table.pos,
+                format!(
+                    "unknown table '{}'{}",
+                    table.name,
+                    suggest(&table.name, names.iter().map(String::as_str).collect())
+                ),
+            )
+        })
+    }
+
+    /// Lower `ON a = b AND c = d ...` into equi-join key pairs
+    /// `(build column, probe column)`.
+    fn bind_join_on(
+        &self,
+        scope: &Scope,
+        new_binding: &str,
+        new_schema: &Schema,
+        on: &SqlExpr,
+    ) -> Result<Vec<(String, String)>, SqlError> {
+        let mut conjuncts = Vec::new();
+        collect_conjuncts(on, &mut conjuncts);
+        let mut pairs = Vec::new();
+        for conjunct in conjuncts {
+            let (left, right) = match &conjunct.kind {
+                ExprKind::Binary { op: BinOp::Eq, left, right } => (left, right),
+                _ => {
+                    return Err(SqlError::bind(
+                        conjunct.pos,
+                        "JOIN ON supports conjunctions of column equalities \
+                         (put other predicates in WHERE)",
+                    ))
+                }
+            };
+            let left_side = self.join_side(scope, new_binding, new_schema, left)?;
+            let right_side = self.join_side(scope, new_binding, new_schema, right)?;
+            let (build, probe) = match (left_side, right_side) {
+                (JoinSide::Build(b), JoinSide::Probe(p)) => (b, p),
+                (JoinSide::Probe(p), JoinSide::Build(b)) => (b, p),
+                (JoinSide::Build(_), JoinSide::Build(_)) => {
+                    return Err(SqlError::bind(
+                        conjunct.pos,
+                        format!(
+                            "both sides of this equality come from tables already joined; \
+                             the condition must relate '{new_binding}' to the preceding tables"
+                        ),
+                    ))
+                }
+                (JoinSide::Probe(_), JoinSide::Probe(_)) => {
+                    return Err(SqlError::bind(
+                        conjunct.pos,
+                        format!(
+                            "both sides of this equality come from '{new_binding}'; \
+                             the condition must relate it to the preceding tables"
+                        ),
+                    ))
+                }
+            };
+            let build_type = scope.flat.data_type(&build).expect("resolved build key");
+            let probe_type = new_schema.data_type(&probe).expect("resolved probe key");
+            if build_type != probe_type {
+                return Err(SqlError::bind(
+                    conjunct.pos,
+                    format!(
+                        "join key type mismatch: '{build}' is {build_type} but \
+                         '{probe}' is {probe_type}"
+                    ),
+                ));
+            }
+            pairs.push((build, probe));
+        }
+        Ok(pairs)
+    }
+
+    /// Which side of the join a column reference belongs to.
+    fn join_side(
+        &self,
+        scope: &Scope,
+        new_binding: &str,
+        new_schema: &Schema,
+        e: &SqlExpr,
+    ) -> Result<JoinSide, SqlError> {
+        let (qualifier, name) = match &e.kind {
+            ExprKind::Column { qualifier, name } => (qualifier.as_deref(), name),
+            _ => {
+                return Err(SqlError::bind(e.pos, "JOIN ON equalities must compare plain columns"))
+            }
+        };
+        if let Some(q) = qualifier {
+            if q == new_binding {
+                if new_schema.index_of(name).is_err() {
+                    return Err(SqlError::bind(
+                        e.pos,
+                        format!(
+                            "table '{q}' has no column '{name}'{}",
+                            suggest(name, new_schema.column_names())
+                        ),
+                    ));
+                }
+                return Ok(JoinSide::Probe(name.clone()));
+            }
+            scope.resolve(qualifier, name, e.pos)?;
+            return Ok(JoinSide::Build(name.clone()));
+        }
+        let in_new = new_schema.index_of(name).is_ok();
+        let in_old = scope.tables.iter().any(|(_, s)| s.index_of(name).is_ok());
+        match (in_old, in_new) {
+            (true, false) => Ok(JoinSide::Build(name.clone())),
+            (false, true) => Ok(JoinSide::Probe(name.clone())),
+            (true, true) => Err(SqlError::bind(
+                e.pos,
+                format!("column '{name}' exists on both sides of the join; qualify it"),
+            )),
+            (false, false) => {
+                let mut all = scope.all_columns();
+                all.extend(new_schema.column_names().iter().map(|s| s.to_string()));
+                Err(SqlError::bind(
+                    e.pos,
+                    format!(
+                        "unknown column '{name}'{}",
+                        suggest(name, all.iter().map(String::as_str).collect())
+                    ),
+                ))
+            }
+        }
+    }
+
+    /// SELECT list without aggregates → optional Project.
+    fn bind_plain_select(
+        &self,
+        stmt: &SelectStatement,
+        plan: LogicalPlan,
+        scope: &Scope,
+    ) -> Result<LogicalPlan, SqlError> {
+        if stmt.items.len() == 1 && stmt.items[0] == SelectItem::Wildcard {
+            return Ok(plan);
+        }
+        let mut exprs = Vec::new();
+        for (i, item) in stmt.items.iter().enumerate() {
+            let (expr, alias) = match item {
+                SelectItem::Wildcard => {
+                    return Err(SqlError::bind(
+                        Pos::new(1, 1),
+                        "'*' must be the only item in the SELECT list",
+                    ))
+                }
+                SelectItem::Expr { expr, alias } => (expr, alias),
+            };
+            let bound = self.bind_scalar(scope, expr)?;
+            self.type_of(&bound, &scope.flat, expr.pos)?;
+            exprs.push((bound, output_name(expr, alias.as_deref(), i)));
+        }
+        check_unique_names(&exprs)?;
+        Ok(LogicalPlan::Project { input: Box::new(plan), exprs })
+    }
+
+    /// SELECT with GROUP BY / aggregates → Aggregate [+ Filter] [+ Project].
+    fn bind_aggregate_query(
+        &self,
+        stmt: &SelectStatement,
+        plan: LogicalPlan,
+        scope: &Scope,
+    ) -> Result<LogicalPlan, SqlError> {
+        // Every user-visible output name; synthesized group/aggregate
+        // column names must avoid these, or name-based resolution over the
+        // aggregate's output would silently pick the wrong column.
+        let reserved: std::collections::BTreeSet<String> = stmt
+            .items
+            .iter()
+            .enumerate()
+            .filter_map(|(i, item)| match item {
+                SelectItem::Expr { expr, alias } => Some(output_name(expr, alias.as_deref(), i)),
+                SelectItem::Wildcard => None,
+            })
+            .collect();
+
+        // 1. Bind the GROUP BY keys against the pre-aggregate scope.
+        let mut groups: Vec<(Expr, String)> = Vec::new();
+        for (i, g) in stmt.group_by.iter().enumerate() {
+            let (bound, name) = self.bind_group_key(stmt, scope, g, i, &reserved, &groups)?;
+            // `GROUP BY a, a` (or `GROUP BY a, 1` naming the same column)
+            // is legal SQL; repeated keys add nothing to the grouping.
+            if !groups.iter().any(|(existing, _)| *existing == bound) {
+                groups.push((bound, name));
+            }
+        }
+
+        // 2. Extract aggregate calls from SELECT and HAVING, rewriting both
+        //    into expressions over the aggregate's output columns.
+        let mut extraction = Extraction { aggs: Vec::new(), hidden: 0, reserved };
+        let mut rewritten_items: Vec<(SqlExpr, String)> = Vec::new();
+        for (i, item) in stmt.items.iter().enumerate() {
+            let (expr, alias) = match item {
+                SelectItem::Wildcard => {
+                    return Err(SqlError::bind(
+                        Pos::new(1, 1),
+                        "SELECT * cannot be combined with GROUP BY or aggregates",
+                    ))
+                }
+                SelectItem::Expr { expr, alias } => (expr, alias),
+            };
+            let name = output_name(expr, alias.as_deref(), i);
+            let top_level_alias = if matches!(expr.kind, ExprKind::Function { .. }) {
+                Some(name.as_str())
+            } else {
+                None
+            };
+            let rewritten = self.rewrite_over_aggregate(
+                scope,
+                &groups,
+                &mut extraction,
+                expr,
+                top_level_alias,
+            )?;
+            rewritten_items.push((rewritten, name));
+        }
+        let rewritten_having = match &stmt.having {
+            Some(having) => {
+                Some(self.rewrite_over_aggregate(scope, &groups, &mut extraction, having, None)?)
+            }
+            None => None,
+        };
+        if extraction.aggs.is_empty() && groups.is_empty() {
+            return Err(SqlError::bind(
+                Pos::new(1, 1),
+                "internal: aggregate query without aggregates",
+            ));
+        }
+
+        // 3. Build the Aggregate node and a scope over its output. Its
+        //    column namespace must be duplicate-free: resolution by name
+        //    would otherwise silently read the first occurrence.
+        let mut seen = std::collections::BTreeSet::new();
+        for name in groups.iter().map(|(_, n)| n).chain(extraction.aggs.iter().map(|a| &a.alias)) {
+            if !seen.insert(name.clone()) {
+                return Err(SqlError::bind(
+                    Pos::new(1, 1),
+                    format!(
+                        "duplicate column '{name}' in the aggregate output \
+                         (a GROUP BY key and an aggregate share the name); \
+                         disambiguate with AS aliases"
+                    ),
+                ));
+            }
+        }
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(plan),
+            group_by: groups.clone(),
+            aggregates: extraction.aggs.clone(),
+        };
+        let agg_schema = self.schema_of(&plan)?;
+        let agg_scope = Scope::anonymous(agg_schema.clone());
+
+        // 4. HAVING → Filter over the aggregate output.
+        let mut plan = plan;
+        if let Some(rewritten) = &rewritten_having {
+            let predicate = self.bind_scalar(&agg_scope, rewritten)?;
+            self.expect_bool(&predicate, &agg_scope, rewritten.pos, "HAVING predicate")?;
+            plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
+        }
+
+        // 5. Final projection to the SELECT order/names, dropping hidden
+        //    aggregate columns — skipped when it would be an exact identity.
+        let mut exprs = Vec::new();
+        for (rewritten, name) in &rewritten_items {
+            let bound = self.bind_scalar(&agg_scope, rewritten)?;
+            self.type_of(&bound, &agg_scope.flat, rewritten.pos)?;
+            exprs.push((bound, name.clone()));
+        }
+        check_unique_names(&exprs)?;
+        let identity = exprs.len() == agg_schema.len()
+            && exprs
+                .iter()
+                .zip(agg_schema.column_names())
+                .all(|((e, name), field)| name == field && *e == Expr::Column(field.to_string()));
+        if !identity {
+            plan = LogicalPlan::Project { input: Box::new(plan), exprs };
+        }
+        Ok(plan)
+    }
+
+    /// One GROUP BY key: a column, a SELECT alias, or an expression that
+    /// also appears in the SELECT list (which then names the key).
+    fn bind_group_key(
+        &self,
+        stmt: &SelectStatement,
+        scope: &Scope,
+        g: &SqlExpr,
+        index: usize,
+        reserved: &std::collections::BTreeSet<String>,
+        taken: &[(Expr, String)],
+    ) -> Result<(Expr, String), SqlError> {
+        if contains_aggregate(g) {
+            return Err(SqlError::bind(g.pos, "GROUP BY cannot contain aggregate functions"));
+        }
+        // `GROUP BY 1` — 1-based position in the SELECT list. Other
+        // literals would silently group the whole input into one bucket, so
+        // they are rejected.
+        if let ExprKind::Int(n) = g.kind {
+            let item = usize::try_from(n)
+                .ok()
+                .filter(|i| (1..=stmt.items.len()).contains(i))
+                .map(|i| (&stmt.items[i - 1], i - 1));
+            let (expr, alias, i) = match item {
+                Some((SelectItem::Expr { expr, alias }, i)) => (expr, alias, i),
+                _ => {
+                    return Err(SqlError::bind(
+                        g.pos,
+                        format!(
+                            "GROUP BY position {n} is not in the select list \
+                             (it has {} items)",
+                            stmt.items.len()
+                        ),
+                    ))
+                }
+            };
+            if contains_aggregate(expr) {
+                return Err(SqlError::bind(
+                    g.pos,
+                    format!("GROUP BY position {n} refers to an aggregate"),
+                ));
+            }
+            let bound = self.bind_scalar(scope, expr)?;
+            return Ok((bound, output_name(expr, alias.as_deref(), i)));
+        }
+        if literal_scalar(g).is_some() {
+            return Err(SqlError::bind(
+                g.pos,
+                "GROUP BY requires a column, alias, position, or expression, not a literal",
+            ));
+        }
+        // A bare identifier that is not a column may name a SELECT alias
+        // (e.g. `SELECT extract(year from d) AS y ... GROUP BY y`).
+        if let ExprKind::Column { qualifier: None, name } = &g.kind {
+            let is_column = scope.tables.iter().any(|(_, s)| s.index_of(name).is_ok());
+            if !is_column {
+                if let Some(expr) = find_alias(stmt, name) {
+                    if contains_aggregate(expr) {
+                        return Err(SqlError::bind(
+                            g.pos,
+                            format!("GROUP BY alias '{name}' refers to an aggregate"),
+                        ));
+                    }
+                    let bound = self.bind_scalar(scope, expr)?;
+                    return Ok((bound, name.clone()));
+                }
+            }
+        }
+        let bound = self.bind_scalar(scope, g)?;
+        // Name the key after the column, the matching SELECT alias, or a
+        // synthesized fallback.
+        let name = match &g.kind {
+            ExprKind::Column { name, .. } => name.clone(),
+            _ => stmt
+                .items
+                .iter()
+                .enumerate()
+                .find_map(|(i, item)| match item {
+                    SelectItem::Expr { expr, alias } if !contains_aggregate(expr) => {
+                        let candidate = self.bind_scalar(scope, expr).ok()?;
+                        (candidate == bound).then(|| output_name(expr, alias.as_deref(), i))
+                    }
+                    _ => None,
+                })
+                .unwrap_or_else(|| {
+                    // Synthesized fallback; skip past user aliases and
+                    // earlier keys so the name cannot shadow (or be
+                    // shadowed by) another output column.
+                    let mut n = index;
+                    loop {
+                        let candidate = format!("group_{n}");
+                        if !reserved.contains(&candidate)
+                            && !taken.iter().any(|(_, name)| *name == candidate)
+                        {
+                            break candidate;
+                        }
+                        n += 1;
+                    }
+                }),
+        };
+        Ok((bound, name))
+    }
+
+    /// Rewrite a SELECT/HAVING expression into one over the aggregate's
+    /// output: aggregate calls become references to (possibly new) aggregate
+    /// columns, group expressions become references to their key columns.
+    fn rewrite_over_aggregate(
+        &self,
+        scope: &Scope,
+        groups: &[(Expr, String)],
+        extraction: &mut Extraction,
+        e: &SqlExpr,
+        top_level_alias: Option<&str>,
+    ) -> Result<SqlExpr, SqlError> {
+        // An aggregate call: extract it.
+        if let ExprKind::Function { name, distinct, star, args } = &e.kind {
+            if let Some(func) = agg_func_of(name, *distinct, e.pos)? {
+                let input = if *star {
+                    if func != AggFunc::Count {
+                        return Err(SqlError::bind(
+                            e.pos,
+                            format!("'*' argument is only valid for COUNT, not {name}"),
+                        ));
+                    }
+                    Expr::Literal(ScalarValue::Int64(1))
+                } else {
+                    if args.len() != 1 {
+                        return Err(SqlError::bind(
+                            e.pos,
+                            format!("{name} takes exactly one argument, got {}", args.len()),
+                        ));
+                    }
+                    if contains_aggregate(&args[0]) {
+                        return Err(SqlError::bind(
+                            args[0].pos,
+                            "aggregate calls cannot be nested",
+                        ));
+                    }
+                    let bound = self.bind_scalar(scope, &args[0])?;
+                    let input_type = self.type_of(&bound, &scope.flat, args[0].pos)?;
+                    if matches!(func, AggFunc::Sum | AggFunc::Avg) && !input_type.is_numeric() {
+                        return Err(SqlError::bind(
+                            args[0].pos,
+                            format!(
+                                "{} requires a numeric argument, got {input_type}",
+                                name.to_uppercase()
+                            ),
+                        ));
+                    }
+                    bound
+                };
+                let alias = extraction.intern(func, input, top_level_alias);
+                return Ok(SqlExpr::new(ExprKind::Column { qualifier: None, name: alias }, e.pos));
+            }
+        }
+
+        // No aggregate inside: either it is a group key (replace with its
+        // output column) or we keep descending.
+        if !contains_aggregate(e) {
+            if literal_scalar(e).is_some() {
+                return Ok(e.clone());
+            }
+            let bound = self.bind_scalar(scope, e)?;
+            if let Some((_, name)) = groups.iter().find(|(expr, _)| *expr == bound) {
+                return Ok(SqlExpr::new(
+                    ExprKind::Column { qualifier: None, name: name.clone() },
+                    e.pos,
+                ));
+            }
+            if let ExprKind::Column { name, .. } = &e.kind {
+                return Err(SqlError::bind(
+                    e.pos,
+                    format!("column '{name}' must appear in GROUP BY or be used in an aggregate"),
+                ));
+            }
+        }
+
+        // Composite node: rewrite children.
+        let kind = match &e.kind {
+            ExprKind::Binary { op, left, right } => ExprKind::Binary {
+                op: *op,
+                left: Box::new(self.rewrite_over_aggregate(scope, groups, extraction, left, None)?),
+                right: Box::new(
+                    self.rewrite_over_aggregate(scope, groups, extraction, right, None)?,
+                ),
+            },
+            ExprKind::Not(inner) => ExprKind::Not(Box::new(
+                self.rewrite_over_aggregate(scope, groups, extraction, inner, None)?,
+            )),
+            ExprKind::Like { expr, pattern, negated } => ExprKind::Like {
+                expr: Box::new(self.rewrite_over_aggregate(scope, groups, extraction, expr, None)?),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            ExprKind::InList { expr, items, negated } => ExprKind::InList {
+                expr: Box::new(self.rewrite_over_aggregate(scope, groups, extraction, expr, None)?),
+                items: items.clone(),
+                negated: *negated,
+            },
+            ExprKind::Between { expr, low, high, negated } => ExprKind::Between {
+                expr: Box::new(self.rewrite_over_aggregate(scope, groups, extraction, expr, None)?),
+                low: low.clone(),
+                high: high.clone(),
+                negated: *negated,
+            },
+            ExprKind::Case { branches, else_expr } => {
+                let mut rewritten = Vec::new();
+                for (cond, value) in branches {
+                    rewritten.push((
+                        self.rewrite_over_aggregate(scope, groups, extraction, cond, None)?,
+                        self.rewrite_over_aggregate(scope, groups, extraction, value, None)?,
+                    ));
+                }
+                ExprKind::Case {
+                    branches: rewritten,
+                    else_expr: Box::new(
+                        self.rewrite_over_aggregate(scope, groups, extraction, else_expr, None)?,
+                    ),
+                }
+            }
+            ExprKind::ExtractYear(inner) => ExprKind::ExtractYear(Box::new(
+                self.rewrite_over_aggregate(scope, groups, extraction, inner, None)?,
+            )),
+            ExprKind::Substring { expr, start, len } => ExprKind::Substring {
+                expr: Box::new(self.rewrite_over_aggregate(scope, groups, extraction, expr, None)?),
+                start: *start,
+                len: *len,
+            },
+            ExprKind::Cast { expr, to } => ExprKind::Cast {
+                expr: Box::new(self.rewrite_over_aggregate(scope, groups, extraction, expr, None)?),
+                to: *to,
+            },
+            // Literals were returned above; a bare column either matched a
+            // group key or errored; functions were handled first.
+            other => other.clone(),
+        };
+        Ok(SqlExpr::new(kind, e.pos))
+    }
+
+    // -- scalar expression binding -----------------------------------------
+
+    fn type_of(&self, e: &Expr, schema: &Schema, pos: Pos) -> Result<DataType, SqlError> {
+        e.data_type(schema).map_err(|err| SqlError::bind(pos, err.to_string()))
+    }
+
+    fn expect_bool(&self, e: &Expr, scope: &Scope, pos: Pos, what: &str) -> Result<(), SqlError> {
+        let t = self.type_of(e, &scope.flat, pos)?;
+        if t != DataType::Bool {
+            return Err(SqlError::bind(pos, format!("{what} has type {t}, expected Bool")));
+        }
+        Ok(())
+    }
+
+    /// Bind a scalar (aggregate-free) expression against `scope`.
+    fn bind_scalar(&self, scope: &Scope, e: &SqlExpr) -> Result<Expr, SqlError> {
+        match &e.kind {
+            ExprKind::Column { qualifier, name } => {
+                let resolved = scope.resolve(qualifier.as_deref(), name, e.pos)?;
+                Ok(Expr::Column(resolved))
+            }
+            ExprKind::Int(v) => Ok(Expr::Literal(ScalarValue::Int64(*v))),
+            ExprKind::Float(v) => Ok(Expr::Literal(ScalarValue::Float64(*v))),
+            ExprKind::Str(s) => Ok(Expr::Literal(ScalarValue::Utf8(s.clone()))),
+            ExprKind::Bool(b) => Ok(Expr::Literal(ScalarValue::Bool(*b))),
+            ExprKind::Date(d) => Ok(Expr::Literal(ScalarValue::Date(*d))),
+            ExprKind::Binary { op, left, right } => self.bind_binary(scope, e, *op, left, right),
+            ExprKind::Not(inner) => {
+                let bound = self.bind_scalar(scope, inner)?;
+                self.expect_bool(&bound, scope, inner.pos, "NOT operand")?;
+                Ok(Expr::Not(Box::new(bound)))
+            }
+            ExprKind::Like { expr, pattern, negated } => {
+                let bound = self.bind_scalar(scope, expr)?;
+                let t = self.type_of(&bound, &scope.flat, expr.pos)?;
+                if t != DataType::Utf8 {
+                    return Err(SqlError::bind(
+                        expr.pos,
+                        format!("LIKE requires a string expression, got {t}"),
+                    ));
+                }
+                Ok(Expr::Like {
+                    expr: Box::new(bound),
+                    pattern: pattern.clone(),
+                    negated: *negated,
+                })
+            }
+            ExprKind::InList { expr, items, negated } => {
+                let bound = self.bind_scalar(scope, expr)?;
+                let t = self.type_of(&bound, &scope.flat, expr.pos)?;
+                let mut list = Vec::new();
+                for item in items {
+                    let value = literal_scalar(item).ok_or_else(|| {
+                        SqlError::bind(item.pos, "IN list items must be literals")
+                    })?;
+                    list.push(coerce_literal(value, t, item.pos)?);
+                }
+                Ok(Expr::InList { expr: Box::new(bound), list, negated: *negated })
+            }
+            ExprKind::Between { expr, low, high, negated } => {
+                let bound = self.bind_scalar(scope, expr)?;
+                let t = self.type_of(&bound, &scope.flat, expr.pos)?;
+                let low_value = literal_scalar(low)
+                    .ok_or_else(|| SqlError::bind(low.pos, "BETWEEN bounds must be literals"))?;
+                let high_value = literal_scalar(high)
+                    .ok_or_else(|| SqlError::bind(high.pos, "BETWEEN bounds must be literals"))?;
+                let between = Expr::Between {
+                    expr: Box::new(bound),
+                    low: coerce_literal(low_value, t, low.pos)?,
+                    high: coerce_literal(high_value, t, high.pos)?,
+                };
+                Ok(if *negated { Expr::Not(Box::new(between)) } else { between })
+            }
+            ExprKind::Case { branches, else_expr } => {
+                let mut bound_branches = Vec::new();
+                let mut branch_types = Vec::new();
+                for (cond, value) in branches {
+                    let bound_cond = self.bind_scalar(scope, cond)?;
+                    self.expect_bool(&bound_cond, scope, cond.pos, "CASE WHEN condition")?;
+                    let bound_value = self.bind_scalar(scope, value)?;
+                    branch_types
+                        .push((self.type_of(&bound_value, &scope.flat, value.pos)?, value.pos));
+                    bound_branches.push((bound_cond, bound_value));
+                }
+                let bound_else = self.bind_scalar(scope, else_expr)?;
+                branch_types
+                    .push((self.type_of(&bound_else, &scope.flat, else_expr.pos)?, else_expr.pos));
+                let (first, _) = branch_types[0];
+                for (t, pos) in &branch_types[1..] {
+                    let compatible = *t == first || (t.is_numeric() && first.is_numeric());
+                    if !compatible {
+                        return Err(SqlError::bind(
+                            *pos,
+                            format!("CASE branches have incompatible types {first} and {t}"),
+                        ));
+                    }
+                }
+                Ok(Expr::Case { branches: bound_branches, otherwise: Box::new(bound_else) })
+            }
+            ExprKind::Function { name, .. } => {
+                if agg_func_of(name, false, e.pos)?.is_some() {
+                    return Err(SqlError::bind(
+                        e.pos,
+                        format!("aggregate function '{name}' is not allowed here"),
+                    ));
+                }
+                Err(SqlError::bind(
+                    e.pos,
+                    format!(
+                        "unknown function '{name}' (supported: sum, avg, min, max, count, \
+                         substr, extract(year from ...), cast)"
+                    ),
+                ))
+            }
+            ExprKind::ExtractYear(inner) => {
+                let bound = self.bind_scalar(scope, inner)?;
+                let t = self.type_of(&bound, &scope.flat, inner.pos)?;
+                if t != DataType::Date {
+                    return Err(SqlError::bind(
+                        inner.pos,
+                        format!("EXTRACT(YEAR FROM ...) requires a Date expression, got {t}"),
+                    ));
+                }
+                Ok(Expr::Year(Box::new(bound)))
+            }
+            ExprKind::Substring { expr, start, len } => {
+                let bound = self.bind_scalar(scope, expr)?;
+                let t = self.type_of(&bound, &scope.flat, expr.pos)?;
+                if t != DataType::Utf8 {
+                    return Err(SqlError::bind(
+                        expr.pos,
+                        format!("SUBSTRING requires a string expression, got {t}"),
+                    ));
+                }
+                Ok(Expr::Substr { expr: Box::new(bound), start: *start, len: *len })
+            }
+            ExprKind::Cast { expr, to } => {
+                let bound = self.bind_scalar(scope, expr)?;
+                let from = self.type_of(&bound, &scope.flat, expr.pos)?;
+                // Mirror the combinations compute::cast implements, so an
+                // infeasible cast is a positioned bind error instead of a
+                // runtime failure.
+                let castable = from == *to
+                    || matches!(
+                        (from, *to),
+                        (DataType::Int64, DataType::Float64)
+                            | (DataType::Float64, DataType::Int64)
+                            | (DataType::Date, DataType::Int64)
+                            | (DataType::Int64, DataType::Date)
+                    );
+                if !castable {
+                    return Err(SqlError::bind(
+                        e.pos,
+                        format!(
+                            "unsupported cast {from} -> {to} \
+                             (supported: BIGINT <-> DOUBLE, DATE <-> BIGINT)"
+                        ),
+                    ));
+                }
+                Ok(Expr::Cast { expr: Box::new(bound), to: *to })
+            }
+        }
+    }
+
+    fn bind_binary(
+        &self,
+        scope: &Scope,
+        e: &SqlExpr,
+        op: BinOp,
+        left: &SqlExpr,
+        right: &SqlExpr,
+    ) -> Result<Expr, SqlError> {
+        match op {
+            BinOp::And | BinOp::Or => {
+                let l = self.bind_scalar(scope, left)?;
+                let r = self.bind_scalar(scope, right)?;
+                let side = if op == BinOp::And { "AND" } else { "OR" };
+                self.expect_bool(&l, scope, left.pos, side)?;
+                self.expect_bool(&r, scope, right.pos, side)?;
+                Ok(if op == BinOp::And {
+                    Expr::And(Box::new(l), Box::new(r))
+                } else {
+                    Expr::Or(Box::new(l), Box::new(r))
+                })
+            }
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                let l = self.bind_scalar(scope, left)?;
+                let r = self.bind_scalar(scope, right)?;
+                let lt = self.type_of(&l, &scope.flat, left.pos)?;
+                let rt = self.type_of(&r, &scope.flat, right.pos)?;
+                if !lt.is_numeric() || !rt.is_numeric() {
+                    return Err(SqlError::bind(
+                        e.pos,
+                        format!("arithmetic requires numeric operands, got {lt} and {rt}"),
+                    ));
+                }
+                let kind = match op {
+                    BinOp::Add => ArithOpKind::Add,
+                    BinOp::Sub => ArithOpKind::Sub,
+                    BinOp::Mul => ArithOpKind::Mul,
+                    _ => ArithOpKind::Div,
+                };
+                Ok(Expr::Arith { op: kind, left: Box::new(l), right: Box::new(r) })
+            }
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                let l = self.bind_scalar(scope, left)?;
+                let r = self.bind_scalar(scope, right)?;
+                let lt = self.type_of(&l, &scope.flat, left.pos)?;
+                let rt = self.type_of(&r, &scope.flat, right.pos)?;
+                // A date column compared against a string literal: re-read
+                // the literal as a date.
+                let (l, lt) = coerce_cmp_side(l, lt, rt, left.pos)?;
+                let (r, rt) = coerce_cmp_side(r, rt, lt, right.pos)?;
+                let comparable = lt == rt || (lt.is_numeric() && rt.is_numeric());
+                if !comparable {
+                    return Err(SqlError::bind(e.pos, format!("cannot compare {lt} with {rt}")));
+                }
+                let kind = match op {
+                    BinOp::Eq => CmpOpKind::Eq,
+                    BinOp::NotEq => CmpOpKind::NotEq,
+                    BinOp::Lt => CmpOpKind::Lt,
+                    BinOp::LtEq => CmpOpKind::LtEq,
+                    BinOp::Gt => CmpOpKind::Gt,
+                    _ => CmpOpKind::GtEq,
+                };
+                Ok(Expr::Cmp { op: kind, left: Box::new(l), right: Box::new(r) })
+            }
+        }
+    }
+}
+
+/// Literal-side coercion for comparisons: a Utf8 literal facing a Date
+/// expression becomes a Date literal.
+fn coerce_cmp_side(
+    e: Expr,
+    t: DataType,
+    other: DataType,
+    pos: Pos,
+) -> Result<(Expr, DataType), SqlError> {
+    if t == DataType::Utf8 && other == DataType::Date {
+        if let Expr::Literal(ScalarValue::Utf8(s)) = &e {
+            return match validate_date(s) {
+                Some(days) => Ok((Expr::Literal(ScalarValue::Date(days)), DataType::Date)),
+                None => Err(SqlError::bind(
+                    pos,
+                    format!("'{s}' is not a valid date literal (expected 'YYYY-MM-DD')"),
+                )),
+            };
+        }
+    }
+    Ok((e, t))
+}
+
+enum JoinSide {
+    /// Column of the accumulated (build) side.
+    Build(String),
+    /// Column of the table being joined in (probe side).
+    Probe(String),
+}
+
+/// The aggregate columns collected while rewriting SELECT/HAVING.
+struct Extraction {
+    aggs: Vec<AggExpr>,
+    hidden: usize,
+    /// User-visible output names the synthesized `__agg_N` aliases must
+    /// avoid (a collision would make name-based resolution over the
+    /// aggregate output silently read the wrong column).
+    reserved: std::collections::BTreeSet<String>,
+}
+
+impl Extraction {
+    /// Reuse an existing aggregate column for `(func, input)` or create one.
+    /// `preferred_alias` is the SELECT alias when the aggregate call is a
+    /// whole select item; hidden aggregates get `__agg_N` names and are
+    /// projected away at the end.
+    fn intern(&mut self, func: AggFunc, input: Expr, preferred_alias: Option<&str>) -> String {
+        if let Some(existing) = self.aggs.iter().find(|a| a.func == func && a.expr == input) {
+            return existing.alias.clone();
+        }
+        let alias = match preferred_alias {
+            Some(a) => a.to_string(),
+            None => loop {
+                let candidate = format!("__agg_{}", self.hidden);
+                self.hidden += 1;
+                if !self.reserved.contains(&candidate) {
+                    break candidate;
+                }
+            },
+        };
+        self.aggs.push(AggExpr::new(func, input, alias.clone()));
+        alias
+    }
+}
+
+/// `expr AND expr AND ...` → flat conjunct list.
+fn collect_conjuncts<'e>(e: &'e SqlExpr, out: &mut Vec<&'e SqlExpr>) {
+    match &e.kind {
+        ExprKind::Binary { op: BinOp::And, left, right } => {
+            collect_conjuncts(left, out);
+            collect_conjuncts(right, out);
+        }
+        _ => out.push(e),
+    }
+}
+
+/// The SELECT expression behind `alias`, if any item carries that alias.
+fn find_alias<'s>(stmt: &'s SelectStatement, alias: &str) -> Option<&'s SqlExpr> {
+    stmt.items.iter().find_map(|item| match item {
+        SelectItem::Expr { expr, alias: Some(a) } if a == alias => Some(expr),
+        _ => None,
+    })
+}
+
+/// Output column name for a select item: the alias, the column's own name,
+/// or a positional fallback.
+fn output_name(expr: &SqlExpr, alias: Option<&str>, index: usize) -> String {
+    if let Some(a) = alias {
+        return a.to_string();
+    }
+    match &expr.kind {
+        ExprKind::Column { name, .. } => name.clone(),
+        ExprKind::Function { name, .. } => name.clone(),
+        _ => format!("col_{index}"),
+    }
+}
+
+fn check_unique_names(exprs: &[(Expr, String)]) -> Result<(), SqlError> {
+    for (i, (_, name)) in exprs.iter().enumerate() {
+        if exprs[..i].iter().any(|(_, n)| n == name) {
+            return Err(SqlError::bind(
+                Pos::new(1, 1),
+                format!("duplicate output column '{name}'; disambiguate with AS aliases"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use quokka_batch::{Batch, Column};
+    use quokka_plan::catalog::MemoryCatalog;
+    use quokka_plan::reference::ReferenceExecutor;
+
+    /// Two small joined tables: orders(o_id, o_cust, o_total, o_date) and
+    /// customers(c_id, c_name, c_balance).
+    fn catalog() -> MemoryCatalog {
+        use quokka_batch::datatype::parse_date;
+        let catalog = MemoryCatalog::new();
+        let orders = Schema::from_pairs(&[
+            ("o_id", DataType::Int64),
+            ("o_cust", DataType::Int64),
+            ("o_total", DataType::Float64),
+            ("o_date", DataType::Date),
+        ]);
+        catalog.register(
+            "orders",
+            orders.clone(),
+            vec![Batch::try_new(
+                orders,
+                vec![
+                    Column::Int64(vec![1, 2, 3, 4]),
+                    Column::Int64(vec![10, 10, 20, 30]),
+                    Column::Float64(vec![5.0, 7.5, 20.0, 1.0]),
+                    Column::Date(vec![
+                        parse_date("1994-01-05"),
+                        parse_date("1994-06-01"),
+                        parse_date("1995-02-01"),
+                        parse_date("1995-12-31"),
+                    ]),
+                ],
+            )
+            .unwrap()],
+        );
+        let customers = Schema::from_pairs(&[
+            ("c_id", DataType::Int64),
+            ("c_name", DataType::Utf8),
+            ("c_balance", DataType::Float64),
+        ]);
+        catalog.register(
+            "customers",
+            customers.clone(),
+            vec![Batch::try_new(
+                customers,
+                vec![
+                    Column::Int64(vec![10, 20, 30]),
+                    Column::Utf8(vec!["alice".into(), "bob".into(), "carol".into()]),
+                    Column::Float64(vec![100.0, 200.0, 300.0]),
+                ],
+            )
+            .unwrap()],
+        );
+        catalog
+    }
+
+    fn plan(sql: &str) -> Result<LogicalPlan, SqlError> {
+        bind_statement(&parse(sql).unwrap(), &catalog())
+    }
+
+    fn run(sql: &str) -> Batch {
+        let catalog = catalog();
+        let plan = bind_statement(&parse(sql).unwrap(), &catalog).unwrap();
+        ReferenceExecutor::new(&catalog).execute(&plan).unwrap()
+    }
+
+    #[test]
+    fn select_star_is_a_bare_scan() {
+        let p = plan("SELECT * FROM orders").unwrap();
+        assert_eq!(p.name(), "Scan");
+        assert_eq!(p.schema().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn filter_project_pipeline() {
+        let p =
+            plan("SELECT o_id, o_total * 2 AS double_total FROM orders WHERE o_total > 6").unwrap();
+        assert_eq!(p.name(), "Project");
+        let schema = p.schema().unwrap();
+        assert_eq!(schema.column_names(), vec!["o_id", "double_total"]);
+        assert_eq!(schema.data_type("double_total").unwrap(), DataType::Float64);
+        let batch = run("SELECT o_id, o_total * 2 AS double_total FROM orders WHERE o_total > 6");
+        assert_eq!(batch.num_rows(), 2);
+    }
+
+    #[test]
+    fn join_produces_equi_join_pairs() {
+        let p = plan("SELECT c_name, o_total FROM customers JOIN orders ON c_id = o_cust").unwrap();
+        // Project over Join(build=customers scan, probe=orders scan).
+        match &p {
+            LogicalPlan::Project { input, .. } => match input.as_ref() {
+                LogicalPlan::Join { on, join_type, .. } => {
+                    assert_eq!(on, &vec![("c_id".to_string(), "o_cust".to_string())]);
+                    assert_eq!(*join_type, JoinType::Inner);
+                }
+                other => panic!("expected Join, got {}", other.name()),
+            },
+            other => panic!("expected Project, got {}", other.name()),
+        }
+        let batch = run("SELECT c_name, o_total FROM customers JOIN orders ON c_id = o_cust");
+        assert_eq!(batch.num_rows(), 4);
+    }
+
+    #[test]
+    fn join_on_reversed_sides_and_qualifiers() {
+        // Equality written probe-first, with table qualifiers.
+        let p = plan("SELECT c_name FROM customers JOIN orders ON orders.o_cust = customers.c_id")
+            .unwrap();
+        match &p {
+            LogicalPlan::Project { input, .. } => match input.as_ref() {
+                LogicalPlan::Join { on, .. } => {
+                    assert_eq!(on, &vec![("c_id".to_string(), "o_cust".to_string())]);
+                }
+                other => panic!("expected Join, got {}", other.name()),
+            },
+            _ => panic!("expected Project"),
+        }
+    }
+
+    #[test]
+    fn group_by_with_having_and_hidden_aggregate() {
+        let sql = "SELECT c_name, sum(o_total) AS spend FROM customers \
+                   JOIN orders ON c_id = o_cust \
+                   GROUP BY c_name HAVING count(*) > 1 ORDER BY spend DESC";
+        let batch = run(sql);
+        // Only alice has two orders: 5.0 + 7.5.
+        assert_eq!(batch.num_rows(), 1);
+        assert_eq!(batch.value(0, 0), ScalarValue::Utf8("alice".into()));
+        assert_eq!(batch.value(0, 1), ScalarValue::Float64(12.5));
+        // The hidden count(*) column is projected away.
+        let p = plan(sql).unwrap();
+        assert_eq!(p.schema().unwrap().column_names(), vec!["c_name", "spend"]);
+    }
+
+    #[test]
+    fn arithmetic_over_aggregates() {
+        let batch =
+            run("SELECT sum(o_total) / count(*) AS avg_total, avg(o_total) AS direct FROM orders");
+        assert_eq!(batch.num_rows(), 1);
+        let a = batch.value(0, 0).as_f64().unwrap();
+        let b = batch.value(0, 1).as_f64().unwrap();
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn group_key_can_be_a_select_alias_expression() {
+        let batch = run("SELECT extract(year from o_date) AS year, count(*) AS n \
+             FROM orders GROUP BY year ORDER BY year");
+        assert_eq!(batch.num_rows(), 2);
+        assert_eq!(batch.value(0, 0), ScalarValue::Int64(1994));
+        assert_eq!(batch.value(0, 1), ScalarValue::Int64(2));
+        assert_eq!(batch.value(1, 0), ScalarValue::Int64(1995));
+    }
+
+    #[test]
+    fn identity_aggregate_output_skips_the_projection() {
+        let p = plan(
+            "SELECT c_name, sum(o_total) AS spend FROM customers \
+                      JOIN orders ON c_id = o_cust GROUP BY c_name",
+        )
+        .unwrap();
+        assert_eq!(p.name(), "Aggregate");
+    }
+
+    #[test]
+    fn where_dates_coerce_and_between_in_like_work() {
+        let batch = run("SELECT o_id FROM orders WHERE o_date >= DATE '1994-01-01' \
+             AND o_date < '1995-01-01' AND o_total BETWEEN 1 AND 10");
+        assert_eq!(batch.num_rows(), 2);
+        let batch = run("SELECT c_id FROM customers WHERE c_name LIKE '%li%'");
+        assert_eq!(batch.num_rows(), 1);
+        let batch = run("SELECT c_id FROM customers WHERE c_name IN ('alice', 'carol')");
+        assert_eq!(batch.num_rows(), 2);
+        let batch = run("SELECT o_id FROM orders WHERE o_cust NOT IN (10)");
+        assert_eq!(batch.num_rows(), 2);
+    }
+
+    #[test]
+    fn case_and_cast_and_substring() {
+        let batch = run("SELECT CASE WHEN o_total > 6 THEN 'big' ELSE 'small' END AS size, \
+                    CAST(o_id AS DOUBLE) AS idf, substr(c_name, 1, 2) AS prefix \
+             FROM customers JOIN orders ON c_id = o_cust ORDER BY idf");
+        assert_eq!(batch.value(0, 0), ScalarValue::Utf8("small".into()));
+        assert_eq!(batch.value(0, 1), ScalarValue::Float64(1.0));
+        assert_eq!(batch.value(0, 2), ScalarValue::Utf8("al".into()));
+    }
+
+    #[test]
+    fn limit_and_sort_limit() {
+        let p = plan("SELECT o_id FROM orders ORDER BY o_id DESC LIMIT 2").unwrap();
+        match &p {
+            LogicalPlan::Sort { limit, keys, .. } => {
+                assert_eq!(*limit, Some(2));
+                assert_eq!(keys, &vec![("o_id".to_string(), false)]);
+            }
+            other => panic!("expected Sort, got {}", other.name()),
+        }
+        let p = plan("SELECT o_id FROM orders LIMIT 3").unwrap();
+        assert_eq!(p.name(), "Limit");
+    }
+
+    #[test]
+    fn unknown_names_error_with_positions_and_suggestions() {
+        let err = plan("SELECT o_id FROM oders").unwrap_err();
+        assert_eq!(err.kind, crate::error::SqlErrorKind::Bind);
+        assert!(err.to_string().contains("unknown table 'oders'"), "{err}");
+        assert!(err.to_string().contains("did you mean 'orders'"), "{err}");
+        assert_eq!(err.pos, Pos::new(1, 18));
+
+        let err = plan("SELECT o_idd FROM orders").unwrap_err();
+        assert!(err.to_string().contains("unknown column 'o_idd'"), "{err}");
+        assert!(err.to_string().contains("did you mean 'o_id'"), "{err}");
+        assert_eq!(err.pos, Pos::new(1, 8));
+
+        let err = plan("SELECT orders.c_name FROM orders").unwrap_err();
+        assert!(err.to_string().contains("has no column"), "{err}");
+
+        let err = plan("SELECT x.o_id FROM orders").unwrap_err();
+        assert!(err.to_string().contains("unknown table or alias 'x'"), "{err}");
+    }
+
+    #[test]
+    fn type_mismatches_are_bind_errors() {
+        let err = plan("SELECT o_id FROM orders WHERE c_name_missing > 1");
+        assert!(err.is_err());
+
+        let err = plan("SELECT o_total + c_name FROM orders JOIN customers ON o_cust = c_id")
+            .unwrap_err();
+        assert!(err.to_string().contains("arithmetic requires numeric operands"), "{err}");
+
+        let err = plan("SELECT o_id FROM orders WHERE o_total > 'abc'").unwrap_err();
+        assert!(err.to_string().contains("cannot compare"), "{err}");
+
+        let err = plan("SELECT o_id FROM orders WHERE o_date > 'not-a-date'").unwrap_err();
+        assert!(err.to_string().contains("not a valid date"), "{err}");
+
+        let err = plan("SELECT o_id FROM orders WHERE o_total").unwrap_err();
+        assert!(err.to_string().contains("expected Bool"), "{err}");
+
+        let err = plan("SELECT sum(c_name) FROM customers").unwrap_err();
+        assert!(err.to_string().contains("SUM requires a numeric argument"), "{err}");
+
+        let err = plan("SELECT o_id FROM orders WHERE sum(o_total) > 1").unwrap_err();
+        assert!(err.to_string().contains("not allowed in WHERE"), "{err}");
+
+        let err = plan("SELECT o_id, count(*) FROM orders").unwrap_err();
+        assert!(err.to_string().contains("must appear in GROUP BY"), "{err}");
+
+        let err = plan("SELECT extract(year from c_name) FROM customers").unwrap_err();
+        assert!(err.to_string().contains("requires a Date"), "{err}");
+    }
+
+    #[test]
+    fn join_condition_errors() {
+        let err = plan("SELECT c_name FROM customers JOIN orders ON c_id > o_cust").unwrap_err();
+        assert!(err.to_string().contains("column equalities"), "{err}");
+
+        let err = plan("SELECT c_name FROM customers JOIN orders ON o_id = o_cust").unwrap_err();
+        assert!(err.to_string().contains("both sides"), "{err}");
+
+        let err = plan("SELECT c_name FROM customers JOIN orders ON c_name = o_cust").unwrap_err();
+        assert!(err.to_string().contains("join key type mismatch"), "{err}");
+
+        let err = plan("SELECT 1 AS one FROM orders JOIN orders ON o_id = o_id").unwrap_err();
+        assert!(err.to_string().contains("duplicate table"), "{err}");
+    }
+
+    #[test]
+    fn order_by_must_reference_output_columns() {
+        let err = plan("SELECT o_id FROM orders ORDER BY o_total").unwrap_err();
+        assert!(err.to_string().contains("not in the output"), "{err}");
+
+        let err = plan("SELECT o_id FROM orders ORDER BY o_id + 1").unwrap_err();
+        assert!(err.to_string().contains("output column names only"), "{err}");
+    }
+
+    #[test]
+    fn having_without_aggregates_is_rejected() {
+        let err = plan("SELECT o_id FROM orders HAVING o_id > 1").unwrap_err();
+        assert!(err.to_string().contains("HAVING requires GROUP BY"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_output_names_are_rejected() {
+        let err = plan("SELECT o_id, o_id + 1 AS o_id FROM orders").unwrap_err();
+        assert!(err.to_string().contains("duplicate output column"), "{err}");
+    }
+
+    #[test]
+    fn count_distinct_binds() {
+        let batch = run("SELECT count(DISTINCT o_cust) AS customers FROM orders");
+        assert_eq!(batch.value(0, 0), ScalarValue::Int64(3));
+        let err = plan("SELECT sum(DISTINCT o_total) FROM orders").unwrap_err();
+        assert!(err.to_string().contains("only supported with COUNT"), "{err}");
+    }
+
+    #[test]
+    fn group_by_and_order_by_ordinals() {
+        let batch = run("SELECT o_cust, count(*) AS n FROM orders GROUP BY 1 ORDER BY 2 DESC");
+        assert_eq!(batch.num_rows(), 3);
+        assert_eq!(batch.value(0, 1), ScalarValue::Int64(2)); // customer 10
+
+        let err = plan("SELECT o_cust FROM orders GROUP BY 3").unwrap_err();
+        assert!(err.to_string().contains("position 3 is not in the select list"), "{err}");
+
+        let err = plan("SELECT o_cust, count(*) AS n FROM orders GROUP BY 2").unwrap_err();
+        assert!(err.to_string().contains("refers to an aggregate"), "{err}");
+
+        let err = plan("SELECT o_cust, count(*) AS n FROM orders GROUP BY 'x'").unwrap_err();
+        assert!(err.to_string().contains("not a literal"), "{err}");
+
+        let err = plan("SELECT o_cust FROM orders ORDER BY 2").unwrap_err();
+        assert!(err.to_string().contains("position 2 is not in the select list"), "{err}");
+    }
+
+    #[test]
+    fn infeasible_casts_are_bind_errors() {
+        // Identity and numeric/date casts bind.
+        assert!(plan("SELECT CAST(c_name AS VARCHAR) AS s FROM customers").is_ok());
+        assert!(plan("SELECT CAST(o_date AS BIGINT) AS d FROM orders").is_ok());
+        // Casts compute::cast cannot execute are rejected with a position.
+        let err = plan("SELECT CAST(o_id AS VARCHAR) AS s FROM orders").unwrap_err();
+        assert!(err.to_string().contains("unsupported cast Int64 -> Utf8"), "{err}");
+        let err = plan("SELECT CAST(c_name AS BOOLEAN) AS b FROM customers").unwrap_err();
+        assert!(err.to_string().contains("unsupported cast"), "{err}");
+    }
+
+    #[test]
+    fn synthesized_names_avoid_user_aliases() {
+        // A user alias equal to a hidden-aggregate name must not capture
+        // the hidden column: x is sum + 1, not min + 1.
+        let batch =
+            run("SELECT min(o_total) AS __agg_0, sum(o_total) + 1 AS x, count(*) AS group_0 \
+             FROM orders GROUP BY o_cust ORDER BY x");
+        assert_eq!(batch.value(0, 0), ScalarValue::Float64(1.0)); // min for cust 30
+        assert_eq!(batch.value(0, 1), ScalarValue::Float64(2.0)); // sum + 1
+        assert_eq!(batch.value(0, 2), ScalarValue::Int64(1));
+
+        // An unnamed expression key must not collide with a user alias
+        // either: group_0 is the count, not the key values.
+        let batch = run("SELECT count(*) AS group_0 FROM orders GROUP BY o_id + o_cust");
+        assert_eq!(batch.num_rows(), 4);
+        for row in 0..4 {
+            assert_eq!(batch.value(row, 0), ScalarValue::Int64(1), "row {row}");
+        }
+
+        // A genuine collision between a key name and an aggregate alias is
+        // an error, not a silent first-match resolution.
+        let err =
+            plan("SELECT o_cust, sum(o_total) AS o_cust FROM orders GROUP BY o_cust").unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+
+        // Repeated group keys are deduplicated, not rejected.
+        let batch = run("SELECT o_cust, count(*) AS n FROM orders GROUP BY o_cust, o_cust, 1");
+        assert_eq!(batch.num_rows(), 3);
+        assert_eq!(batch.schema().column_names(), vec!["o_cust", "n"]);
+    }
+
+    #[test]
+    fn joins_with_duplicate_column_names_are_rejected() {
+        let catalog = catalog();
+        let t = Schema::from_pairs(&[("k", DataType::Int64), ("v", DataType::Float64)]);
+        let u = Schema::from_pairs(&[("k", DataType::Int64), ("w", DataType::Float64)]);
+        catalog.register("t", t, vec![]);
+        catalog.register("u", u, vec![]);
+        let err = bind_statement(&parse("SELECT * FROM t JOIN u ON t.k = u.k").unwrap(), &catalog)
+            .unwrap_err();
+        assert!(err.to_string().contains("duplicate column 'k'"), "{err}");
+    }
+}

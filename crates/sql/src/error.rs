@@ -1,0 +1,80 @@
+//! Positioned SQL errors.
+
+use quokka_common::QuokkaError;
+use std::fmt;
+
+/// A position in the SQL source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    pub line: u32,
+    pub column: u32,
+}
+
+impl Pos {
+    pub fn new(line: u32, column: u32) -> Self {
+        Pos { line, column }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.column)
+    }
+}
+
+/// Which frontend phase produced the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlErrorKind {
+    /// Tokenizer-level problem (unterminated string, stray character, ...).
+    Lex,
+    /// The token stream does not match the grammar.
+    Parse,
+    /// The statement parsed but names or types do not resolve.
+    Bind,
+}
+
+impl fmt::Display for SqlErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SqlErrorKind::Lex => "lex",
+            SqlErrorKind::Parse => "parse",
+            SqlErrorKind::Bind => "bind",
+        })
+    }
+}
+
+/// An error from the SQL frontend, carrying the source position it refers
+/// to. `Display` renders as e.g.
+/// `parse error at line 1, column 27: expected FROM, found 'GROUP'`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlError {
+    pub kind: SqlErrorKind,
+    pub pos: Pos,
+    pub message: String,
+}
+
+impl SqlError {
+    pub fn lex(pos: Pos, message: impl Into<String>) -> Self {
+        SqlError { kind: SqlErrorKind::Lex, pos, message: message.into() }
+    }
+    pub fn parse(pos: Pos, message: impl Into<String>) -> Self {
+        SqlError { kind: SqlErrorKind::Parse, pos, message: message.into() }
+    }
+    pub fn bind(pos: Pos, message: impl Into<String>) -> Self {
+        SqlError { kind: SqlErrorKind::Bind, pos, message: message.into() }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.kind, self.pos, self.message)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<SqlError> for QuokkaError {
+    fn from(e: SqlError) -> QuokkaError {
+        QuokkaError::PlanError(e.to_string())
+    }
+}

@@ -1,0 +1,309 @@
+//! The SQL tokenizer.
+//!
+//! Produces a flat token stream with 1-based line/column positions attached
+//! to every token, so the parser and binder can report exactly where a
+//! problem is. Identifiers and keywords are case-insensitive and are
+//! lowercased here; string literals keep their case.
+
+use crate::error::{Pos, SqlError};
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword, lowercased.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semi,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable rendering used in "found ..." error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("'{s}'"),
+            TokenKind::Int(v) => format!("'{v}'"),
+            TokenKind::Float(v) => format!("'{v}'"),
+            TokenKind::Str(s) => format!("string '{s}'"),
+            TokenKind::LParen => "'('".into(),
+            TokenKind::RParen => "')'".into(),
+            TokenKind::Comma => "','".into(),
+            TokenKind::Dot => "'.'".into(),
+            TokenKind::Star => "'*'".into(),
+            TokenKind::Plus => "'+'".into(),
+            TokenKind::Minus => "'-'".into(),
+            TokenKind::Slash => "'/'".into(),
+            TokenKind::Eq => "'='".into(),
+            TokenKind::NotEq => "'<>'".into(),
+            TokenKind::Lt => "'<'".into(),
+            TokenKind::LtEq => "'<='".into(),
+            TokenKind::Gt => "'>'".into(),
+            TokenKind::GtEq => "'>='".into(),
+            TokenKind::Semi => "';'".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token plus the position of its first character.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub pos: Pos,
+}
+
+/// Tokenize `sql` into a vector ending with an [`TokenKind::Eof`] token.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>, SqlError> {
+    let chars: Vec<char> = sql.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! advance {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let pos = Pos::new(line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => advance!(),
+            '-' if i + 1 < chars.len() && chars[i + 1] == '-' => {
+                // Line comment: skip to end of line.
+                while i < chars.len() && chars[i] != '\n' {
+                    advance!();
+                }
+            }
+            '(' | ')' | ',' | '.' | '*' | '+' | '-' | '/' | '=' | ';' => {
+                let kind = match c {
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    ',' => TokenKind::Comma,
+                    '.' => TokenKind::Dot,
+                    '*' => TokenKind::Star,
+                    '+' => TokenKind::Plus,
+                    '-' => TokenKind::Minus,
+                    '/' => TokenKind::Slash,
+                    ';' => TokenKind::Semi,
+                    _ => TokenKind::Eq,
+                };
+                tokens.push(Token { kind, pos });
+                advance!();
+            }
+            '<' => {
+                advance!();
+                let kind = match chars.get(i) {
+                    Some('=') => {
+                        advance!();
+                        TokenKind::LtEq
+                    }
+                    Some('>') => {
+                        advance!();
+                        TokenKind::NotEq
+                    }
+                    _ => TokenKind::Lt,
+                };
+                tokens.push(Token { kind, pos });
+            }
+            '>' => {
+                advance!();
+                let kind = if chars.get(i) == Some(&'=') {
+                    advance!();
+                    TokenKind::GtEq
+                } else {
+                    TokenKind::Gt
+                };
+                tokens.push(Token { kind, pos });
+            }
+            '!' => {
+                advance!();
+                if chars.get(i) == Some(&'=') {
+                    advance!();
+                    tokens.push(Token { kind: TokenKind::NotEq, pos });
+                } else {
+                    return Err(SqlError::lex(pos, "unexpected character '!'"));
+                }
+            }
+            '\'' => {
+                advance!();
+                let mut value = String::new();
+                loop {
+                    match chars.get(i) {
+                        None => return Err(SqlError::lex(pos, "unterminated string literal")),
+                        Some('\'') => {
+                            advance!();
+                            // '' is an escaped quote inside the literal.
+                            if chars.get(i) == Some(&'\'') {
+                                value.push('\'');
+                                advance!();
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(&ch) => {
+                            value.push(ch);
+                            advance!();
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(value), pos });
+            }
+            '0'..='9' => {
+                let mut text = String::new();
+                while matches!(chars.get(i), Some('0'..='9')) {
+                    text.push(chars[i]);
+                    advance!();
+                }
+                // A '.' starts a fractional part only when followed by a
+                // digit (so `1.foo` still lexes as `1 . foo`).
+                let is_float =
+                    chars.get(i) == Some(&'.') && matches!(chars.get(i + 1), Some('0'..='9'));
+                if is_float {
+                    text.push('.');
+                    advance!();
+                    while matches!(chars.get(i), Some('0'..='9')) {
+                        text.push(chars[i]);
+                        advance!();
+                    }
+                }
+                // `1e6`, `1.5x`: an identifier character glued to a number
+                // would otherwise silently lex as number + alias.
+                if matches!(chars.get(i), Some(ch) if ch.is_ascii_alphanumeric() || *ch == '_') {
+                    return Err(SqlError::lex(
+                        pos,
+                        format!(
+                            "malformed numeric literal '{text}{}' (letters, underscores, and \
+                             exponent notation are not allowed in numbers)",
+                            chars[i]
+                        ),
+                    ));
+                }
+                if is_float {
+                    let value: f64 = text
+                        .parse()
+                        .map_err(|_| SqlError::lex(pos, format!("bad numeric literal '{text}'")))?;
+                    tokens.push(Token { kind: TokenKind::Float(value), pos });
+                } else {
+                    let value: i64 = text.parse().map_err(|_| {
+                        SqlError::lex(pos, format!("integer literal '{text}' out of range"))
+                    })?;
+                    tokens.push(Token { kind: TokenKind::Int(value), pos });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while matches!(chars.get(i), Some(ch) if ch.is_ascii_alphanumeric() || *ch == '_') {
+                    text.push(chars[i].to_ascii_lowercase());
+                    advance!();
+                }
+                tokens.push(Token { kind: TokenKind::Ident(text), pos });
+            }
+            other => {
+                return Err(SqlError::lex(pos, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, pos: Pos::new(line, col) });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("SELECT a, 1.5 <> 'x''y'"),
+            vec![
+                TokenKind::Ident("select".into()),
+                TokenKind::Ident("a".into()),
+                TokenKind::Comma,
+                TokenKind::Float(1.5),
+                TokenKind::NotEq,
+                TokenKind::Str("x'y".into()),
+                TokenKind::Eof,
+            ]
+        );
+        assert_eq!(kinds("<= >= < > = !="), {
+            use TokenKind::*;
+            vec![LtEq, GtEq, Lt, Gt, Eq, NotEq, Eof]
+        });
+    }
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let tokens = tokenize("SELECT a\n  FROM t").unwrap();
+        assert_eq!(tokens[0].pos, Pos::new(1, 1));
+        assert_eq!(tokens[1].pos, Pos::new(1, 8));
+        assert_eq!(tokens[2].pos, Pos::new(2, 3)); // FROM
+        assert_eq!(tokens[3].pos, Pos::new(2, 8)); // t
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a -- comment here\nb"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn lex_errors_carry_positions() {
+        let err = tokenize("select 'oops").unwrap_err();
+        assert_eq!(err.pos, Pos::new(1, 8));
+        assert!(err.to_string().contains("unterminated"));
+        let err = tokenize("a ? b").unwrap_err();
+        assert_eq!(err.pos, Pos::new(1, 3));
+    }
+
+    #[test]
+    fn numbers_int_vs_float() {
+        assert_eq!(kinds("42 42.0 0.25"), {
+            use TokenKind::*;
+            vec![Int(42), Float(42.0), Float(0.25), Eof]
+        });
+    }
+
+    #[test]
+    fn numbers_glued_to_identifiers_are_rejected() {
+        // `1e6` must not silently lex as Int(1) + Ident("e6").
+        for bad in ["1e6", "2.5x", "10_000"] {
+            let err = tokenize(bad).unwrap_err();
+            assert!(err.to_string().contains("malformed numeric literal"), "{bad}: {err}");
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! SQL frontend for the Quokka engine: parse → bind → [`LogicalPlan`].
+//!
+//! The frontend is self-contained: a hand-written [`lexer`], a
+//! recursive-descent [`parser`] producing a typed AST ([`ast`]), and a
+//! [`binder`] that resolves names against a [`Catalog`] and lowers the
+//! statement to the same [`LogicalPlan`] nodes the hand-built TPC-H plans
+//! use. Every error is a positioned [`SqlError`] with the 1-based line and
+//! column of the offending token.
+//!
+//! # Supported grammar
+//!
+//! ```text
+//! SELECT expr [AS alias], ... | *
+//! FROM table [alias]
+//! [[INNER] JOIN table [alias] ON col = col [AND col = col ...]] ...
+//! [WHERE predicate]
+//! [GROUP BY expr, ...] [HAVING predicate]
+//! [ORDER BY output_column [ASC|DESC], ...] [LIMIT n]
+//! ```
+//!
+//! Expressions cover the engine's full operator set: arithmetic,
+//! comparisons, `AND`/`OR`/`NOT`, `[NOT] LIKE`, `[NOT] IN (literals)`,
+//! `[NOT] BETWEEN`, searched `CASE ... ELSE ... END`, `EXTRACT(YEAR FROM
+//! d)`, `SUBSTRING(s FROM i FOR n)`, `CAST(x AS type)`, `DATE 'YYYY-MM-DD'`
+//! literals, and the aggregates `SUM` / `AVG` / `MIN` / `MAX` / `COUNT` /
+//! `COUNT(DISTINCT ...)` (including arithmetic over aggregates such as
+//! `sum(a) / sum(b)`).
+//!
+//! Known gaps (reported as positioned errors, never panics): subqueries,
+//! outer-join syntax, self-joins, `SELECT DISTINCT`, comma-separated FROM
+//! lists, `NULL`, and ORDER BY on arbitrary expressions.
+//!
+//! # Example
+//!
+//! ```
+//! use quokka_plan::catalog::MemoryCatalog;
+//! use quokka_batch::{Batch, Column, DataType, Schema};
+//!
+//! let catalog = MemoryCatalog::new();
+//! let schema = Schema::from_pairs(&[("id", DataType::Int64), ("price", DataType::Float64)]);
+//! catalog.register(
+//!     "items",
+//!     schema.clone(),
+//!     vec![Batch::try_new(
+//!         schema,
+//!         vec![Column::Int64(vec![1, 2]), Column::Float64(vec![10.0, 20.0])],
+//!     )
+//!     .unwrap()],
+//! );
+//!
+//! let plan = quokka_sql::plan_query("SELECT sum(price) AS total FROM items", &catalog).unwrap();
+//! assert_eq!(plan.schema().unwrap().column_names(), vec!["total"]);
+//!
+//! let err = quokka_sql::plan_query("SELECT prize FROM items", &catalog).unwrap_err();
+//! assert!(err.to_string().contains("did you mean 'price'"));
+//! ```
+
+pub mod ast;
+pub mod binder;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::SelectStatement;
+pub use error::{Pos, SqlError, SqlErrorKind};
+
+use quokka_plan::catalog::Catalog;
+use quokka_plan::logical::LogicalPlan;
+
+/// Parse one SELECT statement (no name resolution).
+pub fn parse(sql: &str) -> Result<SelectStatement, SqlError> {
+    parser::parse(sql)
+}
+
+/// Parse `sql` and bind it against `catalog`, producing an executable
+/// logical plan.
+pub fn plan_query(sql: &str, catalog: &dyn Catalog) -> Result<LogicalPlan, SqlError> {
+    let statement = parser::parse(sql)?;
+    binder::bind_statement(&statement, catalog)
+}

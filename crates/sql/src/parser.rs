@@ -1,0 +1,912 @@
+//! Recursive-descent parser for the supported SELECT grammar.
+//!
+//! ```text
+//! statement  := SELECT items FROM table join* [WHERE expr]
+//!               [GROUP BY expr,*] [HAVING expr]
+//!               [ORDER BY order_item,*] [LIMIT n] [';']
+//! items      := '*' | item (',' item)*
+//! item       := expr [[AS] ident]
+//! table      := ident [[AS] ident]
+//! join       := [INNER] JOIN table ON expr
+//! order_item := expr [ASC | DESC]
+//! ```
+//!
+//! Expression precedence, loosest first: `OR`, `AND`, `NOT`, comparisons
+//! and the `LIKE` / `IN` / `BETWEEN` predicates, `+ -`, `* /`, unary `-`,
+//! primaries. All errors carry the position of the offending token.
+
+use crate::ast::*;
+use crate::error::{Pos, SqlError};
+use crate::lexer::{tokenize, Token, TokenKind};
+use quokka_batch::DataType;
+
+/// Keywords that terminate an alias-free expression; a bare identifier after
+/// an expression is only an alias when it is not one of these.
+const RESERVED: &[&str] = &[
+    "select",
+    "from",
+    "where",
+    "group",
+    "by",
+    "having",
+    "order",
+    "limit",
+    "join",
+    "inner",
+    "left",
+    "right",
+    "full",
+    "outer",
+    "cross",
+    "on",
+    "as",
+    "and",
+    "or",
+    "not",
+    "like",
+    "in",
+    "between",
+    "case",
+    "when",
+    "then",
+    "else",
+    "end",
+    "asc",
+    "desc",
+    "union",
+    "except",
+    "intersect",
+    "distinct",
+    "extract",
+    "cast",
+    "is",
+    "null",
+    "exists",
+];
+
+/// Parse one SELECT statement from `sql`.
+pub fn parse(sql: &str) -> Result<SelectStatement, SqlError> {
+    let tokens = tokenize(sql)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let statement = parser.parse_statement()?;
+    parser.eat_kind(&TokenKind::Semi);
+    let end = parser.peek();
+    if end.kind != TokenKind::Eof {
+        return Err(SqlError::parse(
+            end.pos,
+            format!("expected end of statement, found {}", end.kind.describe()),
+        ));
+    }
+    Ok(statement)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn bump(&mut self) -> Token {
+        let token = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    /// Consume the next token if it is the keyword `kw` (lowercase).
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    fn eat_kind(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            let t = self.peek();
+            Err(SqlError::parse(
+                t.pos,
+                format!("expected {}, found {}", kw.to_uppercase(), t.kind.describe()),
+            ))
+        }
+    }
+
+    fn expect_kind(&mut self, kind: TokenKind, what: &str) -> Result<(), SqlError> {
+        if self.eat_kind(&kind) {
+            Ok(())
+        } else {
+            let t = self.peek();
+            Err(SqlError::parse(t.pos, format!("expected {what}, found {}", t.kind.describe())))
+        }
+    }
+
+    /// Consume an identifier that is not a reserved keyword.
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Pos), SqlError> {
+        let t = self.peek().clone();
+        match &t.kind {
+            TokenKind::Ident(s) if !RESERVED.contains(&s.as_str()) => {
+                self.pos += 1;
+                Ok((s.clone(), t.pos))
+            }
+            _ => {
+                Err(SqlError::parse(t.pos, format!("expected {what}, found {}", t.kind.describe())))
+            }
+        }
+    }
+
+    fn parse_statement(&mut self) -> Result<SelectStatement, SqlError> {
+        self.expect_keyword("select")?;
+        if self.eat_keyword("distinct") {
+            return Err(SqlError::parse(
+                self.tokens[self.pos - 1].pos,
+                "SELECT DISTINCT is not supported; use GROUP BY over the selected columns",
+            ));
+        }
+        let items = self.parse_select_items()?;
+        self.expect_keyword("from")?;
+        let from = self.parse_table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            if self.at_keyword("left") || self.at_keyword("right") || self.at_keyword("full") {
+                return Err(SqlError::parse(
+                    self.peek().pos,
+                    "outer joins are not supported yet; only [INNER] JOIN ... ON",
+                ));
+            }
+            if self.at_keyword("cross") {
+                return Err(SqlError::parse(
+                    self.peek().pos,
+                    "CROSS JOIN is not supported; join with an ON equality condition",
+                ));
+            }
+            let inner = self.eat_keyword("inner");
+            if !self.at_keyword("join") {
+                if inner {
+                    let t = self.peek();
+                    return Err(SqlError::parse(
+                        t.pos,
+                        format!("expected JOIN after INNER, found {}", t.kind.describe()),
+                    ));
+                }
+                break;
+            }
+            self.expect_keyword("join")?;
+            let table = self.parse_table_ref()?;
+            self.expect_keyword("on")?;
+            let on = self.parse_expr()?;
+            joins.push(Join { table, on });
+        }
+        if self.eat_kind(&TokenKind::Comma) {
+            return Err(SqlError::parse(
+                self.tokens[self.pos - 1].pos,
+                "comma-separated FROM lists are not supported; use JOIN ... ON",
+            ));
+        }
+        let selection = if self.eat_keyword("where") { Some(self.parse_expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_keyword("having") { Some(self.parse_expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_keyword("order") {
+            self.expect_keyword("by")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let ascending = if self.eat_keyword("desc") {
+                    false
+                } else {
+                    self.eat_keyword("asc");
+                    true
+                };
+                order_by.push(OrderByItem { expr, ascending });
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_keyword("limit") {
+            let t = self.bump();
+            match t.kind {
+                TokenKind::Int(n) if n >= 0 => Some(n as usize),
+                _ => {
+                    return Err(SqlError::parse(
+                        t.pos,
+                        format!(
+                            "expected a non-negative integer after LIMIT, found {}",
+                            t.kind.describe()
+                        ),
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(SelectStatement { items, from, joins, selection, group_by, having, order_by, limit })
+    }
+
+    fn parse_select_items(&mut self) -> Result<Vec<SelectItem>, SqlError> {
+        if self.eat_kind(&TokenKind::Star) {
+            return Ok(vec![SelectItem::Wildcard]);
+        }
+        let mut items = Vec::new();
+        loop {
+            let expr = self.parse_expr()?;
+            let alias = self.parse_alias()?;
+            items.push(SelectItem::Expr { expr, alias });
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    /// `[AS] ident` following an expression or table name.
+    fn parse_alias(&mut self) -> Result<Option<String>, SqlError> {
+        if self.eat_keyword("as") {
+            let (name, _) = self.expect_ident("an alias")?;
+            return Ok(Some(name));
+        }
+        if let TokenKind::Ident(s) = &self.peek().kind {
+            if !RESERVED.contains(&s.as_str()) {
+                let name = s.clone();
+                self.pos += 1;
+                return Ok(Some(name));
+            }
+        }
+        Ok(None)
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let (name, pos) = self.expect_ident("a table name")?;
+        let alias = self.parse_alias()?;
+        Ok(TableRef { name, alias, pos })
+    }
+
+    // -- expressions --------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<SqlExpr, SqlError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.parse_and()?;
+        while self.at_keyword("or") {
+            let pos = self.bump().pos;
+            let right = self.parse_and()?;
+            left = SqlExpr::new(
+                ExprKind::Binary { op: BinOp::Or, left: Box::new(left), right: Box::new(right) },
+                pos,
+            );
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.parse_not()?;
+        while self.at_keyword("and") {
+            let pos = self.bump().pos;
+            let right = self.parse_not()?;
+            left = SqlExpr::new(
+                ExprKind::Binary { op: BinOp::And, left: Box::new(left), right: Box::new(right) },
+                pos,
+            );
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<SqlExpr, SqlError> {
+        if self.at_keyword("not") {
+            let pos = self.bump().pos;
+            let inner = self.parse_not()?;
+            return Ok(SqlExpr::new(ExprKind::Not(Box::new(inner)), pos));
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> Result<SqlExpr, SqlError> {
+        let left = self.parse_additive()?;
+        // One comparison operator, or one of the [NOT] LIKE/IN/BETWEEN
+        // predicate suffixes.
+        let op = match &self.peek().kind {
+            TokenKind::Eq => Some(BinOp::Eq),
+            TokenKind::NotEq => Some(BinOp::NotEq),
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::LtEq => Some(BinOp::LtEq),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::GtEq => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let pos = self.bump().pos;
+            let right = self.parse_additive()?;
+            return Ok(SqlExpr::new(
+                ExprKind::Binary { op, left: Box::new(left), right: Box::new(right) },
+                pos,
+            ));
+        }
+        let negated = if self.at_keyword("not")
+            && matches!(&self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                        Some(TokenKind::Ident(s)) if s == "like" || s == "in" || s == "between")
+        {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        if self.at_keyword("like") {
+            let pos = self.bump().pos;
+            let t = self.bump();
+            let pattern = match t.kind {
+                TokenKind::Str(s) => s,
+                other => {
+                    return Err(SqlError::parse(
+                        t.pos,
+                        format!("expected a string pattern after LIKE, found {}", other.describe()),
+                    ))
+                }
+            };
+            return Ok(SqlExpr::new(
+                ExprKind::Like { expr: Box::new(left), pattern, negated },
+                pos,
+            ));
+        }
+        if self.at_keyword("in") {
+            let pos = self.bump().pos;
+            self.expect_kind(TokenKind::LParen, "'(' after IN")?;
+            let mut items = Vec::new();
+            loop {
+                items.push(self.parse_additive()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect_kind(TokenKind::RParen, "')' closing the IN list")?;
+            return Ok(SqlExpr::new(
+                ExprKind::InList { expr: Box::new(left), items, negated },
+                pos,
+            ));
+        }
+        if self.at_keyword("between") {
+            let pos = self.bump().pos;
+            let low = self.parse_additive()?;
+            self.expect_keyword("and")?;
+            let high = self.parse_additive()?;
+            return Ok(SqlExpr::new(
+                ExprKind::Between {
+                    expr: Box::new(left),
+                    low: Box::new(low),
+                    high: Box::new(high),
+                    negated,
+                },
+                pos,
+            ));
+        }
+        // `negated` implies one of the three predicate branches above fired
+        // (the lookahead only consumes NOT directly before LIKE/IN/BETWEEN).
+        debug_assert!(!negated);
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match &self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let pos = self.bump().pos;
+            let right = self.parse_multiplicative()?;
+            left = SqlExpr::new(
+                ExprKind::Binary { op, left: Box::new(left), right: Box::new(right) },
+                pos,
+            );
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<SqlExpr, SqlError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match &self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            let pos = self.bump().pos;
+            let right = self.parse_unary()?;
+            left = SqlExpr::new(
+                ExprKind::Binary { op, left: Box::new(left), right: Box::new(right) },
+                pos,
+            );
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<SqlExpr, SqlError> {
+        if self.peek().kind == TokenKind::Minus {
+            let pos = self.bump().pos;
+            let inner = self.parse_unary()?;
+            // Fold negation into numeric literals; otherwise lower as 0 - x.
+            return Ok(match inner.kind {
+                ExprKind::Int(v) => SqlExpr::new(ExprKind::Int(-v), pos),
+                ExprKind::Float(v) => SqlExpr::new(ExprKind::Float(-v), pos),
+                _ => SqlExpr::new(
+                    ExprKind::Binary {
+                        op: BinOp::Sub,
+                        left: Box::new(SqlExpr::new(ExprKind::Int(0), pos)),
+                        right: Box::new(inner),
+                    },
+                    pos,
+                ),
+            });
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<SqlExpr, SqlError> {
+        let t = self.peek().clone();
+        match &t.kind {
+            TokenKind::LParen => {
+                self.pos += 1;
+                let inner = self.parse_expr()?;
+                self.expect_kind(TokenKind::RParen, "')'")?;
+                Ok(inner)
+            }
+            TokenKind::Int(v) => {
+                self.pos += 1;
+                Ok(SqlExpr::new(ExprKind::Int(*v), t.pos))
+            }
+            TokenKind::Float(v) => {
+                self.pos += 1;
+                Ok(SqlExpr::new(ExprKind::Float(*v), t.pos))
+            }
+            TokenKind::Str(s) => {
+                self.pos += 1;
+                Ok(SqlExpr::new(ExprKind::Str(s.clone()), t.pos))
+            }
+            TokenKind::Ident(name) => match name.as_str() {
+                "true" => {
+                    self.pos += 1;
+                    Ok(SqlExpr::new(ExprKind::Bool(true), t.pos))
+                }
+                "false" => {
+                    self.pos += 1;
+                    Ok(SqlExpr::new(ExprKind::Bool(false), t.pos))
+                }
+                "null" => Err(SqlError::parse(
+                    t.pos,
+                    "NULL is not supported: the engine has no NULL representation",
+                )),
+                "date" => {
+                    self.pos += 1;
+                    self.parse_date_literal(t.pos)
+                }
+                "case" => {
+                    self.pos += 1;
+                    self.parse_case(t.pos)
+                }
+                "extract" => {
+                    self.pos += 1;
+                    self.parse_extract(t.pos)
+                }
+                "cast" => {
+                    self.pos += 1;
+                    self.parse_cast(t.pos)
+                }
+                "substring" | "substr"
+                    if self.tokens.get(self.pos + 1).map(|t| &t.kind)
+                        == Some(&TokenKind::LParen) =>
+                {
+                    self.pos += 1;
+                    self.parse_substring(t.pos)
+                }
+                _ if RESERVED.contains(&name.as_str()) => Err(SqlError::parse(
+                    t.pos,
+                    format!("expected an expression, found {}", t.kind.describe()),
+                )),
+                _ => {
+                    self.pos += 1;
+                    if self.peek().kind == TokenKind::LParen {
+                        self.parse_function(name.clone(), t.pos)
+                    } else if self.eat_kind(&TokenKind::Dot) {
+                        let (column, _) = self.expect_ident("a column name after '.'")?;
+                        Ok(SqlExpr::new(
+                            ExprKind::Column { qualifier: Some(name.clone()), name: column },
+                            t.pos,
+                        ))
+                    } else {
+                        Ok(SqlExpr::new(
+                            ExprKind::Column { qualifier: None, name: name.clone() },
+                            t.pos,
+                        ))
+                    }
+                }
+            },
+            other => Err(SqlError::parse(
+                t.pos,
+                format!("expected an expression, found {}", other.describe()),
+            )),
+        }
+    }
+
+    /// `DATE 'YYYY-MM-DD'` — validated here rather than with the panicking
+    /// engine-side parser.
+    fn parse_date_literal(&mut self, pos: Pos) -> Result<SqlExpr, SqlError> {
+        let t = self.bump();
+        let text = match t.kind {
+            TokenKind::Str(s) => s,
+            other => {
+                return Err(SqlError::parse(
+                    t.pos,
+                    format!(
+                        "expected a 'YYYY-MM-DD' string after DATE, found {}",
+                        other.describe()
+                    ),
+                ))
+            }
+        };
+        match validate_date(&text) {
+            Some(days) => Ok(SqlExpr::new(ExprKind::Date(days), pos)),
+            None => Err(SqlError::parse(t.pos, format!("malformed date literal '{text}'"))),
+        }
+    }
+
+    fn parse_case(&mut self, pos: Pos) -> Result<SqlExpr, SqlError> {
+        if !self.at_keyword("when") {
+            return Err(SqlError::parse(
+                self.peek().pos,
+                "only searched CASE is supported: CASE WHEN cond THEN value ... ELSE value END",
+            ));
+        }
+        let mut branches = Vec::new();
+        while self.eat_keyword("when") {
+            let cond = self.parse_expr()?;
+            self.expect_keyword("then")?;
+            let value = self.parse_expr()?;
+            branches.push((cond, value));
+        }
+        if !self.eat_keyword("else") {
+            return Err(SqlError::parse(
+                self.peek().pos,
+                "CASE requires an ELSE branch (the engine has no NULL to default to)",
+            ));
+        }
+        let else_expr = self.parse_expr()?;
+        self.expect_keyword("end")?;
+        Ok(SqlExpr::new(ExprKind::Case { branches, else_expr: Box::new(else_expr) }, pos))
+    }
+
+    fn parse_extract(&mut self, pos: Pos) -> Result<SqlExpr, SqlError> {
+        self.expect_kind(TokenKind::LParen, "'(' after EXTRACT")?;
+        let (field, field_pos) = match self.bump() {
+            Token { kind: TokenKind::Ident(s), pos } => (s, pos),
+            t => {
+                return Err(SqlError::parse(
+                    t.pos,
+                    format!("expected a date field after EXTRACT(, found {}", t.kind.describe()),
+                ))
+            }
+        };
+        if field != "year" {
+            return Err(SqlError::parse(
+                field_pos,
+                format!("EXTRACT supports only YEAR, got '{field}'"),
+            ));
+        }
+        self.expect_keyword("from")?;
+        let expr = self.parse_expr()?;
+        self.expect_kind(TokenKind::RParen, "')' closing EXTRACT")?;
+        Ok(SqlExpr::new(ExprKind::ExtractYear(Box::new(expr)), pos))
+    }
+
+    fn parse_cast(&mut self, pos: Pos) -> Result<SqlExpr, SqlError> {
+        self.expect_kind(TokenKind::LParen, "'(' after CAST")?;
+        let expr = self.parse_expr()?;
+        self.expect_keyword("as")?;
+        let t = self.bump();
+        let type_name = match &t.kind {
+            TokenKind::Ident(s) => s.clone(),
+            other => {
+                return Err(SqlError::parse(
+                    t.pos,
+                    format!("expected a type name in CAST, found {}", other.describe()),
+                ))
+            }
+        };
+        let to = match type_name.as_str() {
+            "bigint" | "int" | "integer" => DataType::Int64,
+            "double" => {
+                self.eat_keyword("precision");
+                DataType::Float64
+            }
+            "float" | "real" => DataType::Float64,
+            "varchar" | "text" | "string" => DataType::Utf8,
+            "date" => DataType::Date,
+            "boolean" | "bool" => DataType::Bool,
+            other => {
+                return Err(SqlError::parse(
+                    t.pos,
+                    format!(
+                        "unknown type '{other}' in CAST (supported: BIGINT, DOUBLE, VARCHAR, DATE, BOOLEAN)"
+                    ),
+                ))
+            }
+        };
+        self.expect_kind(TokenKind::RParen, "')' closing CAST")?;
+        Ok(SqlExpr::new(ExprKind::Cast { expr: Box::new(expr), to }, pos))
+    }
+
+    /// `SUBSTRING(expr FROM start FOR len)` or `SUBSTR(expr, start, len)`.
+    fn parse_substring(&mut self, pos: Pos) -> Result<SqlExpr, SqlError> {
+        self.expect_kind(TokenKind::LParen, "'(' after SUBSTRING")?;
+        let expr = self.parse_expr()?;
+        let (start, len) = if self.eat_keyword("from") {
+            let start = self.expect_positive_int("SUBSTRING start")?;
+            self.expect_keyword("for")?;
+            let len = self.expect_positive_int("SUBSTRING length")?;
+            (start, len)
+        } else {
+            self.expect_kind(TokenKind::Comma, "',' or FROM in SUBSTRING")?;
+            let start = self.expect_positive_int("SUBSTRING start")?;
+            self.expect_kind(TokenKind::Comma, "',' before the SUBSTRING length")?;
+            let len = self.expect_positive_int("SUBSTRING length")?;
+            (start, len)
+        };
+        self.expect_kind(TokenKind::RParen, "')' closing SUBSTRING")?;
+        Ok(SqlExpr::new(ExprKind::Substring { expr: Box::new(expr), start, len }, pos))
+    }
+
+    fn expect_positive_int(&mut self, what: &str) -> Result<usize, SqlError> {
+        let t = self.bump();
+        match t.kind {
+            TokenKind::Int(n) if n >= 1 => Ok(n as usize),
+            other => Err(SqlError::parse(
+                t.pos,
+                format!("expected a positive integer for {what}, found {}", other.describe()),
+            )),
+        }
+    }
+
+    /// `name(args)` — aggregates and scalar function calls.
+    fn parse_function(&mut self, name: String, pos: Pos) -> Result<SqlExpr, SqlError> {
+        self.expect_kind(TokenKind::LParen, "'('")?;
+        if self.eat_kind(&TokenKind::Star) {
+            self.expect_kind(TokenKind::RParen, "')' after '*'")?;
+            return Ok(SqlExpr::new(
+                ExprKind::Function { name, distinct: false, star: true, args: vec![] },
+                pos,
+            ));
+        }
+        let distinct = self.eat_keyword("distinct");
+        let mut args = Vec::new();
+        if self.peek().kind != TokenKind::RParen {
+            loop {
+                args.push(self.parse_expr()?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_kind(TokenKind::RParen, "')' closing the argument list")?;
+        Ok(SqlExpr::new(ExprKind::Function { name, distinct, star: false, args }, pos))
+    }
+}
+
+/// Validate a `YYYY-MM-DD` string and convert it to days since the epoch.
+pub(crate) fn validate_date(text: &str) -> Option<i32> {
+    quokka_batch::datatype::try_parse_date(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(sql: &str) -> SqlExpr {
+        let stmt = parse(&format!("SELECT {sql} AS x FROM t")).unwrap();
+        match stmt.items.into_iter().next().unwrap() {
+            SelectItem::Expr { expr, .. } => expr,
+            SelectItem::Wildcard => panic!("wildcard"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        // a + b * c parses as a + (b * c)
+        let e = expr("a + b * c");
+        match e.kind {
+            ExprKind::Binary { op: BinOp::Add, right, .. } => {
+                assert!(matches!(right.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        // a OR b AND c parses as a OR (b AND c)
+        let e = expr("a OR b AND c");
+        match e.kind {
+            ExprKind::Binary { op: BinOp::Or, right, .. } => {
+                assert!(matches!(right.kind, ExprKind::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_cmp_between_arith_and_bool() {
+        // a + 1 > b AND c parses as ((a + 1) > b) AND c
+        let e = expr("a + 1 > b AND c");
+        match e.kind {
+            ExprKind::Binary { op: BinOp::And, left, .. } => match left.kind {
+                ExprKind::Binary { op: BinOp::Gt, left, .. } => {
+                    assert!(matches!(left.kind, ExprKind::Binary { op: BinOp::Add, .. }));
+                }
+                other => panic!("unexpected: {other:?}"),
+            },
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_or_inside_and() {
+        let e = expr("(a OR b) AND c");
+        assert!(matches!(e.kind, ExprKind::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn predicates_parse() {
+        assert!(matches!(expr("a LIKE '%x%'").kind, ExprKind::Like { negated: false, .. }));
+        assert!(matches!(expr("a NOT LIKE '%x%'").kind, ExprKind::Like { negated: true, .. }));
+        assert!(matches!(expr("a IN ('p', 'q')").kind, ExprKind::InList { negated: false, .. }));
+        assert!(matches!(expr("a NOT IN (1, 2)").kind, ExprKind::InList { negated: true, .. }));
+        assert!(matches!(
+            expr("a BETWEEN 1 AND 5 AND b").kind,
+            ExprKind::Binary { op: BinOp::And, .. }
+        ));
+        assert!(matches!(expr("NOT a").kind, ExprKind::Not(_)));
+    }
+
+    #[test]
+    fn date_and_negative_literals() {
+        assert_eq!(expr("DATE '1994-01-01'").kind, ExprKind::Date(8766));
+        assert_eq!(expr("-5").kind, ExprKind::Int(-5));
+        assert_eq!(expr("-2.5").kind, ExprKind::Float(-2.5));
+    }
+
+    #[test]
+    fn case_extract_substring_cast() {
+        assert!(matches!(expr("CASE WHEN a THEN 1 ELSE 0 END").kind, ExprKind::Case { .. }));
+        assert!(matches!(expr("EXTRACT(YEAR FROM d)").kind, ExprKind::ExtractYear(_)));
+        assert!(matches!(
+            expr("SUBSTRING(s FROM 1 FOR 2)").kind,
+            ExprKind::Substring { start: 1, len: 2, .. }
+        ));
+        assert!(matches!(
+            expr("substr(s, 3, 4)").kind,
+            ExprKind::Substring { start: 3, len: 4, .. }
+        ));
+        assert!(matches!(
+            expr("CAST(a AS DOUBLE)").kind,
+            ExprKind::Cast { to: DataType::Float64, .. }
+        ));
+    }
+
+    #[test]
+    fn count_star_and_distinct() {
+        assert!(matches!(
+            expr("count(*)").kind,
+            ExprKind::Function { star: true, distinct: false, .. }
+        ));
+        assert!(matches!(
+            expr("count(DISTINCT a)").kind,
+            ExprKind::Function { star: false, distinct: true, .. }
+        ));
+    }
+
+    #[test]
+    fn full_statement_shape() {
+        let stmt = parse(
+            "SELECT a, sum(b) AS total FROM t JOIN u ON t_key = u_key \
+             WHERE c > 1 GROUP BY a HAVING sum(b) > 10 ORDER BY total DESC LIMIT 5;",
+        )
+        .unwrap();
+        assert_eq!(stmt.items.len(), 2);
+        assert_eq!(stmt.from.name, "t");
+        assert_eq!(stmt.joins.len(), 1);
+        assert!(stmt.selection.is_some());
+        assert_eq!(stmt.group_by.len(), 1);
+        assert!(stmt.having.is_some());
+        assert_eq!(stmt.order_by.len(), 1);
+        assert!(!stmt.order_by[0].ascending);
+        assert_eq!(stmt.limit, Some(5));
+    }
+
+    #[test]
+    fn table_aliases() {
+        let stmt = parse("SELECT * FROM lineitem l JOIN orders AS o ON a = b").unwrap();
+        assert_eq!(stmt.from.binding_name(), "l");
+        assert_eq!(stmt.joins[0].table.binding_name(), "o");
+    }
+
+    #[test]
+    fn error_positions_and_expected_tokens() {
+        // Missing FROM.
+        let err = parse("SELECT a GROUP BY a").unwrap_err();
+        assert!(err.to_string().contains("expected FROM"), "{err}");
+        assert_eq!(err.pos, Pos::new(1, 10));
+
+        // Unclosed parenthesis.
+        let err = parse("SELECT (a + 1 FROM t").unwrap_err();
+        assert!(err.to_string().contains("expected ')'"), "{err}");
+
+        // Garbage after the statement.
+        let err = parse("SELECT a FROM t WHERE").unwrap_err();
+        assert!(err.to_string().contains("expected an expression"), "{err}");
+
+        // Malformed dates: bad month, leap day, and out-of-range years
+        // (absurd years would spin or overflow the epoch-day conversion).
+        for bad in [
+            "1994-13-01",
+            "1995-02-29",
+            "99999999999-01-01",
+            "10000-01-01",
+            "0000-01-01",
+            "1994-+1-01",
+        ] {
+            let err = parse(&format!("SELECT a FROM t WHERE d > DATE '{bad}'")).unwrap_err();
+            assert!(err.to_string().contains("malformed date"), "{bad}: {err}");
+            assert_eq!(err.pos.line, 1);
+        }
+
+        // Bad LIMIT.
+        let err = parse("SELECT a FROM t LIMIT x").unwrap_err();
+        assert!(err.to_string().contains("LIMIT"), "{err}");
+    }
+
+    #[test]
+    fn rejections_are_informative() {
+        for (sql, needle) in [
+            ("SELECT DISTINCT a FROM t", "DISTINCT"),
+            ("SELECT a FROM t LEFT JOIN u ON x = y", "outer joins"),
+            ("SELECT a FROM t CROSS JOIN u", "CROSS JOIN"),
+            ("SELECT a FROM t, u WHERE x = y", "comma-separated"),
+            ("SELECT CASE WHEN a THEN 1 END FROM t", "ELSE"),
+            ("SELECT NULL FROM t", "NULL"),
+            ("SELECT EXTRACT(MONTH FROM d) FROM t", "YEAR"),
+        ] {
+            let err = parse(sql).unwrap_err();
+            assert!(err.to_string().contains(needle), "{sql}: {err}");
+        }
+    }
+}

@@ -10,6 +10,7 @@
 
 mod q01_q11;
 mod q12_q22;
+pub mod sql;
 
 use quokka_common::{QuokkaError, Result};
 use quokka_plan::logical::{LogicalPlan, PlanBuilder};

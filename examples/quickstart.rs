@@ -78,5 +78,23 @@ fn main() -> quokka::Result<()> {
     let expected = session.run_reference(&plan)?;
     assert!(quokka::same_result(&expected, &outcome.batch));
     println!("\nresult verified against the reference executor");
+
+    // The same query as SQL text: parsed, bound against the session's
+    // catalog, and executed on the same simulated cluster.
+    let handle = session.sql(
+        "SELECT p_category AS category, sum(s_amount) AS revenue, count(*) AS sales \
+         FROM products JOIN sales ON p_id = s_product \
+         WHERE s_amount > 5 \
+         GROUP BY p_category \
+         ORDER BY revenue DESC",
+    )?;
+    println!("\nSQL plan:\n{}", handle.explain());
+    let sql_outcome = handle.collect()?;
+    assert!(quokka::same_result(&sql_outcome.batch, &outcome.batch));
+    println!("SQL result matches the hand-built plan");
+
+    // Malformed SQL fails with a positioned error instead of panicking.
+    let err = session.sql("SELECT revenu FROM sales").unwrap_err();
+    println!("error example: {err}");
     Ok(())
 }
