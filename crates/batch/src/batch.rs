@@ -121,6 +121,23 @@ impl Batch {
         Batch { schema, columns, rows: self.rows }
     }
 
+    /// Project this batch down to the columns of `target` (a subset of this
+    /// batch's schema, matched by name). Scans narrowed by the optimizer's
+    /// projection pruning use this to drop unreferenced table columns at
+    /// read time; a batch already shaped like `target` moves through
+    /// untouched (by value, so the unpruned fast path copies nothing).
+    pub fn select_to(self, target: &Schema) -> Result<Batch> {
+        if self.schema() == target {
+            return Ok(self);
+        }
+        let indices = target
+            .fields()
+            .iter()
+            .map(|f| self.schema.index_of(&f.name))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(self.project(&indices))
+    }
+
     /// Concatenate batches that share a schema. An empty slice produces an
     /// error (there is no schema to give the result).
     pub fn concat(batches: &[Batch]) -> Result<Batch> {

@@ -1,0 +1,138 @@
+//! Shuffle-volume harness: optimized vs unoptimized TPC-H plans.
+//!
+//! Runs each query twice on the distributed runtime — once with the logical
+//! optimizer disabled (the plan exactly as written) and once with it enabled
+//! — and compares the bytes pushed across workers, in total and per stage
+//! edge. Predicate pushdown and projection pruning shrink the scan→join
+//! edges; this harness is where that win is measured and regression-gated.
+//!
+//! Results go to `BENCH_shuffle.json`. The run **fails** (non-zero exit) if
+//! the optimized plan of any gated query (Q3, Q5, Q9 — the join-heavy
+//! representatives) does not shuffle strictly fewer bytes than its
+//! unoptimized twin, or if the two plans ever disagree on the result rows.
+//!
+//! Run with: `cargo run --release -p quokka-bench --bin shuffle`
+//!
+//! Environment knobs: `QUOKKA_SF` (default 0.01), `QUOKKA_WORKERS` (default
+//! 4), `QUOKKA_QUERIES` (default 1,3,5,6,9,10,12), `QUOKKA_BENCH_OUT`
+//! (default `BENCH_shuffle.json`).
+
+use quokka::{same_result, EngineConfig, QuokkaSession};
+
+/// Queries whose shuffle volume must strictly shrink under optimization.
+const GATED: [usize; 3] = [3, 5, 9];
+
+struct Entry {
+    query: usize,
+    naive_bytes: u64,
+    optimized_bytes: u64,
+    optimized_edges: Vec<(u32, u32, u64)>,
+}
+
+impl Entry {
+    fn reduction(&self) -> f64 {
+        if self.naive_bytes == 0 {
+            0.0
+        } else {
+            1.0 - self.optimized_bytes as f64 / self.naive_bytes as f64
+        }
+    }
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let scale_factor = env_f64("QUOKKA_SF", 0.01);
+    let workers = env_u32("QUOKKA_WORKERS", 4);
+    let queries = quokka_bench::queries_from_env(&[1, 3, 5, 6, 9, 10, 12]);
+    let out_path =
+        std::env::var("QUOKKA_BENCH_OUT").unwrap_or_else(|_| "BENCH_shuffle.json".to_string());
+
+    eprintln!("[shuffle] generating TPC-H data at SF {scale_factor} ...");
+    let session = QuokkaSession::tpch(scale_factor, workers).expect("generate TPC-H data");
+    let naive_config = EngineConfig::quokka(workers).with_optimize(false);
+    let optimized_config = EngineConfig::quokka(workers).with_optimize(true);
+
+    let mut entries = Vec::new();
+    for &q in &queries {
+        let plan = quokka::tpch::query(q).expect("TPC-H plan");
+        let naive = session.run_with(&plan, &naive_config).expect("unoptimized run");
+        let optimized = session.run_with(&plan, &optimized_config).expect("optimized run");
+        assert!(
+            same_result(&naive.batch, &optimized.batch),
+            "Q{q}: optimized and unoptimized plans disagree on the result"
+        );
+        let entry = Entry {
+            query: q,
+            naive_bytes: naive.metrics.shuffle_bytes,
+            optimized_bytes: optimized.metrics.shuffle_bytes,
+            optimized_edges: optimized
+                .metrics
+                .shuffle_edges
+                .iter()
+                .map(|e| (e.from_stage, e.to_stage, e.bytes))
+                .collect(),
+        };
+        eprintln!(
+            "Q{q:<3} naive {:>12} B   optimized {:>12} B   (-{:.1}%)",
+            entry.naive_bytes,
+            entry.optimized_bytes,
+            entry.reduction() * 100.0
+        );
+        entries.push(entry);
+    }
+
+    // Hand-rolled JSON (no serde in this environment).
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"scale_factor\": {scale_factor},\n"));
+    json.push_str(&format!("  \"workers\": {workers},\n"));
+    json.push_str("  \"queries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let edges: Vec<String> = e
+            .optimized_edges
+            .iter()
+            .map(|(from, to, bytes)| {
+                format!("{{\"from_stage\": {from}, \"to_stage\": {to}, \"bytes\": {bytes}}}")
+            })
+            .collect();
+        json.push_str(&format!(
+            "    {{\"query\": {}, \"naive_shuffle_bytes\": {}, \"optimized_shuffle_bytes\": {}, \
+             \"reduction\": {:.4}, \"optimized_edges\": [{}]}}{}\n",
+            e.query,
+            e.naive_bytes,
+            e.optimized_bytes,
+            e.reduction(),
+            edges.join(", "),
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark results");
+    eprintln!("wrote {out_path}");
+
+    // Regression gate: the join-heavy queries must shuffle strictly less.
+    // A gated query missing from the run set is itself a failure — the gate
+    // must never pass vacuously (e.g. a trimmed QUOKKA_QUERIES override).
+    for q in GATED {
+        let e = entries.iter().find(|e| e.query == q).unwrap_or_else(|| {
+            panic!("Q{q} is gated but was not run; include it in QUOKKA_QUERIES")
+        });
+        assert!(
+            e.optimized_bytes < e.naive_bytes,
+            "Q{q}: optimizer did not reduce shuffle volume \
+             ({} optimized vs {} naive bytes)",
+            e.optimized_bytes,
+            e.naive_bytes
+        );
+    }
+    eprintln!(
+        "[shuffle] gate passed: optimized Q3/Q5/Q9 shuffle strictly fewer bytes than naive twins"
+    );
+}

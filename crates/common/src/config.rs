@@ -241,6 +241,11 @@ pub struct EngineConfig {
     pub batch_rows: usize,
     /// Seed for any randomised decision (worker placement during recovery).
     pub seed: u64,
+    /// Whether the rule-based logical optimizer rewrites plans before stage
+    /// compilation (on by default; disable to execute plans exactly as
+    /// written, e.g. for optimized-vs-naive parity and shuffle-volume
+    /// comparisons).
+    pub optimize: bool,
 }
 
 impl EngineConfig {
@@ -256,6 +261,7 @@ impl EngineConfig {
             failures: Vec::new(),
             batch_rows: 8192,
             seed: 0x5eed,
+            optimize: true,
         }
     }
 
@@ -311,6 +317,10 @@ impl EngineConfig {
     }
     pub fn with_channels_per_stage(mut self, channels: u32) -> Self {
         self.cluster.channels_per_stage = channels;
+        self
+    }
+    pub fn with_optimize(mut self, optimize: bool) -> Self {
+        self.optimize = optimize;
         self
     }
 }

@@ -7,10 +7,27 @@
 //! recovery time — so the benchmark harness can print the "why" next to the
 //! "what".
 
+use crate::ids::StageId;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Bytes shuffled across one stage edge (producer stage → consumer stage)
+/// over the simulated network. The per-edge breakdown is what makes
+/// optimizer wins measurable: predicate pushdown and projection pruning
+/// shrink specific scan→join edges, and the shuffle-volume bench asserts on
+/// exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShuffleEdge {
+    /// Stage that produced the shuffled slices.
+    pub from_stage: StageId,
+    /// Stage that consumed them.
+    pub to_stage: StageId,
+    /// Total bytes pushed across workers on this edge.
+    pub bytes: u64,
+}
 
 /// A snapshot of the counters for one query run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -23,6 +40,8 @@ pub struct QueryMetrics {
     pub recovery_tasks: u64,
     /// Bytes of shuffle data pushed over the (simulated) network.
     pub shuffle_bytes: u64,
+    /// Per-edge breakdown of `shuffle_bytes`, sorted by (from, to) stage.
+    pub shuffle_edges: Vec<ShuffleEdge>,
     /// Bytes written to the durable object store (spooling / checkpoints).
     pub durable_bytes: u64,
     /// Bytes written to workers' local disks (upstream backup).
@@ -71,6 +90,7 @@ pub struct MetricsRegistry {
     tasks_executed: AtomicU64,
     recovery_tasks: AtomicU64,
     shuffle_bytes: AtomicU64,
+    shuffle_edges: Mutex<BTreeMap<(StageId, StageId), u64>>,
     durable_bytes: AtomicU64,
     backup_bytes: AtomicU64,
     checkpoint_bytes: AtomicU64,
@@ -94,6 +114,12 @@ impl MetricsRegistry {
     }
     pub fn add_shuffle_bytes(&self, bytes: u64) {
         self.shuffle_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+    /// Record shuffled bytes against the (producer stage, consumer stage)
+    /// edge, in addition to the `shuffle_bytes` total the caller records.
+    pub fn add_shuffle_edge(&self, from_stage: StageId, to_stage: StageId, bytes: u64) {
+        let mut edges = self.shuffle_edges.lock().expect("shuffle edge map poisoned");
+        *edges.entry((from_stage, to_stage)).or_insert(0) += bytes;
     }
     pub fn add_durable_bytes(&self, bytes: u64) {
         self.durable_bytes.fetch_add(bytes, Ordering::Relaxed);
@@ -128,6 +154,17 @@ impl MetricsRegistry {
             tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
             recovery_tasks: self.recovery_tasks.load(Ordering::Relaxed),
             shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
+            shuffle_edges: self
+                .shuffle_edges
+                .lock()
+                .expect("shuffle edge map poisoned")
+                .iter()
+                .map(|(&(from_stage, to_stage), &bytes)| ShuffleEdge {
+                    from_stage,
+                    to_stage,
+                    bytes,
+                })
+                .collect(),
             durable_bytes: self.durable_bytes.load(Ordering::Relaxed),
             backup_bytes: self.backup_bytes.load(Ordering::Relaxed),
             checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
@@ -152,6 +189,9 @@ mod tests {
         reg.add_task(false);
         reg.add_task(true);
         reg.add_shuffle_bytes(100);
+        reg.add_shuffle_edge(0, 2, 60);
+        reg.add_shuffle_edge(1, 2, 30);
+        reg.add_shuffle_edge(0, 2, 10);
         reg.add_durable_bytes(50);
         reg.add_backup_bytes(25);
         reg.add_lineage_bytes(12);
@@ -164,6 +204,13 @@ mod tests {
         assert_eq!(snap.tasks_executed, 2);
         assert_eq!(snap.recovery_tasks, 1);
         assert_eq!(snap.shuffle_bytes, 100);
+        assert_eq!(
+            snap.shuffle_edges,
+            vec![
+                ShuffleEdge { from_stage: 0, to_stage: 2, bytes: 70 },
+                ShuffleEdge { from_stage: 1, to_stage: 2, bytes: 30 },
+            ]
+        );
         assert_eq!(snap.durable_bytes, 50);
         assert_eq!(snap.backup_bytes, 25);
         assert_eq!(snap.lineage_bytes, 12);

@@ -14,6 +14,7 @@ use quokka_gcs::Gcs;
 use quokka_net::DataPlane;
 use quokka_plan::catalog::Catalog;
 use quokka_plan::logical::LogicalPlan;
+use quokka_plan::optimizer::Optimizer;
 use quokka_plan::stage::StageGraph;
 use quokka_storage::{CostModel, DurableObjectStore, LocalBackupStore};
 use std::collections::BTreeMap;
@@ -46,8 +47,18 @@ impl QueryRunner {
     }
 
     /// Execute `plan` against the base tables provided by `catalog`.
+    ///
+    /// Unless [`EngineConfig::optimize`] is disabled, the plan first runs
+    /// through the rule-based logical optimizer (with the catalog supplying
+    /// row-count estimates for build-side selection), so the stage graph is
+    /// compiled from the optimized plan.
     pub fn run(&self, plan: &LogicalPlan, catalog: &dyn Catalog) -> Result<QueryOutcome> {
-        self.run_with_restart_budget(plan, catalog, 1)
+        if self.config.optimize {
+            let optimized = Optimizer::with_catalog(catalog).optimize(plan)?;
+            self.run_with_restart_budget(&optimized, catalog, 1)
+        } else {
+            self.run_with_restart_budget(plan, catalog, 1)
+        }
     }
 
     fn run_with_restart_budget(

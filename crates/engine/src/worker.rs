@@ -315,6 +315,10 @@ impl StageWorker {
                     let payload =
                         services.durable.get(&Services::table_split_key(&scan.table, *split))?;
                     for batch in decode_partition(&payload)? {
+                        // Stored splits carry the full table schema; a scan
+                        // narrowed by projection pruning reads a column
+                        // subset.
+                        let batch = batch.select_to(&scan.schema)?;
                         outputs.extend(rt.op.push(0, &batch)?);
                     }
                 }

@@ -57,6 +57,7 @@ impl DataPlane {
             let bytes: u64 = batches.iter().map(|b| b.byte_size() as u64).sum();
             self.cost.charge_network(bytes);
             self.metrics.add_shuffle_bytes(bytes);
+            self.metrics.add_shuffle_edge(producer.stage, consumer.stage, bytes);
         }
         server.push(consumer, producer, batches)
     }

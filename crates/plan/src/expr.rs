@@ -345,6 +345,135 @@ impl Expr {
             }
         }
     }
+
+    /// Whether every column this expression references appears in `schema`.
+    pub fn references_only(&self, schema: &Schema) -> bool {
+        self.referenced_columns().iter().all(|c| schema.index_of(c).is_ok())
+    }
+
+    /// Apply `f` to every direct child expression, rebuilding this node.
+    pub fn map_children(self, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
+        match self {
+            Expr::Column(_) | Expr::Literal(_) => self,
+            Expr::Arith { op, left, right } => {
+                Expr::Arith { op, left: Box::new(f(*left)), right: Box::new(f(*right)) }
+            }
+            Expr::Cmp { op, left, right } => {
+                Expr::Cmp { op, left: Box::new(f(*left)), right: Box::new(f(*right)) }
+            }
+            Expr::And(l, r) => Expr::And(Box::new(f(*l)), Box::new(f(*r))),
+            Expr::Or(l, r) => Expr::Or(Box::new(f(*l)), Box::new(f(*r))),
+            Expr::Not(e) => Expr::Not(Box::new(f(*e))),
+            Expr::Like { expr, pattern, negated } => {
+                Expr::Like { expr: Box::new(f(*expr)), pattern, negated }
+            }
+            Expr::InList { expr, list, negated } => {
+                Expr::InList { expr: Box::new(f(*expr)), list, negated }
+            }
+            Expr::Between { expr, low, high } => {
+                Expr::Between { expr: Box::new(f(*expr)), low, high }
+            }
+            Expr::Case { branches, otherwise } => Expr::Case {
+                branches: branches.into_iter().map(|(c, t)| (f(c), f(t))).collect(),
+                otherwise: Box::new(f(*otherwise)),
+            },
+            Expr::Year(e) => Expr::Year(Box::new(f(*e))),
+            Expr::Substr { expr, start, len } => {
+                Expr::Substr { expr: Box::new(f(*expr)), start, len }
+            }
+            Expr::Cast { expr, to } => Expr::Cast { expr: Box::new(f(*expr)), to },
+        }
+    }
+
+    /// Bottom-up rewrite: children are rewritten first, then `f` is applied
+    /// to the rebuilt node.
+    pub fn transform_up(self, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
+        let node = self.map_children(&mut |child| child.transform_up(f));
+        f(node)
+    }
+
+    /// Replace every column reference with the expression `lookup` maps it
+    /// to (references `lookup` does not cover are kept). Used to push a
+    /// predicate below the projection that computes its inputs.
+    pub fn substitute(self, lookup: &impl Fn(&str) -> Option<Expr>) -> Expr {
+        self.transform_up(&mut |e| match &e {
+            Expr::Column(name) => lookup(name).unwrap_or(e),
+            _ => e,
+        })
+    }
+
+    /// Evaluate this expression if it references no columns, yielding its
+    /// constant value. Non-constant expressions (and constant expressions
+    /// whose evaluation fails) yield `None`.
+    pub fn const_value(&self) -> Option<ScalarValue> {
+        if matches!(self, Expr::Literal(_)) || !self.referenced_columns().is_empty() {
+            return None;
+        }
+        // Reuse the columnar evaluator over a 1-row carrier batch so folded
+        // semantics are identical to runtime semantics by construction.
+        let schema = Schema::from_pairs(&[("__const", DataType::Int64)]);
+        let carrier = Batch::try_new(schema, vec![Column::Int64(vec![0])]).ok()?;
+        let column = self.evaluate(&carrier).ok()?;
+        (column.len() == 1).then(|| column.get(0))
+    }
+
+    /// Fold constant subexpressions into literals and apply the boolean
+    /// identities (`true AND x` → `x`, `false OR x` → `x`, ...). The result
+    /// evaluates identically on every batch.
+    pub fn fold_constants(self) -> Expr {
+        self.transform_up(&mut |e| {
+            if let Some(value) = e.const_value() {
+                return Expr::Literal(value);
+            }
+            match e {
+                Expr::And(l, r) => match (&*l, &*r) {
+                    (Expr::Literal(ScalarValue::Bool(true)), _) => *r,
+                    (_, Expr::Literal(ScalarValue::Bool(true))) => *l,
+                    (Expr::Literal(ScalarValue::Bool(false)), _)
+                    | (_, Expr::Literal(ScalarValue::Bool(false))) => {
+                        Expr::Literal(ScalarValue::Bool(false))
+                    }
+                    _ => Expr::And(l, r),
+                },
+                Expr::Or(l, r) => match (&*l, &*r) {
+                    (Expr::Literal(ScalarValue::Bool(false)), _) => *r,
+                    (_, Expr::Literal(ScalarValue::Bool(false))) => *l,
+                    (Expr::Literal(ScalarValue::Bool(true)), _)
+                    | (_, Expr::Literal(ScalarValue::Bool(true))) => {
+                        Expr::Literal(ScalarValue::Bool(true))
+                    }
+                    _ => Expr::Or(l, r),
+                },
+                Expr::Not(inner) => match &*inner {
+                    Expr::Literal(ScalarValue::Bool(b)) => Expr::Literal(ScalarValue::Bool(!b)),
+                    Expr::Not(e) => (**e).clone(),
+                    _ => Expr::Not(inner),
+                },
+                other => other,
+            }
+        })
+    }
+
+    /// Split a conjunction into its flat list of conjuncts.
+    pub fn split_conjuncts(self) -> Vec<Expr> {
+        let mut out = Vec::new();
+        fn walk(e: Expr, out: &mut Vec<Expr>) {
+            match e {
+                Expr::And(l, r) => {
+                    walk(*l, out);
+                    walk(*r, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// AND a list of conjuncts back together (None for an empty list).
+    pub fn conjoin(conjuncts: Vec<Expr>) -> Option<Expr> {
+        conjuncts.into_iter().reduce(|acc, e| acc.and(e))
+    }
 }
 
 /// Element-wise select: `mask[i] ? a[i] : b[i]`.

@@ -9,6 +9,10 @@
 //!   `CASE`, date extraction) with a columnar evaluator.
 //! * [`aggregate`] — aggregate functions and their accumulators.
 //! * [`logical`] — the logical plan DSL used to express the TPC-H queries.
+//! * [`optimizer`] — the rule-based logical optimizer both frontends flow
+//!   through: constant folding, filter merging, predicate pushdown,
+//!   filter-to-join conversion, build-side selection from catalog row
+//!   counts, top-k pushdown, and scan-column pruning.
 //! * [`physical`] — stateful stage operators (filter/project, hash join,
 //!   hash aggregate, sort/top-k, limit) implementing the channel state
 //!   variables of the paper's execution model (Fig. 1).
@@ -25,6 +29,7 @@ pub mod aggregate;
 pub mod catalog;
 pub mod expr;
 pub mod logical;
+pub mod optimizer;
 pub mod physical;
 pub mod reference;
 pub mod stage;
@@ -33,6 +38,7 @@ pub use aggregate::{AggExpr, AggFunc};
 pub use catalog::{Catalog, MemoryCatalog};
 pub use expr::Expr;
 pub use logical::{JoinType, LogicalPlan, PlanBuilder};
+pub use optimizer::Optimizer;
 pub use physical::{CoreOp, OperatorSpec, StageOperator, Transform};
 pub use reference::ReferenceExecutor;
 pub use stage::{StageGraph, StageSpec};

@@ -109,6 +109,80 @@ impl LogicalPlan {
         }
     }
 
+    /// Rebuild this node with `f` applied to each direct child.
+    pub fn map_children(
+        self,
+        f: &mut impl FnMut(LogicalPlan) -> Result<LogicalPlan>,
+    ) -> Result<LogicalPlan> {
+        Ok(match self {
+            LogicalPlan::Scan { .. } => self,
+            LogicalPlan::Filter { input, predicate } => {
+                LogicalPlan::Filter { input: Box::new(f(*input)?), predicate }
+            }
+            LogicalPlan::Project { input, exprs } => {
+                LogicalPlan::Project { input: Box::new(f(*input)?), exprs }
+            }
+            LogicalPlan::Join { build, probe, on, join_type } => LogicalPlan::Join {
+                build: Box::new(f(*build)?),
+                probe: Box::new(f(*probe)?),
+                on,
+                join_type,
+            },
+            LogicalPlan::Aggregate { input, group_by, aggregates } => {
+                LogicalPlan::Aggregate { input: Box::new(f(*input)?), group_by, aggregates }
+            }
+            LogicalPlan::Sort { input, keys, limit } => {
+                LogicalPlan::Sort { input: Box::new(f(*input)?), keys, limit }
+            }
+            LogicalPlan::Limit { input, n } => {
+                LogicalPlan::Limit { input: Box::new(f(*input)?), n }
+            }
+        })
+    }
+
+    /// Bottom-up rewrite: children are rewritten first, then `f` runs on the
+    /// rebuilt node. This is the traversal every optimizer rule is written
+    /// against.
+    pub fn transform_up(
+        self,
+        f: &mut impl FnMut(LogicalPlan) -> Result<LogicalPlan>,
+    ) -> Result<LogicalPlan> {
+        let node = self.map_children(&mut |child| child.transform_up(f))?;
+        f(node)
+    }
+
+    /// Top-down rewrite: `f` runs on the node first, then its (possibly
+    /// replaced) children are rewritten.
+    pub fn transform_down(
+        self,
+        f: &mut impl FnMut(LogicalPlan) -> Result<LogicalPlan>,
+    ) -> Result<LogicalPlan> {
+        f(self)?.map_children(&mut |child| child.transform_down(f))
+    }
+
+    /// Apply `f` to every expression held by this single node (not its
+    /// children's expressions).
+    pub fn map_expressions(self, f: &mut impl FnMut(Expr) -> Expr) -> LogicalPlan {
+        match self {
+            LogicalPlan::Filter { input, predicate } => {
+                LogicalPlan::Filter { input, predicate: f(predicate) }
+            }
+            LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+                input,
+                exprs: exprs.into_iter().map(|(e, n)| (f(e), n)).collect(),
+            },
+            LogicalPlan::Aggregate { input, group_by, aggregates } => LogicalPlan::Aggregate {
+                input,
+                group_by: group_by.into_iter().map(|(e, n)| (f(e), n)).collect(),
+                aggregates: aggregates
+                    .into_iter()
+                    .map(|a| AggExpr { func: a.func, expr: f(a.expr), alias: a.alias })
+                    .collect(),
+            },
+            other => other,
+        }
+    }
+
     /// Names of every base table referenced by the plan, in first-use order.
     pub fn referenced_tables(&self) -> Vec<String> {
         let mut out = Vec::new();
@@ -150,8 +224,13 @@ impl LogicalPlan {
         fn walk(plan: &LogicalPlan, depth: usize, out: &mut String) {
             out.push_str(&"  ".repeat(depth));
             match plan {
-                LogicalPlan::Scan { table, .. } => out.push_str(&format!("Scan: {table}\n")),
-                LogicalPlan::Filter { .. } => out.push_str("Filter\n"),
+                LogicalPlan::Scan { table, schema } => {
+                    out.push_str(&format!("Scan: {table} [{}]\n", schema.column_names().join(", ")))
+                }
+                LogicalPlan::Filter { predicate, .. } => {
+                    let cols = predicate.referenced_columns();
+                    out.push_str(&format!("Filter: on [{}]\n", cols.join(", ")));
+                }
                 LogicalPlan::Project { exprs, .. } => {
                     let names: Vec<&str> = exprs.iter().map(|(_, n)| n.as_str()).collect();
                     out.push_str(&format!("Project: {}\n", names.join(", ")));

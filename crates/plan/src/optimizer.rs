@@ -1,0 +1,880 @@
+//! Rule-based logical optimizer.
+//!
+//! Both frontends — the [`PlanBuilder`](crate::logical::PlanBuilder) DSL and
+//! the SQL binder — emit plans exactly as written: `WHERE` filters above the
+//! join tree, scans that materialize every column, and whatever build/probe
+//! order the query author happened to choose. This module rewrites those
+//! naive plans into the shape a columnar, shuffle-based engine wants to
+//! execute: selections evaluated at (or fused into) the scans, scans that
+//! read only the columns the query references, equi-joins recovered from
+//! cross joins, the smaller input on the build side of each hash join, and
+//! top-k limits folded into their sorts.
+//!
+//! Every rule preserves the plan's output schema and its result multiset —
+//! the optimized and unoptimized plan of any query must be observationally
+//! identical on the reference executor and on the distributed runtime
+//! (including under fault injection). [`Optimizer::optimize`] re-derives the
+//! output schema after rewriting and fails loudly if a rule ever broke that
+//! contract.
+//!
+//! The rules, in pipeline order:
+//!
+//! 1. **Constant folding** — fold column-free subexpressions into literals
+//!    (through the same columnar evaluator the runtime uses) and apply the
+//!    boolean identities; `Filter(true)` nodes disappear.
+//! 2. **Filter merging** — adjacent filters collapse into one conjunction.
+//! 3. **Predicate pushdown** — filters sink below projections (with
+//!    column-reference substitution), below sorts, into the matching side of
+//!    inner joins (probe side only for the outer-ish variants), through
+//!    group-key columns of aggregations, and down to the scans, where stage
+//!    fusion evaluates them inside the scan tasks.
+//! 4. **Filter → join conversion** — an equality conjunct relating the two
+//!    sides of an inner join becomes a hash-join key; a cross join (as
+//!    lowered from a comma-separated `FROM` list) plus `WHERE` equality
+//!    becomes an ordinary equi-join.
+//! 5. **Build-side selection** — using catalog row counts, the smaller
+//!    estimated input of an inner join becomes the build (hash-table) side;
+//!    a reordering projection keeps the output schema identical.
+//! 6. **Top-k pushdown** — `Limit` over `Sort` becomes a top-k sort.
+//! 7. **Projection pruning** — scans are narrowed to the columns the rest of
+//!    the plan actually references (re-derived *after* pushdown, so pushed
+//!    predicates keep their columns alive at the scan but nowhere above it).
+
+use crate::catalog::Catalog;
+use crate::expr::{CmpOpKind, Expr};
+use crate::logical::{JoinType, LogicalPlan};
+use quokka_batch::datatype::ScalarValue;
+use quokka_batch::Schema;
+use quokka_common::{QuokkaError, Result};
+use std::collections::BTreeSet;
+
+/// Default row-count estimate for tables the statistics source cannot
+/// answer for.
+const DEFAULT_TABLE_ROWS: f64 = 1000.0;
+
+/// Fraction of rows assumed to survive a filter when estimating join input
+/// sizes. The exact value matters little: build-side selection only compares
+/// the two sides of one join.
+const FILTER_SELECTIVITY: f64 = 0.25;
+
+/// The rule names, in pipeline order (EXPLAIN and docs reference these).
+pub const RULE_NAMES: [&str; 7] = [
+    "fold_constants",
+    "merge_filters",
+    "push_down_filters",
+    "filter_to_join",
+    "choose_build_side",
+    "push_down_topk",
+    "prune_scan_columns",
+];
+
+/// Rule-based plan rewriter. Construct with [`Optimizer::new`] (no
+/// statistics: build-side selection is skipped) or
+/// [`Optimizer::with_catalog`] (row counts drive build-side selection).
+pub struct Optimizer<'a> {
+    catalog: Option<&'a dyn Catalog>,
+}
+
+impl Default for Optimizer<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'a> Optimizer<'a> {
+    /// An optimizer without table statistics.
+    pub fn new() -> Self {
+        Optimizer { catalog: None }
+    }
+
+    /// An optimizer that reads row-count estimates from `catalog`.
+    pub fn with_catalog(catalog: &'a dyn Catalog) -> Self {
+        Optimizer { catalog: Some(catalog) }
+    }
+
+    /// Run the full rule pipeline over `plan`.
+    ///
+    /// The output schema is guaranteed identical to the input plan's; a rule
+    /// that would change it is a bug and reported as a `PlanError`.
+    pub fn optimize(&self, plan: &LogicalPlan) -> Result<LogicalPlan> {
+        let original_schema = plan.schema()?;
+        let mut optimized = fold_constants(plan.clone())?;
+        optimized = merge_filters(optimized)?;
+        optimized = push_down_filters(optimized)?;
+        optimized = filter_to_join(optimized)?;
+        // Conversion can leave a filter directly above a join whose conjuncts
+        // now all belong to one side; give them a second chance to sink.
+        optimized = push_down_filters(optimized)?;
+        optimized = self.choose_build_side(optimized)?;
+        optimized = push_down_topk(optimized)?;
+        let required: BTreeSet<String> =
+            original_schema.column_names().iter().map(|s| s.to_string()).collect();
+        optimized = prune_scan_columns(optimized, &required)?;
+        let new_schema = optimized.schema()?;
+        if new_schema != original_schema {
+            return Err(QuokkaError::PlanError(format!(
+                "optimizer changed the output schema from {original_schema} to {new_schema}\n{}",
+                optimized.display_indent()
+            )));
+        }
+        Ok(optimized)
+    }
+
+    /// Apply a single rule from [`RULE_NAMES`] (tests use this to check
+    /// that every rule independently preserves schemas and results).
+    pub fn apply_rule(&self, name: &str, plan: &LogicalPlan) -> Result<LogicalPlan> {
+        let plan = plan.clone();
+        match name {
+            "fold_constants" => fold_constants(plan),
+            "merge_filters" => merge_filters(plan),
+            "push_down_filters" => push_down_filters(plan),
+            "filter_to_join" => filter_to_join(plan),
+            "choose_build_side" => self.choose_build_side(plan),
+            "push_down_topk" => push_down_topk(plan),
+            "prune_scan_columns" => {
+                let required: BTreeSet<String> =
+                    plan.schema()?.column_names().iter().map(|s| s.to_string()).collect();
+                prune_scan_columns(plan, &required)
+            }
+            other => Err(QuokkaError::PlanError(format!("unknown optimizer rule '{other}'"))),
+        }
+    }
+
+    // -- rule 5: build-side selection ---------------------------------------
+
+    /// Swap the sides of an inner join when the probe input is estimated to
+    /// be smaller than the build input, so the hash table is built over the
+    /// smaller side. A projection restores the original column order.
+    fn choose_build_side(&self, plan: LogicalPlan) -> Result<LogicalPlan> {
+        let Some(catalog) = self.catalog else { return Ok(plan) };
+        plan.transform_up(&mut |node| {
+            let LogicalPlan::Join { build, probe, on, join_type: JoinType::Inner } = node else {
+                return Ok(node);
+            };
+            let build_schema = build.schema()?;
+            let probe_schema = probe.schema()?;
+            // Reordering needs name-based resolution over the join output,
+            // which duplicate names across sides would make ambiguous.
+            let distinct_names =
+                build_schema.column_names().iter().all(|n| probe_schema.index_of(n).is_err());
+            // 1.5x hysteresis: near-equal sides keep the author's order.
+            let should_swap = distinct_names
+                && estimate_rows(&build, catalog) > 1.5 * estimate_rows(&probe, catalog);
+            if !should_swap {
+                return Ok(LogicalPlan::Join { build, probe, on, join_type: JoinType::Inner });
+            }
+            let swapped = LogicalPlan::Join {
+                build: probe,
+                probe: build,
+                on: on.into_iter().map(|(b, p)| (p, b)).collect(),
+                join_type: JoinType::Inner,
+            };
+            let reorder = build_schema
+                .column_names()
+                .iter()
+                .chain(probe_schema.column_names().iter())
+                .map(|name| (Expr::Column(name.to_string()), name.to_string()))
+                .collect();
+            Ok(LogicalPlan::Project { input: Box::new(swapped), exprs: reorder })
+        })
+    }
+}
+
+/// Row-count estimate for a subplan, from catalog statistics plus coarse
+/// per-operator selectivities. Only the *relative* order of the two sides of
+/// a join matters, so the constants are deliberately crude.
+fn estimate_rows(plan: &LogicalPlan, catalog: &dyn Catalog) -> f64 {
+    match plan {
+        LogicalPlan::Scan { table, .. } => {
+            catalog.table_rows(table).map(|r| r as f64).unwrap_or(DEFAULT_TABLE_ROWS).max(1.0)
+        }
+        LogicalPlan::Filter { input, .. } => FILTER_SELECTIVITY * estimate_rows(input, catalog),
+        LogicalPlan::Project { input, .. } => estimate_rows(input, catalog),
+        LogicalPlan::Join { build, probe, join_type, .. } => {
+            let b = estimate_rows(build, catalog);
+            let p = estimate_rows(probe, catalog);
+            match join_type {
+                // A foreign-key equi-join produces about as many rows as its
+                // larger (fact) side.
+                JoinType::Inner | JoinType::Left => b.max(p),
+                JoinType::Semi | JoinType::Anti => 0.5 * p,
+            }
+        }
+        LogicalPlan::Aggregate { input, group_by, .. } => {
+            if group_by.is_empty() {
+                1.0
+            } else {
+                0.25 * estimate_rows(input, catalog)
+            }
+        }
+        LogicalPlan::Sort { input, limit, .. } => {
+            let rows = estimate_rows(input, catalog);
+            limit.map(|n| rows.min(n as f64)).unwrap_or(rows)
+        }
+        LogicalPlan::Limit { input, n } => estimate_rows(input, catalog).min(*n as f64),
+    }
+}
+
+// -- rule 1: constant folding ------------------------------------------------
+
+/// Fold constant subexpressions in every node; drop filters whose predicate
+/// folded to `true`.
+fn fold_constants(plan: LogicalPlan) -> Result<LogicalPlan> {
+    plan.transform_up(&mut |node| {
+        let node = node.map_expressions(&mut |e| e.fold_constants());
+        Ok(match node {
+            LogicalPlan::Filter { input, predicate: Expr::Literal(ScalarValue::Bool(true)) } => {
+                *input
+            }
+            other => other,
+        })
+    })
+}
+
+// -- rule 2: filter merging --------------------------------------------------
+
+/// Collapse `Filter(Filter(x, a), b)` into `Filter(x, a AND b)`.
+fn merge_filters(plan: LogicalPlan) -> Result<LogicalPlan> {
+    plan.transform_up(&mut |node| match node {
+        LogicalPlan::Filter { input, predicate } => match *input {
+            LogicalPlan::Filter { input: inner, predicate: first } => {
+                Ok(LogicalPlan::Filter { input: inner, predicate: first.and(predicate) })
+            }
+            other => Ok(LogicalPlan::Filter { input: Box::new(other), predicate }),
+        },
+        other => Ok(other),
+    })
+}
+
+// -- rule 3: predicate pushdown ----------------------------------------------
+
+/// Sink every filter as far toward the scans as semantics allow. A single
+/// top-down pass suffices: a filter that sinks one level is revisited when
+/// the traversal descends into its new position.
+fn push_down_filters(plan: LogicalPlan) -> Result<LogicalPlan> {
+    plan.transform_down(&mut sink_filter)
+}
+
+/// Repeatedly push the filter at the top of `node` one level down, until it
+/// stops being the top node or cannot sink further.
+fn sink_filter(mut node: LogicalPlan) -> Result<LogicalPlan> {
+    loop {
+        let LogicalPlan::Filter { input, predicate } = node else { return Ok(node) };
+        let (pushed, changed) = push_filter_step(*input, predicate)?;
+        if !changed {
+            return Ok(pushed);
+        }
+        node = pushed;
+    }
+}
+
+/// One pushdown step for `Filter { input, predicate }`. Returns the new
+/// subtree and whether anything moved.
+fn push_filter_step(input: LogicalPlan, predicate: Expr) -> Result<(LogicalPlan, bool)> {
+    let keep = |input: LogicalPlan, predicate: Expr| {
+        (LogicalPlan::Filter { input: Box::new(input), predicate }, false)
+    };
+    Ok(match input {
+        // Merge filter stacks as they sink.
+        LogicalPlan::Filter { input, predicate: first } => {
+            (LogicalPlan::Filter { input, predicate: first.and(predicate) }, true)
+        }
+        // Below a projection, with output-column references replaced by the
+        // expressions that compute them.
+        LogicalPlan::Project { input, exprs } => {
+            let substituted = predicate
+                .substitute(&|name| exprs.iter().find(|(_, n)| n == name).map(|(e, _)| e.clone()));
+            let filtered = LogicalPlan::Filter { input, predicate: substituted };
+            (LogicalPlan::Project { input: Box::new(filtered), exprs }, true)
+        }
+        // Below a full sort (a top-k sort must see all rows first).
+        LogicalPlan::Sort { input, keys, limit: None } => {
+            let filtered = LogicalPlan::Filter { input, predicate };
+            (LogicalPlan::Sort { input: Box::new(filtered), keys, limit: None }, true)
+        }
+        // Into the join side(s) each conjunct references.
+        LogicalPlan::Join { build, probe, on, join_type } => {
+            let build_schema = build.schema()?;
+            let probe_schema = probe.schema()?;
+            let mut to_build = Vec::new();
+            let mut to_probe = Vec::new();
+            let mut residual = Vec::new();
+            for conjunct in predicate.split_conjuncts() {
+                let has_refs = !conjunct.referenced_columns().is_empty();
+                let in_build = has_refs && conjunct.references_only(&build_schema);
+                let in_probe = has_refs && conjunct.references_only(&probe_schema);
+                // Build-side pushdown is unsound for Left (filtering the
+                // build side turns matches into default-filled rows) and
+                // meaningless for Semi/Anti (the filter sees probe columns
+                // only). A name in both schemas is ambiguous: keep above.
+                match (in_build && !in_probe, in_probe && !in_build, join_type) {
+                    (true, false, JoinType::Inner) => to_build.push(conjunct),
+                    (false, true, _) => to_probe.push(conjunct),
+                    _ => residual.push(conjunct),
+                }
+            }
+            let changed = !to_build.is_empty() || !to_probe.is_empty();
+            let build = match Expr::conjoin(to_build) {
+                Some(p) => Box::new(LogicalPlan::Filter { input: build, predicate: p }),
+                None => build,
+            };
+            let probe = match Expr::conjoin(to_probe) {
+                Some(p) => Box::new(LogicalPlan::Filter { input: probe, predicate: p }),
+                None => probe,
+            };
+            let join = LogicalPlan::Join { build, probe, on, join_type };
+            match Expr::conjoin(residual) {
+                Some(p) => (LogicalPlan::Filter { input: Box::new(join), predicate: p }, changed),
+                None => (join, changed),
+            }
+        }
+        // Through an aggregation when every referenced column is a group
+        // key: filtering whole groups by a key value is the same as
+        // filtering their input rows by the key expression.
+        LogicalPlan::Aggregate { input, group_by, aggregates } => {
+            let key_names: BTreeSet<&str> = group_by.iter().map(|(_, n)| n.as_str()).collect();
+            let refs = predicate.referenced_columns();
+            if refs.is_empty() || !refs.iter().all(|c| key_names.contains(c.as_str())) {
+                keep(LogicalPlan::Aggregate { input, group_by, aggregates }, predicate)
+            } else {
+                let substituted = predicate.substitute(&|name| {
+                    group_by.iter().find(|(_, n)| n == name).map(|(e, _)| e.clone())
+                });
+                let filtered = LogicalPlan::Filter { input, predicate: substituted };
+                (LogicalPlan::Aggregate { input: Box::new(filtered), group_by, aggregates }, true)
+            }
+        }
+        other => keep(other, predicate),
+    })
+}
+
+// -- rule 4: filter -> join conversion ---------------------------------------
+
+/// Turn equality conjuncts relating the two sides of an inner join into
+/// hash-join keys. A cross join (empty key list, as lowered from a
+/// comma-separated FROM list) followed by `WHERE a = b` becomes a plain
+/// equi-join; joins that already have keys gain extra ones (e.g. Q5's
+/// `s_nationkey = c_nationkey` "local supplier" condition).
+fn filter_to_join(plan: LogicalPlan) -> Result<LogicalPlan> {
+    plan.transform_up(&mut |node| {
+        let LogicalPlan::Filter { input, predicate } = node else { return Ok(node) };
+        let LogicalPlan::Join { build, probe, mut on, join_type: JoinType::Inner } = *input else {
+            return Ok(LogicalPlan::Filter { input, predicate });
+        };
+        let build_schema = build.schema()?;
+        let probe_schema = probe.schema()?;
+        let mut residual = Vec::new();
+        for conjunct in predicate.split_conjuncts() {
+            match as_join_key(&conjunct, &build_schema, &probe_schema) {
+                Some(pair) => on.push(pair),
+                None => residual.push(conjunct),
+            }
+        }
+        let join = LogicalPlan::Join { build, probe, on, join_type: JoinType::Inner };
+        Ok(match Expr::conjoin(residual) {
+            Some(p) => LogicalPlan::Filter { input: Box::new(join), predicate: p },
+            None => join,
+        })
+    })
+}
+
+/// If `conjunct` is `a = b` with one plain column per join side (and equal
+/// types, so hash equality matches comparison equality), the key pair in
+/// `(build column, probe column)` order.
+fn as_join_key(
+    conjunct: &Expr,
+    build_schema: &Schema,
+    probe_schema: &Schema,
+) -> Option<(String, String)> {
+    let Expr::Cmp { op: CmpOpKind::Eq, left, right } = conjunct else { return None };
+    let (Expr::Column(a), Expr::Column(b)) = (&**left, &**right) else { return None };
+    // Each name must resolve on exactly one side, or hashing would read a
+    // different column than the comparison did.
+    let side = |name: &str| {
+        match (build_schema.index_of(name).is_ok(), probe_schema.index_of(name).is_ok()) {
+            (true, false) => Some(true),  // build
+            (false, true) => Some(false), // probe
+            _ => None,
+        }
+    };
+    let (build_col, probe_col) = match (side(a)?, side(b)?) {
+        (true, false) => (a.clone(), b.clone()),
+        (false, true) => (b.clone(), a.clone()),
+        _ => return None,
+    };
+    let same_type =
+        build_schema.data_type(&build_col).ok()? == probe_schema.data_type(&probe_col).ok()?;
+    same_type.then_some((build_col, probe_col))
+}
+
+// -- rule 6: top-k pushdown --------------------------------------------------
+
+/// Fold `Limit` over `Sort` into a top-k sort, and collapse limit stacks.
+fn push_down_topk(plan: LogicalPlan) -> Result<LogicalPlan> {
+    plan.transform_up(&mut |node| {
+        let LogicalPlan::Limit { input, n } = node else { return Ok(node) };
+        Ok(match *input {
+            LogicalPlan::Sort { input, keys, limit } => {
+                let k = limit.map_or(n, |l| l.min(n));
+                LogicalPlan::Sort { input, keys, limit: Some(k) }
+            }
+            LogicalPlan::Limit { input, n: m } => LogicalPlan::Limit { input, n: n.min(m) },
+            other => LogicalPlan::Limit { input: Box::new(other), n },
+        })
+    })
+}
+
+// -- rule 7: projection pruning ----------------------------------------------
+
+/// Narrow every scan to the columns required above it. `required` is the set
+/// of output column names the parent needs from `plan`.
+fn prune_scan_columns(plan: LogicalPlan, required: &BTreeSet<String>) -> Result<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::Scan { table, schema } => {
+            let kept: Vec<usize> = (0..schema.len())
+                .filter(|&i| required.contains(schema.field(i).name.as_str()))
+                .collect();
+            // A scan that feeds pure row counting (e.g. COUNT(*)) references
+            // no columns at all; keep one so batches still carry row counts.
+            let narrowed =
+                if kept.is_empty() { schema.project(&[0]) } else { schema.project(&kept) };
+            LogicalPlan::Scan { table, schema: narrowed }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let mut child = required.clone();
+            child.extend(predicate.referenced_columns());
+            LogicalPlan::Filter { input: Box::new(prune_scan_columns(*input, &child)?), predicate }
+        }
+        LogicalPlan::Project { input, exprs } => {
+            // Drop expressions nothing above needs (at the root, `required`
+            // is the full output schema, so the final projection is kept
+            // whole). This matters most for the reordering projections
+            // build-side selection inserts, which would otherwise reference
+            // every column and keep the whole subtree wide.
+            let mut kept: Vec<(Expr, String)> =
+                exprs.iter().filter(|(_, n)| required.contains(n)).cloned().collect();
+            if kept.is_empty() {
+                kept.push(exprs[0].clone());
+            }
+            let mut child = BTreeSet::new();
+            for (e, _) in &kept {
+                child.extend(e.referenced_columns());
+            }
+            LogicalPlan::Project {
+                input: Box::new(prune_scan_columns(*input, &child)?),
+                exprs: kept,
+            }
+        }
+        LogicalPlan::Join { build, probe, on, join_type } => {
+            let build_schema = build.schema()?;
+            let probe_schema = probe.schema()?;
+            // The probe side keeps its keys plus whatever the parent needs;
+            // the build side of a semi/anti join contributes no output
+            // columns, so only its keys stay alive.
+            let mut build_req: BTreeSet<String> = on.iter().map(|(b, _)| b.clone()).collect();
+            let mut probe_req: BTreeSet<String> = on.iter().map(|(_, p)| p.clone()).collect();
+            if matches!(join_type, JoinType::Inner | JoinType::Left) {
+                for name in required {
+                    if build_schema.index_of(name).is_ok() {
+                        build_req.insert(name.clone());
+                    }
+                    if probe_schema.index_of(name).is_ok() {
+                        probe_req.insert(name.clone());
+                    }
+                }
+            } else {
+                probe_req.extend(required.iter().cloned());
+            }
+            LogicalPlan::Join {
+                build: Box::new(prune_scan_columns(*build, &build_req)?),
+                probe: Box::new(prune_scan_columns(*probe, &probe_req)?),
+                on,
+                join_type,
+            }
+        }
+        LogicalPlan::Aggregate { input, group_by, aggregates } => {
+            let mut child = BTreeSet::new();
+            for (e, _) in &group_by {
+                child.extend(e.referenced_columns());
+            }
+            for a in &aggregates {
+                child.extend(a.expr.referenced_columns());
+            }
+            LogicalPlan::Aggregate {
+                input: Box::new(prune_scan_columns(*input, &child)?),
+                group_by,
+                aggregates,
+            }
+        }
+        // Sort and Limit pass their input columns through; at the root,
+        // `required` already names the full output schema, so nothing a
+        // caller can observe is dropped.
+        LogicalPlan::Sort { input, keys, limit } => {
+            let mut child = required.clone();
+            child.extend(keys.iter().map(|(k, _)| k.clone()));
+            LogicalPlan::Sort { input: Box::new(prune_scan_columns(*input, &child)?), keys, limit }
+        }
+        LogicalPlan::Limit { input, n } => {
+            LogicalPlan::Limit { input: Box::new(prune_scan_columns(*input, required)?), n }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{count, sum};
+    use crate::catalog::MemoryCatalog;
+    use crate::expr::{col, lit};
+    use crate::logical::PlanBuilder;
+    use crate::reference::{same_result, ReferenceExecutor};
+    use quokka_batch::{Batch, Column, DataType};
+
+    /// A small two-table catalog: a wide fact table and a narrow dim table.
+    fn catalog() -> MemoryCatalog {
+        let catalog = MemoryCatalog::new();
+        let fact = Schema::from_pairs(&[
+            ("f_key", DataType::Int64),
+            ("f_val", DataType::Float64),
+            ("f_tag", DataType::Utf8),
+            ("f_pad", DataType::Utf8),
+        ]);
+        catalog.register(
+            "fact",
+            fact.clone(),
+            vec![Batch::try_new(
+                fact,
+                vec![
+                    Column::Int64((0..100).map(|i| i % 7).collect()),
+                    Column::Float64((0..100).map(|i| i as f64 * 0.5).collect()),
+                    Column::Utf8((0..100).map(|i| format!("t{}", i % 3)).collect()),
+                    Column::Utf8((0..100).map(|_| "padding-padding".to_string()).collect()),
+                ],
+            )
+            .unwrap()],
+        );
+        let dim = Schema::from_pairs(&[("d_key", DataType::Int64), ("d_name", DataType::Utf8)]);
+        catalog.register(
+            "dim",
+            dim.clone(),
+            vec![Batch::try_new(
+                dim,
+                vec![
+                    Column::Int64((0..7).collect()),
+                    Column::Utf8((0..7).map(|i| format!("dim-{i}")).collect()),
+                ],
+            )
+            .unwrap()],
+        );
+        catalog
+    }
+
+    fn fact_scan(catalog: &MemoryCatalog) -> PlanBuilder {
+        PlanBuilder::scan("fact", catalog.table_schema("fact").unwrap())
+    }
+
+    fn dim_scan(catalog: &MemoryCatalog) -> PlanBuilder {
+        PlanBuilder::scan("dim", catalog.table_schema("dim").unwrap())
+    }
+
+    /// Optimize with stats and assert schema + reference-result parity.
+    fn optimize_checked(catalog: &MemoryCatalog, plan: &LogicalPlan) -> LogicalPlan {
+        let optimized = Optimizer::with_catalog(catalog).optimize(plan).unwrap();
+        assert_eq!(optimized.schema().unwrap(), plan.schema().unwrap());
+        let exec = ReferenceExecutor::new(catalog);
+        let naive = exec.execute(plan).unwrap();
+        let rewritten = exec.execute(&optimized).unwrap();
+        assert!(
+            same_result(&naive, &rewritten),
+            "optimized plan diverged\nnaive:\n{}\noptimized:\n{}",
+            plan.display_indent(),
+            optimized.display_indent()
+        );
+        optimized
+    }
+
+    /// Collect every scan node's (table, column names).
+    fn scans(plan: &LogicalPlan) -> Vec<(String, Vec<String>)> {
+        let mut out = Vec::new();
+        fn walk(plan: &LogicalPlan, out: &mut Vec<(String, Vec<String>)>) {
+            if let LogicalPlan::Scan { table, schema } = plan {
+                out.push((
+                    table.clone(),
+                    schema.column_names().iter().map(|s| s.to_string()).collect(),
+                ));
+            }
+            for child in plan.children() {
+                walk(child, out);
+            }
+        }
+        walk(plan, &mut out);
+        out
+    }
+
+    fn first_filter_predicate(plan: &LogicalPlan) -> Option<&Expr> {
+        if let LogicalPlan::Filter { predicate, .. } = plan {
+            return Some(predicate);
+        }
+        plan.children().iter().find_map(|c| first_filter_predicate(c))
+    }
+
+    #[test]
+    fn constant_expressions_fold_to_literals() {
+        let catalog = catalog();
+        let plan = fact_scan(&catalog)
+            .filter(col("f_val").gt(lit(1.0f64).add(lit(2.0f64))))
+            .build()
+            .unwrap();
+        let optimized = optimize_checked(&catalog, &plan);
+        let predicate = first_filter_predicate(&optimized).expect("filter kept");
+        assert_eq!(*predicate, col("f_val").gt(lit(3.0f64)));
+    }
+
+    #[test]
+    fn always_true_filters_disappear() {
+        let catalog = catalog();
+        let plan = fact_scan(&catalog).filter(lit(1i64).lt(lit(2i64))).build().unwrap();
+        let optimized = optimize_checked(&catalog, &plan);
+        assert!(first_filter_predicate(&optimized).is_none(), "{}", optimized.display_indent());
+    }
+
+    #[test]
+    fn adjacent_filters_merge() {
+        let catalog = catalog();
+        let plan = fact_scan(&catalog)
+            .filter(col("f_val").gt(lit(1.0f64)))
+            .filter(col("f_key").gt(lit(2i64)))
+            .build()
+            .unwrap();
+        let optimized = optimize_checked(&catalog, &plan);
+        // One Filter directly above the scan, containing both conjuncts.
+        match &optimized {
+            LogicalPlan::Filter { input, predicate } => {
+                assert!(matches!(**input, LogicalPlan::Scan { .. }));
+                assert_eq!(predicate.referenced_columns(), vec!["f_val", "f_key"]);
+            }
+            other => panic!("expected Filter(Scan), got {}", other.display_indent()),
+        }
+    }
+
+    #[test]
+    fn filters_push_below_projections_with_substitution() {
+        let catalog = catalog();
+        let plan = fact_scan(&catalog)
+            .project(vec![(col("f_val").mul(lit(2.0f64)), "double"), (col("f_key"), "k")])
+            .filter(col("double").gt(lit(50.0f64)))
+            .build()
+            .unwrap();
+        let optimized = optimize_checked(&catalog, &plan);
+        // Project on top, filter (over the substituted expression) below.
+        match &optimized {
+            LogicalPlan::Project { input, .. } => match &**input {
+                LogicalPlan::Filter { predicate, input } => {
+                    assert_eq!(*predicate, col("f_val").mul(lit(2.0f64)).gt(lit(50.0f64)));
+                    assert!(matches!(**input, LogicalPlan::Scan { .. }));
+                }
+                other => panic!("expected Filter below Project, got {}", other.name()),
+            },
+            other => panic!("expected Project on top, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn filters_split_into_inner_join_sides() {
+        let catalog = catalog();
+        let plan = dim_scan(&catalog)
+            .join(fact_scan(&catalog), vec![("d_key", "f_key")], JoinType::Inner)
+            .filter(col("d_name").like("dim-%").and(col("f_val").gt(lit(3.0f64))))
+            .build()
+            .unwrap();
+        let optimized = optimize_checked(&catalog, &plan);
+        // No filter above the join any more; each side got its conjunct.
+        match &optimized {
+            LogicalPlan::Join { build, probe, .. } => {
+                assert!(
+                    matches!(**build, LogicalPlan::Filter { .. }),
+                    "build side should be filtered: {}",
+                    optimized.display_indent()
+                );
+                assert!(
+                    matches!(**probe, LogicalPlan::Filter { .. }),
+                    "probe side should be filtered: {}",
+                    optimized.display_indent()
+                );
+            }
+            other => panic!("expected bare Join on top, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn left_join_build_side_is_not_filtered() {
+        let catalog = catalog();
+        // Probe (fact) rows must survive even when their dim match would be
+        // filtered out; the predicate has to stay above the join.
+        let plan = dim_scan(&catalog)
+            .join(fact_scan(&catalog), vec![("d_key", "f_key")], JoinType::Left)
+            .filter(col("d_name").like("dim-1%"))
+            .build()
+            .unwrap();
+        let optimized = optimize_checked(&catalog, &plan);
+        match &optimized {
+            LogicalPlan::Filter { input, .. } => {
+                assert!(matches!(**input, LogicalPlan::Join { .. }));
+            }
+            other => panic!("expected Filter to stay above Left join, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn group_key_filters_push_through_aggregates() {
+        let catalog = catalog();
+        let plan = fact_scan(&catalog)
+            .aggregate(vec![(col("f_tag"), "tag")], vec![sum(col("f_val"), "total")])
+            .filter(col("tag").eq(lit("t1")))
+            .build()
+            .unwrap();
+        let optimized = optimize_checked(&catalog, &plan);
+        // The filter lands below the aggregate, rewritten over f_tag.
+        match &optimized {
+            LogicalPlan::Aggregate { input, .. } => match &**input {
+                LogicalPlan::Filter { predicate, .. } => {
+                    assert_eq!(*predicate, col("f_tag").eq(lit("t1")));
+                }
+                other => panic!("expected Filter below Aggregate, got {}", other.name()),
+            },
+            other => panic!("expected Aggregate on top, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn cross_join_plus_equality_becomes_equi_join() {
+        let catalog = catalog();
+        let plan = dim_scan(&catalog)
+            .join(fact_scan(&catalog), vec![], JoinType::Inner)
+            .filter(col("d_key").eq(col("f_key")).and(col("f_val").gt(lit(10.0f64))))
+            .build()
+            .unwrap();
+        let optimized = optimize_checked(&catalog, &plan);
+        fn find_join(plan: &LogicalPlan) -> Option<&LogicalPlan> {
+            if matches!(plan, LogicalPlan::Join { .. }) {
+                return Some(plan);
+            }
+            plan.children().iter().find_map(|c| find_join(c))
+        }
+        let join = find_join(&optimized).expect("join survives");
+        match join {
+            LogicalPlan::Join { on, .. } => {
+                assert_eq!(on, &vec![("d_key".to_string(), "f_key".to_string())]);
+            }
+            _ => unreachable!(),
+        }
+        // The non-equality conjunct was pushed into the fact side.
+        assert!(first_filter_predicate(&optimized).is_some());
+    }
+
+    #[test]
+    fn build_side_selection_puts_the_small_table_on_the_build_side() {
+        let catalog = catalog();
+        // fact (100 rows) as build, dim (7 rows) as probe: should swap, and
+        // a projection must restore the original column order.
+        let plan = fact_scan(&catalog)
+            .join(dim_scan(&catalog), vec![("f_key", "d_key")], JoinType::Inner)
+            .build()
+            .unwrap();
+        let optimized = optimize_checked(&catalog, &plan);
+        match &optimized {
+            LogicalPlan::Project { input, .. } => match &**input {
+                LogicalPlan::Join { build, on, .. } => {
+                    assert_eq!(build.referenced_tables(), vec!["dim"]);
+                    assert_eq!(on, &vec![("d_key".to_string(), "f_key".to_string())]);
+                }
+                other => panic!("expected swapped Join, got {}", other.name()),
+            },
+            other => panic!("expected reordering Project, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn near_equal_sides_are_not_swapped() {
+        let catalog = catalog();
+        let plan = dim_scan(&catalog)
+            .join(fact_scan(&catalog), vec![("d_key", "f_key")], JoinType::Inner)
+            .build()
+            .unwrap();
+        // dim (7) is already the build side; nothing to do.
+        let optimized = optimize_checked(&catalog, &plan);
+        assert!(matches!(optimized, LogicalPlan::Join { .. }));
+    }
+
+    #[test]
+    fn limit_over_sort_becomes_top_k() {
+        let catalog = catalog();
+        let plan = fact_scan(&catalog).sort(vec![("f_val", false)]).limit(5).build().unwrap();
+        let optimized = optimize_checked(&catalog, &plan);
+        match &optimized {
+            LogicalPlan::Sort { limit, .. } => assert_eq!(*limit, Some(5)),
+            other => panic!("expected top-k Sort, got {}", other.name()),
+        }
+        // And the result really is 5 rows.
+        let exec = ReferenceExecutor::new(&catalog);
+        assert_eq!(exec.execute(&optimized).unwrap().num_rows(), 5);
+    }
+
+    #[test]
+    fn scans_read_only_referenced_columns() {
+        let catalog = catalog();
+        let plan = dim_scan(&catalog)
+            .join(fact_scan(&catalog), vec![("d_key", "f_key")], JoinType::Inner)
+            .filter(col("f_val").gt(lit(3.0f64)))
+            .aggregate(vec![(col("d_name"), "d_name")], vec![sum(col("f_val"), "total")])
+            .build()
+            .unwrap();
+        let optimized = optimize_checked(&catalog, &plan);
+        let scans = scans(&optimized);
+        let fact_cols = &scans.iter().find(|(t, _)| t == "fact").unwrap().1;
+        // f_tag and f_pad are never referenced; f_key (join) and f_val
+        // (filter + aggregate) are.
+        assert_eq!(fact_cols, &vec!["f_key".to_string(), "f_val".to_string()]);
+    }
+
+    #[test]
+    fn count_star_scans_keep_one_column() {
+        let catalog = catalog();
+        let plan =
+            fact_scan(&catalog).aggregate(vec![], vec![count(lit(1i64), "n")]).build().unwrap();
+        let optimized = optimize_checked(&catalog, &plan);
+        let scans = scans(&optimized);
+        assert_eq!(scans[0].1.len(), 1, "a row-count scan still needs one column");
+    }
+
+    #[test]
+    fn semi_join_build_side_keeps_only_its_keys() {
+        let catalog = catalog();
+        let plan = dim_scan(&catalog)
+            .join(fact_scan(&catalog), vec![("d_key", "f_key")], JoinType::Semi)
+            .build()
+            .unwrap();
+        let optimized = optimize_checked(&catalog, &plan);
+        let scans = scans(&optimized);
+        let dim_cols = &scans.iter().find(|(t, _)| t == "dim").unwrap().1;
+        assert_eq!(dim_cols, &vec!["d_key".to_string()]);
+    }
+
+    #[test]
+    fn optimizer_without_stats_skips_build_side_selection() {
+        let catalog = catalog();
+        let plan = fact_scan(&catalog)
+            .join(dim_scan(&catalog), vec![("f_key", "d_key")], JoinType::Inner)
+            .build()
+            .unwrap();
+        let optimized = Optimizer::new().optimize(&plan).unwrap();
+        // No stats: no swap, no reordering projection.
+        assert!(matches!(optimized, LogicalPlan::Join { .. }));
+        assert_eq!(optimized.schema().unwrap(), plan.schema().unwrap());
+    }
+
+    #[test]
+    fn rule_names_match_pipeline_length() {
+        assert_eq!(RULE_NAMES.len(), 7);
+    }
+}

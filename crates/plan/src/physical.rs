@@ -400,6 +400,12 @@ impl HashJoinOperator {
         } else {
             Batch::concat(&staged)?
         };
+        if self.build_keys.is_empty() {
+            // Keyless (cross) join: there is no table to index; every probe
+            // row matches every build row.
+            self.build_side = Some(build);
+            return Ok(());
+        }
         let key_columns: Vec<&Column> = self.build_keys.iter().map(|&k| build.column(k)).collect();
         let keys = rowkey::encode_keys(&key_columns, self.layout)?;
         self.next = vec![NO_ROW; build.num_rows()];
@@ -421,6 +427,9 @@ impl HashJoinOperator {
     fn probe(&self, batch: &Batch) -> Result<Vec<Batch>> {
         if batch.num_rows() == 0 {
             return Ok(vec![]);
+        }
+        if self.probe_keys.is_empty() {
+            return self.probe_cross(batch);
         }
         let keys = self.encode_probe_keys(batch)?;
         match self.join_type {
@@ -459,6 +468,58 @@ impl HashJoinOperator {
                     Ok(vec![])
                 } else {
                     Ok(vec![filtered])
+                }
+            }
+        }
+    }
+
+    /// Keyless probe: the cartesian product (Inner/Left) or an all-or-
+    /// nothing pass-through (Semi/Anti keep every probe row iff the build
+    /// side is non-empty/empty).
+    fn probe_cross(&self, batch: &Batch) -> Result<Vec<Batch>> {
+        let build = self
+            .build_side
+            .as_ref()
+            .ok_or_else(|| QuokkaError::internal("probe before the build side was sealed"))?;
+        let build_count = build.num_rows();
+        match self.join_type {
+            JoinType::Inner | JoinType::Left => {
+                if build_count == 0 {
+                    if self.join_type == JoinType::Left {
+                        let all: Vec<usize> = (0..batch.num_rows()).collect();
+                        return Ok(vec![self.stitch_defaults(&all, batch)?]);
+                    }
+                    return Ok(vec![]);
+                }
+                // Emit the product in bounded chunks: one batch per flush
+                // (of at most one probe row's matches past the threshold)
+                // instead of one batch holding |build| x |probe| rows.
+                const CROSS_OUTPUT_ROWS: usize = 8192;
+                let mut outputs = Vec::new();
+                let mut build_rows: Vec<usize> = Vec::new();
+                let mut probe_rows: Vec<usize> = Vec::new();
+                for probe_row in 0..batch.num_rows() {
+                    for build_row in 0..build_count {
+                        build_rows.push(build_row);
+                        probe_rows.push(probe_row);
+                        if build_rows.len() >= CROSS_OUTPUT_ROWS {
+                            outputs.push(self.stitch(&build_rows, &probe_rows, batch)?);
+                            build_rows.clear();
+                            probe_rows.clear();
+                        }
+                    }
+                }
+                if !build_rows.is_empty() {
+                    outputs.push(self.stitch(&build_rows, &probe_rows, batch)?);
+                }
+                Ok(outputs)
+            }
+            JoinType::Semi | JoinType::Anti => {
+                let keep = (build_count > 0) == (self.join_type == JoinType::Semi);
+                if keep {
+                    Ok(vec![batch.clone()])
+                } else {
+                    Ok(vec![])
                 }
             }
         }
@@ -930,6 +991,42 @@ mod tests {
         let out = anti.push(1, &probe_batch(vec![1, 99, 3])).unwrap();
         assert_eq!(out[0].num_rows(), 1);
         assert_eq!(out[0].value(0, 0), ScalarValue::Int64(99));
+    }
+
+    fn cross_join_spec(join_type: JoinType) -> OperatorSpec {
+        OperatorSpec::new(CoreOp::HashJoin {
+            build_schema: build_batch().schema().clone(),
+            probe_schema: probe_batch(vec![]).schema().clone(),
+            build_keys: vec![],
+            probe_keys: vec![],
+            join_type,
+        })
+    }
+
+    #[test]
+    fn keyless_join_emits_the_cartesian_product_in_bounded_chunks() {
+        let mut op = cross_join_spec(JoinType::Inner).instantiate().unwrap();
+        op.push(0, &build_batch()).unwrap(); // 3 build rows
+        op.finish_input(0).unwrap();
+        // 6000 probe rows x 3 build rows = 18000 output rows, which must
+        // arrive in several bounded batches rather than one.
+        let probe = probe_batch((0..6000).collect());
+        let out = op.push(1, &probe).unwrap();
+        assert!(out.len() > 1, "product must be chunked, got one batch of {}", out[0].num_rows());
+        assert!(out.iter().all(|b| b.num_rows() <= 8192));
+        assert_eq!(out.iter().map(Batch::num_rows).sum::<usize>(), 18_000);
+        // Column stitching: every output row pairs a build row with a probe
+        // row.
+        assert_eq!(out[0].schema().len(), 4);
+
+        // Keyless semi/anti: all-or-nothing on build emptiness.
+        let mut semi = cross_join_spec(JoinType::Semi).instantiate().unwrap();
+        semi.push(0, &build_batch()).unwrap();
+        semi.finish_input(0).unwrap();
+        assert_eq!(semi.push(1, &probe_batch(vec![1, 2])).unwrap()[0].num_rows(), 2);
+        let mut anti = cross_join_spec(JoinType::Anti).instantiate().unwrap();
+        anti.finish_input(0).unwrap(); // empty build side
+        assert_eq!(anti.push(1, &probe_batch(vec![1, 2])).unwrap()[0].num_rows(), 2);
     }
 
     #[test]

@@ -37,11 +37,13 @@ impl<'a> ReferenceExecutor<'a> {
     pub fn execute(&self, plan: &LogicalPlan) -> Result<Batch> {
         match plan {
             LogicalPlan::Scan { table, schema } => {
+                // The scan schema may be a column subset of the stored table
+                // (projection pruning); read only those columns.
                 let batches = self.catalog.table_batches(table)?;
                 if batches.is_empty() {
                     Ok(Batch::empty(schema.clone()))
                 } else {
-                    Batch::concat(&batches)
+                    Batch::concat(&batches)?.select_to(schema)
                 }
             }
             LogicalPlan::Filter { input, predicate } => {

@@ -192,6 +192,11 @@ impl Planner {
                 }
                 self.stages[build_stage as usize].partition_by = build_keys.clone();
                 self.stages[probe_stage as usize].partition_by = probe_keys.clone();
+                // A keyless (cross) join cannot hash-partition its inputs:
+                // every probe row must see every build row, so the join runs
+                // on a single channel and both producers send it everything.
+                let parallelism =
+                    if on.is_empty() { Parallelism::Single } else { Parallelism::DataParallel };
                 Ok(self.push_stage(
                     vec![build_stage, probe_stage],
                     OperatorSpec::new(CoreOp::HashJoin {
@@ -202,7 +207,7 @@ impl Planner {
                         join_type: *join_type,
                     }),
                     None,
-                    Parallelism::DataParallel,
+                    parallelism,
                 ))
             }
             LogicalPlan::Aggregate { input, group_by, aggregates } => {

@@ -129,8 +129,42 @@ impl QuokkaSession {
     /// assert!(err.to_string().contains("line 1"));
     /// ```
     pub fn sql(&self, query: &str) -> Result<QueryHandle<'_>> {
-        let plan = quokka_sql::plan_query(query, self.catalog.as_ref())?;
-        Ok(QueryHandle { session: self, plan })
+        let (explain, plan) = quokka_sql::plan_statement(query, self.catalog.as_ref())?;
+        Ok(QueryHandle { session: self, plan, explain })
+    }
+
+    /// Optimize a plan with the session's catalog statistics (the same
+    /// rewrite [`run`](Self::run) applies before execution unless
+    /// [`EngineConfig::optimize`] is disabled).
+    pub fn optimize(&self, plan: &LogicalPlan) -> Result<LogicalPlan> {
+        quokka_plan::Optimizer::with_catalog(self.catalog.as_ref()).optimize(plan)
+    }
+
+    /// Render a SQL statement's logical plan before and after optimization
+    /// (a leading `EXPLAIN` keyword is accepted and ignored).
+    ///
+    /// ```
+    /// use quokka::QuokkaSession;
+    ///
+    /// let session = QuokkaSession::tpch(0.002, 2).unwrap();
+    /// let text = session
+    ///     .explain("SELECT o_orderpriority FROM orders WHERE o_orderkey < 100")
+    ///     .unwrap();
+    /// assert!(text.contains("== Logical plan =="));
+    /// assert!(text.contains("== Optimized plan =="));
+    /// ```
+    pub fn explain(&self, query: &str) -> Result<String> {
+        let (_, plan) = quokka_sql::plan_statement(query, self.catalog.as_ref())?;
+        self.explain_plan(&plan)
+    }
+
+    fn explain_plan(&self, plan: &LogicalPlan) -> Result<String> {
+        let optimized = self.optimize(plan)?;
+        Ok(format!(
+            "== Logical plan ==\n{}== Optimized plan ==\n{}",
+            plan.display_indent(),
+            optimized.display_indent()
+        ))
     }
 }
 
@@ -138,10 +172,13 @@ impl QuokkaSession {
 ///
 /// Produced by [`QuokkaSession::sql`]; the plan has already been parsed,
 /// name-resolved, and type-checked, so the remaining failure modes are
-/// runtime ones (fault injection, storage errors).
+/// runtime ones (fault injection, storage errors). A handle for an
+/// `EXPLAIN`-prefixed statement does not execute: collecting it returns the
+/// plan rendering (before and after optimization) as a one-column batch.
 pub struct QueryHandle<'a> {
     session: &'a QuokkaSession,
     plan: LogicalPlan,
+    explain: bool,
 }
 
 impl std::fmt::Debug for QueryHandle<'_> {
@@ -156,23 +193,59 @@ impl QueryHandle<'_> {
         &self.plan
     }
 
-    /// An EXPLAIN-style rendering of the plan.
+    /// Whether the statement carried an `EXPLAIN` prefix.
+    pub fn is_explain(&self) -> bool {
+        self.explain
+    }
+
+    /// The plan rendered before and after optimization.
     pub fn explain(&self) -> String {
-        self.plan.display_indent()
+        self.session.explain_plan(&self.plan).unwrap_or_else(|e| {
+            // A bound plan always renders; optimization errors are bugs but
+            // must not panic an EXPLAIN. Show the naive plan and the error.
+            format!(
+                "== Logical plan ==\n{}== Optimizer error ==\n{e}\n",
+                self.plan.display_indent()
+            )
+        })
+    }
+
+    /// The EXPLAIN rendering as a one-column result batch.
+    fn explain_batch(&self) -> Batch {
+        let lines: Vec<String> = self.explain().lines().map(|l| l.to_string()).collect();
+        let schema = Schema::from_pairs(&[("plan", DataType::Utf8)]);
+        Batch::try_new(schema.clone(), vec![Column::Utf8(lines)])
+            .unwrap_or_else(|_| Batch::empty(schema))
     }
 
     /// Execute on the simulated cluster with the session's configuration.
+    /// For an `EXPLAIN` statement, return the plan rendering instead.
     pub fn collect(&self) -> Result<QueryOutcome> {
+        if self.explain {
+            return Ok(QueryOutcome {
+                batch: self.explain_batch(),
+                metrics: QueryMetrics::default(),
+            });
+        }
         self.session.run(&self.plan)
     }
 
     /// Execute under an explicit engine configuration.
     pub fn collect_with(&self, config: &EngineConfig) -> Result<QueryOutcome> {
+        if self.explain {
+            return Ok(QueryOutcome {
+                batch: self.explain_batch(),
+                metrics: QueryMetrics::default(),
+            });
+        }
         self.session.run_with(&self.plan, config)
     }
 
     /// Execute on the single-threaded reference executor.
     pub fn collect_reference(&self) -> Result<Batch> {
+        if self.explain {
+            return Ok(self.explain_batch());
+        }
         self.session.run_reference(&self.plan)
     }
 }

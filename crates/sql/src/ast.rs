@@ -129,11 +129,14 @@ impl TableRef {
     }
 }
 
-/// `[INNER] JOIN table ON condition`.
+/// `[INNER] JOIN table ON condition`, `CROSS JOIN table`, or a
+/// comma-separated FROM entry (the latter two carry no ON condition and
+/// lower to a keyless cross join; the optimizer's filter-to-join rule
+/// recovers the equi-join from WHERE equalities).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Join {
     pub table: TableRef,
-    pub on: SqlExpr,
+    pub on: Option<SqlExpr>,
 }
 
 /// One ORDER BY key: an output column reference plus direction.
@@ -146,6 +149,12 @@ pub struct OrderByItem {
 /// A parsed `SELECT` statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStatement {
+    /// Whether the statement was prefixed with `EXPLAIN` (print the plan
+    /// before and after optimization instead of executing).
+    pub explain: bool,
+    /// `SELECT DISTINCT` — lowered to an aggregation over every projected
+    /// column with no aggregate calls.
+    pub distinct: bool,
     pub items: Vec<SelectItem>,
     pub from: TableRef,
     pub joins: Vec<Join>,

@@ -285,6 +285,18 @@ impl Binder<'_> {
             self.bind_plain_select(stmt, plan, &scope)?
         };
 
+        // SELECT DISTINCT: an aggregation over every output column with no
+        // aggregate calls (the engine's hash-aggregate deduplicates).
+        if stmt.distinct {
+            let output = self.schema_of(&plan)?;
+            let group_by = output
+                .column_names()
+                .iter()
+                .map(|n| (Expr::Column(n.to_string()), n.to_string()))
+                .collect();
+            plan = LogicalPlan::Aggregate { input: Box::new(plan), group_by, aggregates: vec![] };
+        }
+
         // ORDER BY / LIMIT
         let output = self.schema_of(&plan)?;
         if !stmt.order_by.is_empty() {
@@ -381,7 +393,13 @@ impl Binder<'_> {
                     ),
                 ));
             }
-            let on = self.bind_join_on(&scope, &binding, &schema, &join.on)?;
+            // A comma-FROM entry or CROSS JOIN has no ON condition and
+            // lowers to a keyless cross join; the optimizer's filter-to-join
+            // rule recovers equi-join keys from WHERE equalities.
+            let on = match &join.on {
+                Some(condition) => self.bind_join_on(&scope, &binding, &schema, condition)?,
+                None => Vec::new(),
+            };
             plan = LogicalPlan::Join {
                 build: Box::new(plan),
                 probe: Box::new(LogicalPlan::Scan {
@@ -1545,6 +1563,58 @@ mod tests {
     fn duplicate_output_names_are_rejected() {
         let err = plan("SELECT o_id, o_id + 1 AS o_id FROM orders").unwrap_err();
         assert!(err.to_string().contains("duplicate output column"), "{err}");
+    }
+
+    #[test]
+    fn select_distinct_lowers_to_an_aggregate() {
+        let p = plan("SELECT DISTINCT o_cust FROM orders").unwrap();
+        match &p {
+            LogicalPlan::Aggregate { group_by, aggregates, .. } => {
+                assert_eq!(group_by.len(), 1);
+                assert!(aggregates.is_empty());
+            }
+            other => panic!("expected Aggregate, got {}", other.name()),
+        }
+        let batch = run("SELECT DISTINCT o_cust FROM orders ORDER BY o_cust");
+        assert_eq!(batch.num_rows(), 3);
+        assert_eq!(batch.value(0, 0), ScalarValue::Int64(10));
+
+        // DISTINCT over several columns, and over expressions.
+        let batch = run("SELECT DISTINCT o_cust, o_total > 6 AS big FROM orders");
+        assert_eq!(batch.num_rows(), 4);
+
+        // DISTINCT * works too (all table columns).
+        let batch = run("SELECT DISTINCT * FROM customers");
+        assert_eq!(batch.num_rows(), 3);
+    }
+
+    #[test]
+    fn comma_from_lists_bind_to_cross_joins() {
+        let p = plan("SELECT c_name, o_total FROM customers, orders WHERE c_id = o_cust").unwrap();
+        // Project over Filter over keyless Join: the binder stays naive and
+        // leaves equi-join recovery to the optimizer.
+        fn find_join(plan: &LogicalPlan) -> Option<&LogicalPlan> {
+            if matches!(plan, LogicalPlan::Join { .. }) {
+                return Some(plan);
+            }
+            plan.children().iter().find_map(|c| find_join(c))
+        }
+        match find_join(&p).expect("join present") {
+            LogicalPlan::Join { on, join_type, .. } => {
+                assert!(on.is_empty(), "binder must not invent join keys");
+                assert_eq!(*join_type, JoinType::Inner);
+            }
+            _ => unreachable!(),
+        }
+        // And the cross join executes correctly on the reference executor.
+        let batch = run("SELECT c_name, o_total FROM customers, orders WHERE c_id = o_cust");
+        assert_eq!(batch.num_rows(), 4);
+        let unconstrained = run("SELECT c_name, o_total FROM customers, orders");
+        assert_eq!(unconstrained.num_rows(), 12); // 3 customers x 4 orders
+
+        // Duplicate-column and duplicate-binding guards still apply.
+        let err = plan("SELECT o_id FROM orders, orders").unwrap_err();
+        assert!(err.to_string().contains("duplicate table"), "{err}");
     }
 
     #[test]

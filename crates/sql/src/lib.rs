@@ -10,13 +10,22 @@
 //! # Supported grammar
 //!
 //! ```text
-//! SELECT expr [AS alias], ... | *
-//! FROM table [alias]
-//! [[INNER] JOIN table [alias] ON col = col [AND col = col ...]] ...
+//! [EXPLAIN]
+//! SELECT [DISTINCT] expr [AS alias], ... | *
+//! FROM table [alias] [, table [alias]] ...
+//! [[INNER] JOIN table [alias] ON col = col [AND col = col ...]
+//!  | CROSS JOIN table [alias]] ...
 //! [WHERE predicate]
 //! [GROUP BY expr, ...] [HAVING predicate]
 //! [ORDER BY output_column [ASC|DESC], ...] [LIMIT n]
 //! ```
+//!
+//! The binder deliberately emits *naive* plans — `WHERE` above the join
+//! tree, scans carrying every table column, comma-FROM lists as cross joins
+//! — and leaves placement to the shared rule-based optimizer
+//! ([`quokka_plan::optimizer`]), which both frontends flow through. An
+//! `EXPLAIN` prefix marks the statement so the session can print the plan
+//! before and after optimization instead of executing it.
 //!
 //! Expressions cover the engine's full operator set: arithmetic,
 //! comparisons, `AND`/`OR`/`NOT`, `[NOT] LIKE`, `[NOT] IN (literals)`,
@@ -27,8 +36,8 @@
 //! `sum(a) / sum(b)`).
 //!
 //! Known gaps (reported as positioned errors, never panics): subqueries,
-//! outer-join syntax, self-joins, `SELECT DISTINCT`, comma-separated FROM
-//! lists, `NULL`, and ORDER BY on arbitrary expressions.
+//! outer-join syntax, self-joins, `NULL`, and ORDER BY on arbitrary
+//! expressions.
 //!
 //! # Example
 //!
@@ -73,8 +82,25 @@ pub fn parse(sql: &str) -> Result<SelectStatement, SqlError> {
 }
 
 /// Parse `sql` and bind it against `catalog`, producing an executable
-/// logical plan.
+/// logical plan. An `EXPLAIN`-prefixed statement is an error here — this
+/// entry point promises an executable plan; use [`plan_statement`] (or
+/// `QuokkaSession::sql`) to handle EXPLAIN.
 pub fn plan_query(sql: &str, catalog: &dyn Catalog) -> Result<LogicalPlan, SqlError> {
     let statement = parser::parse(sql)?;
+    if statement.explain {
+        return Err(SqlError::bind(
+            Pos::new(1, 1),
+            "EXPLAIN statements render a plan instead of executing; \
+             use plan_statement or QuokkaSession::sql",
+        ));
+    }
     binder::bind_statement(&statement, catalog)
+}
+
+/// Like [`plan_query`], additionally reporting whether the statement carried
+/// an `EXPLAIN` prefix (callers print the plan instead of executing it).
+pub fn plan_statement(sql: &str, catalog: &dyn Catalog) -> Result<(bool, LogicalPlan), SqlError> {
+    let statement = parser::parse(sql)?;
+    let plan = binder::bind_statement(&statement, catalog)?;
+    Ok((statement.explain, plan))
 }

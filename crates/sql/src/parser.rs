@@ -62,6 +62,7 @@ const RESERVED: &[&str] = &[
     "is",
     "null",
     "exists",
+    "explain",
 ];
 
 /// Parse one SELECT statement from `sql`.
@@ -157,28 +158,31 @@ impl Parser {
     }
 
     fn parse_statement(&mut self) -> Result<SelectStatement, SqlError> {
+        let explain = self.eat_keyword("explain");
         self.expect_keyword("select")?;
-        if self.eat_keyword("distinct") {
-            return Err(SqlError::parse(
-                self.tokens[self.pos - 1].pos,
-                "SELECT DISTINCT is not supported; use GROUP BY over the selected columns",
-            ));
-        }
+        let distinct = self.eat_keyword("distinct");
         let items = self.parse_select_items()?;
         self.expect_keyword("from")?;
         let from = self.parse_table_ref()?;
         let mut joins = Vec::new();
         loop {
+            // `FROM a, b` and `CROSS JOIN` add a table with no ON condition
+            // (a cross join; the optimizer recovers equi-joins from WHERE).
+            if self.eat_kind(&TokenKind::Comma) {
+                let table = self.parse_table_ref()?;
+                joins.push(Join { table, on: None });
+                continue;
+            }
+            if self.eat_keyword("cross") {
+                self.expect_keyword("join")?;
+                let table = self.parse_table_ref()?;
+                joins.push(Join { table, on: None });
+                continue;
+            }
             if self.at_keyword("left") || self.at_keyword("right") || self.at_keyword("full") {
                 return Err(SqlError::parse(
                     self.peek().pos,
                     "outer joins are not supported yet; only [INNER] JOIN ... ON",
-                ));
-            }
-            if self.at_keyword("cross") {
-                return Err(SqlError::parse(
-                    self.peek().pos,
-                    "CROSS JOIN is not supported; join with an ON equality condition",
                 ));
             }
             let inner = self.eat_keyword("inner");
@@ -196,13 +200,7 @@ impl Parser {
             let table = self.parse_table_ref()?;
             self.expect_keyword("on")?;
             let on = self.parse_expr()?;
-            joins.push(Join { table, on });
-        }
-        if self.eat_kind(&TokenKind::Comma) {
-            return Err(SqlError::parse(
-                self.tokens[self.pos - 1].pos,
-                "comma-separated FROM lists are not supported; use JOIN ... ON",
-            ));
+            joins.push(Join { table, on: Some(on) });
         }
         let selection = if self.eat_keyword("where") { Some(self.parse_expr()?) } else { None };
         let mut group_by = Vec::new();
@@ -250,7 +248,18 @@ impl Parser {
         } else {
             None
         };
-        Ok(SelectStatement { items, from, joins, selection, group_by, having, order_by, limit })
+        Ok(SelectStatement {
+            explain,
+            distinct,
+            items,
+            from,
+            joins,
+            selection,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     fn parse_select_items(&mut self) -> Result<Vec<SelectItem>, SqlError> {
@@ -897,10 +906,7 @@ mod tests {
     #[test]
     fn rejections_are_informative() {
         for (sql, needle) in [
-            ("SELECT DISTINCT a FROM t", "DISTINCT"),
             ("SELECT a FROM t LEFT JOIN u ON x = y", "outer joins"),
-            ("SELECT a FROM t CROSS JOIN u", "CROSS JOIN"),
-            ("SELECT a FROM t, u WHERE x = y", "comma-separated"),
             ("SELECT CASE WHEN a THEN 1 END FROM t", "ELSE"),
             ("SELECT NULL FROM t", "NULL"),
             ("SELECT EXTRACT(MONTH FROM d) FROM t", "YEAR"),
@@ -908,5 +914,31 @@ mod tests {
             let err = parse(sql).unwrap_err();
             assert!(err.to_string().contains(needle), "{sql}: {err}");
         }
+    }
+
+    #[test]
+    fn distinct_explain_and_cross_join_shapes() {
+        let stmt = parse("SELECT DISTINCT a FROM t").unwrap();
+        assert!(stmt.distinct);
+        assert!(!stmt.explain);
+
+        let stmt = parse("EXPLAIN SELECT a FROM t").unwrap();
+        assert!(stmt.explain);
+        assert!(!stmt.distinct);
+
+        // Comma-separated FROM entries and CROSS JOIN both carry no ON.
+        let stmt = parse("SELECT a FROM t, u, v WHERE x = y").unwrap();
+        assert_eq!(stmt.joins.len(), 2);
+        assert!(stmt.joins.iter().all(|j| j.on.is_none()));
+        assert!(stmt.selection.is_some());
+
+        let stmt = parse("SELECT a FROM t CROSS JOIN u JOIN v ON a = b").unwrap();
+        assert_eq!(stmt.joins.len(), 2);
+        assert!(stmt.joins[0].on.is_none());
+        assert!(stmt.joins[1].on.is_some());
+
+        // Commas may follow explicit joins (mixed FROM lists).
+        let stmt = parse("SELECT a FROM t JOIN u ON a = b, v").unwrap();
+        assert_eq!(stmt.joins.len(), 2);
     }
 }

@@ -78,6 +78,72 @@ fn sql_error_type_carries_structured_position() {
 }
 
 #[test]
+fn select_distinct_deduplicates_on_the_cluster() {
+    let session = tpch_session();
+    let handle =
+        session.sql("SELECT DISTINCT l_shipmode FROM lineitem ORDER BY l_shipmode").unwrap();
+    let distributed = handle.collect().unwrap();
+    let reference = handle.collect_reference().unwrap();
+    assert!(same_result(&distributed.batch, &reference));
+    // TPC-H has exactly 7 ship modes; DISTINCT must collapse to them.
+    assert_eq!(reference.num_rows(), 7);
+}
+
+#[test]
+fn comma_from_lists_match_their_join_twins() {
+    let session = tpch_session();
+    let comma = session
+        .sql(
+            "SELECT n_name, count(*) AS suppliers FROM nation, supplier \
+             WHERE n_nationkey = s_nationkey GROUP BY n_name ORDER BY n_name",
+        )
+        .unwrap();
+    let joined = session
+        .sql(
+            "SELECT n_name, count(*) AS suppliers FROM nation \
+             JOIN supplier ON n_nationkey = s_nationkey GROUP BY n_name ORDER BY n_name",
+        )
+        .unwrap();
+    let comma_result = comma.collect().unwrap();
+    let join_result = joined.collect().unwrap();
+    assert!(same_result(&comma_result.batch, &join_result.batch));
+    assert!(comma_result.batch.num_rows() > 0);
+    // The optimizer's filter-to-join rule must also make the comma form run
+    // as cheaply: with optimization disabled the cross join shuffles the
+    // cartesian product through a single channel.
+    let naive = comma.collect_with(&quokka::EngineConfig::quokka(3).with_optimize(false)).unwrap();
+    assert!(same_result(&naive.batch, &comma_result.batch));
+}
+
+#[test]
+fn explain_prints_plans_instead_of_executing() {
+    let session = tpch_session();
+    // Session-level explain: before and after optimization.
+    let text = session
+        .explain(
+            "SELECT l_orderkey, o_orderdate FROM orders \
+             JOIN lineitem ON o_orderkey = l_orderkey WHERE l_quantity > 30",
+        )
+        .unwrap();
+    assert!(text.contains("== Logical plan =="), "{text}");
+    assert!(text.contains("== Optimized plan =="), "{text}");
+    // The optimized rendering must show the narrowed lineitem scan.
+    let optimized_section = text.split("== Optimized plan ==").nth(1).unwrap();
+    assert!(
+        !optimized_section.contains("l_comment"),
+        "projection pruning should drop l_comment from the scan:\n{text}"
+    );
+
+    // An EXPLAIN-prefixed statement collects as a plan-text batch.
+    let handle = session.sql("EXPLAIN SELECT count(*) AS n FROM orders").unwrap();
+    assert!(handle.is_explain());
+    let outcome = handle.collect().unwrap();
+    assert_eq!(outcome.batch.schema().column_names(), vec!["plan"]);
+    assert!(outcome.batch.num_rows() > 2);
+    assert_eq!(outcome.metrics.tasks_executed, 0, "EXPLAIN must not execute");
+}
+
+#[test]
 fn sql_runs_under_fault_injection() {
     use quokka::{EngineConfig, FailureSpec};
 
