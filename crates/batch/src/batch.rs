@@ -79,6 +79,35 @@ impl Batch {
         Ok(&self.columns[self.schema.index_of(name)?])
     }
 
+    /// The `Int64` column named `name` as a typed slice.
+    ///
+    /// Unlike indexing + pattern matching, the typed accessors return a
+    /// `Result` for both failure modes (unknown name, wrong type), so test
+    /// and application code never needs a panicking downcast path.
+    pub fn as_i64s(&self, name: &str) -> Result<&[i64]> {
+        self.column_by_name(name)?.as_i64()
+    }
+
+    /// The `Float64` column named `name` as a typed slice.
+    pub fn as_f64s(&self, name: &str) -> Result<&[f64]> {
+        self.column_by_name(name)?.as_f64()
+    }
+
+    /// The `Utf8` column named `name` as a typed slice.
+    pub fn as_strs(&self, name: &str) -> Result<&[String]> {
+        self.column_by_name(name)?.as_utf8()
+    }
+
+    /// The `Bool` column named `name` as a typed slice.
+    pub fn as_bools(&self, name: &str) -> Result<&[bool]> {
+        self.column_by_name(name)?.as_bool()
+    }
+
+    /// The `Date` column named `name` as a typed slice (days since epoch).
+    pub fn as_dates(&self, name: &str) -> Result<&[i32]> {
+        self.column_by_name(name)?.as_date()
+    }
+
     /// The value at (`row`, `col`).
     pub fn value(&self, row: usize, col: usize) -> ScalarValue {
         self.columns[col].get(row)
@@ -214,6 +243,18 @@ mod tests {
         assert_eq!(b.row(1), vec![ScalarValue::Int64(2), ScalarValue::Utf8("b".into())]);
         assert_eq!(b.column_by_name("name").unwrap().len(), 4);
         assert!(b.column_by_name("missing").is_err());
+    }
+
+    #[test]
+    fn typed_accessors_return_errors_not_panics() {
+        let b = sample();
+        assert_eq!(b.as_i64s("id").unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(b.as_strs("name").unwrap()[0], "a");
+        // Unknown name and wrong type are both plain errors.
+        assert!(b.as_i64s("missing").is_err());
+        assert!(b.as_f64s("id").is_err());
+        assert!(b.as_bools("name").is_err());
+        assert!(b.as_dates("id").is_err());
     }
 
     #[test]

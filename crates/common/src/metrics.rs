@@ -60,6 +60,14 @@ pub struct QueryMetrics {
     pub recovery_planning: Duration,
     /// Number of output rows produced by the query.
     pub output_rows: u64,
+    /// Number of (non-empty) result emissions the sink stage produced.
+    pub result_batches: u64,
+    /// Time from query start until the sink emitted its first result batch.
+    /// `None` when the query produced no results (or predates streaming).
+    /// For a blocking sink (sort/global aggregate) this approaches
+    /// `runtime`; for a pipelined sink it is the time-to-first-row the
+    /// streaming API delivers on.
+    pub time_to_first_batch: Option<Duration>,
 }
 
 impl QueryMetrics {
@@ -85,8 +93,13 @@ impl QueryMetrics {
 
 /// Thread-safe counters shared by workers, the coordinator, the data plane
 /// and the storage layer during one query run.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetricsRegistry {
+    /// Origin of the first-batch clock. Created at registry construction
+    /// and reset by the runtime when workers actually start, so
+    /// `time_to_first_batch` and `runtime` share one origin (table loading
+    /// is excluded from both).
+    started: Mutex<std::time::Instant>,
     tasks_executed: AtomicU64,
     recovery_tasks: AtomicU64,
     shuffle_bytes: AtomicU64,
@@ -99,6 +112,31 @@ pub struct MetricsRegistry {
     failures: AtomicU64,
     recovery_planning_nanos: AtomicU64,
     output_rows: AtomicU64,
+    result_batches: AtomicU64,
+    /// Nanoseconds from `started` to the first sink emission; 0 = not yet.
+    first_batch_nanos: AtomicU64,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            started: Mutex::new(std::time::Instant::now()),
+            tasks_executed: AtomicU64::new(0),
+            recovery_tasks: AtomicU64::new(0),
+            shuffle_bytes: AtomicU64::new(0),
+            shuffle_edges: Mutex::new(BTreeMap::new()),
+            durable_bytes: AtomicU64::new(0),
+            backup_bytes: AtomicU64::new(0),
+            checkpoint_bytes: AtomicU64::new(0),
+            lineage_bytes: AtomicU64::new(0),
+            gcs_transactions: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            recovery_planning_nanos: AtomicU64::new(0),
+            output_rows: AtomicU64::new(0),
+            result_batches: AtomicU64::new(0),
+            first_batch_nanos: AtomicU64::new(0),
+        }
+    }
 }
 
 impl MetricsRegistry {
@@ -145,6 +183,29 @@ impl MetricsRegistry {
     pub fn add_output_rows(&self, rows: u64) {
         self.output_rows.fetch_add(rows, Ordering::Relaxed);
     }
+    /// Restart the first-batch clock (called by the runtime when worker
+    /// execution begins, so setup work is excluded from the measurement).
+    pub fn restart_clock(&self) {
+        *self.started.lock().expect("metrics clock poisoned") = std::time::Instant::now();
+    }
+
+    /// Record one (non-empty) sink emission, stamping the time-to-first-batch
+    /// on the first call.
+    pub fn add_result_batch(&self) {
+        self.result_batches.fetch_add(1, Ordering::Relaxed);
+        if self.first_batch_nanos.load(Ordering::Relaxed) == 0 {
+            let started = *self.started.lock().expect("metrics clock poisoned");
+            // `max(1)` so an emission in the first nanosecond still counts
+            // as "seen" (0 is the unset sentinel).
+            let nanos = (started.elapsed().as_nanos() as u64).max(1);
+            let _ = self.first_batch_nanos.compare_exchange(
+                0,
+                nanos,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+    }
 
     /// Produce an immutable snapshot, attaching the measured wall-clock
     /// runtime of the query.
@@ -175,6 +236,11 @@ impl MetricsRegistry {
                 self.recovery_planning_nanos.load(Ordering::Relaxed),
             ),
             output_rows: self.output_rows.load(Ordering::Relaxed),
+            result_batches: self.result_batches.load(Ordering::Relaxed),
+            time_to_first_batch: match self.first_batch_nanos.load(Ordering::Relaxed) {
+                0 => None,
+                nanos => Some(Duration::from_nanos(nanos)),
+            },
         }
     }
 }
@@ -199,6 +265,8 @@ mod tests {
         reg.add_failure();
         reg.add_output_rows(7);
         reg.add_recovery_planning(Duration::from_millis(3));
+        reg.add_result_batch();
+        reg.add_result_batch();
 
         let snap = reg.snapshot(Duration::from_secs(2));
         assert_eq!(snap.tasks_executed, 2);
@@ -219,6 +287,17 @@ mod tests {
         assert_eq!(snap.output_rows, 7);
         assert_eq!(snap.recovery_planning, Duration::from_millis(3));
         assert_eq!(snap.runtime, Duration::from_secs(2));
+        assert_eq!(snap.result_batches, 2);
+        assert!(snap.time_to_first_batch.is_some());
+    }
+
+    #[test]
+    fn first_batch_time_is_unset_without_emissions() {
+        let reg = MetricsRegistry::new();
+        reg.add_output_rows(3);
+        let snap = reg.snapshot(Duration::from_secs(1));
+        assert_eq!(snap.result_batches, 0);
+        assert_eq!(snap.time_to_first_batch, None);
     }
 
     #[test]

@@ -21,14 +21,22 @@
 //!   injection, and the Algorithm 2 reconciliation that rewinds lost
 //!   channels and schedules replays.
 //! * [`runtime`] — [`QueryRunner`]: wires the GCS,
-//!   data plane, storage and threads together, runs one query under an
-//!   [`EngineConfig`](quokka_common::EngineConfig), and returns the result
-//!   batch plus [`QueryMetrics`](quokka_common::QueryMetrics).
+//!   data plane, storage and threads together and runs one query under an
+//!   [`EngineConfig`](quokka_common::EngineConfig). Execution is streaming:
+//!   [`QueryRunner::stream`] returns a [`BatchStream`] that yields result
+//!   batches as the sink stage commits them, and
+//!   [`QueryRunner::run`] is the blocking convenience that drains it into a
+//!   single batch plus [`QueryMetrics`](quokka_common::QueryMetrics).
+//! * [`stream`] — [`BatchStream`]: the consuming end of a running query,
+//!   including the replay-deduplication and restart semantics that make
+//!   incremental delivery safe under fault injection.
 
 pub mod layout;
 pub mod recovery;
 pub mod runtime;
+pub mod stream;
 pub mod worker;
 
 pub use layout::QueryLayout;
 pub use runtime::{QueryOutcome, QueryRunner};
+pub use stream::BatchStream;

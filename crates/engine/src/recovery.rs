@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 /// How the coordinator's supervision of one query ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CoordinatorOutcome {
-    /// The sink stage finished; results are in the collector.
+    /// The sink stage finished; every result batch has been streamed.
     Completed,
     /// The query failed with an unrecoverable error.
     Failed(String),
@@ -94,6 +94,14 @@ impl Coordinator {
         loop {
             if let Some(error) = self.services.gcs.query_error() {
                 return CoordinatorOutcome::Failed(error);
+            }
+            if self.services.is_cancelled() {
+                // The consuming stream was dropped; stop computing a result
+                // nobody will read. Workers exit on the done flag.
+                self.services.gcs.set_query_done();
+                return CoordinatorOutcome::Failed(
+                    "query cancelled: result stream dropped".to_string(),
+                );
             }
 
             // Inject any failures whose trigger point has been reached.

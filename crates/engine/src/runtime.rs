@@ -1,14 +1,16 @@
-//! The query runner: wiring, execution and the restart baseline.
+//! The query runner: wiring, streaming execution and the restart baseline.
 
 use crate::layout::QueryLayout;
 use crate::recovery::{Coordinator, CoordinatorOutcome};
+use crate::stream::{BatchStream, StreamEvent};
 use crate::worker::{spawn_workers, Services};
 use parking_lot::Mutex;
 use quokka_batch::codec::encode_partition;
 use quokka_batch::Batch;
 use quokka_common::config::{ClusterConfig, EngineConfig};
+use quokka_common::ids::WorkerId;
 use quokka_common::metrics::{MetricsRegistry, QueryMetrics};
-use quokka_common::{QuokkaError, Result};
+use quokka_common::Result;
 use quokka_gcs::tables::{ChannelState, TaskEntry};
 use quokka_gcs::Gcs;
 use quokka_net::DataPlane;
@@ -19,8 +21,9 @@ use quokka_plan::stage::StageGraph;
 use quokka_storage::{CostModel, DurableObjectStore, LocalBackupStore};
 use std::collections::BTreeMap;
 use std::sync::atomic::AtomicBool;
+use std::sync::mpsc::Sender;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The result of one query execution.
 #[derive(Debug, Clone)]
@@ -37,6 +40,17 @@ pub struct QueryRunner {
     config: EngineConfig,
 }
 
+/// How one execution attempt ended, as seen by the supervisor loop.
+enum AttemptOutcome {
+    Completed(Box<QueryMetrics>),
+    /// The fault strategy has no intra-query recovery; rerun from scratch.
+    NeedsRestart {
+        failed: Vec<WorkerId>,
+        elapsed: Duration,
+    },
+    Failed(String),
+}
+
 impl QueryRunner {
     pub fn new(config: EngineConfig) -> Self {
         QueryRunner { config }
@@ -46,131 +60,201 @@ impl QueryRunner {
         &self.config
     }
 
-    /// Execute `plan` against the base tables provided by `catalog`.
+    /// Execute `plan` to completion and return the full result — a
+    /// convenience wrapper that drains [`stream`](Self::stream).
+    pub fn run(&self, plan: &LogicalPlan, catalog: &dyn Catalog) -> Result<QueryOutcome> {
+        self.stream(plan, catalog)?.collect()
+    }
+
+    /// Execute `plan` against the base tables provided by `catalog`,
+    /// streaming result batches as the sink stage commits them.
     ///
     /// Unless [`EngineConfig::optimize`] is disabled, the plan first runs
     /// through the rule-based logical optimizer (with the catalog supplying
     /// row-count estimates for build-side selection), so the stage graph is
     /// compiled from the optimized plan.
-    pub fn run(&self, plan: &LogicalPlan, catalog: &dyn Catalog) -> Result<QueryOutcome> {
-        if self.config.optimize {
-            let optimized = Optimizer::with_catalog(catalog).optimize(plan)?;
-            self.run_with_restart_budget(&optimized, catalog, 1)
+    ///
+    /// Plan errors (unknown tables/columns, uncompilable stages) surface
+    /// here, before any worker thread starts; the returned [`BatchStream`]
+    /// only reports runtime failures.
+    pub fn stream(&self, plan: &LogicalPlan, catalog: &dyn Catalog) -> Result<BatchStream> {
+        let plan = if self.config.optimize {
+            Optimizer::with_catalog(catalog).optimize(plan)?
         } else {
-            self.run_with_restart_budget(plan, catalog, 1)
-        }
-    }
-
-    fn run_with_restart_budget(
-        &self,
-        plan: &LogicalPlan,
-        catalog: &dyn Catalog,
-        restarts_left: u32,
-    ) -> Result<QueryOutcome> {
+            plan.clone()
+        };
         let output_schema = plan.schema()?;
-        let graph = StageGraph::compile(plan)?;
-        let cost = CostModel::new(self.config.cost);
-        let metrics = MetricsRegistry::new();
-        let durable = Arc::new(DurableObjectStore::new(cost, Arc::clone(&metrics)));
-
-        // Load the referenced base tables into the (durable) object store as
-        // split objects — the data lake the paper's queries read from S3.
-        let mut table_splits = BTreeMap::new();
+        // Fail fast on plans the stage compiler rejects; attempts reuse the
+        // compiled graph instead of recompiling.
+        let graph = StageGraph::compile(&plan)?;
+        // Snapshot the referenced base tables so the query (and a potential
+        // restart-baseline rerun) no longer needs the caller's catalog.
+        let mut tables: BTreeMap<String, Vec<Batch>> = BTreeMap::new();
         for table in plan.referenced_tables() {
-            let batches = catalog.table_batches(&table)?;
-            for (index, batch) in batches.iter().enumerate() {
-                durable.put_unmetered(
-                    Services::table_split_key(&table, index as u64),
-                    encode_partition(std::slice::from_ref(batch)),
-                );
+            tables.insert(table.clone(), catalog.table_batches(&table)?);
+        }
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        let cancel = Arc::new(AtomicBool::new(false));
+        let stream = BatchStream::new(output_schema, rx, Arc::clone(&cancel));
+        let config = self.config.clone();
+        std::thread::Builder::new()
+            .name("quokka-query".to_string())
+            .spawn(move || supervise(config, graph, tables, tx, cancel))
+            .expect("failed to spawn query supervisor thread");
+        Ok(stream)
+    }
+}
+
+/// Drive the query to completion on this (background) thread, rerunning it
+/// on the surviving workers if the restart baseline demands it.
+fn supervise(
+    mut config: EngineConfig,
+    graph: StageGraph,
+    tables: BTreeMap<String, Vec<Batch>>,
+    tx: Sender<StreamEvent>,
+    cancel: Arc<AtomicBool>,
+) {
+    let mut restarts_left = 1u32;
+    // The restart baseline charges the failed attempt's runtime and
+    // failures on top of the rerun's metrics.
+    let mut carried_runtime = Duration::ZERO;
+    let mut carried_failures = 0u64;
+    // The table snapshot only exists for restart-baseline reruns; attempts
+    // drop it as soon as it can no longer be needed.
+    let mut tables = Some(tables);
+    loop {
+        match run_attempt(&config, graph.clone(), &mut tables, &tx, &cancel) {
+            Ok(AttemptOutcome::Completed(mut metrics)) => {
+                metrics.runtime += carried_runtime;
+                metrics.failures += carried_failures;
+                // `time_to_first_batch` shares `runtime`'s origin, so the
+                // failed attempt's elapsed time is charged to both.
+                if let Some(first) = metrics.time_to_first_batch.as_mut() {
+                    *first += carried_runtime;
+                }
+                let _ = tx.send(StreamEvent::Finished(metrics));
+                return;
             }
-            table_splits.insert(table, batches.len() as u64);
-        }
-
-        let layout = Arc::new(QueryLayout::new(graph, &self.config.cluster, &table_splits)?);
-        let gcs = Arc::new(Gcs::new(cost.gcs_delay()));
-        let plane =
-            Arc::new(DataPlane::new(self.config.cluster.workers, cost, Arc::clone(&metrics)));
-        let backups: Vec<Arc<LocalBackupStore>> = (0..self.config.cluster.workers)
-            .map(|w| Arc::new(LocalBackupStore::new(w, cost, Arc::clone(&metrics))))
-            .collect();
-
-        // Register every channel and its first task in the GCS.
-        for addr in layout.all_channels() {
-            let worker = layout.initial_worker(addr);
-            let state = ChannelState::new(addr, worker, layout.upstream_channels(addr.stage).len());
-            gcs.put_channel(&state);
-            gcs.put_task(&TaskEntry { task: addr.task(0), worker });
-        }
-
-        let services = Arc::new(Services {
-            config: self.config.clone(),
-            layout: Arc::clone(&layout),
-            gcs: Arc::clone(&gcs),
-            plane,
-            backups,
-            durable,
-            collector: Mutex::new(BTreeMap::new()),
-            metrics: Arc::clone(&metrics),
-            killed: (0..self.config.cluster.workers).map(|_| AtomicBool::new(false)).collect(),
-            cost,
-        });
-
-        let start = Instant::now();
-        let handles = spawn_workers(&services);
-        let outcome = Coordinator::new(Arc::clone(&services)).run();
-        // Whatever happened, make every thread exit before we inspect state.
-        if services.gcs.query_error().is_none() && !services.gcs.is_query_done() {
-            services.gcs.set_query_done();
-        }
-        for handle in handles {
-            let _ = handle.join();
-        }
-        let elapsed = start.elapsed();
-
-        match outcome {
-            CoordinatorOutcome::Completed => {
-                let mut snapshot = metrics.snapshot(elapsed);
-                snapshot.lineage_bytes = gcs.lineage_bytes();
-                snapshot.gcs_transactions = gcs.transactions();
-                let collected = services.collected_output();
-                let batch = if collected.is_empty() {
-                    Batch::empty(output_schema)
-                } else {
-                    Batch::concat(&collected)?
-                };
-                Ok(QueryOutcome { batch, metrics: snapshot })
-            }
-            CoordinatorOutcome::Failed(error) => Err(QuokkaError::Internal(error)),
-            CoordinatorOutcome::NeedsRestart { failed } => {
+            Ok(AttemptOutcome::NeedsRestart { failed, elapsed }) => {
                 if restarts_left == 0 {
-                    return Err(QuokkaError::Internal(
+                    let _ = tx.send(StreamEvent::Failed(
                         "query failed and the restart budget is exhausted".to_string(),
                     ));
+                    return;
                 }
-                // Restart baseline: rerun the whole query on the surviving
-                // workers and charge the first attempt's elapsed time on top.
-                let survivors =
-                    self.config.cluster.workers.saturating_sub(failed.len() as u32).max(1);
-                let mut restart_config = self.config.clone();
-                restart_config.failures.clear();
-                restart_config.cluster = ClusterConfig {
+                restarts_left -= 1;
+                carried_runtime += elapsed;
+                carried_failures += failed.len() as u64;
+                // Rerun the whole query on the surviving workers.
+                let survivors = config.cluster.workers.saturating_sub(failed.len() as u32).max(1);
+                config.failures.clear();
+                config.cluster = ClusterConfig {
                     workers: survivors,
-                    channels_per_stage: self.config.cluster.channels_per_stage,
-                    ..self.config.cluster
+                    channels_per_stage: config.cluster.channels_per_stage,
+                    ..config.cluster
                 };
-                let rerun = QueryRunner::new(restart_config).run_with_restart_budget(
-                    plan,
-                    catalog,
-                    restarts_left - 1,
-                )?;
-                let mut combined = rerun.metrics;
-                combined.runtime += elapsed;
-                combined.failures += failed.len() as u64;
-                Ok(QueryOutcome { batch: rerun.batch, metrics: combined })
+                let _ = tx.send(StreamEvent::Restarted);
+            }
+            Ok(AttemptOutcome::Failed(error)) | Err(error) => {
+                let _ = tx.send(StreamEvent::Failed(error));
+                return;
             }
         }
     }
+}
+
+/// One end-to-end execution attempt: wire the cluster, run the coordinator,
+/// join every worker thread, and report how it ended.
+fn run_attempt(
+    config: &EngineConfig,
+    graph: StageGraph,
+    tables: &mut Option<BTreeMap<String, Vec<Batch>>>,
+    tx: &Sender<StreamEvent>,
+    cancel: &Arc<AtomicBool>,
+) -> Result<AttemptOutcome, String> {
+    let cost = CostModel::new(config.cost);
+    let metrics = MetricsRegistry::new();
+    let durable = Arc::new(DurableObjectStore::new(cost, Arc::clone(&metrics)));
+
+    // Load the referenced base tables into the (durable) object store as
+    // split objects — the data lake the paper's queries read from S3.
+    let mut table_splits = BTreeMap::new();
+    for (table, batches) in tables.as_ref().expect("table snapshot consumed") {
+        for (index, batch) in batches.iter().enumerate() {
+            durable.put_unmetered(
+                Services::table_split_key(table, index as u64),
+                encode_partition(std::slice::from_ref(batch)),
+            );
+        }
+        table_splits.insert(table.clone(), batches.len() as u64);
+    }
+    // A restart (the only consumer of a second attempt) is only ever
+    // requested when the fault strategy has no intra-query recovery; under
+    // the recovering strategies the snapshot is dead weight for the rest of
+    // the query — free it before execution starts.
+    if config.fault.supports_intra_query_recovery() {
+        *tables = None;
+    }
+
+    let layout = Arc::new(
+        QueryLayout::new(graph, &config.cluster, &table_splits).map_err(|e| e.to_string())?,
+    );
+    let gcs = Arc::new(Gcs::new(cost.gcs_delay()));
+    let plane = Arc::new(DataPlane::new(config.cluster.workers, cost, Arc::clone(&metrics)));
+    let backups: Vec<Arc<LocalBackupStore>> = (0..config.cluster.workers)
+        .map(|w| Arc::new(LocalBackupStore::new(w, cost, Arc::clone(&metrics))))
+        .collect();
+
+    // Register every channel and its first task in the GCS.
+    for addr in layout.all_channels() {
+        let worker = layout.initial_worker(addr);
+        let state = ChannelState::new(addr, worker, layout.upstream_channels(addr.stage).len());
+        gcs.put_channel(&state);
+        gcs.put_task(&TaskEntry { task: addr.task(0), worker });
+    }
+
+    let services = Arc::new(Services {
+        config: config.clone(),
+        layout: Arc::clone(&layout),
+        gcs: Arc::clone(&gcs),
+        plane,
+        backups,
+        durable,
+        sink: Mutex::new(tx.clone()),
+        metrics: Arc::clone(&metrics),
+        killed: (0..config.cluster.workers).map(|_| AtomicBool::new(false)).collect(),
+        cancelled: Arc::clone(cancel),
+        cost,
+    });
+
+    let start = Instant::now();
+    // Align the first-batch clock with `start`, so `time_to_first_batch`
+    // and `runtime` measure from the same origin (excluding table loading).
+    metrics.restart_clock();
+    let handles = spawn_workers(&services);
+    let outcome = Coordinator::new(Arc::clone(&services)).run();
+    // Whatever happened, make every thread exit before we inspect state.
+    if services.gcs.query_error().is_none() && !services.gcs.is_query_done() {
+        services.gcs.set_query_done();
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let elapsed = start.elapsed();
+
+    Ok(match outcome {
+        CoordinatorOutcome::Completed => {
+            let mut snapshot = metrics.snapshot(elapsed);
+            snapshot.lineage_bytes = gcs.lineage_bytes();
+            snapshot.gcs_transactions = gcs.transactions();
+            AttemptOutcome::Completed(Box::new(snapshot))
+        }
+        CoordinatorOutcome::Failed(error) => AttemptOutcome::Failed(error),
+        CoordinatorOutcome::NeedsRestart { failed } => {
+            AttemptOutcome::NeedsRestart { failed, elapsed }
+        }
+    })
 }
 
 #[cfg(test)]

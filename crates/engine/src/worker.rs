@@ -20,6 +20,7 @@
 //!    and the task is retried later.
 
 use crate::layout::QueryLayout;
+use crate::stream::StreamEvent;
 use parking_lot::Mutex;
 use quokka_batch::codec::{decode_partition, encode_partition};
 use quokka_batch::compute::hash_partition;
@@ -53,12 +54,16 @@ pub struct Services {
     pub plane: Arc<DataPlane>,
     pub backups: Vec<Arc<LocalBackupStore>>,
     pub durable: Arc<DurableObjectStore>,
-    /// Result sink: output partitions of the sink stage, keyed by task name
-    /// so a replayed emission overwrites (rather than duplicates) the
-    /// original.
-    pub collector: Mutex<BTreeMap<TaskName, Vec<Batch>>>,
+    /// Result sink: committed sink-stage partitions are sent here the moment
+    /// their lineage commits, tagged with the task name so the consuming
+    /// [`BatchStream`](crate::stream::BatchStream) can recognise a replayed
+    /// emission as a duplicate. Nothing is buffered engine-side.
+    pub sink: Mutex<std::sync::mpsc::Sender<StreamEvent>>,
     pub metrics: Arc<MetricsRegistry>,
     pub killed: Vec<AtomicBool>,
+    /// Raised when the consuming stream is dropped; workers and the
+    /// coordinator wind the query down at their next poll.
+    pub cancelled: Arc<std::sync::atomic::AtomicBool>,
     pub cost: CostModel,
 }
 
@@ -95,9 +100,16 @@ impl Services {
         )
     }
 
-    /// Collected sink output (query result) as a list of batches.
-    pub fn collected_output(&self) -> Vec<Batch> {
-        self.collector.lock().values().flatten().cloned().collect()
+    /// Whether the consuming result stream has been dropped.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Emit one committed sink partition to the result stream. A send
+    /// failure means the consumer is gone; the cancellation flag (set by the
+    /// stream's drop) winds the query down separately, so it is ignored.
+    pub fn emit_result(&self, name: TaskName, batches: Vec<Batch>) {
+        let _ = self.sink.lock().send(StreamEvent::Batch { name, batches });
     }
 }
 
@@ -158,7 +170,7 @@ impl StageWorker {
                 return;
             }
             let gcs = &self.services.gcs;
-            if gcs.is_query_done() || gcs.query_error().is_some() {
+            if gcs.is_query_done() || gcs.query_error().is_some() || self.services.is_cancelled() {
                 return;
             }
             if gcs.is_paused() {
@@ -556,8 +568,16 @@ impl StageWorker {
             }
         }
         if consumer.is_none() {
-            services.metrics.add_output_rows(output_rows);
-            self.services.collector.lock().insert(out_name, outputs);
+            // A replayed sink task re-emits a partition the stream already
+            // saw (and deduplicates by name); only first-time emissions
+            // count toward the result metrics.
+            if !replay_mode {
+                services.metrics.add_output_rows(output_rows);
+                if output_rows > 0 {
+                    services.metrics.add_result_batch();
+                }
+            }
+            services.emit_result(out_name, outputs);
         }
         services.metrics.add_task(replay_mode);
         let rt = self.channels.get_mut(&addr).expect("runtime present");

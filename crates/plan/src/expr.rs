@@ -83,6 +83,36 @@ impl From<CmpOpKind> for CmpOp {
     }
 }
 
+/// An expression paired with an (optional) output name.
+///
+/// The DataFrame `select` and the plan builders accept either a bare
+/// [`Expr`] (named after itself when it is a column reference) or an
+/// explicitly aliased one built with [`Expr::alias`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedExpr {
+    pub expr: Expr,
+    pub name: Option<String>,
+}
+
+impl NamedExpr {
+    /// The output name this expression resolves to: the alias if one was
+    /// given, a column's own name, or a positional `col{index}` fallback
+    /// for anonymous computed expressions.
+    pub fn resolve_name(&self, index: usize) -> String {
+        match (&self.name, &self.expr) {
+            (Some(name), _) => name.clone(),
+            (None, Expr::Column(column)) => column.clone(),
+            (None, _) => format!("col{index}"),
+        }
+    }
+}
+
+impl From<Expr> for NamedExpr {
+    fn from(expr: Expr) -> Self {
+        NamedExpr { expr, name: None }
+    }
+}
+
 /// Shorthand for a column reference.
 pub fn col(name: impl Into<String>) -> Expr {
     Expr::Column(name.into())
@@ -180,6 +210,11 @@ impl Expr {
     /// `CASE WHEN cond THEN a ELSE b END` convenience constructor.
     pub fn case_when(cond: Expr, then: Expr, otherwise: Expr) -> Expr {
         Expr::Case { branches: vec![(cond, then)], otherwise: Box::new(otherwise) }
+    }
+
+    /// Name this expression's output column (SQL `AS`).
+    pub fn alias(self, name: impl Into<String>) -> NamedExpr {
+        NamedExpr { expr: self, name: Some(name.into()) }
     }
 
     /// The output data type of this expression against `schema`.

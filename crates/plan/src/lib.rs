@@ -36,8 +36,8 @@ pub mod stage;
 
 pub use aggregate::{AggExpr, AggFunc};
 pub use catalog::{Catalog, MemoryCatalog};
-pub use expr::Expr;
-pub use logical::{JoinType, LogicalPlan, PlanBuilder};
+pub use expr::{Expr, NamedExpr};
+pub use logical::{sort_by_exprs, JoinType, LogicalPlan, PlanBuilder};
 pub use optimizer::Optimizer;
 pub use physical::{CoreOp, OperatorSpec, StageOperator, Transform};
 pub use reference::ReferenceExecutor;

@@ -1,10 +1,11 @@
 //! The logical plan DSL.
 //!
-//! TPC-H queries are expressed by hand with [`PlanBuilder`] (there is no SQL
-//! parser in this reproduction; the paper's Quokka likewise exposes a
-//! DataFrame-style API rather than SQL). Subqueries are decorrelated by hand
-//! into joins and aggregations when the query plans are written, exactly as
-//! a SQL optimizer would.
+//! The hand-built TPC-H queries are expressed with [`PlanBuilder`]; the SQL
+//! frontend (`quokka-sql`) and the facade crate's lazy DataFrame API lower
+//! to the same [`LogicalPlan`] nodes (the paper's Quokka likewise exposes a
+//! DataFrame-style API). Subqueries are decorrelated by hand into joins and
+//! aggregations when the query plans are written, exactly as a SQL
+//! optimizer would.
 
 use crate::aggregate::AggExpr;
 use crate::expr::Expr;
@@ -262,6 +263,67 @@ impl LogicalPlan {
     }
 }
 
+/// Lower a sort over arbitrary key expressions onto the engine's
+/// column-name [`LogicalPlan::Sort`].
+///
+/// Keys that are plain references to the input's output columns sort
+/// directly. Computed keys are materialized as hidden `__sort_{i}` columns
+/// by a projection below the sort, and a projection above it restores the
+/// original schema — so the result schema is always the input schema. This
+/// is the single sort path shared by the DataFrame `sort()` and the SQL
+/// frontend's `ORDER BY` on expressions.
+pub fn sort_by_exprs(
+    input: LogicalPlan,
+    keys: Vec<(Expr, bool)>,
+    limit: Option<usize>,
+) -> Result<LogicalPlan> {
+    let schema = input.schema()?;
+    let is_output_column = |e: &Expr| match e {
+        Expr::Column(name) => schema.index_of(name).is_ok(),
+        _ => false,
+    };
+    if keys.iter().all(|(e, _)| is_output_column(e)) {
+        let keys = keys
+            .into_iter()
+            .map(|(e, asc)| match e {
+                Expr::Column(name) => (name, asc),
+                _ => unreachable!("checked above"),
+            })
+            .collect();
+        return Ok(LogicalPlan::Sort { input: Box::new(input), keys, limit });
+    }
+
+    // Hidden-key path: Project(input columns + computed keys) -> Sort ->
+    // Project(input columns).
+    let passthrough: Vec<(Expr, String)> = schema
+        .column_names()
+        .iter()
+        .map(|n| (Expr::Column(n.to_string()), n.to_string()))
+        .collect();
+    let mut exprs = passthrough.clone();
+    let mut sort_keys = Vec::with_capacity(keys.len());
+    for (i, (e, asc)) in keys.into_iter().enumerate() {
+        if is_output_column(&e) {
+            if let Expr::Column(name) = e {
+                sort_keys.push((name, asc));
+            }
+            continue;
+        }
+        let mut name = format!("__sort_{i}");
+        while schema.index_of(&name).is_ok() {
+            name.push('_');
+        }
+        exprs.push((e, name.clone()));
+        sort_keys.push((name, asc));
+    }
+    let projected = LogicalPlan::Project { input: Box::new(input), exprs };
+    let sorted = LogicalPlan::Sort { input: Box::new(projected), keys: sort_keys, limit };
+    let plan = LogicalPlan::Project { input: Box::new(sorted), exprs: passthrough };
+    // Surface type errors in the key expressions now, not at execution.
+    plan.schema()?;
+    Ok(plan)
+}
+
 /// Fluent builder for [`LogicalPlan`]s.
 #[derive(Debug, Clone)]
 pub struct PlanBuilder {
@@ -325,6 +387,14 @@ impl PlanBuilder {
                 limit: None,
             },
         }
+    }
+
+    /// Sort by arbitrary key expressions (via [`sort_by_exprs`]): plain
+    /// column keys sort directly, computed keys go through hidden sort
+    /// columns that are projected away again. Fails immediately if a key
+    /// does not type-check against the current schema.
+    pub fn sort_by(self, keys: Vec<(Expr, bool)>, limit: Option<usize>) -> Result<Self> {
+        Ok(PlanBuilder { plan: sort_by_exprs(self.plan, keys, limit)? })
     }
 
     /// Sort with a top-k limit.
@@ -448,6 +518,37 @@ mod tests {
         assert_eq!(schema.data_type("double_price").unwrap(), DataType::Float64);
         assert_eq!(plan.name(), "Project");
         assert_eq!(plan.children().len(), 1);
+    }
+
+    #[test]
+    fn sort_by_expressions_projects_hidden_keys_and_restores_schema() {
+        // Plain column keys lower to a bare Sort.
+        let direct = PlanBuilder::scan("orders", orders_schema())
+            .sort_by(vec![(col("o_totalprice"), false)], None)
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(direct.name(), "Sort");
+
+        // Computed keys go through hidden sort columns.
+        let computed = PlanBuilder::scan("orders", orders_schema())
+            .sort_by(vec![(col("o_totalprice").mul(lit(-1.0f64)), true)], Some(5))
+            .unwrap()
+            .build()
+            .unwrap();
+        assert_eq!(computed.name(), "Project");
+        assert_eq!(
+            computed.schema().unwrap().column_names(),
+            orders_schema().column_names(),
+            "the hidden sort key must not leak into the output schema"
+        );
+        let display = computed.display_indent();
+        assert!(display.contains("__sort_0"), "{display}");
+
+        // Key expressions that do not type-check fail at build time.
+        assert!(PlanBuilder::scan("orders", orders_schema())
+            .sort_by(vec![(col("missing"), true)], None)
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! TPC-H queries expressed in the lazy [`DataFrame`] API.
+//!
+//! These are the DataFrame twins of the SQL texts in
+//! [`quokka_tpch::queries::sql`] (the nine queries expressible without
+//! subqueries, self-joins, or outer joins), written the way an application
+//! would: filters applied at the scans, joins chained left-deep, aggregates
+//! named with `.alias(..)`. Their output columns match the SQL twins so
+//! results compare batch-for-batch; the workspace test
+//! `tests/dataframe_tpch.rs` keeps all three frontends (DataFrame, SQL,
+//! hand-built plans) in parity on the reference executor and the
+//! distributed runtime.
+
+use super::{avg, col, count, date, lit, sum, DataFrame};
+use crate::{JoinType, QuokkaSession, Result};
+use quokka_common::QuokkaError;
+use quokka_plan::expr::Expr;
+
+/// Query numbers available in the DataFrame API.
+pub const DATAFRAME_QUERIES: [usize; 9] = [1, 3, 5, 6, 9, 10, 12, 14, 19];
+
+/// Build TPC-H query `number` as a lazy [`DataFrame`] over `session`'s
+/// tables.
+pub fn query(session: &QuokkaSession, number: usize) -> Result<DataFrame> {
+    match number {
+        1 => q1(session),
+        3 => q3(session),
+        5 => q5(session),
+        6 => q6(session),
+        9 => q9(session),
+        10 => q10(session),
+        12 => q12(session),
+        14 => q14(session),
+        19 => q19(session),
+        other => Err(QuokkaError::PlanError(format!(
+            "TPC-H Q{other} is not available in the DataFrame API \
+             (supported: {DATAFRAME_QUERIES:?})"
+        ))),
+    }
+}
+
+/// `l_extendedprice * (1 - l_discount)` — the revenue term most queries sum.
+fn revenue_term() -> Expr {
+    col("l_extendedprice").mul(lit(1.0f64).sub(col("l_discount")))
+}
+
+fn q1(session: &QuokkaSession) -> Result<DataFrame> {
+    session
+        .table("lineitem")?
+        .filter(col("l_shipdate").lt_eq(date(1998, 9, 2)))?
+        .group_by([col("l_returnflag"), col("l_linestatus")])?
+        .agg([
+            sum(col("l_quantity")).alias("sum_qty"),
+            sum(col("l_extendedprice")).alias("sum_base_price"),
+            sum(revenue_term()).alias("sum_disc_price"),
+            sum(revenue_term().mul(lit(1.0f64).add(col("l_tax")))).alias("sum_charge"),
+            avg(col("l_quantity")).alias("avg_qty"),
+            avg(col("l_extendedprice")).alias("avg_price"),
+            avg(col("l_discount")).alias("avg_disc"),
+            count(col("l_orderkey")).alias("count_order"),
+        ])?
+        .sort([(col("l_returnflag"), true), (col("l_linestatus"), true)])
+}
+
+fn q3(session: &QuokkaSession) -> Result<DataFrame> {
+    session
+        .table("customer")?
+        .filter(col("c_mktsegment").eq(lit("BUILDING")))?
+        .join(
+            session.table("orders")?.filter(col("o_orderdate").lt(date(1995, 3, 15)))?,
+            &[("c_custkey", "o_custkey")],
+            JoinType::Inner,
+        )?
+        .join(
+            session.table("lineitem")?.filter(col("l_shipdate").gt(date(1995, 3, 15)))?,
+            &[("o_orderkey", "l_orderkey")],
+            JoinType::Inner,
+        )?
+        .group_by([col("l_orderkey"), col("o_orderdate"), col("o_shippriority")])?
+        .agg([sum(revenue_term()).alias("revenue")])?
+        .sort_limit([(col("revenue"), false), (col("o_orderdate"), true)], 10)
+}
+
+fn q5(session: &QuokkaSession) -> Result<DataFrame> {
+    session
+        .table("region")?
+        .filter(col("r_name").eq(lit("ASIA")))?
+        .join(session.table("nation")?, &[("r_regionkey", "n_regionkey")], JoinType::Inner)?
+        .join(session.table("customer")?, &[("n_nationkey", "c_nationkey")], JoinType::Inner)?
+        .join(
+            session.table("orders")?.filter(
+                col("o_orderdate")
+                    .gt_eq(date(1994, 1, 1))
+                    .and(col("o_orderdate").lt(date(1995, 1, 1))),
+            )?,
+            &[("c_custkey", "o_custkey")],
+            JoinType::Inner,
+        )?
+        .join(session.table("lineitem")?, &[("o_orderkey", "l_orderkey")], JoinType::Inner)?
+        .join(session.table("supplier")?, &[("l_suppkey", "s_suppkey")], JoinType::Inner)?
+        .filter(col("s_nationkey").eq(col("c_nationkey")))?
+        .group_by([col("n_name")])?
+        .agg([sum(revenue_term()).alias("revenue")])?
+        .sort([(col("revenue"), false)])
+}
+
+fn q6(session: &QuokkaSession) -> Result<DataFrame> {
+    session
+        .table("lineitem")?
+        .filter(
+            col("l_shipdate")
+                .gt_eq(date(1994, 1, 1))
+                .and(col("l_shipdate").lt(date(1995, 1, 1)))
+                .and(col("l_discount").between(0.05f64, 0.07f64))
+                .and(col("l_quantity").lt(lit(24.0f64))),
+        )?
+        .agg([sum(col("l_extendedprice").mul(col("l_discount"))).alias("revenue")])
+}
+
+fn q9(session: &QuokkaSession) -> Result<DataFrame> {
+    session
+        .table("part")?
+        .filter(col("p_name").like("%green%"))?
+        .join(session.table("lineitem")?, &[("p_partkey", "l_partkey")], JoinType::Inner)?
+        .join(
+            session.table("partsupp")?,
+            &[("l_partkey", "ps_partkey"), ("l_suppkey", "ps_suppkey")],
+            JoinType::Inner,
+        )?
+        .join(session.table("supplier")?, &[("l_suppkey", "s_suppkey")], JoinType::Inner)?
+        .join(session.table("nation")?, &[("s_nationkey", "n_nationkey")], JoinType::Inner)?
+        .join(session.table("orders")?, &[("l_orderkey", "o_orderkey")], JoinType::Inner)?
+        .group_by([col("n_name").alias("nation"), col("o_orderdate").year().alias("o_year")])?
+        .agg([sum(revenue_term().sub(col("ps_supplycost").mul(col("l_quantity"))))
+            .alias("sum_profit")])?
+        .sort([(col("nation"), true), (col("o_year"), false)])
+}
+
+fn q10(session: &QuokkaSession) -> Result<DataFrame> {
+    session
+        .table("nation")?
+        .join(session.table("customer")?, &[("n_nationkey", "c_nationkey")], JoinType::Inner)?
+        .join(
+            session.table("orders")?.filter(
+                col("o_orderdate")
+                    .gt_eq(date(1993, 10, 1))
+                    .and(col("o_orderdate").lt(date(1994, 1, 1))),
+            )?,
+            &[("c_custkey", "o_custkey")],
+            JoinType::Inner,
+        )?
+        .join(
+            session.table("lineitem")?.filter(col("l_returnflag").eq(lit("R")))?,
+            &[("o_orderkey", "l_orderkey")],
+            JoinType::Inner,
+        )?
+        .group_by([
+            col("c_custkey"),
+            col("c_name"),
+            col("c_acctbal"),
+            col("c_phone"),
+            col("n_name"),
+            col("c_address"),
+            col("c_comment"),
+        ])?
+        .agg([sum(revenue_term()).alias("revenue")])?
+        .sort_limit([(col("revenue"), false)], 20)
+}
+
+fn q12(session: &QuokkaSession) -> Result<DataFrame> {
+    let urgent =
+        col("o_orderpriority").eq(lit("1-URGENT")).or(col("o_orderpriority").eq(lit("2-HIGH")));
+    session
+        .table("orders")?
+        .join(
+            session.table("lineitem")?.filter(
+                col("l_shipmode")
+                    .in_list(vec!["MAIL".into(), "SHIP".into()])
+                    .and(col("l_commitdate").lt(col("l_receiptdate")))
+                    .and(col("l_shipdate").lt(col("l_commitdate")))
+                    .and(col("l_receiptdate").gt_eq(date(1994, 1, 1)))
+                    .and(col("l_receiptdate").lt(date(1995, 1, 1))),
+            )?,
+            &[("o_orderkey", "l_orderkey")],
+            JoinType::Inner,
+        )?
+        .group_by([col("l_shipmode")])?
+        .agg([
+            sum(Expr::case_when(urgent.clone(), lit(1i64), lit(0i64))).alias("high_line_count"),
+            sum(Expr::case_when(urgent, lit(0i64), lit(1i64))).alias("low_line_count"),
+        ])?
+        .sort([(col("l_shipmode"), true)])
+}
+
+fn q14(session: &QuokkaSession) -> Result<DataFrame> {
+    session
+        .table("part")?
+        .join(
+            session.table("lineitem")?.filter(
+                col("l_shipdate")
+                    .gt_eq(date(1995, 9, 1))
+                    .and(col("l_shipdate").lt(date(1995, 10, 1))),
+            )?,
+            &[("p_partkey", "l_partkey")],
+            JoinType::Inner,
+        )?
+        .agg([
+            sum(Expr::case_when(col("p_type").like("PROMO%"), revenue_term(), lit(0.0f64)))
+                .alias("promo"),
+            sum(revenue_term()).alias("total"),
+        ])?
+        .select([lit(100.0f64).mul(col("promo")).div(col("total")).alias("promo_revenue")])
+}
+
+fn q19(session: &QuokkaSession) -> Result<DataFrame> {
+    // The generator spells the air ship modes "AIR" / "REG AIR", matching
+    // the hand-built plan (see `quokka_tpch::queries`).
+    let branch = |brand: &str, containers: [&str; 4], qty_lo: f64, qty_hi: f64, size_hi: i64| {
+        col("p_brand")
+            .eq(lit(brand))
+            .and(col("p_container").in_list(containers.map(Into::into).to_vec()))
+            .and(col("l_quantity").gt_eq(lit(qty_lo)))
+            .and(col("l_quantity").lt_eq(lit(qty_hi)))
+            .and(col("p_size").between(1i64, size_hi))
+    };
+    session
+        .table("part")?
+        .join(
+            session.table("lineitem")?.filter(
+                col("l_shipmode")
+                    .in_list(vec!["AIR".into(), "REG AIR".into()])
+                    .and(col("l_shipinstruct").eq(lit("DELIVER IN PERSON"))),
+            )?,
+            &[("p_partkey", "l_partkey")],
+            JoinType::Inner,
+        )?
+        .filter(
+            branch("Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0, 5)
+                .or(branch(
+                    "Brand#23",
+                    ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+                    10.0,
+                    20.0,
+                    10,
+                ))
+                .or(branch("Brand#34", ["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20.0, 30.0, 15)),
+        )?
+        .agg([sum(revenue_term()).alias("revenue")])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_dataframe_queries_build_with_expected_schemas() {
+        let session = QuokkaSession::tpch(0.001, 2).unwrap();
+        for q in DATAFRAME_QUERIES {
+            let frame = query(&session, q).unwrap_or_else(|e| panic!("Q{q} failed to build: {e}"));
+            assert!(!frame.schema().is_empty(), "Q{q} has an empty schema");
+        }
+        assert!(query(&session, 2).is_err());
+        assert!(query(&session, 23).is_err());
+    }
+}

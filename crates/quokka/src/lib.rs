@@ -1,19 +1,32 @@
 //! High-level facade for the Quokka write-ahead-lineage query engine.
 //!
-//! [`QuokkaSession`] bundles a table catalog with an [`EngineConfig`] and
-//! exposes one-call query execution, plus helpers for running the TPC-H
-//! workload the paper evaluates. The lower-level crates are re-exported so
-//! downstream users can reach every component from this single dependency:
+//! [`QuokkaSession`] bundles a table catalog with an [`EngineConfig`] and is
+//! the single place queries enter the system. All three frontends — the lazy
+//! [`DataFrame`] API, SQL, and raw [`LogicalPlan`]s built with
+//! [`PlanBuilder`] — lower to the same [`QueryHandle`], which executes
+//! either incrementally ([`QueryHandle::stream`]) or to completion
+//! ([`QueryHandle::collect`]):
 //!
 //! ```
-//! use quokka::{QuokkaSession, EngineConfig};
+//! use quokka::dataframe::{col, sum};
+//! use quokka::QuokkaSession;
 //!
 //! // A tiny TPC-H data set on a 4-worker simulated cluster.
 //! let session = QuokkaSession::tpch(0.002, 4).unwrap();
-//! let outcome = session.run_tpch(6).unwrap();
-//! println!("Q6 revenue rows: {}", outcome.batch.num_rows());
+//! let outcome = session
+//!     .table("lineitem").unwrap()
+//!     .filter(col("l_quantity").lt(quokka::dataframe::lit(25.0f64))).unwrap()
+//!     .group_by([col("l_returnflag")]).unwrap()
+//!     .agg([sum(col("l_extendedprice")).alias("revenue")]).unwrap()
+//!     .sort([(col("revenue"), false)]).unwrap()
+//!     .collect().unwrap();
 //! assert!(outcome.metrics.tasks_executed > 0);
 //! ```
+//!
+//! Sessions are cheap to clone and safe to share: wrap one in an
+//! [`Arc`] — or just clone one — and run queries from as many
+//! threads as you like — each execution gets its own metrics and cluster
+//! state.
 
 pub use quokka_batch as batch;
 pub use quokka_common as common;
@@ -25,12 +38,15 @@ pub use quokka_sql as sql;
 pub use quokka_storage as storage;
 pub use quokka_tpch as tpch;
 
+pub mod dataframe;
+
+pub use dataframe::DataFrame;
 pub use quokka_batch::{Batch, Column, DataType, ScalarValue, Schema};
 pub use quokka_common::{
     ClusterConfig, CostModelConfig, EngineConfig, ExecutionMode, FailureSpec, FaultStrategy,
     QueryMetrics, QuokkaError, Result, SchedulePolicy,
 };
-pub use quokka_engine::{QueryOutcome, QueryRunner};
+pub use quokka_engine::{BatchStream, QueryOutcome, QueryRunner};
 pub use quokka_plan::logical::{JoinType, LogicalPlan, PlanBuilder};
 pub use quokka_plan::reference::{canonical_rows, same_result, ReferenceExecutor};
 pub use quokka_sql::SqlError;
@@ -39,7 +55,19 @@ pub use quokka_tpch::TpchGenerator;
 use quokka_plan::catalog::{Catalog, MemoryCatalog};
 use std::sync::Arc;
 
+/// The shared rendering for a plan that fails schema validation (used by
+/// both the raw-plan entry point and the DataFrame frontend).
+pub(crate) fn invalid_plan_error(error: QuokkaError, plan: &LogicalPlan) -> QuokkaError {
+    QuokkaError::PlanError(format!("invalid plan: {error}\n{}", plan.display_indent()))
+}
+
 /// A session: a catalog of registered tables plus an engine configuration.
+///
+/// Cloning is cheap (the catalog is shared behind an [`Arc`]) and clones are
+/// fully independent query entry points, so one session can serve concurrent
+/// queries from many threads. [`with_config`](Self::with_config) affects
+/// only the clone it is called on.
+#[derive(Clone)]
 pub struct QuokkaSession {
     catalog: Arc<MemoryCatalog>,
     config: EngineConfig,
@@ -86,6 +114,45 @@ impl QuokkaSession {
         self.catalog.table_names()
     }
 
+    /// Start a lazy [`DataFrame`] over a registered table.
+    ///
+    /// Every transformation on the frame is validated against the catalog's
+    /// schemas as it is added (unknown names and type errors surface at
+    /// build time with "did you mean" suggestions), and nothing executes
+    /// until [`DataFrame::collect`] or [`DataFrame::stream`] is called.
+    ///
+    /// ```
+    /// use quokka::QuokkaSession;
+    ///
+    /// let session = QuokkaSession::tpch(0.002, 2).unwrap();
+    /// let err = session.table("lineitems").unwrap_err();
+    /// assert!(err.to_string().contains("did you mean 'lineitem'"));
+    /// ```
+    pub fn table(&self, name: &str) -> Result<DataFrame> {
+        DataFrame::table(self.clone(), name)
+    }
+
+    /// Wrap an already-built logical plan in a [`QueryHandle`] — the common
+    /// entry point the DataFrame and SQL frontends also lower to. The plan
+    /// is schema-checked here, so the handle's failure modes are runtime
+    /// ones.
+    pub fn query(&self, plan: LogicalPlan) -> Result<QueryHandle> {
+        plan.schema().map_err(|e| invalid_plan_error(e, &plan))?;
+        Ok(QueryHandle { session: self.clone(), plan, explain: false })
+    }
+
+    /// A handle over a plan that is already known to be schema-valid
+    /// (used by the DataFrame frontend, which validates at every step).
+    pub(crate) fn query_validated(&self, plan: LogicalPlan) -> QueryHandle {
+        QueryHandle { session: self.clone(), plan, explain: false }
+    }
+
+    /// The hand-built logical plan of TPC-H query `number` (1-22), as a
+    /// [`QueryHandle`].
+    pub fn tpch_query(&self, number: usize) -> Result<QueryHandle> {
+        self.query(quokka_tpch::query(number)?)
+    }
+
     /// Execute a logical plan on the simulated cluster.
     pub fn run(&self, plan: &LogicalPlan) -> Result<QueryOutcome> {
         QueryRunner::new(self.config.clone()).run(plan, self.catalog.as_ref())
@@ -97,9 +164,9 @@ impl QuokkaSession {
         QueryRunner::new(config.clone()).run(plan, self.catalog.as_ref())
     }
 
-    /// Execute TPC-H query `number` (1-22).
+    /// Execute TPC-H query `number` (1-22) to completion.
     pub fn run_tpch(&self, number: usize) -> Result<QueryOutcome> {
-        self.run(&quokka_tpch::query(number)?)
+        self.tpch_query(number)?.collect()
     }
 
     /// Execute a plan on the single-threaded reference executor (the
@@ -128,9 +195,9 @@ impl QuokkaSession {
     /// let err = session.sql("SELECT o_orderkey FROM oders").unwrap_err();
     /// assert!(err.to_string().contains("line 1"));
     /// ```
-    pub fn sql(&self, query: &str) -> Result<QueryHandle<'_>> {
+    pub fn sql(&self, query: &str) -> Result<QueryHandle> {
         let (explain, plan) = quokka_sql::plan_statement(query, self.catalog.as_ref())?;
-        Ok(QueryHandle { session: self, plan, explain })
+        Ok(QueryHandle { session: self.clone(), plan, explain })
     }
 
     /// Optimize a plan with the session's catalog statistics (the same
@@ -168,29 +235,49 @@ impl QuokkaSession {
     }
 }
 
-/// A bound SQL query attached to its session, ready to execute.
+impl std::fmt::Debug for QuokkaSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuokkaSession")
+            .field("tables", &self.table_names())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+/// A bound query attached to its session, ready to execute.
 ///
-/// Produced by [`QuokkaSession::sql`]; the plan has already been parsed,
-/// name-resolved, and type-checked, so the remaining failure modes are
-/// runtime ones (fault injection, storage errors). A handle for an
-/// `EXPLAIN`-prefixed statement does not execute: collecting it returns the
-/// plan rendering (before and after optimization) as a one-column batch.
-pub struct QueryHandle<'a> {
-    session: &'a QuokkaSession,
+/// Every frontend produces one: [`QuokkaSession::sql`],
+/// [`QuokkaSession::query`] (raw plans / [`PlanBuilder`]),
+/// [`QuokkaSession::tpch_query`], and [`DataFrame::handle`]. The plan has
+/// already been parsed, name-resolved, and type-checked, so the remaining
+/// failure modes are runtime ones (fault injection, storage errors).
+///
+/// The handle owns a (cheap) clone of its session, so it is `'static`:
+/// it can outlive the binding it was created from, move across threads, and
+/// back a long-lived [`BatchStream`]. A handle for an `EXPLAIN`-prefixed
+/// statement does not execute: collecting or streaming it returns the plan
+/// rendering (before and after optimization) as a one-column batch.
+pub struct QueryHandle {
+    session: QuokkaSession,
     plan: LogicalPlan,
     explain: bool,
 }
 
-impl std::fmt::Debug for QueryHandle<'_> {
+impl std::fmt::Debug for QueryHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("QueryHandle").field("plan", &self.plan).finish_non_exhaustive()
     }
 }
 
-impl QueryHandle<'_> {
+impl QueryHandle {
     /// The bound logical plan.
     pub fn plan(&self) -> &LogicalPlan {
         &self.plan
+    }
+
+    /// The session this handle executes against.
+    pub fn session(&self) -> &QuokkaSession {
+        &self.session
     }
 
     /// Whether the statement carried an `EXPLAIN` prefix.
@@ -218,16 +305,29 @@ impl QueryHandle<'_> {
             .unwrap_or_else(|_| Batch::empty(schema))
     }
 
-    /// Execute on the simulated cluster with the session's configuration.
+    /// Execute on the simulated cluster, streaming result batches as the
+    /// sink stage commits them. The first batch is available while upstream
+    /// stages are still running; [`BatchStream::metrics`] carries the final
+    /// counters once the stream is exhausted.
+    pub fn stream(&self) -> Result<BatchStream> {
+        self.stream_with(&self.session.config)
+    }
+
+    /// Stream under an explicit engine configuration.
+    pub fn stream_with(&self, config: &EngineConfig) -> Result<BatchStream> {
+        if self.explain {
+            let batch = self.explain_batch();
+            let schema = batch.schema().clone();
+            return Ok(BatchStream::ready(schema, vec![batch], QueryMetrics::default()));
+        }
+        QueryRunner::new(config.clone()).stream(&self.plan, self.session.catalog.as_ref())
+    }
+
+    /// Execute on the simulated cluster with the session's configuration,
+    /// materializing the full result (a drained [`stream`](Self::stream)).
     /// For an `EXPLAIN` statement, return the plan rendering instead.
     pub fn collect(&self) -> Result<QueryOutcome> {
-        if self.explain {
-            return Ok(QueryOutcome {
-                batch: self.explain_batch(),
-                metrics: QueryMetrics::default(),
-            });
-        }
-        self.session.run(&self.plan)
+        self.collect_with(&self.session.config)
     }
 
     /// Execute under an explicit engine configuration.
@@ -274,5 +374,30 @@ mod tests {
         let outcome = session.run_tpch(6).unwrap();
         let expected = session.run_reference(&quokka_tpch::query(6).unwrap()).unwrap();
         assert!(same_result(&outcome.batch, &expected));
+    }
+
+    #[test]
+    fn query_handles_outlive_their_session_binding() {
+        let handle = {
+            let session = QuokkaSession::tpch(0.002, 2).unwrap();
+            session.sql("SELECT count(*) AS n FROM orders").unwrap()
+        };
+        // The original binding is gone; the handle's session clone keeps the
+        // catalog alive.
+        let outcome = handle.collect().unwrap();
+        assert_eq!(outcome.batch.schema().column_names(), vec!["n"]);
+    }
+
+    #[test]
+    fn all_frontends_share_one_handle_type() {
+        let session = QuokkaSession::tpch(0.002, 2).unwrap();
+        let from_plan = session.tpch_query(6).unwrap();
+        let from_sql = session.sql(tpch::queries::sql::sql_text(6).unwrap()).unwrap();
+        let from_df = dataframe::tpch::query(&session, 6).unwrap().handle();
+        let a = from_plan.collect_reference().unwrap();
+        let b = from_sql.collect_reference().unwrap();
+        let c = from_df.collect_reference().unwrap();
+        assert!(same_result(&a, &b));
+        assert!(same_result(&b, &c));
     }
 }

@@ -20,6 +20,7 @@
 use crate::ast::*;
 use crate::error::{Pos, SqlError};
 use crate::parser::validate_date;
+use crate::resolve::suggest;
 use quokka_batch::datatype::{DataType, ScalarValue};
 use quokka_batch::Schema;
 use quokka_plan::aggregate::{AggExpr, AggFunc};
@@ -129,34 +130,6 @@ impl Scope {
             },
         }
     }
-}
-
-/// `(did you mean 'x'?)` when a close match exists, else empty.
-fn suggest(name: &str, candidates: Vec<&str>) -> String {
-    let best = candidates
-        .into_iter()
-        .map(|c| (levenshtein(name, c), c))
-        .filter(|(d, _)| *d <= 2)
-        .min_by_key(|(d, _)| *d);
-    match best {
-        Some((_, c)) => format!(" (did you mean '{c}'?)"),
-        None => String::new(),
-    }
-}
-
-fn levenshtein(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    let mut prev: Vec<usize> = (0..=b.len()).collect();
-    for (i, &ca) in a.iter().enumerate() {
-        let mut row = vec![i + 1];
-        for (j, &cb) in b.iter().enumerate() {
-            let sub = prev[j] + usize::from(ca != cb);
-            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
-        }
-        prev = row;
-    }
-    prev[b.len()]
 }
 
 /// The aggregate function named by a call, if it is one.
@@ -297,13 +270,29 @@ impl Binder<'_> {
             plan = LogicalPlan::Aggregate { input: Box::new(plan), group_by, aggregates: vec![] };
         }
 
-        // ORDER BY / LIMIT
+        // ORDER BY / LIMIT. Keys are bound against the statement's *output*
+        // columns (select aliases included) and may be arbitrary scalar
+        // expressions over them — computed keys lower through the same
+        // hidden-sort-column path the DataFrame `sort()` uses
+        // ([`quokka_plan::logical::sort_by_exprs`]).
         let output = self.schema_of(&plan)?;
         if !stmt.order_by.is_empty() {
-            let mut keys = Vec::new();
+            let output_scope = Scope::anonymous(output.clone());
+            let mut keys: Vec<(Expr, bool)> = Vec::new();
             for item in &stmt.order_by {
-                let name = match &item.expr.kind {
-                    ExprKind::Column { qualifier: None, name } => name.clone(),
+                let key = match &item.expr.kind {
+                    ExprKind::Column { qualifier: None, name } => {
+                        if output.index_of(name).is_err() {
+                            return Err(SqlError::bind(
+                                item.expr.pos,
+                                format!(
+                                    "ORDER BY column '{name}' is not in the output{}",
+                                    suggest(name, output.column_names())
+                                ),
+                            ));
+                        }
+                        Expr::Column(name.clone())
+                    }
                     ExprKind::Column { qualifier: Some(q), .. } => {
                         return Err(SqlError::bind(
                             item.expr.pos,
@@ -315,7 +304,7 @@ impl Binder<'_> {
                     // `ORDER BY 2` — 1-based position in the output.
                     ExprKind::Int(n) => {
                         match usize::try_from(*n).ok().filter(|i| (1..=output.len()).contains(i)) {
-                            Some(i) => output.column_names()[i - 1].to_string(),
+                            Some(i) => Expr::Column(output.column_names()[i - 1].to_string()),
                             None => {
                                 return Err(SqlError::bind(
                                     item.expr.pos,
@@ -329,25 +318,22 @@ impl Binder<'_> {
                         }
                     }
                     _ => {
-                        return Err(SqlError::bind(
-                            item.expr.pos,
-                            "ORDER BY supports output column names only; \
-                             give the expression an alias in the SELECT list and sort by that",
-                        ))
+                        if contains_aggregate(&item.expr) {
+                            return Err(SqlError::bind(
+                                item.expr.pos,
+                                "ORDER BY cannot introduce new aggregates; give the \
+                                 aggregate an alias in the SELECT list and sort by that",
+                            ));
+                        }
+                        let bound = self.bind_scalar(&output_scope, &item.expr)?;
+                        self.type_of(&bound, &output_scope.flat, item.expr.pos)?;
+                        bound
                     }
                 };
-                if output.index_of(&name).is_err() {
-                    return Err(SqlError::bind(
-                        item.expr.pos,
-                        format!(
-                            "ORDER BY column '{name}' is not in the output{}",
-                            suggest(&name, output.column_names())
-                        ),
-                    ));
-                }
-                keys.push((name, item.ascending));
+                keys.push((key, item.ascending));
             }
-            plan = LogicalPlan::Sort { input: Box::new(plan), keys, limit: stmt.limit };
+            plan = quokka_plan::logical::sort_by_exprs(plan, keys, stmt.limit)
+                .map_err(|e| SqlError::bind(Pos::new(1, 1), format!("invalid ORDER BY: {e}")))?;
         } else if let Some(n) = stmt.limit {
             plan = LogicalPlan::Limit { input: Box::new(plan), n };
         }
@@ -1549,8 +1535,29 @@ mod tests {
         let err = plan("SELECT o_id FROM orders ORDER BY o_total").unwrap_err();
         assert!(err.to_string().contains("not in the output"), "{err}");
 
-        let err = plan("SELECT o_id FROM orders ORDER BY o_id + 1").unwrap_err();
-        assert!(err.to_string().contains("output column names only"), "{err}");
+        let err = plan("SELECT o_id FROM orders ORDER BY sum(o_id)").unwrap_err();
+        assert!(err.to_string().contains("cannot introduce new aggregates"), "{err}");
+    }
+
+    #[test]
+    fn order_by_expressions_sort_through_hidden_keys() {
+        // `ORDER BY o_id + 1 DESC` == `ORDER BY o_id DESC`, and the hidden
+        // sort key must not appear in the output.
+        let batch = run("SELECT o_id FROM orders ORDER BY 0 - o_id");
+        assert_eq!(batch.schema().column_names(), vec!["o_id"]);
+        assert_eq!(batch.column(0), &Column::Int64(vec![4, 3, 2, 1]));
+
+        // Expressions over aggregate aliases work too.
+        let batch = run("SELECT o_cust, sum(o_total) AS total FROM orders \
+             GROUP BY o_cust ORDER BY 0.0 - total LIMIT 2");
+        assert_eq!(batch.num_rows(), 2);
+        let totals = batch.as_f64s("total").unwrap().to_vec();
+        assert!(totals[0] >= totals[1], "{totals:?}");
+
+        // CASE expressions as sort keys.
+        let batch = run("SELECT o_id FROM orders \
+             ORDER BY CASE WHEN o_id = 3 THEN 0 ELSE 1 END, o_id");
+        assert_eq!(batch.column(0), &Column::Int64(vec![3, 1, 2, 4]));
     }
 
     #[test]

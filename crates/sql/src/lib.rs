@@ -69,9 +69,11 @@ pub mod binder;
 pub mod error;
 pub mod lexer;
 pub mod parser;
+pub mod resolve;
 
 pub use ast::SelectStatement;
 pub use error::{Pos, SqlError, SqlErrorKind};
+pub use resolve::suggest;
 
 use quokka_plan::catalog::Catalog;
 use quokka_plan::logical::LogicalPlan;

@@ -1,0 +1,52 @@
+//! Shared name-resolution helpers.
+//!
+//! These started life inside the SQL binder but are frontend-agnostic: the
+//! lazy DataFrame API resolves table and column names against the same
+//! catalog/schema machinery and wants the same "did you mean" ergonomics in
+//! its build-time errors. Both frontends call into this module so error
+//! quality cannot drift between them.
+
+/// `(did you mean 'x'?)` when a close match exists, else empty.
+///
+/// "Close" means a Levenshtein distance of at most 2 — enough to catch
+/// dropped/transposed characters (`oders` → `orders`) without suggesting
+/// unrelated names.
+pub fn suggest(name: &str, candidates: Vec<&str>) -> String {
+    let best = candidates
+        .into_iter()
+        .map(|c| (levenshtein(name, c), c))
+        .filter(|(d, _)| *d <= 2)
+        .min_by_key(|(d, _)| *d);
+    match best {
+        Some((_, c)) => format!(" (did you mean '{c}'?)"),
+        None => String::new(),
+    }
+}
+
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suggests_close_matches_only() {
+        assert_eq!(suggest("oders", vec!["orders", "lineitem"]), " (did you mean 'orders'?)");
+        assert_eq!(suggest("zzz", vec!["orders", "lineitem"]), "");
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+    }
+}

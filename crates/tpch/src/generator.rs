@@ -683,14 +683,14 @@ mod tests {
         let generator = generator();
         let catalog = generator.catalog().unwrap();
         let part = Batch::concat(&catalog.table_batches("part").unwrap()).unwrap();
-        let names = part.column_by_name("p_name").unwrap().as_utf8().unwrap();
+        let names = part.as_strs("p_name").unwrap();
         let green = names.iter().filter(|n| n.contains("green")).count();
         assert!(green > 0 && green < names.len());
         let forest = names.iter().filter(|n| n.starts_with("forest")).count();
         assert!(forest > 0);
 
         let orders = Batch::concat(&catalog.table_batches("orders").unwrap()).unwrap();
-        let comments = orders.column_by_name("o_comment").unwrap().as_utf8().unwrap();
+        let comments = orders.as_strs("o_comment").unwrap();
         let special = comments.iter().filter(|c| c.contains("special")).count();
         assert!(special > 0 && special * 5 < comments.len());
     }
@@ -699,8 +699,8 @@ mod tests {
     fn dates_are_consistent() {
         let generator = generator();
         let lineitem = Batch::concat(&generator.generate("lineitem").unwrap()).unwrap();
-        let ship = lineitem.column_by_name("l_shipdate").unwrap().as_date().unwrap();
-        let receipt = lineitem.column_by_name("l_receiptdate").unwrap().as_date().unwrap();
+        let ship = lineitem.as_dates("l_shipdate").unwrap();
+        let receipt = lineitem.as_dates("l_receiptdate").unwrap();
         for i in (0..ship.len()).step_by(53) {
             assert!(receipt[i] > ship[i], "receipt date must follow ship date");
         }

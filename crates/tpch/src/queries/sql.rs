@@ -11,6 +11,10 @@
 //! (decorrelation into semi/anti joins, scalar subqueries as constant-key
 //! joins, self-joins with aliased schemas); they stay hand-built in the
 //! sibling `q01_q11` / `q12_q22` modules.
+//!
+//! The same nine queries also exist in the lazy DataFrame API
+//! (`quokka::dataframe::tpch` in the facade crate); the workspace test
+//! `tests/dataframe_tpch.rs` keeps all three forms in batch-level parity.
 
 /// Query numbers available as SQL text.
 pub const SQL_QUERIES: [usize; 9] = [1, 3, 5, 6, 9, 10, 12, 14, 19];

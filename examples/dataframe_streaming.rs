@@ -1,0 +1,90 @@
+//! The lazy DataFrame API and streaming result delivery.
+//!
+//! Builds TPC-H-style queries with the composable `DataFrame` builder (no
+//! SQL strings, no hand-assembled plans), then consumes one incrementally:
+//! the first result batch is printed while upstream stages of the query are
+//! still executing on the simulated cluster.
+//!
+//! Run with: `cargo run --release --example dataframe_streaming`
+
+use quokka::dataframe::{col, count, date, lit, sum};
+use quokka::{CostModelConfig, EngineConfig, QuokkaSession};
+
+fn main() -> quokka::Result<()> {
+    // A shared session: cheap to clone, safe to query from many threads.
+    let session = QuokkaSession::tpch(0.01, 4)?
+        .with_config(EngineConfig::quokka(4).with_cost(CostModelConfig::scaled(0.1)));
+
+    // --- 1. Composable, schema-checked query building --------------------
+    // Revenue per return flag for early shipments: every step is validated
+    // as it is added, so typos fail *here*, not at execution time.
+    let revenue = session
+        .table("lineitem")?
+        .filter(col("l_shipdate").lt_eq(date(1998, 9, 2)))?
+        .group_by([col("l_returnflag")])?
+        .agg([
+            sum(col("l_extendedprice").mul(lit(1.0f64).sub(col("l_discount")))).alias("revenue"),
+            count(col("l_orderkey")).alias("orders"),
+        ])?
+        .sort([(col("revenue"), false)])?;
+
+    println!("plan:\n{}", revenue.explain()?);
+    let outcome = revenue.collect()?;
+    println!("flag  revenue            orders");
+    for row in 0..outcome.batch.num_rows() {
+        println!(
+            "{:<5} {:>16.2}  {:>7}",
+            outcome.batch.value(row, 0),
+            outcome.batch.as_f64s("revenue")?[row],
+            outcome.batch.as_i64s("orders")?[row],
+        );
+    }
+
+    // Build-time error ergonomics: unknown names get suggestions.
+    let err = session.table("lineitem")?.filter(col("l_shipdat").year().eq(lit(1998i64)));
+    println!("\nerror example: {}\n", err.unwrap_err());
+
+    // --- 2. Streaming execution ------------------------------------------
+    // A scan-shaped query (no blocking sink): result batches arrive as scan
+    // tasks commit, long before the query finishes.
+    let urgent = session
+        .table("orders")?
+        .filter(col("o_orderpriority").eq(lit("1-URGENT")))?
+        .select([col("o_orderkey").alias("key"), col("o_totalprice").alias("price")])?;
+
+    let mut stream = urgent.stream()?;
+    let mut batches = 0u64;
+    let mut rows = 0u64;
+    while let Some(batch) = stream.next_batch()? {
+        batches += 1;
+        rows += batch.num_rows() as u64;
+        if batches <= 3 {
+            println!(
+                "batch {batches:>2}: {:>5} rows (query finished: {})",
+                batch.num_rows(),
+                stream.is_finished(),
+            );
+        }
+    }
+    let metrics = stream.metrics().expect("stream drained");
+    println!("... {batches} batches, {rows} rows total");
+    println!(
+        "time to first batch: {:?} of {:?} total ({}% of the runtime)",
+        metrics.time_to_first_batch.unwrap(),
+        metrics.runtime,
+        (metrics.time_to_first_batch.unwrap().as_secs_f64() / metrics.runtime.as_secs_f64()
+            * 100.0)
+            .round(),
+    );
+
+    // --- 3. One handle type for every frontend ---------------------------
+    // The same query as SQL text executes through the identical path.
+    let sql = session.sql(
+        "SELECT o_orderkey AS key, o_totalprice AS price \
+         FROM orders WHERE o_orderpriority = '1-URGENT'",
+    )?;
+    let sql_rows = sql.collect()?.batch.num_rows() as u64;
+    assert_eq!(sql_rows, rows, "SQL and DataFrame frontends must agree");
+    println!("\nSQL twin streamed the same {sql_rows} rows through the same engine");
+    Ok(())
+}

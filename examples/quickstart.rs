@@ -96,5 +96,24 @@ fn main() -> quokka::Result<()> {
     // Malformed SQL fails with a positioned error instead of panicking.
     let err = session.sql("SELECT revenu FROM sales").unwrap_err();
     println!("error example: {err}");
+
+    // The same query once more through the lazy DataFrame API — the third
+    // frontend, sharing the engine (and the error ergonomics) with the
+    // other two. See `examples/dataframe_streaming.rs` for the full tour,
+    // including incremental result streaming.
+    use quokka::dataframe::{col as dcol, count as dcount, lit as dlit, sum as dsum};
+    let frame = session
+        .table("products")?
+        .join(
+            session.table("sales")?.filter(dcol("s_amount").gt(dlit(5.0f64)))?,
+            &[("p_id", "s_product")],
+            JoinType::Inner,
+        )?
+        .group_by([dcol("p_category").alias("category")])?
+        .agg([dsum(dcol("s_amount")).alias("revenue"), dcount(dcol("s_product")).alias("sales")])?
+        .sort([(dcol("revenue"), false)])?;
+    let df_outcome = frame.collect()?;
+    assert!(quokka::same_result(&df_outcome.batch, &outcome.batch));
+    println!("DataFrame result matches the hand-built plan and the SQL text");
     Ok(())
 }
