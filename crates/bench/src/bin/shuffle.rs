@@ -6,6 +6,12 @@
 //! edge. Predicate pushdown and projection pruning shrink the scan→join
 //! edges; this harness is where that win is measured and regression-gated.
 //!
+//! Plans are built from the TPC-H **SQL texts** (the same path a user's
+//! query takes), so the run also measures the decorrelated queries: Q4's
+//! `EXISTS` and Q21's derived-table pipeline arrive as subquery-bearing
+//! plans, the "unoptimized" run applies only the mandatory decorrelation
+//! lowering, and the optimized run applies the full rule pipeline on top.
+//!
 //! Results go to `BENCH_shuffle.json`. The run **fails** (non-zero exit) if
 //! the optimized plan of any gated query (Q3, Q5, Q9 — the join-heavy
 //! representatives) does not shuffle strictly fewer bytes than its
@@ -14,7 +20,7 @@
 //! Run with: `cargo run --release -p quokka-bench --bin shuffle`
 //!
 //! Environment knobs: `QUOKKA_SF` (default 0.01), `QUOKKA_WORKERS` (default
-//! 4), `QUOKKA_QUERIES` (default 1,3,5,6,9,10,12), `QUOKKA_BENCH_OUT`
+//! 4), `QUOKKA_QUERIES` (default 1,3,4,5,6,9,10,12,21), `QUOKKA_BENCH_OUT`
 //! (default `BENCH_shuffle.json`).
 
 use quokka::{same_result, EngineConfig, QuokkaSession};
@@ -50,7 +56,7 @@ fn env_u32(name: &str, default: u32) -> u32 {
 fn main() {
     let scale_factor = env_f64("QUOKKA_SF", 0.01);
     let workers = env_u32("QUOKKA_WORKERS", 4);
-    let queries = quokka_bench::queries_from_env(&[1, 3, 5, 6, 9, 10, 12]);
+    let queries = quokka_bench::queries_from_env(&[1, 3, 4, 5, 6, 9, 10, 12, 21]);
     let out_path =
         std::env::var("QUOKKA_BENCH_OUT").unwrap_or_else(|_| "BENCH_shuffle.json".to_string());
 
@@ -61,7 +67,8 @@ fn main() {
 
     let mut entries = Vec::new();
     for &q in &queries {
-        let plan = quokka::tpch::query(q).expect("TPC-H plan");
+        let sql = quokka::tpch::queries::sql::sql_text(q).expect("TPC-H SQL text");
+        let plan = quokka::sql::plan_query(sql, session.catalog()).expect("TPC-H plan from SQL");
         let naive = session.run_with(&plan, &naive_config).expect("unoptimized run");
         let optimized = session.run_with(&plan, &optimized_config).expect("optimized run");
         assert!(

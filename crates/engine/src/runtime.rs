@@ -81,7 +81,10 @@ impl QueryRunner {
         let plan = if self.config.optimize {
             Optimizer::with_catalog(catalog).optimize(plan)?
         } else {
-            plan.clone()
+            // Subquery decorrelation is a mandatory lowering, not an
+            // optimization: even a "naive" run must turn the frontends'
+            // subquery expressions into joins before stage compilation.
+            quokka_plan::optimizer::decorrelate(plan.clone())?
         };
         let output_schema = plan.schema()?;
         // Fail fast on plans the stage compiler rejects; attempts reuse the

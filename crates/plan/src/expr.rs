@@ -1,5 +1,6 @@
 //! The expression language and its columnar evaluator.
 
+use crate::logical::LogicalPlan;
 use quokka_batch::compute::{self, ArithOp, CmpOp};
 use quokka_batch::datatype::{date_year, DataType, ScalarValue};
 use quokka_batch::{Batch, Column, Schema};
@@ -36,6 +37,24 @@ pub enum Expr {
     Substr { expr: Box<Expr>, start: usize, len: usize },
     /// Cast to another data type.
     Cast { expr: Box<Expr>, to: DataType },
+    /// A reference to a column of the *enclosing* query, appearing inside a
+    /// subquery plan (a correlated reference). Carries the resolved type so
+    /// the subquery plan still schema-checks on its own. Never executable:
+    /// the optimizer's decorrelation pass turns the enclosing equality into
+    /// a join key and removes this node.
+    OuterRef { name: String, dtype: DataType },
+    /// `EXISTS (subquery)` — true for rows where the subquery (with this
+    /// row's [`Expr::OuterRef`]s substituted) returns at least one row.
+    /// Decorrelated into a [`JoinType::Semi`](crate::logical::JoinType)
+    /// (or `Anti` when `negated`) join before execution.
+    Exists { plan: Box<LogicalPlan>, negated: bool },
+    /// `expr [NOT] IN (subquery)` over a one-column subquery. Decorrelated
+    /// into a semi (anti when `negated`) join before execution.
+    InSubquery { expr: Box<Expr>, plan: Box<LogicalPlan>, negated: bool },
+    /// A scalar subquery: a one-column aggregate plan producing (at most)
+    /// one value per binding of its outer references. Decorrelated into a
+    /// group-by + join (correlated) or a constant-key join (uncorrelated).
+    ScalarSubquery(Box<LogicalPlan>),
 }
 
 /// Arithmetic operators (mirrors [`quokka_batch::compute::ArithOp`], kept
@@ -259,6 +278,18 @@ impl Expr {
             Expr::Year(_) => DataType::Int64,
             Expr::Substr { .. } => DataType::Utf8,
             Expr::Cast { to, .. } => *to,
+            Expr::OuterRef { dtype, .. } => *dtype,
+            Expr::Exists { .. } | Expr::InSubquery { .. } => DataType::Bool,
+            Expr::ScalarSubquery(plan) => {
+                let sub_schema = plan.schema()?;
+                if sub_schema.len() != 1 {
+                    return Err(QuokkaError::TypeError(format!(
+                        "scalar subquery must produce exactly one column, got {}",
+                        sub_schema.len()
+                    )));
+                }
+                sub_schema.field(0).data_type
+            }
         })
     }
 
@@ -333,6 +364,17 @@ impl Expr {
                 ))
             }
             Expr::Cast { expr, to } => compute::cast(&expr.evaluate(batch)?, *to),
+            Expr::OuterRef { name, .. } => Err(QuokkaError::PlanError(format!(
+                "correlated reference to outer column '{name}' reached execution; \
+                 subqueries must be decorrelated first (optimizer::decorrelate)"
+            ))),
+            Expr::Exists { .. } | Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => {
+                Err(QuokkaError::PlanError(
+                    "subquery expression reached execution; subqueries must be \
+                     decorrelated into joins first (optimizer::decorrelate)"
+                        .to_string(),
+                ))
+            }
         }
     }
 
@@ -378,6 +420,86 @@ impl Expr {
                 }
                 otherwise.collect_columns(out);
             }
+            // An OuterRef names a column of the *enclosing* scope, which is
+            // exactly the schema this expression evaluates against once the
+            // subquery holding it is lifted out — so it counts as referenced.
+            Expr::OuterRef { name, .. } => {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            // A subquery expression depends on the outer columns its plan
+            // correlates on (one level deep; deeper OuterRefs belong to
+            // inner scopes).
+            Expr::Exists { plan, .. } | Expr::ScalarSubquery(plan) => {
+                collect_plan_outer_refs(plan, out);
+            }
+            Expr::InSubquery { expr, plan, .. } => {
+                expr.collect_columns(out);
+                collect_plan_outer_refs(plan, out);
+            }
+        }
+    }
+
+    /// Collect the outer-scope columns this expression's *immediate*
+    /// [`Expr::OuterRef`]s name, without descending into nested subquery
+    /// plans (their outer refs resolve against a different scope).
+    pub(crate) fn collect_outer_refs(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::OuterRef { name, .. } => {
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            Expr::Exists { .. } | Expr::ScalarSubquery(_) => {}
+            Expr::InSubquery { expr, .. } => expr.collect_outer_refs(out),
+            Expr::Column(_) | Expr::Literal(_) => {}
+            Expr::Arith { left, right, .. } | Expr::Cmp { left, right, .. } => {
+                left.collect_outer_refs(out);
+                right.collect_outer_refs(out);
+            }
+            Expr::And(l, r) | Expr::Or(l, r) => {
+                l.collect_outer_refs(out);
+                r.collect_outer_refs(out);
+            }
+            Expr::Not(e)
+            | Expr::Like { expr: e, .. }
+            | Expr::InList { expr: e, .. }
+            | Expr::Between { expr: e, .. }
+            | Expr::Year(e)
+            | Expr::Substr { expr: e, .. }
+            | Expr::Cast { expr: e, .. } => e.collect_outer_refs(out),
+            Expr::Case { branches, otherwise } => {
+                for (c, t) in branches {
+                    c.collect_outer_refs(out);
+                    t.collect_outer_refs(out);
+                }
+                otherwise.collect_outer_refs(out);
+            }
+        }
+    }
+
+    /// Whether this expression contains a subquery node (at any depth of the
+    /// expression tree, not looking inside subquery plans).
+    pub fn contains_subquery(&self) -> bool {
+        match self {
+            Expr::Exists { .. } | Expr::InSubquery { .. } | Expr::ScalarSubquery(_) => true,
+            Expr::Column(_) | Expr::Literal(_) | Expr::OuterRef { .. } => false,
+            Expr::Arith { left, right, .. } | Expr::Cmp { left, right, .. } => {
+                left.contains_subquery() || right.contains_subquery()
+            }
+            Expr::And(l, r) | Expr::Or(l, r) => l.contains_subquery() || r.contains_subquery(),
+            Expr::Not(e)
+            | Expr::Like { expr: e, .. }
+            | Expr::InList { expr: e, .. }
+            | Expr::Between { expr: e, .. }
+            | Expr::Year(e)
+            | Expr::Substr { expr: e, .. }
+            | Expr::Cast { expr: e, .. } => e.contains_subquery(),
+            Expr::Case { branches, otherwise } => {
+                branches.iter().any(|(c, t)| c.contains_subquery() || t.contains_subquery())
+                    || otherwise.contains_subquery()
+            }
         }
     }
 
@@ -417,6 +539,12 @@ impl Expr {
                 Expr::Substr { expr: Box::new(f(*expr)), start, len }
             }
             Expr::Cast { expr, to } => Expr::Cast { expr: Box::new(f(*expr)), to },
+            // Subquery plans are not expression children; only the tested
+            // expression of IN is mapped.
+            Expr::OuterRef { .. } | Expr::Exists { .. } | Expr::ScalarSubquery(_) => self,
+            Expr::InSubquery { expr, plan, negated } => {
+                Expr::InSubquery { expr: Box::new(f(*expr)), plan, negated }
+            }
         }
     }
 
@@ -508,6 +636,18 @@ impl Expr {
     /// AND a list of conjuncts back together (None for an empty list).
     pub fn conjoin(conjuncts: Vec<Expr>) -> Option<Expr> {
         conjuncts.into_iter().reduce(|acc, e| acc.and(e))
+    }
+}
+
+/// Collect the one-level outer references of every expression held by
+/// `plan`'s nodes (the correlation columns a subquery plan needs from its
+/// enclosing query).
+pub(crate) fn collect_plan_outer_refs(plan: &LogicalPlan, out: &mut Vec<String>) {
+    for expr in plan.expressions() {
+        expr.collect_outer_refs(out);
+    }
+    for child in plan.children() {
+        collect_plan_outer_refs(child, out);
     }
 }
 

@@ -3,9 +3,11 @@
 //! The hand-built TPC-H queries are expressed with [`PlanBuilder`]; the SQL
 //! frontend (`quokka-sql`) and the facade crate's lazy DataFrame API lower
 //! to the same [`LogicalPlan`] nodes (the paper's Quokka likewise exposes a
-//! DataFrame-style API). Subqueries are decorrelated by hand into joins and
-//! aggregations when the query plans are written, exactly as a SQL
-//! optimizer would.
+//! DataFrame-style API). The hand-built plans decorrelate subqueries into
+//! joins and aggregations as they are written; SQL-born plans may instead
+//! carry subquery expressions ([`Expr::Exists`](crate::expr::Expr) and
+//! friends), which the optimizer's decorrelation pass lowers to the same
+//! join shapes before execution.
 
 use crate::aggregate::AggExpr;
 use crate::expr::Expr;
@@ -181,6 +183,21 @@ impl LogicalPlan {
                     .collect(),
             },
             other => other,
+        }
+    }
+
+    /// The expressions held directly by this node (not its children's).
+    pub fn expressions(&self) -> Vec<&Expr> {
+        match self {
+            LogicalPlan::Filter { predicate, .. } => vec![predicate],
+            LogicalPlan::Project { exprs, .. } => exprs.iter().map(|(e, _)| e).collect(),
+            LogicalPlan::Aggregate { group_by, aggregates, .. } => {
+                group_by.iter().map(|(e, _)| e).chain(aggregates.iter().map(|a| &a.expr)).collect()
+            }
+            LogicalPlan::Scan { .. }
+            | LogicalPlan::Join { .. }
+            | LogicalPlan::Sort { .. }
+            | LogicalPlan::Limit { .. } => vec![],
         }
     }
 

@@ -19,6 +19,15 @@
 //!
 //! The rules, in pipeline order:
 //!
+//! 0. **Subquery decorrelation** — subquery expressions produced by the SQL
+//!    binder ([`Expr::Exists`], [`Expr::InSubquery`], [`Expr::ScalarSubquery`])
+//!    are rewritten into the join shapes the hand-built TPC-H plans use:
+//!    `EXISTS`/`IN` become semi joins, `NOT EXISTS`/`NOT IN` become anti
+//!    joins, uncorrelated scalar aggregates become constant-key joins, and
+//!    correlated scalar aggregates become group-by + join. This is a
+//!    *lowering*, not an optional optimization: the engine runs it even when
+//!    [`EngineConfig::optimize`](quokka_common::EngineConfig) is disabled,
+//!    so no subquery node ever reaches stage compilation.
 //! 1. **Constant folding** — fold column-free subexpressions into literals
 //!    (through the same columnar evaluator the runtime uses) and apply the
 //!    boolean identities; `Filter(true)` nodes disappear.
@@ -58,7 +67,8 @@ const DEFAULT_TABLE_ROWS: f64 = 1000.0;
 const FILTER_SELECTIVITY: f64 = 0.25;
 
 /// The rule names, in pipeline order (EXPLAIN and docs reference these).
-pub const RULE_NAMES: [&str; 7] = [
+pub const RULE_NAMES: [&str; 8] = [
+    "decorrelate_subqueries",
     "fold_constants",
     "merge_filters",
     "push_down_filters",
@@ -98,7 +108,8 @@ impl<'a> Optimizer<'a> {
     /// that would change it is a bug and reported as a `PlanError`.
     pub fn optimize(&self, plan: &LogicalPlan) -> Result<LogicalPlan> {
         let original_schema = plan.schema()?;
-        let mut optimized = fold_constants(plan.clone())?;
+        let mut optimized = decorrelate(plan.clone())?;
+        optimized = fold_constants(optimized)?;
         optimized = merge_filters(optimized)?;
         optimized = push_down_filters(optimized)?;
         optimized = filter_to_join(optimized)?;
@@ -125,6 +136,7 @@ impl<'a> Optimizer<'a> {
     pub fn apply_rule(&self, name: &str, plan: &LogicalPlan) -> Result<LogicalPlan> {
         let plan = plan.clone();
         match name {
+            "decorrelate_subqueries" => decorrelate(plan),
             "fold_constants" => fold_constants(plan),
             "merge_filters" => merge_filters(plan),
             "push_down_filters" => push_down_filters(plan),
@@ -212,6 +224,488 @@ fn estimate_rows(plan: &LogicalPlan, catalog: &dyn Catalog) -> f64 {
             limit.map(|n| rows.min(n as f64)).unwrap_or(rows)
         }
         LogicalPlan::Limit { input, n } => estimate_rows(input, catalog).min(*n as f64),
+    }
+}
+
+// -- rule 0: subquery decorrelation ------------------------------------------
+
+/// Whether the plan still holds subquery expressions or correlated outer
+/// references anywhere (used to skip the rewrite on plain plans and to
+/// verify the rewrite left none behind).
+pub fn contains_subqueries(plan: &LogicalPlan) -> bool {
+    fn expr_has_subquery_or_outer(e: &Expr) -> bool {
+        if e.contains_subquery() {
+            return true;
+        }
+        let mut outer = Vec::new();
+        e.collect_outer_refs(&mut outer);
+        !outer.is_empty()
+    }
+    plan.expressions().iter().any(|e| expr_has_subquery_or_outer(e))
+        || plan.children().iter().any(|c| contains_subqueries(c))
+}
+
+/// Rewrite every subquery expression in the plan into joins. This is the
+/// mandatory lowering between the frontends (which may emit
+/// [`Expr::Exists`] / [`Expr::InSubquery`] / [`Expr::ScalarSubquery`]) and
+/// everything downstream: the stage compiler and the reference executor
+/// only ever see plans without subquery nodes.
+///
+/// The rewrites mirror the decorrelations the hand-built TPC-H plans
+/// perform by hand:
+///
+/// * `EXISTS (sq)` as a WHERE conjunct, with equality correlation
+///   `inner = outer` inside `sq`, becomes `Join(build: sq', probe: input,
+///   on: [(inner, outer)], Semi)` (`Anti` for `NOT EXISTS`).
+/// * `col [NOT] IN (sq)` over a one-column subquery becomes a semi (anti)
+///   join keyed on `(sq output column, col)` plus any correlation pairs.
+/// * A correlated scalar aggregate `cmp(x, (SELECT agg(..) WHERE inner =
+///   outer))` turns the subquery's global aggregate into a group-by over
+///   the correlation columns and joins it in on `(key, outer)`; the
+///   subquery expression is replaced by a reference to the joined value
+///   column.
+/// * An uncorrelated scalar aggregate is attached through a constant-key
+///   join (both sides project a literal `1` key), keeping the join
+///   hash-partitionable.
+///
+/// Rows whose correlated aggregate has no group (SQL: scalar subquery over
+/// an empty set yields NULL, and any comparison with NULL is false) are
+/// dropped by the inner join — the same semantics the hand-built plans
+/// encode.
+pub fn decorrelate(plan: LogicalPlan) -> Result<LogicalPlan> {
+    if !contains_subqueries(&plan) {
+        return Ok(plan);
+    }
+    let mut counter = 0usize;
+    let rewritten = decorrelate_node(plan, &mut counter)?;
+    if contains_subqueries(&rewritten) {
+        return Err(QuokkaError::PlanError(format!(
+            "decorrelation left subquery expressions behind (subqueries are only \
+             supported as WHERE/HAVING conjuncts, with equality correlation)\n{}",
+            rewritten.display_indent()
+        )));
+    }
+    Ok(rewritten)
+}
+
+fn decorrelate_node(plan: LogicalPlan, counter: &mut usize) -> Result<LogicalPlan> {
+    plan.transform_up(&mut |node| match node {
+        LogicalPlan::Filter { input, predicate } if predicate.contains_subquery() => {
+            rewrite_subquery_filter(*input, predicate, counter)
+        }
+        other => Ok(other),
+    })
+}
+
+/// Rewrite one `Filter` whose predicate contains subquery expressions.
+fn rewrite_subquery_filter(
+    input: LogicalPlan,
+    predicate: Expr,
+    counter: &mut usize,
+) -> Result<LogicalPlan> {
+    let original_schema = input.schema()?;
+    let mut plan = input;
+    let mut residual: Vec<Expr> = Vec::new();
+    let mut widened = false;
+    for conjunct in predicate.split_conjuncts() {
+        // Normalize `NOT EXISTS` / `NOT (x IN sq)` written through Expr::Not.
+        let conjunct = match conjunct {
+            Expr::Not(inner) => match *inner {
+                Expr::Exists { plan, negated } => Expr::Exists { plan, negated: !negated },
+                Expr::InSubquery { expr, plan, negated } => {
+                    Expr::InSubquery { expr, plan, negated: !negated }
+                }
+                other => Expr::Not(Box::new(other)),
+            },
+            other => other,
+        };
+        match conjunct {
+            Expr::Exists { plan: sq, negated } => {
+                plan = apply_exists(plan, *sq, negated, Vec::new(), counter)?;
+            }
+            Expr::InSubquery { expr, plan: sq, negated } => {
+                let Expr::Column(outer_col) = *expr else {
+                    return Err(QuokkaError::PlanError(
+                        "IN (SELECT ...) is only supported on a plain column".to_string(),
+                    ));
+                };
+                let sq_schema = sq.schema()?;
+                if sq_schema.len() != 1 {
+                    return Err(QuokkaError::PlanError(format!(
+                        "IN subquery must produce exactly one column, got {}",
+                        sq_schema.len()
+                    )));
+                }
+                let inner_col = sq_schema.field(0).name.clone();
+                plan = apply_exists(plan, *sq, negated, vec![(inner_col, outer_col)], counter)?;
+            }
+            other if other.contains_subquery() => {
+                let (rewritten, new_plan) = rewrite_scalar_subqueries(other, plan, counter)?;
+                plan = new_plan;
+                widened = true;
+                residual.push(rewritten);
+            }
+            other => residual.push(other),
+        }
+    }
+    if let Some(p) = Expr::conjoin(residual) {
+        plan = LogicalPlan::Filter { input: Box::new(plan), predicate: p };
+    }
+    if widened {
+        // Scalar rewrites joined extra columns in front of the input's; a
+        // projection restores the pre-rewrite schema for everything above.
+        let passthrough = original_schema
+            .column_names()
+            .iter()
+            .map(|n| (Expr::Column(n.to_string()), n.to_string()))
+            .collect();
+        plan = LogicalPlan::Project { input: Box::new(plan), exprs: passthrough };
+    }
+    Ok(plan)
+}
+
+/// Attach `sq` to `plan` as a semi (anti) join: `extra_keys` are
+/// `(subquery column, outer column)` pairs from an IN test, and `sq`'s own
+/// correlated equalities contribute further pairs.
+fn apply_exists(
+    plan: LogicalPlan,
+    sq: LogicalPlan,
+    negated: bool,
+    extra_keys: Vec<(String, String)>,
+    counter: &mut usize,
+) -> Result<LogicalPlan> {
+    let sq = decorrelate_node(sq, counter)?;
+    let (sq, mut pairs) = strip_correlation(sq)?;
+    pairs.extend(extra_keys);
+    // A row limit inside a *correlated* subquery applies per outer row in
+    // SQL, but the decorrelated join would apply it globally — reject
+    // rather than silently change which rows exist. (Uncorrelated limits
+    // are fine: only emptiness matters to a semi/anti join.)
+    if !pairs.is_empty() && has_row_limit(&sq) {
+        return Err(QuokkaError::PlanError(
+            "LIMIT inside a correlated EXISTS/IN subquery is not supported: the \
+             decorrelated limit would apply globally instead of per outer row"
+                .to_string(),
+        ));
+    }
+    if pairs.is_empty() {
+        // An uncorrelated EXISTS degenerates to a keyless semi/anti join
+        // ("keep all rows iff the subquery is non-empty"), which the join
+        // operator executes single-channel.
+        let join_type = if negated { JoinType::Anti } else { JoinType::Semi };
+        return Ok(LogicalPlan::Join {
+            build: Box::new(sq),
+            probe: Box::new(plan),
+            on: vec![],
+            join_type,
+        });
+    }
+    let sq_schema = sq.schema()?;
+    let plan_schema = plan.schema()?;
+    for (inner, outer) in &pairs {
+        let inner_type = sq_schema.data_type(inner).map_err(|_| {
+            QuokkaError::PlanError(format!(
+                "correlated column '{inner}' is not visible in the subquery's output \
+                 (it may have been projected away); cannot decorrelate"
+            ))
+        })?;
+        let outer_type = plan_schema.data_type(outer)?;
+        if inner_type != outer_type {
+            return Err(QuokkaError::PlanError(format!(
+                "correlated join key type mismatch: '{inner}' is {inner_type} but \
+                 '{outer}' is {outer_type}"
+            )));
+        }
+    }
+    let join_type = if negated { JoinType::Anti } else { JoinType::Semi };
+    Ok(LogicalPlan::Join { build: Box::new(sq), probe: Box::new(plan), on: pairs, join_type })
+}
+
+/// Replace every [`Expr::ScalarSubquery`] inside `expr` with a column
+/// reference to the subquery's joined-in value, extending `plan` with the
+/// join that carries it.
+fn rewrite_scalar_subqueries(
+    expr: Expr,
+    plan: LogicalPlan,
+    counter: &mut usize,
+) -> Result<(Expr, LogicalPlan)> {
+    match expr {
+        Expr::ScalarSubquery(sq) => {
+            let id = *counter;
+            *counter += 1;
+            let sq = decorrelate_node(*sq, counter)?;
+            let (sq, pairs) = strip_correlation(sq)?;
+            let value_name = format!("__sq{id}_val");
+            if pairs.is_empty() {
+                let plan = attach_uncorrelated_scalar(plan, sq, id, &value_name)?;
+                Ok((Expr::Column(value_name), plan))
+            } else {
+                let plan = attach_correlated_scalar(plan, sq, pairs, id, &value_name)?;
+                Ok((Expr::Column(value_name), plan))
+            }
+        }
+        Expr::Exists { .. } | Expr::InSubquery { .. } => Err(QuokkaError::PlanError(
+            "EXISTS / IN subqueries are only supported as top-level WHERE or HAVING \
+             conjuncts (not nested under OR, CASE, or other operators)"
+                .to_string(),
+        )),
+        // The inner-join rewrite drops rows whose correlated aggregate has
+        // no group *before* the predicate runs — sound only when the whole
+        // conjunct is false without the value. Under OR (the other disjunct
+        // could keep the row) or CASE (the ELSE branch could) that would
+        // silently return wrong rows, so fail loudly instead.
+        Expr::Or(l, r) if l.contains_subquery() || r.contains_subquery() => {
+            Err(QuokkaError::PlanError(
+                "scalar subqueries under OR are not supported: rows without a matching \
+                 subquery value would be dropped before the other disjunct could keep them"
+                    .to_string(),
+            ))
+        }
+        e @ Expr::Case { .. } if e.contains_subquery() => Err(QuokkaError::PlanError(
+            "scalar subqueries inside CASE are not supported: rows without a matching \
+             subquery value would be dropped instead of taking another branch"
+                .to_string(),
+        )),
+        other => {
+            // Rebuild this node with each child rewritten, threading the
+            // growing plan through.
+            let mut plan = Some(plan);
+            let mut error = None;
+            let rewritten = other.map_children(&mut |child| {
+                if error.is_some() {
+                    return child;
+                }
+                match rewrite_scalar_subqueries(child, plan.take().expect("plan threaded"), counter)
+                {
+                    Ok((e, p)) => {
+                        plan = Some(p);
+                        e
+                    }
+                    Err(e) => {
+                        error = Some(e);
+                        Expr::Literal(ScalarValue::Bool(false))
+                    }
+                }
+            });
+            match error {
+                Some(e) => Err(e),
+                None => Ok((rewritten, plan.expect("plan threaded"))),
+            }
+        }
+    }
+}
+
+/// Constant-key join for an uncorrelated scalar subquery: both sides gain a
+/// literal `1` key column, so the value lands on every input row while the
+/// join stays an ordinary hash join.
+fn attach_uncorrelated_scalar(
+    plan: LogicalPlan,
+    sq: LogicalPlan,
+    id: usize,
+    value_name: &str,
+) -> Result<LogicalPlan> {
+    let sq_schema = sq.schema()?;
+    if sq_schema.len() != 1 {
+        return Err(QuokkaError::PlanError(format!(
+            "scalar subquery must produce exactly one column, got {}",
+            sq_schema.len()
+        )));
+    }
+    let build_key = format!("__sq{id}_jkb");
+    let probe_key = format!("__sq{id}_jkp");
+    let build = LogicalPlan::Project {
+        input: Box::new(sq),
+        exprs: vec![
+            (Expr::Column(sq_schema.field(0).name.clone()), value_name.to_string()),
+            (Expr::Literal(ScalarValue::Int64(1)), build_key.clone()),
+        ],
+    };
+    let plan_schema = plan.schema()?;
+    let mut probe_exprs: Vec<(Expr, String)> = plan_schema
+        .column_names()
+        .iter()
+        .map(|n| (Expr::Column(n.to_string()), n.to_string()))
+        .collect();
+    probe_exprs.push((Expr::Literal(ScalarValue::Int64(1)), probe_key.clone()));
+    let probe = LogicalPlan::Project { input: Box::new(plan), exprs: probe_exprs };
+    Ok(LogicalPlan::Join {
+        build: Box::new(build),
+        probe: Box::new(probe),
+        on: vec![(build_key, probe_key)],
+        join_type: JoinType::Inner,
+    })
+}
+
+/// Group-by + join for a correlated scalar aggregate: the subquery's global
+/// aggregate gains the correlation columns as group keys (fresh-named), the
+/// single output value is renamed, and the result joins onto the outer plan
+/// keyed on `(fresh key, outer column)`.
+fn attach_correlated_scalar(
+    plan: LogicalPlan,
+    sq: LogicalPlan,
+    pairs: Vec<(String, String)>,
+    id: usize,
+    value_name: &str,
+) -> Result<LogicalPlan> {
+    let sq_schema = sq.schema()?;
+    if sq_schema.len() != 1 {
+        return Err(QuokkaError::PlanError(format!(
+            "scalar subquery must produce exactly one column, got {}",
+            sq_schema.len()
+        )));
+    }
+    let keys: Vec<(String, String, String)> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, (inner, outer))| (inner.clone(), outer.clone(), format!("__sq{id}_k{i}")))
+        .collect();
+    let grouped = push_group_keys(sq, &keys, value_name)?;
+    let grouped_schema = grouped.schema()?;
+    let plan_schema = plan.schema()?;
+    let mut on = Vec::with_capacity(keys.len());
+    for (inner, outer, fresh) in &keys {
+        let build_type = grouped_schema.data_type(fresh)?;
+        let probe_type = plan_schema.data_type(outer).map_err(|_| {
+            QuokkaError::PlanError(format!(
+                "correlated scalar subquery references outer column '{outer}', which is \
+                 not visible where the subquery appears"
+            ))
+        })?;
+        if build_type != probe_type {
+            return Err(QuokkaError::PlanError(format!(
+                "correlated join key type mismatch: '{inner}' is {build_type} but \
+                 '{outer}' is {probe_type}"
+            )));
+        }
+        on.push((fresh.clone(), outer.clone()));
+    }
+    Ok(LogicalPlan::Join {
+        build: Box::new(grouped),
+        probe: Box::new(plan),
+        on,
+        join_type: JoinType::Inner,
+    })
+}
+
+/// Turn the subquery's global aggregate into a group-by over the correlation
+/// columns, threading the fresh key columns through any projection above the
+/// aggregate and renaming the single value column to `value_name`.
+///
+/// Supported shapes (exactly what the SQL binder emits for a single-item
+/// aggregate SELECT): `Aggregate` or `Project(Aggregate)`.
+fn push_group_keys(
+    sq: LogicalPlan,
+    keys: &[(String, String, String)],
+    value_name: &str,
+) -> Result<LogicalPlan> {
+    let group_by = |input: &LogicalPlan| -> Result<Vec<(Expr, String)>> {
+        let input_schema = input.schema()?;
+        keys.iter()
+            .map(|(inner, _, fresh)| {
+                input_schema.data_type(inner).map_err(|_| {
+                    QuokkaError::PlanError(format!(
+                        "correlated column '{inner}' is not visible at the subquery's \
+                         aggregate input; cannot decorrelate"
+                    ))
+                })?;
+                Ok((Expr::Column(inner.clone()), fresh.clone()))
+            })
+            .collect()
+    };
+    match sq {
+        LogicalPlan::Aggregate { input, group_by: old, mut aggregates } if old.is_empty() => {
+            if aggregates.len() != 1 {
+                return Err(QuokkaError::PlanError(
+                    "correlated scalar subquery must compute exactly one aggregate".to_string(),
+                ));
+            }
+            let group_by = group_by(&input)?;
+            aggregates[0].alias = value_name.to_string();
+            Ok(LogicalPlan::Aggregate { input, group_by, aggregates })
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let LogicalPlan::Aggregate { input: agg_input, group_by: old, aggregates } = *input
+            else {
+                return Err(QuokkaError::PlanError(
+                    "correlated scalar subqueries must be a single aggregate (optionally \
+                     under one projection); cannot decorrelate this shape"
+                        .to_string(),
+                ));
+            };
+            if !old.is_empty() {
+                return Err(QuokkaError::PlanError(
+                    "correlated scalar subqueries cannot already have GROUP BY".to_string(),
+                ));
+            }
+            if exprs.len() != 1 {
+                return Err(QuokkaError::PlanError(format!(
+                    "scalar subquery must produce exactly one column, got {}",
+                    exprs.len()
+                )));
+            }
+            let group_by = group_by(&agg_input)?;
+            let aggregate =
+                LogicalPlan::Aggregate { input: agg_input, group_by: group_by.clone(), aggregates };
+            let mut projected: Vec<(Expr, String)> = group_by
+                .iter()
+                .map(|(_, fresh)| (Expr::Column(fresh.clone()), fresh.clone()))
+                .collect();
+            let (value_expr, _) = exprs.into_iter().next().expect("one expression");
+            projected.push((value_expr, value_name.to_string()));
+            Ok(LogicalPlan::Project { input: Box::new(aggregate), exprs: projected })
+        }
+        other => Err(QuokkaError::PlanError(format!(
+            "correlated scalar subqueries must be a single aggregate (optionally under \
+             one projection), got {} at the subquery root",
+            other.name()
+        ))),
+    }
+}
+
+/// Whether the plan limits its row count anywhere (a `Limit` node or a
+/// top-k sort).
+fn has_row_limit(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Limit { .. } | LogicalPlan::Sort { limit: Some(_), .. } => true,
+        other => other.children().iter().any(|c| has_row_limit(c)),
+    }
+}
+
+/// Remove equality conjuncts of the form `inner_column = OuterRef(outer)`
+/// (either operand order) from the plan's filters, returning the stripped
+/// plan and the `(inner, outer)` pairs. Any other use of an outer reference
+/// is left in place and reported by [`decorrelate`]'s final check.
+fn strip_correlation(plan: LogicalPlan) -> Result<(LogicalPlan, Vec<(String, String)>)> {
+    let mut pairs: Vec<(String, String)> = Vec::new();
+    let plan = plan.transform_up(&mut |node| {
+        let LogicalPlan::Filter { input, predicate } = node else { return Ok(node) };
+        let mut kept = Vec::new();
+        for conjunct in predicate.split_conjuncts() {
+            match as_correlation_pair(&conjunct) {
+                Some(pair) => {
+                    if !pairs.contains(&pair) {
+                        pairs.push(pair);
+                    }
+                }
+                None => kept.push(conjunct),
+            }
+        }
+        Ok(match Expr::conjoin(kept) {
+            Some(p) => LogicalPlan::Filter { input, predicate: p },
+            None => *input,
+        })
+    })?;
+    Ok((plan, pairs))
+}
+
+/// `(inner column, outer column)` if the conjunct is an equality between a
+/// plain column and an outer reference.
+fn as_correlation_pair(conjunct: &Expr) -> Option<(String, String)> {
+    let Expr::Cmp { op: CmpOpKind::Eq, left, right } = conjunct else { return None };
+    match (&**left, &**right) {
+        (Expr::Column(inner), Expr::OuterRef { name, .. })
+        | (Expr::OuterRef { name, .. }, Expr::Column(inner)) => Some((inner.clone(), name.clone())),
+        _ => None,
     }
 }
 
@@ -875,6 +1369,287 @@ mod tests {
 
     #[test]
     fn rule_names_match_pipeline_length() {
-        assert_eq!(RULE_NAMES.len(), 7);
+        assert_eq!(RULE_NAMES.len(), 8);
+    }
+
+    // -- decorrelation -------------------------------------------------------
+
+    /// `EXISTS (SELECT * FROM fact WHERE f_key = d_key)` over dim.
+    #[test]
+    fn correlated_exists_becomes_semi_join() {
+        let catalog = catalog();
+        let subquery = fact_scan(&catalog)
+            .filter(
+                col("f_key")
+                    .eq(Expr::OuterRef { name: "d_key".into(), dtype: DataType::Int64 })
+                    .and(col("f_val").gt(lit(10.0f64))),
+            )
+            .build()
+            .unwrap();
+        let plan = dim_scan(&catalog)
+            .filter(Expr::Exists { plan: Box::new(subquery), negated: false })
+            .build()
+            .unwrap();
+        let lowered = decorrelate(plan.clone()).unwrap();
+        match &lowered {
+            LogicalPlan::Join { on, join_type: JoinType::Semi, probe, .. } => {
+                assert_eq!(on, &vec![("f_key".to_string(), "d_key".to_string())]);
+                assert!(matches!(**probe, LogicalPlan::Scan { .. }));
+            }
+            other => panic!("expected Semi join, got {}", other.display_indent()),
+        }
+        // Schema unchanged and equivalent to the hand-decorrelated twin.
+        assert_eq!(lowered.schema().unwrap(), plan.schema().unwrap());
+        let twin = fact_scan(&catalog)
+            .filter(col("f_val").gt(lit(10.0f64)))
+            .join(dim_scan(&catalog), vec![("f_key", "d_key")], JoinType::Semi)
+            .build()
+            .unwrap();
+        let exec = ReferenceExecutor::new(&catalog);
+        assert!(same_result(&exec.execute(&lowered).unwrap(), &exec.execute(&twin).unwrap()));
+        // The full pipeline accepts the subquery plan end to end.
+        optimize_checked(&catalog, &plan);
+    }
+
+    /// `NOT EXISTS` (via Expr::Not) becomes an anti join.
+    #[test]
+    fn negated_exists_becomes_anti_join() {
+        let catalog = catalog();
+        let subquery = fact_scan(&catalog)
+            .filter(
+                col("f_key").eq(Expr::OuterRef { name: "d_key".into(), dtype: DataType::Int64 }),
+            )
+            .build()
+            .unwrap();
+        let plan = dim_scan(&catalog)
+            .filter(Expr::Exists { plan: Box::new(subquery), negated: false }.not())
+            .build()
+            .unwrap();
+        let lowered = decorrelate(plan.clone()).unwrap();
+        assert!(
+            matches!(&lowered, LogicalPlan::Join { join_type: JoinType::Anti, .. }),
+            "{}",
+            lowered.display_indent()
+        );
+        let twin = fact_scan(&catalog)
+            .join(dim_scan(&catalog), vec![("f_key", "d_key")], JoinType::Anti)
+            .build()
+            .unwrap();
+        let exec = ReferenceExecutor::new(&catalog);
+        assert!(same_result(&exec.execute(&lowered).unwrap(), &exec.execute(&twin).unwrap()));
+    }
+
+    /// `d_key IN (SELECT f_key FROM fact WHERE f_val > 10)`.
+    #[test]
+    fn in_subquery_becomes_semi_join_on_the_output_column() {
+        let catalog = catalog();
+        let subquery = fact_scan(&catalog)
+            .filter(col("f_val").gt(lit(10.0f64)))
+            .project(vec![(col("f_key"), "f_key")])
+            .build()
+            .unwrap();
+        let plan = dim_scan(&catalog)
+            .filter(Expr::InSubquery {
+                expr: Box::new(col("d_key")),
+                plan: Box::new(subquery),
+                negated: false,
+            })
+            .build()
+            .unwrap();
+        let lowered = decorrelate(plan.clone()).unwrap();
+        match &lowered {
+            LogicalPlan::Join { on, join_type: JoinType::Semi, .. } => {
+                assert_eq!(on, &vec![("f_key".to_string(), "d_key".to_string())]);
+            }
+            other => panic!("expected Semi join, got {}", other.display_indent()),
+        }
+        optimize_checked(&catalog, &plan);
+    }
+
+    /// Uncorrelated scalar aggregate: constant-key join, schema restored.
+    #[test]
+    fn uncorrelated_scalar_subquery_becomes_constant_key_join() {
+        let catalog = catalog();
+        let subquery = fact_scan(&catalog)
+            .aggregate(vec![], vec![crate::aggregate::avg(col("f_val"), "avg_val")])
+            .build()
+            .unwrap();
+        let plan = fact_scan(&catalog)
+            .filter(col("f_val").gt(Expr::ScalarSubquery(Box::new(subquery))))
+            .build()
+            .unwrap();
+        let lowered = decorrelate(plan.clone()).unwrap();
+        assert_eq!(lowered.schema().unwrap(), plan.schema().unwrap());
+        // Equivalent hand-built constant-key join.
+        let threshold = fact_scan(&catalog)
+            .aggregate(vec![], vec![crate::aggregate::avg(col("f_val"), "avg_val")])
+            .project(vec![(col("avg_val"), "avg_val"), (lit(1i64), "jk_b")]);
+        let twin = threshold
+            .join(
+                fact_scan(&catalog).project(vec![
+                    (col("f_key"), "f_key"),
+                    (col("f_val"), "f_val"),
+                    (col("f_tag"), "f_tag"),
+                    (col("f_pad"), "f_pad"),
+                    (lit(1i64), "jk_p"),
+                ]),
+                vec![("jk_b", "jk_p")],
+                JoinType::Inner,
+            )
+            .filter(col("f_val").gt(col("avg_val")))
+            .project(vec![
+                (col("f_key"), "f_key"),
+                (col("f_val"), "f_val"),
+                (col("f_tag"), "f_tag"),
+                (col("f_pad"), "f_pad"),
+            ])
+            .build()
+            .unwrap();
+        let exec = ReferenceExecutor::new(&catalog);
+        assert!(same_result(&exec.execute(&lowered).unwrap(), &exec.execute(&twin).unwrap()));
+        optimize_checked(&catalog, &plan);
+    }
+
+    /// Correlated scalar aggregate: per-key group-by + join (the Q17 shape).
+    #[test]
+    fn correlated_scalar_aggregate_becomes_group_by_plus_join() {
+        let catalog = catalog();
+        // f_val < 2 * (SELECT avg(f_val) FROM fact WHERE f_key = outer f_key)
+        let subquery = LogicalPlan::Project {
+            input: Box::new(
+                fact_scan(&catalog)
+                    .filter(
+                        col("f_key")
+                            .eq(Expr::OuterRef { name: "f_key".into(), dtype: DataType::Int64 }),
+                    )
+                    .aggregate(vec![], vec![crate::aggregate::avg(col("f_val"), "a")])
+                    .build()
+                    .unwrap(),
+            ),
+            exprs: vec![(lit(2.0f64).mul(col("a")), "doubled".to_string())],
+        };
+        let plan = fact_scan(&catalog)
+            .filter(col("f_val").lt(Expr::ScalarSubquery(Box::new(subquery))))
+            .build()
+            .unwrap();
+        let lowered = decorrelate(plan.clone()).unwrap();
+        assert_eq!(lowered.schema().unwrap(), plan.schema().unwrap());
+        // Equivalent hand decorrelation.
+        let thresholds = fact_scan(&catalog)
+            .aggregate(
+                vec![(col("f_key"), "t_key")],
+                vec![crate::aggregate::avg(col("f_val"), "a")],
+            )
+            .project(vec![(col("t_key"), "t_key"), (lit(2.0f64).mul(col("a")), "doubled")]);
+        let twin = thresholds
+            .join(fact_scan(&catalog), vec![("t_key", "f_key")], JoinType::Inner)
+            .filter(col("f_val").lt(col("doubled")))
+            .project(vec![
+                (col("f_key"), "f_key"),
+                (col("f_val"), "f_val"),
+                (col("f_tag"), "f_tag"),
+                (col("f_pad"), "f_pad"),
+            ])
+            .build()
+            .unwrap();
+        let exec = ReferenceExecutor::new(&catalog);
+        assert!(same_result(&exec.execute(&lowered).unwrap(), &exec.execute(&twin).unwrap()));
+        optimize_checked(&catalog, &plan);
+    }
+
+    /// A scalar subquery under OR cannot be rewritten soundly (the inner
+    /// join would drop rows the other disjunct should keep) — fail loudly.
+    #[test]
+    fn scalar_subquery_under_or_is_rejected() {
+        let catalog = catalog();
+        let subquery = fact_scan(&catalog)
+            .filter(
+                col("f_key").eq(Expr::OuterRef { name: "f_key".into(), dtype: DataType::Int64 }),
+            )
+            .aggregate(vec![], vec![crate::aggregate::avg(col("f_val"), "a")])
+            .build()
+            .unwrap();
+        let plan = fact_scan(&catalog)
+            .filter(
+                col("f_key")
+                    .gt_eq(lit(0i64))
+                    .or(col("f_val").gt(Expr::ScalarSubquery(Box::new(subquery)))),
+            )
+            .build()
+            .unwrap();
+        let err = decorrelate(plan).unwrap_err();
+        assert!(err.to_string().contains("under OR"), "{err}");
+    }
+
+    /// A row limit inside a *correlated* existence subquery would apply
+    /// globally after decorrelation instead of per outer row — rejected.
+    /// Uncorrelated limits are fine (only emptiness matters): LIMIT 0
+    /// makes EXISTS false and NOT EXISTS keep everything.
+    #[test]
+    fn limits_in_existence_subqueries() {
+        let catalog = catalog();
+        let correlated = fact_scan(&catalog)
+            .filter(
+                col("f_key").eq(Expr::OuterRef { name: "d_key".into(), dtype: DataType::Int64 }),
+            )
+            .limit(1)
+            .build()
+            .unwrap();
+        let plan = dim_scan(&catalog)
+            .filter(Expr::Exists { plan: Box::new(correlated), negated: false })
+            .build()
+            .unwrap();
+        let err = decorrelate(plan).unwrap_err();
+        assert!(err.to_string().contains("LIMIT inside a correlated"), "{err}");
+
+        let empty = fact_scan(&catalog).limit(0).build().unwrap();
+        let plan = dim_scan(&catalog)
+            .filter(Expr::Exists { plan: Box::new(empty), negated: false })
+            .build()
+            .unwrap();
+        let exec = ReferenceExecutor::new(&catalog);
+        assert_eq!(exec.execute(&plan).unwrap().num_rows(), 0, "EXISTS over LIMIT 0 is false");
+    }
+
+    /// Unsupported correlation (non-equality) fails loudly instead of
+    /// executing wrong.
+    #[test]
+    fn non_equality_correlation_is_rejected() {
+        let catalog = catalog();
+        let subquery = fact_scan(&catalog)
+            .filter(
+                col("f_key").gt(Expr::OuterRef { name: "d_key".into(), dtype: DataType::Int64 }),
+            )
+            .build()
+            .unwrap();
+        let plan = dim_scan(&catalog)
+            .filter(Expr::Exists { plan: Box::new(subquery), negated: false })
+            .build()
+            .unwrap();
+        let err = decorrelate(plan).unwrap_err();
+        assert!(err.to_string().contains("equality"), "{err}");
+    }
+
+    /// Subquery plans execute directly on the reference oracle (it lowers
+    /// them itself) and never reach stage compilation undecorrelated.
+    #[test]
+    fn reference_executor_accepts_subquery_plans() {
+        let catalog = catalog();
+        let subquery = fact_scan(&catalog)
+            .filter(
+                col("f_key").eq(Expr::OuterRef { name: "d_key".into(), dtype: DataType::Int64 }),
+            )
+            .build()
+            .unwrap();
+        let plan = dim_scan(&catalog)
+            .filter(Expr::Exists { plan: Box::new(subquery), negated: false })
+            .build()
+            .unwrap();
+        assert!(contains_subqueries(&plan));
+        let exec = ReferenceExecutor::new(&catalog);
+        let direct = exec.execute(&plan).unwrap();
+        let lowered = decorrelate(plan.clone()).unwrap();
+        assert!(!contains_subqueries(&lowered));
+        assert!(same_result(&direct, &exec.execute(&lowered).unwrap()));
     }
 }

@@ -34,7 +34,20 @@ impl<'a> ReferenceExecutor<'a> {
     }
 
     /// Run the plan to completion, returning a single batch of results.
+    ///
+    /// Plans that still carry subquery expressions (as bound by the SQL
+    /// frontend) are decorrelated first — the same mandatory lowering the
+    /// distributed runtime applies — so the oracle accepts exactly the
+    /// plans every frontend produces.
     pub fn execute(&self, plan: &LogicalPlan) -> Result<Batch> {
+        if crate::optimizer::contains_subqueries(plan) {
+            let lowered = crate::optimizer::decorrelate(plan.clone())?;
+            return self.execute_node(&lowered);
+        }
+        self.execute_node(plan)
+    }
+
+    fn execute_node(&self, plan: &LogicalPlan) -> Result<Batch> {
         match plan {
             LogicalPlan::Scan { table, schema } => {
                 // The scan schema may be a column subset of the stored table
@@ -47,24 +60,24 @@ impl<'a> ReferenceExecutor<'a> {
                 }
             }
             LogicalPlan::Filter { input, predicate } => {
-                let batch = self.execute(input)?;
+                let batch = self.execute_node(input)?;
                 let mask = predicate.evaluate_mask(&batch)?;
                 batch.filter(&mask)
             }
             LogicalPlan::Project { input, exprs } => {
-                let batch = self.execute(input)?;
+                let batch = self.execute_node(input)?;
                 let schema = plan.schema()?;
                 let columns =
                     exprs.iter().map(|(e, _)| e.evaluate(&batch)).collect::<Result<Vec<_>>>()?;
                 Batch::try_new(schema, columns)
             }
             LogicalPlan::Join { build, probe, on, join_type } => {
-                let build_batch = self.execute(build)?;
-                let probe_batch = self.execute(probe)?;
+                let build_batch = self.execute_node(build)?;
+                let probe_batch = self.execute_node(probe)?;
                 self.join(plan, &build_batch, &probe_batch, on, *join_type)
             }
             LogicalPlan::Aggregate { input, group_by, aggregates } => {
-                let batch = self.execute(input)?;
+                let batch = self.execute_node(input)?;
                 // Reuse the aggregate operator's logic through the spec (the
                 // reference's independence matters most for joins, whose
                 // distributed implementation involves partitioning; the
@@ -80,7 +93,7 @@ impl<'a> ReferenceExecutor<'a> {
                 Batch::concat(&out)
             }
             LogicalPlan::Sort { input, keys, limit } => {
-                let batch = self.execute(input)?;
+                let batch = self.execute_node(input)?;
                 let schema = batch.schema().clone();
                 let sort_keys = keys
                     .iter()
@@ -95,7 +108,7 @@ impl<'a> ReferenceExecutor<'a> {
                 })
             }
             LogicalPlan::Limit { input, n } => {
-                let batch = self.execute(input)?;
+                let batch = self.execute_node(input)?;
                 Ok(if batch.num_rows() > *n { batch.slice(0, *n) } else { batch })
             }
         }

@@ -239,6 +239,60 @@ impl DataFrame {
         DataFrame::from_plan(self.session, plan)
     }
 
+    /// Keep this frame's rows that have at least one match in `right` — a
+    /// decorrelated `WHERE EXISTS` / `IN (SELECT ...)`. `on` pairs are
+    /// `(this frame's column, right's column)` equalities; the output
+    /// schema is exactly this frame's schema (no columns of `right`
+    /// survive), so column names may overlap freely.
+    pub fn semi_join(self, right: DataFrame, on: &[(&str, &str)]) -> Result<DataFrame> {
+        self.existence_join(right, on, JoinType::Semi)
+    }
+
+    /// Keep this frame's rows with *no* match in `right` — a decorrelated
+    /// `WHERE NOT EXISTS` / `NOT IN (SELECT ...)`. Same key convention and
+    /// schema behavior as [`semi_join`](Self::semi_join).
+    pub fn anti_join(self, right: DataFrame, on: &[(&str, &str)]) -> Result<DataFrame> {
+        self.existence_join(right, on, JoinType::Anti)
+    }
+
+    fn existence_join(
+        self,
+        right: DataFrame,
+        on: &[(&str, &str)],
+        join_type: JoinType,
+    ) -> Result<DataFrame> {
+        for (left_key, right_key) in on {
+            let left_type = self.schema.data_type(left_key).map_err(|_| {
+                QuokkaError::PlanError(format!(
+                    "join key '{left_key}' is not a column of this frame{}",
+                    suggest(left_key, self.schema.column_names())
+                ))
+            })?;
+            let right_type = right.schema.data_type(right_key).map_err(|_| {
+                QuokkaError::PlanError(format!(
+                    "join key '{right_key}' is not a column of the right frame{}",
+                    suggest(right_key, right.schema.column_names())
+                ))
+            })?;
+            if left_type != right_type {
+                return Err(QuokkaError::TypeError(format!(
+                    "join key type mismatch: '{left_key}' is {left_type} but \
+                     '{right_key}' is {right_type}"
+                )));
+            }
+        }
+        // The engine's semi/anti join emits *probe* rows matched (or not)
+        // against the build side, so this frame is the probe and `right`
+        // the build.
+        let plan = LogicalPlan::Join {
+            build: Box::new(right.plan),
+            probe: Box::new(self.plan),
+            on: on.iter().map(|(l, r)| (r.to_string(), l.to_string())).collect(),
+            join_type,
+        };
+        DataFrame::from_plan(self.session, plan)
+    }
+
     /// Group by key expressions, yielding a [`GroupedDataFrame`] whose
     /// [`agg`](GroupedDataFrame::agg) produces the aggregated frame. Keys
     /// accept the same bare-or-aliased forms as [`select`](Self::select).
@@ -554,6 +608,55 @@ mod tests {
             .join(s.table("events").unwrap(), &[("k", "k")], JoinType::Inner)
             .unwrap_err();
         assert!(err.to_string().contains("duplicate column"), "{err}");
+    }
+
+    #[test]
+    fn semi_and_anti_joins_keep_this_frames_schema() {
+        let s = session();
+        let dims = Schema::from_pairs(&[("d_k", DataType::Int64), ("d_name", DataType::Utf8)]);
+        s.register_table(
+            "dims",
+            dims.clone(),
+            vec![Batch::try_new(
+                dims,
+                vec![
+                    Column::Int64((0..3).collect()),
+                    Column::Utf8((0..3).map(|i| format!("d{i}")).collect()),
+                ],
+            )
+            .unwrap()],
+        );
+        // events.k in 0..100; dims.d_k in 0..3.
+        let semi = s
+            .table("events")
+            .unwrap()
+            .semi_join(s.table("dims").unwrap(), &[("k", "d_k")])
+            .unwrap();
+        assert_eq!(semi.schema().column_names(), vec!["k", "v", "tag"]);
+        let semi_result = semi.collect().unwrap();
+        assert_eq!(semi_result.batch.num_rows(), 3);
+        assert!(same_result(&semi_result.batch, &semi.collect_reference().unwrap()));
+
+        let anti = s
+            .table("events")
+            .unwrap()
+            .anti_join(s.table("dims").unwrap(), &[("k", "d_k")])
+            .unwrap();
+        assert_eq!(anti.collect().unwrap().batch.num_rows(), 97);
+
+        // Key validation matches the inner-join rules.
+        let err = s
+            .table("events")
+            .unwrap()
+            .semi_join(s.table("dims").unwrap(), &[("kk", "d_k")])
+            .unwrap_err();
+        assert!(err.to_string().contains("did you mean 'k'"), "{err}");
+        let err = s
+            .table("events")
+            .unwrap()
+            .anti_join(s.table("dims").unwrap(), &[("tag", "d_k")])
+            .unwrap_err();
+        assert!(err.to_string().contains("type mismatch"), "{err}");
     }
 
     #[test]

@@ -1,22 +1,24 @@
 //! TPC-H queries expressed in the lazy [`DataFrame`] API.
 //!
 //! These are the DataFrame twins of the SQL texts in
-//! [`quokka_tpch::queries::sql`] (the nine queries expressible without
-//! subqueries, self-joins, or outer joins), written the way an application
-//! would: filters applied at the scans, joins chained left-deep, aggregates
-//! named with `.alias(..)`. Their output columns match the SQL twins so
-//! results compare batch-for-batch; the workspace test
-//! `tests/dataframe_tpch.rs` keeps all three frontends (DataFrame, SQL,
-//! hand-built plans) in parity on the reference executor and the
-//! distributed runtime.
+//! [`quokka_tpch::queries::sql`], written the way an application would:
+//! filters applied at the scans, joins chained left-deep, aggregates named
+//! with `.alias(..)`, and existence tests expressed with
+//! [`semi_join`](DataFrame::semi_join) / [`anti_join`](DataFrame::anti_join)
+//! — the decorrelated form of the SQL twins' `EXISTS` / `IN (SELECT ...)`.
+//! Their output columns match the SQL twins so results compare
+//! batch-for-batch; the workspace test `tests/dataframe_tpch.rs` keeps all
+//! three frontends (DataFrame, SQL, hand-built plans) in parity on the
+//! reference executor and the distributed runtime.
 
-use super::{avg, col, count, date, lit, sum, DataFrame};
-use crate::{JoinType, QuokkaSession, Result};
+use super::{avg, col, count, count_distinct, date, lit, sum, DataFrame};
+use crate::{JoinType, QuokkaSession, Result, ScalarValue};
 use quokka_common::QuokkaError;
 use quokka_plan::expr::Expr;
 
-/// Query numbers available in the DataFrame API.
-pub const DATAFRAME_QUERIES: [usize; 9] = [1, 3, 5, 6, 9, 10, 12, 14, 19];
+/// Query numbers available in the DataFrame API: the nine subquery-free
+/// queries plus the semi/anti-join shapes Q4, Q16, Q18, and Q22.
+pub const DATAFRAME_QUERIES: [usize; 13] = [1, 3, 4, 5, 6, 9, 10, 12, 14, 16, 18, 19, 22];
 
 /// Build TPC-H query `number` as a lazy [`DataFrame`] over `session`'s
 /// tables.
@@ -24,13 +26,17 @@ pub fn query(session: &QuokkaSession, number: usize) -> Result<DataFrame> {
     match number {
         1 => q1(session),
         3 => q3(session),
+        4 => q4(session),
         5 => q5(session),
         6 => q6(session),
         9 => q9(session),
         10 => q10(session),
         12 => q12(session),
         14 => q14(session),
+        16 => q16(session),
+        18 => q18(session),
         19 => q19(session),
+        22 => q22(session),
         other => Err(QuokkaError::PlanError(format!(
             "TPC-H Q{other} is not available in the DataFrame API \
              (supported: {DATAFRAME_QUERIES:?})"
@@ -78,6 +84,23 @@ fn q3(session: &QuokkaSession) -> Result<DataFrame> {
         .group_by([col("l_orderkey"), col("o_orderdate"), col("o_shippriority")])?
         .agg([sum(revenue_term()).alias("revenue")])?
         .sort_limit([(col("revenue"), false), (col("o_orderdate"), true)], 10)
+}
+
+/// `EXISTS (late lineitem for this order)` as a semi join.
+fn q4(session: &QuokkaSession) -> Result<DataFrame> {
+    let late_lines =
+        session.table("lineitem")?.filter(col("l_commitdate").lt(col("l_receiptdate")))?;
+    session
+        .table("orders")?
+        .filter(
+            col("o_orderdate")
+                .gt_eq(date(1993, 7, 1))
+                .and(col("o_orderdate").lt(date(1993, 10, 1))),
+        )?
+        .semi_join(late_lines, &[("o_orderkey", "l_orderkey")])?
+        .group_by([col("o_orderpriority")])?
+        .agg([count(col("o_orderkey")).alias("order_count")])?
+        .sort([(col("o_orderpriority"), true)])
 }
 
 fn q5(session: &QuokkaSession) -> Result<DataFrame> {
@@ -211,6 +234,61 @@ fn q14(session: &QuokkaSession) -> Result<DataFrame> {
         .select([lit(100.0f64).mul(col("promo")).div(col("total")).alias("promo_revenue")])
 }
 
+/// `NOT IN (suppliers with complaints)` as an anti join.
+fn q16(session: &QuokkaSession) -> Result<DataFrame> {
+    let sizes: Vec<ScalarValue> =
+        [49i64, 14, 23, 45, 19, 3, 36, 9].iter().map(|&v| ScalarValue::Int64(v)).collect();
+    let complained = session
+        .table("supplier")?
+        .filter(col("s_comment").like("%Customer%Complaints%"))?
+        .select([col("s_suppkey")])?;
+    session
+        .table("part")?
+        .filter(
+            col("p_brand")
+                .not_eq(lit("Brand#45"))
+                .and(col("p_type").not_like("MEDIUM POLISHED%"))
+                .and(col("p_size").in_list(sizes)),
+        )?
+        .join(session.table("partsupp")?, &[("p_partkey", "ps_partkey")], JoinType::Inner)?
+        .anti_join(complained, &[("ps_suppkey", "s_suppkey")])?
+        .group_by([col("p_brand"), col("p_type"), col("p_size")])?
+        .agg([count_distinct(col("ps_suppkey")).alias("supplier_cnt")])?
+        .sort([
+            (col("supplier_cnt"), false),
+            (col("p_brand"), true),
+            (col("p_type"), true),
+            (col("p_size"), true),
+        ])
+}
+
+/// `o_orderkey IN (orders with total quantity > 300)` as a semi join.
+fn q18(session: &QuokkaSession) -> Result<DataFrame> {
+    let big_orders = session
+        .table("lineitem")?
+        .group_by([col("l_orderkey").alias("big_orderkey")])?
+        .agg([sum(col("l_quantity")).alias("total_qty")])?
+        .filter(col("total_qty").gt(lit(300.0f64)))?
+        .select([col("big_orderkey")])?;
+    session
+        .table("customer")?
+        .join(
+            session.table("orders")?.semi_join(big_orders, &[("o_orderkey", "big_orderkey")])?,
+            &[("c_custkey", "o_custkey")],
+            JoinType::Inner,
+        )?
+        .join(session.table("lineitem")?, &[("o_orderkey", "l_orderkey")], JoinType::Inner)?
+        .group_by([
+            col("c_name"),
+            col("c_custkey"),
+            col("o_orderkey"),
+            col("o_orderdate"),
+            col("o_totalprice"),
+        ])?
+        .agg([sum(col("l_quantity")).alias("sum_qty")])?
+        .sort_limit([(col("o_totalprice"), false), (col("o_orderdate"), true)], 100)
+}
+
 fn q19(session: &QuokkaSession) -> Result<DataFrame> {
     // The generator spells the air ship modes "AIR" / "REG AIR", matching
     // the hand-built plan (see `quokka_tpch::queries`).
@@ -245,6 +323,42 @@ fn q19(session: &QuokkaSession) -> Result<DataFrame> {
                 .or(branch("Brand#34", ["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20.0, 30.0, 15)),
         )?
         .agg([sum(revenue_term()).alias("revenue")])
+}
+
+/// `NOT EXISTS (orders for this customer)` as an anti join; the global
+/// average balance attaches through a constant-key join, exactly like the
+/// decorrelated scalar subquery in the SQL twin.
+fn q22(session: &QuokkaSession) -> Result<DataFrame> {
+    let codes: Vec<ScalarValue> =
+        ["13", "31", "23", "29", "30", "18", "17"].iter().map(|&s| s.into()).collect();
+    let average_balance = session
+        .table("customer")?
+        .select([
+            col("c_phone").substr(1, 2).alias("ab_cntrycode"),
+            col("c_acctbal").alias("ab_acctbal"),
+        ])?
+        .filter(col("ab_cntrycode").in_list(codes.clone()).and(col("ab_acctbal").gt(lit(0.0f64))))?
+        .agg([avg(col("ab_acctbal")).alias("avg_bal")])?
+        .select([col("avg_bal").into(), lit(1i64).alias("jk_build")])?;
+    let without_orders = session
+        .table("customer")?
+        .select([
+            col("c_phone").substr(1, 2).alias("cntrycode"),
+            col("c_acctbal").into(),
+            col("c_custkey").into(),
+        ])?
+        .filter(col("cntrycode").in_list(codes))?
+        .anti_join(
+            session.table("orders")?.select([col("o_custkey")])?,
+            &[("c_custkey", "o_custkey")],
+        )?
+        .select([col("cntrycode").into(), col("c_acctbal").into(), lit(1i64).alias("jk_probe")])?;
+    average_balance
+        .join(without_orders, &[("jk_build", "jk_probe")], JoinType::Inner)?
+        .filter(col("c_acctbal").gt(col("avg_bal")))?
+        .group_by([col("cntrycode")])?
+        .agg([count(col("c_acctbal")).alias("numcust"), sum(col("c_acctbal")).alias("totacctbal")])?
+        .sort([(col("cntrycode"), true)])
 }
 
 #[cfg(test)]

@@ -103,6 +103,17 @@ pub enum ExprKind {
         expr: Box<SqlExpr>,
         to: DataType,
     },
+    /// A scalar subquery `(SELECT ...)` used as a value in an expression.
+    Subquery(Box<SelectStatement>),
+    /// `EXISTS (SELECT ...)`; `NOT EXISTS` parses as `Not(Exists(..))` and
+    /// is normalized by the binder.
+    Exists(Box<SelectStatement>),
+    /// `expr [NOT] IN (SELECT ...)` over a one-column subquery.
+    InSubquery {
+        expr: Box<SqlExpr>,
+        statement: Box<SelectStatement>,
+        negated: bool,
+    },
 }
 
 /// One item of the SELECT list.
@@ -114,28 +125,57 @@ pub enum SelectItem {
     Expr { expr: SqlExpr, alias: Option<String> },
 }
 
-/// A table in the FROM clause: `name [AS alias]`.
+/// What a FROM-clause entry reads from: a named base table or a derived
+/// table (a parenthesized subquery, which always requires an alias).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableSource {
+    Named(String),
+    Subquery(Box<SelectStatement>),
+}
+
+/// A table in the FROM clause: `name [AS alias]` or `(SELECT ...) alias`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TableRef {
-    pub name: String,
+    pub source: TableSource,
     pub alias: Option<String>,
     pub pos: Pos,
 }
 
 impl TableRef {
-    /// The name the table's columns are qualified by.
+    /// The name the table's columns are qualified by. Derived tables always
+    /// carry an alias (the parser enforces it), so the fallback only
+    /// applies to named tables.
     pub fn binding_name(&self) -> &str {
-        self.alias.as_deref().unwrap_or(&self.name)
+        if let Some(alias) = &self.alias {
+            return alias;
+        }
+        match &self.source {
+            TableSource::Named(name) => name,
+            TableSource::Subquery(_) => "<derived>",
+        }
     }
 }
 
-/// `[INNER] JOIN table ON condition`, `CROSS JOIN table`, or a
-/// comma-separated FROM entry (the latter two carry no ON condition and
-/// lower to a keyless cross join; the optimizer's filter-to-join rule
-/// recovers the equi-join from WHERE equalities).
+/// How a FROM-clause entry joins the tables before it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// `[INNER] JOIN ... ON ...`.
+    Inner,
+    /// `CROSS JOIN` or a comma-separated FROM entry: no ON condition; the
+    /// optimizer's filter-to-join rule recovers equi-joins from WHERE
+    /// equalities.
+    Cross,
+    /// `LEFT [OUTER] JOIN ... ON ...` — preserves the accumulated (left)
+    /// side; unmatched rows carry type-default values for the right table's
+    /// columns (the engine has no NULLs).
+    Left,
+}
+
+/// One join step in the FROM clause.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Join {
     pub table: TableRef,
+    pub kind: JoinKind,
     pub on: Option<SqlExpr>,
 }
 

@@ -33,102 +33,164 @@ pub fn bind_statement(
     stmt: &SelectStatement,
     catalog: &dyn Catalog,
 ) -> Result<LogicalPlan, SqlError> {
-    Binder { catalog }.bind(stmt)
+    Binder { catalog }.bind_select(stmt, None)
 }
 
 struct Binder<'a> {
     catalog: &'a dyn Catalog,
 }
 
-/// The tables visible to expression binding, in join order.
-struct Scope {
-    /// `(binding name, table schema)` — the binding name is the alias if one
-    /// was given, else the table name.
-    tables: Vec<(String, Schema)>,
-    /// The flattened row schema (all table schemas concatenated).
-    flat: Schema,
+/// One table (base or derived) visible in a scope, with the mapping from
+/// its SQL-visible column names to the flat plan column names. The two
+/// differ only for tables that were renamed apart (aliased self-joins),
+/// where the flat name is `{alias}_{column}`.
+struct ScopeTable {
+    binding: String,
+    /// `(SQL-visible name, flat plan name, type)` per column.
+    columns: Vec<(String, String, DataType)>,
 }
 
-impl Scope {
-    fn new(binding: String, schema: Schema) -> Self {
-        Scope { flat: schema.clone(), tables: vec![(binding, schema)] }
+impl ScopeTable {
+    /// Identity mapping: SQL names are the plan names.
+    fn identity(binding: String, schema: &Schema) -> Self {
+        let columns =
+            schema.fields().iter().map(|f| (f.name.clone(), f.name.clone(), f.data_type)).collect();
+        ScopeTable { binding, columns }
     }
 
+    fn lookup(&self, sql_name: &str) -> Option<(&str, DataType)> {
+        self.columns.iter().find(|(s, _, _)| s == sql_name).map(|(_, f, t)| (f.as_str(), *t))
+    }
+
+    fn sql_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(s, _, _)| s.as_str()).collect()
+    }
+}
+
+/// The lowered parts of a JOIN ON condition: equi-join key pairs
+/// `(old side, new side)` in flat names, plus bound predicates that
+/// reference only the newly joined table.
+type JoinOnParts = (Vec<(String, String)>, Vec<Expr>);
+
+/// How a column reference resolved against a scope chain.
+enum Resolved {
+    /// A column of the current query's row (by flat plan name).
+    Column(String),
+    /// A column of the *enclosing* query — a correlated reference found in
+    /// the parent scope while binding a subquery.
+    Outer { name: String, dtype: DataType },
+}
+
+/// The tables visible to expression binding, in join order, plus (when
+/// binding a subquery) the enclosing query's scope for correlated
+/// references.
+struct Scope<'p> {
+    tables: Vec<ScopeTable>,
+    /// The flattened row schema over *flat plan names* (for type lookups).
+    flat: Schema,
+    /// The enclosing scope when this query is a subquery in WHERE/HAVING.
+    parent: Option<&'p Scope<'p>>,
+}
+
+impl<'p> Scope<'p> {
     /// A scope over an intermediate result (e.g. an aggregate's output),
     /// where columns have no table qualifier.
-    fn anonymous(schema: Schema) -> Self {
-        Scope { flat: schema.clone(), tables: vec![(String::new(), schema)] }
+    fn anonymous(schema: Schema, parent: Option<&'p Scope<'p>>) -> Self {
+        Scope { tables: vec![ScopeTable::identity(String::new(), &schema)], flat: schema, parent }
     }
 
-    fn push(&mut self, binding: String, schema: Schema) {
-        self.flat = self.flat.join(&schema);
-        self.tables.push((binding, schema));
+    fn push(&mut self, table: ScopeTable, flat_schema: &Schema) {
+        self.flat = self.flat.join(flat_schema);
+        self.tables.push(table);
     }
 
-    /// All column names in scope (for suggestions).
+    /// All SQL-visible column names in scope (for suggestions).
     fn all_columns(&self) -> Vec<String> {
-        self.flat.column_names().iter().map(|s| s.to_string()).collect()
+        self.tables.iter().flat_map(|t| t.sql_names()).map(|s| s.to_string()).collect()
     }
 
-    /// Validate a column reference; on success the flat column name is the
-    /// SQL name itself (the engine's namespace is flat).
-    ///
-    /// The ambiguity branches below are currently unreachable — `bind_from`
-    /// rejects joins that would duplicate a column name — but they are the
-    /// resolution rules self-join/alias support will need when that guard
-    /// is relaxed (see ROADMAP open items), so they stay.
-    fn resolve(&self, qualifier: Option<&str>, name: &str, pos: Pos) -> Result<String, SqlError> {
-        let occurrences =
-            self.tables.iter().filter(|(_, schema)| schema.index_of(name).is_ok()).count();
+    /// Look a reference up in this scope only (not the parent).
+    /// `Ok(None)` means "no such table/column here"; errors are reserved
+    /// for ambiguity and for a known table lacking the column.
+    fn resolve_here(
+        &self,
+        qualifier: Option<&str>,
+        name: &str,
+        pos: Pos,
+    ) -> Result<Option<String>, SqlError> {
         match qualifier {
             Some(q) => {
-                let (_, schema) = self.tables.iter().find(|(b, _)| b == q).ok_or_else(|| {
-                    let known: Vec<&str> = self.tables.iter().map(|(b, _)| b.as_str()).collect();
-                    SqlError::bind(
-                        pos,
-                        format!("unknown table or alias '{q}' (in scope: {})", known.join(", ")),
-                    )
-                })?;
-                if schema.index_of(name).is_err() {
-                    return Err(SqlError::bind(
+                let Some(table) = self.tables.iter().find(|t| t.binding == q) else {
+                    return Ok(None);
+                };
+                match table.lookup(name) {
+                    Some((flat, _)) => Ok(Some(flat.to_string())),
+                    None => Err(SqlError::bind(
                         pos,
                         format!(
                             "table '{q}' has no column '{name}'{}",
-                            suggest(name, schema.column_names())
+                            suggest(name, table.sql_names())
                         ),
-                    ));
+                    )),
                 }
-                if occurrences > 1 {
-                    return Err(SqlError::bind(
-                        pos,
-                        format!(
-                            "column '{name}' exists in more than one table; the engine's \
-                             namespace is flat, so duplicated names cannot be disambiguated"
-                        ),
-                    ));
-                }
-                Ok(name.to_string())
             }
-            None => match occurrences {
-                0 => Err(SqlError::bind(
-                    pos,
-                    format!("unknown column '{name}'{}", suggest(name, self.flat.column_names())),
-                )),
-                1 => Ok(name.to_string()),
-                _ => {
+            None => {
+                let mut matches =
+                    self.tables.iter().filter_map(|t| t.lookup(name).map(|(f, _)| (t, f)));
+                let Some((_, flat)) = matches.next() else { return Ok(None) };
+                if matches.next().is_some() {
                     let tables: Vec<&str> = self
                         .tables
                         .iter()
-                        .filter(|(_, s)| s.index_of(name).is_ok())
-                        .map(|(b, _)| b.as_str())
+                        .filter(|t| t.lookup(name).is_some())
+                        .map(|t| t.binding.as_str())
                         .collect();
-                    Err(SqlError::bind(
+                    return Err(SqlError::bind(
                         pos,
-                        format!("column '{name}' is ambiguous (in {})", tables.join(" and ")),
-                    ))
+                        format!(
+                            "column '{name}' is ambiguous (in {}); qualify it",
+                            tables.join(" and ")
+                        ),
+                    ));
                 }
-            },
+                Ok(Some(flat.to_string()))
+            }
         }
+    }
+
+    /// Resolve a column reference: this scope first, then (for subqueries)
+    /// the enclosing scope, which yields a correlated [`Resolved::Outer`].
+    fn resolve(&self, qualifier: Option<&str>, name: &str, pos: Pos) -> Result<Resolved, SqlError> {
+        if let Some(flat) = self.resolve_here(qualifier, name, pos)? {
+            return Ok(Resolved::Column(flat));
+        }
+        if let Some(parent) = self.parent {
+            if let Some(flat) = parent.resolve_here(qualifier, name, pos)? {
+                let dtype = parent.flat.data_type(&flat).expect("resolved name has a type");
+                return Ok(Resolved::Outer { name: flat, dtype });
+            }
+        }
+        if let Some(q) = qualifier {
+            let mut known: Vec<&str> = self.tables.iter().map(|t| t.binding.as_str()).collect();
+            if let Some(parent) = self.parent {
+                known.extend(parent.tables.iter().map(|t| t.binding.as_str()));
+            }
+            return Err(SqlError::bind(
+                pos,
+                format!("unknown table or alias '{q}' (in scope: {})", known.join(", ")),
+            ));
+        }
+        let mut all = self.all_columns();
+        if let Some(parent) = self.parent {
+            all.extend(parent.all_columns());
+        }
+        Err(SqlError::bind(
+            pos,
+            format!(
+                "unknown column '{name}'{}",
+                suggest(name, all.iter().map(String::as_str).collect())
+            ),
+        ))
     }
 }
 
@@ -183,6 +245,10 @@ fn contains_aggregate(e: &SqlExpr) -> bool {
         ExprKind::ExtractYear(inner) => contains_aggregate(inner),
         ExprKind::Substring { expr, .. } => contains_aggregate(expr),
         ExprKind::Cast { expr, .. } => contains_aggregate(expr),
+        // A subquery's own aggregates belong to the subquery, not the
+        // enclosing statement.
+        ExprKind::Subquery(_) | ExprKind::Exists(_) => false,
+        ExprKind::InSubquery { expr, .. } => contains_aggregate(expr),
     }
 }
 
@@ -223,8 +289,15 @@ fn coerce_literal(value: ScalarValue, target: DataType, pos: Pos) -> Result<Scal
 }
 
 impl Binder<'_> {
-    fn bind(&self, stmt: &SelectStatement) -> Result<LogicalPlan, SqlError> {
-        let (mut plan, scope) = self.bind_from(stmt)?;
+    /// Bind one SELECT statement. `parent` is the enclosing query's scope
+    /// when this statement is a subquery in WHERE/HAVING — references that
+    /// do not resolve locally then become correlated [`Expr::OuterRef`]s.
+    fn bind_select(
+        &self,
+        stmt: &SelectStatement,
+        parent: Option<&Scope<'_>>,
+    ) -> Result<LogicalPlan, SqlError> {
+        let (mut plan, scope) = self.bind_from(stmt, parent)?;
 
         // WHERE
         if let Some(selection) = &stmt.selection {
@@ -234,7 +307,7 @@ impl Binder<'_> {
                     "aggregate functions are not allowed in WHERE; use HAVING",
                 ));
             }
-            let predicate = self.bind_scalar(&scope, selection)?;
+            let predicate = self.bind_predicate(&scope, selection)?;
             self.expect_bool(&predicate, &scope, selection.pos, "WHERE predicate")?;
             plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
         }
@@ -277,7 +350,7 @@ impl Binder<'_> {
         // ([`quokka_plan::logical::sort_by_exprs`]).
         let output = self.schema_of(&plan)?;
         if !stmt.order_by.is_empty() {
-            let output_scope = Scope::anonymous(output.clone());
+            let output_scope = Scope::anonymous(output.clone(), None);
             let mut keys: Vec<(Expr, bool)> = Vec::new();
             for item in &stmt.order_by {
                 let key = match &item.expr.kind {
@@ -347,187 +420,269 @@ impl Binder<'_> {
         plan.schema().map_err(|e| SqlError::bind(Pos::new(1, 1), format!("invalid plan: {e}")))
     }
 
-    /// FROM + JOINs → left-deep inner-join tree and the resulting scope.
-    fn bind_from(&self, stmt: &SelectStatement) -> Result<(LogicalPlan, Scope), SqlError> {
-        let schema = self.table_schema(&stmt.from)?;
-        let mut scope = Scope::new(stmt.from.binding_name().to_string(), schema.clone());
-        let mut plan = LogicalPlan::Scan { table: stmt.from.name.clone(), schema };
+    /// FROM + JOINs → a left-deep join tree and the resulting scope.
+    ///
+    /// Each entry may be a named table or a derived table (`(SELECT ...) a`).
+    /// A table whose columns would collide with the columns already in
+    /// scope (an aliased self-join like `nation n1, nation n2`, or a
+    /// derived table reusing names) is renamed apart at the scan:
+    /// a projection directly above it gives every column the flat name
+    /// `{alias}_{column}`, so the binder *and* the optimizer see disjoint
+    /// names while SQL text keeps addressing `alias.column`.
+    fn bind_from<'p>(
+        &self,
+        stmt: &SelectStatement,
+        parent: Option<&'p Scope<'p>>,
+    ) -> Result<(LogicalPlan, Scope<'p>), SqlError> {
+        let mut scope = Scope { tables: Vec::new(), flat: Schema::empty(), parent };
+        let (mut plan, first_table, first_flat) = self.bind_table_factor(&stmt.from, &scope)?;
+        scope.push(first_table, &first_flat);
 
         for join in &stmt.joins {
             let binding = join.table.binding_name().to_string();
-            if scope.tables.iter().any(|(b, _)| *b == binding) {
+            if scope.tables.iter().any(|t| t.binding == binding) {
                 return Err(SqlError::bind(
                     join.table.pos,
                     format!(
-                        "duplicate table name or alias '{binding}'; self-joins need distinct \
-                         aliases, which this frontend does not support yet"
+                        "duplicate table name or alias '{binding}'; give each occurrence \
+                         a distinct alias"
                     ),
                 ));
             }
-            let schema = self.table_schema(&join.table)?;
-            // The engine's join output namespace is flat; a duplicated
-            // column name would make every later name-based lookup silently
-            // resolve to the first occurrence.
-            if let Some(dup) =
-                schema.column_names().into_iter().find(|n| scope.flat.index_of(n).is_ok())
-            {
-                return Err(SqlError::bind(
-                    join.table.pos,
-                    format!(
-                        "joining '{binding}' would duplicate column '{dup}'; the engine's \
-                         namespace is flat, so joined tables must have distinct column names"
-                    ),
-                ));
+            let old_flat = scope.flat.clone();
+            let (new_plan, new_table, new_flat) = self.bind_table_factor(&join.table, &scope)?;
+            // Push before binding ON so the condition sees both sides
+            // (including qualified references to the new table).
+            scope.push(new_table, &new_flat);
+            match join.kind {
+                JoinKind::Cross => {
+                    // No ON condition: a keyless cross join; the optimizer's
+                    // filter-to-join rule recovers equi-joins from WHERE.
+                    plan = LogicalPlan::Join {
+                        build: Box::new(plan),
+                        probe: Box::new(new_plan),
+                        on: Vec::new(),
+                        join_type: JoinType::Inner,
+                    };
+                }
+                JoinKind::Inner => {
+                    let on = join.on.as_ref().expect("parser requires ON for INNER JOIN");
+                    let (pairs, new_side) =
+                        self.bind_join_on(&scope, &old_flat, &new_flat, &binding, on, join.kind)?;
+                    let probe = match Expr::conjoin(new_side) {
+                        Some(p) => LogicalPlan::Filter { input: Box::new(new_plan), predicate: p },
+                        None => new_plan,
+                    };
+                    plan = LogicalPlan::Join {
+                        build: Box::new(plan),
+                        probe: Box::new(probe),
+                        on: pairs,
+                        join_type: JoinType::Inner,
+                    };
+                }
+                JoinKind::Left => {
+                    let on = join.on.as_ref().expect("parser requires ON for LEFT JOIN");
+                    let (pairs, new_side) =
+                        self.bind_join_on(&scope, &old_flat, &new_flat, &binding, on, join.kind)?;
+                    // The engine's Left join preserves the *probe* side, so
+                    // the accumulated (left) tables become the probe and the
+                    // new table the build; ON predicates over the new table
+                    // filter its input before the join (sound for LEFT: the
+                    // non-preserved side may be filtered early).
+                    let build = match Expr::conjoin(new_side) {
+                        Some(p) => LogicalPlan::Filter { input: Box::new(new_plan), predicate: p },
+                        None => new_plan,
+                    };
+                    plan = LogicalPlan::Join {
+                        build: Box::new(build),
+                        probe: Box::new(plan),
+                        on: pairs.into_iter().map(|(old, new)| (new, old)).collect(),
+                        join_type: JoinType::Left,
+                    };
+                }
             }
-            // A comma-FROM entry or CROSS JOIN has no ON condition and
-            // lowers to a keyless cross join; the optimizer's filter-to-join
-            // rule recovers equi-join keys from WHERE equalities.
-            let on = match &join.on {
-                Some(condition) => self.bind_join_on(&scope, &binding, &schema, condition)?,
-                None => Vec::new(),
-            };
-            plan = LogicalPlan::Join {
-                build: Box::new(plan),
-                probe: Box::new(LogicalPlan::Scan {
-                    table: join.table.name.clone(),
-                    schema: schema.clone(),
-                }),
-                on,
-                join_type: JoinType::Inner,
-            };
-            scope.push(binding, schema);
         }
         Ok((plan, scope))
     }
 
-    fn table_schema(&self, table: &TableRef) -> Result<Schema, SqlError> {
-        self.catalog.table_schema(&table.name).map_err(|_| {
-            let names = self.catalog.table_names();
-            SqlError::bind(
+    /// Bind one FROM entry to a plan (scan, derived-table subtree, or a
+    /// renaming projection over either), its scope entry, and its flat
+    /// schema.
+    fn bind_table_factor(
+        &self,
+        table: &TableRef,
+        scope: &Scope<'_>,
+    ) -> Result<(LogicalPlan, ScopeTable, Schema), SqlError> {
+        let (base_plan, visible) = match &table.source {
+            TableSource::Named(name) => {
+                let schema = self.catalog.table_schema(name).map_err(|_| {
+                    let names = self.catalog.table_names();
+                    SqlError::bind(
+                        table.pos,
+                        format!(
+                            "unknown table '{name}'{}",
+                            suggest(name, names.iter().map(String::as_str).collect())
+                        ),
+                    )
+                })?;
+                (LogicalPlan::Scan { table: name.clone(), schema: schema.clone() }, schema)
+            }
+            TableSource::Subquery(sub) => {
+                // Derived tables are plain nested queries — they cannot see
+                // the enclosing FROM list (no LATERAL), so no parent scope.
+                let plan = self.bind_select(sub, None)?;
+                let schema = self.schema_of(&plan)?;
+                (plan, schema)
+            }
+        };
+        let binding = table.binding_name().to_string();
+        let collision = visible
+            .column_names()
+            .into_iter()
+            .find(|n| scope.flat.index_of(n).is_ok())
+            .map(|n| n.to_string());
+        let Some(dup) = collision else {
+            let entry = ScopeTable::identity(binding, &visible);
+            return Ok((base_plan, entry, visible));
+        };
+        // Collision: rename this table's columns apart. That needs an alias
+        // to build the flat names from.
+        if table.alias.is_none() {
+            return Err(SqlError::bind(
                 table.pos,
                 format!(
-                    "unknown table '{}'{}",
-                    table.name,
-                    suggest(&table.name, names.iter().map(String::as_str).collect())
+                    "joining '{binding}' would duplicate column '{dup}'; the engine's \
+                     namespace is flat — give the table an alias (its columns are then \
+                     renamed to alias_column and addressed as alias.column)"
                 ),
-            )
-        })
+            ));
+        }
+        let mut exprs = Vec::with_capacity(visible.len());
+        let mut columns = Vec::with_capacity(visible.len());
+        let mut fields = Vec::with_capacity(visible.len());
+        for field in visible.fields() {
+            let mut flat = format!("{binding}_{}", field.name);
+            while scope.flat.index_of(&flat).is_ok()
+                || columns.iter().any(|(_, f, _): &(String, String, DataType)| *f == flat)
+            {
+                flat.push('_');
+            }
+            exprs.push((Expr::Column(field.name.clone()), flat.clone()));
+            columns.push((field.name.clone(), flat.clone(), field.data_type));
+            fields.push(quokka_batch::Field::new(flat, field.data_type));
+        }
+        let plan = LogicalPlan::Project { input: Box::new(base_plan), exprs };
+        Ok((plan, ScopeTable { binding, columns }, Schema::new(fields)))
     }
 
-    /// Lower `ON a = b AND c = d ...` into equi-join key pairs
-    /// `(build column, probe column)`.
+    /// Lower a JOIN ON condition into equi-join key pairs `(old side, new
+    /// side)` in flat names, plus bound predicates that reference only the
+    /// new table (applied to its input before the join). Equality conjuncts
+    /// must relate the two sides; any other predicate must stay on the new
+    /// table — cross-side residuals belong in WHERE.
     fn bind_join_on(
         &self,
-        scope: &Scope,
+        scope: &Scope<'_>,
+        old_flat: &Schema,
+        new_flat: &Schema,
         new_binding: &str,
-        new_schema: &Schema,
         on: &SqlExpr,
-    ) -> Result<Vec<(String, String)>, SqlError> {
+        kind: JoinKind,
+    ) -> Result<JoinOnParts, SqlError> {
         let mut conjuncts = Vec::new();
         collect_conjuncts(on, &mut conjuncts);
         let mut pairs = Vec::new();
+        let mut new_side = Vec::new();
         for conjunct in conjuncts {
-            let (left, right) = match &conjunct.kind {
-                ExprKind::Binary { op: BinOp::Eq, left, right } => (left, right),
-                _ => {
-                    return Err(SqlError::bind(
-                        conjunct.pos,
-                        "JOIN ON supports conjunctions of column equalities \
-                         (put other predicates in WHERE)",
-                    ))
+            if let ExprKind::Binary { op: BinOp::Eq, left, right } = &conjunct.kind {
+                let columns = matches!(left.kind, ExprKind::Column { .. })
+                    && matches!(right.kind, ExprKind::Column { .. });
+                // Both operands must also *bind* to local columns (a
+                // correlated reference to an enclosing query is not a join
+                // key of this join).
+                if columns {
+                    let (Expr::Column(l), Expr::Column(r)) =
+                        (self.bind_scalar(scope, left)?, self.bind_scalar(scope, right)?)
+                    else {
+                        return Err(SqlError::bind(
+                            conjunct.pos,
+                            "JOIN ON equalities cannot reference the enclosing query; \
+                             put correlated predicates in WHERE",
+                        ));
+                    };
+                    let side = |flat: &str| {
+                        (old_flat.index_of(flat).is_ok(), new_flat.index_of(flat).is_ok())
+                    };
+                    let (old_col, new_col) = match (side(&l), side(&r)) {
+                        ((true, false), (false, true)) => (l, r),
+                        ((false, true), (true, false)) => (r, l),
+                        ((true, false), (true, false)) => {
+                            return Err(SqlError::bind(
+                                conjunct.pos,
+                                format!(
+                                    "both sides of this equality come from tables already \
+                                     joined; the condition must relate '{new_binding}' to \
+                                     the preceding tables"
+                                ),
+                            ))
+                        }
+                        _ => {
+                            return Err(SqlError::bind(
+                                conjunct.pos,
+                                format!(
+                                    "both sides of this equality come from '{new_binding}'; \
+                                     the condition must relate it to the preceding tables"
+                                ),
+                            ))
+                        }
+                    };
+                    let old_type = scope.flat.data_type(&old_col).expect("resolved key");
+                    let new_type = scope.flat.data_type(&new_col).expect("resolved key");
+                    if old_type != new_type {
+                        return Err(SqlError::bind(
+                            conjunct.pos,
+                            format!(
+                                "join key type mismatch: '{old_col}' is {old_type} but \
+                                 '{new_col}' is {new_type}"
+                            ),
+                        ));
+                    }
+                    pairs.push((old_col, new_col));
+                    continue;
                 }
-            };
-            let left_side = self.join_side(scope, new_binding, new_schema, left)?;
-            let right_side = self.join_side(scope, new_binding, new_schema, right)?;
-            let (build, probe) = match (left_side, right_side) {
-                (JoinSide::Build(b), JoinSide::Probe(p)) => (b, p),
-                (JoinSide::Probe(p), JoinSide::Build(b)) => (b, p),
-                (JoinSide::Build(_), JoinSide::Build(_)) => {
-                    return Err(SqlError::bind(
-                        conjunct.pos,
-                        format!(
-                            "both sides of this equality come from tables already joined; \
-                             the condition must relate '{new_binding}' to the preceding tables"
-                        ),
-                    ))
-                }
-                (JoinSide::Probe(_), JoinSide::Probe(_)) => {
-                    return Err(SqlError::bind(
-                        conjunct.pos,
-                        format!(
-                            "both sides of this equality come from '{new_binding}'; \
-                             the condition must relate it to the preceding tables"
-                        ),
-                    ))
-                }
-            };
-            let build_type = scope.flat.data_type(&build).expect("resolved build key");
-            let probe_type = new_schema.data_type(&probe).expect("resolved probe key");
-            if build_type != probe_type {
+            }
+            // A non-equality conjunct: allowed when it only constrains the
+            // table being joined (e.g. Q13's `o_comment NOT LIKE ...`).
+            let bound = self.bind_scalar(scope, conjunct)?;
+            self.expect_bool(&bound, scope, conjunct.pos, "JOIN ON conjunct")?;
+            if bound.references_only(new_flat) {
+                new_side.push(bound);
+            } else {
                 return Err(SqlError::bind(
                     conjunct.pos,
                     format!(
-                        "join key type mismatch: '{build}' is {build_type} but \
-                         '{probe}' is {probe_type}"
+                        "JOIN ON supports conjunctions of column equalities between the two \
+                         sides, plus predicates on '{new_binding}' alone; put predicates \
+                         spanning both sides in WHERE{}",
+                        if kind == JoinKind::Left {
+                            " (for LEFT JOIN, a WHERE filter applies after default-filling)"
+                        } else {
+                            ""
+                        }
                     ),
                 ));
             }
-            pairs.push((build, probe));
         }
-        Ok(pairs)
-    }
-
-    /// Which side of the join a column reference belongs to.
-    fn join_side(
-        &self,
-        scope: &Scope,
-        new_binding: &str,
-        new_schema: &Schema,
-        e: &SqlExpr,
-    ) -> Result<JoinSide, SqlError> {
-        let (qualifier, name) = match &e.kind {
-            ExprKind::Column { qualifier, name } => (qualifier.as_deref(), name),
-            _ => {
-                return Err(SqlError::bind(e.pos, "JOIN ON equalities must compare plain columns"))
-            }
-        };
-        if let Some(q) = qualifier {
-            if q == new_binding {
-                if new_schema.index_of(name).is_err() {
-                    return Err(SqlError::bind(
-                        e.pos,
-                        format!(
-                            "table '{q}' has no column '{name}'{}",
-                            suggest(name, new_schema.column_names())
-                        ),
-                    ));
-                }
-                return Ok(JoinSide::Probe(name.clone()));
-            }
-            scope.resolve(qualifier, name, e.pos)?;
-            return Ok(JoinSide::Build(name.clone()));
+        if pairs.is_empty() {
+            return Err(SqlError::bind(
+                on.pos,
+                format!(
+                    "JOIN ON must contain at least one column equality relating \
+                     '{new_binding}' to the preceding tables"
+                ),
+            ));
         }
-        let in_new = new_schema.index_of(name).is_ok();
-        let in_old = scope.tables.iter().any(|(_, s)| s.index_of(name).is_ok());
-        match (in_old, in_new) {
-            (true, false) => Ok(JoinSide::Build(name.clone())),
-            (false, true) => Ok(JoinSide::Probe(name.clone())),
-            (true, true) => Err(SqlError::bind(
-                e.pos,
-                format!("column '{name}' exists on both sides of the join; qualify it"),
-            )),
-            (false, false) => {
-                let mut all = scope.all_columns();
-                all.extend(new_schema.column_names().iter().map(|s| s.to_string()));
-                Err(SqlError::bind(
-                    e.pos,
-                    format!(
-                        "unknown column '{name}'{}",
-                        suggest(name, all.iter().map(String::as_str).collect())
-                    ),
-                ))
-            }
-        }
+        Ok((pairs, new_side))
     }
 
     /// SELECT list without aggregates → optional Project.
@@ -535,7 +690,7 @@ impl Binder<'_> {
         &self,
         stmt: &SelectStatement,
         plan: LogicalPlan,
-        scope: &Scope,
+        scope: &Scope<'_>,
     ) -> Result<LogicalPlan, SqlError> {
         if stmt.items.len() == 1 && stmt.items[0] == SelectItem::Wildcard {
             return Ok(plan);
@@ -564,7 +719,7 @@ impl Binder<'_> {
         &self,
         stmt: &SelectStatement,
         plan: LogicalPlan,
-        scope: &Scope,
+        scope: &Scope<'_>,
     ) -> Result<LogicalPlan, SqlError> {
         // Every user-visible output name; synthesized group/aggregate
         // column names must avoid these, or name-based resolution over the
@@ -654,12 +809,14 @@ impl Binder<'_> {
             aggregates: extraction.aggs.clone(),
         };
         let agg_schema = self.schema_of(&plan)?;
-        let agg_scope = Scope::anonymous(agg_schema.clone());
+        let agg_scope = Scope::anonymous(agg_schema.clone(), scope.parent);
 
-        // 4. HAVING → Filter over the aggregate output.
+        // 4. HAVING → Filter over the aggregate output. Subqueries are
+        //    allowed here (e.g. Q11's global-threshold comparison) and bind
+        //    with this aggregate's output as their enclosing scope.
         let mut plan = plan;
         if let Some(rewritten) = &rewritten_having {
-            let predicate = self.bind_scalar(&agg_scope, rewritten)?;
+            let predicate = self.bind_predicate(&agg_scope, rewritten)?;
             self.expect_bool(&predicate, &agg_scope, rewritten.pos, "HAVING predicate")?;
             plan = LogicalPlan::Filter { input: Box::new(plan), predicate };
         }
@@ -689,7 +846,7 @@ impl Binder<'_> {
     fn bind_group_key(
         &self,
         stmt: &SelectStatement,
-        scope: &Scope,
+        scope: &Scope<'_>,
         g: &SqlExpr,
         index: usize,
         reserved: &std::collections::BTreeSet<String>,
@@ -737,7 +894,7 @@ impl Binder<'_> {
         // A bare identifier that is not a column may name a SELECT alias
         // (e.g. `SELECT extract(year from d) AS y ... GROUP BY y`).
         if let ExprKind::Column { qualifier: None, name } = &g.kind {
-            let is_column = scope.tables.iter().any(|(_, s)| s.index_of(name).is_ok());
+            let is_column = scope.tables.iter().any(|t| t.lookup(name).is_some());
             if !is_column {
                 if let Some(expr) = find_alias(stmt, name) {
                     if contains_aggregate(expr) {
@@ -791,12 +948,21 @@ impl Binder<'_> {
     /// columns, group expressions become references to their key columns.
     fn rewrite_over_aggregate(
         &self,
-        scope: &Scope,
+        scope: &Scope<'_>,
         groups: &[(Expr, String)],
         extraction: &mut Extraction,
         e: &SqlExpr,
         top_level_alias: Option<&str>,
     ) -> Result<SqlExpr, SqlError> {
+        // Subquery expressions pass through untouched: their aggregates are
+        // their own, and they are bound later against the aggregate's
+        // output scope (the HAVING scope).
+        if matches!(
+            &e.kind,
+            ExprKind::Subquery(_) | ExprKind::Exists(_) | ExprKind::InSubquery { .. }
+        ) {
+            return Ok(e.clone());
+        }
         // An aggregate call: extract it.
         if let ExprKind::Function { name, distinct, star, args } = &e.kind {
             if let Some(func) = agg_func_of(name, *distinct, e.pos)? {
@@ -928,7 +1094,13 @@ impl Binder<'_> {
         e.data_type(schema).map_err(|err| SqlError::bind(pos, err.to_string()))
     }
 
-    fn expect_bool(&self, e: &Expr, scope: &Scope, pos: Pos, what: &str) -> Result<(), SqlError> {
+    fn expect_bool(
+        &self,
+        e: &Expr,
+        scope: &Scope<'_>,
+        pos: Pos,
+        what: &str,
+    ) -> Result<(), SqlError> {
         let t = self.type_of(e, &scope.flat, pos)?;
         if t != DataType::Bool {
             return Err(SqlError::bind(pos, format!("{what} has type {t}, expected Bool")));
@@ -936,23 +1108,81 @@ impl Binder<'_> {
         Ok(())
     }
 
-    /// Bind a scalar (aggregate-free) expression against `scope`.
-    fn bind_scalar(&self, scope: &Scope, e: &SqlExpr) -> Result<Expr, SqlError> {
+    /// Bind a scalar (aggregate-free) expression against `scope`,
+    /// rejecting subqueries — use [`bind_predicate`](Self::bind_predicate)
+    /// for WHERE/HAVING, the only places subqueries may appear.
+    fn bind_scalar(&self, scope: &Scope<'_>, e: &SqlExpr) -> Result<Expr, SqlError> {
+        self.bind_expr(scope, e, false)
+    }
+
+    /// Bind a WHERE/HAVING predicate: like [`bind_scalar`](Self::bind_scalar)
+    /// but subquery expressions (`EXISTS`, `IN (SELECT ...)`, scalar
+    /// subqueries) are allowed and lower to the plan layer's subquery
+    /// expressions, which the optimizer decorrelates into joins.
+    fn bind_predicate(&self, scope: &Scope<'_>, e: &SqlExpr) -> Result<Expr, SqlError> {
+        self.bind_expr(scope, e, true)
+    }
+
+    fn bind_expr(
+        &self,
+        scope: &Scope<'_>,
+        e: &SqlExpr,
+        allow_subqueries: bool,
+    ) -> Result<Expr, SqlError> {
         match &e.kind {
             ExprKind::Column { qualifier, name } => {
-                let resolved = scope.resolve(qualifier.as_deref(), name, e.pos)?;
-                Ok(Expr::Column(resolved))
+                match scope.resolve(qualifier.as_deref(), name, e.pos)? {
+                    Resolved::Column(flat) => Ok(Expr::Column(flat)),
+                    Resolved::Outer { name, dtype } => Ok(Expr::OuterRef { name, dtype }),
+                }
             }
             ExprKind::Int(v) => Ok(Expr::Literal(ScalarValue::Int64(*v))),
             ExprKind::Float(v) => Ok(Expr::Literal(ScalarValue::Float64(*v))),
             ExprKind::Str(s) => Ok(Expr::Literal(ScalarValue::Utf8(s.clone()))),
             ExprKind::Bool(b) => Ok(Expr::Literal(ScalarValue::Bool(*b))),
             ExprKind::Date(d) => Ok(Expr::Literal(ScalarValue::Date(*d))),
-            ExprKind::Binary { op, left, right } => self.bind_binary(scope, e, *op, left, right),
+            ExprKind::Binary { op, left, right } => {
+                self.bind_binary(scope, e, *op, left, right, allow_subqueries)
+            }
             ExprKind::Not(inner) => {
-                let bound = self.bind_scalar(scope, inner)?;
+                let bound = self.bind_expr(scope, inner, allow_subqueries)?;
                 self.expect_bool(&bound, scope, inner.pos, "NOT operand")?;
-                Ok(Expr::Not(Box::new(bound)))
+                // Normalize `NOT EXISTS` / `NOT (x IN sq)` into the negated
+                // subquery forms the decorrelator rewrites directly.
+                Ok(match bound {
+                    Expr::Exists { plan, negated } => Expr::Exists { plan, negated: !negated },
+                    Expr::InSubquery { expr, plan, negated } => {
+                        Expr::InSubquery { expr, plan, negated: !negated }
+                    }
+                    other => Expr::Not(Box::new(other)),
+                })
+            }
+            ExprKind::Subquery(statement) => {
+                self.expect_subqueries_allowed(allow_subqueries, e.pos)?;
+                let plan = self.bind_scalar_subquery(scope, statement, e.pos)?;
+                Ok(Expr::ScalarSubquery(Box::new(plan)))
+            }
+            ExprKind::Exists(statement) => {
+                self.expect_subqueries_allowed(allow_subqueries, e.pos)?;
+                let plan = self.bind_exists_subquery(scope, statement)?;
+                Ok(Expr::Exists { plan: Box::new(plan), negated: false })
+            }
+            ExprKind::InSubquery { expr, statement, negated } => {
+                self.expect_subqueries_allowed(allow_subqueries, e.pos)?;
+                let bound = self.bind_expr(scope, expr, allow_subqueries)?;
+                if !matches!(bound, Expr::Column(_)) {
+                    return Err(SqlError::bind(
+                        expr.pos,
+                        "IN (SELECT ...) is only supported on a plain column of this query",
+                    ));
+                }
+                let t = self.type_of(&bound, &scope.flat, expr.pos)?;
+                let plan = self.bind_in_subquery(scope, statement, e.pos, t)?;
+                Ok(Expr::InSubquery {
+                    expr: Box::new(bound),
+                    plan: Box::new(plan),
+                    negated: *negated,
+                })
             }
             ExprKind::Like { expr, pattern, negated } => {
                 let bound = self.bind_scalar(scope, expr)?;
@@ -1088,16 +1318,17 @@ impl Binder<'_> {
 
     fn bind_binary(
         &self,
-        scope: &Scope,
+        scope: &Scope<'_>,
         e: &SqlExpr,
         op: BinOp,
         left: &SqlExpr,
         right: &SqlExpr,
+        allow_subqueries: bool,
     ) -> Result<Expr, SqlError> {
         match op {
             BinOp::And | BinOp::Or => {
-                let l = self.bind_scalar(scope, left)?;
-                let r = self.bind_scalar(scope, right)?;
+                let l = self.bind_expr(scope, left, allow_subqueries)?;
+                let r = self.bind_expr(scope, right, allow_subqueries)?;
                 let side = if op == BinOp::And { "AND" } else { "OR" };
                 self.expect_bool(&l, scope, left.pos, side)?;
                 self.expect_bool(&r, scope, right.pos, side)?;
@@ -1108,8 +1339,8 @@ impl Binder<'_> {
                 })
             }
             BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
-                let l = self.bind_scalar(scope, left)?;
-                let r = self.bind_scalar(scope, right)?;
+                let l = self.bind_expr(scope, left, allow_subqueries)?;
+                let r = self.bind_expr(scope, right, allow_subqueries)?;
                 let lt = self.type_of(&l, &scope.flat, left.pos)?;
                 let rt = self.type_of(&r, &scope.flat, right.pos)?;
                 if !lt.is_numeric() || !rt.is_numeric() {
@@ -1127,8 +1358,8 @@ impl Binder<'_> {
                 Ok(Expr::Arith { op: kind, left: Box::new(l), right: Box::new(r) })
             }
             BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
-                let l = self.bind_scalar(scope, left)?;
-                let r = self.bind_scalar(scope, right)?;
+                let l = self.bind_expr(scope, left, allow_subqueries)?;
+                let r = self.bind_expr(scope, right, allow_subqueries)?;
                 let lt = self.type_of(&l, &scope.flat, left.pos)?;
                 let rt = self.type_of(&r, &scope.flat, right.pos)?;
                 // A date column compared against a string literal: re-read
@@ -1150,6 +1381,134 @@ impl Binder<'_> {
                 Ok(Expr::Cmp { op: kind, left: Box::new(l), right: Box::new(r) })
             }
         }
+    }
+
+    // -- subquery binding ----------------------------------------------------
+
+    fn expect_subqueries_allowed(&self, allowed: bool, pos: Pos) -> Result<(), SqlError> {
+        if allowed {
+            Ok(())
+        } else {
+            Err(SqlError::bind(
+                pos,
+                "subqueries are only supported in WHERE and HAVING \
+                 (not in SELECT, GROUP BY, ORDER BY, or JOIN ON)",
+            ))
+        }
+    }
+
+    /// Bind a scalar subquery: a single-item aggregate SELECT with no
+    /// GROUP BY — the only shape whose per-outer-row value the optimizer
+    /// can decorrelate (uncorrelated → constant-key join; correlated →
+    /// group-by + join). Anything else is rejected with a position.
+    fn bind_scalar_subquery(
+        &self,
+        scope: &Scope<'_>,
+        stmt: &SelectStatement,
+        pos: Pos,
+    ) -> Result<LogicalPlan, SqlError> {
+        if stmt.items.len() != 1 || stmt.items[0] == SelectItem::Wildcard {
+            return Err(SqlError::bind(
+                pos,
+                "a scalar subquery must select exactly one expression",
+            ));
+        }
+        let SelectItem::Expr { expr, .. } = &stmt.items[0] else { unreachable!("checked above") };
+        if !contains_aggregate(expr) {
+            return Err(SqlError::bind(
+                pos,
+                "a scalar subquery must compute an aggregate (e.g. min, avg, sum) so it \
+                 yields one value per outer row",
+            ));
+        }
+        if !stmt.group_by.is_empty() {
+            return Err(SqlError::bind(
+                pos,
+                "a scalar subquery cannot have GROUP BY (it must yield a single value); \
+                 correlate it with an equality in its WHERE clause instead",
+            ));
+        }
+        if stmt.having.is_some() || !stmt.order_by.is_empty() || stmt.limit.is_some() {
+            return Err(SqlError::bind(
+                pos,
+                "a scalar subquery supports only SELECT <aggregate> FROM ... WHERE ... \
+                 (no HAVING, ORDER BY, or LIMIT)",
+            ));
+        }
+        if stmt.distinct {
+            return Err(SqlError::bind(pos, "a scalar subquery cannot use SELECT DISTINCT"));
+        }
+        let plan = self.bind_select(stmt, Some(scope))?;
+        let schema = self.schema_of(&plan)?;
+        if schema.len() != 1 {
+            return Err(SqlError::bind(
+                pos,
+                format!("a scalar subquery must produce one column, got {}", schema.len()),
+            ));
+        }
+        Ok(plan)
+    }
+
+    /// Bind an `EXISTS (...)` subquery. The select list is irrelevant to
+    /// EXISTS semantics, so for plain (non-aggregate) subqueries it is bound
+    /// as `*` — which also keeps every column visible for the decorrelating
+    /// semi/anti join's correlation keys.
+    fn bind_exists_subquery(
+        &self,
+        scope: &Scope<'_>,
+        stmt: &SelectStatement,
+    ) -> Result<LogicalPlan, SqlError> {
+        let has_aggregates = !stmt.group_by.is_empty()
+            || stmt.items.iter().any(|item| match item {
+                SelectItem::Expr { expr, .. } => contains_aggregate(expr),
+                SelectItem::Wildcard => false,
+            });
+        if has_aggregates || stmt.distinct {
+            return self.bind_select(stmt, Some(scope));
+        }
+        let mut forced = stmt.clone();
+        forced.items = vec![SelectItem::Wildcard];
+        // Ordering can never change whether the subquery is empty, and the
+        // ORDER BY keys may name select aliases `*` no longer produces —
+        // drop it. LIMIT is kept: `EXISTS (... LIMIT 0)` must be false
+        // (the decorrelator rejects limits in *correlated* subqueries,
+        // where a global limit would not match per-row semantics).
+        forced.order_by.clear();
+        self.bind_select(&forced, Some(scope))
+    }
+
+    /// Bind an `IN (SELECT ...)` subquery: one output column whose type
+    /// must match the tested expression's.
+    fn bind_in_subquery(
+        &self,
+        scope: &Scope<'_>,
+        stmt: &SelectStatement,
+        pos: Pos,
+        expected: DataType,
+    ) -> Result<LogicalPlan, SqlError> {
+        let plan = self.bind_select(stmt, Some(scope))?;
+        let schema = self.schema_of(&plan)?;
+        if schema.len() != 1 {
+            return Err(SqlError::bind(
+                pos,
+                format!(
+                    "an IN subquery must produce exactly one column, got {} ({})",
+                    schema.len(),
+                    schema.column_names().join(", ")
+                ),
+            ));
+        }
+        let got = schema.field(0).data_type;
+        if got != expected {
+            return Err(SqlError::bind(
+                pos,
+                format!(
+                    "IN subquery type mismatch: the tested column is {expected} but the \
+                     subquery produces {got}"
+                ),
+            ));
+        }
+        Ok(plan)
     }
 }
 
@@ -1173,13 +1532,6 @@ fn coerce_cmp_side(
         }
     }
     Ok((e, t))
-}
-
-enum JoinSide {
-    /// Column of the accumulated (build) side.
-    Build(String),
-    /// Column of the table being joined in (probe side).
-    Probe(String),
 }
 
 /// The aggregate columns collected while rewriting SELECT/HAVING.
@@ -1695,7 +2047,7 @@ mod tests {
     }
 
     #[test]
-    fn joins_with_duplicate_column_names_are_rejected() {
+    fn joins_with_duplicate_column_names_need_an_alias() {
         let catalog = catalog();
         let t = Schema::from_pairs(&[("k", DataType::Int64), ("v", DataType::Float64)]);
         let u = Schema::from_pairs(&[("k", DataType::Int64), ("w", DataType::Float64)]);
@@ -1704,5 +2056,211 @@ mod tests {
         let err = bind_statement(&parse("SELECT * FROM t JOIN u ON t.k = u.k").unwrap(), &catalog)
             .unwrap_err();
         assert!(err.to_string().contains("duplicate column 'k'"), "{err}");
+        assert!(err.to_string().contains("alias"), "{err}");
+        // With an alias the colliding table is renamed apart and the join
+        // binds.
+        let plan =
+            bind_statement(&parse("SELECT v, w FROM t JOIN u b ON t.k = b.k").unwrap(), &catalog)
+                .unwrap();
+        assert_eq!(plan.schema().unwrap().column_names(), vec!["v", "w"]);
+    }
+
+    #[test]
+    fn self_joins_rename_aliased_tables_apart() {
+        // orders o2 collides with orders and is renamed to o2_*; qualified
+        // references address the renamed columns transparently (unqualified
+        // ones are ambiguous, as in standard SQL).
+        let batch = run("SELECT orders.o_id AS o_id, o2.o_id AS other_id \
+             FROM orders JOIN orders o2 ON orders.o_cust = o2.o_cust \
+             WHERE orders.o_id < o2.o_id ORDER BY o_id, other_id");
+        // Customer 10 has orders 1 and 2: the only pair with o_id < o2.o_id.
+        assert_eq!(batch.num_rows(), 1);
+        assert_eq!(batch.value(0, 0), ScalarValue::Int64(1));
+        assert_eq!(batch.value(0, 1), ScalarValue::Int64(2));
+
+        // Unqualified references to a column present in both occurrences
+        // are ambiguous.
+        let err =
+            plan("SELECT o_total FROM orders JOIN orders o2 ON o_cust = o2.o_cust").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"), "{err}");
+
+        // Without an alias there is nothing to rename by.
+        let err = plan("SELECT o_id FROM orders, orders").unwrap_err();
+        assert!(err.to_string().contains("duplicate table"), "{err}");
+    }
+
+    #[test]
+    fn derived_tables_bind_and_execute() {
+        let batch = run("SELECT spend FROM \
+               (SELECT o_cust, sum(o_total) AS spend FROM orders GROUP BY o_cust) totals \
+             WHERE spend > 10 ORDER BY spend");
+        assert_eq!(batch.num_rows(), 2);
+        assert_eq!(batch.value(0, 0), ScalarValue::Float64(12.5));
+        assert_eq!(batch.value(1, 0), ScalarValue::Float64(20.0));
+
+        // Derived tables join like base tables.
+        let batch = run("SELECT c_name, spend FROM customers \
+             JOIN (SELECT o_cust, sum(o_total) AS spend FROM orders GROUP BY o_cust) totals \
+               ON c_id = o_cust \
+             ORDER BY spend DESC LIMIT 1");
+        assert_eq!(batch.value(0, 0), ScalarValue::Utf8("bob".into()));
+    }
+
+    #[test]
+    fn left_join_preserves_left_rows_with_defaults() {
+        // carol (c_id 30) has no order with o_total > 6; the left join keeps
+        // her with default-filled order columns (o_id = 0).
+        let batch = run("SELECT c_name, o_id FROM customers \
+             LEFT JOIN orders ON c_id = o_cust AND o_total > 6 \
+             ORDER BY c_name, o_id");
+        // alice: order 2 (7.5), bob: order 3 (20.0), carol: default row,
+        // alice's order 1 (5.0) is filtered out by the ON predicate.
+        assert_eq!(batch.num_rows(), 3);
+        assert_eq!(batch.value(2, 0), ScalarValue::Utf8("carol".into()));
+        assert_eq!(batch.value(2, 1), ScalarValue::Int64(0));
+
+        // A cross-side predicate cannot live in a LEFT JOIN's ON.
+        let err =
+            plan("SELECT c_name FROM customers LEFT JOIN orders ON c_id = o_cust AND c_id > o_id")
+                .unwrap_err();
+        assert!(err.to_string().contains("column equalities"), "{err}");
+    }
+
+    #[test]
+    fn correlated_exists_binds_and_decorrelates() {
+        // Customers with at least one order over 6.
+        let batch = run("SELECT c_name FROM customers \
+             WHERE EXISTS (SELECT * FROM orders WHERE o_cust = c_id AND o_total > 6) \
+             ORDER BY c_name");
+        assert_eq!(batch.num_rows(), 2); // alice (7.5), bob (20.0)
+
+        // NOT EXISTS: customers with no order over 6.
+        let batch = run("SELECT c_name FROM customers \
+             WHERE NOT EXISTS (SELECT * FROM orders WHERE o_cust = c_id AND o_total > 6)");
+        assert_eq!(batch.num_rows(), 1);
+        assert_eq!(batch.value(0, 0), ScalarValue::Utf8("carol".into()));
+    }
+
+    #[test]
+    fn in_subqueries_bind_and_decorrelate() {
+        let batch = run("SELECT c_name FROM customers \
+             WHERE c_id IN (SELECT o_cust FROM orders WHERE o_total > 6) ORDER BY c_name");
+        assert_eq!(batch.num_rows(), 2);
+        let batch = run("SELECT c_name FROM customers \
+             WHERE c_id NOT IN (SELECT o_cust FROM orders WHERE o_total > 6)");
+        assert_eq!(batch.num_rows(), 1);
+        assert_eq!(batch.value(0, 0), ScalarValue::Utf8("carol".into()));
+    }
+
+    #[test]
+    fn scalar_subqueries_bind_correlated_and_uncorrelated() {
+        // Uncorrelated: orders above the global average (global avg = 10.625).
+        let batch = run("SELECT o_id FROM orders \
+             WHERE o_total > (SELECT avg(o_total) FROM orders) ORDER BY o_id");
+        assert_eq!(batch.num_rows(), 1);
+        assert_eq!(batch.value(0, 0), ScalarValue::Int64(3));
+
+        // Correlated: each customer's orders above that customer's average.
+        // The outer column must be qualified — an unqualified `o_cust`
+        // resolves to the subquery's own table first, as in standard SQL.
+        let batch = run("SELECT o_id FROM orders \
+             WHERE o_total > (SELECT avg(o_total) FROM orders o2 \
+                              WHERE o2.o_cust = orders.o_cust) \
+             ORDER BY o_id");
+        // customer 10: avg 6.25 -> order 2 (7.5); others equal their avg.
+        assert_eq!(batch.num_rows(), 1);
+        assert_eq!(batch.value(0, 0), ScalarValue::Int64(2));
+    }
+
+    #[test]
+    fn subquery_misuse_is_a_positioned_bind_error() {
+        for (sql, needle) in [
+            (
+                "SELECT (SELECT max(o_total) FROM orders) AS m FROM customers",
+                "only supported in WHERE and HAVING",
+            ),
+            (
+                "SELECT count(*) AS n FROM orders GROUP BY (SELECT max(o_id) FROM orders)",
+                "only supported in WHERE and HAVING",
+            ),
+            (
+                "SELECT o_id FROM orders ORDER BY (SELECT max(o_id) FROM orders)",
+                "only supported in WHERE and HAVING",
+            ),
+            (
+                "SELECT o_id FROM orders WHERE o_total > (SELECT o_total FROM orders)",
+                "must compute an aggregate",
+            ),
+            (
+                "SELECT o_id FROM orders \
+                 WHERE o_total > (SELECT sum(o_total) FROM orders GROUP BY o_cust)",
+                "cannot have GROUP BY",
+            ),
+            (
+                "SELECT o_id FROM orders WHERE o_id IN (SELECT o_id, o_cust FROM orders)",
+                "exactly one column",
+            ),
+            (
+                "SELECT o_id FROM orders WHERE o_id IN (SELECT c_name FROM customers)",
+                "type mismatch",
+            ),
+            ("SELECT o_id FROM orders WHERE o_id + 1 IN (SELECT o_id FROM orders)", "plain column"),
+        ] {
+            let err = plan(sql).expect_err(sql);
+            assert!(err.to_string().contains(needle), "{sql}: {err}");
+            assert_eq!(err.kind, crate::error::SqlErrorKind::Bind, "{sql}");
+        }
+    }
+
+    #[test]
+    fn exists_respects_uncorrelated_limits_and_rejects_unsound_shapes() {
+        // LIMIT 0 empties the subquery: EXISTS is false for every row.
+        let batch = run("SELECT c_name FROM customers \
+             WHERE EXISTS (SELECT * FROM orders LIMIT 0)");
+        assert_eq!(batch.num_rows(), 0);
+        // ... and NOT EXISTS keeps everything.
+        let batch = run("SELECT c_name FROM customers \
+             WHERE NOT EXISTS (SELECT * FROM orders LIMIT 0)");
+        assert_eq!(batch.num_rows(), 3);
+
+        // A LIMIT in a *correlated* subquery cannot decorrelate soundly
+        // (it would apply globally, not per outer row) — loud error, not a
+        // wrong answer.
+        let catalog = catalog();
+        let p = bind_statement(
+            &parse(
+                "SELECT c_name FROM customers \
+                 WHERE EXISTS (SELECT * FROM orders WHERE o_cust = c_id LIMIT 1)",
+            )
+            .unwrap(),
+            &catalog,
+        )
+        .unwrap();
+        let err = ReferenceExecutor::new(&catalog).execute(&p).unwrap_err();
+        assert!(err.to_string().contains("LIMIT inside a correlated"), "{err}");
+
+        // A scalar subquery under OR would drop rows the other disjunct
+        // keeps — also a loud error.
+        let p = bind_statement(
+            &parse(
+                "SELECT o_id FROM orders \
+                 WHERE o_id > 100 OR o_total > (SELECT avg(o_total) FROM orders)",
+            )
+            .unwrap(),
+            &catalog,
+        )
+        .unwrap();
+        let err = ReferenceExecutor::new(&catalog).execute(&p).unwrap_err();
+        assert!(err.to_string().contains("under OR"), "{err}");
+    }
+
+    #[test]
+    fn having_accepts_uncorrelated_scalar_subqueries() {
+        // Customers whose spend is above half the total spend.
+        let batch = run("SELECT o_cust, sum(o_total) AS spend FROM orders GROUP BY o_cust \
+             HAVING sum(o_total) > (SELECT sum(o_total) * 0.4 FROM orders) \
+             ORDER BY spend DESC");
+        assert_eq!(batch.num_rows(), 1);
+        assert_eq!(batch.value(0, 0), ScalarValue::Int64(20));
     }
 }

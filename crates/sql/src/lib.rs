@@ -12,13 +12,29 @@
 //! ```text
 //! [EXPLAIN]
 //! SELECT [DISTINCT] expr [AS alias], ... | *
-//! FROM table [alias] [, table [alias]] ...
-//! [[INNER] JOIN table [alias] ON col = col [AND col = col ...]
-//!  | CROSS JOIN table [alias]] ...
+//! FROM table_or_subquery [alias] [, table_or_subquery [alias]] ...
+//! [[INNER] JOIN table_or_subquery [alias] ON on_condition
+//!  | LEFT [OUTER] JOIN table_or_subquery [alias] ON on_condition
+//!  | CROSS JOIN table_or_subquery [alias]] ...
 //! [WHERE predicate]
 //! [GROUP BY expr, ...] [HAVING predicate]
 //! [ORDER BY output_column [ASC|DESC], ...] [LIMIT n]
+//!
+//! table_or_subquery := ident | '(' SELECT ... ')'   -- derived tables
+//! on_condition      := col = col [AND ...] plus predicates on the joined table
 //! ```
+//!
+//! WHERE and HAVING predicates may contain subqueries: `[NOT] EXISTS
+//! (SELECT ...)`, `expr [NOT] IN (SELECT ...)`, and scalar aggregate
+//! subqueries (`x < (SELECT 0.2 * avg(y) FROM ... WHERE inner = outer)`),
+//! correlated through equality predicates whose outer references resolve
+//! against the enclosing query's scope. The binder lowers them to
+//! plan-level subquery expressions; the shared optimizer's decorrelation
+//! pass rewrites them into semi/anti joins, constant-key joins, and
+//! group-by + join — no subquery survives to execution. Self-joins work
+//! through table aliases: a table whose columns would collide with the
+//! scope is renamed apart at its scan (`alias.column` addresses the flat
+//! column `alias_column`).
 //!
 //! The binder deliberately emits *naive* plans — `WHERE` above the join
 //! tree, scans carrying every table column, comma-FROM lists as cross joins
@@ -35,9 +51,9 @@
 //! `COUNT(DISTINCT ...)` (including arithmetic over aggregates such as
 //! `sum(a) / sum(b)`).
 //!
-//! Known gaps (reported as positioned errors, never panics): subqueries,
-//! outer-join syntax, self-joins, `NULL`, and ORDER BY on arbitrary
-//! expressions.
+//! Known gaps (reported as positioned errors, never panics): `RIGHT` /
+//! `FULL OUTER` joins, `NULL` (the engine default-fills instead),
+//! subqueries outside WHERE/HAVING, and non-equality correlation.
 //!
 //! # Example
 //!

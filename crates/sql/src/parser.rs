@@ -159,6 +159,12 @@ impl Parser {
 
     fn parse_statement(&mut self) -> Result<SelectStatement, SqlError> {
         let explain = self.eat_keyword("explain");
+        self.parse_select_body(explain)
+    }
+
+    /// One SELECT body (everything after an optional EXPLAIN). Also the
+    /// entry point for subqueries, which never carry EXPLAIN.
+    fn parse_select_body(&mut self, explain: bool) -> Result<SelectStatement, SqlError> {
         self.expect_keyword("select")?;
         let distinct = self.eat_keyword("distinct");
         let items = self.parse_select_items()?;
@@ -170,20 +176,30 @@ impl Parser {
             // (a cross join; the optimizer recovers equi-joins from WHERE).
             if self.eat_kind(&TokenKind::Comma) {
                 let table = self.parse_table_ref()?;
-                joins.push(Join { table, on: None });
+                joins.push(Join { table, kind: JoinKind::Cross, on: None });
                 continue;
             }
             if self.eat_keyword("cross") {
                 self.expect_keyword("join")?;
                 let table = self.parse_table_ref()?;
-                joins.push(Join { table, on: None });
+                joins.push(Join { table, kind: JoinKind::Cross, on: None });
                 continue;
             }
-            if self.at_keyword("left") || self.at_keyword("right") || self.at_keyword("full") {
+            if self.at_keyword("right") || self.at_keyword("full") {
                 return Err(SqlError::parse(
                     self.peek().pos,
-                    "outer joins are not supported yet; only [INNER] JOIN ... ON",
+                    "RIGHT and FULL OUTER joins are not supported; \
+                     use LEFT [OUTER] JOIN or [INNER] JOIN ... ON",
                 ));
+            }
+            if self.eat_keyword("left") {
+                self.eat_keyword("outer");
+                self.expect_keyword("join")?;
+                let table = self.parse_table_ref()?;
+                self.expect_keyword("on")?;
+                let on = self.parse_expr()?;
+                joins.push(Join { table, kind: JoinKind::Left, on: Some(on) });
+                continue;
             }
             let inner = self.eat_keyword("inner");
             if !self.at_keyword("join") {
@@ -200,7 +216,7 @@ impl Parser {
             let table = self.parse_table_ref()?;
             self.expect_keyword("on")?;
             let on = self.parse_expr()?;
-            joins.push(Join { table, on: Some(on) });
+            joins.push(Join { table, kind: JoinKind::Inner, on: Some(on) });
         }
         let selection = if self.eat_keyword("where") { Some(self.parse_expr()?) } else { None };
         let mut group_by = Vec::new();
@@ -295,9 +311,26 @@ impl Parser {
     }
 
     fn parse_table_ref(&mut self) -> Result<TableRef, SqlError> {
+        // `(SELECT ...) alias` — a derived table.
+        if self.peek().kind == TokenKind::LParen
+            && self.tokens.get(self.pos + 1).map(|t| &t.kind)
+                == Some(&TokenKind::Ident("select".to_string()))
+        {
+            let pos = self.bump().pos; // '('
+            let statement = self.parse_select_body(false)?;
+            self.expect_kind(TokenKind::RParen, "')' closing the derived table")?;
+            let alias = self.parse_alias()?;
+            if alias.is_none() {
+                return Err(SqlError::parse(
+                    self.peek().pos,
+                    "a derived table (subquery in FROM) requires an alias",
+                ));
+            }
+            return Ok(TableRef { source: TableSource::Subquery(Box::new(statement)), alias, pos });
+        }
         let (name, pos) = self.expect_ident("a table name")?;
         let alias = self.parse_alias()?;
-        Ok(TableRef { name, alias, pos })
+        Ok(TableRef { source: TableSource::Named(name), alias, pos })
     }
 
     // -- expressions --------------------------------------------------------
@@ -391,6 +424,19 @@ impl Parser {
         if self.at_keyword("in") {
             let pos = self.bump().pos;
             self.expect_kind(TokenKind::LParen, "'(' after IN")?;
+            // `IN (SELECT ...)` — a subquery membership test.
+            if self.at_keyword("select") {
+                let statement = self.parse_select_body(false)?;
+                self.expect_kind(TokenKind::RParen, "')' closing the IN subquery")?;
+                return Ok(SqlExpr::new(
+                    ExprKind::InSubquery {
+                        expr: Box::new(left),
+                        statement: Box::new(statement),
+                        negated,
+                    },
+                    pos,
+                ));
+            }
             let mut items = Vec::new();
             loop {
                 items.push(self.parse_additive()?);
@@ -487,6 +533,12 @@ impl Parser {
         match &t.kind {
             TokenKind::LParen => {
                 self.pos += 1;
+                // `(SELECT ...)` as a value — a scalar subquery.
+                if self.at_keyword("select") {
+                    let statement = self.parse_select_body(false)?;
+                    self.expect_kind(TokenKind::RParen, "')' closing the subquery")?;
+                    return Ok(SqlExpr::new(ExprKind::Subquery(Box::new(statement)), t.pos));
+                }
                 let inner = self.parse_expr()?;
                 self.expect_kind(TokenKind::RParen, "')'")?;
                 Ok(inner)
@@ -531,6 +583,19 @@ impl Parser {
                 "cast" => {
                     self.pos += 1;
                     self.parse_cast(t.pos)
+                }
+                "exists" => {
+                    self.pos += 1;
+                    self.expect_kind(TokenKind::LParen, "'(' after EXISTS")?;
+                    if !self.at_keyword("select") {
+                        return Err(SqlError::parse(
+                            self.peek().pos,
+                            "EXISTS requires a (SELECT ...) subquery",
+                        ));
+                    }
+                    let statement = self.parse_select_body(false)?;
+                    self.expect_kind(TokenKind::RParen, "')' closing the EXISTS subquery")?;
+                    Ok(SqlExpr::new(ExprKind::Exists(Box::new(statement)), t.pos))
                 }
                 "substring" | "substr"
                     if self.tokens.get(self.pos + 1).map(|t| &t.kind)
@@ -851,7 +916,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(stmt.items.len(), 2);
-        assert_eq!(stmt.from.name, "t");
+        assert_eq!(stmt.from.binding_name(), "t");
         assert_eq!(stmt.joins.len(), 1);
         assert!(stmt.selection.is_some());
         assert_eq!(stmt.group_by.len(), 1);
@@ -906,10 +971,13 @@ mod tests {
     #[test]
     fn rejections_are_informative() {
         for (sql, needle) in [
-            ("SELECT a FROM t LEFT JOIN u ON x = y", "outer joins"),
+            ("SELECT a FROM t RIGHT JOIN u ON x = y", "RIGHT and FULL"),
+            ("SELECT a FROM t FULL OUTER JOIN u ON x = y", "RIGHT and FULL"),
             ("SELECT CASE WHEN a THEN 1 END FROM t", "ELSE"),
             ("SELECT NULL FROM t", "NULL"),
             ("SELECT EXTRACT(MONTH FROM d) FROM t", "YEAR"),
+            ("SELECT a FROM (SELECT b FROM t)", "requires an alias"),
+            ("SELECT a FROM t WHERE EXISTS (b > 1)", "EXISTS requires"),
         ] {
             let err = parse(sql).unwrap_err();
             assert!(err.to_string().contains(needle), "{sql}: {err}");
@@ -940,5 +1008,47 @@ mod tests {
         // Commas may follow explicit joins (mixed FROM lists).
         let stmt = parse("SELECT a FROM t JOIN u ON a = b, v").unwrap();
         assert_eq!(stmt.joins.len(), 2);
+    }
+
+    #[test]
+    fn left_join_and_derived_tables_parse() {
+        let stmt =
+            parse("SELECT a FROM t LEFT OUTER JOIN u ON k = j AND c NOT LIKE '%x%'").unwrap();
+        assert_eq!(stmt.joins.len(), 1);
+        assert_eq!(stmt.joins[0].kind, JoinKind::Left);
+        assert!(stmt.joins[0].on.is_some());
+        // LEFT without OUTER is the same join.
+        let stmt = parse("SELECT a FROM t LEFT JOIN u ON k = j").unwrap();
+        assert_eq!(stmt.joins[0].kind, JoinKind::Left);
+
+        let stmt = parse("SELECT a FROM (SELECT b AS a FROM t GROUP BY b) d").unwrap();
+        assert_eq!(stmt.from.binding_name(), "d");
+        assert!(matches!(stmt.from.source, TableSource::Subquery(_)));
+        // Derived tables join like any other table.
+        let stmt = parse("SELECT a FROM t JOIN (SELECT k FROM u) d ON a = k").unwrap();
+        assert!(matches!(stmt.joins[0].table.source, TableSource::Subquery(_)));
+    }
+
+    #[test]
+    fn subquery_expressions_parse() {
+        let e = expr("a > (SELECT max(b) FROM u)");
+        match e.kind {
+            ExprKind::Binary { right, .. } => {
+                assert!(matches!(right.kind, ExprKind::Subquery(_)))
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(matches!(expr("EXISTS (SELECT * FROM u)").kind, ExprKind::Exists(_)));
+        assert!(matches!(expr("NOT EXISTS (SELECT * FROM u)").kind, ExprKind::Not(_)));
+        assert!(matches!(
+            expr("a IN (SELECT b FROM u)").kind,
+            ExprKind::InSubquery { negated: false, .. }
+        ));
+        assert!(matches!(
+            expr("a NOT IN (SELECT b FROM u WHERE c = 1)").kind,
+            ExprKind::InSubquery { negated: true, .. }
+        ));
+        // A parenthesized plain expression is still just parentheses.
+        assert!(matches!(expr("(a + 1)").kind, ExprKind::Binary { .. }));
     }
 }

@@ -1,37 +1,62 @@
-//! TPC-H queries as SQL text for the `quokka-sql` frontend.
+//! All 22 TPC-H queries as SQL text for the `quokka-sql` frontend.
 //!
-//! Nine queries are expressible in the frontend's grammar (no subqueries,
-//! no self-joins, no outer joins) and are kept in batch-level parity with
-//! their hand-built [`PlanBuilder`](quokka_plan::logical::PlanBuilder)
-//! twins by the tests in this module. The SELECT lists deliberately match
-//! the hand-built plans' output column order so results compare
-//! positionally.
+//! Every query is kept in batch-level parity with its hand-built
+//! [`PlanBuilder`](quokka_plan::logical::PlanBuilder) twin by the tests in
+//! this module. The SELECT lists deliberately match the hand-built plans'
+//! output column order so results compare positionally.
 //!
-//! The remaining queries need rewrites the frontend does not perform
-//! (decorrelation into semi/anti joins, scalar subqueries as constant-key
-//! joins, self-joins with aliased schemas); they stay hand-built in the
-//! sibling `q01_q11` / `q12_q22` modules.
+//! The thirteen queries that need subqueries write them as SQL (`EXISTS`,
+//! `IN (SELECT ...)`, correlated and uncorrelated scalar aggregates,
+//! derived tables, aliased self-joins, `LEFT JOIN`); the shared optimizer's
+//! decorrelation pass lowers them to the same semi/anti/constant-key join
+//! shapes the hand-built plans use.
 //!
-//! The same nine queries also exist in the lazy DataFrame API
-//! (`quokka::dataframe::tpch` in the facade crate); the workspace test
-//! `tests/dataframe_tpch.rs` keeps all three forms in batch-level parity.
+//! Three documented departures from the literal specification text (all
+//! shared with the hand-built twins, see `q12_q22`):
+//!
+//! * **Q15** takes the top revenue row directly (`ORDER BY total_revenue
+//!   DESC LIMIT 1` inside the derived table) instead of recomputing the
+//!   revenue view inside a `max(..)` subquery — recomputing would compare
+//!   floating-point sums across two summation orders.
+//! * **Q19** spells the air ship modes `'AIR'` / `'REG AIR'`, matching the
+//!   data generator.
+//! * **Q13** and **Q21** express "count of related rows" shapes the way the
+//!   hand-built plans decorrelate them: Q13 counts matches of the engine's
+//!   default-filling `LEFT JOIN` (no NULLs, so `o_orderkey > 0` marks a
+//!   real match), and Q21's correlated EXISTS pair — whose correlation is
+//!   an *inequality* (`l2.l_suppkey <> l1.l_suppkey`), outside the
+//!   equality-only decorrelator — becomes per-order distinct-supplier
+//!   counts in derived tables.
 
-/// Query numbers available as SQL text.
-pub const SQL_QUERIES: [usize; 9] = [1, 3, 5, 6, 9, 10, 12, 14, 19];
+/// Query numbers available as SQL text: the full benchmark.
+pub const SQL_QUERIES: [usize; 22] =
+    [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22];
 
-/// The SQL text for TPC-H query `number`, when the frontend's grammar can
-/// express it.
+/// The SQL text for TPC-H query `number` (1-22).
 pub fn sql_text(number: usize) -> Option<&'static str> {
     Some(match number {
         1 => Q1,
+        2 => Q2,
         3 => Q3,
+        4 => Q4,
         5 => Q5,
         6 => Q6,
+        7 => Q7,
+        8 => Q8,
         9 => Q9,
         10 => Q10,
+        11 => Q11,
         12 => Q12,
+        13 => Q13,
         14 => Q14,
+        15 => Q15,
+        16 => Q16,
+        17 => Q17,
+        18 => Q18,
         19 => Q19,
+        20 => Q20,
+        21 => Q21,
+        22 => Q22,
         _ => return None,
     })
 }
@@ -51,6 +76,29 @@ WHERE l_shipdate <= DATE '1998-09-02'
 GROUP BY l_returnflag, l_linestatus
 ORDER BY l_returnflag, l_linestatus";
 
+/// The correlated scalar `min(ps_supplycost)` decorrelates into a per-part
+/// minimum joined back on `p_partkey` — the shape `q01_q11::q2` builds by
+/// hand.
+const Q2: &str = "\
+SELECT s_acctbal, s_name, n_name, p_partkey, p_mfgr, s_address, s_phone, s_comment
+FROM part
+JOIN partsupp ON p_partkey = ps_partkey
+JOIN supplier ON ps_suppkey = s_suppkey
+JOIN nation ON s_nationkey = n_nationkey
+JOIN region ON n_regionkey = r_regionkey
+WHERE p_size = 15
+  AND p_type LIKE '%BRASS'
+  AND r_name = 'EUROPE'
+  AND ps_supplycost = (SELECT min(ps_supplycost)
+                       FROM partsupp
+                       JOIN supplier ON ps_suppkey = s_suppkey
+                       JOIN nation ON s_nationkey = n_nationkey
+                       JOIN region ON n_regionkey = r_regionkey
+                       WHERE p_partkey = ps_partkey
+                         AND r_name = 'EUROPE')
+ORDER BY s_acctbal DESC, n_name, s_name, p_partkey
+LIMIT 100";
+
 const Q3: &str = "\
 SELECT l_orderkey, o_orderdate, o_shippriority,
        sum(l_extendedprice * (1 - l_discount)) AS revenue
@@ -63,6 +111,18 @@ WHERE c_mktsegment = 'BUILDING'
 GROUP BY l_orderkey, o_orderdate, o_shippriority
 ORDER BY revenue DESC, o_orderdate
 LIMIT 10";
+
+/// The correlated `EXISTS` decorrelates into the semi join `q01_q11::q4`
+/// builds by hand.
+const Q4: &str = "\
+SELECT o_orderpriority, count(*) AS order_count
+FROM orders
+WHERE o_orderdate >= DATE '1993-07-01'
+  AND o_orderdate < DATE '1993-10-01'
+  AND EXISTS (SELECT * FROM lineitem
+              WHERE l_orderkey = o_orderkey AND l_commitdate < l_receiptdate)
+GROUP BY o_orderpriority
+ORDER BY o_orderpriority";
 
 const Q5: &str = "\
 SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
@@ -86,6 +146,46 @@ WHERE l_shipdate >= DATE '1994-01-01'
   AND l_shipdate < DATE '1995-01-01'
   AND l_discount BETWEEN 0.05 AND 0.07
   AND l_quantity < 24";
+
+/// The nation self-join uses aliases `n1`/`n2`; the binder renames the
+/// colliding occurrence apart at its scan.
+const Q7: &str = "\
+SELECT supp_nation, cust_nation, l_year, sum(volume) AS revenue
+FROM (SELECT n1.n_name AS supp_nation,
+             n2.n_name AS cust_nation,
+             EXTRACT(YEAR FROM l_shipdate) AS l_year,
+             l_extendedprice * (1 - l_discount) AS volume
+      FROM supplier
+      JOIN lineitem ON s_suppkey = l_suppkey
+      JOIN orders ON l_orderkey = o_orderkey
+      JOIN customer ON o_custkey = c_custkey
+      JOIN nation n1 ON s_nationkey = n1.n_nationkey
+      JOIN nation n2 ON c_nationkey = n2.n_nationkey
+      WHERE ((n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY')
+          OR (n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE'))
+        AND l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31') shipping
+GROUP BY supp_nation, cust_nation, l_year
+ORDER BY supp_nation, cust_nation, l_year";
+
+const Q8: &str = "\
+SELECT o_year,
+       sum(CASE WHEN nation = 'BRAZIL' THEN volume ELSE 0.0 END) / sum(volume) AS mkt_share
+FROM (SELECT EXTRACT(YEAR FROM o_orderdate) AS o_year,
+             l_extendedprice * (1 - l_discount) AS volume,
+             n2.n_name AS nation
+      FROM part
+      JOIN lineitem ON p_partkey = l_partkey
+      JOIN supplier ON l_suppkey = s_suppkey
+      JOIN orders ON l_orderkey = o_orderkey
+      JOIN customer ON o_custkey = c_custkey
+      JOIN nation n1 ON c_nationkey = n1.n_nationkey
+      JOIN region ON n1.n_regionkey = r_regionkey
+      JOIN nation n2 ON s_nationkey = n2.n_nationkey
+      WHERE r_name = 'AMERICA'
+        AND o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+        AND p_type = 'ECONOMY ANODIZED STEEL') all_nations
+GROUP BY o_year
+ORDER BY o_year";
 
 const Q9: &str = "\
 SELECT n_name AS nation,
@@ -115,6 +215,23 @@ GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment
 ORDER BY revenue DESC
 LIMIT 20";
 
+/// The uncorrelated scalar threshold in HAVING decorrelates into the
+/// constant-key join `q01_q11::q11` builds by hand.
+const Q11: &str = "\
+SELECT ps_partkey, sum(ps_supplycost * ps_availqty) AS value
+FROM partsupp
+JOIN supplier ON ps_suppkey = s_suppkey
+JOIN nation ON s_nationkey = n_nationkey
+WHERE n_name = 'GERMANY'
+GROUP BY ps_partkey
+HAVING sum(ps_supplycost * ps_availqty) >
+       (SELECT sum(ps_supplycost * ps_availqty) * 0.0001
+        FROM partsupp
+        JOIN supplier ON ps_suppkey = s_suppkey
+        JOIN nation ON s_nationkey = n_nationkey
+        WHERE n_name = 'GERMANY')
+ORDER BY value DESC";
+
 const Q12: &str = "\
 SELECT l_shipmode,
        sum(CASE WHEN o_orderpriority = '1-URGENT' OR o_orderpriority = '2-HIGH'
@@ -131,6 +248,21 @@ WHERE l_shipmode IN ('MAIL', 'SHIP')
 GROUP BY l_shipmode
 ORDER BY l_shipmode";
 
+/// The engine's LEFT JOIN default-fills unmatched rows instead of
+/// producing NULLs, so "customer has a matching order" is `o_orderkey > 0`
+/// (real order keys start at 1) — the same convention as the hand-built
+/// plan.
+const Q13: &str = "\
+SELECT c_count, count(*) AS custdist
+FROM (SELECT c_custkey,
+             sum(CASE WHEN o_orderkey > 0 THEN 1 ELSE 0 END) AS c_count
+      FROM customer
+      LEFT OUTER JOIN orders
+        ON c_custkey = o_custkey AND o_comment NOT LIKE '%special%requests%'
+      GROUP BY c_custkey) c_orders
+GROUP BY c_count
+ORDER BY custdist DESC, c_count DESC";
+
 const Q14: &str = "\
 SELECT 100.0 * sum(CASE WHEN p_type LIKE 'PROMO%'
                         THEN l_extendedprice * (1 - l_discount)
@@ -140,6 +272,63 @@ FROM part
 JOIN lineitem ON p_partkey = l_partkey
 WHERE l_shipdate >= DATE '1995-09-01'
   AND l_shipdate < DATE '1995-10-01'";
+
+/// See the module docs: the revenue view's top row is taken directly
+/// instead of re-deriving it through `max(total_revenue)`.
+const Q15: &str = "\
+SELECT s_suppkey, s_name, s_address, s_phone, total_revenue
+FROM (SELECT l_suppkey AS supplier_no,
+             sum(l_extendedprice * (1 - l_discount)) AS total_revenue
+      FROM lineitem
+      WHERE l_shipdate >= DATE '1996-01-01'
+        AND l_shipdate < DATE '1996-04-01'
+      GROUP BY l_suppkey
+      ORDER BY total_revenue DESC
+      LIMIT 1) revenue
+JOIN supplier ON supplier_no = s_suppkey
+ORDER BY s_suppkey";
+
+/// The uncorrelated `NOT IN` decorrelates into the anti join
+/// `q12_q22::q16` builds by hand.
+const Q16: &str = "\
+SELECT p_brand, p_type, p_size, count(DISTINCT ps_suppkey) AS supplier_cnt
+FROM part
+JOIN partsupp ON p_partkey = ps_partkey
+WHERE p_brand <> 'Brand#45'
+  AND p_type NOT LIKE 'MEDIUM POLISHED%'
+  AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+  AND ps_suppkey NOT IN (SELECT s_suppkey FROM supplier
+                         WHERE s_comment LIKE '%Customer%Complaints%')
+GROUP BY p_brand, p_type, p_size
+ORDER BY supplier_cnt DESC, p_brand, p_type, p_size";
+
+/// The correlated `avg(l_quantity)` decorrelates into the per-part
+/// threshold join `q12_q22::q17` builds by hand. The outer reference
+/// `p_partkey` resolves through the enclosing scope; the subquery's own
+/// `l_quantity`/`l_partkey` resolve to its own lineitem scan.
+const Q17: &str = "\
+SELECT sum(l_extendedprice) / 7.0 AS avg_yearly
+FROM part
+JOIN lineitem ON p_partkey = l_partkey
+WHERE p_brand = 'Brand#23'
+  AND p_container = 'MED BOX'
+  AND l_quantity < (SELECT 0.2 * avg(l_quantity) FROM lineitem
+                    WHERE l_partkey = p_partkey)";
+
+/// The `IN (GROUP BY ... HAVING)` subquery decorrelates into the semi join
+/// `q12_q22::q18` builds by hand.
+const Q18: &str = "\
+SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice,
+       sum(l_quantity) AS sum_qty
+FROM customer
+JOIN orders ON c_custkey = o_custkey
+JOIN lineitem ON o_orderkey = l_orderkey
+WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem
+                     GROUP BY l_orderkey
+                     HAVING sum(l_quantity) > 300)
+GROUP BY c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice
+ORDER BY o_totalprice DESC, o_orderdate
+LIMIT 100";
 
 /// The generator spells the air ship modes `"AIR"` / `"REG AIR"`, matching
 /// the hand-built plan (see `q12_q22::q19`).
@@ -162,11 +351,80 @@ WHERE l_shipmode IN ('AIR', 'REG AIR')
         AND l_quantity >= 20 AND l_quantity <= 30
         AND p_size BETWEEN 1 AND 15))";
 
+/// Three nesting levels: an IN subquery containing another IN subquery and
+/// a doubly-correlated scalar aggregate — each level decorrelates
+/// independently into the semi-join + threshold-join pipeline
+/// `q12_q22::q20` builds by hand.
+const Q20: &str = "\
+SELECT s_name, s_address
+FROM supplier
+JOIN nation ON s_nationkey = n_nationkey
+WHERE s_suppkey IN
+      (SELECT ps_suppkey
+       FROM partsupp
+       WHERE ps_partkey IN (SELECT p_partkey FROM part WHERE p_name LIKE 'forest%')
+         AND ps_availqty > 0.5 * (SELECT sum(l_quantity)
+                                  FROM lineitem
+                                  WHERE l_partkey = ps_partkey
+                                    AND l_suppkey = ps_suppkey
+                                    AND l_shipdate >= DATE '1994-01-01'
+                                    AND l_shipdate < DATE '1995-01-01'))
+  AND s_nationkey = n_nationkey
+  AND n_name = 'CANADA'
+ORDER BY s_name";
+
+/// See the module docs: the specification's EXISTS pair correlates on a
+/// supplier *inequality*, which the equality-only decorrelator cannot
+/// lower; the per-order distinct-supplier counts in the two derived tables
+/// express exactly the hand-built decorrelation.
+const Q21: &str = "\
+SELECT s_name, count(*) AS numwait
+FROM nation
+JOIN supplier ON n_nationkey = s_nationkey
+JOIN lineitem ON s_suppkey = l_suppkey
+JOIN orders ON l_orderkey = o_orderkey
+JOIN (SELECT l_orderkey AS all_orderkey,
+             count(DISTINCT l_suppkey) AS all_supp_cnt
+      FROM lineitem
+      GROUP BY l_orderkey) alls ON o_orderkey = all_orderkey
+JOIN (SELECT l_orderkey AS late_orderkey,
+             count(DISTINCT l_suppkey) AS late_supp_cnt
+      FROM lineitem
+      WHERE l_receiptdate > l_commitdate
+      GROUP BY l_orderkey) lates ON o_orderkey = late_orderkey
+WHERE n_name = 'SAUDI ARABIA'
+  AND o_orderstatus = 'F'
+  AND l_receiptdate > l_commitdate
+  AND all_supp_cnt > 1
+  AND late_supp_cnt = 1
+GROUP BY s_name
+ORDER BY numwait DESC, s_name
+LIMIT 100";
+
+/// The uncorrelated average balance decorrelates into a constant-key join
+/// and the correlated `NOT EXISTS` into an anti join — the two shapes
+/// `q12_q22::q22` builds by hand.
+const Q22: &str = "\
+SELECT cntrycode, count(*) AS numcust, sum(c_acctbal) AS totacctbal
+FROM (SELECT SUBSTRING(c_phone FROM 1 FOR 2) AS cntrycode, c_acctbal
+      FROM customer
+      WHERE SUBSTRING(c_phone FROM 1 FOR 2) IN ('13', '31', '23', '29', '30', '18', '17')
+        AND c_acctbal > (SELECT avg(c_acctbal)
+                         FROM customer
+                         WHERE c_acctbal > 0.0
+                           AND SUBSTRING(c_phone FROM 1 FOR 2)
+                               IN ('13', '31', '23', '29', '30', '18', '17'))
+        AND NOT EXISTS (SELECT * FROM orders WHERE o_custkey = c_custkey)) custsale
+GROUP BY cntrycode
+ORDER BY cntrycode";
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::generator::TpchGenerator;
+    use quokka_plan::optimizer::{contains_subqueries, Optimizer};
     use quokka_plan::reference::{same_result, ReferenceExecutor};
+    use quokka_plan::stage::StageGraph;
 
     #[test]
     fn sql_texts_exist_exactly_for_the_sql_queries() {
@@ -175,6 +433,7 @@ mod tests {
         }
         assert!(sql_text(0).is_none());
         assert!(sql_text(23).is_none());
+        assert_eq!(SQL_QUERIES.len(), 22, "the SQL frontend covers the full benchmark");
     }
 
     /// Every SQL query must produce batch-identical results to its
@@ -206,5 +465,40 @@ mod tests {
                 sql_plan.display_indent(),
             );
         }
+    }
+
+    /// Decorrelation is a lowering, not an optimization: after it, no
+    /// subquery expression survives, and the stage compiler accepts every
+    /// query — both through the full optimizer pipeline and through the
+    /// bare decorrelation pass a `optimize = false` run uses.
+    #[test]
+    fn no_subquery_survives_to_stage_compilation() {
+        let generator = TpchGenerator::new(0.001, 7);
+        let catalog = generator.catalog().unwrap();
+        let mut bound_with_subqueries = 0;
+        for q in SQL_QUERIES {
+            let plan = quokka_sql::plan_query(sql_text(q).unwrap(), &catalog).unwrap();
+            if contains_subqueries(&plan) {
+                bound_with_subqueries += 1;
+            }
+            for lowered in [
+                quokka_plan::optimizer::decorrelate(plan.clone())
+                    .unwrap_or_else(|e| panic!("Q{q} failed to decorrelate: {e}")),
+                Optimizer::with_catalog(&catalog)
+                    .optimize(&plan)
+                    .unwrap_or_else(|e| panic!("Q{q} failed to optimize: {e}")),
+            ] {
+                assert!(!contains_subqueries(&lowered), "Q{q} kept a subquery node");
+                let graph = StageGraph::compile(&lowered)
+                    .unwrap_or_else(|e| panic!("Q{q} failed stage compilation: {e}"));
+                assert!(graph.num_stages() >= 1);
+            }
+        }
+        // The subquery path is actually exercised: Q2, Q4, Q11, Q16, Q17,
+        // Q18, Q20, and Q22 bind to plans carrying subquery expressions.
+        assert!(
+            bound_with_subqueries >= 8,
+            "only {bound_with_subqueries} queries bound subqueries"
+        );
     }
 }

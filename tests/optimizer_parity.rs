@@ -332,8 +332,169 @@ fn plans_agree(plan: &LogicalPlan, a: &Batch, b: &Batch) -> bool {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Decorrelation rule properties
+// ---------------------------------------------------------------------------
+
+/// A randomized subquery-bearing plan plus an independently hand-built
+/// decorrelated twin (the join shape the rewrite is specified to produce).
+/// Comparing the decorrelated plan's result against the twin pins each
+/// decorrelation rule without going through the rewrite under test twice.
+fn random_subquery_case(rng: &mut Rng, session: &QuokkaSession) -> (LogicalPlan, LogicalPlan) {
+    let items = session.catalog().table_schema("items").unwrap();
+    let groups = session.catalog().table_schema("groups").unwrap();
+    let items_scan = || PlanBuilder::scan("items", items.clone());
+    let groups_scan = || PlanBuilder::scan("groups", groups.clone());
+    let items_passthrough =
+        || items.column_names().iter().map(|n| (col(*n), *n)).collect::<Vec<_>>();
+    let negated = rng.chance(50);
+    let semi_or_anti = if negated { JoinType::Anti } else { JoinType::Semi };
+    match rng.below(4) {
+        // [NOT] EXISTS (SELECT * FROM items WHERE i_key = g_key AND pred).
+        0 => {
+            let pred = random_predicate(rng, &items);
+            let subquery = items_scan()
+                .filter(
+                    col("i_key")
+                        .eq(Expr::OuterRef { name: "g_key".into(), dtype: DataType::Int64 })
+                        .and(pred.clone()),
+                )
+                .build()
+                .unwrap();
+            let plan = groups_scan()
+                .filter(Expr::Exists { plan: Box::new(subquery), negated })
+                .build()
+                .unwrap();
+            let twin = items_scan()
+                .filter(pred)
+                .join(groups_scan(), vec![("i_key", "g_key")], semi_or_anti)
+                .build()
+                .unwrap();
+            (plan, twin)
+        }
+        // i_key [NOT] IN (SELECT g_key FROM groups WHERE g_key <= k).
+        1 => {
+            let bound = rng.below(12) as i64;
+            let subquery = groups_scan()
+                .filter(col("g_key").lt_eq(lit(bound)))
+                .project(vec![(col("g_key"), "g_key")])
+                .build()
+                .unwrap();
+            let plan = items_scan()
+                .filter(Expr::InSubquery {
+                    expr: Box::new(col("i_key")),
+                    plan: Box::new(subquery),
+                    negated,
+                })
+                .build()
+                .unwrap();
+            let twin = groups_scan()
+                .filter(col("g_key").lt_eq(lit(bound)))
+                .project(vec![(col("g_key"), "g_key")])
+                .join(items_scan(), vec![("g_key", "i_key")], semi_or_anti)
+                .build()
+                .unwrap();
+            (plan, twin)
+        }
+        // Uncorrelated scalar: i_price > (SELECT avg(i_price) WHERE pred)
+        // — must become a constant-key join.
+        2 => {
+            let pred = random_predicate(rng, &items);
+            let subquery = items_scan()
+                .filter(pred.clone())
+                .aggregate(vec![], vec![avg(col("i_price"), "threshold")])
+                .build()
+                .unwrap();
+            let plan = items_scan()
+                .filter(col("i_price").gt(Expr::ScalarSubquery(Box::new(subquery))))
+                .build()
+                .unwrap();
+            let mut probe_exprs = items_passthrough();
+            probe_exprs.push((lit(1i64), "jk_p"));
+            let twin = items_scan()
+                .filter(pred)
+                .aggregate(vec![], vec![avg(col("i_price"), "threshold")])
+                .project(vec![(col("threshold"), "threshold"), (lit(1i64), "jk_b")])
+                .join(items_scan().project(probe_exprs), vec![("jk_b", "jk_p")], JoinType::Inner)
+                .filter(col("i_price").gt(col("threshold")))
+                .project(items_passthrough())
+                .build()
+                .unwrap();
+            (plan, twin)
+        }
+        // Correlated scalar aggregate: i_price > (SELECT avg(i_price) FROM
+        // items i2 WHERE i2.i_key = i_key) — must become group-by + join.
+        _ => {
+            let subquery = items_scan()
+                .filter(
+                    col("i_key")
+                        .eq(Expr::OuterRef { name: "i_key".into(), dtype: DataType::Int64 }),
+                )
+                .aggregate(vec![], vec![avg(col("i_price"), "threshold")])
+                .build()
+                .unwrap();
+            let plan = items_scan()
+                .filter(col("i_price").gt(Expr::ScalarSubquery(Box::new(subquery))))
+                .build()
+                .unwrap();
+            let twin = items_scan()
+                .aggregate(vec![(col("i_key"), "t_key")], vec![avg(col("i_price"), "threshold")])
+                .join(items_scan(), vec![("t_key", "i_key")], JoinType::Inner)
+                .filter(col("i_price").gt(col("threshold")))
+                .project(items_passthrough())
+                .build()
+                .unwrap();
+            (plan, twin)
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Each decorrelation rule (EXISTS/IN → semi, NOT → anti, scalar →
+    /// constant-key or group-by join) preserves the plan schema and agrees
+    /// with an independently hand-decorrelated twin on randomized data —
+    /// through the standalone rule, the full optimizer pipeline, and the
+    /// mandatory lowering the naive distributed path applies.
+    #[test]
+    fn decorrelation_rules_preserve_schema_and_match_hand_decorrelated_twins(
+        seed in any::<i64>()
+    ) {
+        let mut rng = Rng(seed as u64);
+        let session = QuokkaSession::new(EngineConfig::quokka(2));
+        random_catalog(&mut rng, &session);
+        let (plan, twin) = random_subquery_case(&mut rng, &session);
+        let schema = plan.schema().unwrap();
+        let expected = session.run_reference(&twin).unwrap();
+
+        let optimizer = Optimizer::with_catalog(session.catalog());
+        let lowered = optimizer.apply_rule("decorrelate_subqueries", &plan).unwrap();
+        prop_assert!(
+            !quokka::plan::optimizer::contains_subqueries(&lowered),
+            "decorrelation left a subquery behind:\n{}",
+            lowered.display_indent()
+        );
+        prop_assert_eq!(lowered.schema().unwrap(), schema.clone(), "rule changed the schema");
+        let lowered_result = session.run_reference(&lowered).unwrap();
+        prop_assert!(
+            plans_agree(&plan, &expected, &lowered_result),
+            "decorrelated plan diverged from the hand-built twin\nsubquery plan:\n{}\n\
+             lowered:\n{}\ntwin:\n{}",
+            plan.display_indent(),
+            lowered.display_indent(),
+            twin.display_indent()
+        );
+
+        let optimized = optimizer.optimize(&plan).unwrap();
+        prop_assert_eq!(optimized.schema().unwrap(), schema, "pipeline changed the schema");
+        let optimized_result = session.run_reference(&optimized).unwrap();
+        prop_assert!(
+            plans_agree(&plan, &expected, &optimized_result),
+            "optimized subquery plan diverged from the hand-built twin\n{}",
+            optimized.display_indent()
+        );
+    }
 
     /// Every individual rule, and the full pipeline, preserves the output
     /// schema and the reference-executor result on randomized plans.
