@@ -71,6 +71,7 @@ fn bench_lineage_commit(c: &mut Criterion) {
                     bytes: 1 << 20,
                 },
                 channel_state: state,
+                prev_channel: None,
                 next_task: Some(TaskEntry { task: channel.task(seq + 1), worker: 0 }),
             };
             gcs.commit_task(&commit).unwrap();

@@ -11,7 +11,10 @@
 //! * Fig. 9 toggles [`FaultStrategy`].
 //! * Fig. 10 / 11b add a [`FailureSpec`].
 
+use crate::chaos::ChaosPlan;
+use crate::error::{QuokkaError, Result};
 use crate::ids::WorkerId;
+use crate::retry::RetryPolicy;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -183,6 +186,12 @@ pub struct ClusterConfig {
     pub poll_interval: Duration,
     /// How often the coordinator checks worker heartbeats.
     pub heartbeat_interval: Duration,
+    /// How long a worker's heartbeat may stall before the failure detector
+    /// *suspects* it and reconciles its channels onto other workers without
+    /// killing it. Workers heartbeat every scheduling-loop iteration
+    /// (sub-millisecond to a few ms), so one second is a very conservative
+    /// default; chaos tests shrink it to exercise the suspicion path.
+    pub suspicion_timeout: Duration,
 }
 
 impl ClusterConfig {
@@ -193,6 +202,7 @@ impl ClusterConfig {
             channels_per_stage: workers,
             poll_interval: Duration::from_micros(200),
             heartbeat_interval: Duration::from_millis(2),
+            suspicion_timeout: Duration::from_secs(1),
         }
     }
 }
@@ -236,7 +246,25 @@ pub struct EngineConfig {
     pub fault: FaultStrategy,
     pub cost: CostModelConfig,
     /// Failures to inject (empty for normal-execution experiments).
+    /// Folded into the chaos plan at run time; kept for API compatibility
+    /// with the single-kill experiments of the paper.
     pub failures: Vec<FailureSpec>,
+    /// Generalized fault schedule (kills, suspicions, lost backups, dropped
+    /// or delayed pushes, stragglers). See [`ChaosPlan`].
+    pub chaos: ChaosPlan,
+    /// Stall watchdog: if no task commits for this long the coordinator
+    /// aborts the run with a diagnostic dump. The `QUOKKA_WATCHDOG_SECS`
+    /// environment variable *overrides* this value (see
+    /// [`EngineConfig::resolve_env`]); a malformed value is a hard
+    /// configuration error, not a silent fallback.
+    pub watchdog: Duration,
+    /// Optional per-query deadline. When the query runs longer than this,
+    /// the coordinator cancels it and the stream yields a typed
+    /// [`QuokkaError::Timeout`].
+    pub query_timeout: Option<Duration>,
+    /// Backoff policy for every retry loop in the engine (task polling,
+    /// result publication, replay requests).
+    pub retry: RetryPolicy,
     /// Target number of rows per batch produced by input readers.
     pub batch_rows: usize,
     /// Seed for any randomised decision (worker placement during recovery).
@@ -259,6 +287,10 @@ impl EngineConfig {
             fault: FaultStrategy::WriteAheadLineage,
             cost: CostModelConfig::zero(),
             failures: Vec::new(),
+            chaos: ChaosPlan::new(),
+            watchdog: Duration::from_secs(120),
+            query_timeout: None,
+            retry: RetryPolicy::engine_default(),
             batch_rows: 8192,
             seed: 0x5eed,
             optimize: true,
@@ -322,6 +354,52 @@ impl EngineConfig {
     pub fn with_optimize(mut self, optimize: bool) -> Self {
         self.optimize = optimize;
         self
+    }
+    pub fn with_chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = plan;
+        self
+    }
+    pub fn with_watchdog(mut self, watchdog: Duration) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+    pub fn with_query_timeout(mut self, timeout: Duration) -> Self {
+        self.query_timeout = Some(timeout);
+        self
+    }
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+    pub fn with_suspicion_timeout(mut self, timeout: Duration) -> Self {
+        self.cluster.suspicion_timeout = timeout;
+        self
+    }
+
+    /// Apply environment overrides, rejecting malformed values loudly.
+    ///
+    /// `QUOKKA_WATCHDOG_SECS` overrides [`EngineConfig::watchdog`]. Before
+    /// this existed the variable was parsed with `.ok()` deep inside the
+    /// coordinator, so `QUOKKA_WATCHDOG_SECS=five` silently fell back to
+    /// the default — the one failure mode a watchdog must not have. The
+    /// runtime calls this once per query, before any worker is spawned, so
+    /// a bad override fails the query with [`QuokkaError::Config`] instead
+    /// of being ignored.
+    pub fn resolve_env(&mut self) -> Result<()> {
+        if let Ok(raw) = std::env::var("QUOKKA_WATCHDOG_SECS") {
+            let secs: u64 = raw.parse().map_err(|_| {
+                QuokkaError::config(format!(
+                    "QUOKKA_WATCHDOG_SECS must be a whole number of seconds, got {raw:?}"
+                ))
+            })?;
+            if secs == 0 {
+                return Err(QuokkaError::config(
+                    "QUOKKA_WATCHDOG_SECS must be positive (unset it to use the default)",
+                ));
+            }
+            self.watchdog = Duration::from_secs(secs);
+        }
+        Ok(())
     }
 }
 
@@ -396,5 +474,48 @@ mod tests {
         assert_eq!(cfg.failures.len(), 1);
         assert_eq!(cfg.batch_rows, 1024);
         assert_eq!(cfg.seed, 7);
+    }
+
+    #[test]
+    fn robustness_builders_compose() {
+        let cfg = EngineConfig::quokka(4)
+            .with_chaos(ChaosPlan::kill_at_commits(1, 5))
+            .with_watchdog(Duration::from_secs(30))
+            .with_query_timeout(Duration::from_secs(10))
+            .with_suspicion_timeout(Duration::from_millis(250))
+            .with_retry(RetryPolicy { max_attempts: 3, ..RetryPolicy::engine_default() });
+        assert_eq!(cfg.chaos.injections.len(), 1);
+        assert_eq!(cfg.watchdog, Duration::from_secs(30));
+        assert_eq!(cfg.query_timeout, Some(Duration::from_secs(10)));
+        assert_eq!(cfg.cluster.suspicion_timeout, Duration::from_millis(250));
+        assert_eq!(cfg.retry.max_attempts, 3);
+        // Defaults: no deadline, 120s watchdog, conservative suspicion.
+        let d = EngineConfig::quokka(2);
+        assert_eq!(d.query_timeout, None);
+        assert_eq!(d.watchdog, Duration::from_secs(120));
+        assert!(d.chaos.is_empty());
+    }
+
+    #[test]
+    fn watchdog_env_override_is_validated_loudly() {
+        // One test covers set/invalid/unset so the process-global variable
+        // is never observed mid-change by a sibling test.
+        let mut cfg = EngineConfig::quokka(2);
+        std::env::set_var("QUOKKA_WATCHDOG_SECS", "45");
+        cfg.resolve_env().expect("valid override");
+        assert_eq!(cfg.watchdog, Duration::from_secs(45));
+
+        std::env::set_var("QUOKKA_WATCHDOG_SECS", "five");
+        let err = cfg.resolve_env().expect_err("malformed override must be rejected");
+        assert!(matches!(err, QuokkaError::Config(_)), "got {err}");
+        assert!(err.to_string().contains("QUOKKA_WATCHDOG_SECS"));
+
+        std::env::set_var("QUOKKA_WATCHDOG_SECS", "0");
+        assert!(cfg.resolve_env().is_err(), "zero disables the watchdog; reject it");
+
+        std::env::remove_var("QUOKKA_WATCHDOG_SECS");
+        let mut fresh = EngineConfig::quokka(2);
+        fresh.resolve_env().expect("no override");
+        assert_eq!(fresh.watchdog, Duration::from_secs(120));
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::ids::{ChannelAddr, TaskName, WorkerId};
 use std::fmt;
+use std::time::Duration;
 
 /// Convenience alias used by every crate in the workspace.
 pub type Result<T, E = QuokkaError> = std::result::Result<T, E>;
@@ -30,6 +31,17 @@ pub enum QuokkaError {
     Unschedulable(ChannelAddr),
     /// The query was cancelled (e.g. the restart baseline abandoning a run).
     Cancelled(String),
+    /// The query exceeded its configured deadline (`EngineConfig::query_timeout`).
+    Timeout { elapsed: Duration, limit: Duration },
+    /// A transient transport fault (e.g. a chaos-injected dropped push).
+    /// Always worth retrying.
+    Transient(String),
+    /// A retryable operation was retried up to its bounded attempt budget
+    /// and still failed. Fatal: carries the last underlying error.
+    RetriesExhausted { operation: String, attempts: u32, last: Box<QuokkaError> },
+    /// Invalid configuration (bad builder input or a malformed environment
+    /// override such as `QUOKKA_WATCHDOG_SECS`).
+    Config(String),
     /// Failure of the underlying (simulated) storage service.
     Storage(String),
     /// Internal invariant violation.
@@ -54,6 +66,14 @@ impl fmt::Display for QuokkaError {
                 write!(f, "channel {ch} cannot be scheduled on any live worker")
             }
             QuokkaError::Cancelled(msg) => write!(f, "cancelled: {msg}"),
+            QuokkaError::Timeout { elapsed, limit } => {
+                write!(f, "query deadline exceeded: ran {elapsed:?}, limit {limit:?}")
+            }
+            QuokkaError::Transient(msg) => write!(f, "transient fault: {msg}"),
+            QuokkaError::RetriesExhausted { operation, attempts, last } => {
+                write!(f, "{operation} failed after {attempts} attempts; last error: {last}")
+            }
+            QuokkaError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             QuokkaError::Storage(msg) => write!(f, "storage error: {msg}"),
             QuokkaError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
@@ -73,17 +93,36 @@ impl QuokkaError {
         QuokkaError::PlanError(msg.into())
     }
 
+    /// Shorthand for a [`QuokkaError::Config`] with a formatted message.
+    pub fn config(msg: impl Into<String>) -> Self {
+        QuokkaError::Config(msg.into())
+    }
+
     /// True if this error is transient from the point of view of a
-    /// TaskManager: the task should simply be retried later rather than the
-    /// query failing (e.g. input lineage not yet visible, downstream worker
-    /// currently failed).
+    /// TaskManager: the operation should be retried (with backoff) rather
+    /// than the query failing — input lineage not yet visible, a downstream
+    /// worker currently failed (recovery will reassign it), a CAS abort on
+    /// a contended GCS key, or an injected transport fault.
+    ///
+    /// Every error is either retryable or fatal ([`QuokkaError::is_fatal`]
+    /// is the exact complement); retry loops must give up with a typed
+    /// fatal error — usually [`QuokkaError::RetriesExhausted`] — once their
+    /// bounded attempt budget is spent.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
             QuokkaError::TransactionAborted(_)
                 | QuokkaError::WorkerFailed(_)
                 | QuokkaError::NotFound(_)
+                | QuokkaError::Transient(_)
         )
+    }
+
+    /// True if retrying cannot help: plan/type/config errors, invariant
+    /// violations, exhausted retry budgets, cancellation and deadline
+    /// expiry. The complement of [`QuokkaError::is_retryable`].
+    pub fn is_fatal(&self) -> bool {
+        !self.is_retryable()
     }
 }
 
@@ -107,7 +146,33 @@ mod tests {
     fn retryability_classification() {
         assert!(QuokkaError::WorkerFailed(3).is_retryable());
         assert!(QuokkaError::TransactionAborted("cas".into()).is_retryable());
+        assert!(QuokkaError::Transient("dropped push".into()).is_retryable());
         assert!(!QuokkaError::TypeError("x".into()).is_retryable());
         assert!(!QuokkaError::Internal("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn fatal_is_the_complement_of_retryable() {
+        let timeout =
+            QuokkaError::Timeout { elapsed: Duration::from_secs(3), limit: Duration::from_secs(2) };
+        let exhausted = QuokkaError::RetriesExhausted {
+            operation: "replay push".into(),
+            attempts: 8,
+            last: Box::new(QuokkaError::WorkerFailed(1)),
+        };
+        for e in [
+            timeout.clone(),
+            exhausted.clone(),
+            QuokkaError::Config("QUOKKA_WATCHDOG_SECS=abc".into()),
+            QuokkaError::Cancelled("dropped".into()),
+            QuokkaError::WorkerFailed(0),
+            QuokkaError::Transient("x".into()),
+        ] {
+            assert_ne!(e.is_fatal(), e.is_retryable(), "{e} must be exactly one of the two");
+        }
+        assert!(timeout.is_fatal());
+        assert!(exhausted.is_fatal());
+        assert!(timeout.to_string().contains("deadline"));
+        assert!(exhausted.to_string().contains("8 attempts"));
     }
 }

@@ -10,6 +10,11 @@
 //!   `Result` alias.
 //! * [`config`] — cluster, engine, cost-model and failure-injection
 //!   configuration.
+//! * [`chaos`] — deterministic chaos plans: reproducible schedules of
+//!   kills, suspicions, lost backups, dropped/delayed pushes and
+//!   stragglers, generalising the single-kill `FailureSpec`.
+//! * [`retry`] — bounded exponential backoff with deterministic jitter,
+//!   shared by every retry loop in the engine.
 //! * [`metrics`] — counters collected during query execution (bytes spooled,
 //!   bytes backed up, GCS transactions, recovery time, ...).
 //! * [`rng`] — small deterministic pseudo-random-number helpers so every
@@ -19,12 +24,15 @@
 //! runtime; it exists so the substrate crates (`quokka-batch`, `quokka-gcs`,
 //! `quokka-storage`, `quokka-net`) do not depend on each other.
 
+pub mod chaos;
 pub mod config;
 pub mod error;
 pub mod ids;
 pub mod metrics;
+pub mod retry;
 pub mod rng;
 
+pub use chaos::{ChaosEvent, ChaosInjection, ChaosPlan, ChaosTrigger};
 pub use config::{
     ClusterConfig, CostModelConfig, EngineConfig, ExecutionMode, FailureSpec, FaultStrategy,
     SchedulePolicy,
@@ -32,3 +40,4 @@ pub use config::{
 pub use error::{QuokkaError, Result};
 pub use ids::{ChannelAddr, ChannelId, PartitionName, SeqNo, StageId, TaskName, WorkerId};
 pub use metrics::{MetricsRegistry, QueryMetrics};
+pub use retry::{Backoff, RetryPolicy};

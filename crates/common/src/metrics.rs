@@ -55,6 +55,18 @@ pub struct QueryMetrics {
     pub gcs_transactions: u64,
     /// Number of worker failures injected during the run.
     pub failures: u64,
+    /// Number of chaos events fired (kills, suspicions, lost backups,
+    /// dropped/delayed pushes, stragglers).
+    pub chaos_events: u64,
+    /// Number of times the failure detector suspected a live worker and
+    /// reconciled its channels without killing it.
+    pub suspicions: u64,
+    /// Number of retries spent publishing task results (push + commit
+    /// attempts beyond the first).
+    pub push_retries: u64,
+    /// Number of times a replay request was re-queued after a failed
+    /// delivery attempt.
+    pub replay_requeues: u64,
     /// Time spent between failure detection and resumption of normal
     /// execution (coordinator-side recovery planning + rescheduling).
     pub recovery_planning: Duration,
@@ -68,6 +80,11 @@ pub struct QueryMetrics {
     /// `runtime`; for a pipelined sink it is the time-to-first-row the
     /// streaming API delivers on.
     pub time_to_first_batch: Option<Duration>,
+    /// The stall watchdog the run actually used, after environment
+    /// overrides. Surfaced so tests can assert the effective setting.
+    pub effective_watchdog: Duration,
+    /// The failure detector's effective suspicion timeout.
+    pub effective_suspicion_timeout: Duration,
 }
 
 impl QueryMetrics {
@@ -110,6 +127,10 @@ pub struct MetricsRegistry {
     lineage_bytes: AtomicU64,
     gcs_transactions: AtomicU64,
     failures: AtomicU64,
+    chaos_events: AtomicU64,
+    suspicions: AtomicU64,
+    push_retries: AtomicU64,
+    replay_requeues: AtomicU64,
     recovery_planning_nanos: AtomicU64,
     output_rows: AtomicU64,
     result_batches: AtomicU64,
@@ -131,6 +152,10 @@ impl Default for MetricsRegistry {
             lineage_bytes: AtomicU64::new(0),
             gcs_transactions: AtomicU64::new(0),
             failures: AtomicU64::new(0),
+            chaos_events: AtomicU64::new(0),
+            suspicions: AtomicU64::new(0),
+            push_retries: AtomicU64::new(0),
+            replay_requeues: AtomicU64::new(0),
             recovery_planning_nanos: AtomicU64::new(0),
             output_rows: AtomicU64::new(0),
             result_batches: AtomicU64::new(0),
@@ -176,6 +201,18 @@ impl MetricsRegistry {
     }
     pub fn add_failure(&self) {
         self.failures.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn add_chaos_event(&self) {
+        self.chaos_events.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn add_suspicion(&self) {
+        self.suspicions.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn add_push_retry(&self) {
+        self.push_retries.fetch_add(1, Ordering::Relaxed);
+    }
+    pub fn add_replay_requeue(&self) {
+        self.replay_requeues.fetch_add(1, Ordering::Relaxed);
     }
     pub fn add_recovery_planning(&self, d: Duration) {
         self.recovery_planning_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
@@ -232,6 +269,10 @@ impl MetricsRegistry {
             lineage_bytes: self.lineage_bytes.load(Ordering::Relaxed),
             gcs_transactions: self.gcs_transactions.load(Ordering::Relaxed),
             failures: self.failures.load(Ordering::Relaxed),
+            chaos_events: self.chaos_events.load(Ordering::Relaxed),
+            suspicions: self.suspicions.load(Ordering::Relaxed),
+            push_retries: self.push_retries.load(Ordering::Relaxed),
+            replay_requeues: self.replay_requeues.load(Ordering::Relaxed),
             recovery_planning: Duration::from_nanos(
                 self.recovery_planning_nanos.load(Ordering::Relaxed),
             ),
@@ -241,6 +282,10 @@ impl MetricsRegistry {
                 0 => None,
                 nanos => Some(Duration::from_nanos(nanos)),
             },
+            // Effective settings are configuration, not counters; the
+            // runtime stamps them onto the snapshot after the run.
+            effective_watchdog: Duration::ZERO,
+            effective_suspicion_timeout: Duration::ZERO,
         }
     }
 }

@@ -17,9 +17,13 @@
 //! * [`worker`] — the TaskManager side: each worker runs one thread per
 //!   stage, executing Algorithm 1 for the channels currently assigned to it
 //!   and serving replay requests during recovery.
-//! * [`recovery`] — the coordinator side: failure detection, fault
-//!   injection, and the Algorithm 2 reconciliation that rewinds lost
-//!   channels and schedules replays.
+//! * [`recovery`] — the coordinator side: heartbeat-based failure
+//!   detection with suspicion, per-query deadlines, and the Algorithm 2
+//!   reconciliation that rewinds lost channels and schedules replays.
+//! * [`chaos`] — the chaos engine: applies a deterministic
+//!   [`ChaosPlan`](quokka_common::ChaosPlan) (kills, suspicions, lost
+//!   backups, dropped/delayed pushes, stragglers) at counter-based trigger
+//!   points.
 //! * [`runtime`] — [`QueryRunner`]: wires the GCS,
 //!   data plane, storage and threads together and runs one query under an
 //!   [`EngineConfig`](quokka_common::EngineConfig). Execution is streaming:
@@ -31,12 +35,14 @@
 //!   including the replay-deduplication and restart semantics that make
 //!   incremental delivery safe under fault injection.
 
+pub mod chaos;
 pub mod layout;
 pub mod recovery;
 pub mod runtime;
 pub mod stream;
 pub mod worker;
 
+pub use chaos::ChaosEngine;
 pub use layout::QueryLayout;
 pub use runtime::{QueryOutcome, QueryRunner};
 pub use stream::BatchStream;

@@ -7,10 +7,11 @@ use crate::worker::{spawn_workers, Services};
 use parking_lot::Mutex;
 use quokka_batch::codec::encode_partition;
 use quokka_batch::Batch;
+use quokka_common::chaos::ChaosPlan;
 use quokka_common::config::{ClusterConfig, EngineConfig};
 use quokka_common::ids::WorkerId;
 use quokka_common::metrics::{MetricsRegistry, QueryMetrics};
-use quokka_common::Result;
+use quokka_common::{QuokkaError, Result};
 use quokka_gcs::tables::{ChannelState, TaskEntry};
 use quokka_gcs::Gcs;
 use quokka_net::DataPlane;
@@ -48,7 +49,7 @@ enum AttemptOutcome {
         failed: Vec<WorkerId>,
         elapsed: Duration,
     },
-    Failed(String),
+    Failed(QuokkaError),
 }
 
 impl QueryRunner {
@@ -78,6 +79,10 @@ impl QueryRunner {
     /// here, before any worker thread starts; the returned [`BatchStream`]
     /// only reports runtime failures.
     pub fn stream(&self, plan: &LogicalPlan, catalog: &dyn Catalog) -> Result<BatchStream> {
+        // Resolve environment overrides up front, rejecting malformed values
+        // loudly instead of silently falling back to defaults.
+        let mut config = self.config.clone();
+        config.resolve_env()?;
         let plan = if self.config.optimize {
             Optimizer::with_catalog(catalog).optimize(plan)?
         } else {
@@ -100,7 +105,6 @@ impl QueryRunner {
         let (tx, rx) = std::sync::mpsc::channel();
         let cancel = Arc::new(AtomicBool::new(false));
         let stream = BatchStream::new(output_schema, rx, Arc::clone(&cancel));
-        let config = self.config.clone();
         std::thread::Builder::new()
             .name("quokka-query".to_string())
             .spawn(move || supervise(config, graph, tables, tx, cancel))
@@ -141,17 +145,19 @@ fn supervise(
             }
             Ok(AttemptOutcome::NeedsRestart { failed, elapsed }) => {
                 if restarts_left == 0 {
-                    let _ = tx.send(StreamEvent::Failed(
+                    let _ = tx.send(StreamEvent::Failed(QuokkaError::Internal(
                         "query failed and the restart budget is exhausted".to_string(),
-                    ));
+                    )));
                     return;
                 }
                 restarts_left -= 1;
                 carried_runtime += elapsed;
                 carried_failures += failed.len() as u64;
-                // Rerun the whole query on the surviving workers.
+                // Rerun the whole query on the surviving workers, without
+                // re-injecting the faults that already fired.
                 let survivors = config.cluster.workers.saturating_sub(failed.len() as u32).max(1);
                 config.failures.clear();
+                config.chaos = ChaosPlan::new();
                 config.cluster = ClusterConfig {
                     workers: survivors,
                     channels_per_stage: config.cluster.channels_per_stage,
@@ -175,7 +181,7 @@ fn run_attempt(
     tables: &mut Option<BTreeMap<String, Vec<Batch>>>,
     tx: &Sender<StreamEvent>,
     cancel: &Arc<AtomicBool>,
-) -> Result<AttemptOutcome, String> {
+) -> Result<AttemptOutcome> {
     let cost = CostModel::new(config.cost);
     let metrics = MetricsRegistry::new();
     let durable = Arc::new(DurableObjectStore::new(cost, Arc::clone(&metrics)));
@@ -200,9 +206,7 @@ fn run_attempt(
         *tables = None;
     }
 
-    let layout = Arc::new(
-        QueryLayout::new(graph, &config.cluster, &table_splits).map_err(|e| e.to_string())?,
-    );
+    let layout = Arc::new(QueryLayout::new(graph, &config.cluster, &table_splits)?);
     let gcs = Arc::new(Gcs::new(cost.gcs_delay()));
     let plane = Arc::new(DataPlane::new(config.cluster.workers, cost, Arc::clone(&metrics)));
     let backups: Vec<Arc<LocalBackupStore>> = (0..config.cluster.workers)
@@ -229,6 +233,11 @@ fn run_attempt(
         killed: (0..config.cluster.workers).map(|_| AtomicBool::new(false)).collect(),
         cancelled: Arc::clone(cancel),
         cost,
+        heartbeats: (0..config.cluster.workers).map(|_| Default::default()).collect(),
+        heartbeat_suppressed: (0..config.cluster.workers).map(|_| Default::default()).collect(),
+        suspected: (0..config.cluster.workers).map(|_| Default::default()).collect(),
+        straggler_tasks: (0..config.cluster.workers).map(|_| Default::default()).collect(),
+        straggler_micros: (0..config.cluster.workers).map(|_| Default::default()).collect(),
     });
 
     let start = Instant::now();
@@ -251,6 +260,10 @@ fn run_attempt(
             let mut snapshot = metrics.snapshot(elapsed);
             snapshot.lineage_bytes = gcs.lineage_bytes();
             snapshot.gcs_transactions = gcs.transactions();
+            // Surface the effective robustness settings so tests (and
+            // callers) can assert what the run actually used.
+            snapshot.effective_watchdog = config.watchdog;
+            snapshot.effective_suspicion_timeout = config.cluster.suspicion_timeout;
             AttemptOutcome::Completed(Box::new(snapshot))
         }
         CoordinatorOutcome::Failed(error) => AttemptOutcome::Failed(error),

@@ -41,8 +41,9 @@ pub enum StreamEvent {
     Restarted,
     /// The query completed; no further batches will arrive.
     Finished(Box<QueryMetrics>),
-    /// The query failed.
-    Failed(String),
+    /// The query failed with a typed error (deadline expiry, cancellation,
+    /// exhausted retries, internal errors, ...).
+    Failed(QuokkaError),
 }
 
 /// A pull-based stream of result batches from a running query.
@@ -68,7 +69,7 @@ pub struct BatchStream {
     rows_delivered: u64,
     batches_delivered: u64,
     finished: Option<QueryMetrics>,
-    failed: Option<String>,
+    failed: Option<QuokkaError>,
     /// A failure is surfaced once; after that the stream is fused (`None`).
     error_reported: bool,
     /// Raised when the consumer disappears; the engine's coordinator polls
@@ -153,7 +154,7 @@ impl BatchStream {
             }
             if let Some(error) = self.failed.clone() {
                 self.error_reported = true;
-                return Err(QuokkaError::Internal(error));
+                return Err(error);
             }
             if self.finished.is_some() {
                 return Ok(None);
@@ -170,13 +171,13 @@ impl BatchStream {
                     self.seen.clear();
                     self.pending.clear();
                     if self.delivered {
-                        self.failed = Some(
+                        self.failed = Some(QuokkaError::Internal(
                             "query restarted after results were already streamed; \
                              the restart baseline cannot retract delivered rows \
                              (use collect(), or a fault strategy with intra-query \
                              recovery)"
                                 .to_string(),
-                        );
+                        ));
                     }
                 }
                 Ok(StreamEvent::Finished(metrics)) => self.finished = Some(*metrics),
@@ -186,8 +187,10 @@ impl BatchStream {
         }
     }
 
-    fn recv(&mut self) -> Result<StreamEvent, String> {
-        self.rx.recv().map_err(|_| "query engine hung up without finishing the stream".to_string())
+    fn recv(&mut self) -> Result<StreamEvent, QuokkaError> {
+        self.rx.recv().map_err(|_| {
+            QuokkaError::Internal("query engine hung up without finishing the stream".to_string())
+        })
     }
 
     /// Drain the stream to completion and return the concatenated result —
@@ -214,7 +217,7 @@ impl BatchStream {
         let mut parts: BTreeMap<TaskName, Vec<Batch>> = BTreeMap::new();
         loop {
             if let Some(error) = self.failed.take() {
-                return Err(QuokkaError::Internal(error));
+                return Err(error);
             }
             if let Some(metrics) = self.finished.take() {
                 let batches: Vec<Batch> = parts.into_values().flatten().collect();
@@ -225,14 +228,14 @@ impl BatchStream {
                 };
                 return Ok(QueryOutcome { batch, metrics });
             }
-            match self.recv().map_err(QuokkaError::Internal)? {
+            match self.recv()? {
                 StreamEvent::Batch { name, batches } => {
                     // Replays overwrite (identical content, same name).
                     parts.insert(name, batches);
                 }
                 StreamEvent::Restarted => parts.clear(),
                 StreamEvent::Finished(metrics) => self.finished = Some(*metrics),
-                StreamEvent::Failed(error) => return Err(QuokkaError::Internal(error)),
+                StreamEvent::Failed(error) => return Err(error),
             }
         }
     }

@@ -28,6 +28,7 @@ use quokka_batch::Batch;
 use quokka_common::config::{EngineConfig, ExecutionMode, FaultStrategy, SchedulePolicy};
 use quokka_common::ids::{ChannelAddr, SeqNo, StageId, TaskName, WorkerId};
 use quokka_common::metrics::MetricsRegistry;
+use quokka_common::retry::RetryPolicy;
 use quokka_common::{QuokkaError, Result};
 use quokka_gcs::tables::{
     ChannelState, LineageRecord, LineageSource, PartitionEntry, ReplayRequest, TaskCommit,
@@ -38,7 +39,7 @@ use quokka_net::DataPlane;
 use quokka_plan::physical::StageOperator;
 use quokka_storage::{CostModel, DurableObjectStore, LocalBackupStore};
 use std::collections::{BTreeMap, HashSet};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -65,6 +66,21 @@ pub struct Services {
     /// coordinator wind the query down at their next poll.
     pub cancelled: Arc<std::sync::atomic::AtomicBool>,
     pub cost: CostModel,
+    /// Per-worker liveness counters bumped by every stage thread on every
+    /// poll; the coordinator's failure detector suspects a worker whose
+    /// counter stops moving for longer than the suspicion timeout.
+    pub heartbeats: Vec<AtomicU64>,
+    /// Chaos injection: while set, the worker's heartbeats are swallowed,
+    /// simulating a network partition between a healthy worker and the
+    /// coordinator (suspicion without death).
+    pub heartbeat_suppressed: Vec<AtomicBool>,
+    /// Workers the failure detector currently suspects. Suspects are
+    /// avoided when placing reconciled channels but are *not* killed.
+    pub suspected: Vec<AtomicBool>,
+    /// Chaos injection: number of upcoming tasks on this worker to slow
+    /// down, and the extra delay (µs) each one sleeps before executing.
+    pub straggler_tasks: Vec<AtomicU32>,
+    pub straggler_micros: Vec<AtomicU64>,
 }
 
 impl Services {
@@ -103,6 +119,61 @@ impl Services {
     /// Whether the consuming result stream has been dropped.
     pub fn is_cancelled(&self) -> bool {
         self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Record one liveness beat for `worker` (dropped while suppressed).
+    pub fn heartbeat(&self, worker: WorkerId) {
+        if !self.heartbeat_suppressed[worker as usize].load(Ordering::Relaxed) {
+            self.heartbeats[worker as usize].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    pub fn heartbeat_count(&self, worker: WorkerId) -> u64 {
+        self.heartbeats[worker as usize].load(Ordering::Relaxed)
+    }
+
+    pub fn suppress_heartbeats(&self, worker: WorkerId, suppressed: bool) {
+        self.heartbeat_suppressed[worker as usize].store(suppressed, Ordering::SeqCst);
+    }
+
+    pub fn set_suspected(&self, worker: WorkerId, suspected: bool) {
+        self.suspected[worker as usize].store(suspected, Ordering::SeqCst);
+    }
+
+    pub fn is_suspected(&self, worker: WorkerId) -> bool {
+        self.suspected[worker as usize].load(Ordering::SeqCst)
+    }
+
+    /// Workers eligible to receive reconciled channels: live and not
+    /// currently under suspicion. Falls back to every live worker if the
+    /// detector suspects all of them.
+    pub fn placement_pool(&self) -> Vec<WorkerId> {
+        let live = self.live_workers();
+        let trusted: Vec<WorkerId> =
+            live.iter().copied().filter(|&w| !self.is_suspected(w)).collect();
+        if trusted.is_empty() {
+            live
+        } else {
+            trusted
+        }
+    }
+
+    /// Chaos injection: make the next `tasks` tasks on `worker` sleep an
+    /// extra `delay` before executing.
+    pub fn set_straggler(&self, worker: WorkerId, tasks: u32, delay: Duration) {
+        self.straggler_micros[worker as usize].store(delay.as_micros() as u64, Ordering::SeqCst);
+        self.straggler_tasks[worker as usize].fetch_add(tasks, Ordering::SeqCst);
+    }
+
+    /// Consume one straggler-task token for `worker`, returning the delay to
+    /// apply, if any.
+    pub fn take_straggler_delay(&self, worker: WorkerId) -> Option<Duration> {
+        self.straggler_tasks[worker as usize]
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .ok()
+            .map(|_| {
+                Duration::from_micros(self.straggler_micros[worker as usize].load(Ordering::SeqCst))
+            })
     }
 
     /// Emit one committed sink partition to the result stream. A send
@@ -163,9 +234,24 @@ impl StageWorker {
     /// outright when several engines share a core.
     pub fn run(mut self) {
         let poll = self.services.config.cluster.poll_interval;
-        let max_idle_sleep = Duration::from_millis(5).max(poll);
-        let mut idle_sleep = poll;
+        // Idle backoff shares the configured retry policy's shape but polls
+        // from `poll_interval` up to ~5ms; jitter decorrelates the stage
+        // threads so they do not thunder against the GCS in lockstep.
+        let idle_policy = RetryPolicy {
+            base_delay: poll,
+            max_delay: Duration::from_millis(5).max(poll),
+            ..self.services.config.retry
+        };
+        let idle_seed = self
+            .services
+            .config
+            .seed
+            .wrapping_add(self.worker as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.stage as u64);
+        let mut idle = idle_policy.backoff_unbounded(idle_seed);
         loop {
+            self.services.heartbeat(self.worker);
             if self.services.is_killed(self.worker) {
                 return;
             }
@@ -203,16 +289,22 @@ impl StageWorker {
                 }
             }
             if !progressed {
-                std::thread::sleep(idle_sleep);
-                idle_sleep = (idle_sleep * 2).min(max_idle_sleep);
+                idle.sleep();
             } else {
-                idle_sleep = poll;
+                idle.reset();
             }
         }
     }
 
     /// Serve replay requests addressed to this worker (recovery): re-push a
     /// backed-up (or spooled) slice to the consumer's current worker.
+    ///
+    /// Failure handling is typed, not best-effort: an unreadable slice is
+    /// reported to the coordinator as a lost partition (it rewinds the
+    /// producer for a deeper lineage replay), a retryable push failure
+    /// re-queues the request against a bounded attempt budget, and a fatal
+    /// push error — or an exhausted budget — fails the query instead of
+    /// re-queueing forever.
     fn handle_replays(&mut self) -> bool {
         let services = &self.services;
         let requests = services.gcs.replays_for_worker(self.worker);
@@ -228,13 +320,22 @@ impl StageWorker {
                 .or_else(|_| {
                     services.durable.get(&Services::spool_key(request.partition, request.consumer))
                 });
-            let Ok(payload) = payload else {
-                // The slice is genuinely gone; the coordinator will have
-                // scheduled a rewind of the producer in that case.
-                continue;
+            let batches = match payload.and_then(|p| decode_partition(&p)) {
+                Ok(batches) => batches,
+                Err(_) => {
+                    // The slice is gone (e.g. a chaos-wiped backup store).
+                    // Flag it so the coordinator rewinds the producer and
+                    // regenerates it from lineage.
+                    services.gcs.mark_partition_lost(request.partition);
+                    continue;
+                }
             };
-            let Ok(batches) = decode_partition(&payload) else { continue };
             let Some(consumer_state) = services.gcs.get_channel(request.consumer) else { continue };
+            if consumer_state.done {
+                // The consumer finished while the request was queued; the
+                // slice is no longer needed (and its worker may be dead).
+                continue;
+            }
             let pushed = services.plane.push(
                 self.worker,
                 consumer_state.worker,
@@ -242,11 +343,39 @@ impl StageWorker {
                 request.partition,
                 batches,
             );
-            if pushed.is_err() {
-                // Destination failed mid-recovery; put the request back.
-                services.gcs.add_replay(&request);
-            } else {
-                progressed = true;
+            match pushed {
+                Ok(()) => progressed = true,
+                Err(e) if e.is_retryable() => {
+                    // Re-queue, charging the bounded attempt budget — unless
+                    // the failure is one the coordinator is already
+                    // repairing (barrier raised, or the destination worker
+                    // killed and about to be reconciled away).
+                    let repair_pending =
+                        services.gcs.is_paused() || services.is_killed(consumer_state.worker);
+                    let attempts = request.attempts + u32::from(!repair_pending);
+                    if attempts > services.config.retry.max_attempts {
+                        services.gcs.set_query_error(
+                            &QuokkaError::RetriesExhausted {
+                                operation: format!("replay of {}", request.partition),
+                                attempts,
+                                last: Box::new(e),
+                            }
+                            .to_string(),
+                        );
+                        return progressed;
+                    }
+                    services.gcs.add_replay(&ReplayRequest { attempts, ..request });
+                    services.metrics.add_replay_requeue();
+                }
+                Err(e) => {
+                    // A non-retryable destination failure: give up loudly
+                    // instead of spinning on the request.
+                    services.gcs.set_query_error(&format!(
+                        "replay of {} to {} failed fatally: {e}",
+                        request.partition, request.consumer
+                    ));
+                    return progressed;
+                }
             }
         }
         progressed
@@ -271,8 +400,19 @@ impl StageWorker {
             }
         }
 
-        let Some(task) = services.gcs.get_task(addr) else { return Ok(false) };
+        let Some(task) = services.gcs.get_task(addr) else {
+            if std::env::var_os("QUOKKA_TRACE").is_some() && state.rewind_until.is_some() {
+                eprintln!("[trace] {} rewinding but has no task entry", addr);
+            }
+            return Ok(false);
+        };
         if task.worker != self.worker {
+            if std::env::var_os("QUOKKA_TRACE").is_some() && state.rewind_until.is_some() {
+                eprintln!(
+                    "[trace] {} rewinding on worker {} but task {} points at worker {}",
+                    addr, self.worker, task.task, task.worker
+                );
+            }
             return Ok(false);
         }
         let seq = task.task.seq;
@@ -313,6 +453,11 @@ impl StageWorker {
         };
 
         // ----- execute the operator ---------------------------------------
+        // Chaos injection: a straggling worker sleeps before each of its
+        // next few tasks, exercising the schedulers' tolerance to skew.
+        if let Some(delay) = services.take_straggler_delay(self.worker) {
+            std::thread::sleep(delay);
+        }
         let rt = self.channels.get_mut(&addr).expect("runtime inserted above");
         let mut outputs: Vec<Batch> = Vec::new();
         let lineage_source = match &inputs {
@@ -471,6 +616,7 @@ impl StageWorker {
                 bytes: partition_bytes,
             },
             channel_state: new_state.clone(),
+            prev_channel: Some(state.clone()),
             next_task,
         };
 
@@ -481,8 +627,15 @@ impl StageWorker {
         // committing until it succeeds — giving up only when the recovery
         // coordinator has rewound or reassigned this channel (at which point
         // the local operator instance is discarded and rebuilt from the
-        // logged lineage) or this worker itself has been killed.
+        // logged lineage), this worker itself has been killed, or the push
+        // failed with a fatal (non-retryable) error. Waits between attempts
+        // back off exponentially with jitter rather than sleeping a fixed
+        // interval.
+        let mut publish_backoff = services.config.retry.backoff_unbounded(
+            services.config.seed ^ out_name.seq as u64 ^ (self.worker as u64) << 32,
+        );
         loop {
+            services.heartbeat(self.worker);
             if services.is_killed(self.worker)
                 || services.gcs.is_query_done()
                 || services.gcs.query_error().is_some()
@@ -521,31 +674,53 @@ impl StageWorker {
                     push_failed = true;
                     break;
                 };
-                if services
-                    .plane
-                    .push(
-                        self.worker,
-                        consumer_state.worker,
-                        *consumer_addr,
-                        out_name,
-                        batches.clone(),
-                    )
-                    .is_err()
-                {
-                    push_failed = true;
-                    break;
+                if consumer_state.done {
+                    // A finished consumer never takes more input. Its state
+                    // may still name a long-dead worker (recovery only
+                    // repairs unfinished channels), so pushing would fail
+                    // retryably forever — e.g. a replaying producer whose
+                    // other consumers already completed.
+                    continue;
+                }
+                match services.plane.push(
+                    self.worker,
+                    consumer_state.worker,
+                    *consumer_addr,
+                    out_name,
+                    batches.clone(),
+                ) {
+                    Ok(()) => {}
+                    Err(e) if e.is_retryable() => {
+                        push_failed = true;
+                        break;
+                    }
+                    Err(e) => {
+                        // A fatal push error cannot be repaired by the
+                        // coordinator; retrying would spin forever.
+                        self.channels.remove(&addr);
+                        return Err(e);
+                    }
                 }
             }
             if push_failed {
                 // Algorithm 1: "if push results failed ... do not commit".
-                // Wait for the coordinator to repair the destination.
-                std::thread::sleep(Duration::from_micros(500));
+                // Wait (with backoff) for the coordinator to repair the
+                // destination.
+                services.metrics.add_push_retry();
+                if std::env::var_os("QUOKKA_TRACE").is_some() {
+                    eprintln!("[trace] {} push retry for task {seq}", addr);
+                }
+                publish_backoff.sleep();
                 continue;
             }
             if services.gcs.commit_task(&commit).is_ok() {
                 break;
             }
-            std::thread::sleep(Duration::from_micros(200));
+            services.metrics.add_push_retry();
+            if std::env::var_os("QUOKKA_TRACE").is_some() {
+                eprintln!("[trace] {} commit abort for task {seq}", addr);
+            }
+            publish_backoff.sleep();
         }
         if std::env::var_os("QUOKKA_TRACE").is_some() {
             eprintln!(
@@ -658,12 +833,11 @@ impl StageWorker {
             } else {
                 None
             };
+            if std::env::var_os("QUOKKA_TRACE").is_some() {
+                eprintln!("[trace] missing-input {} for {} owner={owner:?}", name, state.addr);
+            }
             if let Some(owner) = owner {
-                services.gcs.add_replay(&ReplayRequest {
-                    owner,
-                    partition: name,
-                    consumer: state.addr,
-                });
+                services.gcs.add_replay(&ReplayRequest::new(owner, name, state.addr));
             }
         }
     }
@@ -693,7 +867,15 @@ impl StageWorker {
                     let name = upstream.task(s);
                     match server.peek(state.addr, name) {
                         Some(batches) => partitions.push((name, batches)),
-                        None => return Ok((TaskInputs::NotReady, vec![], false)),
+                        None => {
+                            if std::env::var_os("QUOKKA_TRACE").is_some() {
+                                eprintln!(
+                                    "[trace] replay {} task {seq} missing input {name}",
+                                    state.addr
+                                );
+                            }
+                            return Ok((TaskInputs::NotReady, vec![], false));
+                        }
                     }
                 }
                 let flat_index = services.layout.watermark_index(self.stage, *upstream)?;

@@ -297,6 +297,17 @@ pub struct ReplayRequest {
     pub owner: WorkerId,
     pub partition: TaskName,
     pub consumer: ChannelAddr,
+    /// Delivery attempts already charged against this request. A worker
+    /// that re-queues a failed replay increments this; once the bounded
+    /// retry budget is spent the query fails with a typed error instead of
+    /// spinning until the watchdog fires.
+    pub attempts: u32,
+}
+
+impl ReplayRequest {
+    pub fn new(owner: WorkerId, partition: TaskName, consumer: ChannelAddr) -> Self {
+        ReplayRequest { owner, partition, consumer, attempts: 0 }
+    }
 }
 
 /// Everything the Algorithm-1 commit writes in a single transaction: the
@@ -310,6 +321,13 @@ pub struct TaskCommit {
     pub lineage: LineageRecord,
     pub partition: PartitionEntry,
     pub channel_state: ChannelState,
+    /// The channel state the task's inputs were chosen from. When `Some`,
+    /// the transaction aborts unless the stored channel state still equals
+    /// it — a compare-and-swap that makes a commit racing with a concurrent
+    /// reconciliation (recovery rewinding or reassigning this channel
+    /// between the worker's ownership check and its commit) abort instead
+    /// of clobbering the coordinator's writes.
+    pub prev_channel: Option<ChannelState>,
     /// The next task to enqueue for this channel, or `None` if the channel
     /// is done.
     pub next_task: Option<TaskEntry>,
@@ -530,9 +548,11 @@ impl Gcs {
 
     // -- replay requests ------------------------------------------------------
 
-    /// Enqueue a replay request (recovery coordinator → owner worker).
+    /// Enqueue a replay request (recovery coordinator → owner worker). The
+    /// attempt count lives in the *value* so a re-queue of the same request
+    /// (same key) overwrites rather than duplicates.
     pub fn add_replay(&self, request: &ReplayRequest) {
-        self.kv.put(replay_key(request), Bytes::from_static(b"1"));
+        self.kv.put(replay_key(request), Bytes::from(request.attempts.to_string()));
     }
 
     /// Replay requests assigned to `worker`.
@@ -541,7 +561,7 @@ impl Gcs {
         self.kv
             .scan_prefix(&prefix)
             .into_iter()
-            .filter_map(|(k, _)| {
+            .filter_map(|(k, v)| {
                 let rest = &k[prefix.len()..];
                 let p: Vec<&str> = rest.split('/').collect();
                 if p.len() != 5 {
@@ -555,6 +575,10 @@ impl Gcs {
                         p[2].parse().ok()?,
                     ),
                     consumer: ChannelAddr::new(p[3].parse().ok()?, p[4].parse().ok()?),
+                    attempts: std::str::from_utf8(&v)
+                        .ok()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(0),
                 })
             })
             .collect()
@@ -619,6 +643,34 @@ impl Gcs {
         self.kv.get_value("ctrl/error").map(|v| String::from_utf8_lossy(&v).into_owned())
     }
 
+    /// Flag a committed output partition whose backing bytes turned out to
+    /// be unreadable (chaos-wiped backup store, for example). The recovery
+    /// coordinator polls these and rewinds the producing channel so the
+    /// partition is regenerated from lineage.
+    pub fn mark_partition_lost(&self, partition: TaskName) {
+        self.kv.put(
+            format!(
+                "ctrl/lost/{:08}/{:08}/{:08}",
+                partition.stage, partition.channel, partition.seq
+            ),
+            Bytes::from_static(b"1"),
+        );
+    }
+
+    /// Drain and return all partitions currently flagged as lost.
+    pub fn take_lost_partitions(&self) -> Vec<TaskName> {
+        let lost: Vec<TaskName> = self
+            .kv
+            .scan_prefix("ctrl/lost/")
+            .into_iter()
+            .filter_map(|(k, _)| parse_task_from_key(&k, "ctrl/lost/").ok())
+            .collect();
+        for p in &lost {
+            self.kv.delete(&format!("ctrl/lost/{:08}/{:08}/{:08}", p.stage, p.channel, p.seq));
+        }
+        lost
+    }
+
     // -- the Algorithm-1 commit ----------------------------------------------
 
     /// Atomically commit a finished task: write its lineage, register its
@@ -641,6 +693,14 @@ impl Gcs {
                     "worker {} has been marked failed",
                     commit.worker
                 )));
+            }
+            if let Some(prev) = &commit.prev_channel {
+                let stored = txn.get(&chan_key(channel));
+                if stored.as_deref() != Some(prev.encode().as_bytes()) {
+                    return Err(QuokkaError::TransactionAborted(format!(
+                        "channel {channel} was reconciled since the task started",
+                    )));
+                }
             }
             txn.put(lineage_key(commit.lineage.task), Bytes::from(lineage_encoded.clone()));
             txn.put(part_key(commit.partition.name), Bytes::from(commit.partition.encode()));
@@ -783,12 +843,31 @@ mod tests {
         assert_eq!(gcs.get_partition(p.name).unwrap(), p);
         assert_eq!(gcs.all_partitions().len(), 1);
 
-        let r = ReplayRequest { owner: 1, partition: p.name, consumer: ChannelAddr::new(1, 2) };
+        let r = ReplayRequest::new(1, p.name, ChannelAddr::new(1, 2));
         gcs.add_replay(&r);
         assert_eq!(gcs.replays_for_worker(1), vec![r.clone()]);
         assert!(gcs.replays_for_worker(2).is_empty());
+
+        // Re-queueing the same request with a higher attempt count
+        // overwrites (same key) rather than duplicating.
+        let charged = ReplayRequest { attempts: 3, ..r.clone() };
+        gcs.add_replay(&charged);
+        assert_eq!(gcs.replays_for_worker(1), vec![charged.clone()]);
         gcs.remove_replay(&r);
         assert!(gcs.replays_for_worker(1).is_empty());
+    }
+
+    #[test]
+    fn lost_partitions_are_drained_once() {
+        let gcs = Gcs::default();
+        assert!(gcs.take_lost_partitions().is_empty());
+        gcs.mark_partition_lost(TaskName::new(0, 1, 2));
+        gcs.mark_partition_lost(TaskName::new(0, 1, 2)); // idempotent
+        gcs.mark_partition_lost(TaskName::new(3, 0, 7));
+        let mut lost = gcs.take_lost_partitions();
+        lost.sort();
+        assert_eq!(lost, vec![TaskName::new(0, 1, 2), TaskName::new(3, 0, 7)]);
+        assert!(gcs.take_lost_partitions().is_empty());
     }
 
     #[test]
@@ -832,6 +911,7 @@ mod tests {
                 bytes: 2048,
             },
             channel_state: state.clone(),
+            prev_channel: None,
             next_task: Some(TaskEntry { task: channel.task(1), worker: 0 }),
         };
         gcs.commit_task(&commit).unwrap();
@@ -840,19 +920,33 @@ mod tests {
         assert_eq!(gcs.get_task(channel).unwrap().task.seq, 1);
         assert!(gcs.get_partition(channel.task(0)).unwrap().backed_up);
 
+        // A commit carrying a stale prev-channel snapshot aborts: the
+        // channel was reconciled (here: simply advanced) since the task
+        // chose its inputs.
+        let mut stale = commit.clone();
+        stale.lineage.task = channel.task(1);
+        stale.partition.name = channel.task(1);
+        stale.prev_channel = Some(ChannelState::new(channel, 0, 1));
+        assert!(gcs.commit_task(&stale).is_err());
+        assert!(!gcs.lineage_committed(channel.task(1)));
+        // With the snapshot matching what is stored, the same commit lands.
+        stale.prev_channel = Some(state.clone());
+        gcs.commit_task(&stale).unwrap();
+        assert!(gcs.lineage_committed(channel.task(1)));
+
         // Barrier raised -> commit aborts and writes nothing.
         gcs.set_paused(true);
         let mut second = commit.clone();
-        second.lineage.task = channel.task(1);
-        second.partition.name = channel.task(1);
+        second.lineage.task = channel.task(2);
+        second.partition.name = channel.task(2);
         assert!(gcs.commit_task(&second).is_err());
-        assert!(!gcs.lineage_committed(channel.task(1)));
+        assert!(!gcs.lineage_committed(channel.task(2)));
         gcs.set_paused(false);
 
         // Worker declared failed -> commit aborts.
         gcs.mark_worker_failed(0);
         assert!(gcs.commit_task(&second).is_err());
-        assert!(!gcs.lineage_committed(channel.task(1)));
+        assert!(!gcs.lineage_committed(channel.task(2)));
     }
 
     #[test]
@@ -881,6 +975,7 @@ mod tests {
                 bytes: 10,
             },
             channel_state: state,
+            prev_channel: None,
             next_task: None,
         };
         gcs.commit_task(&commit).unwrap();

@@ -6,12 +6,31 @@ use quokka_common::ids::{ChannelAddr, PartitionName, WorkerId};
 use quokka_common::metrics::MetricsRegistry;
 use quokka_common::{QuokkaError, Result};
 use quokka_storage::CostModel;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-destination chaos injection state: the next `drops` pushes to a
+/// destination fail with a transient error, and the next `delays` pushes
+/// sleep `delay_micros` before delivering.
+#[derive(Debug, Default)]
+struct InjectedFaults {
+    drops: AtomicU32,
+    delays: AtomicU32,
+    delay_micros: AtomicU64,
+}
+
+impl InjectedFaults {
+    fn take(counter: &AtomicU32) -> bool {
+        counter.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1)).is_ok()
+    }
+}
 
 /// Registry of every worker's flight server plus the network cost model.
 #[derive(Debug)]
 pub struct DataPlane {
     servers: Vec<Arc<FlightServer>>,
+    faults: Vec<InjectedFaults>,
     cost: CostModel,
     metrics: Arc<MetricsRegistry>,
 }
@@ -21,8 +40,26 @@ impl DataPlane {
     pub fn new(workers: u32, cost: CostModel, metrics: Arc<MetricsRegistry>) -> Self {
         DataPlane {
             servers: (0..workers).map(|w| Arc::new(FlightServer::new(w))).collect(),
+            faults: (0..workers).map(|_| InjectedFaults::default()).collect(),
             cost,
             metrics,
+        }
+    }
+
+    /// Chaos injection: make the next `count` pushes towards `destination`
+    /// fail with a retryable [`QuokkaError::Transient`] error.
+    pub fn inject_drop_pushes(&self, destination: WorkerId, count: u32) {
+        if let Some(f) = self.faults.get(destination as usize) {
+            f.drops.fetch_add(count, Ordering::SeqCst);
+        }
+    }
+
+    /// Chaos injection: delay the next `count` pushes towards `destination`
+    /// by `delay` before delivering them.
+    pub fn inject_delay_pushes(&self, destination: WorkerId, count: u32, delay: Duration) {
+        if let Some(f) = self.faults.get(destination as usize) {
+            f.delay_micros.store(delay.as_micros() as u64, Ordering::SeqCst);
+            f.delays.fetch_add(count, Ordering::SeqCst);
         }
     }
 
@@ -52,6 +89,15 @@ impl DataPlane {
         let server = self.server(destination)?;
         if server.is_failed() {
             return Err(QuokkaError::WorkerFailed(destination));
+        }
+        let faults = &self.faults[destination as usize];
+        if InjectedFaults::take(&faults.delays) {
+            std::thread::sleep(Duration::from_micros(faults.delay_micros.load(Ordering::SeqCst)));
+        }
+        if InjectedFaults::take(&faults.drops) {
+            return Err(QuokkaError::Transient(format!(
+                "injected push drop towards worker {destination}"
+            )));
         }
         if source != destination {
             let bytes: u64 = batches.iter().map(|b| b.byte_size() as u64).sum();
@@ -120,6 +166,27 @@ mod tests {
         p.push(0, 1, consumer, TaskName::new(0, 0, 1), vec![batch()]).unwrap();
         let after = metrics.snapshot(std::time::Duration::ZERO).shuffle_bytes;
         assert_eq!(after, batch().byte_size() as u64);
+    }
+
+    #[test]
+    fn injected_drops_and_delays_are_consumed_then_clear() {
+        let p = plane();
+        let consumer = ChannelAddr::new(1, 0);
+        p.inject_drop_pushes(2, 2);
+        for _ in 0..2 {
+            let err = p.push(0, 2, consumer, TaskName::new(0, 0, 0), vec![batch()]);
+            assert!(matches!(err, Err(QuokkaError::Transient(_))));
+            assert!(err.unwrap_err().is_retryable());
+        }
+        // Budget consumed: pushes flow again, and other destinations were
+        // never affected.
+        p.push(0, 2, consumer, TaskName::new(0, 0, 0), vec![batch()]).unwrap();
+        p.push(0, 1, consumer, TaskName::new(0, 0, 1), vec![batch()]).unwrap();
+
+        p.inject_delay_pushes(1, 1, Duration::from_micros(50));
+        let start = std::time::Instant::now();
+        p.push(0, 1, consumer, TaskName::new(0, 0, 2), vec![batch()]).unwrap();
+        assert!(start.elapsed() >= Duration::from_micros(50));
     }
 
     #[test]

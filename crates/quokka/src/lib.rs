@@ -43,8 +43,9 @@ pub mod dataframe;
 pub use dataframe::DataFrame;
 pub use quokka_batch::{Batch, Column, DataType, ScalarValue, Schema};
 pub use quokka_common::{
-    ClusterConfig, CostModelConfig, EngineConfig, ExecutionMode, FailureSpec, FaultStrategy,
-    QueryMetrics, QuokkaError, Result, SchedulePolicy,
+    Backoff, ChaosEvent, ChaosInjection, ChaosPlan, ChaosTrigger, ClusterConfig, CostModelConfig,
+    EngineConfig, ExecutionMode, FailureSpec, FaultStrategy, QueryMetrics, QuokkaError, Result,
+    RetryPolicy, SchedulePolicy,
 };
 pub use quokka_engine::{BatchStream, QueryOutcome, QueryRunner};
 pub use quokka_plan::logical::{JoinType, LogicalPlan, PlanBuilder};

@@ -114,6 +114,14 @@ impl LocalBackupStore {
         self.slices.write().clear();
     }
 
+    /// Chaos injection: silently wipe every backed-up slice while the worker
+    /// itself stays alive. Subsequent replay reads hit `NotFound`, forcing
+    /// the lost-partition repair path (deeper lineage replay) instead of a
+    /// simple backup re-push.
+    pub fn lose_contents(&self) {
+        self.slices.write().clear();
+    }
+
     /// Whether the worker holding this store has been killed.
     pub fn is_failed(&self) -> bool {
         self.failed.load(Ordering::SeqCst)
@@ -170,6 +178,22 @@ mod tests {
             Err(QuokkaError::WorkerFailed(0))
         ));
         assert!(s.slices_of(part).is_empty());
+    }
+
+    #[test]
+    fn losing_contents_keeps_the_store_alive() {
+        let s = store();
+        let part = TaskName::new(0, 1, 2);
+        let consumer = ChannelAddr::new(1, 0);
+        s.put(part, consumer, Bytes::from_static(b"abc")).unwrap();
+        s.lose_contents();
+        assert!(!s.is_failed());
+        assert!(s.is_empty());
+        // Reads fail with NotFound (retry/repair), not WorkerFailed.
+        assert!(matches!(s.get(part, consumer), Err(QuokkaError::NotFound(_))));
+        // The store still accepts new writes.
+        s.put(part, consumer, Bytes::from_static(b"xyz")).unwrap();
+        assert_eq!(s.get(part, consumer).unwrap(), Bytes::from_static(b"xyz"));
     }
 
     #[test]

@@ -1,0 +1,46 @@
+//! Integration test: the `QUOKKA_WATCHDOG_SECS` override path.
+//!
+//! Environment variables are process-global, so every scenario lives in one
+//! test function (and this file is its own test binary): set → run →
+//! restore, with no other test racing the variable.
+
+use quokka::{EngineConfig, QuokkaError, QuokkaSession};
+use std::time::Duration;
+
+const VAR: &str = "QUOKKA_WATCHDOG_SECS";
+
+#[test]
+fn watchdog_env_override_is_validated_loudly_and_reported() {
+    let session = QuokkaSession::tpch(0.002, 2).expect("generate TPC-H data");
+    let plan = quokka::tpch::query(6).unwrap();
+    let config = EngineConfig::quokka(2);
+
+    // A malformed override used to be swallowed by `.ok()` and silently
+    // fall back to the default; now the query refuses to start.
+    std::env::set_var(VAR, "five");
+    match session.run_with(&plan, &config) {
+        Err(QuokkaError::Config(message)) => {
+            assert!(message.contains(VAR), "error must name the variable: {message}");
+            assert!(message.contains("five"), "error must echo the bad value: {message}");
+        }
+        Err(other) => panic!("expected a Config error for a malformed {VAR}, got: {other}"),
+        Ok(_) => panic!("a malformed {VAR} must abort the query before it starts"),
+    }
+
+    // Zero would disable the stall detector entirely — also rejected.
+    std::env::set_var(VAR, "0");
+    assert!(
+        matches!(session.run_with(&plan, &config), Err(QuokkaError::Config(_))),
+        "{VAR}=0 must be rejected"
+    );
+
+    // A valid override takes effect and is visible in the run's metrics.
+    std::env::set_var(VAR, "99");
+    let outcome = session.run_with(&plan, &config).expect("valid override");
+    assert_eq!(outcome.metrics.effective_watchdog, Duration::from_secs(99));
+
+    // Without the variable the builder/default value is used and reported.
+    std::env::remove_var(VAR);
+    let outcome = session.run_with(&plan, &config).expect("no override");
+    assert_eq!(outcome.metrics.effective_watchdog, config.watchdog);
+}
