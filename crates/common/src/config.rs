@@ -236,6 +236,79 @@ impl FailureSpec {
     }
 }
 
+/// Admission control for concurrent serving: how many queries may execute
+/// at once, how many may wait, and how much memory the admitted set may
+/// claim. The controller enforcing this lives in `quokka-engine`; a session
+/// shares one controller across all of its clones, so the limits are
+/// per-serving-process, not per-query.
+///
+/// The state machine per query is: **admit** (slots and memory available,
+/// nobody queued ahead) → run; **queue** (FIFO, bounded by `max_queued`) →
+/// admit when capacity frees up; **reject** (queue full) with a typed
+/// [`QuokkaError::Overloaded`](crate::QuokkaError) — overload
+/// degrades into fast, explicit rejection instead of unbounded queueing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionConfig {
+    /// Maximum queries executing concurrently; `None` = unlimited (the
+    /// default — admission becomes a no-op).
+    pub max_concurrent: Option<u32>,
+    /// Maximum queries waiting for admission once `max_concurrent` is
+    /// saturated. An arrival finding the queue full is rejected.
+    pub max_queued: u32,
+    /// Total memory budget (bytes) across all admitted queries, compared
+    /// against per-query estimates derived from catalog statistics; `None`
+    /// = unlimited. A query whose estimate alone exceeds the budget is
+    /// still admitted when nothing else runs (work-conserving), so a big
+    /// query degrades to serial execution instead of starving forever.
+    pub memory_budget_bytes: Option<u64>,
+}
+
+impl AdmissionConfig {
+    /// No limits: every query is admitted immediately.
+    pub const fn unlimited() -> Self {
+        AdmissionConfig { max_concurrent: None, max_queued: 16, memory_budget_bytes: None }
+    }
+
+    /// Bound concurrent execution at `max_concurrent` with a wait queue of
+    /// `max_queued`.
+    pub const fn bounded(max_concurrent: u32, max_queued: u32) -> Self {
+        AdmissionConfig {
+            max_concurrent: Some(max_concurrent),
+            max_queued,
+            memory_budget_bytes: None,
+        }
+    }
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+/// Plan-cache sizing. The cache itself lives in the `quokka` facade (it
+/// keys on normalized SQL text); this only configures it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanCacheConfig {
+    /// Whether `QuokkaSession::sql` consults the cache at all.
+    pub enabled: bool,
+    /// Maximum number of cached statement templates (LRU-evicted). Each
+    /// template additionally holds a small bounded set of literal variants.
+    pub capacity: usize,
+}
+
+impl PlanCacheConfig {
+    pub const fn disabled() -> Self {
+        PlanCacheConfig { enabled: false, capacity: 0 }
+    }
+}
+
+impl Default for PlanCacheConfig {
+    fn default() -> Self {
+        PlanCacheConfig { enabled: true, capacity: 64 }
+    }
+}
+
 /// Top-level engine configuration: one value of this type fully describes a
 /// run of one query.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -274,6 +347,11 @@ pub struct EngineConfig {
     /// written, e.g. for optimized-vs-naive parity and shuffle-volume
     /// comparisons).
     pub optimize: bool,
+    /// Admission control limits for concurrent serving (unlimited by
+    /// default, so single-query workloads are unaffected).
+    pub admission: AdmissionConfig,
+    /// Plan-cache sizing for `QuokkaSession::sql` (enabled by default).
+    pub plan_cache: PlanCacheConfig,
 }
 
 impl EngineConfig {
@@ -294,6 +372,8 @@ impl EngineConfig {
             batch_rows: 8192,
             seed: 0x5eed,
             optimize: true,
+            admission: AdmissionConfig::default(),
+            plan_cache: PlanCacheConfig::default(),
         }
     }
 
@@ -374,6 +454,28 @@ impl EngineConfig {
     pub fn with_suspicion_timeout(mut self, timeout: Duration) -> Self {
         self.cluster.suspicion_timeout = timeout;
         self
+    }
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = admission;
+        self
+    }
+    pub fn with_plan_cache(mut self, plan_cache: PlanCacheConfig) -> Self {
+        self.plan_cache = plan_cache;
+        self
+    }
+
+    /// Fingerprint of the configuration fields that influence how a SQL
+    /// statement is *planned* (as opposed to how the plan is executed).
+    /// Two configurations with equal fingerprints produce identical lowered
+    /// logical plans for the same statement and catalog, so a plan cached
+    /// under one may be reused under the other. Today the only such field
+    /// is [`optimize`](EngineConfig::optimize): everything else (cluster
+    /// shape, fault strategy, chaos, cost model) affects stage layout and
+    /// runtime behaviour, which are derived per-execution from the logical
+    /// plan. Catalog contents are covered separately by the catalog
+    /// generation in the cache key.
+    pub fn planning_fingerprint(&self) -> u64 {
+        self.optimize as u64
     }
 
     /// Apply environment overrides, rejecting malformed values loudly.
@@ -494,6 +596,31 @@ mod tests {
         assert_eq!(d.query_timeout, None);
         assert_eq!(d.watchdog, Duration::from_secs(120));
         assert!(d.chaos.is_empty());
+    }
+
+    #[test]
+    fn serving_config_defaults_and_builders() {
+        let d = EngineConfig::quokka(4);
+        assert_eq!(d.admission, AdmissionConfig::unlimited());
+        assert!(d.plan_cache.enabled);
+        assert!(d.plan_cache.capacity > 0);
+
+        let cfg = EngineConfig::quokka(4)
+            .with_admission(AdmissionConfig::bounded(2, 8))
+            .with_plan_cache(PlanCacheConfig::disabled());
+        assert_eq!(cfg.admission.max_concurrent, Some(2));
+        assert_eq!(cfg.admission.max_queued, 8);
+        assert!(!cfg.plan_cache.enabled);
+
+        // The planning fingerprint tracks exactly the fields that change
+        // the lowered logical plan: `optimize` today, nothing else.
+        let base = EngineConfig::quokka(4);
+        assert_eq!(base.planning_fingerprint(), base.clone().with_seed(9).planning_fingerprint());
+        assert_eq!(base.planning_fingerprint(), EngineConfig::trinolike(16).planning_fingerprint());
+        assert_ne!(
+            base.planning_fingerprint(),
+            base.clone().with_optimize(false).planning_fingerprint()
+        );
     }
 
     #[test]

@@ -33,6 +33,19 @@ pub enum QuokkaError {
     Cancelled(String),
     /// The query exceeded its configured deadline (`EngineConfig::query_timeout`).
     Timeout { elapsed: Duration, limit: Duration },
+    /// Admission control rejected the query: the concurrent-admission limit
+    /// is saturated and the bounded wait queue is full. This is the typed
+    /// "shed load" signal — the engine refuses up front instead of queueing
+    /// unboundedly or timing out under overload. Clients may retry later;
+    /// the engine's own retry loops must not.
+    Overloaded {
+        /// Queries executing when this one was rejected.
+        running: u32,
+        /// Queries already waiting for admission.
+        queued: u32,
+        /// The configured bound on the wait queue.
+        queue_limit: u32,
+    },
     /// A transient transport fault (e.g. a chaos-injected dropped push).
     /// Always worth retrying.
     Transient(String),
@@ -68,6 +81,13 @@ impl fmt::Display for QuokkaError {
             QuokkaError::Cancelled(msg) => write!(f, "cancelled: {msg}"),
             QuokkaError::Timeout { elapsed, limit } => {
                 write!(f, "query deadline exceeded: ran {elapsed:?}, limit {limit:?}")
+            }
+            QuokkaError::Overloaded { running, queued, queue_limit } => {
+                write!(
+                    f,
+                    "overloaded: {running} queries running and {queued} queued \
+                     (queue limit {queue_limit}); retry later"
+                )
             }
             QuokkaError::Transient(msg) => write!(f, "transient fault: {msg}"),
             QuokkaError::RetriesExhausted { operation, attempts, last } => {
@@ -119,8 +139,10 @@ impl QuokkaError {
     }
 
     /// True if retrying cannot help: plan/type/config errors, invariant
-    /// violations, exhausted retry budgets, cancellation and deadline
-    /// expiry. The complement of [`QuokkaError::is_retryable`].
+    /// violations, exhausted retry budgets, cancellation, deadline expiry
+    /// and admission rejection (overload is the *client's* signal to back
+    /// off — the engine retrying internally would amplify the overload).
+    /// The complement of [`QuokkaError::is_retryable`].
     pub fn is_fatal(&self) -> bool {
         !self.is_retryable()
     }
@@ -160,9 +182,11 @@ mod tests {
             attempts: 8,
             last: Box::new(QuokkaError::WorkerFailed(1)),
         };
+        let overloaded = QuokkaError::Overloaded { running: 4, queued: 8, queue_limit: 8 };
         for e in [
             timeout.clone(),
             exhausted.clone(),
+            overloaded.clone(),
             QuokkaError::Config("QUOKKA_WATCHDOG_SECS=abc".into()),
             QuokkaError::Cancelled("dropped".into()),
             QuokkaError::WorkerFailed(0),
@@ -172,7 +196,9 @@ mod tests {
         }
         assert!(timeout.is_fatal());
         assert!(exhausted.is_fatal());
+        assert!(overloaded.is_fatal(), "overload must surface to the client, not be retried");
         assert!(timeout.to_string().contains("deadline"));
         assert!(exhausted.to_string().contains("8 attempts"));
+        assert!(overloaded.to_string().contains("queue limit 8"));
     }
 }

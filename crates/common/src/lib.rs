@@ -34,8 +34,8 @@ pub mod rng;
 
 pub use chaos::{ChaosEvent, ChaosInjection, ChaosPlan, ChaosTrigger};
 pub use config::{
-    ClusterConfig, CostModelConfig, EngineConfig, ExecutionMode, FailureSpec, FaultStrategy,
-    SchedulePolicy,
+    AdmissionConfig, ClusterConfig, CostModelConfig, EngineConfig, ExecutionMode, FailureSpec,
+    FaultStrategy, PlanCacheConfig, SchedulePolicy,
 };
 pub use error::{QuokkaError, Result};
 pub use ids::{ChannelAddr, ChannelId, PartitionName, SeqNo, StageId, TaskName, WorkerId};

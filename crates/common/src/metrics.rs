@@ -85,6 +85,17 @@ pub struct QueryMetrics {
     pub effective_watchdog: Duration,
     /// The failure detector's effective suspicion timeout.
     pub effective_suspicion_timeout: Duration,
+    /// Whether this execution reused a cached plan (parse, bind,
+    /// decorrelation and optimization were all skipped). Stamped by the
+    /// facade's plan cache; always `false` for non-SQL frontends.
+    pub plan_cache_hit: bool,
+    /// Time this query spent waiting in the admission queue before it was
+    /// allowed to execute (zero when admission is unlimited or the query
+    /// was admitted immediately).
+    pub admission_wait: Duration,
+    /// The memory estimate (from catalog statistics) this query was
+    /// admitted under; zero when admission control is unlimited.
+    pub admitted_memory_bytes: u64,
 }
 
 impl QueryMetrics {
@@ -282,10 +293,14 @@ impl MetricsRegistry {
                 0 => None,
                 nanos => Some(Duration::from_nanos(nanos)),
             },
-            // Effective settings are configuration, not counters; the
-            // runtime stamps them onto the snapshot after the run.
+            // Effective settings and serving provenance are configuration,
+            // not counters; the runtime stamps them onto the snapshot after
+            // the run.
             effective_watchdog: Duration::ZERO,
             effective_suspicion_timeout: Duration::ZERO,
+            plan_cache_hit: false,
+            admission_wait: Duration::ZERO,
+            admitted_memory_bytes: 0,
         }
     }
 }

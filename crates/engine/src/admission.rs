@@ -1,0 +1,336 @@
+//! Admission control: bounded concurrency, bounded queueing, and memory
+//! budgeting for concurrent serving.
+//!
+//! One [`AdmissionController`] guards one serving process (a
+//! `QuokkaSession` and all its clones share one). Each query asks for
+//! admission *after* planning but *before* any cluster state is built, with
+//! a memory estimate derived from catalog statistics
+//! ([`estimate_query_memory`]). The controller's state machine per query:
+//!
+//! ```text
+//!            capacity free & queue empty
+//!   arrive ─────────────────────────────▶ admitted ──▶ run ──▶ release
+//!      │                                      ▲
+//!      │ capacity busy, queue has room        │ FIFO, as capacity frees
+//!      ├─────────────────────────────▶ queued ┘
+//!      │ queue full
+//!      └─────────────────────────────▶ rejected (typed `Overloaded`)
+//! ```
+//!
+//! Admission is *fair*: waiters are granted strictly in arrival order (a
+//! newcomer can never overtake the queue, even when capacity happens to be
+//! free — it would starve the head). Release happens through an RAII
+//! [`AdmissionPermit`] owned by the query's supervisor thread, so every
+//! exit path — completion, failure, cancellation, chaos-induced restart —
+//! frees the slot; a worker kill can strand neither the slot nor the queue
+//! behind it.
+//!
+//! The memory rule is work-conserving: a query whose estimate exceeds the
+//! whole budget is still admitted when nothing else runs, so oversized
+//! queries degrade to serial execution instead of waiting forever.
+
+use quokka_common::config::AdmissionConfig;
+use quokka_common::{QuokkaError, Result};
+use quokka_plan::catalog::Catalog;
+use quokka_plan::logical::LogicalPlan;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Estimate the memory a query needs, from catalog statistics: the sum of
+/// the footprints of every base table it scans. This is the dominant term
+/// for the engine's hash-heavy operators (build tables and aggregation
+/// state are bounded by their inputs) and is cheap to compute — no data is
+/// touched, only per-table byte counts.
+pub fn estimate_query_memory(plan: &LogicalPlan, catalog: &dyn Catalog) -> u64 {
+    plan.referenced_tables().iter().map(|table| catalog.table_bytes(table).unwrap_or(0)).sum()
+}
+
+/// Aggregate counters describing a controller's history, for benchmarks and
+/// tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Queries admitted (immediately or after queueing).
+    pub admitted: u64,
+    /// Queries rejected with [`QuokkaError::Overloaded`].
+    pub rejected: u64,
+    /// Queries that had to wait in the queue before admission.
+    pub queued: u64,
+    /// Highest number of concurrently running queries observed.
+    pub peak_running: u64,
+    /// Highest queue depth observed.
+    pub peak_queued: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    running: u32,
+    memory_in_use: u64,
+    /// Tickets of queries waiting for admission, in arrival order.
+    queue: VecDeque<u64>,
+    next_ticket: u64,
+}
+
+/// See the [module documentation](self).
+#[derive(Debug)]
+pub struct AdmissionController {
+    config: AdmissionConfig,
+    state: Mutex<State>,
+    capacity_freed: Condvar,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    queued: AtomicU64,
+    peak_running: AtomicU64,
+    peak_queued: AtomicU64,
+}
+
+impl AdmissionController {
+    pub fn new(config: AdmissionConfig) -> Arc<Self> {
+        Arc::new(AdmissionController {
+            config,
+            state: Mutex::new(State::default()),
+            capacity_freed: Condvar::new(),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            peak_running: AtomicU64::new(0),
+            peak_queued: AtomicU64::new(0),
+        })
+    }
+
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// Whether `state` has room for one more query of size `estimate`.
+    fn admissible(&self, state: &State, estimate: u64) -> bool {
+        if let Some(max) = self.config.max_concurrent {
+            if state.running >= max {
+                return false;
+            }
+        }
+        if let Some(budget) = self.config.memory_budget_bytes {
+            // Work-conserving: an empty cluster always admits, however big
+            // the query; otherwise the estimate must fit the budget.
+            if state.running > 0 && state.memory_in_use.saturating_add(estimate) > budget {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn admit_locked(self: &Arc<Self>, state: &mut State, estimate: u64) -> AdmissionPermit {
+        state.running += 1;
+        state.memory_in_use = state.memory_in_use.saturating_add(estimate);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.peak_running.fetch_max(state.running as u64, Ordering::Relaxed);
+        AdmissionPermit {
+            controller: Arc::clone(self),
+            estimate,
+            wait: Duration::ZERO,
+            queued_behind: 0,
+        }
+    }
+
+    /// Request admission for a query estimated at `estimate` bytes. Returns
+    /// immediately when capacity is free and nobody is queued; blocks (in
+    /// FIFO order) while the bounded queue has room; fails with a typed
+    /// [`QuokkaError::Overloaded`] when it does not. The returned permit
+    /// releases the slot on drop.
+    pub fn acquire(self: &Arc<Self>, estimate: u64) -> Result<AdmissionPermit> {
+        let mut state = self.state.lock().expect("admission state poisoned");
+        // Fast path — but only past an empty queue, or FIFO would break.
+        if state.queue.is_empty() && self.admissible(&state, estimate) {
+            return Ok(self.admit_locked(&mut state, estimate));
+        }
+        if state.queue.len() as u32 >= self.config.max_queued {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(QuokkaError::Overloaded {
+                running: state.running,
+                queued: state.queue.len() as u32,
+                queue_limit: self.config.max_queued,
+            });
+        }
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.queue.push_back(ticket);
+        let queued_behind = state.queue.len() as u64 - 1;
+        self.queued.fetch_add(1, Ordering::Relaxed);
+        self.peak_queued.fetch_max(state.queue.len() as u64, Ordering::Relaxed);
+        let waiting_since = Instant::now();
+        loop {
+            state = self.capacity_freed.wait(state).expect("admission state poisoned");
+            if state.queue.front() == Some(&ticket) && self.admissible(&state, estimate) {
+                state.queue.pop_front();
+                let mut permit = self.admit_locked(&mut state, estimate);
+                permit.wait = waiting_since.elapsed();
+                permit.queued_behind = queued_behind;
+                // The next waiter may also be admissible (several slots can
+                // free at once); wake the pack so the new head re-checks.
+                self.capacity_freed.notify_all();
+                return Ok(permit);
+            }
+        }
+    }
+
+    fn release(&self, estimate: u64) {
+        let mut state = self.state.lock().expect("admission state poisoned");
+        state.running = state.running.saturating_sub(1);
+        state.memory_in_use = state.memory_in_use.saturating_sub(estimate);
+        drop(state);
+        self.capacity_freed.notify_all();
+    }
+
+    /// Queries currently executing.
+    pub fn running(&self) -> u32 {
+        self.state.lock().expect("admission state poisoned").running
+    }
+
+    /// Queries currently waiting for admission.
+    pub fn queue_depth(&self) -> u32 {
+        self.state.lock().expect("admission state poisoned").queue.len() as u32
+    }
+
+    /// Estimated memory currently admitted.
+    pub fn memory_in_use(&self) -> u64 {
+        self.state.lock().expect("admission state poisoned").memory_in_use
+    }
+
+    pub fn stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            queued: self.queued.load(Ordering::Relaxed),
+            peak_running: self.peak_running.load(Ordering::Relaxed),
+            peak_queued: self.peak_queued.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// RAII admission slot: held by a running query's supervisor for the whole
+/// execution (including restarts of the same query) and released on drop.
+#[derive(Debug)]
+pub struct AdmissionPermit {
+    controller: Arc<AdmissionController>,
+    estimate: u64,
+    wait: Duration,
+    queued_behind: u64,
+}
+
+impl AdmissionPermit {
+    /// How long this query waited in the admission queue.
+    pub fn wait(&self) -> Duration {
+        self.wait
+    }
+
+    /// The memory estimate the query was admitted under.
+    pub fn estimate(&self) -> u64 {
+        self.estimate
+    }
+
+    /// How many queries were queued ahead of this one at arrival.
+    pub fn queued_behind(&self) -> u64 {
+        self.queued_behind
+    }
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.controller.release(self.estimate);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn unlimited_config_admits_everything_immediately() {
+        let ctl = AdmissionController::new(AdmissionConfig::unlimited());
+        let permits: Vec<_> = (0..32).map(|_| ctl.acquire(1 << 30).unwrap()).collect();
+        assert_eq!(ctl.running(), 32);
+        assert_eq!(ctl.stats().rejected, 0);
+        drop(permits);
+        assert_eq!(ctl.running(), 0);
+        assert_eq!(ctl.memory_in_use(), 0);
+    }
+
+    #[test]
+    fn queue_overflow_is_a_typed_overloaded_error() {
+        let ctl = AdmissionController::new(AdmissionConfig::bounded(1, 0));
+        let held = ctl.acquire(0).unwrap();
+        let err = ctl.acquire(0).unwrap_err();
+        assert!(
+            matches!(err, QuokkaError::Overloaded { running: 1, queued: 0, queue_limit: 0 }),
+            "{err}"
+        );
+        assert_eq!(ctl.stats().rejected, 1);
+        drop(held);
+        // Capacity freed: the next arrival is admitted again.
+        let _ok = ctl.acquire(0).unwrap();
+    }
+
+    #[test]
+    fn waiters_are_granted_in_fifo_order() {
+        let ctl = AdmissionController::new(AdmissionConfig::bounded(1, 8));
+        let head = ctl.acquire(0).unwrap();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            // Serialize enqueueing so arrival order is exactly 0,1,2,3.
+            let ctl2 = Arc::clone(&ctl);
+            let order2 = Arc::clone(&order);
+            handles.push(std::thread::spawn(move || {
+                let permit = ctl2.acquire(0).unwrap();
+                order2.lock().unwrap().push(i);
+                assert!(permit.wait() > Duration::ZERO);
+                drop(permit);
+            }));
+            while ctl.queue_depth() != i + 1 {
+                std::thread::yield_now();
+            }
+        }
+        drop(head);
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3], "admission must be FIFO");
+        assert_eq!(ctl.stats().peak_running, 1, "the limit was 1 throughout");
+        assert_eq!(ctl.stats().queued, 4);
+    }
+
+    #[test]
+    fn memory_budget_serializes_heavy_queries_but_never_starves() {
+        let ctl = AdmissionController::new(AdmissionConfig {
+            max_concurrent: None,
+            max_queued: 8,
+            memory_budget_bytes: Some(100),
+        });
+        // An oversized query on an idle controller is admitted anyway.
+        let huge = ctl.acquire(1000).unwrap();
+        assert_eq!(ctl.running(), 1);
+        // While it runs, even a tiny query must wait (budget exhausted).
+        let ctl2 = Arc::clone(&ctl);
+        let concurrent_seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = Arc::clone(&concurrent_seen);
+        let waiter = std::thread::spawn(move || {
+            let permit = ctl2.acquire(10).unwrap();
+            seen2.store(ctl2.running() as usize, Ordering::SeqCst);
+            drop(permit);
+        });
+        while ctl.queue_depth() != 1 {
+            std::thread::yield_now();
+        }
+        drop(huge);
+        waiter.join().unwrap();
+        assert_eq!(concurrent_seen.load(Ordering::SeqCst), 1, "budget must serialize");
+        // Two queries that fit together run together.
+        let a = ctl.acquire(40).unwrap();
+        let b = ctl.acquire(40).unwrap();
+        assert_eq!(ctl.running(), 2);
+        assert_eq!(ctl.memory_in_use(), 80);
+        drop((a, b));
+    }
+}

@@ -34,7 +34,13 @@
 //! * [`stream`] — [`BatchStream`]: the consuming end of a running query,
 //!   including the replay-deduplication and restart semantics that make
 //!   incremental delivery safe under fault injection.
+//! * [`admission`] — [`AdmissionController`]: bounded concurrency, FIFO
+//!   queueing and memory budgeting for concurrent serving; queries past the
+//!   queue bound are rejected with a typed
+//!   [`Overloaded`](quokka_common::QuokkaError::Overloaded) error instead
+//!   of timing out.
 
+pub mod admission;
 pub mod chaos;
 pub mod layout;
 pub mod recovery;
@@ -42,7 +48,8 @@ pub mod runtime;
 pub mod stream;
 pub mod worker;
 
+pub use admission::{estimate_query_memory, AdmissionController, AdmissionPermit, AdmissionStats};
 pub use chaos::ChaosEngine;
 pub use layout::QueryLayout;
-pub use runtime::{QueryOutcome, QueryRunner};
+pub use runtime::{QueryOutcome, QueryRunner, StreamOptions};
 pub use stream::BatchStream;

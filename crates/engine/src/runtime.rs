@@ -1,5 +1,6 @@
 //! The query runner: wiring, streaming execution and the restart baseline.
 
+use crate::admission::{estimate_query_memory, AdmissionController, AdmissionPermit};
 use crate::layout::QueryLayout;
 use crate::recovery::{Coordinator, CoordinatorOutcome};
 use crate::stream::{BatchStream, StreamEvent};
@@ -41,6 +42,27 @@ pub struct QueryRunner {
     config: EngineConfig,
 }
 
+/// Serving-path options for [`QueryRunner::stream_opts`]. The default is
+/// exactly [`QueryRunner::stream`]: lower the plan here, no admission.
+#[derive(Debug, Default, Clone)]
+pub struct StreamOptions {
+    /// The plan is already lowered (optimized/decorrelated) — e.g. it came
+    /// out of a plan cache. Skip both the optimizer and the mandatory
+    /// decorrelation pass and compile it as-is.
+    pub prelowered: bool,
+    /// Stamped onto [`QueryMetrics::plan_cache_hit`] so callers can observe
+    /// which plans skipped the frontend.
+    pub plan_cache_hit: bool,
+    /// When set, the query must be admitted before any cluster state is
+    /// built: [`AdmissionController::acquire`] blocks in FIFO order while
+    /// the queue has room and fails with
+    /// [`QuokkaError::Overloaded`](quokka_common::QuokkaError) when it
+    /// does not — synchronously, from `stream_opts` itself. The
+    /// permit is released when the query finishes, however it finishes
+    /// (success, failure, cancellation, chaos-induced restart).
+    pub admission: Option<Arc<AdmissionController>>,
+}
+
 /// How one execution attempt ended, as seen by the supervisor loop.
 enum AttemptOutcome {
     Completed(Box<QueryMetrics>),
@@ -79,11 +101,24 @@ impl QueryRunner {
     /// here, before any worker thread starts; the returned [`BatchStream`]
     /// only reports runtime failures.
     pub fn stream(&self, plan: &LogicalPlan, catalog: &dyn Catalog) -> Result<BatchStream> {
+        self.stream_opts(plan, catalog, StreamOptions::default())
+    }
+
+    /// [`stream`](Self::stream) with explicit serving-path options: a
+    /// prelowered (cached) plan, cache-hit stamping, and admission control.
+    pub fn stream_opts(
+        &self,
+        plan: &LogicalPlan,
+        catalog: &dyn Catalog,
+        opts: StreamOptions,
+    ) -> Result<BatchStream> {
         // Resolve environment overrides up front, rejecting malformed values
         // loudly instead of silently falling back to defaults.
         let mut config = self.config.clone();
         config.resolve_env()?;
-        let plan = if self.config.optimize {
+        let plan = if opts.prelowered {
+            plan.clone()
+        } else if self.config.optimize {
             Optimizer::with_catalog(catalog).optimize(plan)?
         } else {
             // Subquery decorrelation is a mandatory lowering, not an
@@ -95,6 +130,14 @@ impl QueryRunner {
         // Fail fast on plans the stage compiler rejects; attempts reuse the
         // compiled graph instead of recompiling.
         let graph = StageGraph::compile(&plan)?;
+        // Admission happens after planning (cheap, and errors should surface
+        // as plan errors) but before the table snapshot — the first big
+        // allocation a query makes. An Overloaded rejection propagates from
+        // here synchronously; a queued query blocks its caller right here.
+        let permit = match &opts.admission {
+            Some(controller) => Some(controller.acquire(estimate_query_memory(&plan, catalog))?),
+            None => None,
+        };
         // Snapshot the referenced base tables so the query (and a potential
         // restart-baseline rerun) no longer needs the caller's catalog.
         let mut tables: BTreeMap<String, Vec<Batch>> = BTreeMap::new();
@@ -105,9 +148,10 @@ impl QueryRunner {
         let (tx, rx) = std::sync::mpsc::channel();
         let cancel = Arc::new(AtomicBool::new(false));
         let stream = BatchStream::new(output_schema, rx, Arc::clone(&cancel));
+        let plan_cache_hit = opts.plan_cache_hit;
         std::thread::Builder::new()
             .name("quokka-query".to_string())
-            .spawn(move || supervise(config, graph, tables, tx, cancel))
+            .spawn(move || supervise(config, graph, tables, tx, cancel, permit, plan_cache_hit))
             .expect("failed to spawn query supervisor thread");
         Ok(stream)
     }
@@ -115,13 +159,38 @@ impl QueryRunner {
 
 /// Drive the query to completion on this (background) thread, rerunning it
 /// on the surviving workers if the restart baseline demands it.
+///
+/// The admission permit (when admission control is active) lives here for
+/// the whole supervision — across restarts of the same query — and is
+/// released before the final event is announced, whatever the exit path. A
+/// chaos-killed or failed query therefore can never strand its slot, and a
+/// client that has observed its result can immediately admit a follow-up.
 fn supervise(
-    mut config: EngineConfig,
+    config: EngineConfig,
     graph: StageGraph,
     tables: BTreeMap<String, Vec<Batch>>,
     tx: Sender<StreamEvent>,
     cancel: Arc<AtomicBool>,
+    permit: Option<AdmissionPermit>,
+    plan_cache_hit: bool,
 ) {
+    let final_event =
+        supervise_inner(config, graph, tables, &tx, &cancel, permit.as_ref(), plan_cache_hit);
+    drop(permit);
+    let _ = tx.send(final_event);
+}
+
+/// The supervision loop proper; returns the stream's final event (sent by
+/// [`supervise`] only after the admission slot is freed).
+fn supervise_inner(
+    mut config: EngineConfig,
+    graph: StageGraph,
+    tables: BTreeMap<String, Vec<Batch>>,
+    tx: &Sender<StreamEvent>,
+    cancel: &Arc<AtomicBool>,
+    permit: Option<&AdmissionPermit>,
+    plan_cache_hit: bool,
+) -> StreamEvent {
     let mut restarts_left = 1u32;
     // The restart baseline charges the failed attempt's runtime and
     // failures on top of the rerun's metrics.
@@ -131,7 +200,7 @@ fn supervise(
     // drop it as soon as it can no longer be needed.
     let mut tables = Some(tables);
     loop {
-        match run_attempt(&config, graph.clone(), &mut tables, &tx, &cancel) {
+        match run_attempt(&config, graph.clone(), &mut tables, tx, cancel) {
             Ok(AttemptOutcome::Completed(mut metrics)) => {
                 metrics.runtime += carried_runtime;
                 metrics.failures += carried_failures;
@@ -140,15 +209,18 @@ fn supervise(
                 if let Some(first) = metrics.time_to_first_batch.as_mut() {
                     *first += carried_runtime;
                 }
-                let _ = tx.send(StreamEvent::Finished(metrics));
-                return;
+                metrics.plan_cache_hit = plan_cache_hit;
+                if let Some(permit) = permit {
+                    metrics.admission_wait = permit.wait();
+                    metrics.admitted_memory_bytes = permit.estimate();
+                }
+                return StreamEvent::Finished(metrics);
             }
             Ok(AttemptOutcome::NeedsRestart { failed, elapsed }) => {
                 if restarts_left == 0 {
-                    let _ = tx.send(StreamEvent::Failed(QuokkaError::Internal(
+                    return StreamEvent::Failed(QuokkaError::Internal(
                         "query failed and the restart budget is exhausted".to_string(),
-                    )));
-                    return;
+                    ));
                 }
                 restarts_left -= 1;
                 carried_runtime += elapsed;
@@ -166,8 +238,7 @@ fn supervise(
                 let _ = tx.send(StreamEvent::Restarted);
             }
             Ok(AttemptOutcome::Failed(error)) | Err(error) => {
-                let _ = tx.send(StreamEvent::Failed(error));
-                return;
+                return StreamEvent::Failed(error);
             }
         }
     }

@@ -21,12 +21,27 @@ pub trait Catalog: Send + Sync {
     fn table_rows(&self, name: &str) -> Result<usize> {
         Ok(self.table_batches(name)?.iter().map(Batch::num_rows).sum())
     }
+    /// Approximate in-memory footprint of the named table, in bytes. Used
+    /// by admission control to estimate a query's memory demand from the
+    /// tables it reads.
+    fn table_bytes(&self, name: &str) -> Result<u64> {
+        Ok(self.table_batches(name)?.iter().map(|b| b.byte_size() as u64).sum())
+    }
+    /// A counter that advances whenever the set of tables (or any table's
+    /// contents) changes. Plan caches key on it: a bumped generation means
+    /// every previously planned statement is stale. The default (always 0)
+    /// suits immutable catalogs.
+    fn generation(&self) -> u64 {
+        0
+    }
 }
 
 /// A simple in-memory catalog.
 #[derive(Debug, Default)]
 pub struct MemoryCatalog {
     tables: RwLock<BTreeMap<String, (Schema, Vec<Batch>)>>,
+    /// Bumped on every registration so dependent caches can detect change.
+    generation: std::sync::atomic::AtomicU64,
 }
 
 impl MemoryCatalog {
@@ -34,9 +49,13 @@ impl MemoryCatalog {
         Self::default()
     }
 
-    /// Register (or replace) a table.
+    /// Register (or replace) a table, advancing the catalog generation.
     pub fn register(&self, name: impl Into<String>, schema: Schema, batches: Vec<Batch>) {
-        self.tables.write().insert(name.into(), (schema, batches));
+        let mut tables = self.tables.write();
+        tables.insert(name.into(), (schema, batches));
+        // Bumped under the write lock so a reader never observes new data
+        // with an old generation.
+        self.generation.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
     }
 }
 
@@ -60,6 +79,21 @@ impl Catalog for MemoryCatalog {
     fn table_names(&self) -> Vec<String> {
         self.tables.read().keys().cloned().collect()
     }
+
+    /// Computed under the read lock without cloning the batches (the
+    /// default implementation would deep-copy the whole table; admission
+    /// control calls this on every query).
+    fn table_bytes(&self, name: &str) -> Result<u64> {
+        self.tables
+            .read()
+            .get(name)
+            .map(|(_, b)| b.iter().map(|batch| batch.byte_size() as u64).sum())
+            .ok_or_else(|| QuokkaError::PlanError(format!("unknown table '{name}'")))
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation.load(std::sync::atomic::Ordering::SeqCst)
+    }
 }
 
 #[cfg(test)]
@@ -79,5 +113,20 @@ mod tests {
         assert_eq!(catalog.table_names(), vec!["t".to_string()]);
         assert!(catalog.table_schema("missing").is_err());
         assert!(catalog.table_batches("missing").is_err());
+    }
+
+    #[test]
+    fn generation_advances_on_registration_and_bytes_are_estimated() {
+        let catalog = MemoryCatalog::new();
+        assert_eq!(catalog.generation(), 0);
+        let schema = Schema::from_pairs(&[("id", DataType::Int64)]);
+        let batch = Batch::try_new(schema.clone(), vec![Column::Int64(vec![1, 2, 3])]).unwrap();
+        catalog.register("t", schema.clone(), vec![batch.clone()]);
+        assert_eq!(catalog.generation(), 1);
+        assert_eq!(catalog.table_bytes("t").unwrap(), batch.byte_size() as u64);
+        assert!(catalog.table_bytes("missing").is_err());
+        // Re-registering the *same* name still bumps: contents may differ.
+        catalog.register("t", schema, vec![batch]);
+        assert_eq!(catalog.generation(), 2);
     }
 }

@@ -371,6 +371,85 @@ impl DataFrame {
         DataFrame::from_plan(self.session, plan)
     }
 
+    /// Add a computed column named `name`, keeping every existing column.
+    /// If a column of that name already exists, it is replaced in place
+    /// (same position, new value) rather than duplicated.
+    ///
+    /// ```
+    /// use quokka::dataframe::{col, lit};
+    /// # let session = quokka::QuokkaSession::tpch(0.002, 2).unwrap();
+    /// let frame = session
+    ///     .table("lineitem").unwrap()
+    ///     .with_column("net", col("l_extendedprice").mul(lit(1.0f64).sub(col("l_discount"))))
+    ///     .unwrap();
+    /// assert!(frame.schema().column_names().contains(&"net"));
+    /// ```
+    pub fn with_column(self, name: impl Into<String>, expr: Expr) -> Result<DataFrame> {
+        let name = name.into();
+        self.check_expr(&expr, "with_column")?;
+        let mut projected: Vec<(Expr, String)> = Vec::with_capacity(self.schema.len() + 1);
+        let mut replaced = false;
+        for existing in self.schema.column_names() {
+            if existing == name {
+                projected.push((expr.clone(), name.clone()));
+                replaced = true;
+            } else {
+                projected.push((Expr::Column(existing.to_string()), existing.to_string()));
+            }
+        }
+        if !replaced {
+            projected.push((expr, name));
+        }
+        let plan = LogicalPlan::Project { input: Box::new(self.plan), exprs: projected };
+        DataFrame::from_plan(self.session, plan)
+    }
+
+    /// Rename a column, keeping its position and every other column
+    /// unchanged. The typical use is pulling the column namespaces of two
+    /// frames apart before a [`join`](Self::join) (the engine's namespace
+    /// is flat, so inner/left joins reject overlapping names).
+    ///
+    /// ```
+    /// use quokka::dataframe::col;
+    /// use quokka::JoinType;
+    /// # let session = quokka::QuokkaSession::tpch(0.002, 2).unwrap();
+    /// let left = session.table("nation").unwrap();
+    /// let right = session
+    ///     .table("nation").unwrap()
+    ///     .rename("n_nationkey", "r_nationkey").unwrap()
+    ///     .rename("n_name", "r_name").unwrap()
+    ///     .rename("n_regionkey", "r_regionkey").unwrap()
+    ///     .rename("n_comment", "r_comment").unwrap();
+    /// let joined = left.join(right, &[("n_regionkey", "r_regionkey")], JoinType::Inner).unwrap();
+    /// assert_eq!(joined.schema().len(), 8);
+    /// ```
+    pub fn rename(self, from: &str, to: impl Into<String>) -> Result<DataFrame> {
+        let to = to.into();
+        if self.schema.index_of(from).is_err() {
+            return Err(QuokkaError::PlanError(format!(
+                "rename: unknown column '{from}'{} (columns: [{}])",
+                suggest(from, self.schema.column_names()),
+                self.schema.column_names().join(", ")
+            )));
+        }
+        if to != from && self.schema.index_of(&to).is_ok() {
+            return Err(QuokkaError::PlanError(format!(
+                "rename: target '{to}' already names a column; drop or rename it first"
+            )));
+        }
+        let projected = self
+            .schema
+            .column_names()
+            .iter()
+            .map(|&existing| {
+                let output = if existing == from { to.clone() } else { existing.to_string() };
+                (Expr::Column(existing.to_string()), output)
+            })
+            .collect();
+        let plan = LogicalPlan::Project { input: Box::new(self.plan), exprs: projected };
+        DataFrame::from_plan(self.session, plan)
+    }
+
     /// Finish building: the frame as an executable [`QueryHandle`] (the
     /// same handle type SQL statements produce). The plan was validated at
     /// every builder step, so this cannot fail.
@@ -657,6 +736,52 @@ mod tests {
             .anti_join(s.table("dims").unwrap(), &[("tag", "d_k")])
             .unwrap_err();
         assert!(err.to_string().contains("type mismatch"), "{err}");
+    }
+
+    #[test]
+    fn with_column_adds_replaces_and_validates() {
+        let s = session();
+        let frame =
+            s.table("events").unwrap().with_column("double_v", col("v").mul(lit(2.0f64))).unwrap();
+        assert_eq!(frame.schema().column_names(), vec!["k", "v", "tag", "double_v"]);
+        let batch = frame.clone().sort([(col("k"), true)]).unwrap().collect().unwrap().batch;
+        assert_eq!(batch.value(1, 3), ScalarValue::Float64(1.0));
+        assert!(same_result(
+            &batch,
+            &frame.sort([(col("k"), true)]).unwrap().collect_reference().unwrap()
+        ));
+
+        // Replacing keeps the column's position.
+        let replaced =
+            s.table("events").unwrap().with_column("v", col("v").add(lit(1.0f64))).unwrap();
+        assert_eq!(replaced.schema().column_names(), vec!["k", "v", "tag"]);
+        let batch = replaced.sort([(col("k"), true)]).unwrap().collect().unwrap().batch;
+        assert_eq!(batch.value(0, 1), ScalarValue::Float64(1.0));
+
+        let err =
+            s.table("events").unwrap().with_column("x", col("vv").add(lit(1.0f64))).unwrap_err();
+        assert!(err.to_string().contains("did you mean 'v'"), "{err}");
+    }
+
+    #[test]
+    fn rename_unblocks_overlapping_join_namespaces() {
+        let s = session();
+        let renamed = s.table("events").unwrap().rename("k", "k2").unwrap();
+        assert_eq!(renamed.schema().column_names(), vec!["k2", "v", "tag"]);
+
+        // A self-join is possible once every shared column is renamed apart.
+        let right = renamed.rename("v", "v2").unwrap().rename("tag", "tag2").unwrap();
+        let joined =
+            s.table("events").unwrap().join(right, &[("k", "k2")], JoinType::Inner).unwrap();
+        assert_eq!(joined.schema().len(), 6);
+        let outcome = joined.collect().unwrap();
+        assert_eq!(outcome.batch.num_rows(), 100);
+        assert!(same_result(&outcome.batch, &joined.collect_reference().unwrap()));
+
+        let err = s.table("events").unwrap().rename("kk", "x").unwrap_err();
+        assert!(err.to_string().contains("did you mean 'k'"), "{err}");
+        let err = s.table("events").unwrap().rename("k", "v").unwrap_err();
+        assert!(err.to_string().contains("already names a column"), "{err}");
     }
 
     #[test]

@@ -39,15 +39,19 @@ pub use quokka_storage as storage;
 pub use quokka_tpch as tpch;
 
 pub mod dataframe;
+pub mod plan_cache;
 
 pub use dataframe::DataFrame;
+pub use plan_cache::{CachedPlan, PlanCache, PlanCacheStats};
 pub use quokka_batch::{Batch, Column, DataType, ScalarValue, Schema};
 pub use quokka_common::{
-    Backoff, ChaosEvent, ChaosInjection, ChaosPlan, ChaosTrigger, ClusterConfig, CostModelConfig,
-    EngineConfig, ExecutionMode, FailureSpec, FaultStrategy, QueryMetrics, QuokkaError, Result,
-    RetryPolicy, SchedulePolicy,
+    AdmissionConfig, Backoff, ChaosEvent, ChaosInjection, ChaosPlan, ChaosTrigger, ClusterConfig,
+    CostModelConfig, EngineConfig, ExecutionMode, FailureSpec, FaultStrategy, PlanCacheConfig,
+    QueryMetrics, QuokkaError, Result, RetryPolicy, SchedulePolicy,
 };
-pub use quokka_engine::{BatchStream, QueryOutcome, QueryRunner};
+pub use quokka_engine::{
+    AdmissionController, AdmissionStats, BatchStream, QueryOutcome, QueryRunner, StreamOptions,
+};
 pub use quokka_plan::logical::{JoinType, LogicalPlan, PlanBuilder};
 pub use quokka_plan::reference::{canonical_rows, same_result, ReferenceExecutor};
 pub use quokka_sql::SqlError;
@@ -64,20 +68,26 @@ pub(crate) fn invalid_plan_error(error: QuokkaError, plan: &LogicalPlan) -> Quok
 
 /// A session: a catalog of registered tables plus an engine configuration.
 ///
-/// Cloning is cheap (the catalog is shared behind an [`Arc`]) and clones are
-/// fully independent query entry points, so one session can serve concurrent
-/// queries from many threads. [`with_config`](Self::with_config) affects
-/// only the clone it is called on.
+/// Cloning is cheap (the catalog, plan cache and admission controller are
+/// shared behind [`Arc`]s) and clones are fully independent query entry
+/// points, so one session can serve concurrent queries from many threads —
+/// all of them hitting one plan cache and admitted by one controller.
+/// [`with_config`](Self::with_config) affects only the clone it is called
+/// on (rebuilding the cache/controller when their config sections change).
 #[derive(Clone)]
 pub struct QuokkaSession {
     catalog: Arc<MemoryCatalog>,
     config: EngineConfig,
+    plan_cache: Arc<PlanCache>,
+    admission: Arc<AdmissionController>,
 }
 
 impl QuokkaSession {
     /// An empty session with the given configuration.
     pub fn new(config: EngineConfig) -> Self {
-        QuokkaSession { catalog: Arc::new(MemoryCatalog::new()), config }
+        let plan_cache = PlanCache::new(config.plan_cache);
+        let admission = AdmissionController::new(config.admission);
+        QuokkaSession { catalog: Arc::new(MemoryCatalog::new()), config, plan_cache, admission }
     }
 
     /// A session pre-populated with a generated TPC-H data set at scale
@@ -90,7 +100,18 @@ impl QuokkaSession {
     }
 
     /// Replace the engine configuration (builder style).
+    ///
+    /// The shared plan cache and admission controller are rebuilt only when
+    /// their config sections actually changed, so tuning unrelated knobs
+    /// (fault strategy, chaos plans) keeps the warmed cache. Clones made
+    /// *before* this call keep the previous cache/controller.
     pub fn with_config(mut self, config: EngineConfig) -> Self {
+        if config.plan_cache != self.config.plan_cache {
+            self.plan_cache = PlanCache::new(config.plan_cache);
+        }
+        if config.admission != self.config.admission {
+            self.admission = AdmissionController::new(config.admission);
+        }
         self.config = config;
         self
     }
@@ -98,6 +119,16 @@ impl QuokkaSession {
     /// The current engine configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// The session's shared plan cache (one per session and its clones).
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plan_cache
+    }
+
+    /// The session's shared admission controller.
+    pub fn admission(&self) -> &Arc<AdmissionController> {
+        &self.admission
     }
 
     /// Register a table.
@@ -139,13 +170,13 @@ impl QuokkaSession {
     /// ones.
     pub fn query(&self, plan: LogicalPlan) -> Result<QueryHandle> {
         plan.schema().map_err(|e| invalid_plan_error(e, &plan))?;
-        Ok(QueryHandle { session: self.clone(), plan, explain: false })
+        Ok(QueryHandle { session: self.clone(), plan, explain: false, prepared: None })
     }
 
     /// A handle over a plan that is already known to be schema-valid
     /// (used by the DataFrame frontend, which validates at every step).
     pub(crate) fn query_validated(&self, plan: LogicalPlan) -> QueryHandle {
-        QueryHandle { session: self.clone(), plan, explain: false }
+        QueryHandle { session: self.clone(), plan, explain: false, prepared: None }
     }
 
     /// The hand-built logical plan of TPC-H query `number` (1-22), as a
@@ -154,15 +185,19 @@ impl QuokkaSession {
         self.query(quokka_tpch::query(number)?)
     }
 
-    /// Execute a logical plan on the simulated cluster.
+    /// Execute a logical plan on the simulated cluster. Like every
+    /// session-level execution path, the query passes through the session's
+    /// admission controller first.
     pub fn run(&self, plan: &LogicalPlan) -> Result<QueryOutcome> {
-        QueryRunner::new(self.config.clone()).run(plan, self.catalog.as_ref())
+        self.run_with(plan, &self.config)
     }
 
     /// Execute a plan under an explicit configuration (without mutating the
     /// session's default).
     pub fn run_with(&self, plan: &LogicalPlan, config: &EngineConfig) -> Result<QueryOutcome> {
-        QueryRunner::new(config.clone()).run(plan, self.catalog.as_ref())
+        let opts =
+            StreamOptions { admission: Some(Arc::clone(&self.admission)), ..Default::default() };
+        QueryRunner::new(config.clone()).stream_opts(plan, self.catalog.as_ref(), opts)?.collect()
     }
 
     /// Execute TPC-H query `number` (1-22) to completion.
@@ -196,9 +231,74 @@ impl QuokkaSession {
     /// let err = session.sql("SELECT o_orderkey FROM oders").unwrap_err();
     /// assert!(err.to_string().contains("line 1"));
     /// ```
+    /// When the session's plan cache is enabled, a repeated statement
+    /// (modulo whitespace, case and comments — and, for re-planning
+    /// purposes, literal values) skips parse, bind, decorrelation and
+    /// optimization entirely; the executed query stamps
+    /// [`QueryMetrics::plan_cache_hit`]. `EXPLAIN` statements and
+    /// statements the cache cannot normalize fall through to the regular
+    /// path.
     pub fn sql(&self, query: &str) -> Result<QueryHandle> {
-        let (explain, plan) = quokka_sql::plan_statement(query, self.catalog.as_ref())?;
-        Ok(QueryHandle { session: self.clone(), plan, explain })
+        if !self.plan_cache.is_enabled() {
+            let (explain, plan) = quokka_sql::plan_statement(query, self.catalog.as_ref())?;
+            return Ok(QueryHandle { session: self.clone(), plan, explain, prepared: None });
+        }
+        // Normalization fails only where the lexer fails; let the regular
+        // path report that identical, positioned error.
+        let normalized = match quokka_sql::normalize(query) {
+            Ok(n) if !n.is_explain() => n,
+            _ => {
+                let (explain, plan) = quokka_sql::plan_statement(query, self.catalog.as_ref())?;
+                return Ok(QueryHandle { session: self.clone(), plan, explain, prepared: None });
+            }
+        };
+        let generation = self.catalog.generation();
+        let fingerprint = self.config.planning_fingerprint();
+        if let Some(cached) = self.plan_cache.lookup(
+            &normalized.template,
+            generation,
+            fingerprint,
+            &normalized.literals,
+        ) {
+            return Ok(QueryHandle {
+                session: self.clone(),
+                plan: cached.naive.as_ref().clone(),
+                explain: false,
+                prepared: Some(PreparedPlan {
+                    lowered: cached.lowered,
+                    fingerprint,
+                    cache_hit: true,
+                }),
+            });
+        }
+        let plan = quokka_sql::plan_query(query, self.catalog.as_ref())?;
+        let lowered = Arc::new(self.lower(&plan)?);
+        let naive = Arc::new(plan);
+        self.plan_cache.insert(
+            &normalized.template,
+            generation,
+            fingerprint,
+            normalized.literals,
+            CachedPlan { naive: Arc::clone(&naive), lowered: Arc::clone(&lowered) },
+        );
+        Ok(QueryHandle {
+            session: self.clone(),
+            plan: naive.as_ref().clone(),
+            explain: false,
+            // The lowering work is already done — the miss uses it too.
+            prepared: Some(PreparedPlan { lowered, fingerprint, cache_hit: false }),
+        })
+    }
+
+    /// Lower a bound plan exactly as the engine would before compiling it:
+    /// the full optimizer when [`EngineConfig::optimize`] is on, otherwise
+    /// just the mandatory subquery decorrelation.
+    fn lower(&self, plan: &LogicalPlan) -> Result<LogicalPlan> {
+        if self.config.optimize {
+            quokka_plan::Optimizer::with_catalog(self.catalog.as_ref()).optimize(plan)
+        } else {
+            quokka_plan::optimizer::decorrelate(plan.clone())
+        }
     }
 
     /// Optimize a plan with the session's catalog statistics (the same
@@ -262,6 +362,18 @@ pub struct QueryHandle {
     session: QuokkaSession,
     plan: LogicalPlan,
     explain: bool,
+    /// The already-lowered plan, when the SQL path planned (or cache-hit)
+    /// this statement. Used iff the executing config's planning fingerprint
+    /// still matches; otherwise the naive plan is lowered afresh.
+    prepared: Option<PreparedPlan>,
+}
+
+/// A lowered plan carried by a [`QueryHandle`], with the fingerprint of the
+/// planning-relevant config it was lowered under.
+struct PreparedPlan {
+    lowered: Arc<LogicalPlan>,
+    fingerprint: u64,
+    cache_hit: bool,
 }
 
 impl std::fmt::Debug for QueryHandle {
@@ -314,6 +426,12 @@ impl QueryHandle {
         self.stream_with(&self.session.config)
     }
 
+    /// Whether executing this handle will skip planning because the
+    /// session's plan cache already held the lowered plan.
+    pub fn is_plan_cache_hit(&self) -> bool {
+        self.prepared.as_ref().is_some_and(|p| p.cache_hit)
+    }
+
     /// Stream under an explicit engine configuration.
     pub fn stream_with(&self, config: &EngineConfig) -> Result<BatchStream> {
         if self.explain {
@@ -321,7 +439,22 @@ impl QueryHandle {
             let schema = batch.schema().clone();
             return Ok(BatchStream::ready(schema, vec![batch], QueryMetrics::default()));
         }
-        QueryRunner::new(config.clone()).stream(&self.plan, self.session.catalog.as_ref())
+        let mut opts = StreamOptions {
+            admission: Some(Arc::clone(&self.session.admission)),
+            ..Default::default()
+        };
+        // A prepared plan is only valid under the config it was lowered
+        // for; a different fingerprint (e.g. `collect_with` an
+        // optimize-toggled config) falls back to lowering the naive plan.
+        let plan = match &self.prepared {
+            Some(prepared) if prepared.fingerprint == config.planning_fingerprint() => {
+                opts.prelowered = true;
+                opts.plan_cache_hit = prepared.cache_hit;
+                prepared.lowered.as_ref()
+            }
+            _ => &self.plan,
+        };
+        QueryRunner::new(config.clone()).stream_opts(plan, self.session.catalog.as_ref(), opts)
     }
 
     /// Execute on the simulated cluster with the session's configuration,
@@ -339,7 +472,7 @@ impl QueryHandle {
                 metrics: QueryMetrics::default(),
             });
         }
-        self.session.run_with(&self.plan, config)
+        self.stream_with(config)?.collect()
     }
 
     /// Execute on the single-threaded reference executor.

@@ -1,0 +1,311 @@
+//! The session plan cache: skip parse → bind → decorrelate → optimize for
+//! repeated statements.
+//!
+//! Serving workloads send the same statements over and over, usually
+//! varying only the literals. The cache keys on the [`normalized
+//! template`](fn@quokka_sql::normalize) of the statement — whitespace-, case-
+//! and literal-insensitive — combined with the catalog
+//! [`generation`](quokka_plan::catalog::Catalog::generation) and the
+//! planning-relevant [`EngineConfig`](quokka_common::EngineConfig)
+//! fingerprint, so a cached plan can never be replayed against renamed
+//! tables, changed data, or a different optimizer setting.
+//!
+//! Within one template the cache holds a small set of **variants**, one per
+//! distinct literal vector. Literals are baked into a lowered plan
+//! (constant folding may even have merged them), so full reuse requires an
+//! exact literal match; a template hit with new literals re-plans once and
+//! remembers the new variant. The cache is a bounded LRU over templates;
+//! stale generations are purged eagerly on every access, so a catalog
+//! change invalidates the whole cached population at once rather than
+//! leaving dead entries pinning the capacity.
+
+use quokka_common::config::PlanCacheConfig;
+use quokka_plan::logical::LogicalPlan;
+use quokka_sql::LiteralValue;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Most distinct literal vectors remembered per template. Serving workloads
+/// draw literals from a large domain; the first few variants catch the hot
+/// ones and the rest re-plan — correctness never depends on this number.
+const MAX_VARIANTS: usize = 8;
+
+/// A fully planned statement: the naive bound plan (what
+/// `QueryHandle::plan` exposes, and what EXPLAIN renders) plus its lowered
+/// (decorrelated and, when enabled, optimized) form the engine compiles.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    pub naive: Arc<LogicalPlan>,
+    pub lowered: Arc<LogicalPlan>,
+}
+
+/// Cache key: statement template + everything else that affects planning.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct TemplateKey {
+    template: String,
+    catalog_generation: u64,
+    config_fingerprint: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    variants: Vec<(Vec<LiteralValue>, CachedPlan)>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: HashMap<TemplateKey, Entry>,
+    tick: u64,
+}
+
+/// Aggregate counters, for benchmarks and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups that returned a plan (template and literals both matched).
+    pub hits: u64,
+    /// Lookups that found nothing usable.
+    pub misses: u64,
+    /// Misses where the template matched but the literal vector did not
+    /// (the statement re-plans and is remembered as a new variant).
+    pub literal_misses: u64,
+    /// Templates evicted by the LRU capacity bound.
+    pub evictions: u64,
+    /// Templates purged because their catalog generation went stale.
+    pub invalidations: u64,
+}
+
+/// See the [module documentation](self).
+#[derive(Debug)]
+pub struct PlanCache {
+    config: PlanCacheConfig,
+    inner: Mutex<Inner>,
+    stats: Mutex<PlanCacheStats>,
+}
+
+impl PlanCache {
+    pub fn new(config: PlanCacheConfig) -> Arc<Self> {
+        Arc::new(PlanCache {
+            config,
+            inner: Mutex::new(Inner::default()),
+            stats: Mutex::new(PlanCacheStats::default()),
+        })
+    }
+
+    pub fn config(&self) -> &PlanCacheConfig {
+        &self.config
+    }
+
+    /// Whether lookups can ever succeed.
+    pub fn is_enabled(&self) -> bool {
+        self.config.enabled && self.config.capacity > 0
+    }
+
+    /// Drop every entry whose catalog generation is not `generation`.
+    /// Called internally on each access; public so tests can force it.
+    pub fn invalidate_stale(&self, generation: u64) {
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        let before = inner.entries.len();
+        inner.entries.retain(|key, _| key.catalog_generation == generation);
+        let purged = (before - inner.entries.len()) as u64;
+        if purged > 0 {
+            self.stats.lock().expect("plan cache poisoned").invalidations += purged;
+        }
+    }
+
+    /// Look up a statement. A hit requires the template, catalog
+    /// generation, config fingerprint *and* literal vector to match.
+    pub fn lookup(
+        &self,
+        template: &str,
+        catalog_generation: u64,
+        config_fingerprint: u64,
+        literals: &[LiteralValue],
+    ) -> Option<CachedPlan> {
+        if !self.is_enabled() {
+            return None;
+        }
+        self.invalidate_stale(catalog_generation);
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let key =
+            TemplateKey { template: template.to_string(), catalog_generation, config_fingerprint };
+        let found = inner.entries.get_mut(&key).and_then(|entry| {
+            entry.last_used = tick;
+            let hit = entry.variants.iter().find(|(stored, _)| stored == literals);
+            let outcome = hit.map(|(_, plan)| plan.clone());
+            if outcome.is_none() {
+                Some(None) // template present, literals new
+            } else {
+                outcome.map(Some)
+            }
+        });
+        drop(inner);
+        let mut stats = self.stats.lock().expect("plan cache poisoned");
+        match found {
+            Some(Some(plan)) => {
+                stats.hits += 1;
+                Some(plan)
+            }
+            Some(None) => {
+                stats.misses += 1;
+                stats.literal_misses += 1;
+                None
+            }
+            None => {
+                stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Remember a freshly planned statement. Bounded: at most
+    /// [`PlanCacheConfig::capacity`] templates (LRU eviction) of at most
+    /// `MAX_VARIANTS` literal vectors each (oldest variant dropped).
+    pub fn insert(
+        &self,
+        template: &str,
+        catalog_generation: u64,
+        config_fingerprint: u64,
+        literals: Vec<LiteralValue>,
+        plan: CachedPlan,
+    ) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.invalidate_stale(catalog_generation);
+        let mut inner = self.inner.lock().expect("plan cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let key =
+            TemplateKey { template: template.to_string(), catalog_generation, config_fingerprint };
+        let entry = inner
+            .entries
+            .entry(key.clone())
+            .or_insert_with(|| Entry { variants: Vec::new(), last_used: tick });
+        entry.last_used = tick;
+        entry.variants.retain(|(stored, _)| stored != &literals);
+        entry.variants.insert(0, (literals, plan));
+        entry.variants.truncate(MAX_VARIANTS);
+        let mut evicted = 0u64;
+        while inner.entries.len() > self.config.capacity {
+            // O(n) eviction is fine at serving-cache sizes (default 64).
+            let oldest = inner
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            match oldest {
+                Some(k) => {
+                    inner.entries.remove(&k);
+                    evicted += 1;
+                }
+                None => break, // capacity 1 and it holds the fresh entry
+            }
+        }
+        drop(inner);
+        if evicted > 0 {
+            self.stats.lock().expect("plan cache poisoned").evictions += evicted;
+        }
+    }
+
+    /// Cached templates (after any pending invalidation, variants ignored).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan cache poisoned").entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn stats(&self) -> PlanCacheStats {
+        *self.stats.lock().expect("plan cache poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quokka_batch::{DataType, Schema};
+    use quokka_plan::logical::PlanBuilder;
+
+    fn plan(marker: i64) -> CachedPlan {
+        let schema = Schema::from_pairs(&[("x", DataType::Int64)]);
+        let p = PlanBuilder::scan("t", schema).limit(marker as usize).build().unwrap();
+        let arc = Arc::new(p);
+        CachedPlan { naive: Arc::clone(&arc), lowered: arc }
+    }
+
+    fn lits(v: i64) -> Vec<LiteralValue> {
+        vec![LiteralValue::Int(v)]
+    }
+
+    #[test]
+    fn hit_requires_template_generation_fingerprint_and_literals() {
+        let cache = PlanCache::new(PlanCacheConfig::default());
+        cache.insert("select ?", 1, 0, lits(10), plan(1));
+        assert!(cache.lookup("select ?", 1, 0, &lits(10)).is_some());
+        // New literals: template hit, plan miss.
+        assert!(cache.lookup("select ?", 1, 0, &lits(11)).is_none());
+        // Different fingerprint: miss.
+        assert!(cache.lookup("select ?", 1, 1, &lits(10)).is_none());
+        // Different template: miss.
+        assert!(cache.lookup("select ? , ?", 1, 0, &lits(10)).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.literal_misses, 1);
+    }
+
+    #[test]
+    fn stale_generations_are_purged_not_just_missed() {
+        let cache = PlanCache::new(PlanCacheConfig::default());
+        cache.insert("select ?", 1, 0, lits(1), plan(1));
+        cache.insert("select a from t where b = ?", 1, 0, lits(2), plan(2));
+        assert_eq!(cache.len(), 2);
+        // A lookup at a newer generation wipes the old population.
+        assert!(cache.lookup("select ?", 2, 0, &lits(1)).is_none());
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity_and_recency() {
+        let cache = PlanCache::new(PlanCacheConfig { enabled: true, capacity: 2 });
+        cache.insert("q1", 0, 0, lits(1), plan(1));
+        cache.insert("q2", 0, 0, lits(1), plan(2));
+        // Touch q1 so q2 is the LRU template.
+        assert!(cache.lookup("q1", 0, 0, &lits(1)).is_some());
+        cache.insert("q3", 0, 0, lits(1), plan(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup("q1", 0, 0, &lits(1)).is_some(), "recently used survives");
+        assert!(cache.lookup("q3", 0, 0, &lits(1)).is_some(), "fresh insert survives");
+        assert!(cache.lookup("q2", 0, 0, &lits(1)).is_none(), "LRU evicted");
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn variants_are_bounded_per_template() {
+        let cache = PlanCache::new(PlanCacheConfig::default());
+        for v in 0..(MAX_VARIANTS as i64 + 4) {
+            cache.insert("q", 0, 0, lits(v), plan(v));
+        }
+        assert_eq!(cache.len(), 1, "variants share one template entry");
+        // The newest MAX_VARIANTS literal vectors are retained.
+        for v in 4..(MAX_VARIANTS as i64 + 4) {
+            assert!(cache.lookup("q", 0, 0, &lits(v)).is_some(), "variant {v}");
+        }
+        assert!(cache.lookup("q", 0, 0, &lits(0)).is_none(), "oldest variant dropped");
+    }
+
+    #[test]
+    fn disabled_cache_never_stores_or_returns() {
+        let cache = PlanCache::new(PlanCacheConfig::disabled());
+        cache.insert("q", 0, 0, lits(1), plan(1));
+        assert!(cache.lookup("q", 0, 0, &lits(1)).is_none());
+        assert!(cache.is_empty());
+        assert!(!cache.is_enabled());
+    }
+}

@@ -84,11 +84,13 @@ pub mod ast;
 pub mod binder;
 pub mod error;
 pub mod lexer;
+pub mod normalize;
 pub mod parser;
 pub mod resolve;
 
 pub use ast::SelectStatement;
 pub use error::{Pos, SqlError, SqlErrorKind};
+pub use normalize::{normalize, LiteralValue, NormalizedSql};
 pub use resolve::suggest;
 
 use quokka_plan::catalog::Catalog;

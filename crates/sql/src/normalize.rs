@@ -1,0 +1,195 @@
+//! SQL statement normalization for plan-cache keying.
+//!
+//! Two statements that differ only in whitespace, comments, keyword or
+//! identifier case, or literal *values* should plan identically (up to the
+//! literals), so the plan cache must key them together. [`normalize`]
+//! produces that key: a canonical **template** in which every literal is
+//! replaced by a `?` placeholder, plus the extracted literal values in
+//! occurrence order.
+//!
+//! The template alone is the *cache key* (the unit the cache's LRU operates
+//! on); the literal vector is the secondary index within a template's entry
+//! — plans are only reused when both match, because the literals are baked
+//! into the lowered plan (constant folding may even have merged them).
+//! Structurally different statements can never share a template: every
+//! identifier, operator and parenthesis appears verbatim, so the mapping
+//! from token stream to template is injective once literals are factored
+//! out.
+//!
+//! ```
+//! use quokka_sql::normalize::normalize;
+//!
+//! let a = normalize("SELECT a FROM t WHERE x < 10").unwrap();
+//! let b = normalize("select  A from T\n where x<99 -- comment").unwrap();
+//! assert_eq!(a.template, b.template);
+//! assert_ne!(a.literals, b.literals);
+//! assert_eq!(a.template, "select a from t where x < ?");
+//! ```
+
+use crate::error::SqlError;
+use crate::lexer::{tokenize, TokenKind};
+
+/// A literal value factored out of a normalized statement, in occurrence
+/// order. Compared (never hashed — it contains floats) when deciding
+/// whether a cached plan can be reused verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LiteralValue {
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+impl std::fmt::Display for LiteralValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LiteralValue::Int(v) => write!(f, "{v}"),
+            LiteralValue::Float(v) => write!(f, "{v}"),
+            LiteralValue::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+/// The result of [`normalize`]: a whitespace/case/literal-insensitive
+/// template plus the literals that were parameterized out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedSql {
+    /// Canonical single-spaced rendering of the token stream with literals
+    /// replaced by `?`. Identifiers and keywords are lowercase (the lexer
+    /// lowercases them; string literals keep their case but are factored
+    /// out anyway).
+    pub template: String,
+    /// The literal values, in occurrence order.
+    pub literals: Vec<LiteralValue>,
+}
+
+impl NormalizedSql {
+    /// Whether the statement carries an `EXPLAIN` prefix (such statements
+    /// render plans instead of executing, so the cache skips them).
+    pub fn is_explain(&self) -> bool {
+        self.template == "explain" || self.template.starts_with("explain ")
+    }
+}
+
+/// Normalize one SQL statement. Fails only where the lexer fails (the
+/// parser would report the identical positioned error, so callers can fall
+/// back to the regular planning path for error reporting).
+pub fn normalize(sql: &str) -> Result<NormalizedSql, SqlError> {
+    let tokens = tokenize(sql)?;
+    let mut template = String::new();
+    let mut literals = Vec::new();
+    for token in &tokens {
+        let rendered: &str = match &token.kind {
+            TokenKind::Eof => break,
+            // A trailing semicolon is insignificant; an embedded one ends
+            // the statement for the parser, so keeping it in the template
+            // for that (error) case is harmless.
+            TokenKind::Semi => ";",
+            TokenKind::Ident(name) => name,
+            TokenKind::Int(v) => {
+                literals.push(LiteralValue::Int(*v));
+                "?"
+            }
+            TokenKind::Float(v) => {
+                literals.push(LiteralValue::Float(*v));
+                "?"
+            }
+            TokenKind::Str(s) => {
+                literals.push(LiteralValue::Str(s.clone()));
+                "?"
+            }
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::Comma => ",",
+            TokenKind::Dot => ".",
+            TokenKind::Star => "*",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Slash => "/",
+            TokenKind::Eq => "=",
+            TokenKind::NotEq => "<>",
+            TokenKind::Lt => "<",
+            TokenKind::LtEq => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::GtEq => ">=",
+        };
+        if !template.is_empty() {
+            template.push(' ');
+        }
+        template.push_str(rendered);
+    }
+    // Trailing semicolons never change meaning; strip them so `...;` and
+    // `...` share a template.
+    while template.ends_with(" ;") {
+        template.truncate(template.len() - 2);
+    }
+    if template == ";" {
+        template.clear();
+    }
+    Ok(NormalizedSql { template, literals })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whitespace_case_and_comments_are_insignificant() {
+        let variants = [
+            "SELECT o_orderkey FROM orders WHERE o_totalprice > 100.5",
+            "select   O_ORDERKEY\nfrom ORDERS\nwhere o_totalprice>100.5",
+            "Select o_orderkey -- projection\n FROM\torders WHERE (o_totalprice)>(100.5)",
+        ];
+        let first = normalize(variants[0]).unwrap();
+        let second = normalize(variants[1]).unwrap();
+        assert_eq!(first, second);
+        // The parenthesized variant differs structurally (extra tokens) —
+        // normalization is token-faithful, not parse-aware.
+        let third = normalize(variants[2]).unwrap();
+        assert_ne!(first.template, third.template);
+    }
+
+    #[test]
+    fn literals_are_parameterized_out_in_order() {
+        let n = normalize("SELECT a FROM t WHERE x < 10 AND name LIKE 'b%' AND y = 2.5").unwrap();
+        assert_eq!(n.template, "select a from t where x < ? and name like ? and y = ?");
+        assert_eq!(
+            n.literals,
+            vec![LiteralValue::Int(10), LiteralValue::Str("b%".into()), LiteralValue::Float(2.5),]
+        );
+        let other =
+            normalize("SELECT a FROM t WHERE x < 99 AND name LIKE 'q' AND y = 0.5").unwrap();
+        assert_eq!(n.template, other.template);
+        assert_ne!(n.literals, other.literals);
+    }
+
+    #[test]
+    fn structural_differences_change_the_template() {
+        let base = normalize("SELECT a FROM t WHERE x < 1").unwrap().template;
+        for different in [
+            "SELECT a FROM t WHERE x <= 1",          // operator
+            "SELECT b FROM t WHERE x < 1",           // column
+            "SELECT a FROM u WHERE x < 1",           // table
+            "SELECT a FROM t",                       // clause dropped
+            "SELECT a FROM t WHERE x < 1 AND x < 2", // arity
+        ] {
+            assert_ne!(base, normalize(different).unwrap().template, "{different}");
+        }
+    }
+
+    #[test]
+    fn trailing_semicolons_and_explain_are_recognized() {
+        let a = normalize("SELECT a FROM t").unwrap();
+        let b = normalize("SELECT a FROM t ;").unwrap();
+        assert_eq!(a.template, b.template);
+        assert!(!a.is_explain());
+        assert!(normalize("EXPLAIN SELECT a FROM t").unwrap().is_explain());
+        assert!(normalize("explain").unwrap().is_explain());
+        // A column merely *named* like the keyword does not confuse it.
+        assert!(!normalize("SELECT explain FROM t").unwrap().is_explain());
+    }
+
+    #[test]
+    fn lex_errors_propagate() {
+        assert!(normalize("SELECT 'unterminated").is_err());
+    }
+}

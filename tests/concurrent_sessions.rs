@@ -9,7 +9,10 @@
 
 use quokka::dataframe::tpch::query as df_query;
 use quokka::tpch::queries::sql::sql_text;
-use quokka::{same_result, Batch, EngineConfig, FailureSpec, QueryMetrics, QuokkaSession};
+use quokka::{
+    same_result, AdmissionConfig, Batch, EngineConfig, FailureSpec, QueryMetrics, QuokkaError,
+    QuokkaSession,
+};
 use std::sync::Arc;
 
 /// The mixed workload: every frontend, several plan shapes.
@@ -134,6 +137,96 @@ fn concurrent_queries_with_fault_injection_stay_isolated() {
     for handle in handles {
         handle.join().expect("query thread panicked");
     }
+}
+
+/// Overload on a shared session: with both admission slots held and the
+/// bounded queue saturated, late arrivals get a typed `Overloaded` error —
+/// never a hang — and every admitted query still streams its exact result
+/// (no batch lost to, or duplicated by, the queueing machinery).
+#[test]
+fn overloaded_session_rejects_excess_queries_without_losing_results() {
+    let session = Arc::new(
+        QuokkaSession::tpch(0.002, 2)
+            .unwrap()
+            .with_config(EngineConfig::quokka(2).with_admission(AdmissionConfig::bounded(2, 2))),
+    );
+    let expected = Arc::new(session.tpch_query(6).unwrap().collect_reference().unwrap());
+
+    // Pin both admission slots so the eight client threads below contend
+    // deterministically: the first two to arrive occupy the queue, the
+    // other six must be turned away immediately.
+    let slots =
+        vec![session.admission().acquire(0).unwrap(), session.admission().acquire(0).unwrap()];
+
+    let clients = 8;
+    let threads: Vec<_> = (0..clients)
+        .map(|i| {
+            let session = Arc::clone(&session);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                // Mixed frontends: even threads collect via SQL, odd threads
+                // stream via the DataFrame API. Both must surface the same
+                // typed rejection.
+                let result = if i % 2 == 0 {
+                    session
+                        .sql(sql_text(6).unwrap())
+                        .unwrap()
+                        .collect()
+                        .map(|outcome| outcome.batch)
+                } else {
+                    df_query(&session, 6).unwrap().stream().and_then(|mut stream| {
+                        let mut batches = Vec::new();
+                        while let Some(batch) = stream.next_batch()? {
+                            batches.push(batch);
+                        }
+                        Batch::concat(&batches)
+                    })
+                };
+                match result {
+                    Ok(batch) => {
+                        assert!(
+                            same_result(&batch, &expected),
+                            "thread {i}: an admitted query lost or duplicated batches"
+                        );
+                        true
+                    }
+                    Err(QuokkaError::Overloaded { queued, queue_limit, .. }) => {
+                        assert_eq!(
+                            (queued, queue_limit),
+                            (2, 2),
+                            "thread {i}: rejection must report a saturated queue"
+                        );
+                        false
+                    }
+                    Err(other) => panic!("thread {i}: expected Overloaded, got {other}"),
+                }
+            })
+        })
+        .collect();
+
+    // Every client has resolved once two are parked in the queue and six
+    // were rejected; only then release the pinned slots.
+    while session.admission().queue_depth() < 2
+        || session.admission().stats().rejected < (clients - 2) as u64
+    {
+        std::thread::yield_now();
+    }
+    drop(slots);
+
+    let completed = threads
+        .into_iter()
+        .map(|t| t.join().expect("client panicked"))
+        .filter(|&admitted| admitted)
+        .count();
+    assert_eq!(completed, 2, "exactly the queued clients must complete");
+    let stats = session.admission().stats();
+    assert_eq!(stats.rejected, (clients - 2) as u64);
+    assert_eq!(stats.peak_running, 2, "pinned slots bound concurrency");
+    assert_eq!(session.admission().running(), 0, "drained session must hold no slots");
+    assert_eq!(session.admission().queue_depth(), 0);
+    // The session is healthy after the storm: a fresh query just runs.
+    let after = session.run_tpch(6).unwrap();
+    assert!(same_result(&after.batch, &expected));
 }
 
 #[test]

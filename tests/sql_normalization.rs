@@ -1,0 +1,232 @@
+//! Property tests for SQL normalization — the plan cache's keying function.
+//!
+//! The cache key of a statement is its normalized **template** (literals
+//! parameterized out, plus catalog generation and config fingerprint). Two
+//! properties make that keying sound and useful, and both are checked on
+//! randomized variants of all 22 TPC-H SQL statements:
+//!
+//! * **Insensitivity** — whitespace, comments, identifier/keyword case and
+//!   literal *values* must not change the template: every such variant of a
+//!   statement produces the identical cache key, so a serving workload that
+//!   varies only parameters always hits.
+//! * **Injectivity** — semantically different statements must not collide:
+//!   distinct TPC-H queries have pairwise distinct templates, and any
+//!   structural mutation of a statement's token stream (a token deleted or
+//!   an operator swapped) changes its template.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+use quokka::sql::lexer::{tokenize, Token, TokenKind};
+use quokka::sql::{normalize, LiteralValue};
+use quokka::tpch::queries::sql::{sql_text, SQL_QUERIES};
+
+/// Re-render a token stream as concrete SQL with randomized inter-token
+/// whitespace and comments, randomized identifier/keyword case, and —
+/// when `perturb` is set — randomized literal values. Returns the text and
+/// whether any literal actually changed.
+fn render_variant(tokens: &[Token], rng: &mut TestRng, perturb: bool) -> (String, bool) {
+    let mut text = String::new();
+    let mut changed = false;
+    for token in tokens {
+        let piece = match &token.kind {
+            TokenKind::Eof => break,
+            TokenKind::Ident(name) => name
+                .chars()
+                .map(|c| if rng.below(2) == 0 { c.to_ascii_uppercase() } else { c })
+                .collect::<String>(),
+            TokenKind::Int(v) => {
+                if perturb && rng.below(2) == 0 {
+                    // Stay non-negative: a negative value would render as a
+                    // Minus token plus an Int token — a different template.
+                    let new = (v.unsigned_abs() % 10_000) as i64 + rng.below(97) as i64 + 1;
+                    changed = changed || new != *v;
+                    new.to_string()
+                } else {
+                    v.to_string()
+                }
+            }
+            TokenKind::Float(v) => {
+                if perturb && rng.below(2) == 0 {
+                    let new = (v.abs() % 100.0) + (rng.below(900) as f64 + 1.0) / 100.0;
+                    changed = changed || new != *v;
+                    // `{:?}` keeps a decimal point ("1.0", not "1"), so the
+                    // variant lexes back to a Float token.
+                    format!("{new:?}")
+                } else {
+                    format!("{v:?}")
+                }
+            }
+            TokenKind::Str(s) => {
+                if perturb && rng.below(2) == 0 {
+                    changed = true;
+                    format!("'{s}{}'", char::from(b'a' + rng.below(26) as u8))
+                } else {
+                    format!("'{s}'")
+                }
+            }
+            TokenKind::Semi => ";".to_string(),
+            TokenKind::LParen => "(".to_string(),
+            TokenKind::RParen => ")".to_string(),
+            TokenKind::Comma => ",".to_string(),
+            TokenKind::Dot => ".".to_string(),
+            TokenKind::Star => "*".to_string(),
+            TokenKind::Plus => "+".to_string(),
+            TokenKind::Minus => "-".to_string(),
+            TokenKind::Slash => "/".to_string(),
+            TokenKind::Eq => "=".to_string(),
+            TokenKind::NotEq => "<>".to_string(),
+            TokenKind::Lt => "<".to_string(),
+            TokenKind::LtEq => "<=".to_string(),
+            TokenKind::Gt => ">".to_string(),
+            TokenKind::GtEq => ">=".to_string(),
+        };
+        // Random separator (always at least one space, so adjacent tokens
+        // never fuse): plain runs of whitespace or a line comment.
+        let sep = match rng.below(6) {
+            0 => " ",
+            1 => "  ",
+            2 => "\n",
+            3 => "\t ",
+            4 => " -- a comment\n ",
+            _ => "\n\t",
+        };
+        text.push_str(sep);
+        text.push_str(&piece);
+    }
+    if rng.below(2) == 0 {
+        text.push_str(" ;");
+    }
+    (text, changed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whitespace/comment/case variants of a TPC-H statement normalize to
+    /// the identical template *and* literal vector — byte-for-byte the same
+    /// cache key as the original.
+    #[test]
+    fn tpch_variants_produce_identical_cache_keys(seed in any::<i64>()) {
+        let mut rng = TestRng::for_case(seed as u64);
+        let number = SQL_QUERIES[rng.below(SQL_QUERIES.len() as u64) as usize];
+        let text = sql_text(number).unwrap();
+        let base = normalize(text).unwrap();
+        let tokens = tokenize(text).unwrap();
+        for _ in 0..4 {
+            let (variant, _) = render_variant(&tokens, &mut rng, false);
+            let normalized = normalize(&variant)
+                .unwrap_or_else(|e| panic!("Q{number} variant failed to lex: {e}\n{variant}"));
+            prop_assert_eq!(
+                &normalized.template, &base.template,
+                "Q{} variant changed the template:\n{}", number, variant
+            );
+            prop_assert_eq!(
+                &normalized.literals, &base.literals,
+                "Q{} variant changed the literals:\n{}", number, variant
+            );
+        }
+    }
+
+    /// Literal-value variants keep the template (the cache key) but carry
+    /// their own literal vector — a template hit that re-plans, never a
+    /// false full hit.
+    #[test]
+    fn literal_variants_share_the_template_but_not_the_literals(seed in any::<i64>()) {
+        let mut rng = TestRng::for_case(seed as u64);
+        let number = SQL_QUERIES[rng.below(SQL_QUERIES.len() as u64) as usize];
+        let text = sql_text(number).unwrap();
+        let base = normalize(text).unwrap();
+        let tokens = tokenize(text).unwrap();
+        let (variant, changed) = render_variant(&tokens, &mut rng, true);
+        let normalized = normalize(&variant).unwrap();
+        prop_assert_eq!(
+            &normalized.template, &base.template,
+            "Q{}: literal values leaked into the template:\n{}", number, variant
+        );
+        prop_assert_eq!(normalized.literals.len(), base.literals.len());
+        if changed {
+            prop_assert!(
+                normalized.literals != base.literals,
+                "Q{}: a perturbed literal survived normalization unchanged", number
+            );
+        }
+    }
+
+    /// Structural mutations collide with nothing: deleting any single token
+    /// (or swapping a comparison operator) yields a different template.
+    #[test]
+    fn structural_mutations_change_the_template(seed in any::<i64>()) {
+        let mut rng = TestRng::for_case(seed as u64);
+        let number = SQL_QUERIES[rng.below(SQL_QUERIES.len() as u64) as usize];
+        let text = sql_text(number).unwrap();
+        let base = normalize(text).unwrap();
+        let mut tokens = tokenize(text).unwrap();
+        // Drop the Eof sentinel, then delete one random real token.
+        tokens.retain(|t| !matches!(t.kind, TokenKind::Eof));
+        prop_assert!(tokens.len() > 2);
+        if rng.below(2) == 0 {
+            tokens.remove(rng.below(tokens.len() as u64) as usize);
+        } else if let Some(token) = tokens
+            .iter_mut()
+            .filter(|t| matches!(t.kind, TokenKind::Lt | TokenKind::Gt))
+            .nth(rng.below(4) as usize)
+        {
+            token.kind = match token.kind {
+                TokenKind::Lt => TokenKind::LtEq,
+                _ => TokenKind::GtEq,
+            };
+        } else {
+            tokens.remove(rng.below(tokens.len() as u64) as usize);
+        }
+        let (mutated, _) = render_variant(&tokens, &mut rng, false);
+        // Some deletions produce text the lexer itself rejects (e.g. a lone
+        // quote) — those trivially cannot collide in the cache.
+        if let Ok(normalized) = normalize(&mutated) {
+            prop_assert!(
+                normalized.template != base.template,
+                "Q{}: a structurally mutated statement collided with the original:\n{}",
+                number, mutated
+            );
+        }
+    }
+}
+
+/// All 22 TPC-H statements key to pairwise-distinct templates: no two
+/// benchmark queries can ever share a cache entry.
+#[test]
+fn all_22_tpch_templates_are_pairwise_distinct() {
+    let templates: Vec<(usize, String)> = SQL_QUERIES
+        .iter()
+        .map(|&q| (q, normalize(sql_text(q).unwrap()).unwrap().template))
+        .collect();
+    for (i, (qa, a)) in templates.iter().enumerate() {
+        for (qb, b) in &templates[i + 1..] {
+            assert_ne!(a, b, "Q{qa} and Q{qb} share a cache template");
+        }
+    }
+}
+
+/// The normalized literal count matches what the statement visibly carries
+/// (a smoke check that extraction walks the whole statement).
+#[test]
+fn every_tpch_query_parameterizes_its_literals() {
+    for &q in &SQL_QUERIES {
+        let normalized = normalize(sql_text(q).unwrap()).unwrap();
+        assert!(
+            !normalized.template.contains('\''),
+            "Q{q}: a string literal survived in the template"
+        );
+        assert_eq!(
+            normalized.template.matches('?').count(),
+            normalized.literals.len(),
+            "Q{q}: placeholder/literal count mismatch"
+        );
+        assert!(
+            normalized.literals.iter().any(|l| matches!(
+                l,
+                LiteralValue::Int(_) | LiteralValue::Float(_) | LiteralValue::Str(_)
+            )) || normalized.literals.is_empty(),
+            "Q{q}: literal extraction produced nothing usable"
+        );
+    }
+}
