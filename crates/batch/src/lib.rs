@@ -22,6 +22,9 @@
 //! * [`codec`] — a compact binary encoding used for upstream backup,
 //!   spooling and checkpoints, so the storage cost model can charge for real
 //!   byte counts.
+//! * [`wire`] — the dependency-free length-prefixed encoding used by the
+//!   transport data plane (TCP shuffle frames written into pooled slabs) and
+//!   by every other hand-written protocol layer.
 
 pub mod batch;
 pub mod codec;
@@ -30,6 +33,7 @@ pub mod compute;
 pub mod datatype;
 pub mod rowkey;
 pub mod schema;
+pub mod wire;
 
 pub use batch::Batch;
 pub use column::Column;

@@ -52,6 +52,13 @@ struct PhaseTallies {
     errors: Vec<String>,
     /// Queries whose rows diverged from the reference executor.
     divergences: u64,
+    /// Wire traffic summed over every completed query's transport peers.
+    /// Zero on the in-process transport; real counts under
+    /// `QUOKKA_TRANSPORT=tcp`.
+    wire_bytes_sent: u64,
+    /// Highest per-peer send-queue depth seen across the phase — how close
+    /// the load came to engaging backpressure.
+    send_queue_peak: u64,
 }
 
 struct PhaseResult {
@@ -131,6 +138,11 @@ fn run_phase(
                         Ok(outcome) => {
                             t.completed += 1;
                             t.latencies.push(latency);
+                            let peers = &outcome.metrics.transport_peers;
+                            t.wire_bytes_sent += peers.iter().map(|p| p.bytes_sent).sum::<u64>();
+                            t.send_queue_peak = t
+                                .send_queue_peak
+                                .max(peers.iter().map(|p| p.send_queue_peak).max().unwrap_or(0));
                             if !same_result(&outcome.batch, &expected[&number]) {
                                 t.divergences += 1;
                             }
@@ -156,7 +168,8 @@ fn phase_json(r: &PhaseResult) -> String {
     format!(
         "    {{\"name\": \"{}\", \"completed\": {}, \"rejected\": {}, \"qps\": {:.2}, \
          \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"plan_p50_us\": {:.1}, \"plan_p99_us\": {:.1}, \
-         \"cache_hits\": {}, \"wall_ms\": {:.1}}}",
+         \"cache_hits\": {}, \"wire_bytes_sent\": {}, \"send_queue_peak\": {}, \
+         \"wall_ms\": {:.1}}}",
         r.name,
         r.tallies.completed,
         r.tallies.rejected,
@@ -166,6 +179,8 @@ fn phase_json(r: &PhaseResult) -> String {
         percentile(&plan, 0.50).as_secs_f64() * 1e6,
         percentile(&plan, 0.99).as_secs_f64() * 1e6,
         r.tallies.cache_hits,
+        r.tallies.wire_bytes_sent,
+        r.tallies.send_queue_peak,
         r.wall.as_secs_f64() * 1e3,
     )
 }

@@ -33,6 +33,12 @@ struct Entry {
     naive_bytes: u64,
     optimized_bytes: u64,
     optimized_edges: Vec<(u32, u32, u64)>,
+    /// Per-peer wire traffic of the optimized run, summed over peers.
+    /// Zero under the in-process transport; real frame/byte counts when
+    /// the run is steered onto TCP via `QUOKKA_TRANSPORT=tcp`.
+    wire_frames_sent: u64,
+    wire_bytes_sent: u64,
+    send_queue_peak: u64,
 }
 
 impl Entry {
@@ -75,6 +81,7 @@ fn main() {
             same_result(&naive.batch, &optimized.batch),
             "Q{q}: optimized and unoptimized plans disagree on the result"
         );
+        let peers = &optimized.metrics.transport_peers;
         let entry = Entry {
             query: q,
             naive_bytes: naive.metrics.shuffle_bytes,
@@ -85,6 +92,9 @@ fn main() {
                 .iter()
                 .map(|e| (e.from_stage, e.to_stage, e.bytes))
                 .collect(),
+            wire_frames_sent: peers.iter().map(|p| p.frames_sent).sum(),
+            wire_bytes_sent: peers.iter().map(|p| p.bytes_sent).sum(),
+            send_queue_peak: peers.iter().map(|p| p.send_queue_peak).max().unwrap_or(0),
         };
         eprintln!(
             "Q{q:<3} naive {:>12} B   optimized {:>12} B   (-{:.1}%)",
@@ -111,11 +121,15 @@ fn main() {
             .collect();
         json.push_str(&format!(
             "    {{\"query\": {}, \"naive_shuffle_bytes\": {}, \"optimized_shuffle_bytes\": {}, \
-             \"reduction\": {:.4}, \"optimized_edges\": [{}]}}{}\n",
+             \"reduction\": {:.4}, \"wire_frames_sent\": {}, \"wire_bytes_sent\": {}, \
+             \"send_queue_peak\": {}, \"optimized_edges\": [{}]}}{}\n",
             e.query,
             e.naive_bytes,
             e.optimized_bytes,
             e.reduction(),
+            e.wire_frames_sent,
+            e.wire_bytes_sent,
+            e.send_queue_peak,
             edges.join(", "),
             if i + 1 < entries.len() { "," } else { "" }
         ));

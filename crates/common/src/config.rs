@@ -309,6 +309,56 @@ impl Default for PlanCacheConfig {
     }
 }
 
+/// Which wire carries shuffle pushes between workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransportKind {
+    /// Deliver pushes by calling straight into the destination worker's
+    /// in-process inbox (the default; zero-copy, no sockets).
+    Inproc,
+    /// Ship pushes over real TCP sockets: batches are encoded into pooled
+    /// byte slabs and sent by one dedicated thread per peer through a
+    /// bounded queue, so a slow consumer back-pressures its producers.
+    Tcp,
+}
+
+/// Transport data-plane tuning. Only read when [`TransportKind::Tcp`] is
+/// selected; the in-process backend has no queues or slabs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportConfig {
+    pub kind: TransportKind,
+    /// Per-peer bounded send-queue capacity in frames. A producer pushing
+    /// into a full queue blocks until the send thread drains it — this is
+    /// the end-to-end backpressure bound.
+    pub send_queue_frames: usize,
+    /// Initial byte capacity of each pooled send slab.
+    pub slab_bytes: usize,
+    /// Maximum idle slabs retained in the pool (excess slabs are freed).
+    pub max_pooled_slabs: usize,
+}
+
+impl TransportConfig {
+    /// The default in-process transport.
+    pub const fn inproc() -> Self {
+        TransportConfig {
+            kind: TransportKind::Inproc,
+            send_queue_frames: 32,
+            slab_bytes: 64 * 1024,
+            max_pooled_slabs: 128,
+        }
+    }
+
+    /// The TCP transport with default queue/slab sizing.
+    pub const fn tcp() -> Self {
+        TransportConfig { kind: TransportKind::Tcp, ..Self::inproc() }
+    }
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        Self::inproc()
+    }
+}
+
 /// Top-level engine configuration: one value of this type fully describes a
 /// run of one query.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -352,6 +402,10 @@ pub struct EngineConfig {
     pub admission: AdmissionConfig,
     /// Plan-cache sizing for `QuokkaSession::sql` (enabled by default).
     pub plan_cache: PlanCacheConfig,
+    /// Which transport carries shuffle pushes, and its queue/slab sizing.
+    /// The `QUOKKA_TRANSPORT` environment variable (`inproc` | `tcp`)
+    /// overrides the kind (see [`EngineConfig::resolve_env`]).
+    pub transport: TransportConfig,
 }
 
 impl EngineConfig {
@@ -374,6 +428,7 @@ impl EngineConfig {
             optimize: true,
             admission: AdmissionConfig::default(),
             plan_cache: PlanCacheConfig::default(),
+            transport: TransportConfig::default(),
         }
     }
 
@@ -463,6 +518,10 @@ impl EngineConfig {
         self.plan_cache = plan_cache;
         self
     }
+    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = transport;
+        self
+    }
 
     /// Fingerprint of the configuration fields that influence how a SQL
     /// statement is *planned* (as opposed to how the plan is executed).
@@ -500,6 +559,17 @@ impl EngineConfig {
                 ));
             }
             self.watchdog = Duration::from_secs(secs);
+        }
+        if let Ok(raw) = std::env::var("QUOKKA_TRANSPORT") {
+            self.transport.kind = match raw.as_str() {
+                "inproc" => TransportKind::Inproc,
+                "tcp" => TransportKind::Tcp,
+                other => {
+                    return Err(QuokkaError::config(format!(
+                        "QUOKKA_TRANSPORT must be 'inproc' or 'tcp', got {other:?}"
+                    )))
+                }
+            };
         }
         Ok(())
     }
@@ -621,6 +691,39 @@ mod tests {
             base.planning_fingerprint(),
             base.clone().with_optimize(false).planning_fingerprint()
         );
+    }
+
+    #[test]
+    fn transport_config_defaults_and_env_override() {
+        let d = EngineConfig::quokka(4);
+        assert_eq!(d.transport.kind, TransportKind::Inproc);
+        assert!(d.transport.send_queue_frames > 0);
+
+        let cfg = EngineConfig::quokka(4).with_transport(TransportConfig::tcp());
+        assert_eq!(cfg.transport.kind, TransportKind::Tcp);
+        assert_eq!(cfg.transport.slab_bytes, TransportConfig::inproc().slab_bytes);
+
+        // Env override: valid values switch the kind, garbage is rejected
+        // loudly. One test covers set/invalid/unset so the process-global
+        // variable is never observed mid-change by a sibling test.
+        let mut cfg = EngineConfig::quokka(2);
+        std::env::set_var("QUOKKA_TRANSPORT", "tcp");
+        cfg.resolve_env().expect("valid override");
+        assert_eq!(cfg.transport.kind, TransportKind::Tcp);
+
+        std::env::set_var("QUOKKA_TRANSPORT", "inproc");
+        cfg.resolve_env().expect("valid override");
+        assert_eq!(cfg.transport.kind, TransportKind::Inproc);
+
+        std::env::set_var("QUOKKA_TRANSPORT", "carrier-pigeon");
+        let err = cfg.resolve_env().expect_err("malformed override must be rejected");
+        assert!(matches!(err, QuokkaError::Config(_)), "got {err}");
+        assert!(err.to_string().contains("QUOKKA_TRANSPORT"));
+
+        std::env::remove_var("QUOKKA_TRANSPORT");
+        let mut fresh = EngineConfig::quokka(2);
+        fresh.resolve_env().expect("no override");
+        assert_eq!(fresh.transport.kind, TransportKind::Inproc);
     }
 
     #[test]

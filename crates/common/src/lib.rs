@@ -35,9 +35,9 @@ pub mod rng;
 pub use chaos::{ChaosEvent, ChaosInjection, ChaosPlan, ChaosTrigger};
 pub use config::{
     AdmissionConfig, ClusterConfig, CostModelConfig, EngineConfig, ExecutionMode, FailureSpec,
-    FaultStrategy, PlanCacheConfig, SchedulePolicy,
+    FaultStrategy, PlanCacheConfig, SchedulePolicy, TransportConfig, TransportKind,
 };
 pub use error::{QuokkaError, Result};
 pub use ids::{ChannelAddr, ChannelId, PartitionName, SeqNo, StageId, TaskName, WorkerId};
-pub use metrics::{MetricsRegistry, QueryMetrics};
+pub use metrics::{MetricsRegistry, PeerWireStats, QueryMetrics};
 pub use retry::{Backoff, RetryPolicy};

@@ -7,7 +7,7 @@
 //! recovery time — so the benchmark harness can print the "why" next to the
 //! "what".
 
-use crate::ids::StageId;
+use crate::ids::{StageId, WorkerId};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -27,6 +27,27 @@ pub struct ShuffleEdge {
     pub to_stage: StageId,
     /// Total bytes pushed across workers on this edge.
     pub bytes: u64,
+}
+
+/// Wire-level transport counters towards one peer, as seen from this
+/// process: frames/bytes handed to the peer's send queue, frames/bytes
+/// received from it, and the deepest its bounded send queue ever got (the
+/// backpressure high-water mark). All zeros under the in-process transport,
+/// which has no wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerWireStats {
+    /// The peer worker these counters are towards/from.
+    pub peer: WorkerId,
+    /// Frames enqueued for sending to this peer.
+    pub frames_sent: u64,
+    /// Encoded bytes enqueued for sending to this peer.
+    pub bytes_sent: u64,
+    /// Frames received from this peer.
+    pub frames_received: u64,
+    /// Encoded bytes received from this peer.
+    pub bytes_received: u64,
+    /// Deepest observed occupancy of the bounded send queue to this peer.
+    pub send_queue_peak: u64,
 }
 
 /// A snapshot of the counters for one query run.
@@ -96,6 +117,10 @@ pub struct QueryMetrics {
     /// The memory estimate (from catalog statistics) this query was
     /// admitted under; zero when admission control is unlimited.
     pub admitted_memory_bytes: u64,
+    /// Per-peer wire counters (bytes/frames on the wire, send-queue
+    /// high-water marks), sorted by peer. Empty under the in-process
+    /// transport.
+    pub transport_peers: Vec<PeerWireStats>,
 }
 
 impl QueryMetrics {
@@ -132,6 +157,7 @@ pub struct MetricsRegistry {
     recovery_tasks: AtomicU64,
     shuffle_bytes: AtomicU64,
     shuffle_edges: Mutex<BTreeMap<(StageId, StageId), u64>>,
+    wire_peers: Mutex<BTreeMap<WorkerId, PeerWireStats>>,
     durable_bytes: AtomicU64,
     backup_bytes: AtomicU64,
     checkpoint_bytes: AtomicU64,
@@ -157,6 +183,7 @@ impl Default for MetricsRegistry {
             recovery_tasks: AtomicU64::new(0),
             shuffle_bytes: AtomicU64::new(0),
             shuffle_edges: Mutex::new(BTreeMap::new()),
+            wire_peers: Mutex::new(BTreeMap::new()),
             durable_bytes: AtomicU64::new(0),
             backup_bytes: AtomicU64::new(0),
             checkpoint_bytes: AtomicU64::new(0),
@@ -195,6 +222,40 @@ impl MetricsRegistry {
         let mut edges = self.shuffle_edges.lock().expect("shuffle edge map poisoned");
         *edges.entry((from_stage, to_stage)).or_insert(0) += bytes;
     }
+    /// Record one frame handed to `peer`'s send queue, and fold the queue
+    /// occupancy observed at enqueue time into the high-water mark.
+    pub fn add_wire_send(&self, peer: WorkerId, bytes: u64, queue_depth: u64) {
+        let mut peers = self.wire_peers.lock().expect("wire peer map poisoned");
+        let stats = peers.entry(peer).or_insert(PeerWireStats { peer, ..Default::default() });
+        stats.frames_sent += 1;
+        stats.bytes_sent += bytes;
+        stats.send_queue_peak = stats.send_queue_peak.max(queue_depth);
+    }
+
+    /// Record one frame received from `peer`.
+    pub fn add_wire_recv(&self, peer: WorkerId, bytes: u64) {
+        let mut peers = self.wire_peers.lock().expect("wire peer map poisoned");
+        let stats = peers.entry(peer).or_insert(PeerWireStats { peer, ..Default::default() });
+        stats.frames_received += 1;
+        stats.bytes_received += bytes;
+    }
+
+    /// Fold another snapshot's per-peer wire counters into this registry
+    /// (used in process mode, where each worker process reports its own
+    /// counters to the driver at exit).
+    pub fn merge_wire_peers(&self, other: &[PeerWireStats]) {
+        let mut peers = self.wire_peers.lock().expect("wire peer map poisoned");
+        for s in other {
+            let stats =
+                peers.entry(s.peer).or_insert(PeerWireStats { peer: s.peer, ..Default::default() });
+            stats.frames_sent += s.frames_sent;
+            stats.bytes_sent += s.bytes_sent;
+            stats.frames_received += s.frames_received;
+            stats.bytes_received += s.bytes_received;
+            stats.send_queue_peak = stats.send_queue_peak.max(s.send_queue_peak);
+        }
+    }
+
     pub fn add_durable_bytes(&self, bytes: u64) {
         self.durable_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
@@ -301,6 +362,13 @@ impl MetricsRegistry {
             plan_cache_hit: false,
             admission_wait: Duration::ZERO,
             admitted_memory_bytes: 0,
+            transport_peers: self
+                .wire_peers
+                .lock()
+                .expect("wire peer map poisoned")
+                .values()
+                .copied()
+                .collect(),
         }
     }
 }
@@ -349,6 +417,37 @@ mod tests {
         assert_eq!(snap.runtime, Duration::from_secs(2));
         assert_eq!(snap.result_batches, 2);
         assert!(snap.time_to_first_batch.is_some());
+    }
+
+    #[test]
+    fn wire_peer_stats_accumulate_and_merge() {
+        let reg = MetricsRegistry::new();
+        reg.add_wire_send(1, 100, 3);
+        reg.add_wire_send(1, 50, 7);
+        reg.add_wire_send(2, 10, 1);
+        reg.add_wire_recv(1, 40);
+        let snap = reg.snapshot(Duration::ZERO);
+        assert_eq!(snap.transport_peers.len(), 2);
+        let p1 = snap.transport_peers[0];
+        assert_eq!(p1.peer, 1);
+        assert_eq!(p1.frames_sent, 2);
+        assert_eq!(p1.bytes_sent, 150);
+        assert_eq!(p1.frames_received, 1);
+        assert_eq!(p1.bytes_received, 40);
+        assert_eq!(p1.send_queue_peak, 7);
+
+        // Merging a remote process's counters sums totals and takes the max
+        // of the queue peaks.
+        let other = MetricsRegistry::new();
+        other.merge_wire_peers(&snap.transport_peers);
+        other.add_wire_send(1, 5, 9);
+        let merged = other.snapshot(Duration::ZERO);
+        assert_eq!(merged.transport_peers[0].frames_sent, 3);
+        assert_eq!(merged.transport_peers[0].bytes_sent, 155);
+        assert_eq!(merged.transport_peers[0].send_queue_peak, 9);
+        // The in-process transport records nothing.
+        let quiet = MetricsRegistry::new();
+        assert!(quiet.snapshot(Duration::ZERO).transport_peers.is_empty());
     }
 
     #[test]

@@ -42,6 +42,7 @@
 
 pub mod admission;
 pub mod chaos;
+pub mod cluster;
 pub mod layout;
 pub mod recovery;
 pub mod runtime;
@@ -50,6 +51,9 @@ pub mod worker;
 
 pub use admission::{estimate_query_memory, AdmissionController, AdmissionPermit, AdmissionStats};
 pub use chaos::ChaosEngine;
+pub use cluster::{
+    run_process_query, run_workerd, KillPlan, ProcessQuery, RemoteDurable, WorkerdOpts,
+};
 pub use layout::QueryLayout;
 pub use runtime::{QueryOutcome, QueryRunner, StreamOptions};
 pub use stream::BatchStream;

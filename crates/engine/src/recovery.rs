@@ -47,6 +47,12 @@ pub enum CoordinatorOutcome {
 struct DetectorEntry {
     last_count: u64,
     last_change: Instant,
+    /// Consecutive suspicions without a heartbeat in between. The first
+    /// strike reconciles conservatively (the worker may be partitioned);
+    /// a worker still silent after that is declared dead — the only way a
+    /// worker whose *process* was killed (process mode) ever gets its
+    /// lost backups converted into producer rewinds.
+    strikes: u32,
 }
 
 /// The coordinator for one query execution.
@@ -105,10 +111,14 @@ impl Coordinator {
         let deadline = self.services.config.query_timeout;
         let start = Instant::now();
         let mut last_progress = (0u64, Instant::now());
+        // Process mode: when the sinks look done but emissions are missing,
+        // when the wait for them started (see the completion check below).
+        let mut sink_wait: Option<Instant> = None;
         let mut detector: Vec<DetectorEntry> = (0..self.services.layout.workers())
             .map(|w| DetectorEntry {
                 last_count: self.services.heartbeat_count(w),
                 last_change: Instant::now(),
+                strikes: 0,
             })
             .collect();
 
@@ -165,17 +175,37 @@ impl Coordinator {
                     if count != entry.last_count {
                         entry.last_count = count;
                         entry.last_change = Instant::now();
+                        entry.strikes = 0;
                     } else if count > 0 && entry.last_change.elapsed() > suspicion_timeout {
-                        if let Err(e) = self.suspect(worker) {
+                        let strikes = entry.strikes + 1;
+                        detector[worker as usize] = DetectorEntry {
+                            last_count: self.services.heartbeat_count(worker),
+                            last_change: Instant::now(),
+                            strikes,
+                        };
+                        if strikes >= 2
+                            && self.services.config.fault.supports_intra_query_recovery()
+                        {
+                            // Silent straight through a suspicion-reconcile:
+                            // a partition would have healed (suspicion lifts
+                            // the heartbeat suppression), so the process is
+                            // gone. Declare it dead — its local backups died
+                            // with it, and only the kill path turns those
+                            // into producer rewinds.
+                            self.services.kill_worker(worker);
+                            let planning_start = Instant::now();
+                            if let Err(e) = self.recover(worker) {
+                                let error = QuokkaError::Internal(format!("recovery failed: {e}"));
+                                self.services.gcs.set_query_error(&error.to_string());
+                                return CoordinatorOutcome::Failed(error);
+                            }
+                            self.services.metrics.add_recovery_planning(planning_start.elapsed());
+                        } else if let Err(e) = self.suspect(worker) {
                             let error =
                                 QuokkaError::Internal(format!("suspicion recovery failed: {e}"));
                             self.services.gcs.set_query_error(&error.to_string());
                             return CoordinatorOutcome::Failed(error);
                         }
-                        detector[worker as usize] = DetectorEntry {
-                            last_count: self.services.heartbeat_count(worker),
-                            last_change: Instant::now(),
-                        };
                     }
                 }
             }
@@ -196,8 +226,42 @@ impl Coordinator {
             }
 
             if self.sink_done() {
-                self.services.gcs.set_query_done();
-                return CoordinatorOutcome::Completed;
+                match self.missing_sink_emissions() {
+                    Some(missing) if !missing.is_empty() => {
+                        // Process mode: a sink commit becomes visible in the
+                        // GCS before its emitted partition crosses back to
+                        // the driver, so completion must wait for the
+                        // results themselves. Give in-flight emissions a
+                        // grace period; if one never arrives (a SIGKILLed
+                        // worker committed and died before emitting), rewind
+                        // its channel — only a lineage replay can regenerate
+                        // the partition.
+                        match sink_wait {
+                            None => sink_wait = Some(Instant::now()),
+                            Some(since) if since.elapsed() > suspicion_timeout => {
+                                sink_wait = None;
+                                let planning_start = Instant::now();
+                                if let Err(e) = self.reconcile(missing) {
+                                    let error = QuokkaError::Internal(format!(
+                                        "sink emission repair failed: {e}"
+                                    ));
+                                    self.services.gcs.set_query_error(&error.to_string());
+                                    return CoordinatorOutcome::Failed(error);
+                                }
+                                self.services
+                                    .metrics
+                                    .add_recovery_planning(planning_start.elapsed());
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                    _ => {
+                        self.services.gcs.set_query_done();
+                        return CoordinatorOutcome::Completed;
+                    }
+                }
+            } else {
+                sink_wait = None;
             }
 
             // Per-query deadline: cancel cleanly with a typed error.
@@ -226,6 +290,28 @@ impl Coordinator {
             }
             std::thread::sleep(heartbeat);
         }
+    }
+
+    /// Process mode only (`Services::delivered_sinks` is `Some`): the sink
+    /// channels with committed partitions that have not reached the driver's
+    /// result stream yet. `None` in-process, where emission is synchronous
+    /// with the commit.
+    fn missing_sink_emissions(&self) -> Option<BTreeSet<ChannelAddr>> {
+        let delivered = self.services.delivered_sinks.as_ref()?;
+        let delivered = delivered.lock();
+        let sink = self.services.layout.sink();
+        let mut missing = BTreeSet::new();
+        for channel in self.services.layout.channels_of(sink) {
+            let Some(state) = self.services.gcs.get_channel(channel) else { continue };
+            let Some(committed) = state.committed_seq else { continue };
+            for seq in 0..=committed {
+                if !delivered.contains(&channel.task(seq)) {
+                    missing.insert(channel);
+                    break;
+                }
+            }
+        }
+        Some(missing)
     }
 
     /// Handle a suspected worker: reconcile its channels onto trusted
@@ -265,12 +351,21 @@ impl Coordinator {
         std::thread::sleep(Duration::from_millis(2));
         // R: channels that must be rewound. Start with every unfinished
         // channel hosted by the failed worker.
-        let seeds: BTreeSet<ChannelAddr> = gcs
+        let mut seeds: BTreeSet<ChannelAddr> = gcs
             .all_channels()
             .into_iter()
             .filter(|c| c.worker == failed && !c.done)
             .map(|c| c.addr)
             .collect();
+        // Replays an earlier recovery routed to this worker can never be
+        // served now (its backup disk died with it). Drain them and rewind
+        // their consumers so reconciliation re-plans each partition from
+        // whatever copies remain — this is how a single failure that takes
+        // out several workers at once (a whole process) stays recoverable.
+        for stranded in gcs.replays_for_worker(failed) {
+            gcs.remove_replay(&stranded);
+            seeds.insert(stranded.consumer);
+        }
         let result = self.reconcile_locked(seeds);
         gcs.set_paused(false);
         result
@@ -392,6 +487,9 @@ impl Coordinator {
     /// like.
     fn dump_stuck_state(&self) {
         eprintln!("[watchdog] paused={}", self.services.gcs.is_paused());
+        let beats: Vec<u64> =
+            (0..self.services.layout.workers()).map(|w| self.services.heartbeat_count(w)).collect();
+        eprintln!("[watchdog] heartbeats={beats:?}");
         for state in self.services.gcs.all_channels() {
             if !state.done {
                 eprintln!(

@@ -255,7 +255,8 @@ fn run_attempt(
 ) -> Result<AttemptOutcome> {
     let cost = CostModel::new(config.cost);
     let metrics = MetricsRegistry::new();
-    let durable = Arc::new(DurableObjectStore::new(cost, Arc::clone(&metrics)));
+    let durable: Arc<dyn quokka_storage::ObjectStore> =
+        Arc::new(DurableObjectStore::new(cost, Arc::clone(&metrics)));
 
     // Load the referenced base tables into the (durable) object store as
     // split objects — the data lake the paper's queries read from S3.
@@ -279,7 +280,12 @@ fn run_attempt(
 
     let layout = Arc::new(QueryLayout::new(graph, &config.cluster, &table_splits)?);
     let gcs = Arc::new(Gcs::new(cost.gcs_delay()));
-    let plane = Arc::new(DataPlane::new(config.cluster.workers, cost, Arc::clone(&metrics)));
+    let plane = Arc::new(DataPlane::with_config(
+        config.cluster.workers,
+        cost,
+        Arc::clone(&metrics),
+        &config.transport,
+    )?);
     let backups: Vec<Arc<LocalBackupStore>> = (0..config.cluster.workers)
         .map(|w| Arc::new(LocalBackupStore::new(w, cost, Arc::clone(&metrics))))
         .collect();
@@ -309,6 +315,7 @@ fn run_attempt(
         suspected: (0..config.cluster.workers).map(|_| Default::default()).collect(),
         straggler_tasks: (0..config.cluster.workers).map(|_| Default::default()).collect(),
         straggler_micros: (0..config.cluster.workers).map(|_| Default::default()).collect(),
+        delivered_sinks: None,
     });
 
     let start = Instant::now();

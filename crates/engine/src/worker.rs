@@ -37,7 +37,7 @@ use quokka_gcs::tables::{
 use quokka_gcs::Gcs;
 use quokka_net::DataPlane;
 use quokka_plan::physical::StageOperator;
-use quokka_storage::{CostModel, DurableObjectStore, LocalBackupStore};
+use quokka_storage::{CostModel, LocalBackupStore, ObjectStore};
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -54,7 +54,11 @@ pub struct Services {
     pub gcs: Arc<Gcs>,
     pub plane: Arc<DataPlane>,
     pub backups: Vec<Arc<LocalBackupStore>>,
-    pub durable: Arc<DurableObjectStore>,
+    /// The durable store. In-process clusters hand every worker the real
+    /// [`DurableObjectStore`](quokka_storage::DurableObjectStore); process
+    /// mode substitutes a proxy that reaches the driver's store over the
+    /// control connection.
+    pub durable: Arc<dyn ObjectStore>,
     /// Result sink: committed sink-stage partitions are sent here the moment
     /// their lineage commits, tagged with the task name so the consuming
     /// [`BatchStream`](crate::stream::BatchStream) can recognise a replayed
@@ -81,6 +85,15 @@ pub struct Services {
     /// down, and the extra delay (µs) each one sleeps before executing.
     pub straggler_tasks: Vec<AtomicU32>,
     pub straggler_micros: Vec<AtomicU64>,
+    /// Process mode only: the sink task names whose output partitions have
+    /// actually reached the driver's result stream. In-process this is
+    /// `None` — emission is an in-memory send right after the commit, so a
+    /// committed-but-undelivered window cannot exist. Across processes the
+    /// emission is an RPC that a SIGKILL (or plain scheduling) can separate
+    /// from the commit; the coordinator holds query completion until every
+    /// committed sink partition is accounted for here, rewinding the
+    /// channels of the ones that never arrive.
+    pub delivered_sinks: Option<Arc<Mutex<HashSet<TaskName>>>>,
 }
 
 impl Services {
@@ -350,8 +363,19 @@ impl StageWorker {
                     // the failure is one the coordinator is already
                     // repairing (barrier raised, or the destination worker
                     // killed and about to be reconciled away).
-                    let repair_pending =
-                        services.gcs.is_paused() || services.is_killed(consumer_state.worker);
+                    // A typed WorkerFailed also waits uncharged: the dead
+                    // destination will be detected (heartbeat stall) and the
+                    // consumer reassigned, but detection takes a suspicion
+                    // window while retries burn in microseconds — charging
+                    // here would exhaust the budget before the coordinator
+                    // can act. The stall watchdog bounds the wait. In
+                    // process mode the coordinator's kill list lives in
+                    // another OS process, so also consult the authoritative
+                    // GCS failure markers the commit barrier uses.
+                    let repair_pending = services.gcs.is_paused()
+                        || services.is_killed(consumer_state.worker)
+                        || services.gcs.is_worker_failed(consumer_state.worker)
+                        || matches!(e, QuokkaError::WorkerFailed(_));
                     let attempts = request.attempts + u32::from(!repair_pending);
                     if attempts > services.config.retry.max_attempts {
                         services.gcs.set_query_error(
@@ -1080,8 +1104,18 @@ impl StageWorker {
 
 /// Spawn every stage thread for every worker. Returns the join handles.
 pub fn spawn_workers(services: &Arc<Services>) -> Vec<std::thread::JoinHandle<()>> {
+    spawn_workers_for(services, 0..services.layout.workers())
+}
+
+/// Spawn stage threads for a subset of the cluster's workers. This is how a
+/// process-mode worker process hosts only its assigned worker range while
+/// the layout still describes the whole cluster.
+pub fn spawn_workers_for(
+    services: &Arc<Services>,
+    workers: std::ops::Range<WorkerId>,
+) -> Vec<std::thread::JoinHandle<()>> {
     let mut handles = Vec::new();
-    for worker in 0..services.layout.workers() {
+    for worker in workers {
         for stage in 0..services.layout.graph.stages.len() as StageId {
             let services = Arc::clone(services);
             let handle = std::thread::Builder::new()

@@ -1,4 +1,4 @@
-//! A transactional, versioned, in-memory key-value store.
+//! A transactional, versioned key-value store.
 //!
 //! This is the substrate under the typed GCS tables. It intentionally mimics
 //! the subset of Redis semantics the paper relies on:
@@ -11,12 +11,30 @@
 //! * prefix scans support listing, e.g. "all committed lineage of channel X";
 //! * an optional per-operation latency models the network round trip to the
 //!   head node, so GCS traffic shows up in the cost model.
+//!
+//! The store has two backends behind one API. [`KvStore::new`] is the
+//! authoritative in-memory store the driver owns. [`KvStore::remote`] is a
+//! thin proxy used by worker processes in process mode: every operation
+//! becomes one RPC to the driver's control server (see
+//! [`remote`]), and transactions ship their read/write/delete
+//! sets for server-side validation — exactly how a TaskManager talks to the
+//! head-node Redis in the paper's deployment. The typed tables layer never
+//! knows which backend it is running on.
+//!
+//! Remote semantics note: like a Ray worker that loses its GCS connection, a
+//! proxy whose driver becomes unreachable is dead — infallible accessors
+//! (`get`, `put`, ...) panic on connection loss, which tears down the worker
+//! process and lets the driver-side failure detector reconcile it. Only the
+//! transaction commit path reports errors, because aborts are part of its
+//! contract.
 
+use crate::remote::{self, ControlClient};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use quokka_common::{QuokkaError, Result};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Monotonically increasing version of one key. Version 0 means "never
@@ -29,15 +47,24 @@ struct Entry {
     version: Version,
 }
 
-/// The in-memory store. Cheap to share: wrap it in an `Arc`.
+#[derive(Debug)]
+enum Backend {
+    /// The authoritative store: an in-memory versioned map.
+    Local(Mutex<BTreeMap<String, Entry>>),
+    /// A proxy: every operation is an RPC against the driver's store.
+    Remote(Arc<ControlClient>),
+}
+
+/// The key-value store. Cheap to share: wrap it in an `Arc`.
 #[derive(Debug)]
 pub struct KvStore {
-    map: Mutex<BTreeMap<String, Entry>>,
+    backend: Backend,
     /// Total number of committed transactions (including single-op writes).
     committed: AtomicU64,
     /// Total number of aborted transactions.
     aborted: AtomicU64,
     /// Latency charged per GCS round trip (scaled sleep); zero disables it.
+    /// Remote stores pay the real network round trip instead.
     op_latency: Duration,
 }
 
@@ -47,16 +74,37 @@ impl Default for KvStore {
     }
 }
 
+/// What a remote proxy does when the driver is unreachable: die loudly.
+fn gcs_lost<T>(err: QuokkaError) -> T {
+    panic!("GCS connection lost: {err}");
+}
+
 impl KvStore {
-    /// Create a store charging `op_latency` per operation (use
-    /// `Duration::ZERO` to disable the simulated round trip).
+    /// Create an authoritative local store charging `op_latency` per
+    /// operation (use `Duration::ZERO` to disable the simulated round trip).
     pub fn new(op_latency: Duration) -> Self {
         KvStore {
-            map: Mutex::new(BTreeMap::new()),
+            backend: Backend::Local(Mutex::new(BTreeMap::new())),
             committed: AtomicU64::new(0),
             aborted: AtomicU64::new(0),
             op_latency,
         }
+    }
+
+    /// Create a proxy store that forwards every operation to the driver's
+    /// control server. No simulated latency: the wire is real here.
+    pub fn remote(client: Arc<ControlClient>) -> Self {
+        KvStore {
+            backend: Backend::Remote(client),
+            committed: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+            op_latency: Duration::ZERO,
+        }
+    }
+
+    /// Whether this store is a remote proxy.
+    pub fn is_remote(&self) -> bool {
+        matches!(self.backend, Backend::Remote(_))
     }
 
     fn charge(&self) {
@@ -68,8 +116,10 @@ impl KvStore {
     /// Read one key (value and version). Returns `None` if absent.
     pub fn get(&self, key: &str) -> Option<(Bytes, Version)> {
         self.charge();
-        let map = self.map.lock();
-        map.get(key).map(|e| (e.value.clone(), e.version))
+        match &self.backend {
+            Backend::Local(map) => map.lock().get(key).map(|e| (e.value.clone(), e.version)),
+            Backend::Remote(c) => remote::remote_get(c, key).unwrap_or_else(gcs_lost),
+        }
     }
 
     /// Read only the value of one key.
@@ -80,23 +130,35 @@ impl KvStore {
     /// Whether a key exists.
     pub fn contains(&self, key: &str) -> bool {
         self.charge();
-        self.map.lock().contains_key(key)
+        match &self.backend {
+            Backend::Local(map) => map.lock().contains_key(key),
+            Backend::Remote(c) => remote::remote_contains(c, key).unwrap_or_else(gcs_lost),
+        }
     }
 
     /// Unconditionally write one key (a single-operation transaction).
     pub fn put(&self, key: impl Into<String>, value: impl Into<Bytes>) {
         self.charge();
-        let mut map = self.map.lock();
         let key = key.into();
-        let version = map.get(&key).map(|e| e.version).unwrap_or(0) + 1;
-        map.insert(key, Entry { value: value.into(), version });
+        let value = value.into();
+        match &self.backend {
+            Backend::Local(map) => {
+                let mut map = map.lock();
+                let version = map.get(&key).map(|e| e.version).unwrap_or(0) + 1;
+                map.insert(key, Entry { value, version });
+            }
+            Backend::Remote(c) => remote::remote_put(c, &key, &value).unwrap_or_else(gcs_lost),
+        }
         self.committed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Unconditionally delete one key. Returns whether it existed.
     pub fn delete(&self, key: &str) -> bool {
         self.charge();
-        let removed = self.map.lock().remove(key).is_some();
+        let removed = match &self.backend {
+            Backend::Local(map) => map.lock().remove(key).is_some(),
+            Backend::Remote(c) => remote::remote_delete(c, key).unwrap_or_else(gcs_lost),
+        };
         if removed {
             self.committed.fetch_add(1, Ordering::Relaxed);
         }
@@ -106,18 +168,27 @@ impl KvStore {
     /// All `(key, value)` pairs whose key starts with `prefix`, in key order.
     pub fn scan_prefix(&self, prefix: &str) -> Vec<(String, Bytes)> {
         self.charge();
-        let map = self.map.lock();
-        map.range(prefix.to_string()..)
-            .take_while(|(k, _)| k.starts_with(prefix))
-            .map(|(k, e)| (k.clone(), e.value.clone()))
-            .collect()
+        match &self.backend {
+            Backend::Local(map) => map
+                .lock()
+                .range(prefix.to_string()..)
+                .take_while(|(k, _)| k.starts_with(prefix))
+                .map(|(k, e)| (k.clone(), e.value.clone()))
+                .collect(),
+            Backend::Remote(c) => remote::remote_scan_prefix(c, prefix).unwrap_or_else(gcs_lost),
+        }
     }
 
     /// Number of keys with the given prefix.
     pub fn count_prefix(&self, prefix: &str) -> usize {
         self.charge();
-        let map = self.map.lock();
-        map.range(prefix.to_string()..).take_while(|(k, _)| k.starts_with(prefix)).count()
+        match &self.backend {
+            Backend::Local(map) => {
+                let map = map.lock();
+                map.range(prefix.to_string()..).take_while(|(k, _)| k.starts_with(prefix)).count()
+            }
+            Backend::Remote(c) => remote::remote_count_prefix(c, prefix).unwrap_or_else(gcs_lost),
+        }
     }
 
     /// Begin a transaction. Reads performed through the transaction record
@@ -146,13 +217,60 @@ impl KvStore {
             let out = body(&mut txn)?;
             match txn.commit() {
                 Ok(()) => return Ok(out),
-                Err(e) if attempt < retries => {
+                Err(QuokkaError::TransactionAborted(_)) if attempt < retries => {
                     attempt += 1;
-                    debug_assert!(matches!(e, QuokkaError::TransactionAborted(_)));
                 }
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Validate a read set's versions and, if none changed, apply the write
+    /// and delete sets atomically. This is the commit both backends funnel
+    /// into: locally it runs under the map lock; in process mode the proxy
+    /// ships the sets here on the driver.
+    pub fn commit_sets(
+        &self,
+        read_set: Vec<(String, Version)>,
+        write_set: Vec<(String, Bytes)>,
+        delete_set: Vec<String>,
+    ) -> Result<()> {
+        self.charge();
+        let outcome = match &self.backend {
+            Backend::Local(map) => {
+                let mut map = map.lock();
+                let conflict = read_set.iter().find_map(|(key, seen_version)| {
+                    let current = map.get(key).map(|e| e.version).unwrap_or(0);
+                    (current != *seen_version).then(|| (key.clone(), *seen_version, current))
+                });
+                match conflict {
+                    Some((key, seen, current)) => Err(QuokkaError::TransactionAborted(format!(
+                        "key '{key}' changed (saw v{seen}, now v{current})"
+                    ))),
+                    None => {
+                        for (key, value) in write_set {
+                            let version = map.get(&key).map(|e| e.version).unwrap_or(0) + 1;
+                            map.insert(key, Entry { value, version });
+                        }
+                        for key in delete_set {
+                            map.remove(&key);
+                        }
+                        Ok(())
+                    }
+                }
+            }
+            Backend::Remote(c) => remote::remote_commit(c, &read_set, &write_set, &delete_set),
+        };
+        match &outcome {
+            Ok(()) => {
+                self.committed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(QuokkaError::TransactionAborted(_)) => {
+                self.aborted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {}
+        }
+        outcome
     }
 
     /// Number of committed transactions so far.
@@ -167,25 +285,37 @@ impl KvStore {
 
     /// Total number of keys currently stored.
     pub fn len(&self) -> usize {
-        self.map.lock().len()
+        match &self.backend {
+            Backend::Local(map) => map.lock().len(),
+            Backend::Remote(c) => {
+                remote::remote_u64(c, remote::OP_KV_LEN).unwrap_or_else(gcs_lost) as usize
+            }
+        }
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.lock().is_empty()
+        self.len() == 0
     }
 
     /// Approximate memory footprint of the stored metadata in bytes (keys +
     /// values). The paper argues the GCS footprint stays negligible thanks
     /// to the compact lineage naming scheme; tests assert on this.
     pub fn byte_size(&self) -> usize {
-        let map = self.map.lock();
-        map.iter().map(|(k, e)| k.len() + e.value.len()).sum()
+        match &self.backend {
+            Backend::Local(map) => map.lock().iter().map(|(k, e)| k.len() + e.value.len()).sum(),
+            Backend::Remote(c) => {
+                remote::remote_u64(c, remote::OP_KV_BYTE_SIZE).unwrap_or_else(gcs_lost) as usize
+            }
+        }
     }
 
     /// Drop every key. Used between queries when a cluster is reused.
     pub fn clear(&self) {
-        self.map.lock().clear();
+        match &self.backend {
+            Backend::Local(map) => map.lock().clear(),
+            Backend::Remote(c) => remote::remote_clear(c).unwrap_or_else(gcs_lost),
+        }
     }
 }
 
@@ -226,27 +356,7 @@ impl<'a> Transaction<'a> {
     /// Atomically apply the write and delete sets, provided no watched key
     /// has changed since it was read.
     pub fn commit(self) -> Result<()> {
-        self.store.charge();
-        let mut map = self.store.map.lock();
-        for (key, seen_version) in &self.read_set {
-            let current = map.get(key).map(|e| e.version).unwrap_or(0);
-            if current != *seen_version {
-                drop(map);
-                self.store.aborted.fetch_add(1, Ordering::Relaxed);
-                return Err(QuokkaError::TransactionAborted(format!(
-                    "key '{key}' changed (saw v{seen_version}, now v{current})"
-                )));
-            }
-        }
-        for (key, value) in self.write_set {
-            let version = map.get(&key).map(|e| e.version).unwrap_or(0) + 1;
-            map.insert(key, Entry { value, version });
-        }
-        for key in self.delete_set {
-            map.remove(&key);
-        }
-        self.store.committed.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        self.store.commit_sets(self.read_set, self.write_set, self.delete_set)
     }
 }
 
@@ -259,6 +369,7 @@ mod tests {
     fn put_get_delete_roundtrip() {
         let kv = KvStore::default();
         assert!(kv.is_empty());
+        assert!(!kv.is_remote());
         kv.put("a", Bytes::from_static(b"1"));
         assert_eq!(kv.get_value("a").unwrap(), Bytes::from_static(b"1"));
         assert!(kv.contains("a"));

@@ -14,6 +14,10 @@
 //!   keys, optimistic compare-and-set preconditions, prefix scans and atomic
 //!   multi-key commits (the Redis `MULTI`/`EXEC` analogue). A configurable
 //!   per-operation latency models the head-node round trip.
+//! * [`remote`] — the process-mode protocol: a pooled TCP client plus the
+//!   opcode/framing vocabulary that lets worker processes run against the
+//!   driver's authoritative store through [`KvStore::remote`], mirroring how
+//!   TaskManagers reach the head-node Redis over the network.
 //! * [`tables`] — typed views over the KV store matching the schema Quokka
 //!   needs: the lineage table (`G.L` in Algorithm 1), the task table
 //!   (`G.T`), the channel registry, the partition directory and the control
@@ -24,9 +28,11 @@
 //! "persistent" in the write-ahead-lineage protocol.
 
 pub mod kv;
+pub mod remote;
 pub mod tables;
 
 pub use kv::{KvStore, Transaction, Version};
+pub use remote::ControlClient;
 pub use tables::{
     ChannelState, Gcs, LineageRecord, LineageSource, PartitionEntry, ReplayRequest, TaskCommit,
     TaskEntry,

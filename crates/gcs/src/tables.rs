@@ -406,6 +406,12 @@ impl Gcs {
         Gcs { kv: KvStore::new(op_latency), lineage_bytes: AtomicU64::new(0) }
     }
 
+    /// Wrap an existing KV store — how worker processes build their GCS view
+    /// over a [`KvStore::remote`] proxy in process mode.
+    pub fn with_kv(kv: KvStore) -> Self {
+        Gcs { kv, lineage_bytes: AtomicU64::new(0) }
+    }
+
     /// Access to the raw KV store (used by tests and diagnostics).
     pub fn kv(&self) -> &KvStore {
         &self.kv

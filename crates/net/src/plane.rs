@@ -1,28 +1,62 @@
 //! The cluster-wide data plane: routing pushes between workers.
+//!
+//! `DataPlane` owns the *policy* of a push — destination liveness, chaos
+//! injection, network cost charging, shuffle accounting — and delegates the
+//! actual delivery to a pluggable [`Transport`] backend: the in-process
+//! [`InprocTransport`] by default, or the socket-backed
+//! [`TcpTransport`] when configured with
+//! [`TransportKind::Tcp`]. Everything layered on top (chaos suites, retry
+//! loops, recovery) is backend-agnostic.
 
 use crate::flight::FlightServer;
+use crate::tcp::{DeliverFn, TcpTransport};
+use crate::transport::{InprocTransport, Transport};
 use quokka_batch::Batch;
 use quokka_common::ids::{ChannelAddr, PartitionName, WorkerId};
 use quokka_common::metrics::MetricsRegistry;
-use quokka_common::{QuokkaError, Result};
+use quokka_common::{QuokkaError, Result, TransportConfig, TransportKind};
 use quokka_storage::CostModel;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Per-destination chaos injection state: the next `drops` pushes to a
-/// destination fail with a transient error, and the next `delays` pushes
-/// sleep `delay_micros` before delivering.
+/// destination fail with a transient error, and queued `(count, delay)`
+/// entries slow down upcoming pushes.
 #[derive(Debug, Default)]
 struct InjectedFaults {
     drops: AtomicU32,
-    delays: AtomicU32,
-    delay_micros: AtomicU64,
+    /// FIFO of `(remaining pushes, delay)` injections. A queue — not a
+    /// single shared duration — so overlapping injections towards the same
+    /// destination each keep their own delay instead of clobbering one
+    /// another.
+    delays: Mutex<VecDeque<(u32, Duration)>>,
 }
 
 impl InjectedFaults {
     fn take(counter: &AtomicU32) -> bool {
         counter.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1)).is_ok()
+    }
+
+    /// Enqueue `count` delayed pushes of `delay` each.
+    fn push_delay(&self, count: u32, delay: Duration) {
+        if count == 0 {
+            return;
+        }
+        self.delays.lock().expect("delay queue poisoned").push_back((count, delay));
+    }
+
+    /// Consume one delayed push, if any are queued.
+    fn take_delay(&self) -> Option<Duration> {
+        let mut delays = self.delays.lock().expect("delay queue poisoned");
+        let (remaining, delay) = delays.front_mut()?;
+        let delay = *delay;
+        *remaining -= 1;
+        if *remaining == 0 {
+            delays.pop_front();
+        }
+        Some(delay)
     }
 }
 
@@ -33,17 +67,73 @@ pub struct DataPlane {
     faults: Vec<InjectedFaults>,
     cost: CostModel,
     metrics: Arc<MetricsRegistry>,
+    transport: Box<dyn Transport>,
 }
 
 impl DataPlane {
-    /// Create a data plane for `workers` workers.
+    /// Create a data plane for `workers` workers on the default in-process
+    /// transport.
     pub fn new(workers: u32, cost: CostModel, metrics: Arc<MetricsRegistry>) -> Self {
+        Self::with_config(workers, cost, metrics, &TransportConfig::inproc())
+            .expect("in-process transport construction is infallible")
+    }
+
+    /// Create a data plane with an explicit transport configuration:
+    /// `TransportKind::Inproc` delivers pushes as direct inbox calls,
+    /// `TransportKind::Tcp` routes every cross-worker push through pooled
+    /// slabs and real loopback sockets.
+    pub fn with_config(
+        workers: u32,
+        cost: CostModel,
+        metrics: Arc<MetricsRegistry>,
+        config: &TransportConfig,
+    ) -> Result<Self> {
+        let servers: Vec<Arc<FlightServer>> =
+            (0..workers).map(|w| Arc::new(FlightServer::new(w))).collect();
+        let transport: Box<dyn Transport> = match config.kind {
+            TransportKind::Inproc => Box::new(InprocTransport::new(servers.clone())),
+            TransportKind::Tcp => {
+                let deliver = Self::deliver_into(servers.clone());
+                Box::new(TcpTransport::loopback(workers, config, Arc::clone(&metrics), deliver)?)
+            }
+        };
+        Ok(Self::from_parts(servers, cost, metrics, transport))
+    }
+
+    /// Assemble a data plane from pre-built flight servers and an already
+    /// wired transport. This is the process-mode entry point: a worker
+    /// process builds its servers, binds a [`TcpTransport`], exchanges peer
+    /// addresses through the GCS, and only then owns a routable plane.
+    pub fn from_parts(
+        servers: Vec<Arc<FlightServer>>,
+        cost: CostModel,
+        metrics: Arc<MetricsRegistry>,
+        transport: Box<dyn Transport>,
+    ) -> Self {
         DataPlane {
-            servers: (0..workers).map(|w| Arc::new(FlightServer::new(w))).collect(),
-            faults: (0..workers).map(|_| InjectedFaults::default()).collect(),
+            faults: (0..servers.len()).map(|_| InjectedFaults::default()).collect(),
+            servers,
             cost,
             metrics,
+            transport,
         }
+    }
+
+    /// The delivery callback a socket transport needs: push every
+    /// reassembled frame straight into the destination worker's inbox.
+    /// Fire-and-forget — a push racing a kill is dropped here, exactly the
+    /// slice loss lineage replay repairs.
+    pub fn deliver_into(inboxes: Vec<Arc<FlightServer>>) -> DeliverFn {
+        Arc::new(move |_source, destination, consumer, producer, batches| {
+            if let Some(server) = inboxes.get(destination as usize) {
+                let _ = server.push(consumer, producer, batches);
+            }
+        })
+    }
+
+    /// Which transport backend delivers pushes ("inproc" or "tcp").
+    pub fn transport_kind(&self) -> &'static str {
+        self.transport.kind()
     }
 
     /// Chaos injection: make the next `count` pushes towards `destination`
@@ -55,11 +145,12 @@ impl DataPlane {
     }
 
     /// Chaos injection: delay the next `count` pushes towards `destination`
-    /// by `delay` before delivering them.
+    /// by `delay` before delivering them. Injections queue up: overlapping
+    /// calls for the same destination are applied in FIFO order, each with
+    /// its own delay.
     pub fn inject_delay_pushes(&self, destination: WorkerId, count: u32, delay: Duration) {
         if let Some(f) = self.faults.get(destination as usize) {
-            f.delay_micros.store(delay.as_micros() as u64, Ordering::SeqCst);
-            f.delays.fetch_add(count, Ordering::SeqCst);
+            f.push_delay(count, delay);
         }
     }
 
@@ -77,7 +168,9 @@ impl DataPlane {
     /// Push a slice from `source` worker to the worker hosting the consumer
     /// channel. Cross-worker pushes are charged to the network cost model
     /// and counted as shuffle bytes; local pushes are free, like the paper's
-    /// same-machine flight transfers.
+    /// same-machine flight transfers. Delivery itself is the transport's
+    /// job: synchronous for `inproc`, queued onto the peer's send lane for
+    /// `tcp`.
     pub fn push(
         &self,
         source: WorkerId,
@@ -91,8 +184,8 @@ impl DataPlane {
             return Err(QuokkaError::WorkerFailed(destination));
         }
         let faults = &self.faults[destination as usize];
-        if InjectedFaults::take(&faults.delays) {
-            std::thread::sleep(Duration::from_micros(faults.delay_micros.load(Ordering::SeqCst)));
+        if let Some(delay) = faults.take_delay() {
+            std::thread::sleep(delay);
         }
         if InjectedFaults::take(&faults.drops) {
             return Err(QuokkaError::Transient(format!(
@@ -105,13 +198,14 @@ impl DataPlane {
             self.metrics.add_shuffle_bytes(bytes);
             self.metrics.add_shuffle_edge(producer.stage, consumer.stage, bytes);
         }
-        server.push(consumer, producer, batches)
+        self.transport.send(source, destination, consumer, producer, batches)
     }
 
     /// Kill a worker: its flight server rejects all traffic and loses its
-    /// inbox.
+    /// inbox, and the transport tears down any connection state towards it.
     pub fn fail_worker(&self, worker: WorkerId) -> Result<()> {
         self.server(worker)?.fail();
+        self.transport.fail_peer(worker);
         Ok(())
     }
 
@@ -147,6 +241,7 @@ mod tests {
     #[test]
     fn push_routes_to_destination_server() {
         let p = plane();
+        assert_eq!(p.transport_kind(), "inproc");
         let consumer = ChannelAddr::new(1, 2);
         let producer = TaskName::new(0, 0, 0);
         p.push(0, 2, consumer, producer, vec![batch()]).unwrap();
@@ -190,6 +285,35 @@ mod tests {
     }
 
     #[test]
+    fn overlapping_delay_injections_queue_instead_of_clobbering() {
+        // Regression test: the delay duration used to live in one shared
+        // cell per destination, so a second injection overwrote the first.
+        let f = InjectedFaults::default();
+        f.push_delay(2, Duration::from_micros(100));
+        f.push_delay(1, Duration::from_micros(7));
+        assert_eq!(f.take_delay(), Some(Duration::from_micros(100)));
+        assert_eq!(f.take_delay(), Some(Duration::from_micros(100)));
+        assert_eq!(f.take_delay(), Some(Duration::from_micros(7)));
+        assert_eq!(f.take_delay(), None);
+        f.push_delay(0, Duration::from_micros(9));
+        assert_eq!(f.take_delay(), None, "zero-count injections are ignored");
+
+        // And end-to-end: both injections apply with their own budgets.
+        let p = plane();
+        let consumer = ChannelAddr::new(1, 0);
+        p.inject_delay_pushes(1, 1, Duration::from_micros(300));
+        p.inject_delay_pushes(1, 1, Duration::from_micros(50));
+        let start = std::time::Instant::now();
+        p.push(0, 1, consumer, TaskName::new(0, 0, 0), vec![batch()]).unwrap();
+        p.push(0, 1, consumer, TaskName::new(0, 0, 1), vec![batch()]).unwrap();
+        assert!(start.elapsed() >= Duration::from_micros(350));
+        // The queue is drained; a third push is not delayed.
+        let start = std::time::Instant::now();
+        p.push(0, 1, consumer, TaskName::new(0, 0, 2), vec![batch()]).unwrap();
+        assert!(start.elapsed() < Duration::from_micros(300));
+    }
+
+    #[test]
     fn failed_worker_rejects_pushes_and_leaves_cluster() {
         let p = plane();
         assert_eq!(p.live_workers(), vec![0, 1, 2]);
@@ -200,5 +324,39 @@ mod tests {
         let err = p.push(0, 1, ChannelAddr::new(1, 0), TaskName::new(0, 0, 0), vec![]);
         assert!(matches!(err, Err(QuokkaError::WorkerFailed(1))));
         assert_eq!(p.num_workers(), 3);
+    }
+
+    #[test]
+    fn tcp_plane_delivers_cross_worker_pushes_over_the_wire() {
+        let metrics = MetricsRegistry::new();
+        let p = DataPlane::with_config(
+            3,
+            CostModel::free(),
+            Arc::clone(&metrics),
+            &TransportConfig::tcp(),
+        )
+        .unwrap();
+        assert_eq!(p.transport_kind(), "tcp");
+        let consumer = ChannelAddr::new(1, 2);
+        let producer = TaskName::new(0, 1, 0);
+        p.push(0, 2, consumer, producer, vec![batch()]).unwrap();
+        // Delivery is asynchronous on the wire: poll the inbox.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !p.server(2).unwrap().has_slice(consumer, producer) {
+            assert!(std::time::Instant::now() < deadline, "tcp push never arrived");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(p.server(2).unwrap().peek(consumer, producer).unwrap(), vec![batch()]);
+        // Shuffle accounting and per-peer wire stats both observed it.
+        let snap = metrics.snapshot(Duration::ZERO);
+        assert_eq!(snap.shuffle_bytes, batch().byte_size() as u64);
+        let peer = snap.transport_peers.iter().find(|s| s.peer == 2).expect("wire stats");
+        assert_eq!(peer.frames_sent, 1);
+        assert!(peer.bytes_sent > 0);
+
+        // Failing a worker tears down its lane and rejects further pushes.
+        p.fail_worker(2).unwrap();
+        let err = p.push(0, 2, consumer, TaskName::new(0, 1, 1), vec![batch()]);
+        assert!(matches!(err, Err(QuokkaError::WorkerFailed(2))));
     }
 }

@@ -1,0 +1,106 @@
+//! Pooled byte slabs for the TCP transport's send path.
+//!
+//! Every push over the wire is encoded into a slab drawn from this pool and
+//! the slab is returned by the send thread once the frame is on the socket,
+//! so steady-state shuffle traffic allocates nothing per push (the design
+//! timely-dataflow's communication stack uses for its send buffers). The
+//! pool is deliberately tiny: a `Mutex<Vec<Vec<u8>>>` is plenty at the
+//! frame rates the engine produces, and the bounded per-peer send queues
+//! already cap how many slabs can be in flight at once.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A pool of reusable byte buffers.
+#[derive(Debug)]
+pub struct SlabPool {
+    slabs: Mutex<Vec<Vec<u8>>>,
+    /// Initial capacity of a freshly allocated slab.
+    slab_bytes: usize,
+    /// Idle slabs beyond this are freed instead of pooled.
+    max_pooled: usize,
+    /// Total fresh allocations (pool misses), for observability.
+    allocations: AtomicU64,
+}
+
+impl SlabPool {
+    pub fn new(slab_bytes: usize, max_pooled: usize) -> Self {
+        SlabPool {
+            slabs: Mutex::new(Vec::new()),
+            slab_bytes: slab_bytes.max(64),
+            max_pooled,
+            allocations: AtomicU64::new(0),
+        }
+    }
+
+    /// Take an empty slab, reusing a pooled one when available.
+    pub fn acquire(&self) -> Vec<u8> {
+        if let Some(slab) = self.slabs.lock().expect("slab pool poisoned").pop() {
+            return slab;
+        }
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        Vec::with_capacity(self.slab_bytes)
+    }
+
+    /// Return a slab to the pool. Its contents are cleared; its capacity
+    /// (possibly grown by a large frame) is kept for reuse.
+    pub fn release(&self, mut slab: Vec<u8>) {
+        slab.clear();
+        let mut slabs = self.slabs.lock().expect("slab pool poisoned");
+        if slabs.len() < self.max_pooled {
+            slabs.push(slab);
+        }
+    }
+
+    /// Idle slabs currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.slabs.lock().expect("slab pool poisoned").len()
+    }
+
+    /// Fresh allocations performed so far (pool misses).
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_reuses_capacity() {
+        let pool = SlabPool::new(1024, 4);
+        let mut a = pool.acquire();
+        assert_eq!(pool.allocations(), 1);
+        a.extend_from_slice(&[1, 2, 3]);
+        let grown = a.capacity();
+        pool.release(a);
+        assert_eq!(pool.pooled(), 1);
+        let b = pool.acquire();
+        assert!(b.is_empty(), "released slabs come back cleared");
+        assert!(b.capacity() >= grown);
+        assert_eq!(pool.allocations(), 1, "second acquire was a pool hit");
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let pool = SlabPool::new(64, 2);
+        let slabs: Vec<_> = (0..4).map(|_| pool.acquire()).collect();
+        assert_eq!(pool.allocations(), 4);
+        for s in slabs {
+            pool.release(s);
+        }
+        assert_eq!(pool.pooled(), 2, "excess slabs are freed, not pooled");
+    }
+
+    #[test]
+    fn steady_state_allocates_nothing() {
+        let pool = SlabPool::new(256, 8);
+        for _ in 0..100 {
+            let mut s = pool.acquire();
+            s.extend_from_slice(&[0u8; 200]);
+            pool.release(s);
+        }
+        assert_eq!(pool.allocations(), 1);
+    }
+}

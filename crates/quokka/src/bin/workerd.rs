@@ -1,0 +1,124 @@
+//! `quokka-workerd`: one worker-process daemon of a multi-process cluster.
+//!
+//! Spawned by the driver harness
+//! ([`quokka_engine::cluster::run_process_query`]); hosts a contiguous range
+//! of workers, reaches the driver's GCS/durable-store/sink over the control
+//! connection, and shuffles batches with its peer processes over TCP. The
+//! plan is not shipped: the daemon regenerates the seeded TPC-H catalog and
+//! recompiles the query locally, which yields the exact stage graph the
+//! driver compiled ([`quokka::process::tpch_process_inputs`]).
+//!
+//! ```text
+//! quokka-workerd --query 3 --sf 0.01 --workers 4 --channels 4 \
+//!     --suspicion-ms 250 --driver 127.0.0.1:45123 --process 1 --ranges 0-2,2-4
+//! ```
+
+use quokka::engine::cluster::{parse_ranges, run_workerd, WorkerdOpts};
+use quokka::process::tpch_process_inputs;
+use quokka::{EngineConfig, TransportConfig};
+use std::time::Duration;
+
+struct Args {
+    query: usize,
+    sf: f64,
+    workers: u32,
+    channels: u32,
+    suspicion_ms: Option<u64>,
+    driver: std::net::SocketAddr,
+    process: usize,
+    ranges: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut query = None;
+    let mut sf = None;
+    let mut workers = None;
+    let mut channels = None;
+    let mut suspicion_ms = None;
+    let mut driver = None;
+    let mut process = None;
+    let mut ranges = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |what: &str| argv.next().ok_or_else(|| format!("missing value for {what}"));
+        match flag.as_str() {
+            "--query" => query = Some(value("--query")?),
+            "--sf" => sf = Some(value("--sf")?),
+            "--workers" => workers = Some(value("--workers")?),
+            "--channels" => channels = Some(value("--channels")?),
+            "--suspicion-ms" => suspicion_ms = Some(value("--suspicion-ms")?),
+            "--driver" => driver = Some(value("--driver")?),
+            "--process" => process = Some(value("--process")?),
+            "--ranges" => ranges = Some(value("--ranges")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    let req = |name: &str, v: Option<String>| v.ok_or_else(|| format!("missing {name}"));
+    let parse = |name: &str, v: String| -> Result<u64, String> {
+        v.parse().map_err(|_| format!("bad value for {name}: {v:?}"))
+    };
+    let query = parse("--query", req("--query", query)?)? as usize;
+    let sf: f64 = {
+        let v = req("--sf", sf)?;
+        v.parse().map_err(|_| format!("bad value for --sf: {v:?}"))?
+    };
+    let workers = parse("--workers", req("--workers", workers)?)? as u32;
+    let channels = match channels {
+        Some(v) => parse("--channels", v)? as u32,
+        None => workers,
+    };
+    let suspicion_ms = suspicion_ms.map(|v| parse("--suspicion-ms", v)).transpose()?;
+    let driver = {
+        let v = req("--driver", driver)?;
+        v.parse().map_err(|_| format!("bad value for --driver: {v:?}"))?
+    };
+    let process = parse("--process", req("--process", process)?)? as usize;
+    let ranges = req("--ranges", ranges)?;
+    Ok(Args { query, sf, workers, channels, suspicion_ms, driver, process, ranges })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("quokka-workerd: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    // This config must match the driver's: the layout (channel-to-worker
+    // and split-to-channel assignment) is derived from it in every process.
+    let mut config = EngineConfig::quokka(args.workers).with_transport(TransportConfig::tcp());
+    config.cluster.channels_per_stage = args.channels;
+    if let Some(ms) = args.suspicion_ms {
+        config.cluster.suspicion_timeout = Duration::from_millis(ms);
+    }
+
+    let inputs = match tpch_process_inputs(args.query, args.sf, &config) {
+        Ok(inputs) => inputs,
+        Err(e) => {
+            eprintln!("quokka-workerd: planning query {} failed: {e}", args.query);
+            std::process::exit(1);
+        }
+    };
+    let ranges = match parse_ranges(&args.ranges) {
+        Ok(ranges) => ranges,
+        Err(e) => {
+            eprintln!("quokka-workerd: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let outcome = run_workerd(WorkerdOpts {
+        driver: args.driver,
+        process: args.process,
+        ranges,
+        config,
+        graph: inputs.graph,
+        table_splits: inputs.table_splits,
+    });
+    if let Err(e) = outcome {
+        eprintln!("quokka-workerd: process {} failed: {e}", args.process);
+        std::process::exit(1);
+    }
+}

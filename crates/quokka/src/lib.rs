@@ -40,14 +40,16 @@ pub use quokka_tpch as tpch;
 
 pub mod dataframe;
 pub mod plan_cache;
+pub mod process;
 
 pub use dataframe::DataFrame;
 pub use plan_cache::{CachedPlan, PlanCache, PlanCacheStats};
 pub use quokka_batch::{Batch, Column, DataType, ScalarValue, Schema};
 pub use quokka_common::{
     AdmissionConfig, Backoff, ChaosEvent, ChaosInjection, ChaosPlan, ChaosTrigger, ClusterConfig,
-    CostModelConfig, EngineConfig, ExecutionMode, FailureSpec, FaultStrategy, PlanCacheConfig,
-    QueryMetrics, QuokkaError, Result, RetryPolicy, SchedulePolicy,
+    CostModelConfig, EngineConfig, ExecutionMode, FailureSpec, FaultStrategy, PeerWireStats,
+    PlanCacheConfig, QueryMetrics, QuokkaError, Result, RetryPolicy, SchedulePolicy,
+    TransportConfig, TransportKind,
 };
 pub use quokka_engine::{
     AdmissionController, AdmissionStats, BatchStream, QueryOutcome, QueryRunner, StreamOptions,

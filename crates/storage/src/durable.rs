@@ -8,6 +8,48 @@ use quokka_common::{QuokkaError, Result};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
+/// What the engine needs from a durable store, as an object-safe trait.
+///
+/// The default implementation is the in-process [`DurableObjectStore`]. In
+/// process mode each worker process substitutes a proxy that forwards these
+/// calls to the driver's store over the control connection — the engine
+/// holds an `Arc<dyn ObjectStore>` and cannot tell the difference, just as
+/// TaskManagers in the paper are indifferent to where S3 actually is.
+pub trait ObjectStore: Send + Sync + std::fmt::Debug {
+    /// PUT an object, charging the durable write path.
+    fn put(&self, key: String, payload: Bytes);
+    /// PUT without charging cost or metrics (pre-loaded experiment inputs).
+    fn put_unmetered(&self, key: String, payload: Bytes);
+    /// GET an object, charging the durable read path.
+    fn get(&self, key: &str) -> Result<Bytes>;
+    /// Whether an object exists.
+    fn contains(&self, key: &str) -> bool;
+    /// Keys starting with `prefix`, in order.
+    fn list_prefix(&self, prefix: &str) -> Vec<String>;
+}
+
+impl ObjectStore for DurableObjectStore {
+    fn put(&self, key: String, payload: Bytes) {
+        DurableObjectStore::put(self, key, payload);
+    }
+
+    fn put_unmetered(&self, key: String, payload: Bytes) {
+        DurableObjectStore::put_unmetered(self, key, payload);
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        DurableObjectStore::get(self, key)
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        DurableObjectStore::contains(self, key)
+    }
+
+    fn list_prefix(&self, prefix: &str) -> Vec<String> {
+        DurableObjectStore::list_prefix(self, prefix)
+    }
+}
+
 /// A cluster-wide, reliable object store.
 ///
 /// Contents survive worker failures (this is where the TPC-H source tables

@@ -27,4 +27,4 @@ pub mod durable;
 
 pub use backup::LocalBackupStore;
 pub use cost::CostModel;
-pub use durable::DurableObjectStore;
+pub use durable::{DurableObjectStore, ObjectStore};
