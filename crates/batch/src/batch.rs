@@ -186,6 +186,13 @@ impl Batch {
         self.columns.iter().map(Column::byte_size).sum()
     }
 
+    /// Actual in-memory footprint of this batch's columns, compressed
+    /// encodings included. At most [`byte_size`](Batch::byte_size); smaller
+    /// whenever columns are dictionary-, bit-pack- or XOR-encoded.
+    pub fn memory_bytes(&self) -> usize {
+        self.columns.iter().map(Column::memory_bytes).sum()
+    }
+
     /// Split this batch into chunks of at most `chunk_rows` rows. Returns at
     /// least one (possibly empty) batch.
     pub fn chunks(&self, chunk_rows: usize) -> Vec<Batch> {

@@ -1,22 +1,60 @@
 //! A single column of values.
 
 use crate::datatype::{DataType, ScalarValue};
+use crate::encoding::{DictColumn, PackedIntColumn, PackedLogical, XorFloatColumn};
 use quokka_common::rng::{fnv1a, mix64};
 use quokka_common::{QuokkaError, Result};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// A contiguous, homogeneously-typed column of values.
 ///
-/// Columns are plain `Vec`s rather than Arrow buffers; the engine cares
-/// about the relational semantics and the byte volume of data movement, not
-/// about SIMD-level layout.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// The five plain variants are simple `Vec`s; the engine cares about the
+/// relational semantics and the byte volume of data movement, not about
+/// SIMD-level layout. The three encoded variants (`Dict`, `Packed`, `Xor`)
+/// are compressed *representations* of the plain types — `data_type()`
+/// always reports the logical type, and every kernel either computes on the
+/// encoded form directly or decodes once per batch via [`Column::decoded`].
+///
+/// Dispatch rules:
+/// * `Dict` (logical Utf8) and `Packed` (logical Int64/Date) support O(1)
+///   random access and are first-class in the hot paths (hashing, keys,
+///   comparisons, filters).
+/// * `Xor` (logical Float64) is sequential-only; any kernel that needs
+///   random access must decode it once, and row-subset operations re-encode
+///   their output so compression survives the pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Column {
     Int64(Vec<i64>),
     Float64(Vec<f64>),
     Utf8(Vec<String>),
     Bool(Vec<bool>),
     Date(Vec<i32>),
+    /// Dictionary-encoded strings: u32 codes into a sorted dictionary.
+    Dict(DictColumn),
+    /// Bit-packed integers: `base + fixed-width delta`, logical Int64/Date.
+    Packed(PackedIntColumn),
+    /// XOR-compressed floats (Gorilla); sequential access only.
+    Xor(XorFloatColumn),
+}
+
+/// Columns compare by *logical* content: a dictionary column equals the
+/// plain string column it decodes to. Plain same-type comparisons keep Vec
+/// semantics (so `NaN != NaN`, exactly as before encodings existed).
+impl PartialEq for Column {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Column::Int64(a), Column::Int64(b)) => a == b,
+            (Column::Float64(a), Column::Float64(b)) => a == b,
+            (Column::Utf8(a), Column::Utf8(b)) => a == b,
+            (Column::Bool(a), Column::Bool(b)) => a == b,
+            (Column::Date(a), Column::Date(b)) => a == b,
+            (Column::Dict(a), Column::Dict(b)) if a.same_dict(b) => a.codes == b.codes,
+            (a, b) => {
+                a.data_type() == b.data_type() && *a.decoded().as_ref() == *b.decoded().as_ref()
+            }
+        }
+    }
 }
 
 impl Column {
@@ -27,6 +65,12 @@ impl Column {
             Column::Utf8(_) => DataType::Utf8,
             Column::Bool(_) => DataType::Bool,
             Column::Date(_) => DataType::Date,
+            Column::Dict(_) => DataType::Utf8,
+            Column::Packed(p) => match p.logical {
+                PackedLogical::Int64 => DataType::Int64,
+                PackedLogical::Date => DataType::Date,
+            },
+            Column::Xor(_) => DataType::Float64,
         }
     }
 
@@ -37,11 +81,29 @@ impl Column {
             Column::Utf8(v) => v.len(),
             Column::Bool(v) => v.len(),
             Column::Date(v) => v.len(),
+            Column::Dict(d) => d.len(),
+            Column::Packed(p) => p.len(),
+            Column::Xor(x) => x.len(),
         }
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Whether this column is stored in a compressed encoding.
+    pub fn is_encoded(&self) -> bool {
+        matches!(self, Column::Dict(_) | Column::Packed(_) | Column::Xor(_))
+    }
+
+    /// The encoding this column is stored in, for metrics and benchmarks.
+    pub fn encoding_name(&self) -> &'static str {
+        match self {
+            Column::Dict(_) => "dict",
+            Column::Packed(_) => "packed",
+            Column::Xor(_) => "xor",
+            _ => "plain",
+        }
     }
 
     /// An empty column of the given type.
@@ -55,7 +117,66 @@ impl Column {
         }
     }
 
-    /// The value at row `i`.
+    /// Decode to the plain representation: borrowed for plain columns,
+    /// owned for encoded ones. Kernels without an encoding-aware fast path
+    /// call this once per batch — decode-on-demand, never per row.
+    pub fn decoded(&self) -> Cow<'_, Column> {
+        match self {
+            Column::Dict(d) => Cow::Owned(Column::Utf8(d.to_plain())),
+            Column::Packed(p) => Cow::Owned(match p.logical {
+                PackedLogical::Int64 => Column::Int64(p.to_vec()),
+                PackedLogical::Date => Column::Date(p.iter().map(|v| v as i32).collect()),
+            }),
+            Column::Xor(x) => Cow::Owned(Column::Float64(x.to_vec())),
+            plain => Cow::Borrowed(plain),
+        }
+    }
+
+    /// Replace an encoded representation with its plain decoding in place.
+    pub fn make_plain(&mut self) {
+        if self.is_encoded() {
+            *self = self.decoded().into_owned();
+        }
+    }
+
+    /// Re-encode into the most compact representation, or return a plain
+    /// clone when no encoding is strictly smaller. Already-encoded columns
+    /// and Bools pass through unchanged (Bools are bit-packed on the wire
+    /// instead).
+    pub fn encode_auto(&self) -> Column {
+        match self {
+            Column::Utf8(v) => {
+                let d = DictColumn::from_plain(v);
+                if d.memory_bytes() < self.byte_size() {
+                    Column::Dict(d)
+                } else {
+                    self.clone()
+                }
+            }
+            Column::Int64(v) => {
+                let p = PackedIntColumn::from_values(PackedLogical::Int64, v);
+                if p.memory_bytes() < v.len() * 8 {
+                    Column::Packed(p)
+                } else {
+                    self.clone()
+                }
+            }
+            Column::Date(v) => {
+                let as_i64: Vec<i64> = v.iter().map(|&x| x as i64).collect();
+                let p = PackedIntColumn::from_values(PackedLogical::Date, &as_i64);
+                if p.memory_bytes() < v.len() * 4 {
+                    Column::Packed(p)
+                } else {
+                    self.clone()
+                }
+            }
+            Column::Float64(v) => xor_or_plain_ref(v),
+            other => other.clone(),
+        }
+    }
+
+    /// The value at row `i`. O(1) for every representation except `Xor`,
+    /// which walks its stream (prefer [`Column::decoded`] in loops).
     pub fn get(&self, i: usize) -> ScalarValue {
         match self {
             Column::Int64(v) => ScalarValue::Int64(v[i]),
@@ -63,6 +184,12 @@ impl Column {
             Column::Utf8(v) => ScalarValue::Utf8(v[i].clone()),
             Column::Bool(v) => ScalarValue::Bool(v[i]),
             Column::Date(v) => ScalarValue::Date(v[i]),
+            Column::Dict(d) => ScalarValue::Utf8(d.str_at(i).to_string()),
+            Column::Packed(p) => match p.logical {
+                PackedLogical::Int64 => ScalarValue::Int64(p.get(i)),
+                PackedLogical::Date => ScalarValue::Date(p.get(i) as i32),
+            },
+            Column::Xor(x) => ScalarValue::Float64(x.get_slow(i)),
         }
     }
 
@@ -76,8 +203,10 @@ impl Column {
         Ok(col)
     }
 
-    /// Append one scalar, coercing Int64 <-> Float64.
+    /// Append one scalar, coercing Int64 <-> Float64. Appending to an
+    /// encoded column decodes it in place first.
     pub fn push(&mut self, value: &ScalarValue) -> Result<()> {
+        self.make_plain();
         match (self, value) {
             (Column::Int64(v), ScalarValue::Int64(x)) => v.push(*x),
             (Column::Int64(v), ScalarValue::Float64(x)) => v.push(*x as i64),
@@ -99,14 +228,24 @@ impl Column {
     }
 
     /// Append row `row` of `src` to this column without materializing a
-    /// `ScalarValue`. Both columns must have the same data type.
+    /// `ScalarValue`. Both columns must have the same logical data type;
+    /// encoded sources are read through their encoding.
     pub fn push_from(&mut self, src: &Column, row: usize) -> Result<()> {
+        self.make_plain();
         match (self, src) {
             (Column::Int64(out), Column::Int64(v)) => out.push(v[row]),
             (Column::Float64(out), Column::Float64(v)) => out.push(v[row]),
             (Column::Utf8(out), Column::Utf8(v)) => out.push(v[row].clone()),
             (Column::Bool(out), Column::Bool(v)) => out.push(v[row]),
             (Column::Date(out), Column::Date(v)) => out.push(v[row]),
+            (Column::Utf8(out), Column::Dict(d)) => out.push(d.str_at(row).to_string()),
+            (Column::Int64(out), Column::Packed(p)) if p.logical == PackedLogical::Int64 => {
+                out.push(p.get(row))
+            }
+            (Column::Date(out), Column::Packed(p)) if p.logical == PackedLogical::Date => {
+                out.push(p.get(row) as i32)
+            }
+            (Column::Float64(out), Column::Xor(x)) => out.push(x.get_slow(row)),
             (out, src) => {
                 return Err(QuokkaError::TypeError(format!(
                     "cannot append {} row to {} column",
@@ -130,7 +269,10 @@ impl Column {
         }
     }
 
-    /// Keep the rows where `mask` is true. `mask.len()` must equal `self.len()`.
+    /// Keep the rows where `mask` is true. `mask.len()` must equal
+    /// `self.len()`. Encoded columns stay encoded: dictionary columns keep
+    /// their (shared) dictionary, packed columns keep their base/width, and
+    /// XOR columns are re-compressed from the surviving rows.
     pub fn filter(&self, mask: &[bool]) -> Column {
         debug_assert_eq!(mask.len(), self.len());
         fn keep<T: Clone>(values: &[T], mask: &[bool]) -> Vec<T> {
@@ -146,10 +288,22 @@ impl Column {
             Column::Utf8(v) => Column::Utf8(keep(v, mask)),
             Column::Bool(v) => Column::Bool(keep(v, mask)),
             Column::Date(v) => Column::Date(keep(v, mask)),
+            Column::Dict(d) => {
+                Column::Dict(DictColumn::from_parts(keep(&d.codes, mask), d.values.clone()))
+            }
+            Column::Packed(p) => {
+                let kept: Vec<i64> = (0..p.len())
+                    .zip(mask.iter())
+                    .filter_map(|(i, &m)| if m { Some(p.get(i)) } else { None })
+                    .collect();
+                Column::Packed(PackedIntColumn::pack(p.logical, p.base, p.width, &kept))
+            }
+            Column::Xor(x) => xor_or_plain(keep(&x.to_vec(), mask)),
         }
     }
 
     /// Gather the rows at `indices` (indices may repeat or be out of order).
+    /// Preserves encodings the same way [`Column::filter`] does.
     pub fn take(&self, indices: &[usize]) -> Column {
         fn gather<T: Clone>(values: &[T], indices: &[usize]) -> Vec<T> {
             indices.iter().map(|&i| values[i].clone()).collect()
@@ -160,10 +314,18 @@ impl Column {
             Column::Utf8(v) => Column::Utf8(gather(v, indices)),
             Column::Bool(v) => Column::Bool(gather(v, indices)),
             Column::Date(v) => Column::Date(gather(v, indices)),
+            Column::Dict(d) => {
+                Column::Dict(DictColumn::from_parts(gather(&d.codes, indices), d.values.clone()))
+            }
+            Column::Packed(p) => {
+                let taken: Vec<i64> = indices.iter().map(|&i| p.get(i)).collect();
+                Column::Packed(PackedIntColumn::pack(p.logical, p.base, p.width, &taken))
+            }
+            Column::Xor(x) => xor_or_plain(gather(&x.to_vec(), indices)),
         }
     }
 
-    /// Rows `range.start .. range.end`.
+    /// Rows `start .. start + len`.
     pub fn slice(&self, start: usize, len: usize) -> Column {
         fn cut<T: Clone>(values: &[T], start: usize, len: usize) -> Vec<T> {
             values[start..start + len].to_vec()
@@ -174,28 +336,54 @@ impl Column {
             Column::Utf8(v) => Column::Utf8(cut(v, start, len)),
             Column::Bool(v) => Column::Bool(cut(v, start, len)),
             Column::Date(v) => Column::Date(cut(v, start, len)),
+            Column::Dict(d) => {
+                Column::Dict(DictColumn::from_parts(cut(&d.codes, start, len), d.values.clone()))
+            }
+            Column::Packed(p) => {
+                let vals: Vec<i64> = (start..start + len).map(|i| p.get(i)).collect();
+                Column::Packed(PackedIntColumn::pack(p.logical, p.base, p.width, &vals))
+            }
+            Column::Xor(x) => xor_or_plain(cut(&x.to_vec(), start, len)),
         }
     }
 
-    /// Concatenate columns of the same type. Panics if `columns` is empty.
+    /// Concatenate columns of the same logical type. Dictionary columns
+    /// sharing one dictionary concatenate without decoding; any other
+    /// encoded input decodes to plain (concatenation crosses encoding
+    /// contexts, so the combined packing would have to be recomputed
+    /// anyway).
     pub fn concat(columns: &[&Column]) -> Result<Column> {
         let first = columns.first().ok_or_else(|| QuokkaError::internal("concat of 0 columns"))?;
-        let mut out = Column::empty(first.data_type());
         for col in columns {
-            if col.data_type() != out.data_type() {
+            if col.data_type() != first.data_type() {
                 return Err(QuokkaError::TypeError(format!(
                     "concat type mismatch: {} vs {}",
-                    out.data_type(),
+                    first.data_type(),
                     col.data_type()
                 )));
             }
-            match (&mut out, col) {
+        }
+        if let Column::Dict(head) = first {
+            if columns.iter().all(|c| matches!(c, Column::Dict(d) if d.same_dict(head))) {
+                let mut codes = Vec::with_capacity(columns.iter().map(|c| c.len()).sum());
+                for col in columns {
+                    if let Column::Dict(d) = col {
+                        codes.extend_from_slice(&d.codes);
+                    }
+                }
+                return Ok(Column::Dict(DictColumn::from_parts(codes, head.values.clone())));
+            }
+        }
+        let mut out = Column::empty(first.data_type());
+        for col in columns {
+            let plain = col.decoded();
+            match (&mut out, plain.as_ref()) {
                 (Column::Int64(o), Column::Int64(v)) => o.extend_from_slice(v),
                 (Column::Float64(o), Column::Float64(v)) => o.extend_from_slice(v),
                 (Column::Utf8(o), Column::Utf8(v)) => o.extend(v.iter().cloned()),
                 (Column::Bool(o), Column::Bool(v)) => o.extend_from_slice(v),
                 (Column::Date(o), Column::Date(v)) => o.extend_from_slice(v),
-                _ => unreachable!("type checked above"),
+                _ => unreachable!("logical type checked above"),
             }
         }
         Ok(out)
@@ -204,7 +392,9 @@ impl Column {
     /// Mix this column's row-wise hash into `hashes` (one u64 per row),
     /// used for hash partitioning and hash joins. Int64/Date/Float64 values
     /// that compare equal hash identically so cross-type joins on numeric
-    /// keys behave.
+    /// keys behave — and every encoded representation hashes bit-identically
+    /// to its plain decoding, so a dictionary column on one side of a
+    /// shuffle partitions exactly like the plain strings on the other.
     pub fn hash_into(&self, hashes: &mut [u64]) {
         debug_assert_eq!(hashes.len(), self.len());
         match self {
@@ -236,11 +426,30 @@ impl Column {
                     *h = mix64(*h ^ (*x as u64 + 1));
                 }
             }
+            Column::Dict(d) => {
+                // Hash each dictionary entry once, then fan out over codes.
+                let lut: Vec<u64> = d.values.iter().map(|s| fnv1a(s.as_bytes())).collect();
+                for (h, &c) in hashes.iter_mut().zip(&d.codes) {
+                    *h = mix64(*h ^ lut[c as usize]);
+                }
+            }
+            Column::Packed(p) => {
+                for (i, h) in hashes.iter_mut().enumerate() {
+                    *h = mix64(*h ^ mix64(p.get(i) as u64));
+                }
+            }
+            Column::Xor(x) => {
+                for (h, v) in hashes.iter_mut().zip(x.to_vec()) {
+                    let bits = if v.fract() == 0.0 { v as i64 as u64 } else { v.to_bits() };
+                    *h = mix64(*h ^ mix64(bits));
+                }
+            }
         }
     }
 
-    /// Approximate in-memory footprint in bytes, used by the cost model when
-    /// charging for shuffles, backups, spools and checkpoints.
+    /// The *logical* (decoded) size in bytes — what the column would occupy
+    /// as a plain `Vec`. This is the "raw" side of every raw-vs-encoded
+    /// metric; [`Column::memory_bytes`] is the encoded side.
     pub fn byte_size(&self) -> usize {
         match self {
             Column::Int64(v) => v.len() * 8,
@@ -248,70 +457,120 @@ impl Column {
             Column::Date(v) => v.len() * 4,
             Column::Bool(v) => v.len(),
             Column::Utf8(v) => v.iter().map(|s| s.len() + 4).sum(),
+            Column::Dict(d) => d.codes.iter().map(|&c| d.values[c as usize].len() + 4).sum(),
+            Column::Packed(p) => match p.logical {
+                PackedLogical::Int64 => p.len() * 8,
+                PackedLogical::Date => p.len() * 4,
+            },
+            Column::Xor(x) => x.len() * 8,
         }
     }
 
-    /// Borrow as `&[i64]`, failing for other types.
+    /// The encoded in-memory footprint in bytes: what this column actually
+    /// costs to hold, ship, or back up. Equal to [`Column::byte_size`] for
+    /// plain columns, smaller for encoded ones. Admission control and the
+    /// shuffle accounting charge this.
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            Column::Dict(d) => d.memory_bytes(),
+            Column::Packed(p) => p.memory_bytes(),
+            Column::Xor(x) => x.memory_bytes(),
+            plain => plain.byte_size(),
+        }
+    }
+
+    /// Borrow as `&[i64]`, failing for other representations.
     pub fn as_i64(&self) -> Result<&[i64]> {
         match self {
             Column::Int64(v) => Ok(v),
             other => {
-                Err(QuokkaError::TypeError(format!("expected Int64, got {}", other.data_type())))
+                Err(QuokkaError::TypeError(format!("expected Int64, got {}", other.describe())))
             }
         }
     }
 
-    /// Borrow as `&[f64]`, failing for other types.
+    /// Borrow as `&[f64]`, failing for other representations.
     pub fn as_f64(&self) -> Result<&[f64]> {
         match self {
             Column::Float64(v) => Ok(v),
             other => {
-                Err(QuokkaError::TypeError(format!("expected Float64, got {}", other.data_type())))
+                Err(QuokkaError::TypeError(format!("expected Float64, got {}", other.describe())))
             }
         }
     }
 
-    /// Borrow as `&[bool]`, failing for other types.
+    /// Borrow as `&[bool]`, failing for other representations.
     pub fn as_bool(&self) -> Result<&[bool]> {
         match self {
             Column::Bool(v) => Ok(v),
             other => {
-                Err(QuokkaError::TypeError(format!("expected Bool, got {}", other.data_type())))
+                Err(QuokkaError::TypeError(format!("expected Bool, got {}", other.describe())))
             }
         }
     }
 
-    /// Borrow as `&[String]`, failing for other types.
+    /// Borrow as `&[String]`, failing for other representations.
     pub fn as_utf8(&self) -> Result<&[String]> {
         match self {
             Column::Utf8(v) => Ok(v),
             other => {
-                Err(QuokkaError::TypeError(format!("expected Utf8, got {}", other.data_type())))
+                Err(QuokkaError::TypeError(format!("expected Utf8, got {}", other.describe())))
             }
         }
     }
 
-    /// Borrow as `&[i32]` (dates), failing for other types.
+    /// Borrow as `&[i32]` (dates), failing for other representations.
     pub fn as_date(&self) -> Result<&[i32]> {
         match self {
             Column::Date(v) => Ok(v),
             other => {
-                Err(QuokkaError::TypeError(format!("expected Date, got {}", other.data_type())))
+                Err(QuokkaError::TypeError(format!("expected Date, got {}", other.describe())))
             }
         }
     }
 
     /// The column's values as f64, coercing Int64/Date (used by aggregates
-    /// and arithmetic).
+    /// and arithmetic). Encoded numeric columns decode on demand.
     pub fn to_f64_vec(&self) -> Result<Vec<f64>> {
         match self {
             Column::Float64(v) => Ok(v.clone()),
             Column::Int64(v) => Ok(v.iter().map(|&x| x as f64).collect()),
             Column::Date(v) => Ok(v.iter().map(|&x| x as f64).collect()),
+            Column::Packed(p) => Ok(p.iter().map(|x| x as f64).collect()),
+            Column::Xor(x) => Ok(x.to_vec()),
             other => {
-                Err(QuokkaError::TypeError(format!("cannot coerce {} to f64", other.data_type())))
+                Err(QuokkaError::TypeError(format!("cannot coerce {} to f64", other.describe())))
             }
         }
+    }
+
+    /// Logical type plus encoding, for error messages.
+    fn describe(&self) -> String {
+        if self.is_encoded() {
+            format!("{} ({})", self.data_type(), self.encoding_name())
+        } else {
+            self.data_type().to_string()
+        }
+    }
+}
+
+/// XOR-compress `values`, or keep them plain when compression would not
+/// shrink them (pathological streams can exceed 8 bytes/value).
+pub(crate) fn xor_or_plain(values: Vec<f64>) -> Column {
+    let x = XorFloatColumn::from_values(&values);
+    if x.memory_bytes() < values.len() * 8 {
+        Column::Xor(x)
+    } else {
+        Column::Float64(values)
+    }
+}
+
+fn xor_or_plain_ref(values: &[f64]) -> Column {
+    let x = XorFloatColumn::from_values(values);
+    if x.memory_bytes() < values.len() * 8 {
+        Column::Xor(x)
+    } else {
+        Column::Float64(values.to_vec())
     }
 }
 
@@ -416,5 +675,141 @@ mod tests {
         assert!(Column::Bool(vec![true]).as_bool().is_ok());
         assert!(Column::Date(vec![1]).as_date().is_ok());
         assert!(Column::Utf8(vec!["a".into()]).as_utf8().is_ok());
+    }
+
+    // ----- encoding-aware behaviour -----
+
+    fn dict_col() -> Column {
+        Column::Utf8(vec!["MAIL".into(), "AIR".into(), "MAIL".into(), "AIR".into(), "AIR".into()])
+            .encode_auto()
+    }
+
+    #[test]
+    fn encode_auto_picks_each_encoding() {
+        assert_eq!(dict_col().encoding_name(), "dict");
+        let ints = Column::Int64((0..64).collect()).encode_auto();
+        assert_eq!(ints.encoding_name(), "packed");
+        let dates = Column::Date(vec![9131; 50]).encode_auto();
+        assert_eq!(dates.encoding_name(), "packed");
+        let floats = Column::Float64(vec![0.25; 100]).encode_auto();
+        assert_eq!(floats.encoding_name(), "xor");
+        // High-entropy data stays plain.
+        let random: Vec<String> = (0..32).map(|i| format!("unique-{i}")).collect();
+        assert_eq!(Column::Utf8(random).encode_auto().encoding_name(), "plain");
+    }
+
+    #[test]
+    fn encoded_columns_compare_logically_equal_to_plain() {
+        let plain = Column::Utf8(vec![
+            "MAIL".into(),
+            "AIR".into(),
+            "MAIL".into(),
+            "AIR".into(),
+            "AIR".into(),
+        ]);
+        assert_eq!(dict_col(), plain);
+        assert_eq!(plain, dict_col());
+        let ints = Column::Int64(vec![5, 6, 7]);
+        assert_eq!(ints.encode_auto(), ints);
+        let floats = Column::Float64(vec![1.5; 9]);
+        assert_eq!(floats.encode_auto(), floats);
+        assert_ne!(dict_col(), ints);
+    }
+
+    #[test]
+    fn encoded_filter_take_slice_match_plain() {
+        let plain = Column::Utf8(vec![
+            "MAIL".into(),
+            "AIR".into(),
+            "MAIL".into(),
+            "AIR".into(),
+            "AIR".into(),
+        ]);
+        let enc = dict_col();
+        let mask = [true, false, true, true, false];
+        assert_eq!(enc.filter(&mask), plain.filter(&mask));
+        assert!(enc.filter(&mask).is_encoded(), "filter keeps the dictionary");
+        assert_eq!(enc.take(&[4, 0, 0]), plain.take(&[4, 0, 0]));
+        assert_eq!(enc.slice(1, 3), plain.slice(1, 3));
+
+        let ints = Column::Int64(vec![100, 104, 101, 180, 100]);
+        let penc = ints.encode_auto();
+        assert_eq!(penc.filter(&mask), ints.filter(&mask));
+        assert!(penc.filter(&mask).is_encoded(), "filter keeps the packing");
+        assert_eq!(penc.take(&[3, 3]), ints.take(&[3, 3]));
+        assert_eq!(penc.slice(2, 2), ints.slice(2, 2));
+    }
+
+    #[test]
+    fn encoded_hashes_match_plain_hashes() {
+        let strings: Vec<String> =
+            (0..64).map(|i| ["TRUCK", "AIRMAIL", "RAIL"][i % 3].to_string()).collect();
+        let ints: Vec<i64> = (0..64).map(|i| (i % 9) as i64 + 100).collect();
+        let floats: Vec<f64> = (0..64).map(|i| (i % 5) as f64 * 0.25).collect();
+        for (plain, encoded) in [
+            (Column::Utf8(strings.clone()), Column::Utf8(strings).encode_auto()),
+            (Column::Int64(ints.clone()), Column::Int64(ints).encode_auto()),
+            (Column::Float64(floats.clone()), Column::Float64(floats).encode_auto()),
+        ] {
+            assert!(encoded.is_encoded(), "test data must actually encode");
+            let mut hp = vec![17u64; plain.len()];
+            let mut he = vec![17u64; plain.len()];
+            plain.hash_into(&mut hp);
+            encoded.hash_into(&mut he);
+            assert_eq!(hp, he, "encoded hash must be bit-identical to plain");
+        }
+    }
+
+    #[test]
+    fn memory_bytes_reflects_compression() {
+        let enc = dict_col();
+        assert!(enc.memory_bytes() < enc.byte_size() * 6 / 5);
+        let ints = Column::Int64(vec![1000; 512]).encode_auto();
+        assert!(ints.memory_bytes() < ints.byte_size() / 8, "all-equal ints pack to near zero");
+        assert_eq!(Column::Int64(vec![1, 2]).memory_bytes(), 16);
+    }
+
+    #[test]
+    fn push_into_encoded_decodes_in_place() {
+        let mut c = Column::Int64(vec![5; 100]).encode_auto();
+        assert!(c.is_encoded());
+        c.push(&ScalarValue::Int64(9)).unwrap();
+        assert_eq!(c.len(), 101);
+        assert_eq!(c.get(100), ScalarValue::Int64(9));
+
+        let mut dst = Column::empty(DataType::Utf8);
+        let src = dict_col();
+        dst.push_from(&src, 1).unwrap();
+        assert_eq!(dst, Column::Utf8(vec!["AIR".into()]));
+    }
+
+    #[test]
+    fn concat_shares_or_decays_dictionaries() {
+        let enc = dict_col();
+        let left = enc.slice(0, 2);
+        let right = enc.slice(2, 3);
+        let merged = Column::concat(&[&left, &right]).unwrap();
+        assert!(merged.is_encoded(), "same-dictionary concat stays encoded");
+        assert_eq!(merged, enc);
+        // Different dictionaries decay to plain but stay logically correct.
+        let other = Column::Utf8(vec!["ZZZ".into()]).encode_auto();
+        let mixed = Column::concat(&[&enc, &other]).unwrap();
+        assert_eq!(mixed.len(), 6);
+        assert_eq!(mixed.get(5), ScalarValue::Utf8("ZZZ".into()));
+    }
+
+    #[test]
+    fn decoded_roundtrips_every_encoding() {
+        for plain in [
+            Column::Utf8(vec!["x".into(), "y".into(), "x".into(), "x".into()]),
+            Column::Int64(vec![3, 1, 2, 3]),
+            Column::Date(vec![100, 101, 100, 99]),
+            Column::Float64(vec![0.5, 0.5, 0.25, 0.5]),
+        ] {
+            let enc = plain.encode_auto();
+            assert_eq!(enc.decoded().as_ref(), &plain);
+            assert_eq!(enc.data_type(), plain.data_type());
+            assert_eq!(enc.byte_size(), plain.byte_size(), "byte_size stays logical");
+        }
     }
 }

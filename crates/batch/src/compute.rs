@@ -6,9 +6,11 @@
 //! shuffle) and multi-key sorting.
 
 use crate::batch::Batch;
-use crate::column::Column;
+use crate::column::{xor_or_plain, Column};
 use crate::datatype::{DataType, ScalarValue};
+use crate::encoding::{DictColumn, PackedIntColumn, PackedLogical};
 use quokka_common::{QuokkaError, Result};
+use std::borrow::Cow;
 use std::cmp::Ordering;
 
 /// Binary arithmetic operators.
@@ -31,6 +33,20 @@ pub enum CmpOp {
     GtEq,
 }
 
+impl CmpOp {
+    /// The operator with its operands swapped: `a < b` iff `b > a`.
+    pub fn mirror(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::NotEq => CmpOp::NotEq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::LtEq => CmpOp::GtEq,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::GtEq => CmpOp::LtEq,
+        }
+    }
+}
+
 /// Element-wise arithmetic between two columns of equal length.
 ///
 /// Integer inputs stay integer for `+ - *`; division and any float input
@@ -42,6 +58,12 @@ pub fn arith(op: ArithOp, left: &Column, right: &Column) -> Result<Column> {
             left.len(),
             right.len()
         )));
+    }
+    // Arithmetic needs the typed Int64/Int64 dispatch below to keep integer
+    // results integer, so encoded inputs decode up front rather than falling
+    // through `to_f64_vec` into the float path.
+    if left.is_encoded() || right.is_encoded() {
+        return arith(op, left.decoded().as_ref(), right.decoded().as_ref());
     }
     match (left, right, op) {
         (Column::Int64(a), Column::Int64(b), ArithOp::Add) => {
@@ -83,6 +105,13 @@ pub fn compare(op: CmpOp, left: &Column, right: &Column) -> Result<Column> {
         )));
     }
     let mask: Vec<bool> = match (left, right) {
+        // Dictionary columns sharing one sorted dictionary compare by code.
+        (Column::Dict(a), Column::Dict(b)) if a.same_dict(b) => {
+            a.codes.iter().zip(&b.codes).map(|(x, y)| apply_ord(op, x.cmp(y))).collect()
+        }
+        (Column::Dict(_), _) | (_, Column::Dict(_)) => {
+            return compare(op, left.decoded().as_ref(), right.decoded().as_ref());
+        }
         (Column::Utf8(a), Column::Utf8(b)) => {
             a.iter().zip(b).map(|(x, y)| apply_ord(op, x.cmp(y))).collect()
         }
@@ -90,12 +119,40 @@ pub fn compare(op: CmpOp, left: &Column, right: &Column) -> Result<Column> {
             a.iter().zip(b).map(|(x, y)| apply_ord(op, x.cmp(y))).collect()
         }
         _ => {
+            // `to_f64_vec` reads Packed/Xor columns directly, so numeric
+            // encodings need no special casing here.
             let a = left.to_f64_vec()?;
             let b = right.to_f64_vec()?;
             a.iter().zip(&b).map(|(x, y)| apply_ord(op, x.total_cmp(y))).collect()
         }
     };
     Ok(Column::Bool(mask))
+}
+
+/// Compare a column against one scalar — the shape every TPC-H predicate
+/// takes. Encoded columns are handled without decoding: a dictionary column
+/// evaluates the comparison once per *dictionary entry* and maps codes
+/// through the resulting lookup table; a packed column streams its values.
+/// Plain columns fall back to [`broadcast`] + [`compare`], so the result is
+/// always identical to the decode-first path.
+pub fn compare_scalar(op: CmpOp, col: &Column, value: &ScalarValue) -> Result<Column> {
+    match (col, value) {
+        (Column::Dict(d), ScalarValue::Utf8(s)) => {
+            let lut: Vec<bool> =
+                d.values.iter().map(|v| apply_ord(op, v.as_str().cmp(s.as_str()))).collect();
+            Ok(Column::Bool(d.codes.iter().map(|&c| lut[c as usize]).collect()))
+        }
+        (Column::Packed(p), ScalarValue::Int64(x)) if p.logical == PackedLogical::Int64 => {
+            // Mirror the generic path's f64 coercion exactly.
+            let y = *x as f64;
+            Ok(Column::Bool(p.iter().map(|v| apply_ord(op, (v as f64).total_cmp(&y))).collect()))
+        }
+        (Column::Packed(p), ScalarValue::Date(x)) if p.logical == PackedLogical::Date => {
+            let y = *x as f64;
+            Ok(Column::Bool(p.iter().map(|v| apply_ord(op, (v as f64).total_cmp(&y))).collect()))
+        }
+        _ => compare(op, col, &broadcast(value, col.len())),
+    }
 }
 
 fn apply_ord(op: CmpOp, ord: Ordering) -> bool {
@@ -141,6 +198,11 @@ pub fn not(col: &Column) -> Result<Column> {
 
 /// SQL `LIKE` with `%` (any substring) and `_` (any single char) wildcards.
 pub fn like(col: &Column, pattern: &str) -> Result<Column> {
+    // Dictionary columns match the pattern once per dictionary entry.
+    if let Column::Dict(d) = col {
+        let lut: Vec<bool> = d.values.iter().map(|v| like_match(v, pattern)).collect();
+        return Ok(Column::Bool(d.codes.iter().map(|&c| lut[c as usize]).collect()));
+    }
     let values = col.as_utf8()?;
     Ok(Column::Bool(values.iter().map(|v| like_match(v, pattern)).collect()))
 }
@@ -259,6 +321,22 @@ pub fn in_list(col: &Column, list: &[ScalarValue]) -> Result<Column> {
                 .collect();
             values.iter().map(|v| set.contains(v)).collect()
         }
+        Column::Dict(d) => {
+            // Membership is decided once per dictionary entry, then fanned
+            // out over the codes.
+            let set: HashSet<&str> = list
+                .iter()
+                .filter_map(|item| match item {
+                    ScalarValue::Utf8(s) => Some(s.as_str()),
+                    _ => None,
+                })
+                .collect();
+            let lut: Vec<bool> = d.values.iter().map(|v| set.contains(v.as_str())).collect();
+            d.codes.iter().map(|&c| lut[c as usize]).collect()
+        }
+        Column::Packed(_) | Column::Xor(_) => {
+            return in_list(col.decoded().as_ref(), list);
+        }
     };
     Ok(Column::Bool(mask))
 }
@@ -323,6 +401,23 @@ pub fn hash_partition(
             Column::Date(v) => {
                 scatter(v, &part_of, &counts).into_iter().map(Column::Date).collect()
             }
+            // Encoded columns scatter without losing their encoding: codes
+            // keep sharing the dictionary Arc, packed values repack at the
+            // same base/width, and floats re-compress per partition.
+            Column::Dict(d) => scatter(&d.codes, &part_of, &counts)
+                .into_iter()
+                .map(|codes| Column::Dict(DictColumn::from_parts(codes, d.values.clone())))
+                .collect(),
+            Column::Packed(p) => {
+                let values: Vec<i64> = p.iter().collect();
+                scatter(&values, &part_of, &counts)
+                    .into_iter()
+                    .map(|v| Column::Packed(PackedIntColumn::pack(p.logical, p.base, p.width, &v)))
+                    .collect()
+            }
+            Column::Xor(x) => {
+                scatter(&x.to_vec(), &part_of, &counts).into_iter().map(xor_or_plain).collect()
+            }
         };
         for (part, piece) in columns_per_part.iter_mut().zip(scattered) {
             part.push(piece);
@@ -355,38 +450,80 @@ impl SortKey {
 /// comparison). The ordering mirrors [`ScalarValue::total_cmp`], including
 /// the Int64/Float64 coercion and the type-rank fallback for non-coercible
 /// type pairs.
+/// A borrowed view of one cell, used to compare across representations
+/// without materializing a `ScalarValue`.
+enum ValView<'a> {
+    B(bool),
+    I(i64),
+    F(f64),
+    D(i32),
+    S(&'a str),
+}
+
+fn view(col: &Column, i: usize) -> ValView<'_> {
+    match col {
+        Column::Int64(v) => ValView::I(v[i]),
+        Column::Float64(v) => ValView::F(v[i]),
+        Column::Utf8(v) => ValView::S(&v[i]),
+        Column::Bool(v) => ValView::B(v[i]),
+        Column::Date(v) => ValView::D(v[i]),
+        Column::Dict(d) => ValView::S(d.str_at(i)),
+        Column::Packed(p) => match p.logical {
+            PackedLogical::Int64 => ValView::I(p.get(i)),
+            PackedLogical::Date => ValView::D(p.get(i) as i32),
+        },
+        // O(i) stream walk — sort/merge callers must pre-decode Xor columns.
+        Column::Xor(x) => ValView::F(x.get_slow(i)),
+    }
+}
+
 pub fn cmp_values(left: &Column, a: usize, right: &Column, b: usize) -> Ordering {
-    fn rank(col: &Column) -> u8 {
-        match col {
-            Column::Bool(_) => 0,
-            Column::Int64(_) => 1,
-            Column::Float64(_) => 2,
-            Column::Date(_) => 3,
-            Column::Utf8(_) => 4,
+    fn rank(v: &ValView<'_>) -> u8 {
+        match v {
+            ValView::B(_) => 0,
+            ValView::I(_) => 1,
+            ValView::F(_) => 2,
+            ValView::D(_) => 3,
+            ValView::S(_) => 4,
         }
     }
-    match (left, right) {
-        (Column::Int64(x), Column::Int64(y)) => x[a].cmp(&y[b]),
-        (Column::Float64(x), Column::Float64(y)) => x[a].total_cmp(&y[b]),
-        (Column::Utf8(x), Column::Utf8(y)) => x[a].cmp(&y[b]),
-        (Column::Bool(x), Column::Bool(y)) => x[a].cmp(&y[b]),
-        (Column::Date(x), Column::Date(y)) => x[a].cmp(&y[b]),
-        (Column::Int64(x), Column::Float64(y)) => (x[a] as f64).total_cmp(&y[b]),
-        (Column::Float64(x), Column::Int64(y)) => x[a].total_cmp(&(y[b] as f64)),
-        (x, y) => rank(x).cmp(&rank(y)),
+    // Same sorted dictionary: code order is lexicographic order.
+    if let (Column::Dict(x), Column::Dict(y)) = (left, right) {
+        if x.same_dict(y) {
+            return x.codes[a].cmp(&y.codes[b]);
+        }
+    }
+    match (view(left, a), view(right, b)) {
+        (ValView::I(x), ValView::I(y)) => x.cmp(&y),
+        (ValView::F(x), ValView::F(y)) => x.total_cmp(&y),
+        (ValView::S(x), ValView::S(y)) => x.cmp(y),
+        (ValView::B(x), ValView::B(y)) => x.cmp(&y),
+        (ValView::D(x), ValView::D(y)) => x.cmp(&y),
+        (ValView::I(x), ValView::F(y)) => (x as f64).total_cmp(&y),
+        (ValView::F(x), ValView::I(y)) => x.total_cmp(&(y as f64)),
+        (x, y) => rank(&x).cmp(&rank(&y)),
     }
 }
 
 /// Stable argsort of a batch by the given sort keys. Comparisons read the
-/// typed column slices directly; no per-comparison allocation.
+/// typed column slices directly; no per-comparison allocation. Dictionary
+/// key columns sort by code (the dictionary is sorted); XOR float keys are
+/// decoded once up front since they have no random access.
 pub fn sort_indices(batch: &Batch, keys: &[SortKey]) -> Vec<usize> {
     let mut indices: Vec<usize> = (0..batch.num_rows()).collect();
-    let key_columns: Vec<(&Column, bool)> =
-        keys.iter().map(|k| (batch.column(k.column), k.ascending)).collect();
+    let key_columns: Vec<(Cow<'_, Column>, bool)> = keys
+        .iter()
+        .map(|k| {
+            let col = batch.column(k.column);
+            let col =
+                if matches!(col, Column::Xor(_)) { col.decoded() } else { Cow::Borrowed(col) };
+            (col, k.ascending)
+        })
+        .collect();
     indices.sort_by(|&a, &b| {
-        for &(col, ascending) in &key_columns {
+        for (col, ascending) in &key_columns {
             let ord = cmp_values(col, a, col, b);
-            let ord = if ascending { ord } else { ord.reverse() };
+            let ord = if *ascending { ord } else { ord.reverse() };
             if ord != Ordering::Equal {
                 return ord;
             }
@@ -420,6 +557,11 @@ pub fn sort_batch(batch: &Batch, keys: &[SortKey]) -> Result<Batch> {
 pub fn cast(col: &Column, to: DataType) -> Result<Column> {
     if col.data_type() == to {
         return Ok(col.clone());
+    }
+    // Encoded inputs decode on demand so mixed-encoding batches can't hit
+    // the unsupported-cast error below.
+    if col.is_encoded() {
+        return cast(col.decoded().as_ref(), to);
     }
     match (col, to) {
         (Column::Int64(v), DataType::Float64) => {

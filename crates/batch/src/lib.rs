@@ -17,6 +17,9 @@
 //! * [`compute`] — element-wise and relational kernels (filter, take,
 //!   concat, arithmetic, comparisons, LIKE, hashing, hash partitioning,
 //!   sorting).
+//! * [`encoding`] — compressed column representations (dictionary strings,
+//!   bit-packed integers, XOR-compressed floats) that the kernels, the wire
+//!   format, and the durable-backup codec all understand natively.
 //! * [`rowkey`] — compact binary row-key encoding (with a `u64` fast path)
 //!   backing the hash-based group-by and join operators.
 //! * [`codec`] — a compact binary encoding used for upstream backup,
@@ -31,6 +34,7 @@ pub mod codec;
 pub mod column;
 pub mod compute;
 pub mod datatype;
+pub mod encoding;
 pub mod rowkey;
 pub mod schema;
 pub mod wire;
@@ -38,4 +42,5 @@ pub mod wire;
 pub use batch::Batch;
 pub use column::Column;
 pub use datatype::{DataType, ScalarValue};
+pub use encoding::{DictColumn, PackedIntColumn, PackedLogical, XorFloatColumn};
 pub use schema::{Field, Schema};

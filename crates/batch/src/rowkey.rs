@@ -106,6 +106,9 @@ fn encode_u64_key(column: &Column, row: usize) -> Result<u64> {
         Column::Int64(v) => v[row] as u64,
         Column::Date(v) => v[row] as i64 as u64,
         Column::Bool(v) => v[row] as u64,
+        // Bit-packed Int64/Date keys decode one value in O(1): this is how
+        // joins build and probe directly on encoded key columns.
+        Column::Packed(p) => p.get(row) as u64,
         other => {
             return Err(QuokkaError::internal(format!(
                 "u64 key layout applied to {} column",
@@ -150,6 +153,40 @@ fn encode_value(out: &mut Vec<u8>, column: &Column, row: usize) {
             out.extend_from_slice(&(s.len() as u32).to_le_bytes());
             out.extend_from_slice(s);
         }
+        // Encoded representations emit the same tagged bytes as their plain
+        // decodings, so a dictionary key on one side of a join matches a
+        // plain string key on the other.
+        Column::Dict(d) => {
+            let s = d.str_at(row).as_bytes();
+            out.push(TAG_UTF8);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s);
+        }
+        Column::Packed(p) => match p.logical {
+            crate::encoding::PackedLogical::Int64 => {
+                out.push(TAG_INT);
+                out.extend_from_slice(&p.get(row).to_le_bytes());
+            }
+            crate::encoding::PackedLogical::Date => {
+                out.push(TAG_DATE);
+                out.extend_from_slice(&(p.get(row) as i32).to_le_bytes());
+            }
+        },
+        Column::Xor(x) => {
+            // Callers pre-decode Xor key columns; this O(row) walk is the
+            // correctness fallback only.
+            let value = x.get_slow(row);
+            match canonical_i64(value) {
+                Some(int) => {
+                    out.push(TAG_INT);
+                    out.extend_from_slice(&int.to_le_bytes());
+                }
+                None => {
+                    out.push(TAG_FLOAT);
+                    out.extend_from_slice(&value.to_bits().to_le_bytes());
+                }
+            }
+        }
     }
 }
 
@@ -168,12 +205,24 @@ pub fn encode_keys(columns: &[&Column], layout: KeyLayout) -> Result<EncodedKeys
             Ok(EncodedKeys::U64(keys))
         }
         KeyLayout::Bytes => {
+            // Xor float columns have no random access; decode them once up
+            // front instead of walking the stream per row.
+            let columns: Vec<std::borrow::Cow<'_, Column>> = columns
+                .iter()
+                .map(|c| {
+                    if matches!(c, Column::Xor(_)) {
+                        c.decoded()
+                    } else {
+                        std::borrow::Cow::Borrowed(*c)
+                    }
+                })
+                .collect();
             // ~9 bytes per fixed-width value is the common case.
             let mut data = Vec::with_capacity(rows * columns.len() * 9);
             let mut offsets = Vec::with_capacity(rows + 1);
             offsets.push(0u32);
             for row in 0..rows {
-                for column in columns {
+                for column in &columns {
                     encode_value(&mut data, column, row);
                 }
                 offsets.push(data.len() as u32);

@@ -23,11 +23,31 @@
 use crate::batch::Batch;
 use crate::column::Column;
 use crate::datatype::DataType;
+use crate::encoding::{
+    width_for, BitReader, BitWriter, DictColumn, PackedIntColumn, PackedLogical, XorFloatColumn,
+};
 use crate::schema::{Field, Schema};
 use quokka_common::{QuokkaError, Result};
+use std::sync::Arc;
 
 /// Magic prefix of a batch wire frame ("QKWF").
 pub const WIRE_MAGIC: u32 = 0x514B_5746;
+
+// Row-count allowance for frames whose compressed payload is smaller than
+// one byte per row (e.g. all-equal bit-packed columns). Far above any batch
+// the engine produces, far below anything that could size a harmful
+// allocation.
+pub(crate) const MAX_SMALL_FRAME_ROWS: usize = 1 << 22;
+
+// Per-column encoding tags (one byte ahead of every column payload).
+const ENC_PLAIN: u8 = 0;
+const ENC_DICT: u8 = 1;
+const ENC_PACKED: u8 = 2;
+const ENC_XOR: u8 = 3;
+const ENC_BOOL_PACKED: u8 = 4;
+/// Floats that are exactly `n / 10^exp` for integral `n`, shipped as
+/// bit-packed integers plus the exponent.
+const ENC_SCALED: u8 = 5;
 
 // ---------------------------------------------------------------------------
 // Write primitives: append to a caller-owned slab.
@@ -220,23 +240,227 @@ fn tag_dtype(tag: u8) -> Result<DataType> {
     })
 }
 
-/// Byte length [`encode_batch_into`] will append for `batch`, used to size
-/// slab reservations up front.
+/// Upper bound on the byte length [`encode_batch_into`] will append for
+/// `batch`, used to size slab reservations up front. Opportunistic column
+/// compression can only shrink the frame below this bound.
 pub fn encoded_batch_len(batch: &Batch) -> usize {
     let mut len = 4 + 4 + 8; // magic + ncols + nrows
     for field in batch.schema().fields() {
         len += 1 + 4 + field.name.len();
     }
     for col in batch.columns() {
-        len += match col {
-            Column::Int64(v) => v.len() * 8,
-            Column::Float64(v) => v.len() * 8,
-            Column::Date(v) => v.len() * 4,
-            Column::Bool(v) => v.len(),
-            Column::Utf8(v) => v.iter().map(|s| 4 + s.len()).sum(),
-        };
+        len += 1 // encoding tag
+            + match col {
+                Column::Int64(v) => v.len() * 8,
+                Column::Float64(v) => v.len() * 8,
+                Column::Date(v) => v.len() * 4,
+                Column::Bool(v) => v.len().div_ceil(8),
+                Column::Utf8(v) => v.iter().map(|s| 4 + s.len()).sum(),
+                Column::Dict(d) => {
+                    4 + d.values.iter().map(|s| 4 + s.len()).sum::<usize>()
+                        + packed_byte_len(d.len(), d.code_width())
+                }
+                Column::Packed(p) => 8 + 1 + packed_byte_len(p.len(), p.width),
+                Column::Xor(x) => 8 + (x.bit_len() as usize).div_ceil(8),
+            };
     }
     len
+}
+
+fn packed_byte_len(rows: usize, width: u8) -> usize {
+    (rows * width as usize).div_ceil(8)
+}
+
+/// Append `bits` bits of `words` (LSB-first within each word) as
+/// `ceil(bits/8)` bytes. The bit writer zeroes trailing bits, so the byte
+/// stream is deterministic.
+fn put_bits(buf: &mut Vec<u8>, words: &[u64], bits: u64) {
+    let nbytes = (bits as usize).div_ceil(8);
+    let mut written = 0;
+    for w in words {
+        let raw = w.to_le_bytes();
+        let take = (nbytes - written).min(8);
+        buf.extend_from_slice(&raw[..take]);
+        written += take;
+        if written == nbytes {
+            break;
+        }
+    }
+}
+
+/// Read `ceil(bits/8)` bytes back into LSB-first words.
+fn take_bits(r: &mut WireReader<'_>, bits: u64, what: &str) -> Result<Vec<u64>> {
+    let nbytes = usize::try_from(bits.div_ceil(8))
+        .map_err(|_| QuokkaError::Storage(format!("wire: absurd bit length {bits}")))?;
+    let raw = r.take(nbytes, what)?;
+    let mut words = vec![0u64; nbytes.div_ceil(8)];
+    for (i, &b) in raw.iter().enumerate() {
+        words[i / 8] |= (b as u64) << (8 * (i % 8));
+    }
+    Ok(words)
+}
+
+/// Append one column's payload (encoding tag + bytes) to `buf`.
+///
+/// Already-encoded columns ship natively — no decode/re-encode at the
+/// boundary. Plain columns are opportunistically compressed when that is
+/// strictly smaller: Int64/Date bit-pack, Float64 XOR-compresses, Bool is
+/// always bit-packed. The choice is deterministic, so re-encoding a decoded
+/// frame reproduces the exact bytes.
+pub(crate) fn encode_column_payload(col: &Column, buf: &mut Vec<u8>) {
+    match col {
+        Column::Int64(v) => {
+            let p = PackedIntColumn::from_values(PackedLogical::Int64, v);
+            if 8 + 1 + packed_byte_len(v.len(), p.width) < v.len() * 8 {
+                put_packed(buf, &p);
+            } else {
+                put_u8(buf, ENC_PLAIN);
+                for x in v {
+                    put_i64(buf, *x);
+                }
+            }
+        }
+        Column::Date(v) => {
+            let as_i64: Vec<i64> = v.iter().map(|&x| x as i64).collect();
+            let p = PackedIntColumn::from_values(PackedLogical::Date, &as_i64);
+            if 8 + 1 + packed_byte_len(v.len(), p.width) < v.len() * 4 {
+                put_packed(buf, &p);
+            } else {
+                put_u8(buf, ENC_PLAIN);
+                for x in v {
+                    put_i32(buf, *x);
+                }
+            }
+        }
+        Column::Float64(v) => {
+            let plain_len = v.len() * 8;
+            let x = XorFloatColumn::from_values(v);
+            let xor_len = 8 + (x.bit_len() as usize).div_ceil(8);
+            let scaled = scaled_ints(v);
+            let scaled_len = scaled
+                .as_ref()
+                .map(|(_, p)| 1 + 8 + 1 + packed_byte_len(p.len(), p.width))
+                .unwrap_or(usize::MAX);
+            // Deterministic choice (it depends only on the values), so
+            // re-encoding a decoded frame reproduces the exact bytes.
+            if scaled_len < xor_len.min(plain_len) {
+                let (exp, p) = scaled.expect("scaled_len came from Some");
+                put_u8(buf, ENC_SCALED);
+                put_u8(buf, exp);
+                put_i64(buf, p.base);
+                put_u8(buf, p.width);
+                put_bits(buf, p.words(), (p.len() * p.width as usize) as u64);
+            } else if xor_len < plain_len {
+                put_xor(buf, &x);
+            } else {
+                put_u8(buf, ENC_PLAIN);
+                for f in v {
+                    put_f64(buf, *f);
+                }
+            }
+        }
+        Column::Bool(v) => {
+            put_u8(buf, ENC_BOOL_PACKED);
+            let mut byte = 0u8;
+            for (i, &b) in v.iter().enumerate() {
+                byte |= (b as u8) << (i % 8);
+                if i % 8 == 7 {
+                    buf.push(byte);
+                    byte = 0;
+                }
+            }
+            if v.len() % 8 != 0 {
+                buf.push(byte);
+            }
+        }
+        Column::Utf8(v) => {
+            put_u8(buf, ENC_PLAIN);
+            for s in v {
+                put_str(buf, s);
+            }
+        }
+        Column::Dict(d) => {
+            put_u8(buf, ENC_DICT);
+            put_u32(buf, d.values.len() as u32);
+            for s in d.values.iter() {
+                put_str(buf, s);
+            }
+            // The code width is derived from the dictionary size on both
+            // sides, so it is not stored.
+            let width = d.code_width();
+            let mut w = BitWriter::new();
+            for &c in &d.codes {
+                w.put(c as u64, width);
+            }
+            let (words, bits) = w.finish();
+            put_bits(buf, &words, bits);
+        }
+        Column::Packed(p) => put_packed(buf, p),
+        Column::Xor(x) => {
+            // An in-memory XOR column may still ship smaller as scaled
+            // decimals (integral quantities compress to a few bits each).
+            let xor_len = 8 + (x.bit_len() as usize).div_ceil(8);
+            let scaled = scaled_ints(&x.to_vec());
+            let scaled_len = scaled
+                .as_ref()
+                .map(|(_, p)| 1 + 8 + 1 + packed_byte_len(p.len(), p.width))
+                .unwrap_or(usize::MAX);
+            // The plain-length guard keeps the choice aligned with the
+            // `Float64` arm, so decode (to plain) + re-encode is byte-exact.
+            if scaled_len < xor_len.min(x.len() * 8) {
+                let (exp, p) = scaled.expect("scaled_len came from Some");
+                put_u8(buf, ENC_SCALED);
+                put_u8(buf, exp);
+                put_i64(buf, p.base);
+                put_u8(buf, p.width);
+                put_bits(buf, p.words(), (p.len() * p.width as usize) as u64);
+            } else {
+                put_xor(buf, x);
+            }
+        }
+    }
+}
+
+/// Try to represent every float exactly as `n / 10^exp` with integral `n` —
+/// the shape of TPC-H monetary columns (two decimals) and integral
+/// quantities, which XOR compression handles poorly. The reconstruction
+/// `n as f64 / 10^exp` is checked bit-for-bit per value (so `-0.0`, NaN,
+/// infinities and anything rounded by the division all fall back), and the
+/// smallest workable exponent wins deterministically.
+fn scaled_ints(values: &[f64]) -> Option<(u8, PackedIntColumn)> {
+    if values.is_empty() {
+        return None;
+    }
+    'exps: for (exp, factor) in [(0u8, 1.0f64), (2, 100.0)] {
+        let mut ints = Vec::with_capacity(values.len());
+        for &v in values {
+            let n = (v * factor).round();
+            // Beyond 2^53, f64 loses integer precision (also catches NaN).
+            if n.is_nan() || n.abs() > 9_007_199_254_740_992.0 {
+                continue 'exps;
+            }
+            let i = n as i64;
+            if (i as f64 / factor).to_bits() != v.to_bits() {
+                continue 'exps;
+            }
+            ints.push(i);
+        }
+        return Some((exp, PackedIntColumn::from_values(PackedLogical::Int64, &ints)));
+    }
+    None
+}
+
+fn put_packed(buf: &mut Vec<u8>, p: &PackedIntColumn) {
+    put_u8(buf, ENC_PACKED);
+    put_i64(buf, p.base);
+    put_u8(buf, p.width);
+    put_bits(buf, p.words(), (p.len() * p.width as usize) as u64);
+}
+
+fn put_xor(buf: &mut Vec<u8>, x: &XorFloatColumn) {
+    put_u8(buf, ENC_XOR);
+    put_u64(buf, x.bit_len());
+    put_bits(buf, x.words(), x.bit_len());
 }
 
 /// Append the wire frame for one batch to `buf` (a reusable slab — this
@@ -251,33 +475,7 @@ pub fn encode_batch_into(batch: &Batch, buf: &mut Vec<u8>) {
         put_str(buf, &field.name);
     }
     for col in batch.columns() {
-        match col {
-            Column::Int64(v) => {
-                for x in v {
-                    put_i64(buf, *x);
-                }
-            }
-            Column::Float64(v) => {
-                for x in v {
-                    put_f64(buf, *x);
-                }
-            }
-            Column::Date(v) => {
-                for x in v {
-                    put_i32(buf, *x);
-                }
-            }
-            Column::Bool(v) => {
-                for x in v {
-                    put_bool(buf, *x);
-                }
-            }
-            Column::Utf8(v) => {
-                for s in v {
-                    put_str(buf, s);
-                }
-            }
-        }
+        encode_column_payload(col, buf);
     }
 }
 
@@ -291,10 +489,12 @@ pub fn decode_batch_from(r: &mut WireReader<'_>) -> Result<Batch> {
     let rows_raw = r.u64()?;
     let rows = usize::try_from(rows_raw)
         .map_err(|_| QuokkaError::Storage(format!("wire: absurd row count {rows_raw}")))?;
-    // A corrupted count field must not size an allocation: each column
-    // carries at least one byte per row and one byte per field, so anything
-    // beyond the remaining buffer is provably truncated.
-    if cols > r.remaining() || rows > r.remaining().max(1) * 8 {
+    // A corrupted count field must not size an allocation. Compressed
+    // columns can legitimately carry almost no bytes per row (an all-equal
+    // bit-packed column is ~9 bytes at any length), so small frames get a
+    // fixed allowance instead of a strict bytes-per-row floor; anything
+    // beyond both bounds is provably corrupt.
+    if cols > r.remaining() || (rows > r.remaining().max(1) * 8 && rows > MAX_SMALL_FRAME_ROWS) {
         return Err(QuokkaError::Storage(format!(
             "wire: frame header claims {cols} cols x {rows} rows but only {} bytes follow",
             r.remaining()
@@ -309,12 +509,179 @@ pub fn decode_batch_from(r: &mut WireReader<'_>) -> Result<Batch> {
     let schema = Schema::new(fields);
     let mut columns = Vec::with_capacity(cols);
     for field in schema.fields() {
-        columns.push(decode_column(r, field.data_type, rows)?);
+        columns.push(decode_column_payload(r, field.data_type, rows)?);
     }
     Batch::try_new(schema, columns)
 }
 
-fn decode_column(r: &mut WireReader<'_>, dt: DataType, rows: usize) -> Result<Column> {
+/// Decode one column payload (encoding tag + bytes). Everything a frame
+/// claims is validated before it is trusted: dictionary order, code ranges,
+/// packed widths and value ranges, XOR stream integrity.
+pub(crate) fn decode_column_payload(
+    r: &mut WireReader<'_>,
+    dt: DataType,
+    rows: usize,
+) -> Result<Column> {
+    let enc = r.u8()?;
+    match (enc, dt) {
+        (ENC_PLAIN, _) => decode_plain_column(r, dt, rows),
+        (ENC_DICT, DataType::Utf8) => decode_dict_column(r, rows),
+        (ENC_PACKED, DataType::Int64) => decode_packed_column(r, PackedLogical::Int64, rows),
+        (ENC_PACKED, DataType::Date) => decode_packed_column(r, PackedLogical::Date, rows),
+        (ENC_XOR, DataType::Float64) => decode_xor_column(r, rows),
+        (ENC_SCALED, DataType::Float64) => decode_scaled_column(r, rows),
+        (ENC_BOOL_PACKED, DataType::Bool) => decode_packed_bool_column(r, rows),
+        (enc, dt) => {
+            Err(QuokkaError::Storage(format!("wire: encoding tag {enc} is invalid for {dt}")))
+        }
+    }
+}
+
+fn decode_dict_column(r: &mut WireReader<'_>, rows: usize) -> Result<Column> {
+    let dict_len = r.u32()? as usize;
+    if dict_len > r.remaining() {
+        return Err(QuokkaError::Storage(format!(
+            "wire: dictionary claims {dict_len} entries but only {} bytes follow",
+            r.remaining()
+        )));
+    }
+    if dict_len == 0 && rows > 0 {
+        return Err(QuokkaError::Storage(format!("wire: empty dictionary for {rows} rows")));
+    }
+    let mut values = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        let s = r.str()?;
+        if let Some(prev) = values.last() {
+            if *prev >= s {
+                return Err(QuokkaError::Storage(
+                    "wire: dictionary is not strictly ascending".into(),
+                ));
+            }
+        }
+        values.push(s);
+    }
+    let width = width_for((dict_len as u64).saturating_sub(1));
+    let codes = if width == 0 {
+        // Single-entry dictionary: every row is code 0, no bits on the wire.
+        vec![0u32; rows]
+    } else {
+        let bits = rows as u64 * width as u64;
+        let words = take_bits(r, bits, "dictionary codes")?;
+        let mut reader = BitReader::new(&words, bits);
+        let mut codes = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let code = reader
+                .take(width)
+                .ok_or_else(|| QuokkaError::Storage("wire: truncated dictionary codes".into()))?;
+            if code >= dict_len as u64 {
+                return Err(QuokkaError::Storage(format!(
+                    "wire: dictionary code {code} out of range (dictionary has {dict_len} entries)"
+                )));
+            }
+            codes.push(code as u32);
+        }
+        codes
+    };
+    Ok(Column::Dict(DictColumn::from_parts(codes, Arc::new(values))))
+}
+
+fn decode_packed_column(
+    r: &mut WireReader<'_>,
+    logical: PackedLogical,
+    rows: usize,
+) -> Result<Column> {
+    let base = r.i64()?;
+    let width = r.u8()?;
+    if width > 64 {
+        return Err(QuokkaError::Storage(format!("wire: packed width {width} exceeds 64")));
+    }
+    let bits = rows as u64 * width as u64;
+    let words = take_bits(r, bits, "packed values")?;
+    // Walk the deltas once so out-of-range values surface as typed errors
+    // instead of silently wrapping at decode time. Width 0 means all rows
+    // equal `base`, so only `base` itself needs the range check.
+    let (lo, hi) = match logical {
+        PackedLogical::Int64 => (i64::MIN as i128, i64::MAX as i128),
+        PackedLogical::Date => (i32::MIN as i128, i32::MAX as i128),
+    };
+    let mut reader = BitReader::new(&words, bits);
+    let checks = if width == 0 { (rows > 0) as usize } else { rows };
+    for _ in 0..checks {
+        let delta = reader
+            .take(width)
+            .ok_or_else(|| QuokkaError::Storage("wire: truncated packed values".into()))?;
+        let value = base as i128 + delta as i128;
+        if value < lo || value > hi {
+            return Err(QuokkaError::Storage(format!(
+                "wire: packed value {value} out of range for {logical:?}"
+            )));
+        }
+    }
+    Ok(Column::Packed(PackedIntColumn::from_parts(logical, base, width, rows, words)))
+}
+
+/// Decode scaled-decimal floats: bit-packed integers divided by `10^exp`.
+/// Produces a plain `Float64` column — the scaling exists only on the wire.
+fn decode_scaled_column(r: &mut WireReader<'_>, rows: usize) -> Result<Column> {
+    let exp = r.u8()?;
+    if exp > 18 {
+        return Err(QuokkaError::Storage(format!("wire: scaled exponent {exp} exceeds 18")));
+    }
+    let factor = 10f64.powi(exp as i32);
+    let base = r.i64()?;
+    let width = r.u8()?;
+    if width > 64 {
+        return Err(QuokkaError::Storage(format!("wire: scaled width {width} exceeds 64")));
+    }
+    let bits = rows as u64 * width as u64;
+    let words = take_bits(r, bits, "scaled values")?;
+    let mut reader = BitReader::new(&words, bits);
+    let mut out = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let delta = reader
+            .take(width)
+            .ok_or_else(|| QuokkaError::Storage("wire: truncated scaled values".into()))?;
+        let value = base as i128 + delta as i128;
+        if value < i64::MIN as i128 || value > i64::MAX as i128 {
+            return Err(QuokkaError::Storage(format!(
+                "wire: scaled value {value} out of range for Int64"
+            )));
+        }
+        out.push(value as i64 as f64 / factor);
+    }
+    Ok(Column::Float64(out))
+}
+
+fn decode_xor_column(r: &mut WireReader<'_>, rows: usize) -> Result<Column> {
+    let bits = r.u64()?;
+    if bits.div_ceil(8) > r.remaining() as u64 {
+        return Err(QuokkaError::Storage(format!(
+            "wire: xor column claims {bits} bits but only {} bytes follow",
+            r.remaining()
+        )));
+    }
+    let words = take_bits(r, bits, "xor stream")?;
+    let col = XorFloatColumn::from_parts(rows, bits, words);
+    if !col.validate() {
+        return Err(QuokkaError::Storage("wire: xor stream does not decode cleanly".into()));
+    }
+    Ok(Column::Xor(col))
+}
+
+fn decode_packed_bool_column(r: &mut WireReader<'_>, rows: usize) -> Result<Column> {
+    let raw = r.take(rows.div_ceil(8), "packed bools")?;
+    let mut out = Vec::with_capacity(rows);
+    for i in 0..rows {
+        out.push(raw[i / 8] >> (i % 8) & 1 == 1);
+    }
+    // Trailing pad bits must be zero so decode + re-encode is byte-exact.
+    if !rows.is_multiple_of(8) && raw[rows / 8] >> (rows % 8) != 0 {
+        return Err(QuokkaError::Storage("wire: nonzero pad bits in packed bools".into()));
+    }
+    Ok(Column::Bool(out))
+}
+
+fn decode_plain_column(r: &mut WireReader<'_>, dt: DataType, rows: usize) -> Result<Column> {
     Ok(match dt {
         DataType::Int64 => {
             let raw = r.take(checked_size(rows, 8)?, "Int64 column")?;
@@ -433,12 +800,12 @@ mod tests {
         let b = sample();
         let mut buf = Vec::new();
         encode_batch_into(&b, &mut buf);
-        assert_eq!(buf.len(), encoded_batch_len(&b));
+        assert!(buf.len() <= encoded_batch_len(&b), "encoded_batch_len is an upper bound");
         let decoded = decode_batch(&buf).unwrap();
         // NaN != NaN under PartialEq, so compare the float column by bits.
         assert_eq!(decoded.schema(), b.schema());
         let (orig, got) =
-            (b.columns()[1].as_f64().unwrap(), decoded.columns()[1].as_f64().unwrap());
+            (b.columns()[1].to_f64_vec().unwrap(), decoded.columns()[1].to_f64_vec().unwrap());
         assert_eq!(
             orig.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
             got.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
@@ -448,6 +815,98 @@ mod tests {
         let mut again = Vec::new();
         encode_batch_into(&decoded, &mut again);
         assert_eq!(buf, again);
+    }
+
+    #[test]
+    fn encoded_columns_ship_natively() {
+        let schema = Schema::from_pairs(&[
+            ("mode", DataType::Utf8),
+            ("qty", DataType::Int64),
+            ("disc", DataType::Float64),
+            ("day", DataType::Date),
+        ]);
+        let n = 64usize;
+        let plain = Batch::try_new(
+            schema.clone(),
+            vec![
+                Column::Utf8((0..n).map(|i| ["AIR", "MAIL", "SHIP"][i % 3].to_string()).collect()),
+                Column::Int64((0..n).map(|i| (i % 50) as i64 + 1).collect()),
+                Column::Float64((0..n).map(|i| (i % 8) as f64 * 0.125).collect()),
+                Column::Date((0..n).map(|i| 9131 + (i % 30) as i32).collect()),
+            ],
+        )
+        .unwrap();
+        let encoded =
+            Batch::try_new(schema, plain.columns().iter().map(Column::encode_auto).collect())
+                .unwrap();
+        assert!(encoded.columns().iter().all(Column::is_encoded));
+
+        let mut buf = Vec::new();
+        encode_batch_into(&encoded, &mut buf);
+        assert!(buf.len() <= encoded_batch_len(&encoded));
+        let decoded = decode_batch(&buf).unwrap();
+        // The frame preserves the encodings and the logical content.
+        assert!(decoded.columns().iter().all(Column::is_encoded));
+        assert_eq!(&decoded, &plain);
+        // Native pass-through: decode + re-encode is byte-exact.
+        let mut again = Vec::new();
+        encode_batch_into(&decoded, &mut again);
+        assert_eq!(buf, again);
+        // And the encoded frame is smaller than the plain frame.
+        let mut plain_buf = Vec::new();
+        encode_batch_into(&plain, &mut plain_buf);
+        assert!(buf.len() < plain_buf.len(), "{} vs {}", buf.len(), plain_buf.len());
+    }
+
+    #[test]
+    fn decimal_floats_ship_as_scaled_integers() {
+        let schema = Schema::from_pairs(&[("price", DataType::Float64)]);
+        // Two-decimal monetary values: XOR-incompressible, scaled-friendly.
+        let prices: Vec<f64> = (0..512).map(|i| (90_000 + 37 * i) as f64 / 100.0).collect();
+        let b = Batch::try_new(schema.clone(), vec![Column::Float64(prices.clone())]).unwrap();
+        let mut frame = Vec::new();
+        encode_batch_into(&b, &mut frame);
+        assert!(
+            frame.len() < 512 * 3,
+            "scaled encoding should need ~2 bytes/value, got {} bytes",
+            frame.len()
+        );
+        let decoded = decode_batch(&frame).unwrap();
+        assert_eq!(decoded, b, "scaled round-trip changed the values");
+        let mut again = Vec::new();
+        encode_batch_into(&decoded, &mut again);
+        assert_eq!(frame, again, "scaled re-encode must be byte-exact");
+
+        // Integral quantities win the smaller exponent even when the column
+        // arrives XOR-encoded in memory.
+        let quantities: Vec<f64> = (0..512).map(|i| (1 + i % 50) as f64).collect();
+        let xor = Column::Xor(XorFloatColumn::from_values(&quantities));
+        let b = Batch::try_new(schema, vec![xor]).unwrap();
+        frame.clear();
+        encode_batch_into(&b, &mut frame);
+        assert!(frame.len() < 512, "integral floats should pack to ~6 bits/value");
+        let decoded = decode_batch(&frame).unwrap();
+        assert_eq!(decoded, b);
+        again.clear();
+        encode_batch_into(&decoded, &mut again);
+        assert_eq!(frame, again);
+
+        // Values scaling cannot represent exactly (-0.0, NaN, irrationals)
+        // fall back and still round-trip bit-exactly.
+        let schema = Schema::from_pairs(&[("f", DataType::Float64)]);
+        let b = Batch::try_new(
+            schema,
+            vec![Column::Float64(vec![-0.0, f64::NAN, std::f64::consts::PI, 1.0 / 3.0])],
+        )
+        .unwrap();
+        frame.clear();
+        encode_batch_into(&b, &mut frame);
+        let decoded = decode_batch(&frame).unwrap();
+        let bits: Vec<u64> =
+            decoded.columns()[0].to_f64_vec().unwrap().iter().map(|f| f.to_bits()).collect();
+        let expected: Vec<u64> =
+            b.columns()[0].to_f64_vec().unwrap().iter().map(|f| f.to_bits()).collect();
+        assert_eq!(bits, expected);
     }
 
     #[test]
@@ -514,15 +973,16 @@ mod tests {
         let mut bad = buf.clone();
         bad.push(0);
         assert!(matches!(decode_batch(&bad), Err(QuokkaError::Storage(_))));
-        // Non-0/1 bool byte.
-        let flag_col_offset = {
-            // magic+counts, 5 field descriptors, int64 + float64 columns.
-            let header = 16 + b.schema().fields().iter().map(|f| 5 + f.name.len()).sum::<usize>();
-            header + 3 * 8 + 3 * 8
-        };
-        let mut bad = buf.clone();
-        bad[flag_col_offset] = 7;
-        assert!(matches!(decode_batch(&bad), Err(QuokkaError::Storage(_))));
+        // Any single-byte corruption must decode cleanly or error — never
+        // panic (bad encoding tags, dictionary order, code ranges, pad bits).
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0xFF;
+            match decode_batch(&bad) {
+                Ok(_) | Err(QuokkaError::Storage(_)) => {}
+                other => panic!("corruption at {i} produced {other:?}"),
+            }
+        }
     }
 
     #[test]

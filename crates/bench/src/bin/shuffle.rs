@@ -28,11 +28,19 @@ use quokka::{same_result, EngineConfig, QuokkaSession};
 /// Queries whose shuffle volume must strictly shrink under optimization.
 const GATED: [usize; 3] = [3, 5, 9];
 
+/// Optimized shuffle bytes before column encodings shipped on the wire
+/// (the committed `BENCH_shuffle.json` of the plain-column engine). The
+/// encoded engine must push at least 30% fewer bytes on each of these.
+const PRE_ENCODING: [(usize, u64); 3] = [(1, 1_969_832), (3, 895_188), (9, 3_956_769)];
+
 struct Entry {
     query: usize,
     naive_bytes: u64,
     optimized_bytes: u64,
-    optimized_edges: Vec<(u32, u32, u64)>,
+    /// Logical (decoded) bytes behind `optimized_bytes`: what the same
+    /// shuffles would have cost with plain columns and no wire encoding.
+    optimized_raw_bytes: u64,
+    optimized_edges: Vec<(u32, u32, u64, u64)>,
     /// Per-peer wire traffic of the optimized run, summed over peers.
     /// Zero under the in-process transport; real frame/byte counts when
     /// the run is steered onto TCP via `QUOKKA_TRANSPORT=tcp`.
@@ -86,21 +94,23 @@ fn main() {
             query: q,
             naive_bytes: naive.metrics.shuffle_bytes,
             optimized_bytes: optimized.metrics.shuffle_bytes,
+            optimized_raw_bytes: optimized.metrics.shuffle_raw_bytes,
             optimized_edges: optimized
                 .metrics
                 .shuffle_edges
                 .iter()
-                .map(|e| (e.from_stage, e.to_stage, e.bytes))
+                .map(|e| (e.from_stage, e.to_stage, e.bytes, e.raw_bytes))
                 .collect(),
             wire_frames_sent: peers.iter().map(|p| p.frames_sent).sum(),
             wire_bytes_sent: peers.iter().map(|p| p.bytes_sent).sum(),
             send_queue_peak: peers.iter().map(|p| p.send_queue_peak).max().unwrap_or(0),
         };
         eprintln!(
-            "Q{q:<3} naive {:>12} B   optimized {:>12} B   (-{:.1}%)",
+            "Q{q:<3} naive {:>12} B   optimized {:>12} B   (-{:.1}%, raw {:>12} B)",
             entry.naive_bytes,
             entry.optimized_bytes,
-            entry.reduction() * 100.0
+            entry.reduction() * 100.0,
+            entry.optimized_raw_bytes
         );
         entries.push(entry);
     }
@@ -115,17 +125,21 @@ fn main() {
         let edges: Vec<String> = e
             .optimized_edges
             .iter()
-            .map(|(from, to, bytes)| {
-                format!("{{\"from_stage\": {from}, \"to_stage\": {to}, \"bytes\": {bytes}}}")
+            .map(|(from, to, bytes, raw)| {
+                format!(
+                    "{{\"from_stage\": {from}, \"to_stage\": {to}, \
+                     \"bytes\": {bytes}, \"raw_bytes\": {raw}}}"
+                )
             })
             .collect();
         json.push_str(&format!(
             "    {{\"query\": {}, \"naive_shuffle_bytes\": {}, \"optimized_shuffle_bytes\": {}, \
-             \"reduction\": {:.4}, \"wire_frames_sent\": {}, \"wire_bytes_sent\": {}, \
-             \"send_queue_peak\": {}, \"optimized_edges\": [{}]}}{}\n",
+             \"optimized_raw_bytes\": {}, \"reduction\": {:.4}, \"wire_frames_sent\": {}, \
+             \"wire_bytes_sent\": {}, \"send_queue_peak\": {}, \"optimized_edges\": [{}]}}{}\n",
             e.query,
             e.naive_bytes,
             e.optimized_bytes,
+            e.optimized_raw_bytes,
             e.reduction(),
             e.wire_frames_sent,
             e.wire_bytes_sent,
@@ -155,5 +169,26 @@ fn main() {
     }
     eprintln!(
         "[shuffle] gate passed: optimized Q3/Q5/Q9 shuffle strictly fewer bytes than naive twins"
+    );
+
+    // Encoding gate: shipping encoded columns must cut the optimized
+    // shuffle volume by at least 30% against the plain-column engine's
+    // committed numbers. Same vacuous-pass rule as above.
+    for (q, before) in PRE_ENCODING {
+        let e = entries.iter().find(|e| e.query == q).unwrap_or_else(|| {
+            panic!("Q{q} is encoding-gated but was not run; include it in QUOKKA_QUERIES")
+        });
+        let ceiling = before * 7 / 10;
+        assert!(
+            e.optimized_bytes <= ceiling,
+            "Q{q}: encoded shuffle volume {} exceeds 70% of the pre-encoding \
+             baseline {} (ceiling {})",
+            e.optimized_bytes,
+            before,
+            ceiling
+        );
+    }
+    eprintln!(
+        "[shuffle] gate passed: encoded Q1/Q3/Q9 shuffles are >=30% below pre-encoding volumes"
     );
 }

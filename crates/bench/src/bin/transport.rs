@@ -54,6 +54,11 @@ struct QueryResult {
     transport: &'static str,
     seconds: f64,
     shuffle_bytes: u64,
+    /// Logical (decoded) bytes behind `shuffle_bytes` — the same shuffles
+    /// priced in plain columns. The gap is the wire encodings' saving.
+    shuffle_raw_bytes: u64,
+    backup_bytes: u64,
+    backup_raw_bytes: u64,
 }
 
 fn env_f64(name: &str, default: f64) -> f64 {
@@ -170,14 +175,17 @@ fn main() {
                 "Q{q} under {label} diverged from the reference executor"
             );
             eprintln!(
-                "[query] Q{q} {label:<6} {seconds:.3}s  shuffle {} B",
-                outcome.metrics.shuffle_bytes
+                "[query] Q{q} {label:<6} {seconds:.3}s  shuffle {} B (raw {} B)",
+                outcome.metrics.shuffle_bytes, outcome.metrics.shuffle_raw_bytes
             );
             queries.push(QueryResult {
                 query: q,
                 transport: label,
                 seconds,
                 shuffle_bytes: outcome.metrics.shuffle_bytes,
+                shuffle_raw_bytes: outcome.metrics.shuffle_raw_bytes,
+                backup_bytes: outcome.metrics.backup_bytes,
+                backup_raw_bytes: outcome.metrics.backup_raw_bytes,
             });
         }
     }
@@ -206,11 +214,15 @@ fn main() {
     for (i, q) in queries.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"query\": {}, \"transport\": \"{}\", \"seconds\": {:.6}, \
-             \"shuffle_bytes\": {}}}{}\n",
+             \"shuffle_bytes\": {}, \"shuffle_raw_bytes\": {}, \
+             \"backup_bytes\": {}, \"backup_raw_bytes\": {}}}{}\n",
             q.query,
             q.transport,
             q.seconds,
             q.shuffle_bytes,
+            q.shuffle_raw_bytes,
+            q.backup_bytes,
+            q.backup_raw_bytes,
             if i + 1 < queries.len() { "," } else { "" }
         ));
     }

@@ -25,8 +25,13 @@ pub struct ShuffleEdge {
     pub from_stage: StageId,
     /// Stage that consumed them.
     pub to_stage: StageId,
-    /// Total bytes pushed across workers on this edge.
+    /// Total bytes pushed across workers on this edge, as they ship on the
+    /// wire (compressed column encodings included).
     pub bytes: u64,
+    /// The same traffic measured in plain (decoded) column bytes. The gap
+    /// between `raw_bytes` and `bytes` is what the columnar encodings saved
+    /// on this edge.
+    pub raw_bytes: u64,
 }
 
 /// Wire-level transport counters towards one peer, as seen from this
@@ -59,14 +64,21 @@ pub struct QueryMetrics {
     pub tasks_executed: u64,
     /// Number of tasks executed purely for recovery (replay + rewind).
     pub recovery_tasks: u64,
-    /// Bytes of shuffle data pushed over the (simulated) network.
+    /// Bytes of shuffle data pushed over the (simulated) network, measured
+    /// in wire-encoded form (compressed column encodings included).
     pub shuffle_bytes: u64,
+    /// The same shuffle traffic measured in plain (decoded) column bytes;
+    /// `shuffle_raw_bytes / shuffle_bytes` is the network compression ratio.
+    pub shuffle_raw_bytes: u64,
     /// Per-edge breakdown of `shuffle_bytes`, sorted by (from, to) stage.
     pub shuffle_edges: Vec<ShuffleEdge>,
     /// Bytes written to the durable object store (spooling / checkpoints).
     pub durable_bytes: u64,
-    /// Bytes written to workers' local disks (upstream backup).
+    /// Bytes written to workers' local disks (upstream backup), in encoded
+    /// form as stored.
     pub backup_bytes: u64,
+    /// Plain (decoded) column bytes of the batches behind `backup_bytes`.
+    pub backup_raw_bytes: u64,
     /// Bytes of operator state written as checkpoints (subset of
     /// `durable_bytes` when checkpointing is enabled).
     pub checkpoint_bytes: u64,
@@ -156,10 +168,13 @@ pub struct MetricsRegistry {
     tasks_executed: AtomicU64,
     recovery_tasks: AtomicU64,
     shuffle_bytes: AtomicU64,
-    shuffle_edges: Mutex<BTreeMap<(StageId, StageId), u64>>,
+    shuffle_raw_bytes: AtomicU64,
+    /// Per-edge `(encoded bytes, raw bytes)` pairs.
+    shuffle_edges: Mutex<BTreeMap<(StageId, StageId), (u64, u64)>>,
     wire_peers: Mutex<BTreeMap<WorkerId, PeerWireStats>>,
     durable_bytes: AtomicU64,
     backup_bytes: AtomicU64,
+    backup_raw_bytes: AtomicU64,
     checkpoint_bytes: AtomicU64,
     lineage_bytes: AtomicU64,
     gcs_transactions: AtomicU64,
@@ -182,10 +197,12 @@ impl Default for MetricsRegistry {
             tasks_executed: AtomicU64::new(0),
             recovery_tasks: AtomicU64::new(0),
             shuffle_bytes: AtomicU64::new(0),
+            shuffle_raw_bytes: AtomicU64::new(0),
             shuffle_edges: Mutex::new(BTreeMap::new()),
             wire_peers: Mutex::new(BTreeMap::new()),
             durable_bytes: AtomicU64::new(0),
             backup_bytes: AtomicU64::new(0),
+            backup_raw_bytes: AtomicU64::new(0),
             checkpoint_bytes: AtomicU64::new(0),
             lineage_bytes: AtomicU64::new(0),
             gcs_transactions: AtomicU64::new(0),
@@ -213,14 +230,19 @@ impl MetricsRegistry {
             self.recovery_tasks.fetch_add(1, Ordering::Relaxed);
         }
     }
-    pub fn add_shuffle_bytes(&self, bytes: u64) {
+    /// Record one shuffle push: `bytes` as shipped on the wire (encoded) and
+    /// `raw_bytes` as the plain column footprint of the same batches.
+    pub fn add_shuffle_bytes(&self, bytes: u64, raw_bytes: u64) {
         self.shuffle_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.shuffle_raw_bytes.fetch_add(raw_bytes, Ordering::Relaxed);
     }
     /// Record shuffled bytes against the (producer stage, consumer stage)
     /// edge, in addition to the `shuffle_bytes` total the caller records.
-    pub fn add_shuffle_edge(&self, from_stage: StageId, to_stage: StageId, bytes: u64) {
+    pub fn add_shuffle_edge(&self, from_stage: StageId, to_stage: StageId, bytes: u64, raw: u64) {
         let mut edges = self.shuffle_edges.lock().expect("shuffle edge map poisoned");
-        *edges.entry((from_stage, to_stage)).or_insert(0) += bytes;
+        let entry = edges.entry((from_stage, to_stage)).or_insert((0, 0));
+        entry.0 += bytes;
+        entry.1 += raw;
     }
     /// Record one frame handed to `peer`'s send queue, and fold the queue
     /// occupancy observed at enqueue time into the high-water mark.
@@ -261,6 +283,11 @@ impl MetricsRegistry {
     }
     pub fn add_backup_bytes(&self, bytes: u64) {
         self.backup_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+    /// Record the plain column footprint behind a backup write (the backup
+    /// store itself only sees the encoded payload).
+    pub fn add_backup_raw_bytes(&self, bytes: u64) {
+        self.backup_raw_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
     pub fn add_checkpoint_bytes(&self, bytes: u64) {
         self.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
@@ -324,19 +351,22 @@ impl MetricsRegistry {
             tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
             recovery_tasks: self.recovery_tasks.load(Ordering::Relaxed),
             shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
+            shuffle_raw_bytes: self.shuffle_raw_bytes.load(Ordering::Relaxed),
             shuffle_edges: self
                 .shuffle_edges
                 .lock()
                 .expect("shuffle edge map poisoned")
                 .iter()
-                .map(|(&(from_stage, to_stage), &bytes)| ShuffleEdge {
+                .map(|(&(from_stage, to_stage), &(bytes, raw_bytes))| ShuffleEdge {
                     from_stage,
                     to_stage,
                     bytes,
+                    raw_bytes,
                 })
                 .collect(),
             durable_bytes: self.durable_bytes.load(Ordering::Relaxed),
             backup_bytes: self.backup_bytes.load(Ordering::Relaxed),
+            backup_raw_bytes: self.backup_raw_bytes.load(Ordering::Relaxed),
             checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
             lineage_bytes: self.lineage_bytes.load(Ordering::Relaxed),
             gcs_transactions: self.gcs_transactions.load(Ordering::Relaxed),
@@ -382,12 +412,13 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.add_task(false);
         reg.add_task(true);
-        reg.add_shuffle_bytes(100);
-        reg.add_shuffle_edge(0, 2, 60);
-        reg.add_shuffle_edge(1, 2, 30);
-        reg.add_shuffle_edge(0, 2, 10);
+        reg.add_shuffle_bytes(100, 160);
+        reg.add_shuffle_edge(0, 2, 60, 100);
+        reg.add_shuffle_edge(1, 2, 30, 30);
+        reg.add_shuffle_edge(0, 2, 10, 30);
         reg.add_durable_bytes(50);
         reg.add_backup_bytes(25);
+        reg.add_backup_raw_bytes(40);
         reg.add_lineage_bytes(12);
         reg.add_gcs_transaction();
         reg.add_failure();
@@ -400,15 +431,17 @@ mod tests {
         assert_eq!(snap.tasks_executed, 2);
         assert_eq!(snap.recovery_tasks, 1);
         assert_eq!(snap.shuffle_bytes, 100);
+        assert_eq!(snap.shuffle_raw_bytes, 160);
         assert_eq!(
             snap.shuffle_edges,
             vec![
-                ShuffleEdge { from_stage: 0, to_stage: 2, bytes: 70 },
-                ShuffleEdge { from_stage: 1, to_stage: 2, bytes: 30 },
+                ShuffleEdge { from_stage: 0, to_stage: 2, bytes: 70, raw_bytes: 130 },
+                ShuffleEdge { from_stage: 1, to_stage: 2, bytes: 30, raw_bytes: 30 },
             ]
         );
         assert_eq!(snap.durable_bytes, 50);
         assert_eq!(snap.backup_bytes, 25);
+        assert_eq!(snap.backup_raw_bytes, 40);
         assert_eq!(snap.lineage_bytes, 12);
         assert_eq!(snap.gcs_transactions, 1);
         assert_eq!(snap.failures, 1);

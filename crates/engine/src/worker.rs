@@ -24,7 +24,7 @@ use crate::stream::StreamEvent;
 use parking_lot::Mutex;
 use quokka_batch::codec::{decode_partition, encode_partition};
 use quokka_batch::compute::hash_partition;
-use quokka_batch::Batch;
+use quokka_batch::{Batch, Column};
 use quokka_common::config::{EngineConfig, ExecutionMode, FaultStrategy, SchedulePolicy};
 use quokka_common::ids::{ChannelAddr, SeqNo, StageId, TaskName, WorkerId};
 use quokka_common::metrics::MetricsRegistry;
@@ -45,6 +45,11 @@ use std::time::Duration;
 
 /// Number of input splits a scan task reads at a time.
 const SPLITS_PER_TASK: usize = 2;
+
+/// Row cap for coalesced output slices: partition fragments are merged up
+/// to this size before boundary encoding, so each shuffle frame amortizes
+/// its schema header over long column runs without unbounding batch memory.
+const COALESCE_ROWS: usize = 16_384;
 
 /// Everything shared between the worker threads, the coordinator and the
 /// runtime for one query execution.
@@ -560,6 +565,11 @@ impl StageWorker {
                     let payload = encode_partition(batches);
                     partition_bytes += payload.len() as u64;
                     if strategy.upstream_backup() {
+                        // The backup store only sees encoded bytes; record
+                        // the plain footprint here where the batches exist.
+                        services.metrics.add_backup_raw_bytes(
+                            batches.iter().map(|b| b.byte_size() as u64).sum(),
+                        );
                         services.backups[self.worker as usize].put(
                             out_name,
                             *consumer_addr,
@@ -808,6 +818,24 @@ impl StageWorker {
                         slices[channel].push(piece);
                     }
                 }
+            }
+        }
+        // Boundary compression: everything leaving this worker (shuffle
+        // pushes, upstream backups, durable spools) ships these slices, so
+        // coalesce the per-batch partition fragments (each wire frame
+        // carries a full schema header, and column encodings only pay off
+        // over long runs) and re-encode plain columns here where the win is
+        // paid for once. Both steps are deterministic, keeping replayed
+        // partitions byte-identical to the originals.
+        for batches in &mut slices {
+            if batches.len() > 1 {
+                *batches = Batch::concat(batches)?.chunks(COALESCE_ROWS);
+            }
+            for batch in batches.iter_mut() {
+                *batch = Batch::try_new(
+                    batch.schema().clone(),
+                    batch.columns().iter().map(Column::encode_auto).collect(),
+                )?;
             }
         }
         Ok(slices

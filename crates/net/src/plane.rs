@@ -193,10 +193,17 @@ impl DataPlane {
             )));
         }
         if source != destination {
-            let bytes: u64 = batches.iter().map(|b| b.byte_size() as u64).sum();
+            // Charge what actually crosses the network: the wire-encoded
+            // frame payload (compressed column encodings included), not the
+            // plain in-memory footprint. The raw footprint is recorded
+            // alongside so the encoded-vs-raw gap is observable per edge.
+            let raw: u64 = batches.iter().map(|b| b.byte_size() as u64).sum();
+            let mut frame = Vec::new();
+            quokka_batch::wire::encode_batches_into(&batches, &mut frame);
+            let bytes = frame.len() as u64;
             self.cost.charge_network(bytes);
-            self.metrics.add_shuffle_bytes(bytes);
-            self.metrics.add_shuffle_edge(producer.stage, consumer.stage, bytes);
+            self.metrics.add_shuffle_bytes(bytes, raw);
+            self.metrics.add_shuffle_edge(producer.stage, consumer.stage, bytes, raw);
         }
         self.transport.send(source, destination, consumer, producer, batches)
     }
@@ -238,6 +245,14 @@ mod tests {
         .unwrap()
     }
 
+    /// The bytes one pushed batch contributes to shuffle accounting: its
+    /// wire-encoded frame payload.
+    fn wire_len(b: &Batch) -> u64 {
+        let mut buf = Vec::new();
+        quokka_batch::wire::encode_batches_into(std::slice::from_ref(b), &mut buf);
+        buf.len() as u64
+    }
+
     #[test]
     fn push_routes_to_destination_server() {
         let p = plane();
@@ -259,8 +274,12 @@ mod tests {
         let local_only = metrics.snapshot(std::time::Duration::ZERO).shuffle_bytes;
         assert_eq!(local_only, 0, "local pushes are not shuffled over the network");
         p.push(0, 1, consumer, TaskName::new(0, 0, 1), vec![batch()]).unwrap();
-        let after = metrics.snapshot(std::time::Duration::ZERO).shuffle_bytes;
-        assert_eq!(after, batch().byte_size() as u64);
+        let snap = metrics.snapshot(std::time::Duration::ZERO);
+        assert_eq!(snap.shuffle_bytes, wire_len(&batch()));
+        assert_eq!(snap.shuffle_raw_bytes, batch().byte_size() as u64);
+        assert_eq!(snap.shuffle_edges.len(), 1);
+        assert_eq!(snap.shuffle_edges[0].bytes, snap.shuffle_bytes);
+        assert_eq!(snap.shuffle_edges[0].raw_bytes, snap.shuffle_raw_bytes);
     }
 
     #[test]
@@ -349,7 +368,7 @@ mod tests {
         assert_eq!(p.server(2).unwrap().peek(consumer, producer).unwrap(), vec![batch()]);
         // Shuffle accounting and per-peer wire stats both observed it.
         let snap = metrics.snapshot(Duration::ZERO);
-        assert_eq!(snap.shuffle_bytes, batch().byte_size() as u64);
+        assert_eq!(snap.shuffle_bytes, wire_len(&batch()));
         let peer = snap.transport_peers.iter().find(|s| s.peer == 2).expect("wire stats");
         assert_eq!(peer.frames_sent, 1);
         assert!(peer.bytes_sent > 0);

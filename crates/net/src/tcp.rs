@@ -400,7 +400,9 @@ mod tests {
         .unwrap()
     }
 
-    fn collecting_deliver() -> (DeliverFn, Arc<Mutex<Vec<(WorkerId, PartitionName, Vec<Batch>)>>>) {
+    type SeenDeliveries = Arc<Mutex<Vec<(WorkerId, PartitionName, Vec<Batch>)>>>;
+
+    fn collecting_deliver() -> (DeliverFn, SeenDeliveries) {
         let seen = Arc::new(Mutex::new(Vec::new()));
         let sink = Arc::clone(&seen);
         let deliver: DeliverFn = Arc::new(move |_src, dest, _consumer, producer, batches| {

@@ -357,6 +357,10 @@ impl AggState {
         group_ids: &[u32],
         num_groups: usize,
     ) -> Result<()> {
+        // One decode per batch per aggregate: the typed fold loops below
+        // then run on plain slices regardless of the input encoding.
+        let column = column.decoded();
+        let column = column.as_ref();
         self.resize(num_groups);
         let type_err = |what: &str, col: &Column| {
             Err(QuokkaError::TypeError(format!("{what} aggregate over {} column", col.data_type())))

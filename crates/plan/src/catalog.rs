@@ -82,12 +82,14 @@ impl Catalog for MemoryCatalog {
 
     /// Computed under the read lock without cloning the batches (the
     /// default implementation would deep-copy the whole table; admission
-    /// control calls this on every query).
+    /// control calls this on every query). Measures the *encoded* footprint:
+    /// a dictionary/bit-packed table admits more concurrent queries than its
+    /// plain decoding would.
     fn table_bytes(&self, name: &str) -> Result<u64> {
         self.tables
             .read()
             .get(name)
-            .map(|(_, b)| b.iter().map(|batch| batch.byte_size() as u64).sum())
+            .map(|(_, b)| b.iter().map(|batch| batch.memory_bytes() as u64).sum())
             .ok_or_else(|| QuokkaError::PlanError(format!("unknown table '{name}'")))
     }
 
@@ -128,5 +130,25 @@ mod tests {
         // Re-registering the *same* name still bumps: contents may differ.
         catalog.register("t", schema, vec![batch]);
         assert_eq!(catalog.generation(), 2);
+    }
+
+    #[test]
+    fn table_bytes_reflects_encoded_footprint() {
+        let catalog = MemoryCatalog::new();
+        let schema = Schema::from_pairs(&[("mode", DataType::Utf8)]);
+        let plain = Column::Utf8(
+            (0..256).map(|i| ["TRUCK", "AIRMAIL", "RAIL"][i % 3].to_string()).collect(),
+        );
+        let encoded = plain.encode_auto();
+        assert!(encoded.is_encoded(), "repetitive strings must dictionary-encode");
+        let batch = Batch::try_new(schema.clone(), vec![encoded]).unwrap();
+        catalog.register("t", schema, vec![batch.clone()]);
+        let bytes = catalog.table_bytes("t").unwrap();
+        assert_eq!(bytes, batch.memory_bytes() as u64);
+        assert!(
+            bytes < batch.byte_size() as u64,
+            "admission estimate should see the encoded footprint ({bytes} vs {})",
+            batch.byte_size()
+        );
     }
 }

@@ -305,9 +305,20 @@ impl Expr {
                 compute::arith((*op).into(), &l, &r)
             }
             Expr::Cmp { op, left, right } => {
-                let l = left.evaluate(batch)?;
-                let r = right.evaluate(batch)?;
-                compute::compare((*op).into(), &l, &r)
+                // Column-vs-literal comparisons run the encoding-aware scalar
+                // kernel (dictionary LUT, packed streaming) without
+                // broadcasting the literal into a full column.
+                if let Expr::Literal(v) = right.as_ref() {
+                    let l = left.evaluate(batch)?;
+                    compute::compare_scalar((*op).into(), &l, v)
+                } else if let Expr::Literal(v) = left.as_ref() {
+                    let r = right.evaluate(batch)?;
+                    compute::compare_scalar(CmpOp::from(*op).mirror(), &r, v)
+                } else {
+                    let l = left.evaluate(batch)?;
+                    let r = right.evaluate(batch)?;
+                    compute::compare((*op).into(), &l, &r)
+                }
             }
             Expr::And(l, r) => compute::and(&l.evaluate(batch)?, &r.evaluate(batch)?),
             Expr::Or(l, r) => compute::or(&l.evaluate(batch)?, &r.evaluate(batch)?),
@@ -337,23 +348,40 @@ impl Expr {
                 compute::and(&low_mask, &high_mask)
             }
             Expr::Case { branches, otherwise } => {
+                // Row-at-a-time select over encoded columns would pay a
+                // per-row decode, so branch values are made plain up front.
                 let mut result = otherwise.evaluate(batch)?;
+                result.make_plain();
                 // Apply branches in reverse so the FIRST matching branch wins.
                 for (cond, then) in branches.iter().rev() {
                     let mask = cond.evaluate(batch)?;
                     let mask = mask.as_bool()?;
-                    let then_col = then.evaluate(batch)?;
+                    let mut then_col = then.evaluate(batch)?;
+                    then_col.make_plain();
                     result = select(mask, &then_col, &result)?;
                 }
                 Ok(result)
             }
             Expr::Year(e) => {
                 let dates = e.evaluate(batch)?;
+                let dates = dates.decoded();
                 let days = dates.as_date()?;
                 Ok(Column::Int64(days.iter().map(|&d| date_year(d)).collect()))
             }
             Expr::Substr { expr, start, len } => {
                 let values = expr.evaluate(batch)?;
+                if let Column::Dict(d) = &values {
+                    // Slice each dictionary entry once and remap the codes.
+                    let start = start.saturating_sub(1);
+                    let sliced: Vec<String> = d
+                        .values
+                        .iter()
+                        .map(|s| s.chars().skip(start).take(*len).collect::<String>())
+                        .collect();
+                    return Ok(Column::Utf8(
+                        d.codes.iter().map(|&c| sliced[c as usize].clone()).collect(),
+                    ));
+                }
                 let strings = values.as_utf8()?;
                 let start = start.saturating_sub(1);
                 Ok(Column::Utf8(

@@ -21,6 +21,7 @@ use quokka_batch::rowkey::{self, EncodedKeys, KeyLayout, KeyMap};
 use quokka_batch::{Batch, Column, Schema};
 use quokka_common::{QuokkaError, Result};
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 /// A stateless row transformation applied inside a stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -642,6 +643,12 @@ struct HashAggregateOperator {
     /// For a global aggregate (no group columns) we must emit exactly one
     /// row even if no input arrives.
     global: bool,
+    /// Fast path for a single dictionary-encoded group key: a memoized
+    /// code -> group-id table for the dictionary `Arc` it was built against
+    /// (`u32::MAX` = code not interned yet). The byte-keyed `table` stays
+    /// authoritative, so batches with different dictionaries — or plain
+    /// strings — land in the same groups.
+    dict_lut: Option<(Arc<Vec<String>>, Vec<u32>)>,
 }
 
 impl HashAggregateOperator {
@@ -681,6 +688,7 @@ impl HashAggregateOperator {
             key_values,
             states,
             global,
+            dict_lut: None,
         })
     }
 
@@ -689,6 +697,9 @@ impl HashAggregateOperator {
     fn intern_groups(&mut self, group_columns: &[Column], rows: usize) -> Result<Vec<u32>> {
         if self.global {
             return Ok(vec![0; rows]);
+        }
+        if let [Column::Dict(d)] = group_columns {
+            return self.intern_dict_groups(d, rows);
         }
         let column_refs: Vec<&Column> = group_columns.iter().collect();
         let keys = rowkey::encode_keys(&column_refs, self.layout)?;
@@ -700,6 +711,44 @@ impl HashAggregateOperator {
                 for (builder, column) in self.key_values.iter_mut().zip(group_columns) {
                     builder.push_from(column, row)?;
                 }
+            }
+            group_ids.push(id);
+        }
+        Ok(group_ids)
+    }
+
+    /// Group a single dictionary-encoded key column on its codes: per-row
+    /// work is one LUT load, and the byte-key interning runs at most once
+    /// per distinct dictionary entry instead of once per row. Groups are
+    /// only created for codes that actually occur — a dictionary entry
+    /// filtered out of the data never materializes a group.
+    fn intern_dict_groups(
+        &mut self,
+        d: &quokka_batch::DictColumn,
+        rows: usize,
+    ) -> Result<Vec<u32>> {
+        let reusable = matches!(&self.dict_lut, Some((arc, _)) if Arc::ptr_eq(arc, &d.values));
+        if !reusable {
+            self.dict_lut = Some((Arc::clone(&d.values), vec![u32::MAX; d.values.len()]));
+        }
+        let mut group_ids = Vec::with_capacity(rows);
+        for &code in d.codes.iter().take(rows) {
+            let code = code as usize;
+            let (_, lut) = self.dict_lut.as_ref().expect("lut just installed");
+            let mut id = lut[code];
+            if id == u32::MAX {
+                // First occurrence of this dictionary entry: intern through
+                // the authoritative byte-keyed table (the encoding matches
+                // what a plain Utf8 column would produce for this value).
+                let single = Column::Utf8(vec![d.values[code].clone()]);
+                let keys = rowkey::encode_keys(&[&single], self.layout)?;
+                let next = self.table.len() as u32;
+                id = *self.table.get_mut_or_insert_with(&keys, 0, || next)?;
+                if id == next {
+                    self.key_values[0]
+                        .push(&quokka_batch::datatype::ScalarValue::Utf8(d.values[code].clone()))?;
+                }
+                self.dict_lut.as_mut().expect("lut just installed").1[code] = id;
             }
             group_ids.push(id);
         }

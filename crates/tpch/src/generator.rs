@@ -114,19 +114,29 @@ pub struct TpchGenerator {
     sf: f64,
     seed: u64,
     batch_rows: usize,
+    /// Emit compressed column encodings (dictionary / bit-packed / XOR)
+    /// from generation onwards. On by default; `with_encoding(false)`
+    /// restores plain columns for baselines and A/B parity tests.
+    encode: bool,
 }
 
 impl TpchGenerator {
     /// Create a generator for scale factor `sf` (1.0 ≈ the official 1 GB
     /// scale; the experiments here use 0.005 – 0.05).
     pub fn new(sf: f64, seed: u64) -> Self {
-        TpchGenerator { sf, seed, batch_rows: 4096 }
+        TpchGenerator { sf, seed, batch_rows: 4096, encode: true }
     }
 
     /// Override the number of rows per generated batch (one batch = one
     /// input split for the distributed engine).
     pub fn with_batch_rows(mut self, batch_rows: usize) -> Self {
         self.batch_rows = batch_rows.max(1);
+        self
+    }
+
+    /// Toggle compressed column encodings on generated tables (default on).
+    pub fn with_encoding(mut self, encode: bool) -> Self {
+        self.encode = encode;
         self
     }
 
@@ -205,6 +215,15 @@ impl TpchGenerator {
     }
 
     fn chunk(&self, schema: Schema, columns: Vec<Column>) -> Result<Vec<Batch>> {
+        // Encode whole-table columns *before* chunking: every chunk of a
+        // dictionary column then shares one dictionary `Arc` (slicing keeps
+        // the dictionary and narrows the codes), and bit-packed columns
+        // keep a table-wide base/width.
+        let columns = if self.encode {
+            columns.into_iter().map(|c| c.encode_auto()).collect()
+        } else {
+            columns
+        };
         let batch = Batch::try_new(schema, columns)?;
         Ok(batch.chunks(self.batch_rows))
     }
@@ -607,6 +626,17 @@ mod tests {
         TpchGenerator::new(0.002, 42).with_batch_rows(512)
     }
 
+    /// Concatenated table with every column decoded to its plain form, for
+    /// tests that inspect values through the typed slice accessors.
+    fn plain_concat(batches: &[Batch]) -> Batch {
+        let batch = Batch::concat(batches).unwrap();
+        Batch::try_new(
+            batch.schema().clone(),
+            batch.columns().iter().map(|c| c.decoded().into_owned()).collect(),
+        )
+        .unwrap()
+    }
+
     #[test]
     fn row_counts_scale_with_sf() {
         let small = TpchGenerator::new(0.002, 1);
@@ -682,23 +712,49 @@ mod tests {
     fn predicate_keywords_are_present_but_selective() {
         let generator = generator();
         let catalog = generator.catalog().unwrap();
-        let part = Batch::concat(&catalog.table_batches("part").unwrap()).unwrap();
+        let part = plain_concat(&catalog.table_batches("part").unwrap());
         let names = part.as_strs("p_name").unwrap();
         let green = names.iter().filter(|n| n.contains("green")).count();
         assert!(green > 0 && green < names.len());
         let forest = names.iter().filter(|n| n.starts_with("forest")).count();
         assert!(forest > 0);
 
-        let orders = Batch::concat(&catalog.table_batches("orders").unwrap()).unwrap();
+        let orders = plain_concat(&catalog.table_batches("orders").unwrap());
         let comments = orders.as_strs("o_comment").unwrap();
         let special = comments.iter().filter(|c| c.contains("special")).count();
         assert!(special > 0 && special * 5 < comments.len());
     }
 
     #[test]
+    fn encoding_toggle_changes_representation_not_content() {
+        let encoded = generator().generate("lineitem").unwrap();
+        let plain = generator().with_encoding(false).generate("lineitem").unwrap();
+        assert_eq!(encoded.len(), plain.len());
+        // Logical content is identical batch by batch...
+        for (e, p) in encoded.iter().zip(&plain) {
+            assert_eq!(e, p);
+        }
+        // ...but the encoded tables are physically smaller, and low-
+        // cardinality string columns dictionary-encode with one dictionary
+        // shared across all chunks of the table.
+        let encoded_bytes: usize = encoded.iter().map(Batch::memory_bytes).sum();
+        let plain_bytes: usize = plain.iter().map(Batch::memory_bytes).sum();
+        assert!(
+            encoded_bytes * 3 < plain_bytes * 2,
+            "expected >=1.5x compression on lineitem: {encoded_bytes} vs {plain_bytes}"
+        );
+        let shipmode = encoded[0].schema().index_of("l_shipmode").unwrap();
+        let (first, second) = match (encoded[0].column(shipmode), encoded[1].column(shipmode)) {
+            (Column::Dict(a), Column::Dict(b)) => (a, b),
+            other => panic!("l_shipmode should be dictionary-encoded, got {other:?}"),
+        };
+        assert!(first.same_dict(second), "chunks must share one dictionary");
+    }
+
+    #[test]
     fn dates_are_consistent() {
         let generator = generator();
-        let lineitem = Batch::concat(&generator.generate("lineitem").unwrap()).unwrap();
+        let lineitem = plain_concat(&generator.generate("lineitem").unwrap());
         let ship = lineitem.as_dates("l_shipdate").unwrap();
         let receipt = lineitem.as_dates("l_receiptdate").unwrap();
         for i in (0..ship.len()).step_by(53) {

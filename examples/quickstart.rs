@@ -69,8 +69,8 @@ fn main() -> quokka::Result<()> {
     println!();
     println!("runtime              : {:?}", m.runtime);
     println!("tasks executed       : {}", m.tasks_executed);
-    println!("shuffle bytes        : {}", m.shuffle_bytes);
-    println!("upstream backup bytes: {}", m.backup_bytes);
+    println!("shuffle bytes        : {} (raw {})", m.shuffle_bytes, m.shuffle_raw_bytes);
+    println!("upstream backup bytes: {} (raw {})", m.backup_bytes, m.backup_raw_bytes);
     println!("lineage bytes logged : {}", m.lineage_bytes);
     println!("GCS transactions     : {}", m.gcs_transactions);
 

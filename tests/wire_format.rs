@@ -98,7 +98,9 @@ proptest! {
         let batch = random_batch(&mut rng, rows, cols);
         let mut frame = Vec::new();
         encode_batch_into(&batch, &mut frame);
-        prop_assert_eq!(frame.len(), encoded_batch_len(&batch));
+        // `encoded_batch_len` is an upper bound: the encoder may shrink a
+        // plain column opportunistically (bit-packing, XOR) when that wins.
+        prop_assert!(frame.len() <= encoded_batch_len(&batch));
         let decoded = decode_batch(&frame).unwrap();
         prop_assert_eq!(decoded.num_rows(), rows);
         prop_assert_eq!(decoded.schema(), batch.schema());
